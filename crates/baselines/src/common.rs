@@ -1,0 +1,273 @@
+//! Shared infrastructure for the baseline families.
+//!
+//! Binary-hash baselines (LSH, PCAH, ITQ, SDH, and the deep hash nets)
+//! produce packed bit codes ranked by Hamming distance; quantization
+//! baselines (PQ, OPQ, DPQ, KDE) produce codeword ids ranked by ADC. This
+//! module holds the bit-code container, the Hamming ranker, and the
+//! `BinaryHasher` trait every hash baseline implements.
+
+use lt_eval::Ranker;
+use lt_linalg::distance::hamming;
+use lt_linalg::Matrix;
+
+/// Packed binary codes: `bits` per item, stored in `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitCodes {
+    words_per_item: usize,
+    bits: usize,
+    data: Vec<u64>,
+}
+
+impl BitCodes {
+    /// Packs a sign matrix (`n × bits`, entries compared against 0) into
+    /// bit codes: bit `j` of item `i` is set iff `signs[i][j] > 0`.
+    pub fn from_sign_matrix(signs: &Matrix) -> Self {
+        let n = signs.rows();
+        let bits = signs.cols();
+        let words_per_item = bits.div_ceil(64).max(1);
+        let mut data = vec![0u64; n * words_per_item];
+        for i in 0..n {
+            for (j, &v) in signs.row(i).iter().enumerate() {
+                if v > 0.0 {
+                    data[i * words_per_item + j / 64] |= 1u64 << (j % 64);
+                }
+            }
+        }
+        Self { words_per_item, bits, data }
+    }
+
+    /// Number of encoded items.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.words_per_item).unwrap_or(0)
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Code length in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Packed words of item `i`.
+    pub fn item(&self, i: usize) -> &[u64] {
+        &self.data[i * self.words_per_item..(i + 1) * self.words_per_item]
+    }
+
+    /// Hamming distance between items of two code sets.
+    pub fn distance(&self, i: usize, other: &BitCodes, j: usize) -> u32 {
+        hamming(self.item(i), other.item(j))
+    }
+
+    /// Storage in bytes (paper accounting: `bits/8` per item).
+    pub fn storage_bytes(&self) -> usize {
+        (self.len() * self.bits).div_ceil(8)
+    }
+}
+
+/// A trained binary hash function `h: R^d → {0,1}^B`.
+pub trait BinaryHasher {
+    /// Hashes a batch of row vectors.
+    fn hash(&self, x: &Matrix) -> BitCodes;
+
+    /// Code length in bits.
+    fn bits(&self) -> usize;
+}
+
+/// Ranks a hashed database by ascending Hamming distance to the hashed
+/// query (ties by index, matching the evaluation protocol).
+pub struct HammingRanker<'a, H: BinaryHasher> {
+    hasher: &'a H,
+    db_codes: BitCodes,
+}
+
+impl<'a, H: BinaryHasher> HammingRanker<'a, H> {
+    /// Hashes the database once and keeps the codes.
+    pub fn new(hasher: &'a H, database: &Matrix) -> Self {
+        let db_codes = hasher.hash(database);
+        Self { hasher, db_codes }
+    }
+
+    /// The database codes (diagnostics).
+    pub fn db_codes(&self) -> &BitCodes {
+        &self.db_codes
+    }
+}
+
+impl<H: BinaryHasher> Ranker for HammingRanker<'_, H> {
+    fn rank(&self, query: &[f32]) -> Vec<usize> {
+        let q = Matrix::from_vec(1, query.len(), query.to_vec());
+        let q_codes = self.hasher.hash(&q);
+        let mut acc = lt_linalg::TopK::new(self.db_codes.len());
+        for i in 0..self.db_codes.len() {
+            // Negative distance = similarity (higher is better).
+            acc.push(-(q_codes.distance(0, &self.db_codes, i) as f32), i);
+        }
+        acc.into_sorted_vec().into_iter().map(|s| s.index).collect()
+    }
+
+    fn database_len(&self) -> usize {
+        self.db_codes.len()
+    }
+}
+
+/// Generic additive-quantization ADC index shared by the DPQ and KDE
+/// baselines: a reconstruction is `Σ_m codebooks[m][code[m]]` in the full
+/// `d`-dimensional space (subspace quantizers pad their codebooks with
+/// zeros outside their block), ranked by negative squared L2 distance via
+/// the standard lookup-table trick.
+pub struct AdcIndex {
+    codebooks: Vec<Matrix>,
+    /// Flattened `n × M` codeword ids.
+    codes: Vec<u16>,
+    /// Per-item reconstruction squared norms.
+    norms_sq: Vec<f32>,
+    n: usize,
+}
+
+impl AdcIndex {
+    /// Builds the index from full-dim additive codebooks and item codes.
+    ///
+    /// # Panics
+    /// Panics on shape inconsistencies.
+    pub fn new(codebooks: Vec<Matrix>, codes: Vec<u16>) -> Self {
+        assert!(!codebooks.is_empty(), "need at least one codebook");
+        let m = codebooks.len();
+        let d = codebooks[0].cols();
+        assert!(codebooks.iter().all(|c| c.cols() == d), "codebook width mismatch");
+        assert_eq!(codes.len() % m, 0, "code length not a multiple of M");
+        let n = codes.len() / m;
+        let norms_sq = (0..n)
+            .map(|i| {
+                let mut recon = vec![0.0f32; d];
+                for (level, cb) in codebooks.iter().enumerate() {
+                    let id = codes[i * m + level] as usize;
+                    for (v, &c) in recon.iter_mut().zip(cb.row(id)) {
+                        *v += c;
+                    }
+                }
+                lt_linalg::gemm::dot(&recon, &recon)
+            })
+            .collect();
+        Self { codebooks, codes, norms_sq, n }
+    }
+
+    /// Scores all items for a query: `−‖q − recon_i‖²` via LUT.
+    pub fn scores(&self, query: &[f32]) -> Vec<f32> {
+        let m = self.codebooks.len();
+        let k = self.codebooks[0].rows();
+        let qn = lt_linalg::gemm::dot(query, query);
+        let mut lut = vec![0.0f32; m * k];
+        for (level, cb) in self.codebooks.iter().enumerate() {
+            for j in 0..cb.rows() {
+                lut[level * k + j] = lt_linalg::gemm::dot(query, cb.row(j));
+            }
+        }
+        (0..self.n)
+            .map(|i| {
+                let mut ip = 0.0f32;
+                for level in 0..m {
+                    ip += lut[level * k + self.codes[i * m + level] as usize];
+                }
+                2.0 * ip - self.norms_sq[i] - qn
+            })
+            .collect()
+    }
+}
+
+impl Ranker for AdcIndex {
+    fn rank(&self, query: &[f32]) -> Vec<usize> {
+        lt_linalg::topk::rank_all(&self.scores(query))
+    }
+
+    fn database_len(&self) -> usize {
+        self.n
+    }
+}
+
+/// `sign(x)` matrix helper mapping `> 0 → +1`, else `−1` (standard hashing
+/// convention).
+pub fn sign_matrix(x: &Matrix) -> Matrix {
+    x.map(|v| if v > 0.0 { 1.0 } else { -1.0 })
+}
+
+/// One-hot label matrix (`n × C`) with {0, 1} entries (SDH's regression
+/// target; the 0/1 convention keeps the code update balanced when classes
+/// are many).
+pub fn label_matrix(labels: &[usize], num_classes: usize) -> Matrix {
+    let mut y = Matrix::zeros(labels.len(), num_classes);
+    for (i, &l) in labels.iter().enumerate() {
+        y[(i, l)] = 1.0;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrip() {
+        let signs = Matrix::from_rows(&[&[1.0, -1.0, 1.0], &[-1.0, -1.0, -1.0]]);
+        let codes = BitCodes::from_sign_matrix(&signs);
+        assert_eq!(codes.len(), 2);
+        assert_eq!(codes.bits(), 3);
+        assert_eq!(codes.item(0)[0], 0b101);
+        assert_eq!(codes.item(1)[0], 0);
+        assert_eq!(codes.distance(0, &codes, 1), 2);
+    }
+
+    #[test]
+    fn packing_handles_more_than_64_bits() {
+        let signs = Matrix::from_fn(1, 70, |_, j| if j % 2 == 0 { 1.0 } else { -1.0 });
+        let codes = BitCodes::from_sign_matrix(&signs);
+        assert_eq!(codes.item(0).len(), 2);
+        let total: u32 = codes.item(0).iter().map(|w| w.count_ones()).sum();
+        assert_eq!(total, 35);
+    }
+
+    #[test]
+    fn storage_bytes_formula() {
+        let signs = Matrix::zeros(10, 32);
+        let codes = BitCodes::from_sign_matrix(&signs);
+        assert_eq!(codes.storage_bytes(), 40); // 10 items × 4 bytes
+    }
+
+    #[test]
+    fn sign_matrix_convention() {
+        let m = Matrix::from_rows(&[&[0.5, 0.0, -0.5]]);
+        assert_eq!(sign_matrix(&m).as_slice(), &[1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn label_matrix_zero_one() {
+        let y = label_matrix(&[1, 0], 3);
+        assert_eq!(y.row(0), &[0.0, 1.0, 0.0]);
+        assert_eq!(y.row(1), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn hamming_ranker_prefers_identical_codes() {
+        struct IdentityHasher;
+        impl BinaryHasher for IdentityHasher {
+            fn hash(&self, x: &Matrix) -> BitCodes {
+                BitCodes::from_sign_matrix(x)
+            }
+            fn bits(&self) -> usize {
+                4
+            }
+        }
+        let db = Matrix::from_rows(&[
+            &[-1.0, -1.0, -1.0, -1.0],
+            &[1.0, 1.0, -1.0, -1.0],
+            &[1.0, 1.0, 1.0, 1.0],
+        ]);
+        let hasher = IdentityHasher;
+        let ranker = HammingRanker::new(&hasher, &db);
+        let rank = ranker.rank(&[1.0, 1.0, -1.0, -1.0]);
+        assert_eq!(rank[0], 1);
+        assert_eq!(ranker.database_len(), 3);
+    }
+}

@@ -1,0 +1,438 @@
+//! The deep binary-hashing family: DPSH, HashNet, DSDH, CSQ.
+//!
+//! All four share one architecture — an MLP backbone over pretrained
+//! embeddings ending in a `tanh`-relaxed hash layer — and differ in loss:
+//!
+//! * **DPSH** (Li et al., 2015): pairwise likelihood
+//!   `Σ log(1 + e^{θ_ij}) − s_ij·θ_ij` with `θ = ½·uᵢᵀuⱼ`, plus a
+//!   quantization penalty `η·‖u − sign(u)‖²`.
+//! * **HashNet** (Cao et al., ICCV 2017): the same pairwise likelihood but
+//!   weighted to counter similar/dissimilar pair imbalance, with `tanh(β·z)`
+//!   continuation (β grows during training so the relaxation sharpens).
+//! * **DSDH** (Li et al., NeurIPS 2017): DPSH's pairwise term plus a linear
+//!   classification head on the codes.
+//! * **CSQ** (Yuan et al., CVPR 2020): central similarity — each class gets
+//!   a Hadamard-derived binary center; codes are pulled to their center with
+//!   a binary cross-entropy, plus a quantization penalty.
+
+use lt_data::{BatchIter, Dataset};
+use lt_linalg::random::rng as seed_rng;
+use lt_linalg::Matrix;
+use lt_tensor::nn::{Linear, Mlp};
+use lt_tensor::optim::{AdamW, Optimizer};
+use lt_tensor::{Init, ParamStore, Tape, Var};
+use rand::SeedableRng;
+
+use crate::common::{sign_matrix, BinaryHasher, BitCodes};
+
+/// Which member of the family to train.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeepHashKind {
+    /// Deep pairwise-supervised hashing.
+    Dpsh,
+    /// HashNet: weighted pairwise + tanh continuation.
+    HashNet,
+    /// Deep supervised discrete hashing (pairwise + classification).
+    Dsdh,
+    /// Central similarity quantization.
+    Csq,
+}
+
+/// Configuration shared by the family.
+#[derive(Debug, Clone)]
+pub struct DeepHashConfig {
+    /// Variant.
+    pub kind: DeepHashKind,
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+    /// Backbone hidden width.
+    pub hidden: usize,
+    /// Code length in bits.
+    pub bits: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Quantization-penalty weight η.
+    pub eta: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeepHashConfig {
+    fn default() -> Self {
+        Self {
+            kind: DeepHashKind::Dpsh,
+            input_dim: 64,
+            hidden: 128,
+            bits: 32,
+            num_classes: 10,
+            epochs: 15,
+            batch_size: 64,
+            learning_rate: 3e-3,
+            eta: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+/// A trained deep hash model.
+pub struct DeepHash {
+    config: DeepHashConfig,
+    store: ParamStore,
+    backbone: Mlp,
+    classifier: Option<Linear>,
+    /// CSQ's per-class Hadamard centers (`C × bits`, entries ±1).
+    centers: Option<Matrix>,
+    /// Final continuation sharpness (HashNet).
+    beta: f32,
+}
+
+/// Builds a `bits × bits` Hadamard matrix by Sylvester's construction
+/// (requires `bits` to be a power of two) and returns the first
+/// `num_classes` rows as ±1 centers. When `num_classes > bits`, negated
+/// rows are appended, and beyond `2·bits` classes the remaining centers are
+/// random ±1 vectors — both fallbacks follow the CSQ paper's center
+/// construction.
+pub fn hadamard_centers(bits: usize, num_classes: usize) -> Matrix {
+    assert!(bits > 0, "need at least one bit");
+    // Build the Hadamard matrix at the next power of two and keep the first
+    // `bits` columns; truncated rows remain well-separated.
+    let p = bits.next_power_of_two();
+    let mut h = vec![1.0f32; p * p];
+    let mut size = 1;
+    while size < p {
+        for i in 0..size {
+            for j in 0..size {
+                let v = h[i * p + j];
+                h[i * p + (j + size)] = v;
+                h[(i + size) * p + j] = v;
+                h[(i + size) * p + (j + size)] = -v;
+            }
+        }
+        size *= 2;
+    }
+    // Deterministic Bernoulli(±1) stream for classes beyond 2·bits.
+    let mut state = 0x853C_49E6_748F_EA9Bu64;
+    let mut coin = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        if (state >> 33) & 1 == 1 {
+            1.0f32
+        } else {
+            -1.0
+        }
+    };
+    Matrix::from_fn(num_classes, bits, |c, j| {
+        if c < p {
+            h[c * p + j]
+        } else if c < 2 * p {
+            -h[(c - p) * p + j]
+        } else {
+            // Row-major from_fn visits (c, j) in order, so the stream is
+            // deterministic per (bits, num_classes).
+            let _ = (c, j);
+            coin()
+        }
+    })
+}
+
+impl DeepHash {
+    /// Trains the chosen variant on a labeled dataset.
+    pub fn fit(config: DeepHashConfig, train: &Dataset) -> Self {
+        assert_eq!(train.dim(), config.input_dim, "input dim mismatch");
+        let mut store = ParamStore::new();
+        let mut r = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let backbone = Mlp::new(
+            &mut store,
+            "net",
+            &[config.input_dim, config.hidden, config.bits],
+            &mut r,
+        );
+        let classifier = if config.kind == DeepHashKind::Dsdh {
+            Some(Linear::new(
+                &mut store,
+                "cls",
+                config.bits,
+                config.num_classes,
+                Init::XavierUniform,
+                &mut r,
+            ))
+        } else {
+            None
+        };
+        let centers = if config.kind == DeepHashKind::Csq {
+            Some(hadamard_centers(config.bits, config.num_classes))
+        } else {
+            None
+        };
+
+        let mut model =
+            Self { config: config.clone(), store, backbone, classifier, centers, beta: 1.0 };
+        let mut opt = AdamW::new(config.learning_rate);
+        let mut data_rng = seed_rng(config.seed.wrapping_add(99));
+
+        for epoch in 0..config.epochs {
+            // HashNet continuation: sharpen tanh over training.
+            model.beta = match config.kind {
+                DeepHashKind::HashNet => 1.0 + (epoch as f32 / config.epochs.max(1) as f32) * 4.0,
+                _ => 1.0,
+            };
+            for batch in BatchIter::new(train, config.batch_size, &mut data_rng) {
+                model.store.zero_grads();
+                model.train_step(&batch.features, &batch.labels);
+                let norm = model.store.grad_norm();
+                if norm > 5.0 {
+                    model.store.scale_grads(5.0 / norm);
+                }
+                opt.step(&mut model.store);
+            }
+        }
+        model
+    }
+
+    /// Relaxed (pre-sign) codes on the tape.
+    fn codes_tape(&self, tape: &mut Tape, x: Var) -> Var {
+        let z = self.backbone.forward(tape, &self.store, x);
+        let scaled = tape.scale(z, self.beta);
+        tape.tanh(scaled)
+    }
+
+    fn train_step(&mut self, features: &Matrix, labels: &[usize]) {
+        let n = labels.len();
+        let mut tape = Tape::new();
+        let x = tape.constant(features.clone());
+        let u = self.codes_tape(&mut tape, x);
+
+        // Pairwise similarity matrix s_ij ∈ {0, 1}.
+        let s = Matrix::from_fn(n, n, |i, j| f32::from(labels[i] == labels[j]));
+        // Pair weights: HashNet balances similar vs dissimilar pairs.
+        let pair_weights = if self.config.kind == DeepHashKind::HashNet {
+            let total = (n * n) as f32;
+            let sim = s.sum().max(1.0);
+            let dis = (total - s.sum()).max(1.0);
+            Matrix::from_fn(n, n, |i, j| {
+                if labels[i] == labels[j] {
+                    total / (2.0 * sim)
+                } else {
+                    total / (2.0 * dis)
+                }
+            })
+        } else {
+            Matrix::full(n, n, 1.0)
+        };
+
+        let loss = match self.config.kind {
+            DeepHashKind::Dpsh | DeepHashKind::HashNet | DeepHashKind::Dsdh => {
+                // θ = ½ U·Uᵀ ; L = mean w ⊙ (log(1 + e^θ) − s·θ).
+                let theta_raw = tape.matmul_bt(u, u);
+                let theta = tape.scale(theta_raw, 0.5);
+                let e = tape.exp(theta);
+                let e1 = tape.add_scalar(e, 1.0);
+                let log1p = tape.ln(e1);
+                let s_const = tape.constant(s);
+                let s_theta = tape.hadamard(s_const, theta);
+                let per_pair = tape.sub(log1p, s_theta);
+                let w_const = tape.constant(pair_weights);
+                let weighted = tape.hadamard(per_pair, w_const);
+                let pair_loss = tape.mean(weighted);
+
+                // Quantization penalty η·mean((u − sign(u))²).
+                let hard = tape.constant(sign_matrix(tape.value(u)));
+                let qdiff = tape.sub(u, hard);
+                let qsq = tape.square(qdiff);
+                let qmean = tape.mean(qsq);
+                let qscaled = tape.scale(qmean, self.config.eta);
+                let mut total = tape.add(pair_loss, qscaled);
+
+                if let Some(cls) = &self.classifier {
+                    // DSDH classification term.
+                    let logits = cls.forward(&mut tape, &self.store, u);
+                    let logp = tape.log_softmax_rows(logits);
+                    let ones = vec![1.0f32; n];
+                    let ce = tape.nll_weighted(logp, labels, &ones);
+                    total = tape.add(total, ce);
+                }
+                total
+            }
+            DeepHashKind::Csq => {
+                // BCE of (u+1)/2 against the class center bits, plus a
+                // quantization penalty pulling |u| toward 1.
+                let centers = self.centers.as_ref().expect("CSQ has centers");
+                let target = Matrix::from_fn(n, self.config.bits, |i, j| {
+                    (centers[(labels[i], j)] + 1.0) * 0.5
+                });
+                let u1 = tape.add_scalar(u, 1.0);
+                let p = tape.scale(u1, 0.5); // (u+1)/2 ∈ (0, 1)
+                let p_clamped = tape.scale(p, 0.999_8); // keep ln() away from 0/1
+                let p_safe = tape.add_scalar(p_clamped, 1e-4);
+                let ln_p = tape.ln(p_safe);
+                let one_minus = tape.scale(p_safe, -1.0);
+                let one_minus = tape.add_scalar(one_minus, 1.0);
+                let ln_q = tape.ln(one_minus);
+                let t_const = tape.constant(target.clone());
+                let t_neg = tape.scale(t_const, -1.0);
+                let t_neg1 = tape.add_scalar(t_neg, 1.0);
+                let term1 = tape.hadamard(t_const, ln_p);
+                let term2 = tape.hadamard(t_neg1, ln_q);
+                let bce_sum = tape.add(term1, term2);
+                let bce = tape.mean(bce_sum);
+                let bce_neg = tape.scale(bce, -1.0);
+
+                let sq = tape.square(u);
+                let sq_m1 = tape.add_scalar(sq, -1.0);
+                let qpen = tape.square(sq_m1);
+                let qmean = tape.mean(qpen);
+                let qscaled = tape.scale(qmean, self.config.eta);
+                tape.add(bce_neg, qscaled)
+            }
+        };
+
+        let grads = tape.backward(loss);
+        tape.accumulate_param_grads(&grads, &mut self.store);
+    }
+
+    /// Relaxed codes for a batch (inference, pre-sign).
+    pub fn relaxed_codes(&self, x: &Matrix) -> Matrix {
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let u = {
+            let z = self.backbone.forward(&mut tape, &self.store, xv);
+            let scaled = tape.scale(z, self.beta);
+            tape.tanh(scaled)
+        };
+        tape.value(u).clone()
+    }
+}
+
+impl BinaryHasher for DeepHash {
+    fn hash(&self, x: &Matrix) -> BitCodes {
+        BitCodes::from_sign_matrix(&sign_matrix(&self.relaxed_codes(x)))
+    }
+
+    fn bits(&self) -> usize {
+        self.config.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::HammingRanker;
+    use lt_data::synth::{generate_split, Domain, SynthConfig};
+    use lt_eval::evaluate_map;
+
+    fn tiny_task() -> lt_data::RetrievalSplit {
+        generate_split(&SynthConfig {
+            num_classes: 4,
+            dim: 16,
+            pi1: 30,
+            imbalance_factor: 5.0,
+            n_query: 16,
+            n_database: 80,
+            domain: Domain::ImageLike,
+            intra_class_std: None,
+            seed: 42,
+        })
+    }
+
+    fn config(kind: DeepHashKind) -> DeepHashConfig {
+        DeepHashConfig {
+            kind,
+            input_dim: 16,
+            hidden: 32,
+            bits: 16,
+            num_classes: 4,
+            epochs: 8,
+            batch_size: 32,
+            learning_rate: 3e-3,
+            eta: 0.1,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn hadamard_rows_orthogonal() {
+        let h = hadamard_centers(8, 8);
+        for i in 0..8 {
+            for j in 0..8 {
+                let dot: f32 = h.row(i).iter().zip(h.row(j)).map(|(a, b)| a * b).sum();
+                let expect = if i == j { 8.0 } else { 0.0 };
+                assert_eq!(dot, expect, "rows {i},{j}");
+            }
+        }
+        assert!(h.as_slice().iter().all(|&v| v == 1.0 || v == -1.0));
+    }
+
+    #[test]
+    fn hadamard_extends_with_negated_rows() {
+        let h = hadamard_centers(4, 8);
+        for c in 0..4 {
+            for j in 0..4 {
+                assert_eq!(h[(c + 4, j)], -h[(c, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_bits_truncate_hadamard() {
+        let h = hadamard_centers(12, 6);
+        assert_eq!(h.shape(), (6, 12));
+        assert!(h.as_slice().iter().all(|&v| v == 1.0 || v == -1.0));
+        // Truncated rows stay mutually distant (≥ bits/4 differing bits).
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let diff = h.row(i).iter().zip(h.row(j)).filter(|(a, b)| a != b).count();
+                assert!(diff >= 3, "rows {i},{j} differ in only {diff} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn hadamard_random_fallback_beyond_2bits_classes() {
+        let h = hadamard_centers(8, 20);
+        assert_eq!(h.shape(), (20, 8));
+        assert!(h.as_slice().iter().all(|&v| v == 1.0 || v == -1.0));
+        // Deterministic across calls.
+        assert_eq!(h, hadamard_centers(8, 20));
+        // The random rows are not copies of each other.
+        assert_ne!(h.row(17), h.row(18));
+    }
+
+    /// All four variants should beat unsupervised chance on a separable task.
+    #[test]
+    fn all_variants_learn_useful_codes() {
+        let split = tiny_task();
+        for kind in [
+            DeepHashKind::Dpsh,
+            DeepHashKind::HashNet,
+            DeepHashKind::Dsdh,
+            DeepHashKind::Csq,
+        ] {
+            let model = DeepHash::fit(config(kind), &split.train);
+            let ranker = HammingRanker::new(&model, &split.database.features);
+            let map = evaluate_map(
+                &ranker,
+                &split.query.features,
+                &split.query.labels,
+                &split.database.labels,
+            );
+            // Chance MAP ≈ class prior (~0.25–0.35 with long-tail db).
+            assert!(map > 0.45, "{kind:?} MAP only {map:.3}");
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let split = tiny_task();
+        let a = DeepHash::fit(config(DeepHashKind::Dpsh), &split.train);
+        let b = DeepHash::fit(config(DeepHashKind::Dpsh), &split.train);
+        assert_eq!(
+            a.hash(&split.query.features),
+            b.hash(&split.query.features)
+        );
+    }
+}

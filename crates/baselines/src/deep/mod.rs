@@ -1,0 +1,6 @@
+//! Deep baselines trained end-to-end on the `lt-tensor` autodiff stack.
+
+pub mod deep_hash;
+pub mod dpq;
+pub mod kde;
+pub mod lthnet;

@@ -1,0 +1,29 @@
+//! `lt-baselines`: the hashing/quantization baselines LightLT is compared
+//! against in Tables II and III.
+//!
+//! Implemented from their defining equations:
+//!
+//! * **Shallow** — [`shallow::lsh::Lsh`] (random hyperplanes),
+//!   [`shallow::pcah::Pcah`], [`shallow::itq::Itq`] (PCA + Procrustes
+//!   rotation), [`shallow::sdh::Sdh`] (alternating discrete regression,
+//!   linear variant), [`shallow::pq::Pq`] / [`shallow::pq::Opq`]
+//!   (k-means product quantization ± learned rotation).
+//! * **Deep** — [`deep::deep_hash::DeepHash`] covering DPSH, HashNet, DSDH,
+//!   and CSQ via one shared architecture with per-method losses;
+//!   [`deep::dpq::Dpq`] (differentiable product quantization);
+//!   [`deep::kde::Kde`] (K-way D-dimensional discrete codes);
+//!   [`deep::lthnet::LthNet`] (long-tail hashing with a prototype-memory
+//!   meta-embedding).
+//!
+//! Table II rows the paper itself copies from the LTHNet paper without
+//! running (KNNH, FastHash, FSSH, COSDISH, SCDH) are *not* reimplemented;
+//! the Table-II bench prints them as clearly-labeled reference values
+//! (DESIGN.md §3).
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod deep;
+pub mod shallow;
+
+pub use common::{AdcIndex, BinaryHasher, BitCodes, HammingRanker};

@@ -1,0 +1,108 @@
+//! Iterative Quantization (ITQ; Gong et al., TPAMI 2013).
+//!
+//! PCA to `B` dimensions, then alternate:
+//! 1. `B = sign(V · R)` (binary codes given rotation),
+//! 2. `R = argmin_R ‖B − V·R‖_F` (orthogonal Procrustes),
+//!
+//! which minimizes the quantization error of mapping centered data onto the
+//! binary hypercube.
+
+use lt_linalg::gemm::matmul;
+use lt_linalg::pca::Pca;
+use lt_linalg::random::rng;
+use lt_linalg::svd::procrustes_rotation;
+use lt_linalg::Matrix;
+
+use crate::common::{sign_matrix, BinaryHasher, BitCodes};
+
+/// ITQ hashing: PCA projection plus a learned rotation.
+#[derive(Debug, Clone)]
+pub struct Itq {
+    pca: Pca,
+    rotation: Matrix,
+}
+
+impl Itq {
+    /// Fits ITQ with `iters` alternating updates.
+    pub fn fit(train: &Matrix, bits: usize, iters: usize, seed: u64) -> Self {
+        let pca = Pca::fit(train, bits);
+        let v = pca.transform(train);
+        let b = v.cols(); // effective bits (clamped to dim)
+
+        // Random orthogonal init: eigenvectors of a random symmetric matrix.
+        let mut r = rng(seed);
+        let sym = {
+            let g = lt_linalg::random::randn(b, b, &mut r);
+            lt_linalg::gemm::matmul_at_b(&g, &g)
+        };
+        let mut rotation = lt_linalg::eigen::eigen_symmetric(&sym).vectors;
+
+        for _ in 0..iters {
+            let projected = matmul(&v, &rotation);
+            let codes = sign_matrix(&projected);
+            // R ← argmin ‖codes − V·R‖.
+            rotation = procrustes_rotation(&v, &codes);
+        }
+        Self { pca, rotation }
+    }
+
+    /// Quantization error `‖sign(VR) − VR‖_F` on a dataset (diagnostic; ITQ
+    /// monotonically reduces this during fitting).
+    pub fn quantization_error(&self, x: &Matrix) -> f32 {
+        let v = matmul(&self.pca.transform(x), &self.rotation);
+        sign_matrix(&v).sub(&v).frobenius_norm()
+    }
+}
+
+impl BinaryHasher for Itq {
+    fn hash(&self, x: &Matrix) -> BitCodes {
+        let projected = matmul(&self.pca.transform(x), &self.rotation);
+        BitCodes::from_sign_matrix(&sign_matrix(&projected))
+    }
+
+    fn bits(&self) -> usize {
+        self.rotation.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::gemm::matmul_at_b;
+    use lt_linalg::random::randn;
+
+    #[test]
+    fn rotation_is_orthogonal() {
+        let train = randn(80, 8, &mut rng(1));
+        let itq = Itq::fit(&train, 8, 20, 2);
+        let g = matmul_at_b(&itq.rotation, &itq.rotation);
+        for i in 0..8 {
+            for j in 0..8 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((g[(i, j)] - expect).abs() < 1e-2, "R not orthogonal at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_reduce_quantization_error() {
+        let train = randn(120, 10, &mut rng(3));
+        let early = Itq::fit(&train, 8, 1, 4);
+        let late = Itq::fit(&train, 8, 30, 4);
+        let e_early = early.quantization_error(&train);
+        let e_late = late.quantization_error(&train);
+        assert!(
+            e_late <= e_early + 1e-3,
+            "ITQ failed to reduce quantization error: {e_early} → {e_late}"
+        );
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let train = randn(40, 6, &mut rng(5));
+        let a = Itq::fit(&train, 4, 10, 6);
+        let b = Itq::fit(&train, 4, 10, 6);
+        let x = randn(7, 6, &mut rng(7));
+        assert_eq!(a.hash(&x), b.hash(&x));
+    }
+}

@@ -1,0 +1,66 @@
+//! Locality-Sensitive Hashing (Gionis et al., VLDB 1999).
+//!
+//! Data-independent random-hyperplane hashing: `h(x) = sign(x · W)` with
+//! Gaussian `W`. The weakest baseline in both Table II and Table III.
+
+use lt_linalg::random::{randn, rng};
+use lt_linalg::Matrix;
+
+use crate::common::{sign_matrix, BinaryHasher, BitCodes};
+
+/// Random-hyperplane LSH with `bits` hyperplanes.
+#[derive(Debug, Clone)]
+pub struct Lsh {
+    projection: Matrix,
+}
+
+impl Lsh {
+    /// Draws `bits` random Gaussian hyperplanes in `dim` dimensions.
+    pub fn new(dim: usize, bits: usize, seed: u64) -> Self {
+        assert!(dim > 0 && bits > 0);
+        let mut r = rng(seed);
+        Self { projection: randn(dim, bits, &mut r) }
+    }
+}
+
+impl BinaryHasher for Lsh {
+    fn hash(&self, x: &Matrix) -> BitCodes {
+        let projected = lt_linalg::gemm::matmul(x, &self.projection);
+        BitCodes::from_sign_matrix(&sign_matrix(&projected))
+    }
+
+    fn bits(&self) -> usize {
+        self.projection.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::random::randn as randn_fn;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Lsh::new(8, 16, 3);
+        let b = Lsh::new(8, 16, 3);
+        let x = randn_fn(5, 8, &mut rng(1));
+        assert_eq!(a.hash(&x), b.hash(&x));
+        assert_eq!(a.bits(), 16);
+    }
+
+    #[test]
+    fn nearby_points_share_most_bits() {
+        let lsh = Lsh::new(16, 64, 7);
+        let mut r = rng(2);
+        let base = randn_fn(1, 16, &mut r);
+        let near = base.map(|v| v + 1e-4);
+        let far = base.scale(-1.0);
+        let cb = lsh.hash(&base);
+        let cn = lsh.hash(&near);
+        let cf = lsh.hash(&far);
+        let d_near = cb.distance(0, &cn, 0);
+        let d_far = cb.distance(0, &cf, 0);
+        assert!(d_near < 4, "near distance {d_near}");
+        assert_eq!(d_far, 64, "antipodal point flips every hyperplane bit");
+    }
+}

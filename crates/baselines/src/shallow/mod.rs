@@ -1,0 +1,8 @@
+//! Shallow (non-deep) baselines: data-independent and linear/alternating
+//! methods operating directly on pretrained embeddings.
+
+pub mod itq;
+pub mod lsh;
+pub mod pcah;
+pub mod pq;
+pub mod sdh;

@@ -1,0 +1,61 @@
+//! PCA Hashing (PCAH; Gong et al.'s baseline in the ITQ paper).
+//!
+//! Project onto the top-`B` principal directions of the training data and
+//! threshold each at zero (data is mean-centered by the PCA transform).
+
+use lt_linalg::pca::Pca;
+use lt_linalg::Matrix;
+
+use crate::common::{sign_matrix, BinaryHasher, BitCodes};
+
+/// PCA hashing with `bits` principal directions.
+#[derive(Debug, Clone)]
+pub struct Pcah {
+    pca: Pca,
+}
+
+impl Pcah {
+    /// Fits PCA on training features.
+    pub fn fit(train: &Matrix, bits: usize) -> Self {
+        Self { pca: Pca::fit(train, bits) }
+    }
+}
+
+impl BinaryHasher for Pcah {
+    fn hash(&self, x: &Matrix) -> BitCodes {
+        let projected = self.pca.transform(x);
+        BitCodes::from_sign_matrix(&sign_matrix(&projected))
+    }
+
+    fn bits(&self) -> usize {
+        self.pca.k()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::random::{randn, rng};
+
+    #[test]
+    fn bits_clamped_to_dim() {
+        let train = randn(50, 6, &mut rng(1));
+        let h = Pcah::fit(&train, 32);
+        assert_eq!(h.bits(), 6);
+    }
+
+    #[test]
+    fn separated_clusters_get_distinct_codes() {
+        let mut r = rng(2);
+        let a = randn(30, 8, &mut r).map(|v| v * 0.1 + 3.0);
+        let b = randn(30, 8, &mut r).map(|v| v * 0.1 - 3.0);
+        let train = Matrix::vstack(&[&a, &b]);
+        let h = Pcah::fit(&train, 4);
+        let ca = h.hash(&a);
+        let cb = h.hash(&b);
+        // Within-cluster distance << between-cluster distance on average.
+        let within = ca.distance(0, &ca, 1);
+        let between = ca.distance(0, &cb, 0);
+        assert!(between > within, "between {between} vs within {within}");
+    }
+}

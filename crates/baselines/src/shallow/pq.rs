@@ -1,0 +1,287 @@
+//! Product Quantization (PQ; Jégou et al., TPAMI 2011) and Optimized
+//! Product Quantization (OPQ; Ge et al., CVPR 2014).
+//!
+//! PQ splits the `d`-dimensional space into `M` contiguous subspaces,
+//! k-means-codebooks each with `K` centroids, and ranks queries by
+//! asymmetric distance (per-subspace lookup tables). OPQ additionally
+//! learns an orthogonal rotation minimizing quantization error by
+//! alternating PQ fitting with an orthogonal-Procrustes update.
+
+use lt_eval::Ranker;
+use lt_linalg::distance::squared_l2;
+use lt_linalg::gemm::matmul;
+use lt_linalg::kmeans::{kmeans, KMeansConfig};
+use lt_linalg::random::rng;
+use lt_linalg::svd::procrustes_rotation;
+use lt_linalg::Matrix;
+
+/// A trained product quantizer.
+#[derive(Debug, Clone)]
+pub struct Pq {
+    /// One `K × (d/M)` codebook per subspace.
+    codebooks: Vec<Matrix>,
+    sub_dim: usize,
+    k: usize,
+}
+
+impl Pq {
+    /// Fits PQ with `m` subspaces of `k` centroids each.
+    ///
+    /// # Panics
+    /// Panics unless the feature dimension divides evenly by `m`.
+    pub fn fit(train: &Matrix, m: usize, k: usize, seed: u64) -> Self {
+        assert!(m > 0 && k > 1);
+        assert_eq!(
+            train.cols() % m,
+            0,
+            "PQ requires dim ({}) divisible by M ({m})",
+            train.cols()
+        );
+        let sub_dim = train.cols() / m;
+        let mut r = rng(seed);
+        let codebooks = (0..m)
+            .map(|s| {
+                let sub = subspace(train, s, sub_dim);
+                kmeans(&sub, KMeansConfig { k, max_iters: 25, tol: 1e-4 }, &mut r).centroids
+            })
+            .collect();
+        Self { codebooks, sub_dim, k }
+    }
+
+    /// Number of subspaces `M`.
+    pub fn num_subspaces(&self) -> usize {
+        self.codebooks.len()
+    }
+
+    /// Centroids per subspace `K`.
+    pub fn num_centroids(&self) -> usize {
+        self.k
+    }
+
+    /// Encodes each row into `M` centroid ids.
+    pub fn encode(&self, x: &Matrix) -> Vec<u16> {
+        let m = self.num_subspaces();
+        let mut codes = vec![0u16; x.rows() * m];
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            for (s, cb) in self.codebooks.iter().enumerate() {
+                let sub = &row[s * self.sub_dim..(s + 1) * self.sub_dim];
+                let mut best = 0;
+                let mut best_d = f32::INFINITY;
+                for c in 0..self.k {
+                    let d = squared_l2(sub, cb.row(c));
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                codes[i * m + s] = best as u16;
+            }
+        }
+        codes
+    }
+
+    /// Reconstructs vectors from codes (concatenated centroids).
+    pub fn decode(&self, codes: &[u16], n: usize) -> Matrix {
+        let m = self.num_subspaces();
+        assert_eq!(codes.len(), n * m, "code length mismatch");
+        let mut out = Matrix::zeros(n, m * self.sub_dim);
+        for i in 0..n {
+            for s in 0..m {
+                let id = codes[i * m + s] as usize;
+                let dst = &mut out.row_mut(i)[s * self.sub_dim..(s + 1) * self.sub_dim];
+                dst.copy_from_slice(self.codebooks[s].row(id));
+            }
+        }
+        out
+    }
+
+    /// Mean squared reconstruction error on a dataset (OPQ's objective).
+    pub fn reconstruction_error(&self, x: &Matrix) -> f32 {
+        let codes = self.encode(x);
+        let recon = self.decode(&codes, x.rows());
+        let diff = recon.sub(x);
+        diff.as_slice().iter().map(|v| v * v).sum::<f32>() / x.rows().max(1) as f32
+    }
+}
+
+fn subspace(x: &Matrix, s: usize, sub_dim: usize) -> Matrix {
+    Matrix::from_fn(x.rows(), sub_dim, |i, j| x[(i, s * sub_dim + j)])
+}
+
+/// ADC index over a PQ-encoded database.
+pub struct PqIndex {
+    pq: Pq,
+    codes: Vec<u16>,
+    n: usize,
+}
+
+impl PqIndex {
+    /// Encodes the database.
+    pub fn build(pq: Pq, database: &Matrix) -> Self {
+        let codes = pq.encode(database);
+        Self { pq, codes, n: database.rows() }
+    }
+
+    /// Scores all items for a query (negative squared distance, higher =
+    /// closer) using per-subspace lookup tables.
+    pub fn scores(&self, query: &[f32]) -> Vec<f32> {
+        let m = self.pq.num_subspaces();
+        let k = self.pq.num_centroids();
+        let sub_dim = self.pq.sub_dim;
+        // LUT[s][c] = ‖q_s − C_s[c]‖².
+        let mut lut = vec![0.0f32; m * k];
+        for (s, cb) in self.pq.codebooks.iter().enumerate() {
+            let sub = &query[s * sub_dim..(s + 1) * sub_dim];
+            for c in 0..k {
+                lut[s * k + c] = squared_l2(sub, cb.row(c));
+            }
+        }
+        (0..self.n)
+            .map(|i| {
+                let mut d = 0.0;
+                for s in 0..m {
+                    d += lut[s * k + self.codes[i * m + s] as usize];
+                }
+                -d
+            })
+            .collect()
+    }
+}
+
+impl Ranker for PqIndex {
+    fn rank(&self, query: &[f32]) -> Vec<usize> {
+        lt_linalg::topk::rank_all(&self.scores(query))
+    }
+
+    fn database_len(&self) -> usize {
+        self.n
+    }
+}
+
+/// Optimized Product Quantization: rotation + PQ.
+#[derive(Debug, Clone)]
+pub struct Opq {
+    rotation: Matrix,
+    pq: Pq,
+}
+
+impl Opq {
+    /// Fits OPQ with `iters` alternations of PQ fitting and Procrustes
+    /// rotation updates.
+    pub fn fit(train: &Matrix, m: usize, k: usize, iters: usize, seed: u64) -> Self {
+        let d = train.cols();
+        let mut rotation = Matrix::identity(d);
+        let mut pq = Pq::fit(train, m, k, seed);
+        for it in 0..iters {
+            let rotated = matmul(train, &rotation);
+            pq = Pq::fit(&rotated, m, k, seed.wrapping_add(it as u64 + 1));
+            // Rotation update: align X with the reconstruction of X·R.
+            let codes = pq.encode(&rotated);
+            let recon = pq.decode(&codes, rotated.rows());
+            rotation = procrustes_rotation(train, &recon);
+        }
+        Self { rotation, pq }
+    }
+
+    /// Rotates then encodes.
+    pub fn encode(&self, x: &Matrix) -> Vec<u16> {
+        self.pq.encode(&matmul(x, &self.rotation))
+    }
+
+    /// Builds an ADC index over a database.
+    pub fn build_index(&self, database: &Matrix) -> PqIndex {
+        PqIndex::build(self.pq.clone(), &matmul(database, &self.rotation))
+    }
+
+    /// Rotates a query into the OPQ space (callers must rotate queries
+    /// before searching the index from [`Opq::build_index`]).
+    pub fn rotate_query(&self, q: &[f32]) -> Vec<f32> {
+        let qm = Matrix::from_vec(1, q.len(), q.to_vec());
+        matmul(&qm, &self.rotation).into_vec()
+    }
+
+    /// Mean squared reconstruction error in the rotated space.
+    pub fn reconstruction_error(&self, x: &Matrix) -> f32 {
+        self.pq.reconstruction_error(&matmul(x, &self.rotation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::random::randn;
+
+    fn data(seed: u64) -> Matrix {
+        randn(120, 8, &mut rng(seed))
+    }
+
+    #[test]
+    fn encode_decode_shapes() {
+        let x = data(1);
+        let pq = Pq::fit(&x, 4, 8, 2);
+        let codes = pq.encode(&x);
+        assert_eq!(codes.len(), 120 * 4);
+        assert!(codes.iter().all(|&c| (c as usize) < 8));
+        let recon = pq.decode(&codes, 120);
+        assert_eq!(recon.shape(), (120, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by M")]
+    fn rejects_indivisible_dims() {
+        let x = data(2);
+        let _ = Pq::fit(&x, 3, 8, 1);
+    }
+
+    #[test]
+    fn more_centroids_reduce_error() {
+        let x = data(3);
+        let coarse = Pq::fit(&x, 4, 2, 4);
+        let fine = Pq::fit(&x, 4, 32, 4);
+        assert!(fine.reconstruction_error(&x) < coarse.reconstruction_error(&x));
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn adc_scores_match_reconstructed_distances() {
+        let x = data(5);
+        let pq = Pq::fit(&x, 2, 8, 6);
+        let idx = PqIndex::build(pq.clone(), &x);
+        let q: Vec<f32> = (0..8).map(|i| i as f32 * 0.1).collect();
+        let scores = idx.scores(&q);
+        let codes = pq.encode(&x);
+        let recon = pq.decode(&codes, x.rows());
+        for i in 0..x.rows() {
+            let direct = -squared_l2(&q, recon.row(i));
+            assert!((scores[i] - direct).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn opq_no_worse_than_pq_on_correlated_data() {
+        // Correlated dimensions are PQ's weakness; OPQ's rotation decorrelates.
+        let mut r = rng(7);
+        let latent = randn(150, 4, &mut r);
+        let mix = randn(4, 8, &mut r);
+        let x = matmul(&latent, &mix);
+        let pq_err = Pq::fit(&x, 4, 4, 8).reconstruction_error(&x);
+        let opq = Opq::fit(&x, 4, 4, 8, 8);
+        let opq_err = opq.reconstruction_error(&x);
+        assert!(
+            opq_err <= pq_err * 1.05,
+            "OPQ err {opq_err} should not exceed PQ err {pq_err}"
+        );
+    }
+
+    #[test]
+    fn pq_ranker_finds_exact_match() {
+        let x = data(9);
+        let pq = Pq::fit(&x, 4, 16, 10);
+        let idx = PqIndex::build(pq, &x);
+        let rank = idx.rank(x.row(17));
+        // The query's own quantization cell should rank at/near the top.
+        let pos = rank.iter().position(|&i| i == 17).unwrap();
+        assert!(pos < 12, "self-match ranked {pos}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Extension ablation (DESIGN.md §7): accuracy/storage trade-off across
+//! code budgets — sweeping the number of codebooks `M` and codewords `K`.
+//!
+//! The paper fixes 32-bit codes (M=4, K=256); this bench maps the
+//! neighborhood: how MAP and storage respond to halving/doubling the code
+//! budget, and how M-vs-K splits compare at a fixed bit budget.
+//!
+//! Run: `cargo bench -p lt-bench --bench ablation_code_budget`
+
+use lt_bench::{lightlt_config, load_dataset, run_lightlt, BenchParams, Measurement, Scale};
+use lt_data::{spec, DatasetKind};
+use lt_eval::{fmt_map, Table};
+use lightlt_core::ComplexityModel;
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = BenchParams::for_scale(scale);
+    let s = spec(DatasetKind::Cifar100, 50);
+    let split = load_dataset(&s, scale, &params, 4242);
+    let n_db = split.database.len();
+
+    // (M, K) sweep: same-budget splits and total-budget halves/doubles.
+    let sweeps: Vec<(usize, usize)> = vec![
+        (2, 16),  // 8 bits
+        (4, 16),  // 16 bits
+        (2, 256), // 16 bits, K-heavy split
+        (8, 4),   // 16 bits, M-heavy split
+        (4, 64),  // 24 bits
+        (4, 256), // 32 bits (paper setting)
+    ];
+
+    let mut table = Table::new(
+        format!("Ablation — code budget (Cifar100 IF=50, {scale:?} scale)"),
+        &["M", "K", "bits", "MAP", "bytes/item", "compression"],
+    );
+    let mut measurements = Vec::new();
+
+    for (m, k) in sweeps {
+        eprintln!("[ablation] M={m} K={k}");
+        let mut config = lightlt_config(&s, &params, 1, 31);
+        config.num_codebooks = m;
+        config.num_codewords = k;
+        let map = run_lightlt(&config, &split);
+        let bits = config.code_bits();
+        let model = ComplexityModel::new(config.embed_dim, m, k, n_db.max(1));
+        table.row(&[
+            m.to_string(),
+            k.to_string(),
+            bits.to_string(),
+            fmt_map(map),
+            format!("{:.2}", bits as f64 / 8.0),
+            format!("{:.2}", model.compression_ratio()),
+        ]);
+        measurements.push(Measurement {
+            method: format!("M{m}_K{k}"),
+            dataset: "Cifar100".into(),
+            imbalance_factor: 50,
+            map,
+            paper_map: None,
+        });
+    }
+    println!("{}", table.render());
+    println!(
+        "Expected shape: MAP grows with the bit budget and saturates; at a\n\
+         fixed budget, more codebooks (residual depth) beats a single huge\n\
+         codebook once K exceeds what the data supports."
+    );
+    lt_bench::write_artifact("ablation_code_budget", scale, measurements);
+}

@@ -1,0 +1,103 @@
+//! Extension ablation (DESIGN.md §7): the training knobs LightLT's
+//! stability depends on — the tempered-softmax temperature `t` (Eqn. 5),
+//! the class-weight strength `γ` (Eqn. 12), and the codebook-skip warmup
+//! fraction this implementation adds (see `LightLtConfig`).
+//!
+//! Run: `cargo bench -p lt-bench --bench ablation_training_knobs`
+
+use lt_bench::{lightlt_config, load_dataset, run_lightlt, BenchParams, Measurement, Scale};
+use lt_data::{spec, DatasetKind};
+use lt_eval::{fmt_map, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = BenchParams::for_scale(scale);
+    let s = spec(DatasetKind::Cifar100, 100);
+    let split = load_dataset(&s, scale, &params, 5151);
+    let mut measurements = Vec::new();
+
+    // Temperature sweep.
+    let mut t_table = Table::new(
+        format!("Ablation — STE temperature (Cifar100 IF=100, {scale:?} scale)"),
+        &["temperature", "MAP"],
+    );
+    for temp in [0.05f32, 0.1, 0.2, 0.5, 1.0] {
+        eprintln!("[ablation] temperature={temp}");
+        let mut config = lightlt_config(&s, &params, 1, 77);
+        config.temperature = temp;
+        let map = run_lightlt(&config, &split);
+        t_table.row(&[temp.to_string(), fmt_map(map)]);
+        measurements.push(Measurement {
+            method: format!("temperature_{temp}"),
+            dataset: "Cifar100".into(),
+            imbalance_factor: 100,
+            map,
+            paper_map: None,
+        });
+    }
+    println!("{}", t_table.render());
+
+    // Class-weight strength sweep (γ → 1 approaches inverse-frequency).
+    let mut g_table = Table::new(
+        "Ablation — class-weight strength γ",
+        &["gamma", "MAP", "tail-20 MAP"],
+    );
+    for gamma in [0.0f32, 0.9, 0.99, 0.999] {
+        eprintln!("[ablation] gamma={gamma}");
+        let mut config = lightlt_config(&s, &params, 1, 77);
+        config.gamma = gamma;
+        let result = lightlt_core::train_ensemble(&config, &split.train);
+        let db_emb = result.model.embed(&result.store, &split.database.features);
+        let q_emb = result.model.embed(&result.store, &split.query.features);
+        let index =
+            lightlt_core::QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
+        let rankings: Vec<Vec<usize>> = (0..q_emb.rows())
+            .map(|i| lightlt_core::search::adc_rank_all(&index, q_emb.row(i)))
+            .collect();
+        let map = lt_eval::mean_average_precision(
+            &rankings,
+            &split.query.labels,
+            &split.database.labels,
+        );
+        let pcm = lt_eval::per_class_map(
+            &rankings,
+            &split.query.labels,
+            &split.database.labels,
+            s.num_classes,
+        );
+        let tail_n = 20.min(s.num_classes);
+        let tail: f64 =
+            pcm[s.num_classes - tail_n..].iter().sum::<f64>() / tail_n as f64;
+        g_table.row(&[gamma.to_string(), fmt_map(map), fmt_map(tail)]);
+        measurements.push(Measurement {
+            method: format!("gamma_{gamma}"),
+            dataset: "Cifar100".into(),
+            imbalance_factor: 100,
+            map,
+            paper_map: None,
+        });
+    }
+    println!("{}", g_table.render());
+
+    // Skip-warmup sweep (this implementation's stabilizer for Eqn. 10).
+    let mut w_table = Table::new(
+        "Ablation — codebook-skip warmup fraction",
+        &["warmup fraction", "MAP"],
+    );
+    for frac in [0.0f32, 0.25, 0.5, 0.75] {
+        eprintln!("[ablation] skip_warmup={frac}");
+        let mut config = lightlt_config(&s, &params, 1, 77);
+        config.skip_warmup_fraction = frac;
+        let map = run_lightlt(&config, &split);
+        w_table.row(&[frac.to_string(), fmt_map(map)]);
+        measurements.push(Measurement {
+            method: format!("skip_warmup_{frac}"),
+            dataset: "Cifar100".into(),
+            imbalance_factor: 100,
+            map,
+            paper_map: None,
+        });
+    }
+    println!("{}", w_table.render());
+    lt_bench::write_artifact("ablation_training_knobs", scale, measurements);
+}

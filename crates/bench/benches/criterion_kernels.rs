@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks of the hot kernels behind every experiment:
+//! ADC lookup-table search vs exhaustive scan (the Fig.-7 primitives), GEMM
+//! (the training substrate), DSQ encode, and one LightLT forward/backward
+//! step.
+//!
+//! Run: `cargo bench -p lt-bench --bench criterion_kernels`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lightlt_core::search::{adc_search, exhaustive_search};
+use lightlt_core::{CodebookTopology, Dsq, LightLt, LightLtConfig, QuantizedIndex};
+use lt_linalg::gemm::matmul;
+use lt_linalg::random::{randn, rng};
+use lt_linalg::Metric;
+use lt_tensor::ParamStore;
+
+fn bench_search(c: &mut Criterion) {
+    let dim = 64;
+    let mut store = ParamStore::new();
+    let dsq = Dsq::new(
+        &mut store,
+        4,
+        256,
+        dim,
+        64,
+        CodebookTopology::DoubleSkip,
+        0.2,
+        Metric::NegSquaredL2,
+        &mut rng(1),
+    );
+    let mut group = c.benchmark_group("search");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let db = randn(n, dim, &mut rng(2)).scale(0.5);
+        let index = QuantizedIndex::build(&dsq, &store, &db);
+        let q: Vec<f32> = randn(1, dim, &mut rng(3)).into_vec();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("adc", n), &n, |b, _| {
+            b.iter(|| adc_search(&index, &q, 10));
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", n), &n, |b, _| {
+            b.iter(|| exhaustive_search(&db, &q, Metric::NegSquaredL2, 10));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[32usize, 128, 256] {
+        let a = randn(n, n, &mut rng(4));
+        let b = randn(n, n, &mut rng(5));
+        group.throughput(Throughput::Elements((n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| matmul(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dsq_encode(c: &mut Criterion) {
+    let dim = 32;
+    let mut store = ParamStore::new();
+    let dsq = Dsq::new(
+        &mut store,
+        4,
+        256,
+        dim,
+        64,
+        CodebookTopology::DoubleSkip,
+        0.2,
+        Metric::NegSquaredL2,
+        &mut rng(6),
+    );
+    let x = randn(256, dim, &mut rng(7)).scale(0.5);
+    let codebooks = dsq.effective_codebooks(&store);
+    c.bench_function("dsq_encode_256x32_m4_k256", |b| {
+        b.iter(|| dsq.encode_with_codebooks(&codebooks, &x));
+    });
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let config = LightLtConfig {
+        input_dim: 32,
+        backbone_hidden: 64,
+        embed_dim: 16,
+        num_classes: 10,
+        num_codebooks: 4,
+        num_codewords: 16,
+        ffn_hidden: 32,
+        ..Default::default()
+    };
+    let (mut model, mut store) = LightLt::new(&config, 0);
+    model.set_class_counts(&[10; 10]);
+    let x = randn(64, 32, &mut rng(8));
+    let labels: Vec<usize> = (0..64).map(|i| i % 10).collect();
+    c.bench_function("lightlt_forward_backward_batch64", |b| {
+        b.iter(|| {
+            store.zero_grads();
+            model.loss_on_batch(&mut store, &x, &labels)
+        });
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_search, bench_gemm, bench_dsq_encode, bench_train_step
+}
+criterion_main!(kernels);

@@ -1,0 +1,72 @@
+//! Fig. 4 — label distributions of the eight datasets on a log class-index
+//! axis.
+//!
+//! Prints, per dataset × IF, the sorted class sizes (the Fig.-4 series) at
+//! log-spaced class indices, plus an ASCII rendering of the decay.
+//!
+//! Run: `cargo bench -p lt-bench --bench fig4_label_distributions`
+
+use lt_bench::Scale;
+use lt_data::{all_specs, zipf::zipf_class_sizes};
+use lt_eval::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut table = Table::new(
+        "Fig. 4 — class sizes at log-spaced sorted class indices",
+        &["dataset", "IF", "i=1", "i=2", "i=5", "i=10", "i=C/4", "i=C/2", "i=C"],
+    );
+
+    for spec in all_specs() {
+        let sizes = zipf_class_sizes(spec.num_classes, spec.pi1, spec.imbalance_factor as f64);
+        let c = spec.num_classes;
+        let probe = [1usize, 2, 5, 10, c / 4, c / 2, c];
+        let mut row = vec![spec.kind.name().to_string(), spec.imbalance_factor.to_string()];
+        for &i in &probe {
+            let idx = i.clamp(1, c) - 1;
+            row.push(sizes[idx].to_string());
+        }
+        table.row(&row);
+    }
+    println!("{}", table.render());
+
+    // ASCII decay curves (log class index on the x-axis, like the figure).
+    println!("Decay curves (each column ≈ one log-spaced class index; height ∝ log size):");
+    for spec in all_specs() {
+        let sizes = zipf_class_sizes(spec.num_classes, spec.pi1, spec.imbalance_factor as f64);
+        let c = spec.num_classes as f64;
+        let cols = 32usize;
+        let max_log = (sizes[0] as f64).ln();
+        let min_log = (*sizes.last().unwrap() as f64).ln();
+        let mut bars = String::new();
+        for col in 0..cols {
+            // log-spaced index from 1 to C.
+            let idx = (c.powf(col as f64 / (cols - 1) as f64)).round() as usize;
+            let size = sizes[idx.clamp(1, sizes.len()) - 1] as f64;
+            let level = if max_log > min_log {
+                ((size.ln() - min_log) / (max_log - min_log) * 7.0).round() as usize
+            } else {
+                7
+            };
+            bars.push(['.', ':', '-', '=', '+', '*', '#', '@'][level.min(7)]);
+        }
+        println!("{:>12} IF={:<4} {}", spec.kind.name(), spec.imbalance_factor, bars);
+    }
+    println!();
+
+    let measurements = all_specs()
+        .iter()
+        .map(|spec| {
+            let sizes =
+                zipf_class_sizes(spec.num_classes, spec.pi1, spec.imbalance_factor as f64);
+            lt_bench::Measurement {
+                method: "tail_size".into(),
+                dataset: spec.kind.name().into(),
+                imbalance_factor: spec.imbalance_factor,
+                map: *sizes.last().unwrap() as f64,
+                paper_map: Some(spec.pi_c as f64),
+            }
+        })
+        .collect();
+    lt_bench::write_artifact("fig4_label_distributions", scale, measurements);
+}

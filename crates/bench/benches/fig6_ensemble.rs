@@ -1,0 +1,45 @@
+//! Fig. 6 — effect of the number of ensemble models: LightLT without
+//! ensemble versus 2- and 4-model weight ensembles, on Cifar100 and NC at
+//! IF ∈ {50, 100}.
+//!
+//! Run: `cargo bench -p lt-bench --bench fig6_ensemble`
+
+use lt_bench::{lightlt_config, load_dataset, run_lightlt, BenchParams, Measurement, Scale};
+use lt_data::{spec, DatasetKind};
+use lt_eval::{fmt_map, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = BenchParams::for_scale(scale);
+    let mut table = Table::new(
+        format!("Fig. 6 — ensemble size ({scale:?} scale)"),
+        &["dataset", "IF", "w/o ensemble", "2 models", "4 models"],
+    );
+    let mut measurements = Vec::new();
+
+    for (kind, alpha) in [(DatasetKind::Cifar100, 0.01f32), (DatasetKind::Nc, 0.1)] {
+        for iff in [50u32, 100] {
+            let s = spec(kind, iff);
+            let split = load_dataset(&s, scale, &params, 987);
+            let mut row = vec![kind.name().to_string(), iff.to_string()];
+            for n in [1usize, 2, 4] {
+                eprintln!("[fig6] {} IF={iff} ensemble={n}", kind.name());
+                let mut config = lightlt_config(&s, &params, n, 42);
+                config.alpha = alpha;
+                let map = run_lightlt(&config, &split);
+                row.push(fmt_map(map));
+                measurements.push(Measurement {
+                    method: format!("ensemble_{n}"),
+                    dataset: kind.name().into(),
+                    imbalance_factor: iff,
+                    map,
+                    paper_map: None,
+                });
+            }
+            table.row(&row);
+        }
+    }
+    println!("{}", table.render());
+    println!("Paper Fig. 6 shape: MAP rises with the number of ensemble models.");
+    lt_bench::write_artifact("fig6_ensemble", scale, measurements);
+}

@@ -1,0 +1,51 @@
+//! Table I — statistics of the eight long-tail datasets.
+//!
+//! Prints, per dataset × IF row: C, π₁, π_C, n_train, n_query, n_db as
+//! defined in the paper, alongside the statistics of the synthetic split
+//! actually generated at the current scale.
+//!
+//! Run: `cargo bench -p lt-bench --bench table1_datasets`
+
+use lt_bench::{load_dataset, BenchParams, Measurement, Scale};
+use lt_data::{all_specs, zipf::imbalance_factor};
+use lt_eval::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = BenchParams::for_scale(scale);
+    let mut table = Table::new(
+        format!("Table I — dataset statistics ({scale:?} scale)"),
+        &[
+            "dataset", "IF", "C", "π1 (paper)", "π_C (paper)", "n_train (paper)",
+            "n_train (gen)", "measured IF", "n_query (gen)", "n_db (gen)",
+        ],
+    );
+    let mut measurements = Vec::new();
+
+    for spec in all_specs() {
+        let split = load_dataset(&spec, scale, &params, 1234);
+        let counts = split.train.class_counts();
+        let measured_if = imbalance_factor(&counts);
+        table.row(&[
+            spec.kind.name().to_string(),
+            spec.imbalance_factor.to_string(),
+            spec.num_classes.to_string(),
+            spec.pi1.to_string(),
+            spec.pi_c.to_string(),
+            spec.n_train.to_string(),
+            split.train.len().to_string(),
+            format!("{measured_if:.1}"),
+            split.query.len().to_string(),
+            split.database.len().to_string(),
+        ]);
+        measurements.push(Measurement {
+            method: "dataset".into(),
+            dataset: spec.kind.name().into(),
+            imbalance_factor: spec.imbalance_factor,
+            map: measured_if,
+            paper_map: Some(spec.imbalance_factor as f64),
+        });
+    }
+    println!("{}", table.render());
+    lt_bench::write_artifact("table1_datasets", scale, measurements);
+}

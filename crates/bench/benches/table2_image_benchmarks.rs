@@ -1,0 +1,122 @@
+//! Table II — MAP comparison on the image datasets (Cifar100, ImageNet100)
+//! at IF ∈ {50, 100}.
+//!
+//! Runs every implemented method on the synthetic image-like datasets and
+//! prints measured MAP next to the paper-reported value for each cell. Rows
+//! the paper itself copied from LTHNet's paper and which we do not
+//! reimplement (KNNH, COSDISH, FastHash, FSSH, SCDH — DESIGN.md §3) are
+//! printed as reference-only rows.
+//!
+//! Run: `cargo bench -p lt-bench --bench table2_image_benchmarks`
+
+use lt_bench::{
+    load_dataset, paper_reported, run_lightlt, tuned_lightlt_config, Baseline, BenchParams,
+    Measurement, Scale,
+};
+use lt_data::{spec, DatasetKind};
+use lt_eval::{fmt_map, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = BenchParams::for_scale(scale);
+    let methods = [
+        Baseline::Lsh,
+        Baseline::Pcah,
+        Baseline::Itq,
+        Baseline::Sdh,
+        Baseline::Dpsh,
+        Baseline::HashNet,
+        Baseline::Dsdh,
+        Baseline::Csq,
+        Baseline::LthNet,
+    ];
+    let reference_only = ["KNNH", "COSDISH", "FastHash", "FSSH", "SCDH"];
+
+    let mut table = Table::new(
+        format!("Table II — image datasets ({scale:?} scale; 'paper' columns are reported values)"),
+        &[
+            "method",
+            "Cifar100 IF=50", "paper",
+            "Cifar100 IF=100", "paper",
+            "ImageNet100 IF=50", "paper",
+            "ImageNet100 IF=100", "paper",
+        ],
+    );
+    let mut measurements = Vec::new();
+
+    let cells: Vec<(DatasetKind, u32)> = vec![
+        (DatasetKind::Cifar100, 50),
+        (DatasetKind::Cifar100, 100),
+        (DatasetKind::ImageNet100, 50),
+        (DatasetKind::ImageNet100, 100),
+    ];
+
+    // Generate each split once and reuse across methods.
+    let splits: Vec<_> = cells
+        .iter()
+        .map(|&(kind, iff)| {
+            let s = spec(kind, iff);
+            let split = load_dataset(&s, scale, &params, 777);
+            (s, split)
+        })
+        .collect();
+
+    for method in methods {
+        let mut row = vec![method.name().to_string()];
+        for ((_s, split), &(kind, iff)) in splits.iter().zip(&cells) {
+            eprintln!("[table2] running {} on {} IF={}", method.name(), kind.name(), iff);
+            let map = method.run(split, &params, 99);
+            row.push(fmt_map(map));
+            let paper = paper_reported(method.name(), kind, iff);
+            row.push(paper.map(fmt_map).unwrap_or_else(|| "-".into()));
+            measurements.push(Measurement {
+                method: method.name().into(),
+                dataset: kind.name().into(),
+                imbalance_factor: iff,
+                map,
+                paper_map: paper,
+            });
+        }
+        table.row(&row);
+    }
+
+    // Reference-only rows (not reimplemented; see DESIGN.md §3).
+    for name in reference_only {
+        let mut row = vec![format!("{name} (paper-reported only)")];
+        for &(kind, iff) in &cells {
+            row.push("-".into());
+            row.push(paper_reported(name, kind, iff).map(fmt_map).unwrap_or_else(|| "-".into()));
+        }
+        table.row(&row);
+    }
+
+    // LightLT w/o ensemble and full LightLT, with the paper's per-dataset
+    // α grid search.
+    let tuned: Vec<_> = splits
+        .iter()
+        .map(|(s, split)| tuned_lightlt_config(s, &params, 1, 99, &split.train))
+        .collect();
+    for (label, ensemble) in [("LightLT w/o ensemble", 1usize), ("LightLT", 4)] {
+        let mut row = vec![label.to_string()];
+        for (((_s, split), &(kind, iff)), base) in splits.iter().zip(&cells).zip(&tuned) {
+            eprintln!("[table2] running {label} on {} IF={}", kind.name(), iff);
+            let mut config = base.clone();
+            config.ensemble_size = ensemble;
+            let map = run_lightlt(&config, split);
+            row.push(fmt_map(map));
+            let paper = paper_reported(label, kind, iff);
+            row.push(paper.map(fmt_map).unwrap_or_else(|| "-".into()));
+            measurements.push(Measurement {
+                method: label.into(),
+                dataset: kind.name().into(),
+                imbalance_factor: iff,
+                map,
+                paper_map: paper,
+            });
+        }
+        table.row(&row);
+    }
+
+    println!("{}", table.render());
+    lt_bench::write_artifact("table2_image_benchmarks", scale, measurements);
+}

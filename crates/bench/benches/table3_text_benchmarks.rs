@@ -1,0 +1,93 @@
+//! Table III — MAP comparison on the text datasets (Amazon News NC, QBA)
+//! at IF ∈ {50, 100}, against the baselines the paper ran itself:
+//! LSH, PQ, DPQ, KDE, LTHNet.
+//!
+//! Run: `cargo bench -p lt-bench --bench table3_text_benchmarks`
+
+use lt_bench::{
+    load_dataset, paper_reported, run_lightlt, tuned_lightlt_config, Baseline, BenchParams,
+    Measurement, Scale,
+};
+use lt_data::{spec, DatasetKind};
+use lt_eval::{fmt_map, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    let params = BenchParams::for_scale(scale);
+    let methods = [Baseline::Lsh, Baseline::Pq, Baseline::Dpq, Baseline::Kde, Baseline::LthNet];
+
+    let mut table = Table::new(
+        format!("Table III — text datasets ({scale:?} scale; 'paper' columns are reported values)"),
+        &[
+            "method",
+            "NC IF=50", "paper",
+            "NC IF=100", "paper",
+            "QBA IF=50", "paper",
+            "QBA IF=100", "paper",
+        ],
+    );
+    let mut measurements = Vec::new();
+
+    let cells: Vec<(DatasetKind, u32)> = vec![
+        (DatasetKind::Nc, 50),
+        (DatasetKind::Nc, 100),
+        (DatasetKind::Qba, 50),
+        (DatasetKind::Qba, 100),
+    ];
+    let splits: Vec<_> = cells
+        .iter()
+        .map(|&(kind, iff)| {
+            let s = spec(kind, iff);
+            let split = load_dataset(&s, scale, &params, 888);
+            (s, split)
+        })
+        .collect();
+
+    for method in methods {
+        let mut row = vec![method.name().to_string()];
+        for ((_s, split), &(kind, iff)) in splits.iter().zip(&cells) {
+            eprintln!("[table3] running {} on {} IF={}", method.name(), kind.name(), iff);
+            let map = method.run(split, &params, 55);
+            row.push(fmt_map(map));
+            let paper = paper_reported(method.name(), kind, iff);
+            row.push(paper.map(fmt_map).unwrap_or_else(|| "-".into()));
+            measurements.push(Measurement {
+                method: method.name().into(),
+                dataset: kind.name().into(),
+                imbalance_factor: iff,
+                map,
+                paper_map: paper,
+            });
+        }
+        table.row(&row);
+    }
+
+    // Per-dataset α grid search (Section V-A4).
+    let tuned: Vec<_> = splits
+        .iter()
+        .map(|(s, split)| tuned_lightlt_config(s, &params, 1, 55, &split.train))
+        .collect();
+    for (label, ensemble) in [("LightLT w/o ensemble", 1usize), ("LightLT", 4)] {
+        let mut row = vec![label.to_string()];
+        for (((_s, split), &(kind, iff)), base) in splits.iter().zip(&cells).zip(&tuned) {
+            eprintln!("[table3] running {label} on {} IF={}", kind.name(), iff);
+            let mut config = base.clone();
+            config.ensemble_size = ensemble;
+            let map = run_lightlt(&config, split);
+            row.push(fmt_map(map));
+            let paper = paper_reported(label, kind, iff);
+            row.push(paper.map(fmt_map).unwrap_or_else(|| "-".into()));
+            measurements.push(Measurement {
+                method: label.into(),
+                dataset: kind.name().into(),
+                imbalance_factor: iff,
+                map,
+                paper_map: paper,
+            });
+        }
+        table.row(&row);
+    }
+
+    println!("{}", table.render());
+    lt_bench::write_artifact("table3_text_benchmarks", scale, measurements);
+}

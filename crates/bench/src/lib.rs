@@ -1,0 +1,546 @@
+//! `lt-bench`: shared infrastructure for the per-table/per-figure benchmark
+//! targets (see DESIGN.md §4 for the experiment index).
+//!
+//! Every bench target reads `LIGHTLT_SCALE` (`smoke` default, or `paper`):
+//! `smoke` shrinks the Table-I datasets so the full harness finishes in
+//! minutes on CPU; `paper` uses scales closer to Table I (much slower).
+//! Absolute MAP values differ from the paper either way (synthetic features,
+//! smaller backbone — DESIGN.md §8); the reproduction targets are the
+//! *orderings and relative gaps*, which EXPERIMENTS.md records.
+
+#![warn(missing_docs)]
+
+use lightlt_core::prelude::*;
+use lightlt_core::search::adc_rank_all;
+use lt_baselines::deep::deep_hash::{DeepHash, DeepHashConfig, DeepHashKind};
+use lt_baselines::deep::dpq::{Dpq, DpqConfig};
+use lt_baselines::deep::kde::{Kde, KdeConfig};
+use lt_baselines::deep::lthnet::{LthNet, LthNetConfig};
+use lt_baselines::shallow::itq::Itq;
+use lt_baselines::shallow::lsh::Lsh;
+use lt_baselines::shallow::pcah::Pcah;
+use lt_baselines::shallow::pq::{Pq, PqIndex};
+use lt_baselines::shallow::sdh::{Sdh, SdhConfig};
+use lt_baselines::HammingRanker;
+use lt_data::{DatasetKind, DatasetSpec, RetrievalSplit};
+use lt_eval::{evaluate_map, mean_average_precision, Ranker};
+use serde::Serialize;
+
+/// Experiment scale selected by the `LIGHTLT_SCALE` env var.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-long CI scale (default).
+    Smoke,
+    /// Table-I-sized runs (slow).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `LIGHTLT_SCALE` (`smoke`/`paper`, case-insensitive).
+    pub fn from_env() -> Self {
+        match std::env::var("LIGHTLT_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "paper" => Scale::Paper,
+            _ => Scale::Smoke,
+        }
+    }
+
+    /// Fraction of the Table-I sizes to generate for a dataset.
+    pub fn dataset_fraction(self, kind: DatasetKind) -> f64 {
+        match (self, kind) {
+            (Scale::Smoke, DatasetKind::Cifar100) => 0.3,
+            (Scale::Smoke, DatasetKind::ImageNet100) => 0.08,
+            (Scale::Smoke, DatasetKind::Nc) => 0.012,
+            (Scale::Smoke, DatasetKind::Qba) => 0.012,
+            (Scale::Paper, _) => 1.0,
+        }
+    }
+}
+
+/// Model sizes shared by every method at one scale (the paper fixes 32-bit
+/// codes for all methods; smoke uses 16-bit).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchParams {
+    /// Synthetic pretrained-embedding dimensionality.
+    pub input_dim: usize,
+    /// Learned embedding dimensionality.
+    pub embed_dim: usize,
+    /// Codebooks `M`.
+    pub m: usize,
+    /// Codewords per codebook `K`.
+    pub k: usize,
+    /// Hash code length in bits (`M · log2 K`).
+    pub bits: usize,
+    /// Backbone hidden width.
+    pub hidden: usize,
+    /// Training epochs for LightLT and the deep baselines.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl BenchParams {
+    /// Parameters for a scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Smoke => Self {
+                input_dim: 32,
+                embed_dim: 32,
+                m: 4,
+                k: 64,
+                bits: 24,
+                hidden: 96,
+                epochs: 30,
+                batch_size: 32,
+            },
+            Scale::Paper => Self {
+                input_dim: 64,
+                embed_dim: 32,
+                m: 4,
+                k: 256,
+                bits: 32,
+                hidden: 128,
+                epochs: 30,
+                batch_size: 64,
+            },
+        }
+    }
+}
+
+/// Generates one Table-I dataset at the bench scale. At smoke scale the
+/// query set is stratified-subsampled to at most 500 queries so the full
+/// MAP evaluation (which ranks the whole database per query) stays fast.
+pub fn load_dataset(
+    spec: &DatasetSpec,
+    scale: Scale,
+    params: &BenchParams,
+    seed: u64,
+) -> RetrievalSplit {
+    let mut split =
+        lt_data::generate(spec, params.input_dim, scale.dataset_fraction(spec.kind), seed);
+    let cap = 500;
+    if scale == Scale::Smoke && split.query.len() > cap {
+        // The generator emits queries class-major, so a strided subsample
+        // stays (approximately) class-balanced.
+        let stride = split.query.len().div_ceil(cap);
+        let idx: Vec<usize> = (0..split.query.len()).step_by(stride).collect();
+        split.query = split.query.subset(&idx);
+    }
+    split
+}
+
+/// A LightLT configuration matched to the bench parameters.
+pub fn lightlt_config(
+    spec: &DatasetSpec,
+    params: &BenchParams,
+    ensemble: usize,
+    seed: u64,
+) -> LightLtConfig {
+    let schedule = match spec.kind {
+        DatasetKind::Cifar100 | DatasetKind::ImageNet100 => ScheduleKind::Cosine,
+        DatasetKind::Nc | DatasetKind::Qba => ScheduleKind::Linear,
+    };
+    LightLtConfig {
+        input_dim: params.input_dim,
+        backbone_hidden: params.hidden,
+        embed_dim: params.embed_dim,
+        num_classes: spec.num_classes,
+        num_codebooks: params.m,
+        num_codewords: params.k,
+        ffn_hidden: params.embed_dim * 2,
+        epochs: params.epochs,
+        batch_size: params.batch_size,
+        learning_rate: 5e-3,
+        schedule,
+        ensemble_size: ensemble,
+        ensemble_branch_epochs: (params.epochs / 3).max(2),
+        finetune_epochs: (params.epochs / 4).max(2),
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Grid-searches α on a validation holdout (the paper's Section V-A4
+/// protocol) with shortened single-model runs, then returns the config with
+/// the winning α.
+pub fn tuned_lightlt_config(
+    spec: &DatasetSpec,
+    params: &BenchParams,
+    ensemble: usize,
+    seed: u64,
+    train_set: &lt_data::Dataset,
+) -> LightLtConfig {
+    let mut probe = lightlt_config(spec, params, 1, seed);
+    probe.epochs = (params.epochs / 2).max(4);
+    let alpha = lightlt_core::tune_alpha(&probe, train_set, &[0.003, 0.01, 0.03, 0.1]);
+    eprintln!("[tune] {} IF={}: grid-searched alpha = {alpha}", spec.kind.name(), spec.imbalance_factor);
+    let mut config = lightlt_config(spec, params, ensemble, seed);
+    config.alpha = alpha;
+    config
+}
+
+/// MAP of a trained LightLT configuration on a split (trains, indexes the
+/// database, ranks every query by ADC).
+pub fn run_lightlt(config: &LightLtConfig, split: &RetrievalSplit) -> f64 {
+    let result = train_ensemble(config, &split.train);
+    lightlt_map(&result, split)
+}
+
+/// MAP of an already-trained LightLT ensemble result.
+pub fn lightlt_map(result: &EnsembleResult, split: &RetrievalSplit) -> f64 {
+    let db_emb = result.model.embed(&result.store, &split.database.features);
+    let q_emb = result.model.embed(&result.store, &split.query.features);
+    let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
+    let rankings: Vec<Vec<usize>> =
+        (0..q_emb.rows()).map(|i| adc_rank_all(&index, q_emb.row(i))).collect();
+    mean_average_precision(&rankings, &split.query.labels, &split.database.labels)
+}
+
+/// Baseline methods runnable through one entry point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Random-hyperplane LSH.
+    Lsh,
+    /// PCA hashing.
+    Pcah,
+    /// Iterative quantization.
+    Itq,
+    /// Supervised discrete hashing (linear variant).
+    Sdh,
+    /// Product quantization.
+    Pq,
+    /// Deep pairwise-supervised hashing.
+    Dpsh,
+    /// HashNet.
+    HashNet,
+    /// Deep supervised discrete hashing.
+    Dsdh,
+    /// Central similarity quantization.
+    Csq,
+    /// Differentiable product quantization.
+    Dpq,
+    /// K-way D-dimensional discrete codes.
+    Kde,
+    /// Long-tail hashing network.
+    LthNet,
+}
+
+impl Baseline {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::Lsh => "LSH",
+            Baseline::Pcah => "PCAH",
+            Baseline::Itq => "ITQ",
+            Baseline::Sdh => "SDH",
+            Baseline::Pq => "PQ",
+            Baseline::Dpsh => "DPSH",
+            Baseline::HashNet => "HashNet",
+            Baseline::Dsdh => "DSDH",
+            Baseline::Csq => "CSQ",
+            Baseline::Dpq => "DPQ",
+            Baseline::Kde => "KDE",
+            Baseline::LthNet => "LTHNet",
+        }
+    }
+
+    /// Trains (where applicable) and evaluates MAP on a split.
+    pub fn run(self, split: &RetrievalSplit, params: &BenchParams, seed: u64) -> f64 {
+        let q = &split.query.features;
+        let ql = &split.query.labels;
+        let dbl = &split.database.labels;
+        match self {
+            Baseline::Lsh => {
+                let h = Lsh::new(params.input_dim, params.bits, seed);
+                let ranker = HammingRanker::new(&h, &split.database.features);
+                evaluate_map(&ranker, q, ql, dbl)
+            }
+            Baseline::Pcah => {
+                let h = Pcah::fit(&split.train.features, params.bits);
+                let ranker = HammingRanker::new(&h, &split.database.features);
+                evaluate_map(&ranker, q, ql, dbl)
+            }
+            Baseline::Itq => {
+                let h = Itq::fit(&split.train.features, params.bits, 30, seed);
+                let ranker = HammingRanker::new(&h, &split.database.features);
+                evaluate_map(&ranker, q, ql, dbl)
+            }
+            Baseline::Sdh => {
+                let h = Sdh::fit(
+                    &split.train.features,
+                    &split.train.labels,
+                    split.train.num_classes,
+                    SdhConfig { bits: params.bits, seed, ..Default::default() },
+                );
+                let ranker = HammingRanker::new(&h, &split.database.features);
+                evaluate_map(&ranker, q, ql, dbl)
+            }
+            Baseline::Pq => {
+                let pq = Pq::fit(&split.train.features, params.m, params.k, seed);
+                let index = PqIndex::build(pq, &split.database.features);
+                evaluate_map(&index, q, ql, dbl)
+            }
+            Baseline::Dpsh | Baseline::HashNet | Baseline::Dsdh | Baseline::Csq => {
+                let kind = match self {
+                    Baseline::Dpsh => DeepHashKind::Dpsh,
+                    Baseline::HashNet => DeepHashKind::HashNet,
+                    Baseline::Dsdh => DeepHashKind::Dsdh,
+                    _ => DeepHashKind::Csq,
+                };
+                let model = DeepHash::fit(
+                    DeepHashConfig {
+                        kind,
+                        input_dim: params.input_dim,
+                        hidden: params.hidden,
+                        bits: params.bits,
+                        num_classes: split.train.num_classes,
+                        epochs: params.epochs,
+                        batch_size: params.batch_size,
+                        learning_rate: 5e-3,
+                        eta: 0.1,
+                        seed,
+                    },
+                    &split.train,
+                );
+                let ranker = HammingRanker::new(&model, &split.database.features);
+                evaluate_map(&ranker, q, ql, dbl)
+            }
+            Baseline::Dpq => {
+                let model = Dpq::fit(
+                    DpqConfig {
+                        input_dim: params.input_dim,
+                        hidden: params.hidden,
+                        embed_dim: params.embed_dim,
+                        m: params.m,
+                        k: params.k,
+                        num_classes: split.train.num_classes,
+                        epochs: params.epochs,
+                        batch_size: params.batch_size,
+                        learning_rate: 5e-3,
+                        seed,
+                        ..Default::default()
+                    },
+                    &split.train,
+                );
+                let index = model.build_index(&split.database.features);
+                let q_emb = model.embed(q);
+                let rankings: Vec<Vec<usize>> =
+                    (0..q_emb.rows()).map(|i| index.rank(q_emb.row(i))).collect();
+                mean_average_precision(&rankings, ql, dbl)
+            }
+            Baseline::Kde => {
+                let model = Kde::fit(
+                    KdeConfig {
+                        input_dim: params.input_dim,
+                        hidden: params.hidden,
+                        embed_dim: params.embed_dim,
+                        d_codes: params.m,
+                        k: params.k,
+                        num_classes: split.train.num_classes,
+                        epochs: params.epochs,
+                        batch_size: params.batch_size,
+                        learning_rate: 5e-3,
+                        seed,
+                        ..Default::default()
+                    },
+                    &split.train,
+                );
+                let index = model.build_index(&split.database.features);
+                let q_emb = model.quantized_embed(q);
+                let rankings: Vec<Vec<usize>> =
+                    (0..q_emb.rows()).map(|i| index.rank(q_emb.row(i))).collect();
+                mean_average_precision(&rankings, ql, dbl)
+            }
+            Baseline::LthNet => {
+                let model = LthNet::fit(
+                    LthNetConfig {
+                        input_dim: params.input_dim,
+                        hidden: params.hidden,
+                        feat_dim: params.embed_dim,
+                        bits: params.bits,
+                        num_classes: split.train.num_classes,
+                        epochs: params.epochs,
+                        batch_size: params.batch_size,
+                        learning_rate: 5e-3,
+                        eta: 0.1,
+                        seed,
+                    },
+                    &split.train,
+                );
+                let ranker = HammingRanker::new(&model, &split.database.features);
+                evaluate_map(&ranker, q, ql, dbl)
+            }
+        }
+    }
+}
+
+/// One measured table cell, serialized into the per-experiment artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Imbalance factor.
+    pub imbalance_factor: u32,
+    /// Measured MAP.
+    pub map: f64,
+    /// Paper-reported MAP, when the paper's table has this cell.
+    pub paper_map: Option<f64>,
+}
+
+/// Complete artifact one bench target writes.
+#[derive(Debug, Serialize)]
+pub struct Artifact {
+    /// Experiment id, e.g. "table2".
+    pub experiment: String,
+    /// Scale the run used.
+    pub scale: String,
+    /// All measurements.
+    pub measurements: Vec<Measurement>,
+}
+
+/// Writes an experiment artifact under `target/experiments/`.
+pub fn write_artifact(experiment: &str, scale: Scale, measurements: Vec<Measurement>) {
+    let artifact = Artifact {
+        experiment: experiment.to_string(),
+        scale: format!("{scale:?}").to_lowercase(),
+        measurements,
+    };
+    // Anchor to the workspace target/ directory regardless of the bench
+    // binary's working directory.
+    let path = format!(
+        "{}/../../target/experiments/{experiment}.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    match lt_eval::report::write_json(&path, &artifact) {
+        Ok(_) => println!("[artifact] wrote {path}"),
+        Err(e) => eprintln!("[artifact] failed to write {path}: {e}"),
+    }
+}
+
+/// Paper-reported MAP values (Tables II & III) for reference columns.
+/// Returns `None` for cells the paper does not report.
+pub fn paper_reported(method: &str, kind: DatasetKind, imbalance_factor: u32) -> Option<f64> {
+    use DatasetKind::*;
+    let table: &[(&str, DatasetKind, u32, f64)] = &[
+        // Table II — Cifar100.
+        ("LSH", Cifar100, 50, 0.0333), ("LSH", Cifar100, 100, 0.0307),
+        ("PCAH", Cifar100, 50, 0.0532), ("PCAH", Cifar100, 100, 0.0519),
+        ("ITQ", Cifar100, 50, 0.0709), ("ITQ", Cifar100, 100, 0.0677),
+        ("KNNH", Cifar100, 50, 0.0703), ("KNNH", Cifar100, 100, 0.0689),
+        ("SDH", Cifar100, 50, 0.1115), ("SDH", Cifar100, 100, 0.1006),
+        ("COSDISH", Cifar100, 50, 0.0695), ("COSDISH", Cifar100, 100, 0.0583),
+        ("FastHash", Cifar100, 50, 0.0787), ("FastHash", Cifar100, 100, 0.0714),
+        ("FSSH", Cifar100, 50, 0.1101), ("FSSH", Cifar100, 100, 0.0957),
+        ("SCDH", Cifar100, 50, 0.1282), ("SCDH", Cifar100, 100, 0.1138),
+        ("DPSH", Cifar100, 50, 0.1069), ("DPSH", Cifar100, 100, 0.0978),
+        ("HashNet", Cifar100, 50, 0.1726), ("HashNet", Cifar100, 100, 0.1444),
+        ("DSDH", Cifar100, 50, 0.1119), ("DSDH", Cifar100, 100, 0.0940),
+        ("CSQ", Cifar100, 50, 0.2221), ("CSQ", Cifar100, 100, 0.1716),
+        ("LTHNet", Cifar100, 50, 0.2687), ("LTHNet", Cifar100, 100, 0.1819),
+        ("LightLT w/o ensemble", Cifar100, 50, 0.3464),
+        ("LightLT w/o ensemble", Cifar100, 100, 0.2499),
+        ("LightLT", Cifar100, 50, 0.3801), ("LightLT", Cifar100, 100, 0.2740),
+        // Table II — ImageNet100.
+        ("LSH", ImageNet100, 50, 0.0606), ("LSH", ImageNet100, 100, 0.0556),
+        ("PCAH", ImageNet100, 50, 0.1306), ("PCAH", ImageNet100, 100, 0.1280),
+        ("ITQ", ImageNet100, 50, 0.1803), ("ITQ", ImageNet100, 100, 0.1719),
+        ("KNNH", ImageNet100, 50, 0.1830), ("KNNH", ImageNet100, 100, 0.1766),
+        ("SDH", ImageNet100, 50, 0.3553), ("SDH", ImageNet100, 100, 0.3126),
+        ("COSDISH", ImageNet100, 50, 0.2072), ("COSDISH", ImageNet100, 100, 0.1763),
+        ("FastHash", ImageNet100, 50, 0.2462), ("FastHash", ImageNet100, 100, 0.1932),
+        ("FSSH", ImageNet100, 50, 0.3681), ("FSSH", ImageNet100, 100, 0.3312),
+        ("SCDH", ImageNet100, 50, 0.3937), ("SCDH", ImageNet100, 100, 0.3601),
+        ("DPSH", ImageNet100, 50, 0.2186), ("DPSH", ImageNet100, 100, 0.1788),
+        ("HashNet", ImageNet100, 50, 0.3465), ("HashNet", ImageNet100, 100, 0.3101),
+        ("DSDH", ImageNet100, 50, 0.2568), ("DSDH", ImageNet100, 100, 0.1841),
+        ("CSQ", ImageNet100, 50, 0.6629), ("CSQ", ImageNet100, 100, 0.5989),
+        ("LTHNet", ImageNet100, 50, 0.7612), ("LTHNet", ImageNet100, 100, 0.7146),
+        ("LightLT w/o ensemble", ImageNet100, 50, 0.7532),
+        ("LightLT w/o ensemble", ImageNet100, 100, 0.7148),
+        ("LightLT", ImageNet100, 50, 0.7804), ("LightLT", ImageNet100, 100, 0.7398),
+        // Table III — NC.
+        ("LSH", Nc, 50, 0.1093), ("LSH", Nc, 100, 0.1092),
+        ("PQ", Nc, 50, 0.2546), ("PQ", Nc, 100, 0.2543),
+        ("DPQ", Nc, 50, 0.5809), ("DPQ", Nc, 100, 0.5408),
+        ("KDE", Nc, 50, 0.6042), ("KDE", Nc, 100, 0.5454),
+        ("LTHNet", Nc, 50, 0.5990), ("LTHNet", Nc, 100, 0.5372),
+        ("LightLT w/o ensemble", Nc, 50, 0.6200), ("LightLT w/o ensemble", Nc, 100, 0.5750),
+        ("LightLT", Nc, 50, 0.6560), ("LightLT", Nc, 100, 0.6131),
+        // Table III — QBA.
+        ("LSH", Qba, 50, 0.0417), ("LSH", Qba, 100, 0.0416),
+        ("PQ", Qba, 50, 0.0955), ("PQ", Qba, 100, 0.0939),
+        ("DPQ", Qba, 50, 0.3707), ("DPQ", Qba, 100, 0.3346),
+        ("KDE", Qba, 50, 0.3815), ("KDE", Qba, 100, 0.3410),
+        ("LTHNet", Qba, 50, 0.3703), ("LTHNet", Qba, 100, 0.3403),
+        ("LightLT w/o ensemble", Qba, 50, 0.3899), ("LightLT w/o ensemble", Qba, 100, 0.3594),
+        ("LightLT", Qba, 50, 0.4097), ("LightLT", Qba, 100, 0.3824),
+    ];
+    table
+        .iter()
+        .find(|(m, k, i, _)| *m == method && *k == kind && *i == imbalance_factor)
+        .map(|&(_, _, _, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_parsing_defaults_to_smoke() {
+        // Note: avoids mutating the env (tests run in parallel); only checks
+        // the default path.
+        if std::env::var("LIGHTLT_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Smoke);
+        }
+    }
+
+    #[test]
+    fn params_code_bits_consistent() {
+        for scale in [Scale::Smoke, Scale::Paper] {
+            let p = BenchParams::for_scale(scale);
+            assert_eq!(p.bits, p.m * (p.k as f64).log2() as usize);
+            assert_eq!(p.embed_dim % p.m, 0, "DPQ needs divisible embed_dim");
+        }
+    }
+
+    #[test]
+    fn paper_reference_lookup() {
+        assert_eq!(paper_reported("LightLT", DatasetKind::Cifar100, 50), Some(0.3801));
+        assert_eq!(paper_reported("KDE", DatasetKind::Qba, 100), Some(0.3410));
+        assert_eq!(paper_reported("PQ", DatasetKind::Cifar100, 50), None);
+        assert_eq!(paper_reported("nope", DatasetKind::Nc, 50), None);
+    }
+
+    #[test]
+    fn baseline_names_unique() {
+        let all = [
+            Baseline::Lsh, Baseline::Pcah, Baseline::Itq, Baseline::Sdh, Baseline::Pq,
+            Baseline::Dpsh, Baseline::HashNet, Baseline::Dsdh, Baseline::Csq,
+            Baseline::Dpq, Baseline::Kde, Baseline::LthNet,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn smoke_fractions_shrink_every_dataset() {
+        for kind in DatasetKind::ALL {
+            assert!(Scale::Smoke.dataset_fraction(kind) < 0.5);
+            assert_eq!(Scale::Paper.dataset_fraction(kind), 1.0);
+        }
+    }
+
+    #[test]
+    fn smoke_query_sets_capped() {
+        let params = BenchParams::for_scale(Scale::Smoke);
+        let s = lt_data::spec(DatasetKind::Cifar100, 50);
+        let split = load_dataset(&s, Scale::Smoke, &params, 1);
+        assert!(split.query.len() <= 500);
+        // Still covers many classes.
+        let covered = split.query.class_counts().iter().filter(|&&c| c > 0).count();
+        assert!(covered > 80, "query subsample covers only {covered} classes");
+    }
+}

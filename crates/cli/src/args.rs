@@ -1,0 +1,121 @@
+//! Minimal dependency-free argument parsing: `--key value` pairs and flags
+//! after a subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: subcommand plus `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` options.
+    options: BTreeMap<String, String>,
+    /// Bare `--flag` switches.
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses an argument vector (excluding the program name).
+    ///
+    /// # Errors
+    /// Returns a message for malformed input (option without a value, or
+    /// unexpected positional argument).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, String> {
+        let mut it = argv.into_iter().peekable();
+        let command = it.next().unwrap_or_default();
+        let mut args = Args { command, ..Default::default() };
+        while let Some(token) = it.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                // Treat as flag if the next token is another option or
+                // missing; else consume the value.
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        let value = it.next().expect("peeked");
+                        args.options.insert(key.to_string(), value);
+                    }
+                    _ => args.flags.push(key.to_string()),
+                }
+            } else {
+                return Err(format!("unexpected positional argument: {token}"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| format!("invalid value for --{key}: {v}"))
+            }
+        }
+    }
+
+    /// True when a bare `--flag` was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("train --data x.ltd --epochs 30 --verbose").unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.require("data").unwrap(), "x.ltd");
+        assert_eq!(a.get_or("epochs", 0usize).unwrap(), 30);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn missing_required_option_reported() {
+        let a = parse("train").unwrap();
+        assert!(a.require("data").unwrap_err().contains("--data"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("train").unwrap();
+        assert_eq!(a.get_or("epochs", 17usize).unwrap(), 17);
+        assert_eq!(a.get("out"), None);
+    }
+
+    #[test]
+    fn invalid_numeric_value_reported() {
+        let a = parse("train --epochs abc").unwrap();
+        assert!(a.get_or("epochs", 0usize).is_err());
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        assert!(parse("train junk").is_err());
+    }
+
+    #[test]
+    fn empty_argv_gives_empty_command() {
+        let a = Args::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(a.command, "");
+    }
+}

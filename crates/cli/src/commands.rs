@@ -1,0 +1,228 @@
+//! Subcommand implementations.
+
+use lightlt_core::persist::{deserialize_index, serialize_index, ModelBundle};
+use lightlt_core::prelude::*;
+use lightlt_core::search::{adc_rank_all, adc_search, adc_search_rerank};
+use lt_data::io::{load_split, save_split};
+use lt_data::DatasetKind;
+use lt_eval::Table;
+
+use crate::args::Args;
+
+fn parse_dataset(name: &str) -> Result<DatasetKind, String> {
+    match name.to_lowercase().as_str() {
+        "cifar100" => Ok(DatasetKind::Cifar100),
+        "imagenet100" => Ok(DatasetKind::ImageNet100),
+        "nc" => Ok(DatasetKind::Nc),
+        "qba" => Ok(DatasetKind::Qba),
+        other => Err(format!(
+            "unknown dataset `{other}` (expected cifar100|imagenet100|nc|qba)"
+        )),
+    }
+}
+
+/// `lightlt generate` — synthesize a Table-I split.
+pub fn generate(args: &Args) -> Result<(), String> {
+    let kind = parse_dataset(args.require("dataset")?)?;
+    let iff: u32 = args.get_or("if", 50)?;
+    let dim: usize = args.get_or("dim", 32)?;
+    let scale: f64 = args.get_or("scale", 0.1)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let out = args.require("out")?;
+
+    let spec = lt_data::spec(kind, iff);
+    let split = lt_data::generate(&spec, dim, scale, seed);
+    save_split(out, &split).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} train / {} query / {} database items, C={}, dim={}, measured IF={:.1}",
+        split.train.len(),
+        split.query.len(),
+        split.database.len(),
+        spec.num_classes,
+        dim,
+        lt_data::zipf::imbalance_factor(&split.train.class_counts()),
+    );
+    Ok(())
+}
+
+fn config_from_args(args: &Args, split: &lt_data::RetrievalSplit) -> Result<LightLtConfig, String> {
+    Ok(LightLtConfig {
+        input_dim: split.train.dim(),
+        backbone_hidden: args.get_or("hidden", (split.train.dim() * 3).max(32))?,
+        embed_dim: args.get_or("embed-dim", 32)?,
+        num_classes: split.train.num_classes,
+        num_codebooks: args.get_or("codebooks", 4)?,
+        num_codewords: args.get_or("codewords", 64)?,
+        ffn_hidden: args.get_or("embed-dim", 32usize)? * 2,
+        epochs: args.get_or("epochs", 30)?,
+        batch_size: args.get_or("batch-size", 32)?,
+        learning_rate: args.get_or("lr", 5e-3)?,
+        alpha: args.get_or("alpha", 0.01)?,
+        gamma: args.get_or("gamma", 0.99)?,
+        ensemble_size: args.get_or("ensemble", 1)?,
+        seed: args.get_or("seed", 17)?,
+        ..Default::default()
+    })
+}
+
+/// `lightlt train` — train a LightLT model on a split's training set.
+pub fn train(args: &Args) -> Result<(), String> {
+    let data = args.require("data")?;
+    let out = args.require("out")?;
+    let split = load_split(data).map_err(|e| format!("reading {data}: {e}"))?;
+    let mut config = config_from_args(args, &split)?;
+    config.validate();
+
+    if args.flag("tune-alpha") {
+        let probe = LightLtConfig { epochs: (config.epochs / 2).max(4), ..config.clone() };
+        let alpha = tune_alpha(&probe, &split.train, &[0.003, 0.01, 0.03, 0.1]);
+        println!("grid-searched alpha = {alpha}");
+        config.alpha = alpha;
+    }
+
+    println!(
+        "training: {} items, C={}, M={}, K={}, {} epochs, ensemble={}",
+        split.train.len(),
+        config.num_classes,
+        config.num_codebooks,
+        config.num_codewords,
+        config.epochs,
+        config.ensemble_size,
+    );
+    let result = train_ensemble(&config, &split.train);
+    for (i, h) in result.base_histories.iter().enumerate() {
+        println!("  stage {i}: final loss {:.4}", h.final_loss());
+    }
+    let bundle = ModelBundle::capture(&result.model, &result.store);
+    std::fs::write(out, bundle.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<(LightLt, lt_tensor::ParamStore), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    ModelBundle::from_json(&json)?.restore()
+}
+
+/// `lightlt index` — encode the split's database into a binary ADC index.
+pub fn index(args: &Args) -> Result<(), String> {
+    let (model, store) = load_model(args.require("model")?)?;
+    let data = args.require("data")?;
+    let out = args.require("out")?;
+    let split = load_split(data).map_err(|e| format!("reading {data}: {e}"))?;
+
+    let db_emb = model.embed(&store, &split.database.features);
+    let idx = QuantizedIndex::build(&model.dsq, &store, &db_emb);
+    let image = serialize_index(&idx);
+    std::fs::write(out, &image).map_err(|e| format!("writing {out}: {e}"))?;
+    let c = idx.complexity();
+    println!(
+        "wrote {out}: {} items, {} bytes ({:.1}x compression vs dense f32)",
+        idx.len(),
+        image.len(),
+        c.compression_ratio(),
+    );
+    Ok(())
+}
+
+fn load_index(path: &str) -> Result<QuantizedIndex, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    deserialize_index(&bytes)
+}
+
+/// `lightlt search` — run one query against an index.
+pub fn search(args: &Args) -> Result<(), String> {
+    let (model, store) = load_model(args.require("model")?)?;
+    let idx = load_index(args.require("index")?)?;
+    let data = args.require("data")?;
+    let split = load_split(data).map_err(|e| format!("reading {data}: {e}"))?;
+    let query_row: usize = args.get_or("query", 0)?;
+    let k: usize = args.get_or("k", 10)?;
+    if query_row >= split.query.len() {
+        return Err(format!(
+            "--query {query_row} out of range ({} queries)",
+            split.query.len()
+        ));
+    }
+
+    let q_emb = model.embed(&store, &split.query.features.select_rows(&[query_row]));
+    let hits = match args.get("rerank") {
+        Some(shortlist) => {
+            let shortlist: usize =
+                shortlist.parse().map_err(|_| "invalid --rerank value".to_string())?;
+            let db_emb = model.embed(&store, &split.database.features);
+            adc_search_rerank(&idx, &db_emb, q_emb.row(0), k, shortlist)
+        }
+        None => adc_search(&idx, q_emb.row(0), k),
+    };
+
+    let mut table = Table::new(
+        format!("top-{k} for query {query_row} (true class {})", split.query.labels[query_row]),
+        &["rank", "db item", "class", "score"],
+    );
+    for (rank, hit) in hits.iter().enumerate() {
+        table.row(&[
+            (rank + 1).to_string(),
+            hit.index.to_string(),
+            split.database.labels[hit.index].to_string(),
+            format!("{:+.4}", hit.score),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+/// `lightlt eval` — MAP over the split's query set.
+pub fn eval(args: &Args) -> Result<(), String> {
+    let (model, store) = load_model(args.require("model")?)?;
+    let idx = load_index(args.require("index")?)?;
+    let data = args.require("data")?;
+    let split = load_split(data).map_err(|e| format!("reading {data}: {e}"))?;
+    if idx.len() != split.database.len() {
+        return Err(format!(
+            "index has {} items but the split's database has {}",
+            idx.len(),
+            split.database.len()
+        ));
+    }
+
+    let q_emb = model.embed(&store, &split.query.features);
+    let rankings: Vec<Vec<usize>> =
+        (0..q_emb.rows()).map(|i| adc_rank_all(&idx, q_emb.row(i))).collect();
+    let map = lt_eval::mean_average_precision(
+        &rankings,
+        &split.query.labels,
+        &split.database.labels,
+    );
+    let pcm = lt_eval::per_class_map(
+        &rankings,
+        &split.query.labels,
+        &split.database.labels,
+        split.train.num_classes,
+    );
+    println!("MAP over {} queries: {map:.4}", split.query.len());
+    let c = split.train.num_classes;
+    let head_n = (c / 4).max(1);
+    let head: f64 = pcm[..head_n].iter().sum::<f64>() / head_n as f64;
+    let tail: f64 = pcm[c - head_n..].iter().sum::<f64>() / head_n as f64;
+    println!("head-{head_n} classes: {head:.4}   tail-{head_n} classes: {tail:.4}");
+    Ok(())
+}
+
+/// `lightlt info` — index statistics.
+pub fn info(args: &Args) -> Result<(), String> {
+    let idx = load_index(args.require("index")?)?;
+    let c = idx.complexity();
+    let mut table = Table::new("index", &["property", "value"]);
+    table.row(&["items".into(), idx.len().to_string()]);
+    table.row(&["codebooks (M)".into(), idx.num_codebooks().to_string()]);
+    table.row(&["codewords (K)".into(), idx.num_codewords().to_string()]);
+    table.row(&["dimension (d)".into(), idx.dim().to_string()]);
+    table.row(&["metric".into(), format!("{:?}", idx.metric())]);
+    table.row(&["bits/item".into(), (idx.num_codebooks() * c.bits_per_id()).to_string()]);
+    table.row(&["storage bytes".into(), idx.storage_bytes().to_string()]);
+    table.row(&["compression".into(), format!("{:.2}x", c.compression_ratio())]);
+    table.row(&["theor. speedup".into(), format!("{:.2}x", c.theoretical_speedup())]);
+    println!("{}", table.render());
+    Ok(())
+}

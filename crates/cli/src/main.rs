@@ -1,0 +1,75 @@
+//! `lightlt` — command-line interface for the LightLT quantization
+//! framework.
+//!
+//! ```text
+//! lightlt generate --dataset cifar100 --if 50 --dim 32 --scale 0.1 --out split.ltd
+//! lightlt train    --data split.ltd --epochs 30 --ensemble 4 --out model.json
+//! lightlt index    --model model.json --data split.ltd --out index.bin
+//! lightlt search   --model model.json --index index.bin --data split.ltd --query 0 --k 10
+//! lightlt eval     --model model.json --index index.bin --data split.ltd
+//! lightlt info     --index index.bin
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+lightlt — lightweight representation quantization for long-tail data
+
+USAGE: lightlt <COMMAND> [OPTIONS]
+
+COMMANDS:
+  generate   synthesize a Table-I long-tail retrieval split (.ltd)
+             --dataset cifar100|imagenet100|nc|qba  --if 50|100
+             [--dim 32] [--scale 0.1] [--seed 7]  --out <file.ltd>
+  train      train a LightLT model on a split
+             --data <file.ltd>  --out <model.json>
+             [--epochs 30] [--ensemble 1] [--codebooks 4] [--codewords 64]
+             [--embed-dim 32] [--alpha 0.01] [--gamma 0.99] [--lr 0.005]
+             [--seed 17] [--tune-alpha]
+  index      encode a split's database into a binary ADC index
+             --model <model.json>  --data <file.ltd>  --out <index.bin>
+  search     run one query against an index
+             --model <model.json>  --index <index.bin>  --data <file.ltd>
+             [--query 0] [--k 10] [--rerank <shortlist>]
+  eval       MAP of the indexed database over the split's query set
+             --model <model.json>  --index <index.bin>  --data <file.ltd>
+  info       print an index's statistics and complexity model
+             --index <index.bin>
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match Args::parse(argv) {
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            2
+        }
+        Ok(args) => match run(&args) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "generate" => commands::generate(args),
+        "train" => commands::train(args),
+        "index" => commands::index(args),
+        "search" => commands::search(args),
+        "eval" => commands::eval(args),
+        "info" => commands::info(args),
+        "" | "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}

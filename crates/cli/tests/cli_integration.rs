@@ -1,0 +1,157 @@
+//! End-to-end tests of the `lightlt` binary: the full
+//! generate → train → index → search → eval → info pipeline in a temp
+//! directory, plus error-path behavior.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_lightlt")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("spawn lightlt")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lightlt_cli_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline_roundtrip() {
+    let dir = tmpdir("pipeline");
+    let split = dir.join("split.ltd");
+    let model = dir.join("model.json");
+    let index = dir.join("index.bin");
+    let s = split.to_str().unwrap();
+    let m = model.to_str().unwrap();
+    let i = index.to_str().unwrap();
+
+    let out = run(&[
+        "generate", "--dataset", "nc", "--if", "50", "--dim", "16", "--scale", "0.005",
+        "--seed", "3", "--out", s,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("wrote"), "{}", stdout(&out));
+
+    let out = run(&[
+        "train", "--data", s, "--epochs", "6", "--embed-dim", "8", "--codewords", "8",
+        "--codebooks", "2", "--ensemble", "1", "--out", m,
+    ]);
+    assert!(out.status.success(), "train failed: {}", stderr(&out));
+    assert!(model.exists());
+
+    let out = run(&["index", "--model", m, "--data", s, "--out", i]);
+    assert!(out.status.success(), "index failed: {}", stderr(&out));
+    assert!(stdout(&out).contains("compression"));
+
+    let out = run(&["search", "--model", m, "--index", i, "--data", s, "--query", "1", "--k", "3"]);
+    assert!(out.status.success(), "search failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("top-3 for query 1"), "{text}");
+    // Three result rows.
+    assert!(text.lines().filter(|l| l.trim_start().starts_with(['1', '2', '3'])).count() >= 3);
+
+    // Re-ranked search also works.
+    let out = run(&[
+        "search", "--model", m, "--index", i, "--data", s, "--query", "1", "--k", "3",
+        "--rerank", "20",
+    ]);
+    assert!(out.status.success(), "rerank search failed: {}", stderr(&out));
+
+    let out = run(&["eval", "--model", m, "--index", i, "--data", s]);
+    assert!(out.status.success(), "eval failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("MAP over"), "{text}");
+    assert!(text.contains("head-"), "{text}");
+
+    let out = run(&["info", "--index", i]);
+    assert!(out.status.success(), "info failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("codebooks (M)") && text.contains("compression"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_prints_usage() {
+    for args in [vec![], vec!["help"], vec!["--help"]] {
+        let out = run(&args);
+        assert!(out.status.success());
+        assert!(stdout(&out).contains("USAGE: lightlt"));
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn missing_required_option_reported() {
+    let out = run(&["generate", "--dataset", "nc"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--out"), "{}", stderr(&out));
+}
+
+#[test]
+fn bad_dataset_name_reported() {
+    let out = run(&["generate", "--dataset", "mnist", "--out", "/tmp/x.ltd"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown dataset"));
+}
+
+#[test]
+fn corrupt_model_file_reported() {
+    let dir = tmpdir("corrupt");
+    let model = dir.join("model.json");
+    std::fs::write(&model, "{not json").unwrap();
+    let out = run(&[
+        "index", "--model", model.to_str().unwrap(), "--data", "/nonexistent.ltd",
+        "--out", "/tmp/never.bin",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("malformed bundle"), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_out_of_range_reported() {
+    let dir = tmpdir("range");
+    let split = dir.join("split.ltd");
+    let model = dir.join("model.json");
+    let index = dir.join("index.bin");
+    let s = split.to_str().unwrap();
+    let m = model.to_str().unwrap();
+    let i = index.to_str().unwrap();
+    assert!(run(&[
+        "generate", "--dataset", "nc", "--if", "50", "--dim", "12", "--scale", "0.004",
+        "--out", s,
+    ])
+    .status
+    .success());
+    assert!(run(&[
+        "train", "--data", s, "--epochs", "2", "--embed-dim", "8", "--codewords", "8",
+        "--codebooks", "2", "--out", m,
+    ])
+    .status
+    .success());
+    assert!(run(&["index", "--model", m, "--data", s, "--out", i]).status.success());
+    let out = run(&["search", "--model", m, "--index", i, "--data", s, "--query", "99999"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("out of range"), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,162 @@
+//! Backbone and classification layer.
+//!
+//! The paper's backbone `f(·)` is a pretrained ResNet34/BERT fine-tuned
+//! end-to-end; here (see DESIGN.md §3) it is a two-layer MLP over synthetic
+//! pretrained-style embeddings. The classification layer is the `FC(·)` of
+//! Eqn. 12. Both have a tape (training) and a plain (inference) forward.
+
+use lt_linalg::gemm::matmul;
+use lt_linalg::Matrix;
+use lt_tensor::nn::{Linear, Mlp};
+use lt_tensor::{Init, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+
+/// Parameter-name prefix for backbone weights (frozen during ensemble
+/// fine-tuning).
+pub const BACKBONE_PREFIX: &str = "backbone.";
+/// Parameter-name prefix for the classification layer.
+pub const CLASSIFIER_PREFIX: &str = "classifier.";
+
+/// Backbone MLP `f(·): input_dim → embed_dim` with one hidden ReLU layer.
+#[derive(Debug, Clone)]
+pub struct Backbone {
+    mlp: Mlp,
+}
+
+impl Backbone {
+    /// Registers backbone parameters under [`BACKBONE_PREFIX`].
+    pub fn new(
+        store: &mut ParamStore,
+        input_dim: usize,
+        hidden: usize,
+        embed_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mlp = Mlp::new(store, "backbone", &[input_dim, hidden, embed_dim], rng);
+        Self { mlp }
+    }
+
+    /// Training forward on the tape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        self.mlp.forward(tape, store, x)
+    }
+
+    /// Inference forward without a tape (used by indexing and search).
+    pub fn forward_plain(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        let layers = self.mlp.layers();
+        let mut h = x.clone();
+        for (i, layer) in layers.iter().enumerate() {
+            let w = store.value(layer.weight);
+            let b = store.value(layer.bias);
+            let mut out = matmul(&h, w);
+            for r in 0..out.rows() {
+                let row = out.row_mut(r);
+                for (v, &bias) in row.iter_mut().zip(b.row(0)) {
+                    *v += bias;
+                }
+            }
+            if i + 1 < layers.len() {
+                out.map_inplace(|v| v.max(0.0));
+            }
+            h = out;
+        }
+        h
+    }
+
+    /// Output (embedding) dimensionality.
+    pub fn embed_dim(&self) -> usize {
+        self.mlp.out_dim()
+    }
+}
+
+/// Classification head `FC: embed_dim → num_classes`.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    linear: Linear,
+}
+
+impl Classifier {
+    /// Registers classifier parameters under [`CLASSIFIER_PREFIX`].
+    pub fn new(
+        store: &mut ParamStore,
+        embed_dim: usize,
+        num_classes: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let linear =
+            Linear::new(store, "classifier", embed_dim, num_classes, Init::XavierUniform, rng);
+        Self { linear }
+    }
+
+    /// Training forward producing logits.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, o: Var) -> Var {
+        self.linear.forward(tape, store, o)
+    }
+
+    /// Inference forward producing logits.
+    pub fn forward_plain(&self, store: &ParamStore, o: &Matrix) -> Matrix {
+        let w = store.value(self.linear.weight);
+        let b = store.value(self.linear.bias);
+        let mut out = matmul(o, w);
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (v, &bias) in row.iter_mut().zip(b.row(0)) {
+                *v += bias;
+            }
+        }
+        out
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.linear.out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::random::{randn, rng};
+
+    #[test]
+    fn tape_and_plain_forward_agree() {
+        let mut r = rng(5);
+        let mut store = ParamStore::new();
+        let backbone = Backbone::new(&mut store, 8, 16, 4, &mut r);
+        let classifier = Classifier::new(&mut store, 4, 3, &mut r);
+        let x = randn(6, 8, &mut r);
+
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let emb = backbone.forward(&mut tape, &store, xv);
+        let logits = classifier.forward(&mut tape, &store, emb);
+
+        let emb_plain = backbone.forward_plain(&store, &x);
+        let logits_plain = classifier.forward_plain(&store, &emb_plain);
+
+        for (a, b) in tape.value(logits).as_slice().iter().zip(logits_plain.as_slice()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        assert_eq!(emb_plain.shape(), (6, 4));
+    }
+
+    #[test]
+    fn parameters_use_expected_prefixes() {
+        let mut r = rng(6);
+        let mut store = ParamStore::new();
+        let _ = Backbone::new(&mut store, 4, 8, 2, &mut r);
+        let _ = Classifier::new(&mut store, 2, 5, &mut r);
+        assert_eq!(store.ids_with_prefix(BACKBONE_PREFIX).len(), 4);
+        assert_eq!(store.ids_with_prefix(CLASSIFIER_PREFIX).len(), 2);
+    }
+
+    #[test]
+    fn dims_reported() {
+        let mut r = rng(7);
+        let mut store = ParamStore::new();
+        let b = Backbone::new(&mut store, 4, 8, 2, &mut r);
+        let c = Classifier::new(&mut store, 2, 5, &mut r);
+        assert_eq!(b.embed_dim(), 2);
+        assert_eq!(c.num_classes(), 5);
+    }
+}

@@ -1,0 +1,156 @@
+//! Bit-level code packing.
+//!
+//! Section IV prices a database item at `M · log2(K) / 8` bytes. [`Codes`]
+//! keeps ids as `u16` in memory for fast ADC lookups; this module provides
+//! the storage form: a packed bitstream at exactly `ceil(log2 K)` bits per
+//! id, plus the inverse transform. The round-trip is exercised by unit and
+//! property tests.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::dsq::Codes;
+
+/// Bits needed per codeword id for a codebook of `num_codewords` entries.
+pub fn bits_per_id(num_codewords: usize) -> u32 {
+    assert!(num_codewords >= 2, "need at least two codewords");
+    (num_codewords as f64).log2().ceil() as u32
+}
+
+/// Packs codes at `bits_per_id(num_codewords)` bits per id, little-endian
+/// bit order within the stream.
+pub fn pack_codes(codes: &Codes, num_codewords: usize) -> Vec<u8> {
+    let bits = bits_per_id(num_codewords);
+    let total_bits = codes.as_slice().len() as u64 * bits as u64;
+    let mut out = BytesMut::with_capacity(total_bits.div_ceil(8) as usize);
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    for &id in codes.as_slice() {
+        debug_assert!(
+            (id as usize) < num_codewords,
+            "code {id} out of range for K={num_codewords}"
+        );
+        acc |= (id as u64) << acc_bits;
+        acc_bits += bits;
+        while acc_bits >= 8 {
+            out.put_u8((acc & 0xFF) as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+    }
+    if acc_bits > 0 {
+        out.put_u8((acc & 0xFF) as u8);
+    }
+    out.to_vec()
+}
+
+/// Unpacks a stream produced by [`pack_codes`].
+///
+/// `num_items` and `num_codebooks` determine how many ids to read.
+///
+/// # Panics
+/// Panics if the buffer is too short for the requested shape.
+pub fn unpack_codes(
+    packed: &[u8],
+    num_items: usize,
+    num_codebooks: usize,
+    num_codewords: usize,
+) -> Codes {
+    let bits = bits_per_id(num_codewords);
+    let n_ids = num_items * num_codebooks;
+    let needed_bits = n_ids as u64 * bits as u64;
+    assert!(
+        (packed.len() as u64) * 8 >= needed_bits,
+        "packed buffer too short: {} bytes for {} ids × {} bits",
+        packed.len(),
+        n_ids,
+        bits
+    );
+    let mask: u64 = (1u64 << bits) - 1;
+    let mut ids = Vec::with_capacity(n_ids);
+    let mut acc: u64 = 0;
+    let mut acc_bits: u32 = 0;
+    let mut byte_idx = 0usize;
+    for _ in 0..n_ids {
+        while acc_bits < bits {
+            acc |= (packed[byte_idx] as u64) << acc_bits;
+            byte_idx += 1;
+            acc_bits += 8;
+        }
+        ids.push((acc & mask) as u16);
+        acc >>= bits;
+        acc_bits -= bits;
+    }
+    Codes::new(ids, num_codebooks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ids: Vec<u16>, m: usize, k: usize) {
+        let codes = Codes::new(ids, m);
+        let packed = pack_codes(&codes, k);
+        let back = unpack_codes(&packed, codes.len(), m, k);
+        assert_eq!(back, codes, "roundtrip failed for K={k}");
+    }
+
+    #[test]
+    fn bits_per_id_values() {
+        assert_eq!(bits_per_id(2), 1);
+        assert_eq!(bits_per_id(3), 2);
+        assert_eq!(bits_per_id(16), 4);
+        assert_eq!(bits_per_id(256), 8);
+        assert_eq!(bits_per_id(257), 9);
+        assert_eq!(bits_per_id(65536), 16);
+    }
+
+    #[test]
+    fn packed_size_matches_paper_formula() {
+        // 1000 items × 4 codebooks × 8 bits = 4000 bytes.
+        let codes = Codes::new(vec![0u16; 4000], 4);
+        let packed = pack_codes(&codes, 256);
+        assert_eq!(packed.len(), 4000);
+        // K=16 → 4 bits → half the bytes.
+        let packed4 = pack_codes(&codes, 16);
+        assert_eq!(packed4.len(), 2000);
+    }
+
+    #[test]
+    fn roundtrip_various_widths() {
+        for &k in &[2usize, 3, 7, 16, 100, 256, 1000] {
+            let ids: Vec<u16> = (0..97u16).map(|i| i % (k as u16)).collect();
+            // 97 ids isn't a multiple of arbitrary m; use m=1.
+            roundtrip(ids, 1, k);
+        }
+    }
+
+    #[test]
+    fn roundtrip_multi_codebook() {
+        let ids: Vec<u16> = (0..60u16).map(|i| (i * 7) % 16).collect();
+        roundtrip(ids.clone(), 4, 16);
+        roundtrip(ids, 3, 16);
+    }
+
+    #[test]
+    fn empty_codes_pack_to_empty() {
+        let codes = Codes::new(vec![], 4);
+        assert!(pack_codes(&codes, 256).is_empty());
+        let back = unpack_codes(&[], 0, 4, 256);
+        assert_eq!(back.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packed buffer too short")]
+    fn unpack_detects_truncation() {
+        let codes = Codes::new(vec![1u16; 8], 4);
+        let packed = pack_codes(&codes, 256);
+        let _ = unpack_codes(&packed[..packed.len() - 1], 2, 4, 256);
+    }
+
+    #[test]
+    fn cross_byte_boundaries() {
+        // 3-bit ids crossing byte boundaries extensively.
+        let ids: Vec<u16> = (0..50u16).map(|i| i % 8).collect();
+        roundtrip(ids, 1, 8);
+    }
+}

@@ -1,0 +1,136 @@
+//! The space/inference complexity model of Section IV.
+//!
+//! Storage for distance computation (Eqn. 24):
+//! * codebooks — `4·K·M·d` bytes,
+//! * codeword indices — `n·M·log2(K)/8` bytes,
+//! * per-item reconstruction norms — `4·n` bytes,
+//!
+//! versus `4·n·d` bytes for dense float storage. Inference: building the
+//! query↔codeword lookup table costs `O(d·M·K)` multiply-adds, after which
+//! every database item costs `O(M)` table lookups — versus `O(d)` per item
+//! for exhaustive search.
+
+use serde::{Deserialize, Serialize};
+
+/// Analytic cost model for one (database, quantizer) configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ComplexityModel {
+    /// Embedding dimensionality `d`.
+    pub dim: usize,
+    /// Number of codebooks `M`.
+    pub num_codebooks: usize,
+    /// Codewords per codebook `K`.
+    pub num_codewords: usize,
+    /// Database size `n`.
+    pub num_items: usize,
+}
+
+impl ComplexityModel {
+    /// Creates the model; all arguments must be positive.
+    pub fn new(dim: usize, num_codebooks: usize, num_codewords: usize, num_items: usize) -> Self {
+        assert!(dim > 0 && num_codebooks > 0 && num_codewords > 1 && num_items > 0);
+        Self { dim, num_codebooks, num_codewords, num_items }
+    }
+
+    /// Bits per codeword id: `ceil(log2 K)`.
+    pub fn bits_per_id(&self) -> usize {
+        (self.num_codewords as f64).log2().ceil() as usize
+    }
+
+    /// Quantized storage in bytes: `4KMd + n·M·log2(K)/8 + 4n`.
+    pub fn quantized_bytes(&self) -> f64 {
+        let codebooks = 4.0 * self.num_codewords as f64 * self.num_codebooks as f64 * self.dim as f64;
+        let codes =
+            self.num_items as f64 * self.num_codebooks as f64 * self.bits_per_id() as f64 / 8.0;
+        let norms = 4.0 * self.num_items as f64;
+        codebooks + codes + norms
+    }
+
+    /// Dense float storage in bytes: `4nd`.
+    pub fn dense_bytes(&self) -> f64 {
+        4.0 * self.num_items as f64 * self.dim as f64
+    }
+
+    /// Compression ratio `dense / quantized` (> 1 when quantization helps).
+    pub fn compression_ratio(&self) -> f64 {
+        self.dense_bytes() / self.quantized_bytes()
+    }
+
+    /// Multiply-add operations per query for ADC search:
+    /// `d·M·K` (lookup-table build) + `n·M` (table lookups & adds).
+    pub fn quantized_ops(&self) -> f64 {
+        self.dim as f64 * self.num_codebooks as f64 * self.num_codewords as f64
+            + self.num_items as f64 * self.num_codebooks as f64
+    }
+
+    /// Multiply-add operations per query for exhaustive search: `n·d`.
+    pub fn dense_ops(&self) -> f64 {
+        self.num_items as f64 * self.dim as f64
+    }
+
+    /// Theoretical speedup `dense_ops / quantized_ops`; grows with `n` and
+    /// saturates near `d / M` (the Fig.-7 "theoretical speedup" curve).
+    pub fn theoretical_speedup(&self) -> f64 {
+        self.dense_ops() / self.quantized_ops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper reports a 240× compression ratio on the full QBA database
+    /// (n = 642k, M = 4, K = 256) — that pins d = 768 (BERT-base).
+    #[test]
+    fn reproduces_paper_qba_compression_ratio() {
+        let m = ComplexityModel::new(768, 4, 256, 642_000);
+        let ratio = m.compression_ratio();
+        assert!(
+            (ratio - 240.2).abs() < 5.0,
+            "expected ≈240× (Fig. 7), got {ratio:.1}"
+        );
+    }
+
+    #[test]
+    fn small_databases_do_not_compress() {
+        // Fig. 7's second finding: at 1/1000 of QBA (~642 items) the 1,024
+        // codewords cost more than the raw data.
+        let m = ComplexityModel::new(768, 4, 256, 642);
+        assert!(m.compression_ratio() < 1.0, "ratio {}", m.compression_ratio());
+        assert!(m.theoretical_speedup() < 1.0);
+    }
+
+    #[test]
+    fn compression_monotone_in_database_size() {
+        let mut prev = 0.0;
+        for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+            let r = ComplexityModel::new(768, 4, 256, n).compression_ratio();
+            assert!(r > prev, "not monotone at n={n}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn speedup_saturates_near_d_over_m() {
+        let m = ComplexityModel::new(768, 4, 256, 100_000_000);
+        let s = m.theoretical_speedup();
+        assert!(s < 768.0 / 4.0);
+        assert!(s > 768.0 / 4.0 * 0.9, "should approach d/M, got {s}");
+    }
+
+    #[test]
+    fn bits_per_id_rounds_up() {
+        assert_eq!(ComplexityModel::new(8, 2, 256, 10).bits_per_id(), 8);
+        assert_eq!(ComplexityModel::new(8, 2, 100, 10).bits_per_id(), 7);
+        assert_eq!(ComplexityModel::new(8, 2, 2, 10).bits_per_id(), 1);
+    }
+
+    #[test]
+    fn asymptotic_ratio_approaches_32d_over_mlogk() {
+        // For n → ∞ the ratio tends to 4d / (M·log2K/8 + 4) =
+        // 32d/(M·log2K + 32).
+        let m = ComplexityModel::new(768, 4, 256, 1_000_000_000);
+        let expect = 32.0 * 768.0 / (4.0 * 8.0 + 32.0);
+        assert!((m.compression_ratio() - expect).abs() / expect < 0.01);
+    }
+}

@@ -1,0 +1,196 @@
+//! LightLT hyper-parameters.
+
+use lt_linalg::Metric;
+use serde::{Deserialize, Serialize};
+
+/// How effective codebooks are derived from the learnable parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CodebookTopology {
+    /// Double Skip Quantization (Eqn. 10): `C_k = FFN(C_{k−1})·g_k + P_k`.
+    /// The second "skip" — a gradient highway across codebooks.
+    DoubleSkip,
+    /// Vanilla residual mechanism (the Table-IV ablation baseline):
+    /// `C_k = P_k`, keeping only the first skip (residual stacking).
+    VanillaResidual,
+}
+
+/// Learning-rate schedule selector (mirrors Section V-A4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScheduleKind {
+    /// Cosine annealing with warmup (used on the image datasets).
+    Cosine,
+    /// Linear decay with warmup (used on the text datasets).
+    Linear,
+    /// Constant (ablations).
+    Constant,
+}
+
+/// Full configuration of a LightLT model and its training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LightLtConfig {
+    /// Input (pretrained-embedding) dimensionality.
+    pub input_dim: usize,
+    /// Hidden width of the backbone MLP.
+    pub backbone_hidden: usize,
+    /// Continuous representation dimensionality `d` (DSQ operates here).
+    pub embed_dim: usize,
+    /// Number of classes `C`.
+    pub num_classes: usize,
+    /// Number of encoder–decoder pairs / codebooks `M`.
+    pub num_codebooks: usize,
+    /// Codewords per codebook `K`.
+    pub num_codewords: usize,
+    /// Hidden width of the codebook-skip FFN (Eqn. 10).
+    pub ffn_hidden: usize,
+    /// Codebook topology: DSQ or the vanilla-residual ablation.
+    pub topology: CodebookTopology,
+    /// Fraction of training steps during which the codebook-skip parameters
+    /// (gates + FFN) stay frozen. DSQ then starts exactly as the vanilla
+    /// residual topology and learns the skip as a late refinement, which
+    /// keeps the early residual-quantization phase stable.
+    pub skip_warmup_fraction: f32,
+    /// Tempered-softmax temperature `t` (Eqn. 5); smaller = harder.
+    pub temperature: f32,
+    /// Class-weight hyper-parameter `γ ∈ [0, 1)` (Eqn. 12); 0 disables
+    /// re-weighting (plain cross-entropy).
+    pub gamma: f32,
+    /// Weight `α` of the center + ranking losses (Eqn. 15); 0 trains with
+    /// cross-entropy only (the Fig.-5 ablation).
+    pub alpha: f32,
+    /// Ranking-loss temperature `τ` (Eqn. 14).
+    pub tau: f32,
+    /// Similarity used for codeword selection (Eqn. 3).
+    pub metric: Metric,
+    /// Training epochs per base model.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Peak learning rate (paper: 5e-5 image, 1e-5 text — our scaled
+    /// substrate trains with a larger default).
+    pub learning_rate: f32,
+    /// LR schedule family.
+    pub schedule: ScheduleKind,
+    /// Warmup fraction of total steps.
+    pub warmup_fraction: f32,
+    /// Gradient-norm clip (0 disables clipping).
+    pub grad_clip: f32,
+    /// Number of ensemble base models `n` (1 = no ensemble).
+    pub ensemble_size: usize,
+    /// Epochs each ensemble branch trains after diverging from the shared
+    /// stage (see `ensemble::train_ensemble` for the staging rationale).
+    pub ensemble_branch_epochs: usize,
+    /// Standard deviation of the per-branch head perturbation (simulates
+    /// the paper's "different initializations" of the quantization module).
+    pub ensemble_perturb_std: f32,
+    /// DSQ fine-tuning epochs after weight averaging (Algorithm 1 line 8).
+    pub finetune_epochs: usize,
+    /// Whether the fine-tuning stage also updates the class prototypes
+    /// (the paper freezes everything but DSQ; prototypes stay frozen by
+    /// default).
+    pub finetune_prototypes: bool,
+    /// RNG seed for the first base model; base model `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for LightLtConfig {
+    fn default() -> Self {
+        Self {
+            input_dim: 64,
+            backbone_hidden: 128,
+            embed_dim: 32,
+            num_classes: 10,
+            // Paper default: 32-bit codes = 4 codebooks × 256 codewords.
+            num_codebooks: 4,
+            num_codewords: 256,
+            ffn_hidden: 64,
+            topology: CodebookTopology::DoubleSkip,
+            skip_warmup_fraction: 0.5,
+            temperature: 0.2,
+            gamma: 0.99,
+            alpha: 0.01,
+            tau: 1.0,
+            metric: Metric::NegSquaredL2,
+            epochs: 20,
+            batch_size: 64,
+            learning_rate: 3e-3,
+            schedule: ScheduleKind::Cosine,
+            warmup_fraction: 0.05,
+            grad_clip: 5.0,
+            ensemble_size: 4,
+            ensemble_branch_epochs: 6,
+            ensemble_perturb_std: 0.02,
+            finetune_epochs: 5,
+            finetune_prototypes: false,
+            seed: 17,
+        }
+    }
+}
+
+impl LightLtConfig {
+    /// Validates invariants; call before training.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message on any invalid setting.
+    pub fn validate(&self) {
+        assert!(self.input_dim > 0, "input_dim must be positive");
+        assert!(self.embed_dim > 0, "embed_dim must be positive");
+        assert!(self.num_classes >= 2, "need at least two classes");
+        assert!(self.num_codebooks >= 1, "need at least one codebook");
+        assert!(self.num_codewords >= 2, "need at least two codewords");
+        assert!(self.temperature > 0.0, "temperature must be positive");
+        assert!((0.0..1.0).contains(&self.gamma), "gamma must be in [0, 1)");
+        assert!(self.alpha >= 0.0, "alpha must be non-negative");
+        assert!(self.tau > 0.0, "tau must be positive");
+        assert!(self.batch_size > 0, "batch_size must be positive");
+        assert!(self.learning_rate > 0.0, "learning_rate must be positive");
+        assert!(self.ensemble_size >= 1, "ensemble_size must be >= 1");
+    }
+
+    /// Encoded size of one item in bits: `M · log2(K)`.
+    pub fn code_bits(&self) -> usize {
+        self.num_codebooks * (self.num_codewords as f64).log2().ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_32_bits() {
+        let c = LightLtConfig::default();
+        c.validate();
+        // Paper setting: 4 codebooks × 256 codewords = 32-bit codes.
+        assert_eq!(c.code_bits(), 32);
+    }
+
+    #[test]
+    fn code_bits_rounds_up() {
+        let c = LightLtConfig { num_codebooks: 3, num_codewords: 100, ..Default::default() };
+        // log2(100) = 6.64 → 7 bits each.
+        assert_eq!(c.code_bits(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in [0, 1)")]
+    fn rejects_gamma_one() {
+        let c = LightLtConfig { gamma: 1.0, ..Default::default() };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn rejects_zero_temperature() {
+        let c = LightLtConfig { temperature: 0.0, ..Default::default() };
+        c.validate();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = LightLtConfig::default();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: LightLtConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_codebooks, c.num_codebooks);
+        assert_eq!(back.topology, c.topology);
+    }
+}

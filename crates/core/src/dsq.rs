@@ -1,0 +1,618 @@
+//! Double Skip Quantization (DSQ), Section III-C.
+//!
+//! DSQ stacks `M` encoder–decoder pairs. Each pair shares one codebook
+//! `C_k ∈ R^{K×d}`: the encoder picks the codeword most similar to its
+//! input (Eqn. 3) and the decoder emits that codeword (Eqn. 4). Two skip
+//! connections give the module its name:
+//!
+//! 1. **Residual skip (Eqn. 2).** Encoder `k` sees the residual
+//!    `e_k = f(x) − Σ_{j<k} o_j`, so the pairs extract complementary
+//!    information instead of memorizing the same dominant signal.
+//! 2. **Codebook skip (Eqn. 10).** `C_k = FFN(C_{k−1})·g_k + P_k` with a
+//!    one-hidden-layer ReLU FFN and a learnable scalar gate — a gradient
+//!    highway that keeps deep stacks trainable (the paper's Eqn. 11
+//!    analysis). Disabling it yields the "vanilla residual mechanism" of
+//!    the Table-IV ablation.
+//!
+//! Training uses the tempered softmax + Straight-Through Estimator of
+//! Eqns. 5–7: the forward pass uses the one-hot argmax, the backward pass
+//! the softmax Jacobian.
+
+use lt_linalg::distance::similarity;
+use lt_linalg::gemm::matmul;
+use lt_linalg::Matrix;
+use lt_linalg::Metric;
+use lt_tensor::{Init, ParamId, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+
+use crate::config::CodebookTopology;
+
+/// Parameter-name prefix of every DSQ weight; Algorithm 1's fine-tuning
+/// stage selects exactly this prefix.
+pub const DSQ_PREFIX: &str = "dsq.";
+
+/// Discrete codes for a set of items: `M` codeword ids per item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Codes {
+    /// Flattened row-major `n × M` codeword indices.
+    data: Vec<u16>,
+    /// Number of codebooks `M`.
+    m: usize,
+}
+
+impl Codes {
+    /// Creates a code table.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `m`.
+    pub fn new(data: Vec<u16>, m: usize) -> Self {
+        assert!(m > 0, "m must be positive");
+        assert_eq!(data.len() % m, 0, "code length not a multiple of m");
+        Self { data, m }
+    }
+
+    /// Number of encoded items.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.m
+    }
+
+    /// True when no items are encoded.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of codebooks.
+    pub fn num_codebooks(&self) -> usize {
+        self.m
+    }
+
+    /// Codeword ids of item `i` (length `M`).
+    pub fn item(&self, i: usize) -> &[u16] {
+        &self.data[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Raw flattened storage.
+    pub fn as_slice(&self) -> &[u16] {
+        &self.data
+    }
+
+    /// Serialized size in bytes at `ceil(log2 K)` bits per id, i.e. the
+    /// paper's `M·log2(K)/8` bytes per item.
+    pub fn packed_bytes(&self, num_codewords: usize) -> usize {
+        let bits_per_id = (num_codewords as f64).log2().ceil() as usize;
+        (self.len() * self.m * bits_per_id).div_ceil(8)
+    }
+}
+
+/// The DSQ module: parameter handles plus topology/temperature settings.
+#[derive(Debug, Clone)]
+pub struct Dsq {
+    m: usize,
+    k: usize,
+    d: usize,
+    topology: CodebookTopology,
+    temperature: f32,
+    metric: Metric,
+    /// Main codebooks `P_k` (`K × d`), one per pair.
+    main_codebooks: Vec<ParamId>,
+    /// Gates `g_k` (`1 × 1`), one per pair after the first.
+    gates: Vec<ParamId>,
+    /// Shared codebook-skip FFN (present only for [`CodebookTopology::DoubleSkip`]
+    /// with `M > 1`): `W1 (d×h)`, `b1 (1×h)`, `W2 (h×d)`, `b2 (1×d)`.
+    ffn: Option<[ParamId; 4]>,
+}
+
+impl Dsq {
+    /// Registers DSQ parameters under [`DSQ_PREFIX`].
+    ///
+    /// `m` codebooks of `k` codewords in `d` dimensions; `ffn_hidden` sizes
+    /// the codebook-skip FFN.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        store: &mut ParamStore,
+        m: usize,
+        k: usize,
+        d: usize,
+        ffn_hidden: usize,
+        topology: CodebookTopology,
+        temperature: f32,
+        metric: Metric,
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(m >= 1, "need at least one codebook");
+        assert!(k >= 2, "need at least two codewords");
+        assert!(temperature > 0.0, "temperature must be positive");
+        assert!(
+            !matches!(metric, Metric::Cosine),
+            "train-time codeword selection supports NegSquaredL2 and InnerProduct; \
+             normalize inputs and use InnerProduct for cosine behaviour"
+        );
+        // Codewords start as small Gaussians around the origin so early
+        // residuals dominate selection.
+        let init = Init::Normal { std: 0.1 };
+        let main_codebooks = (0..m)
+            .map(|i| store.register(format!("{DSQ_PREFIX}p.{i}"), init.build(k, d, rng)))
+            .collect();
+        let gates = (1..m)
+            .map(|i| {
+                // Gates start at zero: DSQ begins exactly as the vanilla
+                // residual topology and opens the codebook skip only when
+                // the gradient says it helps — the skip can then never make
+                // the initialization worse.
+                store.register(format!("{DSQ_PREFIX}gate.{i}"), Matrix::full(1, 1, 0.0))
+            })
+            .collect();
+        let ffn = if topology == CodebookTopology::DoubleSkip && m > 1 {
+            let w1 = store.register(
+                format!("{DSQ_PREFIX}ffn.w1"),
+                Init::HeNormal.build(d, ffn_hidden, rng),
+            );
+            let b1 = store.register(format!("{DSQ_PREFIX}ffn.b1"), Matrix::zeros(1, ffn_hidden));
+            // The FFN output layer starts at zero (together with the zero
+            // gates): the skip path contributes nothing at init and grows
+            // only under persistent gradient pressure, so it cannot
+            // destabilize the early residual-quantization phase.
+            let w2 = store.register(
+                format!("{DSQ_PREFIX}ffn.w2"),
+                Init::Normal { std: 0.01 }.build(ffn_hidden, d, rng),
+            );
+            let b2 = store.register(format!("{DSQ_PREFIX}ffn.b2"), Matrix::zeros(1, d));
+            Some([w1, b1, w2, b2])
+        } else {
+            None
+        };
+        Self { m, k, d, topology, temperature, metric, main_codebooks, gates, ffn }
+    }
+
+    /// Number of codebooks `M`.
+    pub fn num_codebooks(&self) -> usize {
+        self.m
+    }
+
+    /// Codewords per codebook `K`.
+    pub fn num_codewords(&self) -> usize {
+        self.k
+    }
+
+    /// Embedding dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Selection metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    // ---- effective codebooks -------------------------------------------
+
+    /// Tape version of Eqn. 10: returns the effective codebooks
+    /// `[C_1, …, C_M]` as tape nodes.
+    pub fn effective_codebooks_tape(&self, tape: &mut Tape, store: &ParamStore) -> Vec<Var> {
+        let mut out = Vec::with_capacity(self.m);
+        let first = tape.param(store, self.main_codebooks[0]);
+        out.push(first);
+        for i in 1..self.m {
+            let p = tape.param(store, self.main_codebooks[i]);
+            let c = match (self.topology, &self.ffn) {
+                (CodebookTopology::DoubleSkip, Some(ffn)) => {
+                    let transformed = self.ffn_tape(tape, store, ffn, out[i - 1]);
+                    let gate = tape.param(store, self.gates[i - 1]);
+                    let gated = tape.mul_scalar_var(transformed, gate);
+                    tape.add(gated, p)
+                }
+                _ => p,
+            };
+            out.push(c);
+        }
+        out
+    }
+
+    fn ffn_tape(&self, tape: &mut Tape, store: &ParamStore, ffn: &[ParamId; 4], x: Var) -> Var {
+        let w1 = tape.param(store, ffn[0]);
+        let b1 = tape.param(store, ffn[1]);
+        let w2 = tape.param(store, ffn[2]);
+        let b2 = tape.param(store, ffn[3]);
+        let h = tape.matmul(x, w1);
+        let h = tape.add_row_broadcast(h, b1);
+        let h = tape.relu(h);
+        let y = tape.matmul(h, w2);
+        tape.add_row_broadcast(y, b2)
+    }
+
+    /// Plain (inference) version of Eqn. 10.
+    pub fn effective_codebooks(&self, store: &ParamStore) -> Vec<Matrix> {
+        let mut out: Vec<Matrix> = Vec::with_capacity(self.m);
+        out.push(store.value(self.main_codebooks[0]).clone());
+        for i in 1..self.m {
+            let p = store.value(self.main_codebooks[i]);
+            let c = match (self.topology, &self.ffn) {
+                (CodebookTopology::DoubleSkip, Some(ffn)) => {
+                    let transformed = self.ffn_plain(store, ffn, &out[i - 1]);
+                    let gate = store.value(self.gates[i - 1])[(0, 0)];
+                    let mut c = transformed.scale(gate);
+                    c.axpy(1.0, p);
+                    c
+                }
+                _ => p.clone(),
+            };
+            out.push(c);
+        }
+        out
+    }
+
+    fn ffn_plain(&self, store: &ParamStore, ffn: &[ParamId; 4], x: &Matrix) -> Matrix {
+        let mut h = matmul(x, store.value(ffn[0]));
+        let b1 = store.value(ffn[1]);
+        for r in 0..h.rows() {
+            for (v, &b) in h.row_mut(r).iter_mut().zip(b1.row(0)) {
+                *v += b;
+            }
+        }
+        h.map_inplace(|v| v.max(0.0));
+        let mut y = matmul(&h, store.value(ffn[2]));
+        let b2 = store.value(ffn[3]);
+        for r in 0..y.rows() {
+            for (v, &b) in y.row_mut(r).iter_mut().zip(b2.row(0)) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    // ---- training forward ----------------------------------------------
+
+    /// Similarity scores of every residual row against every codeword
+    /// (Eqn. 3) as a tape node (`n × K`, higher = more similar).
+    fn scores_tape(&self, tape: &mut Tape, residual: Var, codebook: Var) -> Var {
+        match self.metric {
+            Metric::InnerProduct => tape.matmul_bt(residual, codebook),
+            Metric::NegSquaredL2 | Metric::Cosine => {
+                // −‖e − c‖² = 2⟨e,c⟩ − ‖e‖² − ‖c‖².
+                let ip = tape.matmul_bt(residual, codebook);
+                let ip2 = tape.scale(ip, 2.0);
+                let en = tape.row_norm_sq(residual); // n × 1
+                let en_neg = tape.scale(en, -1.0);
+                let with_e = tape.add_col_broadcast(ip2, en_neg);
+                let cn = tape.row_norm_sq(codebook); // K × 1
+                let cn_t = tape.transpose(cn); // 1 × K
+                let cn_neg = tape.scale(cn_t, -1.0);
+                tape.add_row_broadcast(with_e, cn_neg)
+            }
+        }
+    }
+
+    /// Full DSQ forward on the tape (Eqns. 2, 5–7, 10).
+    ///
+    /// Returns the reconstructed representation `o = Σ_k o_k` (a tape node
+    /// whose forward value uses the hard one-hot selection and whose
+    /// gradient flows through the tempered softmax) together with the hard
+    /// codes of the batch.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, f_x: Var) -> (Var, Codes) {
+        assert_eq!(
+            tape.value(f_x).cols(),
+            self.d,
+            "DSQ expected {}-dim input",
+            self.d
+        );
+        let n = tape.value(f_x).rows();
+        let codebooks = self.effective_codebooks_tape(tape, store);
+
+        let mut residual = f_x;
+        let mut recon: Option<Var> = None;
+        let mut codes = Vec::with_capacity(n * self.m);
+        // The codes vector is filled codebook-major then transposed at the
+        // end so `Codes` is item-major.
+        let mut per_level_codes: Vec<Vec<u16>> = Vec::with_capacity(self.m);
+
+        for &cb in &codebooks {
+            let scores = self.scores_tape(tape, residual, cb);
+            // Hard selection (Eqn. 3) from the forward values.
+            let hard: Vec<u16> = {
+                let sv = tape.value(scores);
+                (0..n)
+                    .map(|i| {
+                        let row = sv.row(i);
+                        let mut best = 0usize;
+                        let mut best_v = f32::NEG_INFINITY;
+                        for (j, &v) in row.iter().enumerate() {
+                            if v > best_v {
+                                best_v = v;
+                                best = j;
+                            }
+                        }
+                        best as u16
+                    })
+                    .collect()
+            };
+            // One-hot constant for the STE.
+            let mut onehot = Matrix::zeros(n, self.k);
+            for (i, &h) in hard.iter().enumerate() {
+                onehot[(i, h as usize)] = 1.0;
+            }
+            let onehot = tape.constant(onehot);
+
+            // Tempered softmax (Eqn. 5) + STE (Eqn. 6).
+            let tempered = tape.scale(scores, 1.0 / self.temperature);
+            let soft = tape.softmax_rows(tempered);
+            let diff = tape.sub(onehot, soft);
+            let sg = tape.stop_grad(diff);
+            let b = tape.add(soft, sg);
+
+            // Decode (Eqn. 7): o_k = bᵀ-selected codewords.
+            let o_k = tape.matmul(b, cb);
+            recon = Some(match recon {
+                Some(acc) => tape.add(acc, o_k),
+                None => o_k,
+            });
+            residual = tape.sub(residual, o_k);
+            per_level_codes.push(hard);
+        }
+
+        for i in 0..n {
+            for level in &per_level_codes {
+                codes.push(level[i]);
+            }
+        }
+        (recon.expect("at least one codebook"), Codes::new(codes, self.m))
+    }
+
+    // ---- inference ------------------------------------------------------
+
+    /// Encodes items without a tape: returns hard codes (the database
+    /// indexing path of Fig. 3).
+    pub fn encode(&self, store: &ParamStore, f_x: &Matrix) -> Codes {
+        let codebooks = self.effective_codebooks(store);
+        self.encode_with_codebooks(&codebooks, f_x)
+    }
+
+    /// Encodes against pre-materialized codebooks (avoids recomputing
+    /// Eqn. 10 per call).
+    pub fn encode_with_codebooks(&self, codebooks: &[Matrix], f_x: &Matrix) -> Codes {
+        assert_eq!(codebooks.len(), self.m, "codebook count mismatch");
+        let n = f_x.rows();
+        let mut codes = vec![0u16; n * self.m];
+        let mut residual = f_x.clone();
+        for (level, cb) in codebooks.iter().enumerate() {
+            for i in 0..n {
+                let row = residual.row(i);
+                let mut best = 0usize;
+                let mut best_s = f32::NEG_INFINITY;
+                for j in 0..self.k {
+                    let s = similarity(self.metric, row, cb.row(j));
+                    if s > best_s {
+                        best_s = s;
+                        best = j;
+                    }
+                }
+                codes[i * self.m + level] = best as u16;
+                let chosen = cb.row(best).to_vec();
+                for (v, c) in residual.row_mut(i).iter_mut().zip(chosen) {
+                    *v -= c;
+                }
+            }
+        }
+        Codes::new(codes, self.m)
+    }
+
+    /// Decodes codes back to reconstructed vectors (`o_i = Σ_k C_k[b_i[k]]`).
+    pub fn decode(&self, store: &ParamStore, codes: &Codes) -> Matrix {
+        let codebooks = self.effective_codebooks(store);
+        self.decode_with_codebooks(&codebooks, codes)
+    }
+
+    /// Decodes against pre-materialized codebooks.
+    pub fn decode_with_codebooks(&self, codebooks: &[Matrix], codes: &Codes) -> Matrix {
+        assert_eq!(codebooks.len(), self.m, "codebook count mismatch");
+        let n = codes.len();
+        let mut out = Matrix::zeros(n, self.d);
+        for i in 0..n {
+            let item = codes.item(i);
+            let row = out.row_mut(i);
+            for (level, &id) in item.iter().enumerate() {
+                let cw = codebooks[level].row(id as usize);
+                for (v, &c) in row.iter_mut().zip(cw) {
+                    *v += c;
+                }
+            }
+        }
+        out
+    }
+
+    /// Convenience: encode then decode (the quantizer's reconstruction).
+    pub fn reconstruct(&self, store: &ParamStore, f_x: &Matrix) -> Matrix {
+        let codebooks = self.effective_codebooks(store);
+        let codes = self.encode_with_codebooks(&codebooks, f_x);
+        self.decode_with_codebooks(&codebooks, &codes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::random::{randn, rng};
+
+    fn small_dsq(topology: CodebookTopology, seed: u64) -> (Dsq, ParamStore) {
+        let mut store = ParamStore::new();
+        let mut r = rng(seed);
+        let dsq = Dsq::new(
+            &mut store,
+            3,
+            8,
+            4,
+            16,
+            topology,
+            0.1,
+            Metric::NegSquaredL2,
+            &mut r,
+        );
+        (dsq, store)
+    }
+
+    #[test]
+    fn tape_and_plain_codebooks_agree() {
+        let (dsq, store) = small_dsq(CodebookTopology::DoubleSkip, 1);
+        let plain = dsq.effective_codebooks(&store);
+        let mut tape = Tape::new();
+        let tape_cbs = dsq.effective_codebooks_tape(&mut tape, &store);
+        for (p, &t) in plain.iter().zip(&tape_cbs) {
+            for (a, b) in p.as_slice().iter().zip(tape.value(t).as_slice()) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_value_equals_hard_reconstruction() {
+        // STE: the tape forward value must equal the plain encode→decode
+        // reconstruction exactly.
+        for topology in [CodebookTopology::DoubleSkip, CodebookTopology::VanillaResidual] {
+            let (dsq, store) = small_dsq(topology, 2);
+            let x = randn(5, 4, &mut rng(3));
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let (recon, codes) = dsq.forward(&mut tape, &store, xv);
+            let plain = dsq.reconstruct(&store, &x);
+            for (a, b) in tape.value(recon).as_slice().iter().zip(plain.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b} ({topology:?})");
+            }
+            let plain_codes = dsq.encode(&store, &x);
+            assert_eq!(codes, plain_codes, "{topology:?}");
+        }
+    }
+
+    #[test]
+    fn residual_shrinks_with_more_codebooks() {
+        // Encoding with M codebooks should reconstruct no worse than the
+        // first codebook alone on average.
+        let (dsq, store) = small_dsq(CodebookTopology::DoubleSkip, 4);
+        let x = randn(20, 4, &mut rng(5)).scale(0.3);
+        let codebooks = dsq.effective_codebooks(&store);
+        let codes = dsq.encode_with_codebooks(&codebooks, &x);
+        let full = dsq.decode_with_codebooks(&codebooks, &codes);
+        // One-level reconstruction.
+        let one_level: Matrix = {
+            let mut out = Matrix::zeros(x.rows(), 4);
+            for i in 0..x.rows() {
+                let id = codes.item(i)[0] as usize;
+                out.row_mut(i).copy_from_slice(codebooks[0].row(id));
+            }
+            out
+        };
+        let err_full = full.sub(&x).frobenius_norm();
+        let err_one = one_level.sub(&x).frobenius_norm();
+        assert!(
+            err_full <= err_one + 1e-4,
+            "full {err_full} should be <= one-level {err_one}"
+        );
+    }
+
+    #[test]
+    fn codes_shape_and_range() {
+        let (dsq, store) = small_dsq(CodebookTopology::DoubleSkip, 6);
+        let x = randn(7, 4, &mut rng(7));
+        let codes = dsq.encode(&store, &x);
+        assert_eq!(codes.len(), 7);
+        assert_eq!(codes.num_codebooks(), 3);
+        assert!(codes.as_slice().iter().all(|&c| (c as usize) < 8));
+    }
+
+    #[test]
+    fn gradient_reaches_first_codebook_through_skip() {
+        // With the codebook skip, a loss on the last level's output must
+        // produce a nonzero gradient on P_1 even through multiple levels.
+        let (dsq, store) = small_dsq(CodebookTopology::DoubleSkip, 8);
+        let x = randn(6, 4, &mut rng(9));
+        let mut store = store;
+        store.zero_grads();
+        let mut tape = Tape::new();
+        let xv = tape.constant(x);
+        let (recon, _) = dsq.forward(&mut tape, &store, xv);
+        let sq = tape.square(recon);
+        let loss = tape.mean(sq);
+        let grads = tape.backward(loss);
+        tape.accumulate_param_grads(&grads, &mut store);
+        let p0 = store.id_of("dsq.p.0").unwrap();
+        let gnorm = store.get(p0).grad.frobenius_norm();
+        assert!(gnorm > 0.0, "first codebook received no gradient");
+    }
+
+    #[test]
+    fn vanilla_residual_has_no_ffn_params() {
+        let (_, store) = small_dsq(CodebookTopology::VanillaResidual, 10);
+        assert!(store.id_of("dsq.ffn.w1").is_none());
+        // Still has main codebooks and gates are registered only for DSQ.
+        assert!(store.id_of("dsq.p.2").is_some());
+    }
+
+    #[test]
+    fn all_dsq_params_share_prefix() {
+        let (_, store) = small_dsq(CodebookTopology::DoubleSkip, 11);
+        assert_eq!(store.ids_with_prefix(DSQ_PREFIX).len(), store.len());
+    }
+
+    #[test]
+    fn packed_bytes_matches_formula() {
+        let codes = Codes::new(vec![0; 10 * 4], 4);
+        // 4 codebooks × 8 bits (K=256) × 10 items = 40 bytes.
+        assert_eq!(codes.packed_bytes(256), 40);
+        // K=8 → 3 bits per id → 120 bits → 15 bytes.
+        assert_eq!(codes.packed_bytes(8), 15);
+    }
+
+    #[test]
+    fn codes_item_access() {
+        let codes = Codes::new(vec![1, 2, 3, 4, 5, 6], 3);
+        assert_eq!(codes.len(), 2);
+        assert_eq!(codes.item(0), &[1, 2, 3]);
+        assert_eq!(codes.item(1), &[4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn codes_reject_ragged() {
+        let _ = Codes::new(vec![1, 2, 3], 2);
+    }
+
+    #[test]
+    fn inner_product_metric_encodes() {
+        let mut store = ParamStore::new();
+        let mut r = rng(12);
+        let dsq = Dsq::new(
+            &mut store,
+            2,
+            4,
+            4,
+            8,
+            CodebookTopology::DoubleSkip,
+            0.1,
+            Metric::InnerProduct,
+            &mut r,
+        );
+        let x = randn(3, 4, &mut rng(13));
+        let codes = dsq.encode(&store, &x);
+        assert_eq!(codes.len(), 3);
+        // Tape forward agrees with plain encode under IP too.
+        let mut tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        let (_, tape_codes) = dsq.forward(&mut tape, &store, xv);
+        assert_eq!(tape_codes, codes);
+    }
+
+    #[test]
+    #[should_panic(expected = "NegSquaredL2 and InnerProduct")]
+    fn cosine_metric_rejected_at_construction() {
+        let mut store = ParamStore::new();
+        let _ = Dsq::new(
+            &mut store,
+            2,
+            4,
+            4,
+            8,
+            CodebookTopology::DoubleSkip,
+            0.1,
+            Metric::Cosine,
+            &mut rng(14),
+        );
+    }
+}

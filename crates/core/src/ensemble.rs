@@ -1,0 +1,265 @@
+//! Model weight ensemble and DSQ fine-tuning (Section III-E, Algorithm 1).
+//!
+//! The paper trains `n` LightLT models "with different initialization",
+//! averages their weights (Eqn. 23), and — because codewords are only
+//! identified up to a permutation (Example 1), making a naive codebook
+//! average meaningless — freezes the backbone and classifier and fine-tunes
+//! the DSQ module so the averaged codebooks re-align.
+//!
+//! **Staging note.** Weight averaging is only meaningful when the averaged
+//! models share a loss basin; the cited model-soups result averages models
+//! fine-tuned *from the same pretrained weights*. The paper is in exactly
+//! that regime: every base model starts from the same pretrained
+//! ResNet34/BERT backbone and trains with a tiny learning rate (5e-5/1e-5),
+//! so "different initializations" diversifies the quantization heads and
+//! training stochasticity, not the basin. Our backbone is trained from
+//! scratch, so we reproduce the paper's regime explicitly:
+//!
+//! 1. **Shared stage** — one full training run (stands in for the shared
+//!    pretrained-and-fine-tuned weights).
+//! 2. **Branch stage** — `n` copies, each with its quantization/classifier/
+//!    prototype parameters perturbed by per-branch noise (the "different
+//!    initializations") and trained further with a per-branch data order.
+//! 3. **Average** (Eqn. 23) and **DSQ fine-tune** (Algorithm 1 line 8).
+
+use crossbeam::thread;
+use lt_data::Dataset;
+use lt_linalg::random::rng;
+use lt_tensor::ParamStore;
+use rand_distr::{Distribution, Normal};
+
+use crate::backbone::BACKBONE_PREFIX;
+use crate::config::LightLtConfig;
+use crate::dsq::DSQ_PREFIX;
+use crate::model::{LightLt, PROTO_PREFIX};
+use crate::trainer::{train, train_base_model, TrainHistory};
+
+/// Outcome of the full ensemble pipeline.
+#[derive(Debug)]
+pub struct EnsembleResult {
+    /// The model structure (identical across base models).
+    pub model: LightLt,
+    /// Averaged-and-fine-tuned weights.
+    pub store: ParamStore,
+    /// Training history of the shared stage followed by each branch.
+    pub base_histories: Vec<TrainHistory>,
+    /// Fine-tuning history (empty when `ensemble_size == 1`).
+    pub finetune_history: TrainHistory,
+}
+
+/// Adds Gaussian noise to every non-backbone parameter (the per-branch
+/// "different initialization" of the quantization module and heads).
+fn perturb_heads(store: &mut ParamStore, std: f32, seed: u64) {
+    if std <= 0.0 {
+        return;
+    }
+    let mut r = rng(seed);
+    let dist = Normal::new(0.0f32, std).expect("valid std");
+    for id in store.ids() {
+        if store.get(id).name.starts_with(BACKBONE_PREFIX) {
+            continue;
+        }
+        let p = store.get_mut(id);
+        for v in p.value.as_mut_slice() {
+            *v += dist.sample(&mut r);
+        }
+    }
+}
+
+/// Trains the full LightLT pipeline: shared stage → `n` perturbed branches
+/// → weight average → DSQ fine-tune. With `ensemble_size == 1` this is
+/// exactly one base model (the "LightLT w/o ensemble" rows of
+/// Tables II/III).
+pub fn train_ensemble(config: &LightLtConfig, train_set: &Dataset) -> EnsembleResult {
+    config.validate();
+    let n = config.ensemble_size;
+
+    // Shared stage (also the whole pipeline when n == 1).
+    let (model, shared_store, shared_history) = train_base_model(config, train_set, 0);
+    if n == 1 {
+        return EnsembleResult {
+            model,
+            store: shared_store,
+            base_histories: vec![shared_history],
+            finetune_history: TrainHistory::default(),
+        };
+    }
+
+    // Branch stage: n perturbed copies trained in parallel.
+    let branch_runs: Vec<(ParamStore, TrainHistory)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let config = config.clone();
+                let mut store = shared_store.clone();
+                let mut branch_model = model.clone();
+                let train_set = &train_set;
+                scope.spawn(move |_| {
+                    branch_model.seed_offset = i as u64 + 1;
+                    // Branch 0 keeps the shared weights unperturbed; later
+                    // branches get noisy head re-initializations.
+                    if i > 0 {
+                        perturb_heads(
+                            &mut store,
+                            config.ensemble_perturb_std,
+                            config.seed.wrapping_add(1000 + i as u64),
+                        );
+                    }
+                    let history = train(
+                        &branch_model,
+                        &mut store,
+                        train_set,
+                        None,
+                        Some(config.ensemble_branch_epochs),
+                    );
+                    (store, history)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("branch thread panicked")).collect()
+    })
+    .expect("ensemble branch scope panicked");
+
+    let mut base_histories = vec![shared_history];
+    base_histories.extend(branch_runs.iter().map(|(_, h)| h.clone()));
+
+    // Eqn. 23: average all branch weights.
+    let stores: Vec<&ParamStore> = branch_runs.iter().map(|(s, _)| s).collect();
+    let mut averaged = ParamStore::average(&stores);
+
+    // Algorithm 1 line 8: freeze everything but DSQ, fine-tune to re-align
+    // codebooks.
+    let mut model = model;
+    model.set_class_counts(&train_set.class_counts());
+    let mut trainable = averaged.ids_with_prefix(DSQ_PREFIX);
+    if config.finetune_prototypes {
+        trainable.extend(averaged.ids_with_prefix(PROTO_PREFIX));
+    }
+    let finetune_history = train(
+        &model,
+        &mut averaged,
+        train_set,
+        Some(&trainable),
+        Some(config.finetune_epochs),
+    );
+
+    EnsembleResult { model, store: averaged, base_histories, finetune_history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_data::synth::{generate_split, Domain, SynthConfig};
+
+    fn tiny_split() -> lt_data::RetrievalSplit {
+        generate_split(&SynthConfig {
+            num_classes: 4,
+            dim: 8,
+            pi1: 24,
+            imbalance_factor: 6.0,
+            n_query: 12,
+            n_database: 40,
+            domain: Domain::ImageLike,
+            intra_class_std: None,
+            seed: 21,
+        })
+    }
+
+    fn tiny_config(n: usize) -> LightLtConfig {
+        LightLtConfig {
+            input_dim: 8,
+            backbone_hidden: 12,
+            embed_dim: 6,
+            num_classes: 4,
+            num_codebooks: 2,
+            num_codewords: 8,
+            ffn_hidden: 8,
+            epochs: 3,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            ensemble_size: n,
+            ensemble_branch_epochs: 2,
+            finetune_epochs: 2,
+            seed: 31,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn single_model_skips_finetune() {
+        let split = tiny_split();
+        let res = train_ensemble(&tiny_config(1), &split.train);
+        assert_eq!(res.base_histories.len(), 1);
+        assert!(res.finetune_history.epochs.is_empty());
+    }
+
+    #[test]
+    fn ensemble_averages_and_finetunes() {
+        let split = tiny_split();
+        let res = train_ensemble(&tiny_config(2), &split.train);
+        // Shared stage + 2 branches.
+        assert_eq!(res.base_histories.len(), 3);
+        assert_eq!(res.finetune_history.epochs.len(), 2);
+        // The result store has the same schema as a fresh model.
+        let (_, fresh) = LightLt::new(&tiny_config(2), 0);
+        assert!(res.store.schema_matches(&fresh));
+    }
+
+    #[test]
+    fn perturb_leaves_backbone_untouched() {
+        let (_, mut store) = LightLt::new(&tiny_config(2), 0);
+        let backbone_id = store.id_of("backbone.0.weight").unwrap();
+        let dsq_id = store.id_of("dsq.p.0").unwrap();
+        let bb_before = store.value(backbone_id).clone();
+        let dsq_before = store.value(dsq_id).clone();
+        perturb_heads(&mut store, 0.05, 9);
+        assert_eq!(store.value(backbone_id), &bb_before);
+        assert_ne!(store.value(dsq_id), &dsq_before);
+    }
+
+    #[test]
+    fn perturb_zero_std_is_noop() {
+        let (_, mut store) = LightLt::new(&tiny_config(2), 0);
+        let dsq_id = store.id_of("dsq.p.0").unwrap();
+        let before = store.value(dsq_id).clone();
+        perturb_heads(&mut store, 0.0, 9);
+        assert_eq!(store.value(dsq_id), &before);
+    }
+
+    #[test]
+    fn finetune_only_moves_dsq() {
+        let split = tiny_split();
+        let cfg = tiny_config(2);
+        let res = train_ensemble(&cfg, &split.train);
+        // Rebuild the pre-finetune average to compare the frozen parts:
+        // frozen parameters in the result must equal a plain average of the
+        // branch stores. We can't easily reconstruct the branches here, but
+        // the invariant "fine-tune moved DSQ while backbone matches the
+        // classifier-frozen average" is covered by checking determinism of
+        // the frozen parts across two identical runs plus movement of DSQ
+        // relative to a run with zero fine-tune epochs.
+        let cfg_no_ft = LightLtConfig { finetune_epochs: 0, ..cfg.clone() };
+        let res_no_ft = train_ensemble(&cfg_no_ft, &split.train);
+        let bb = res.store.id_of("backbone.0.weight").unwrap();
+        assert_eq!(
+            res.store.value(bb),
+            res_no_ft.store.value(bb),
+            "backbone must be frozen during fine-tune"
+        );
+        let dsq = res.store.id_of("dsq.p.0").unwrap();
+        assert_ne!(
+            res.store.value(dsq),
+            res_no_ft.store.value(dsq),
+            "DSQ should have moved during fine-tune"
+        );
+    }
+
+    #[test]
+    fn ensemble_is_deterministic() {
+        let split = tiny_split();
+        let cfg = tiny_config(2);
+        let a = train_ensemble(&cfg, &split.train);
+        let b = train_ensemble(&cfg, &split.train);
+        let id = a.store.id_of("dsq.p.0").unwrap();
+        assert_eq!(a.store.value(id), b.store.value(id));
+    }
+}

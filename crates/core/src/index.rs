@@ -1,0 +1,409 @@
+//! Quantized database index (the workflow of Fig. 3).
+//!
+//! Indexing stores, per database item, only the `M` codeword ids plus the
+//! squared norm of its reconstruction (`‖Σ_j o_j‖²`, one float — Eqn. 24's
+//! third term). Together with the `M` codebooks this is everything ADC
+//! search needs.
+
+use lt_linalg::gemm::dot;
+use lt_linalg::{Matrix, Metric};
+use lt_tensor::ParamStore;
+
+use crate::complexity::ComplexityModel;
+use crate::dsq::{Codes, Dsq};
+
+/// An immutable quantized index over a database of embeddings.
+#[derive(Debug, Clone)]
+pub struct QuantizedIndex {
+    codebooks: Vec<Matrix>,
+    codes: Codes,
+    /// Per-item `‖o_i‖²` (reconstruction norms; Eqn. 24).
+    recon_norms_sq: Vec<f32>,
+    metric: Metric,
+    dim: usize,
+    num_codewords: usize,
+}
+
+impl QuantizedIndex {
+    /// Builds the index from a trained DSQ module and database embeddings
+    /// (`n × d`, already passed through the backbone).
+    pub fn build(dsq: &Dsq, store: &ParamStore, embeddings: &Matrix) -> Self {
+        let codebooks = dsq.effective_codebooks(store);
+        let codes = dsq.encode_with_codebooks(&codebooks, embeddings);
+        let recon = dsq.decode_with_codebooks(&codebooks, &codes);
+        let recon_norms_sq = (0..recon.rows()).map(|i| dot(recon.row(i), recon.row(i))).collect();
+        Self {
+            codebooks,
+            codes,
+            recon_norms_sq,
+            metric: dsq.metric(),
+            dim: dsq.dim(),
+            num_codewords: dsq.num_codewords(),
+        }
+    }
+
+    /// Reassembles an index from stored parts (the persistence path).
+    ///
+    /// Callers are responsible for internal consistency (codes within
+    /// `[0, K)`, norms matching the reconstructions); the persistence layer
+    /// guarantees this for images it wrote itself.
+    pub fn from_parts(
+        codebooks: Vec<Matrix>,
+        codes: Codes,
+        recon_norms_sq: Vec<f32>,
+        metric: Metric,
+        dim: usize,
+        num_codewords: usize,
+    ) -> Self {
+        assert_eq!(codes.num_codebooks(), codebooks.len(), "codebook count mismatch");
+        assert_eq!(codes.len(), recon_norms_sq.len(), "norm count mismatch");
+        assert!(codebooks.iter().all(|c| c.shape() == (num_codewords, dim)));
+        Self { codebooks, codes, recon_norms_sq, metric, dim, num_codewords }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Number of codebooks `M`.
+    pub fn num_codebooks(&self) -> usize {
+        self.codebooks.len()
+    }
+
+    /// Codewords per codebook `K`.
+    pub fn num_codewords(&self) -> usize {
+        self.num_codewords
+    }
+
+    /// Embedding dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Ranking metric the index was built for.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The stored codes.
+    pub fn codes(&self) -> &Codes {
+        &self.codes
+    }
+
+    /// The effective codebooks.
+    pub fn codebooks(&self) -> &[Matrix] {
+        &self.codebooks
+    }
+
+    /// Stored reconstruction norm of item `i`.
+    pub fn recon_norm_sq(&self, i: usize) -> f32 {
+        self.recon_norms_sq[i]
+    }
+
+    /// Reconstructs item `i`'s embedding (decode path; test/diagnostic use).
+    pub fn reconstruct_item(&self, i: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for (level, &id) in self.codes.item(i).iter().enumerate() {
+            for (v, &c) in out.iter_mut().zip(self.codebooks[level].row(id as usize)) {
+                *v += c;
+            }
+        }
+        out
+    }
+
+    /// Analytic cost model for this index.
+    pub fn complexity(&self) -> ComplexityModel {
+        ComplexityModel::new(self.dim, self.num_codebooks(), self.num_codewords, self.len().max(1))
+    }
+
+    /// Actual bytes this index needs for search-time storage, using the
+    /// paper's accounting: packed codes + one f32 norm per item + codebooks.
+    pub fn storage_bytes(&self) -> usize {
+        let codebooks = 4 * self.num_codewords * self.num_codebooks() * self.dim;
+        let codes = self.codes.packed_bytes(self.num_codewords);
+        let norms = 4 * self.len();
+        codebooks + codes + norms
+    }
+
+    /// Appends new embeddings to the index (incremental indexing).
+    ///
+    /// The index owns the effective codebooks, so it can encode new items
+    /// itself with the same greedy residual selection the DSQ encoder uses;
+    /// codes and norms of existing items are untouched. Returns the ids
+    /// assigned to the new items.
+    pub fn append(&mut self, embeddings: &Matrix) -> std::ops::Range<usize> {
+        assert_eq!(embeddings.cols(), self.dim, "embedding dimension mismatch");
+        let start = self.len();
+        let m = self.num_codebooks();
+        let mut new_codes = Vec::with_capacity(embeddings.rows() * m);
+        for i in 0..embeddings.rows() {
+            let mut residual = embeddings.row(i).to_vec();
+            let mut recon = vec![0.0f32; self.dim];
+            for cb in &self.codebooks {
+                let mut best = 0usize;
+                let mut best_s = f32::NEG_INFINITY;
+                for j in 0..self.num_codewords {
+                    let s = lt_linalg::distance::similarity(self.metric, &residual, cb.row(j));
+                    if s > best_s {
+                        best_s = s;
+                        best = j;
+                    }
+                }
+                new_codes.push(best as u16);
+                for ((r, o), &c) in residual.iter_mut().zip(recon.iter_mut()).zip(cb.row(best)) {
+                    *r -= c;
+                    *o += c;
+                }
+            }
+            self.recon_norms_sq.push(dot(&recon, &recon));
+        }
+        let mut all = self.codes.as_slice().to_vec();
+        all.extend_from_slice(&new_codes);
+        self.codes = Codes::new(all, m);
+        start..self.len()
+    }
+
+    /// Removes an item by swapping in the last one (`O(M)`): the returned
+    /// value is the id of the item that moved into `i`'s slot (or `None`
+    /// when `i` was the last item).
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    pub fn swap_remove(&mut self, i: usize) -> Option<usize> {
+        let n = self.len();
+        assert!(i < n, "remove index {i} out of bounds ({n} items)");
+        let m = self.num_codebooks();
+        let mut all = self.codes.as_slice().to_vec();
+        let last = n - 1;
+        let moved = if i != last {
+            for level in 0..m {
+                all[i * m + level] = all[last * m + level];
+            }
+            self.recon_norms_sq[i] = self.recon_norms_sq[last];
+            Some(last)
+        } else {
+            None
+        };
+        all.truncate(last * m);
+        self.recon_norms_sq.truncate(last);
+        self.codes = Codes::new(all, m);
+        moved
+    }
+
+    /// Builds the query→codeword inner-product lookup table (`M × K`),
+    /// the `O(dMK)` phase of Section IV-B.
+    pub fn build_lut(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let m = self.num_codebooks();
+        let k = self.num_codewords;
+        let mut lut = vec![0.0f32; m * k];
+        for (level, cb) in self.codebooks.iter().enumerate() {
+            let base = level * k;
+            for j in 0..k {
+                lut[base + j] = dot(query, cb.row(j));
+            }
+        }
+        lut
+    }
+
+    /// Scores every item against a prebuilt LUT (the `O(nM)` phase).
+    ///
+    /// For [`Metric::NegSquaredL2`], the score is
+    /// `−‖q − o_i‖² = 2·Σ_m LUT[m][code] − ‖o_i‖² − ‖q‖²`; for inner-product
+    /// metrics it is `Σ_m LUT[m][code]`. Higher = more similar.
+    pub fn scores_with_lut(&self, lut: &[f32], query_norm_sq: f32, out: &mut Vec<f32>) {
+        let k = self.num_codewords;
+        out.clear();
+        out.reserve(self.len());
+        match self.metric {
+            Metric::NegSquaredL2 => {
+                for i in 0..self.len() {
+                    let mut ip = 0.0f32;
+                    for (level, &id) in self.codes.item(i).iter().enumerate() {
+                        ip += lut[level * k + id as usize];
+                    }
+                    out.push(2.0 * ip - self.recon_norms_sq[i] - query_norm_sq);
+                }
+            }
+            Metric::InnerProduct | Metric::Cosine => {
+                for i in 0..self.len() {
+                    let mut ip = 0.0f32;
+                    for (level, &id) in self.codes.item(i).iter().enumerate() {
+                        ip += lut[level * k + id as usize];
+                    }
+                    out.push(ip);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CodebookTopology;
+    use lt_linalg::distance::squared_l2;
+    use lt_linalg::random::{randn, rng};
+
+    fn setup() -> (Dsq, ParamStore, Matrix) {
+        let mut store = ParamStore::new();
+        let mut r = rng(3);
+        let dsq = Dsq::new(
+            &mut store,
+            3,
+            16,
+            6,
+            12,
+            CodebookTopology::DoubleSkip,
+            0.1,
+            Metric::NegSquaredL2,
+            &mut r,
+        );
+        let db = randn(40, 6, &mut rng(4)).scale(0.4);
+        (dsq, store, db)
+    }
+
+    #[test]
+    fn index_shapes() {
+        let (dsq, store, db) = setup();
+        let idx = QuantizedIndex::build(&dsq, &store, &db);
+        assert_eq!(idx.len(), 40);
+        assert_eq!(idx.num_codebooks(), 3);
+        assert_eq!(idx.num_codewords(), 16);
+        assert_eq!(idx.dim(), 6);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn lut_scores_equal_explicit_reconstructed_distances() {
+        // The ADC invariant: LUT-based scores must equal the scores computed
+        // against explicitly reconstructed vectors.
+        let (dsq, store, db) = setup();
+        let idx = QuantizedIndex::build(&dsq, &store, &db);
+        let q: Vec<f32> = (0..6).map(|i| (i as f32 - 2.5) * 0.3).collect();
+        let lut = idx.build_lut(&q);
+        let qn = dot(&q, &q);
+        let mut scores = Vec::new();
+        idx.scores_with_lut(&lut, qn, &mut scores);
+        for i in 0..idx.len() {
+            let recon = idx.reconstruct_item(i);
+            let direct = -squared_l2(&q, &recon);
+            assert!(
+                (scores[i] - direct).abs() < 1e-3,
+                "item {i}: LUT {} vs direct {direct}",
+                scores[i]
+            );
+        }
+    }
+
+    #[test]
+    fn recon_norms_match_reconstructions() {
+        let (dsq, store, db) = setup();
+        let idx = QuantizedIndex::build(&dsq, &store, &db);
+        for i in 0..idx.len() {
+            let recon = idx.reconstruct_item(i);
+            let n = dot(&recon, &recon);
+            assert!((idx.recon_norm_sq(i) - n).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn storage_accounting_consistent_with_model() {
+        let (dsq, store, db) = setup();
+        let idx = QuantizedIndex::build(&dsq, &store, &db);
+        let model = idx.complexity();
+        // bits_per_id = 4 for K=16.
+        assert_eq!(model.bits_per_id(), 4);
+        let measured = idx.storage_bytes() as f64;
+        let modeled = model.quantized_bytes();
+        assert!(
+            (measured - modeled).abs() <= 8.0,
+            "measured {measured} vs modeled {modeled}"
+        );
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn inner_product_scores() {
+        let mut store = ParamStore::new();
+        let mut r = rng(5);
+        let dsq = Dsq::new(
+            &mut store,
+            2,
+            8,
+            4,
+            8,
+            CodebookTopology::DoubleSkip,
+            0.1,
+            Metric::InnerProduct,
+            &mut r,
+        );
+        let db = randn(10, 4, &mut rng(6));
+        let idx = QuantizedIndex::build(&dsq, &store, &db);
+        let q = [1.0f32, 0.0, -1.0, 0.5];
+        let lut = idx.build_lut(&q);
+        let mut scores = Vec::new();
+        idx.scores_with_lut(&lut, 0.0, &mut scores);
+        for i in 0..idx.len() {
+            let recon = idx.reconstruct_item(i);
+            let direct = dot(&q, &recon);
+            assert!((scores[i] - direct).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn append_matches_batch_build() {
+        let (dsq, store, db) = setup();
+        // Build over the first 30 items, append the remaining 10.
+        let head: Vec<usize> = (0..30).collect();
+        let tail: Vec<usize> = (30..40).collect();
+        let mut incremental = QuantizedIndex::build(&dsq, &store, &db.select_rows(&head));
+        let assigned = incremental.append(&db.select_rows(&tail));
+        assert_eq!(assigned, 30..40);
+
+        let full = QuantizedIndex::build(&dsq, &store, &db);
+        assert_eq!(incremental.len(), full.len());
+        for i in 0..full.len() {
+            assert_eq!(incremental.codes().item(i), full.codes().item(i), "item {i}");
+            assert!((incremental.recon_norm_sq(i) - full.recon_norm_sq(i)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn swap_remove_keeps_search_consistent() {
+        let (dsq, store, db) = setup();
+        let mut idx = QuantizedIndex::build(&dsq, &store, &db);
+        let moved = idx.swap_remove(5);
+        assert_eq!(moved, Some(39));
+        assert_eq!(idx.len(), 39);
+        // Slot 5 now holds what was item 39.
+        let full = QuantizedIndex::build(&dsq, &store, &db);
+        assert_eq!(idx.codes().item(5), full.codes().item(39));
+        // Removing the last item returns None.
+        let last = idx.len() - 1;
+        assert_eq!(idx.swap_remove(last), None);
+        assert_eq!(idx.len(), 38);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn swap_remove_bounds_checked() {
+        let (dsq, store, db) = setup();
+        let mut idx = QuantizedIndex::build(&dsq, &store, &db);
+        let _ = idx.swap_remove(1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn lut_rejects_wrong_dim() {
+        let (dsq, store, db) = setup();
+        let idx = QuantizedIndex::build(&dsq, &store, &db);
+        let _ = idx.build_lut(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,78 @@
+//! `lightlt-core`: the LightLT supervised quantization framework
+//! (Wang et al., *LightLT: a Lightweight Representation Quantization
+//! Framework for Long-tail Data*, ICDE 2024).
+//!
+//! LightLT compresses d-dimensional continuous representations into `M`
+//! codeword ids drawn from `M` codebooks of `K` codewords (`M·log2(K)` bits
+//! per item) while staying accurate on long-tail class distributions. The
+//! pieces, mapped to the paper:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Quantization step, STE (Eqns. 3–7) | [`dsq`] |
+//! | Double Skip Quantization (Eqns. 2, 10) | [`dsq`], [`config::CodebookTopology`] |
+//! | Class-weighted CE + center + ranking loss (Eqns. 12–15) | [`loss`] |
+//! | Model ensemble + DSQ fine-tuning (Eqn. 23, Alg. 1) | [`ensemble`] |
+//! | Indexing workflow (Fig. 3) | [`index`] |
+//! | ADC lookup-table search (Section IV-B) | [`search`] |
+//! | Space/inference complexity (Section IV) | [`complexity`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lightlt_core::prelude::*;
+//! use lt_data::synth::{generate_split, Domain, SynthConfig};
+//!
+//! // A small synthetic long-tail retrieval task.
+//! let split = generate_split(&SynthConfig {
+//!     num_classes: 4, dim: 8, pi1: 24, imbalance_factor: 6.0,
+//!     n_query: 8, n_database: 40, domain: Domain::ImageLike,
+//!     intra_class_std: None, seed: 1,
+//! });
+//! let config = LightLtConfig {
+//!     input_dim: 8, backbone_hidden: 12, embed_dim: 6, num_classes: 4,
+//!     num_codebooks: 2, num_codewords: 8, ffn_hidden: 8,
+//!     epochs: 2, ensemble_size: 1, ..Default::default()
+//! };
+//! let result = train_ensemble(&config, &split.train);
+//! // Index the database and search with a query.
+//! let db_emb = result.model.embed(&result.store, &split.database.features);
+//! let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
+//! let q_emb = result.model.embed(&result.store, &split.query.features);
+//! let hits = adc_search(&index, q_emb.row(0), 5);
+//! assert_eq!(hits.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backbone;
+pub mod codec;
+pub mod complexity;
+pub mod config;
+pub mod dsq;
+pub mod ensemble;
+pub mod index;
+pub mod loss;
+pub mod model;
+pub mod persist;
+pub mod search;
+pub mod trainer;
+
+/// Common imports for downstream users.
+pub mod prelude {
+    pub use crate::complexity::ComplexityModel;
+    pub use crate::config::{CodebookTopology, LightLtConfig, ScheduleKind};
+    pub use crate::dsq::{Codes, Dsq};
+    pub use crate::ensemble::{train_ensemble, EnsembleResult};
+    pub use crate::index::QuantizedIndex;
+    pub use crate::loss::{class_weights, LossBreakdown};
+    pub use crate::model::LightLt;
+    pub use crate::persist::{deserialize_index, serialize_index, ModelBundle};
+    pub use crate::search::{
+        adc_search, adc_search_batch, adc_search_batch_parallel, adc_search_rerank,
+        exhaustive_search,
+    };
+    pub use crate::trainer::{train, train_base_model, tune_alpha, TrainHistory};
+}
+
+pub use prelude::*;

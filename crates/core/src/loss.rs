@@ -1,0 +1,309 @@
+//! The LightLT training loss (Section III-D).
+//!
+//! `L = L_ce + α (L_c + L_r)` with
+//!
+//! * **Class-weighted cross-entropy** (Eqn. 12): weights
+//!   `(1−γ)/(1−γ^{π_y})` counteract the long tail — as `γ → 1` the weight
+//!   approaches `1/π_y` (inverse class frequency), at `γ = 0` it degrades to
+//!   plain cross-entropy.
+//! * **Center loss** (Eqn. 13): pulls each quantized representation toward
+//!   its learnable class prototype. We use the squared L2 form of the cited
+//!   center-loss paper (differentiable at zero).
+//! * **Ranking loss** (Eqn. 14): a prototype softmax over (plain L2)
+//!   distances at temperature `τ`, keeping each item closer to its own
+//!   prototype than to any other.
+//!
+//! Proposition 1 (the sum `L_c + L_r` upper-bounds a simplified triplet
+//! loss via the triangle inequality) is implemented as checkable plain-math
+//! functions and exercised by property tests.
+
+use lt_linalg::distance::l2;
+use lt_linalg::Matrix;
+use lt_tensor::{Tape, Var};
+
+/// Breakdown of the combined loss for logging and the Fig.-5 ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct LossBreakdown {
+    /// Class-weighted cross-entropy value.
+    pub ce: f32,
+    /// Center-loss value (before the α weight).
+    pub center: f32,
+    /// Ranking-loss value (before the α weight).
+    pub ranking: f32,
+    /// Combined `ce + α (center + ranking)`.
+    pub total: f32,
+}
+
+/// Per-class weights of Eqn. 12: `w_c = (1−γ)/(1−γ^{π_c})`, normalized to
+/// mean 1 over non-empty classes so the loss scale stays comparable across
+/// γ values. Empty classes get weight 0.
+///
+/// # Panics
+/// Panics if `gamma ∉ [0, 1)`.
+pub fn class_weights(counts: &[usize], gamma: f32) -> Vec<f32> {
+    assert!((0.0..1.0).contains(&gamma), "gamma must be in [0, 1)");
+    let raw: Vec<f32> = counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                0.0
+            } else if gamma == 0.0 {
+                1.0
+            } else {
+                let denom = 1.0 - (gamma as f64).powi(c as i32);
+                ((1.0 - gamma as f64) / denom.max(1e-12)) as f32
+            }
+        })
+        .collect();
+    let non_empty: Vec<f32> = raw.iter().copied().filter(|&w| w > 0.0).collect();
+    if non_empty.is_empty() {
+        return raw;
+    }
+    let mean: f32 = non_empty.iter().sum::<f32>() / non_empty.len() as f32;
+    raw.iter().map(|&w| w / mean.max(1e-12)).collect()
+}
+
+/// Builds the combined loss graph on the tape.
+///
+/// * `logits` — classifier output (`n × C`).
+/// * `o` — quantized representation (`n × d`).
+/// * `prototypes` — class prototypes as a tape node (`C × d`).
+/// * `labels` — class label per row.
+/// * `weights` — per-class weights from [`class_weights`].
+/// * `alpha`, `tau` — Eqn. 15 / Eqn. 14 hyper-parameters.
+///
+/// Returns the scalar loss node and a value breakdown.
+#[allow(clippy::too_many_arguments)]
+pub fn lightlt_loss(
+    tape: &mut Tape,
+    logits: Var,
+    o: Var,
+    prototypes: Var,
+    labels: &[usize],
+    weights: &[f32],
+    alpha: f32,
+    tau: f32,
+) -> (Var, LossBreakdown) {
+    let n = labels.len();
+    assert_eq!(tape.value(logits).rows(), n, "logits/labels mismatch");
+    assert_eq!(tape.value(o).rows(), n, "o/labels mismatch");
+    let num_classes = tape.value(prototypes).rows();
+    assert_eq!(tape.value(logits).cols(), num_classes, "logit width mismatch");
+
+    let sample_weights: Vec<f32> = labels.iter().map(|&y| weights[y]).collect();
+
+    // --- class-weighted cross-entropy (Eqn. 12) ---
+    let logp = tape.log_softmax_rows(logits);
+    let ce = tape.nll_weighted(logp, labels, &sample_weights);
+
+    // --- center loss (Eqn. 13), squared-L2 form ---
+    let own_proto = tape.gather_rows(prototypes, labels);
+    let center_diff = tape.sub(o, own_proto);
+    let center_sq = tape.row_norm_sq(center_diff);
+    let center = tape.mean(center_sq);
+
+    // --- ranking loss (Eqn. 14) ---
+    // dist²[i][c] = ‖o_i‖² + ‖z_c‖² − 2 ⟨o_i, z_c⟩, then plain L2 distance.
+    let ip = tape.matmul_bt(o, prototypes);
+    let ip2 = tape.scale(ip, -2.0);
+    let on = tape.row_norm_sq(o);
+    let with_o = tape.add_col_broadcast(ip2, on);
+    let pn = tape.row_norm_sq(prototypes);
+    let pn_t = tape.transpose(pn);
+    let d2 = tape.add_row_broadcast(with_o, pn_t);
+    // Small epsilon keeps the sqrt gradient bounded when an item sits
+    // exactly on its prototype.
+    let d2_eps = tape.add_scalar(d2, 1e-6);
+    let dist = tape.sqrt(d2_eps);
+    let neg_scaled = tape.scale(dist, -1.0 / tau);
+    let rank_logp = tape.log_softmax_rows(neg_scaled);
+    let ones = vec![1.0f32; n];
+    let ranking = tape.nll_weighted(rank_logp, labels, &ones);
+
+    // --- combine (Eqn. 15) ---
+    let aux = tape.add(center, ranking);
+    let aux_scaled = tape.scale(aux, alpha);
+    let total = tape.add(ce, aux_scaled);
+
+    let breakdown = LossBreakdown {
+        ce: tape.value(ce)[(0, 0)],
+        center: tape.value(center)[(0, 0)],
+        ranking: tape.value(ranking)[(0, 0)],
+        total: tape.value(total)[(0, 0)],
+    };
+    (total, breakdown)
+}
+
+/// Left side of Proposition 1's chain (Eqn. 19, simplified triplet form
+/// without margin): `Σ_i Σ_{j∈{y_i}} Σ_{k∉{y_i}} ‖o_i − o_j‖ − ‖o_i − o_k‖`.
+///
+/// O(N³) — test/diagnostic use only.
+pub fn simplified_triplet(o: &Matrix, labels: &[usize]) -> f32 {
+    let n = o.rows();
+    assert_eq!(labels.len(), n);
+    let mut total = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if labels[j] != labels[i] {
+                continue;
+            }
+            for k in 0..n {
+                if labels[k] == labels[i] {
+                    continue;
+                }
+                total += l2(o.row(i), o.row(j)) - l2(o.row(i), o.row(k));
+            }
+        }
+    }
+    total
+}
+
+/// Right side of Eqn. 19: the prototype-based upper bound
+/// `Σ (‖o_i − z_{y_i}‖ + ‖o_j − z_{y_i}‖) − (‖o_i − z_{y_k}‖ − ‖o_k − z_{y_k}‖)`
+/// over the same triplets. By the triangle inequality this is ≥
+/// [`simplified_triplet`] for any prototype placement.
+pub fn prototype_triplet_bound(o: &Matrix, labels: &[usize], prototypes: &Matrix) -> f32 {
+    let n = o.rows();
+    assert_eq!(labels.len(), n);
+    let mut total = 0.0;
+    for i in 0..n {
+        let zi = prototypes.row(labels[i]);
+        for j in 0..n {
+            if labels[j] != labels[i] {
+                continue;
+            }
+            for k in 0..n {
+                if labels[k] == labels[i] {
+                    continue;
+                }
+                let zk = prototypes.row(labels[k]);
+                let pos = l2(o.row(i), zi) + l2(o.row(j), zi);
+                let neg = l2(o.row(i), zk) - l2(o.row(k), zk);
+                total += pos - neg;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::random::{randn, rng};
+
+    #[test]
+    fn gamma_zero_gives_uniform_weights() {
+        let w = class_weights(&[100, 10, 1], 0.0);
+        assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn high_gamma_upweights_tail() {
+        let w = class_weights(&[1000, 100, 10], 0.999);
+        assert!(w[2] > w[1] && w[1] > w[0], "{w:?}");
+        // Near-inverse-frequency: w ∝ 1/π approximately.
+        let ratio = w[2] / w[0];
+        assert!(ratio > 10.0, "tail/head ratio only {ratio}");
+    }
+
+    #[test]
+    fn weights_normalized_to_mean_one() {
+        let w = class_weights(&[500, 50, 5, 1], 0.99);
+        let mean: f32 = w.iter().sum::<f32>() / 4.0;
+        assert!((mean - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_classes_get_zero_weight() {
+        let w = class_weights(&[10, 0, 5], 0.9);
+        assert_eq!(w[1], 0.0);
+        assert!(w[0] > 0.0 && w[2] > 0.0);
+    }
+
+    #[test]
+    fn loss_components_finite_and_combined() {
+        let mut r = rng(1);
+        let n = 8;
+        let c = 4;
+        let d = 6;
+        let labels: Vec<usize> = (0..n).map(|i| i % c).collect();
+        let weights = class_weights(&[4, 2, 1, 1], 0.99);
+
+        let mut tape = Tape::new();
+        let logits = {
+            let m = randn(n, c, &mut r);
+            tape.constant(m)
+        };
+        let o = {
+            let m = randn(n, d, &mut r);
+            tape.constant(m)
+        };
+        let protos = {
+            let m = randn(c, d, &mut r);
+            tape.constant(m)
+        };
+        let (total, b) = lightlt_loss(&mut tape, logits, o, protos, &labels, &weights, 0.5, 1.0);
+        assert!(b.ce.is_finite() && b.center.is_finite() && b.ranking.is_finite());
+        assert!((b.total - (b.ce + 0.5 * (b.center + b.ranking))).abs() < 1e-4);
+        assert_eq!(tape.value(total)[(0, 0)], b.total);
+        assert!(b.center >= 0.0, "center loss is a squared norm");
+        assert!(b.ranking >= 0.0, "ranking loss is an NLL");
+    }
+
+    #[test]
+    fn alpha_zero_reduces_to_ce() {
+        let mut r = rng(2);
+        let labels = vec![0usize, 1];
+        let weights = vec![1.0, 1.0];
+        let mut tape = Tape::new();
+        let logits = tape.constant(randn(2, 2, &mut r));
+        let o = tape.constant(randn(2, 3, &mut r));
+        let protos = tape.constant(randn(2, 3, &mut r));
+        let (_, b) = lightlt_loss(&mut tape, logits, o, protos, &labels, &weights, 0.0, 1.0);
+        assert!((b.total - b.ce).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_prototype_alignment_minimizes_center() {
+        // o exactly at prototypes ⇒ center = 0 and ranking below ln(C).
+        let protos_m = Matrix::from_rows(&[&[1.0, 0.0], &[-1.0, 0.0]]);
+        let labels = vec![0usize, 1];
+        let mut tape = Tape::new();
+        let logits = tape.constant(Matrix::from_rows(&[&[5.0, -5.0], &[-5.0, 5.0]]));
+        let o = tape.constant(protos_m.clone());
+        let protos = tape.constant(protos_m);
+        let (_, b) =
+            lightlt_loss(&mut tape, logits, o, protos, &labels, &[1.0, 1.0], 1.0, 1.0);
+        assert!(b.center < 1e-10);
+        assert!(b.ranking < (2.0f32).ln());
+    }
+
+    #[test]
+    fn proposition1_bound_holds_on_random_data() {
+        // The triangle-inequality chain of the proof must hold exactly.
+        for seed in 0..5 {
+            let mut r = rng(seed);
+            let o = randn(9, 4, &mut r);
+            let labels: Vec<usize> = (0..9).map(|i| i % 3).collect();
+            let protos = randn(3, 4, &mut r);
+            let lhs = simplified_triplet(&o, &labels);
+            let rhs = prototype_triplet_bound(&o, &labels, &protos);
+            assert!(
+                lhs <= rhs + 1e-3,
+                "Proposition 1 violated: triplet {lhs} > bound {rhs} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn triplet_zero_when_single_class() {
+        let o = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        assert_eq!(simplified_triplet(&o, &[0, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be in [0, 1)")]
+    fn rejects_gamma_out_of_range() {
+        let _ = class_weights(&[1], 1.0);
+    }
+}

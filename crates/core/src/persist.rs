@@ -1,0 +1,313 @@
+//! Model and index persistence.
+//!
+//! Two formats:
+//!
+//! * **Model bundles** — config + weights as JSON-compatible structures via
+//!   `serde` (human-inspectable, version-tolerant). A bundle restores an
+//!   identical [`LightLt`] + [`ParamStore`] pair.
+//! * **Index images** — a compact binary layout for a [`QuantizedIndex`]:
+//!   fixed little-endian header, raw `f32` codebooks, *bit-packed* codes
+//!   (the paper's `M·log2(K)/8` bytes per item), and per-item norms.
+
+use bytes::{Buf, BufMut, BytesMut};
+use lt_linalg::{Matrix, Metric};
+use lt_tensor::ParamStore;
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{bits_per_id, pack_codes, unpack_codes};
+use crate::config::LightLtConfig;
+use crate::index::QuantizedIndex;
+use crate::model::LightLt;
+
+/// Serializable model bundle: everything needed to reconstruct a trained
+/// LightLT model.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The model/training configuration.
+    pub config: LightLtConfig,
+    /// Which ensemble member the weights came from (0 for the averaged
+    /// model).
+    pub seed_offset: u64,
+    /// All weights.
+    pub store: ParamStore,
+}
+
+/// Current bundle format version.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// Magic bytes of the binary index image.
+pub const INDEX_MAGIC: &[u8; 8] = b"LTINDEX1";
+
+impl ModelBundle {
+    /// Captures a trained model and its weights.
+    pub fn capture(model: &LightLt, store: &ParamStore) -> Self {
+        Self {
+            version: BUNDLE_VERSION,
+            config: model.config.clone(),
+            seed_offset: model.seed_offset,
+            store: store.clone(),
+        }
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("bundle serialization cannot fail")
+    }
+
+    /// Restores from JSON.
+    ///
+    /// # Errors
+    /// Returns a message when the JSON is malformed, the version is
+    /// unsupported, or the weights do not match the config's architecture.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let bundle: ModelBundle =
+            serde_json::from_str(json).map_err(|e| format!("malformed bundle: {e}"))?;
+        if bundle.version != BUNDLE_VERSION {
+            return Err(format!(
+                "unsupported bundle version {} (expected {BUNDLE_VERSION})",
+                bundle.version
+            ));
+        }
+        Ok(bundle)
+    }
+
+    /// Rebuilds the model structure and verifies the stored weights match
+    /// its schema.
+    ///
+    /// # Errors
+    /// Returns a message when weight names/shapes disagree with the
+    /// architecture the config describes.
+    pub fn restore(&self) -> Result<(LightLt, ParamStore), String> {
+        let (model, fresh) = LightLt::new(&self.config, self.seed_offset);
+        if !fresh.schema_matches(&self.store) {
+            return Err("stored weights do not match the config's architecture".into());
+        }
+        Ok((model, self.store.clone()))
+    }
+}
+
+/// Serializes a [`QuantizedIndex`] to the binary index-image format.
+pub fn serialize_index(index: &QuantizedIndex) -> Vec<u8> {
+    let m = index.num_codebooks();
+    let k = index.num_codewords();
+    let d = index.dim();
+    let n = index.len();
+
+    let mut buf = BytesMut::new();
+    buf.put_slice(INDEX_MAGIC);
+    buf.put_u8(match index.metric() {
+        Metric::NegSquaredL2 => 0,
+        Metric::InnerProduct => 1,
+        Metric::Cosine => 2,
+    });
+    buf.put_u32_le(m as u32);
+    buf.put_u32_le(k as u32);
+    buf.put_u32_le(d as u32);
+    buf.put_u64_le(n as u64);
+
+    for cb in index.codebooks() {
+        for &v in cb.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    let packed = pack_codes(index.codes(), k);
+    buf.put_u64_le(packed.len() as u64);
+    buf.put_slice(&packed);
+    for i in 0..n {
+        buf.put_f32_le(index.recon_norm_sq(i));
+    }
+    buf.to_vec()
+}
+
+/// Restores a [`QuantizedIndex`] from an index image.
+///
+/// # Errors
+/// Returns a message on bad magic, truncation, or inconsistent sizes.
+pub fn deserialize_index(bytes: &[u8]) -> Result<QuantizedIndex, String> {
+    let mut buf = bytes;
+    if buf.remaining() < INDEX_MAGIC.len() || &buf[..INDEX_MAGIC.len()] != INDEX_MAGIC {
+        return Err("bad index magic".into());
+    }
+    buf.advance(INDEX_MAGIC.len());
+    if buf.remaining() < 1 + 4 + 4 + 4 + 8 {
+        return Err("truncated index header".into());
+    }
+    let metric = match buf.get_u8() {
+        0 => Metric::NegSquaredL2,
+        1 => Metric::InnerProduct,
+        2 => Metric::Cosine,
+        other => return Err(format!("unknown metric tag {other}")),
+    };
+    let m = buf.get_u32_le() as usize;
+    let k = buf.get_u32_le() as usize;
+    let d = buf.get_u32_le() as usize;
+    let n = buf.get_u64_le() as usize;
+    if m == 0 || k < 2 || d == 0 {
+        return Err("degenerate index dimensions".into());
+    }
+
+    let cb_floats = m * k * d;
+    if buf.remaining() < cb_floats * 4 {
+        return Err("truncated codebooks".into());
+    }
+    let mut codebooks = Vec::with_capacity(m);
+    for _ in 0..m {
+        let mut data = Vec::with_capacity(k * d);
+        for _ in 0..k * d {
+            data.push(buf.get_f32_le());
+        }
+        codebooks.push(Matrix::from_vec(k, d, data));
+    }
+
+    if buf.remaining() < 8 {
+        return Err("truncated code-length field".into());
+    }
+    let packed_len = buf.get_u64_le() as usize;
+    let expected_packed = (n as u64 * m as u64 * bits_per_id(k) as u64).div_ceil(8) as usize;
+    if packed_len != expected_packed {
+        return Err(format!(
+            "packed code length {packed_len} does not match expected {expected_packed}"
+        ));
+    }
+    if buf.remaining() < packed_len {
+        return Err("truncated packed codes".into());
+    }
+    let codes = unpack_codes(&buf[..packed_len], n, m, k);
+    buf.advance(packed_len);
+
+    if buf.remaining() < n * 4 {
+        return Err("truncated norms".into());
+    }
+    let mut norms = Vec::with_capacity(n);
+    for _ in 0..n {
+        norms.push(buf.get_f32_le());
+    }
+
+    Ok(QuantizedIndex::from_parts(codebooks, codes, norms, metric, d, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CodebookTopology;
+    use crate::dsq::Dsq;
+    use crate::search::adc_search;
+    use lt_linalg::random::{randn, rng};
+
+    fn trained_pair() -> (LightLt, ParamStore) {
+        let config = LightLtConfig {
+            input_dim: 8,
+            backbone_hidden: 12,
+            embed_dim: 6,
+            num_classes: 3,
+            num_codebooks: 2,
+            num_codewords: 8,
+            ffn_hidden: 8,
+            ..Default::default()
+        };
+        LightLt::new(&config, 0)
+    }
+
+    #[test]
+    fn bundle_roundtrip_preserves_weights_and_behaviour() {
+        let (model, store) = trained_pair();
+        let bundle = ModelBundle::capture(&model, &store);
+        let json = bundle.to_json();
+        let restored = ModelBundle::from_json(&json).unwrap();
+        let (model2, store2) = restored.restore().unwrap();
+
+        let x = randn(5, 8, &mut rng(1));
+        assert_eq!(model.encode(&store, &x), model2.encode(&store2, &x));
+        let e1 = model.embed(&store, &x);
+        let e2 = model2.embed(&store2, &x);
+        for (a, b) in e1.as_slice().iter().zip(e2.as_slice()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn bundle_rejects_wrong_version() {
+        let (model, store) = trained_pair();
+        let mut bundle = ModelBundle::capture(&model, &store);
+        bundle.version = 999;
+        let json = bundle.to_json();
+        assert!(ModelBundle::from_json(&json).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn bundle_rejects_mismatched_architecture() {
+        let (model, store) = trained_pair();
+        let mut bundle = ModelBundle::capture(&model, &store);
+        bundle.config.embed_dim = 12; // architecture no longer matches weights
+        assert!(bundle.restore().is_err());
+    }
+
+    fn build_index() -> QuantizedIndex {
+        let mut store = ParamStore::new();
+        let dsq = Dsq::new(
+            &mut store,
+            3,
+            16,
+            6,
+            12,
+            CodebookTopology::DoubleSkip,
+            0.1,
+            Metric::NegSquaredL2,
+            &mut rng(2),
+        );
+        let db = randn(30, 6, &mut rng(3)).scale(0.4);
+        QuantizedIndex::build(&dsq, &store, &db)
+    }
+
+    #[test]
+    fn index_image_roundtrip_preserves_search() {
+        let index = build_index();
+        let bytes = serialize_index(&index);
+        let restored = deserialize_index(&bytes).unwrap();
+        assert_eq!(restored.len(), index.len());
+        assert_eq!(restored.num_codebooks(), index.num_codebooks());
+        let q = [0.1f32, -0.2, 0.3, 0.0, 0.5, -0.4];
+        let a = adc_search(&index, &q, 10);
+        let b = adc_search(&restored, &q, 10);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert!((x.score - y.score).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn index_image_detects_corruption() {
+        let index = build_index();
+        let mut bytes = serialize_index(&index);
+        // Bad magic.
+        let mut broken = bytes.clone();
+        broken[0] ^= 0xFF;
+        assert!(deserialize_index(&broken).is_err());
+        // Truncation at various points.
+        for cut in [4usize, 12, 30, bytes.len() - 3] {
+            assert!(
+                deserialize_index(&bytes[..cut]).is_err(),
+                "truncation at {cut} not detected"
+            );
+        }
+        // Corrupt the packed-length field (bytes 21..29).
+        bytes[21] = bytes[21].wrapping_add(1);
+        assert!(deserialize_index(&bytes).is_err());
+    }
+
+    #[test]
+    fn index_image_is_compact() {
+        let index = build_index();
+        let bytes = serialize_index(&index);
+        // Must be within a small overhead of the paper's storage accounting.
+        let accounted = index.storage_bytes();
+        assert!(
+            bytes.len() <= accounted + 64,
+            "image {} bytes vs accounted {accounted}",
+            bytes.len()
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Search: ADC lookup-table kNN over a [`QuantizedIndex`] and the exhaustive
+//! dense-scan comparator (Section IV-B).
+
+use lt_linalg::distance::{similarity, Metric};
+use lt_linalg::gemm::dot;
+use lt_linalg::topk::{Scored, TopK};
+use lt_linalg::Matrix;
+
+use crate::index::QuantizedIndex;
+
+/// kNN over the quantized index via asymmetric distance computation:
+/// one `O(dMK)` lookup table, then `O(M)` adds per item.
+pub fn adc_search(index: &QuantizedIndex, query: &[f32], k: usize) -> Vec<Scored> {
+    let lut = index.build_lut(query);
+    let qn = match index.metric() {
+        Metric::NegSquaredL2 => dot(query, query),
+        _ => 0.0,
+    };
+    let mut scores = Vec::new();
+    index.scores_with_lut(&lut, qn, &mut scores);
+    let mut acc = TopK::new(k);
+    for (i, &s) in scores.iter().enumerate() {
+        acc.push(s, i);
+    }
+    acc.into_sorted_vec()
+}
+
+/// Batch ADC search: one result list per query row.
+pub fn adc_search_batch(index: &QuantizedIndex, queries: &Matrix, k: usize) -> Vec<Vec<Scored>> {
+    (0..queries.rows()).map(|i| adc_search(index, queries.row(i), k)).collect()
+}
+
+/// Parallel batch ADC search over `num_threads` worker threads. Queries are
+/// embarrassingly parallel (the index is read-only), so this scales close
+/// to linearly until memory bandwidth saturates.
+///
+/// Results are in query order, identical to [`adc_search_batch`].
+pub fn adc_search_batch_parallel(
+    index: &QuantizedIndex,
+    queries: &Matrix,
+    k: usize,
+    num_threads: usize,
+) -> Vec<Vec<Scored>> {
+    let n = queries.rows();
+    let threads = num_threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        return adc_search_batch(index, queries, k);
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Vec<Scored>> = vec![Vec::new(); n];
+    crossbeam::thread::scope(|scope| {
+        for (t, slot) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move |_| {
+                for (offset, dst) in slot.iter_mut().enumerate() {
+                    *dst = adc_search(index, queries.row(start + offset), k);
+                }
+            });
+        }
+    })
+    .expect("search worker panicked");
+    out
+}
+
+/// Exhaustive kNN over dense embeddings (`n × d`), the `O(nd)` baseline.
+pub fn exhaustive_search(
+    database: &Matrix,
+    query: &[f32],
+    metric: Metric,
+    k: usize,
+) -> Vec<Scored> {
+    assert_eq!(database.cols(), query.len(), "query dimension mismatch");
+    let mut acc = TopK::new(k);
+    for i in 0..database.rows() {
+        acc.push(similarity(metric, query, database.row(i)), i);
+    }
+    acc.into_sorted_vec()
+}
+
+/// Batch exhaustive search.
+pub fn exhaustive_search_batch(
+    database: &Matrix,
+    queries: &Matrix,
+    metric: Metric,
+    k: usize,
+) -> Vec<Vec<Scored>> {
+    (0..queries.rows())
+        .map(|i| exhaustive_search(database, queries.row(i), metric, k))
+        .collect()
+}
+
+/// Two-stage search: an ADC shortlist of `shortlist` candidates is
+/// re-ranked by exact distance against the dense embeddings, returning the
+/// best `k`.
+///
+/// This trades a little memory (the dense vectors must be available, e.g.
+/// on disk or a slower tier) for recall close to exact search while the
+/// expensive exact distances are computed on only `shortlist ≪ n` items —
+/// the standard production topology for quantized indexes.
+///
+/// # Panics
+/// Panics if `database` and the index disagree on item count or dimension.
+pub fn adc_search_rerank(
+    index: &QuantizedIndex,
+    database: &Matrix,
+    query: &[f32],
+    k: usize,
+    shortlist: usize,
+) -> Vec<Scored> {
+    assert_eq!(database.rows(), index.len(), "database/index item count mismatch");
+    assert_eq!(database.cols(), index.dim(), "database/index dimension mismatch");
+    let shortlist = shortlist.max(k);
+    let candidates = adc_search(index, query, shortlist);
+    let mut acc = TopK::new(k);
+    for c in candidates {
+        acc.push(similarity(index.metric(), query, database.row(c.index)), c.index);
+    }
+    acc.into_sorted_vec()
+}
+
+/// Full descending ranking of all indexed items for one query (used by MAP
+/// evaluation, which ranks the entire database).
+pub fn adc_rank_all(index: &QuantizedIndex, query: &[f32]) -> Vec<usize> {
+    adc_search(index, query, index.len()).into_iter().map(|s| s.index).collect()
+}
+
+/// Full descending ranking of a dense database for one query.
+pub fn exhaustive_rank_all(database: &Matrix, query: &[f32], metric: Metric) -> Vec<usize> {
+    exhaustive_search(database, query, metric, database.rows())
+        .into_iter()
+        .map(|s| s.index)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CodebookTopology;
+    use crate::dsq::Dsq;
+    use lt_linalg::random::{randn, rng};
+    use lt_tensor::ParamStore;
+
+    fn build_index(seed: u64) -> (QuantizedIndex, Matrix) {
+        let mut store = ParamStore::new();
+        let mut r = rng(seed);
+        let dsq = Dsq::new(
+            &mut store,
+            3,
+            16,
+            6,
+            12,
+            CodebookTopology::DoubleSkip,
+            0.1,
+            Metric::NegSquaredL2,
+            &mut r,
+        );
+        let db = randn(60, 6, &mut rng(seed + 1)).scale(0.4);
+        (QuantizedIndex::build(&dsq, &store, &db), db)
+    }
+
+    #[test]
+    fn adc_matches_reconstructed_exhaustive() {
+        // ADC over codes must return the same ranking as exhaustive search
+        // over the explicitly reconstructed database.
+        let (idx, _) = build_index(10);
+        let recon = {
+            let mut m = Matrix::zeros(idx.len(), idx.dim());
+            for i in 0..idx.len() {
+                m.row_mut(i).copy_from_slice(&idx.reconstruct_item(i));
+            }
+            m
+        };
+        let q = [0.3f32, -0.2, 0.1, 0.5, -0.4, 0.0];
+        let adc = adc_search(&idx, &q, 10);
+        let exact = exhaustive_search(&recon, &q, Metric::NegSquaredL2, 10);
+        let adc_ids: Vec<usize> = adc.iter().map(|s| s.index).collect();
+        let exact_ids: Vec<usize> = exact.iter().map(|s| s.index).collect();
+        assert_eq!(adc_ids, exact_ids);
+        for (a, e) in adc.iter().zip(&exact) {
+            assert!((a.score - e.score).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_self() {
+        let db = randn(30, 5, &mut rng(20));
+        let q = db.row(7).to_vec();
+        let hits = exhaustive_search(&db, &q, Metric::NegSquaredL2, 1);
+        assert_eq!(hits[0].index, 7);
+        assert!(hits[0].score.abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_all_returns_permutation() {
+        let (idx, _) = build_index(30);
+        let q = [0.0f32; 6];
+        let rank = adc_rank_all(&idx, &q);
+        assert_eq!(rank.len(), idx.len());
+        let mut sorted = rank.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..idx.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_search_consistent_with_single() {
+        let (idx, _) = build_index(40);
+        let queries = randn(4, 6, &mut rng(41));
+        let batch = adc_search_batch(&idx, &queries, 5);
+        for (i, single) in batch.iter().enumerate() {
+            let expect = adc_search(&idx, queries.row(i), 5);
+            assert_eq!(single.len(), expect.len());
+            for (a, b) in single.iter().zip(&expect) {
+                assert_eq!(a.index, b.index);
+            }
+        }
+    }
+
+    #[test]
+    fn rerank_recovers_exact_results_with_full_shortlist() {
+        let (idx, db) = build_index(70);
+        let q = [0.2f32, -0.1, 0.4, 0.0, -0.3, 0.1];
+        // shortlist = n degenerates to exact search.
+        let reranked = adc_search_rerank(&idx, &db, &q, 5, idx.len());
+        let exact = exhaustive_search(&db, &q, Metric::NegSquaredL2, 5);
+        let ri: Vec<usize> = reranked.iter().map(|s| s.index).collect();
+        let ei: Vec<usize> = exact.iter().map(|s| s.index).collect();
+        assert_eq!(ri, ei);
+        for (a, b) in reranked.iter().zip(&exact) {
+            assert!((a.score - b.score).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rerank_scores_are_exact_distances() {
+        let (idx, db) = build_index(80);
+        let q = [0.0f32, 0.5, -0.5, 0.2, 0.1, -0.2];
+        let hits = adc_search_rerank(&idx, &db, &q, 3, 10);
+        for h in hits {
+            let exact = -lt_linalg::distance::squared_l2(&q, db.row(h.index));
+            assert!((h.score - exact).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rerank_recall_improves_with_shortlist_size() {
+        // Recall@10 against exact search must be non-decreasing in the
+        // shortlist size (on average; we check the endpoints).
+        let (idx, db) = build_index(90);
+        let queries = randn(8, 6, &mut rng(91)).scale(0.4);
+        let recall = |shortlist: usize| -> f64 {
+            let mut hits = 0usize;
+            for qi in 0..queries.rows() {
+                let q = queries.row(qi);
+                let exact: Vec<usize> = exhaustive_search(&db, q, Metric::NegSquaredL2, 10)
+                    .into_iter()
+                    .map(|s| s.index)
+                    .collect();
+                let got = adc_search_rerank(&idx, &db, q, 10, shortlist);
+                hits += got.iter().filter(|s| exact.contains(&s.index)).count();
+            }
+            hits as f64 / (queries.rows() * 10) as f64
+        };
+        let small = recall(10);
+        let large = recall(idx.len());
+        assert!((large - 1.0).abs() < 1e-9, "full shortlist must be exact");
+        assert!(small <= large + 1e-9);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let (idx, _) = build_index(60);
+        let queries = randn(9, 6, &mut rng(61));
+        let seq = adc_search_batch(&idx, &queries, 7);
+        for threads in [1usize, 2, 4, 16] {
+            let par = adc_search_batch_parallel(&idx, &queries, 7, threads);
+            assert_eq!(par.len(), seq.len());
+            for (a, b) in par.iter().zip(&seq) {
+                let ai: Vec<usize> = a.iter().map(|s| s.index).collect();
+                let bi: Vec<usize> = b.iter().map(|s| s.index).collect();
+                assert_eq!(ai, bi, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_truncates_results() {
+        let (idx, _) = build_index(50);
+        assert_eq!(adc_search(&idx, &[0.0; 6], 3).len(), 3);
+        assert_eq!(adc_search(&idx, &[0.0; 6], 1000).len(), idx.len());
+    }
+}

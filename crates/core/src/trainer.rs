@@ -1,0 +1,303 @@
+//! Training loop for a single LightLT base model (Algorithm 1, lines 2–6).
+
+use lt_data::{BatchIter, Dataset};
+use lt_tensor::optim::{AdamW, Optimizer};
+use lt_tensor::{LrSchedule, ParamId, ParamStore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{LightLtConfig, ScheduleKind};
+use crate::model::LightLt;
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean total loss over the epoch's batches.
+    pub loss: f32,
+    /// Mean cross-entropy component.
+    pub ce: f32,
+    /// Mean center-loss component.
+    pub center: f32,
+    /// Mean ranking-loss component.
+    pub ranking: f32,
+    /// Learning rate at the end of the epoch.
+    pub lr: f32,
+}
+
+/// Full training history of one run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainHistory {
+    /// One entry per epoch.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainHistory {
+    /// Final-epoch loss (infinity when untrained).
+    pub fn final_loss(&self) -> f32 {
+        self.epochs.last().map_or(f32::INFINITY, |e| e.loss)
+    }
+}
+
+/// Builds the LR schedule implied by the config for a run of `total_steps`.
+pub fn build_schedule(config: &LightLtConfig, total_steps: usize) -> LrSchedule {
+    let warmup = ((total_steps as f32 * config.warmup_fraction).round() as usize)
+        .min(total_steps.saturating_sub(1));
+    match config.schedule {
+        ScheduleKind::Constant => LrSchedule::Constant { lr: config.learning_rate },
+        ScheduleKind::Cosine => LrSchedule::CosineAnnealing {
+            lr: config.learning_rate,
+            min_lr: config.learning_rate * 0.01,
+            warmup_steps: warmup,
+            total_steps,
+        },
+        ScheduleKind::Linear => LrSchedule::LinearWithWarmup {
+            lr: config.learning_rate,
+            warmup_steps: warmup,
+            total_steps,
+        },
+    }
+}
+
+/// Trains `model`'s parameters in `store` on the long-tail training set.
+///
+/// `trainable` restricts updates to a parameter subset (`None` = all); this
+/// is how the ensemble fine-tuning stage trains DSQ only. `epochs_override`
+/// lets the fine-tuning stage run fewer epochs than `config.epochs`.
+pub fn train(
+    model: &LightLt,
+    store: &mut ParamStore,
+    train_set: &Dataset,
+    trainable: Option<&[ParamId]>,
+    epochs_override: Option<usize>,
+) -> TrainHistory {
+    let config = &model.config;
+    let epochs = epochs_override.unwrap_or(config.epochs);
+    let steps_per_epoch = train_set.len().div_ceil(config.batch_size).max(1);
+    let total_steps = (epochs * steps_per_epoch).max(1);
+    let schedule = build_schedule(config, total_steps);
+
+    let mut opt = AdamW::new(config.learning_rate);
+    // The codebook-skip parameters (gates + FFN) stay frozen for the first
+    // `skip_warmup_fraction` of steps; see `LightLtConfig` docs.
+    let skip_warmup_steps =
+        (total_steps as f32 * config.skip_warmup_fraction.clamp(0.0, 1.0)).round() as usize;
+    let is_skip_param =
+        |store: &ParamStore, id: ParamId| -> bool {
+            let name = &store.get(id).name;
+            name.starts_with("dsq.gate.") || name.starts_with("dsq.ffn.")
+        };
+    let all_ids: Vec<ParamId> = match trainable {
+        Some(ids) => ids.to_vec(),
+        None => store.ids(),
+    };
+    let warmup_ids: Vec<ParamId> =
+        all_ids.iter().copied().filter(|&id| !is_skip_param(store, id)).collect();
+    // Data order varies per ensemble base model (the paper's stochastic
+    // diversity between base runs).
+    let mut data_rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(7)
+            .wrapping_add(model.seed_offset.wrapping_mul(0x5851_F42D)),
+    );
+    let mut history = TrainHistory::default();
+    let mut step = 0usize;
+
+    for epoch in 0..epochs {
+        let mut sums = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let mut batches = 0usize;
+        for batch in BatchIter::new(train_set, config.batch_size, &mut data_rng) {
+            store.zero_grads();
+            let (breakdown, _) = model.loss_on_batch(store, &batch.features, &batch.labels);
+
+            if config.grad_clip > 0.0 {
+                let norm = store.grad_norm();
+                if norm > config.grad_clip {
+                    store.scale_grads(config.grad_clip / norm);
+                }
+            }
+
+            opt.set_lr(schedule.at(step));
+            if step < skip_warmup_steps {
+                opt.step_subset(store, &warmup_ids);
+            } else {
+                opt.step_subset(store, &all_ids);
+            }
+            step += 1;
+            sums.0 += breakdown.total;
+            sums.1 += breakdown.ce;
+            sums.2 += breakdown.center;
+            sums.3 += breakdown.ranking;
+            batches += 1;
+        }
+        let inv = 1.0 / batches.max(1) as f32;
+        history.epochs.push(EpochStats {
+            epoch,
+            loss: sums.0 * inv,
+            ce: sums.1 * inv,
+            center: sums.2 * inv,
+            ranking: sums.3 * inv,
+            lr: schedule.at(step.saturating_sub(1)),
+        });
+    }
+    history
+}
+
+/// Convenience: construct, configure class weights, and train one base
+/// model with the given seed offset. Returns the model, its weights, and
+/// the history.
+pub fn train_base_model(
+    config: &LightLtConfig,
+    train_set: &Dataset,
+    seed_offset: u64,
+) -> (LightLt, ParamStore, TrainHistory) {
+    let (mut model, mut store) = LightLt::new(config, seed_offset);
+    model.set_class_counts(&train_set.class_counts());
+    let history = train(&model, &mut store, train_set, None, None);
+    (model, store, history)
+}
+
+/// Grid-searches the loss weight α on a validation split, the paper's
+/// Section V-A4 protocol ("we tune the hyper-parameter α with grid search
+/// on the validation set").
+///
+/// A holdout slice of the training set serves as the validation query set;
+/// the remaining slice is both the training data and the search database.
+/// Returns the candidate with the highest validation MAP (ties go to the
+/// earlier candidate).
+///
+/// # Panics
+/// Panics if `candidates` is empty.
+pub fn tune_alpha(
+    config: &LightLtConfig,
+    train_set: &lt_data::Dataset,
+    candidates: &[f32],
+) -> f32 {
+    assert!(!candidates.is_empty(), "need at least one alpha candidate");
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xA1FA));
+    let (fit_set, holdout) = lt_data::split::train_holdout_split(train_set, 0.15, &mut rng);
+
+    let mut best = candidates[0];
+    let mut best_map = f64::NEG_INFINITY;
+    for &alpha in candidates {
+        let candidate_config = LightLtConfig { alpha, ensemble_size: 1, ..config.clone() };
+        let (model, store, _) = train_base_model(&candidate_config, &fit_set, 0);
+        let db_emb = model.embed(&store, &fit_set.features);
+        let q_emb = model.embed(&store, &holdout.features);
+        let index = crate::index::QuantizedIndex::build(&model.dsq, &store, &db_emb);
+        let rankings: Vec<Vec<usize>> = (0..q_emb.rows())
+            .map(|i| crate::search::adc_rank_all(&index, q_emb.row(i)))
+            .collect();
+        let map = lt_eval::mean_average_precision(&rankings, &holdout.labels, &fit_set.labels);
+        if map > best_map {
+            best_map = map;
+            best = alpha;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_data::synth::{generate_split, Domain, SynthConfig};
+
+    fn tiny_split() -> lt_data::RetrievalSplit {
+        generate_split(&SynthConfig {
+            num_classes: 4,
+            dim: 8,
+            pi1: 30,
+            imbalance_factor: 6.0,
+            n_query: 12,
+            n_database: 60,
+            domain: Domain::ImageLike,
+            intra_class_std: None,
+            seed: 11,
+        })
+    }
+
+    fn tiny_config() -> LightLtConfig {
+        LightLtConfig {
+            input_dim: 8,
+            backbone_hidden: 16,
+            embed_dim: 6,
+            num_classes: 4,
+            num_codebooks: 2,
+            num_codewords: 8,
+            ffn_hidden: 8,
+            epochs: 6,
+            batch_size: 16,
+            learning_rate: 5e-3,
+            ensemble_size: 1,
+            seed: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let split = tiny_split();
+        let (_, _, history) = train_base_model(&tiny_config(), &split.train, 0);
+        assert_eq!(history.epochs.len(), 6);
+        let first = history.epochs.first().unwrap().loss;
+        let last = history.final_loss();
+        assert!(last < first, "loss did not improve: {first} → {last}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let split = tiny_split();
+        let (_, s1, h1) = train_base_model(&tiny_config(), &split.train, 0);
+        let (_, s2, h2) = train_base_model(&tiny_config(), &split.train, 0);
+        assert_eq!(h1.final_loss(), h2.final_loss());
+        let id = s1.id_of("dsq.p.0").unwrap();
+        assert_eq!(s1.value(id), s2.value(id));
+    }
+
+    #[test]
+    fn subset_training_freezes_backbone() {
+        let split = tiny_split();
+        let cfg = tiny_config();
+        let (mut model, mut store) = LightLt::new(&cfg, 0);
+        model.set_class_counts(&split.train.class_counts());
+        let backbone_id = store.id_of("backbone.0.weight").unwrap();
+        let before = store.value(backbone_id).clone();
+        let dsq_ids = store.ids_with_prefix("dsq.");
+        let _ = train(&model, &mut store, &split.train, Some(&dsq_ids), Some(2));
+        assert_eq!(store.value(backbone_id), &before, "frozen backbone moved");
+        // DSQ did move.
+        let p0 = store.id_of("dsq.p.0").unwrap();
+        let (_, fresh) = LightLt::new(&cfg, 0);
+        assert_ne!(store.value(p0), fresh.value(p0));
+    }
+
+    #[test]
+    fn tune_alpha_returns_a_candidate() {
+        let split = tiny_split();
+        let mut cfg = tiny_config();
+        cfg.epochs = 2;
+        let best = tune_alpha(&cfg, &split.train, &[0.0, 0.01, 0.1]);
+        assert!([0.0, 0.01, 0.1].contains(&best));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one alpha candidate")]
+    fn tune_alpha_rejects_empty_grid() {
+        let split = tiny_split();
+        let _ = tune_alpha(&tiny_config(), &split.train, &[]);
+    }
+
+    #[test]
+    fn schedule_built_per_kind() {
+        let mut cfg = tiny_config();
+        cfg.schedule = ScheduleKind::Constant;
+        assert!(matches!(build_schedule(&cfg, 100), LrSchedule::Constant { .. }));
+        cfg.schedule = ScheduleKind::Cosine;
+        assert!(matches!(build_schedule(&cfg, 100), LrSchedule::CosineAnnealing { .. }));
+        cfg.schedule = ScheduleKind::Linear;
+        assert!(matches!(build_schedule(&cfg, 100), LrSchedule::LinearWithWarmup { .. }));
+    }
+}

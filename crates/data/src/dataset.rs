@@ -1,0 +1,193 @@
+//! Dataset containers.
+//!
+//! A [`Dataset`] is a matrix of row features plus integer class labels.
+//! A [`RetrievalSplit`] bundles the three sets every experiment needs:
+//! a long-tail training set, a query set, and a database to retrieve from.
+
+use lt_linalg::Matrix;
+
+use crate::zipf::class_counts;
+
+/// Features (`n × d`) with one class label per row.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Row-major feature matrix.
+    pub features: Matrix,
+    /// Class label per row, in `0..num_classes`.
+    pub labels: Vec<usize>,
+    /// Total number of classes (shared across splits even when a split is
+    /// missing some tail class).
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating invariants.
+    ///
+    /// # Panics
+    /// Panics if row/label counts differ or a label is out of range.
+    pub fn new(features: Matrix, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(features.rows(), labels.len(), "feature/label count mismatch");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range (num_classes = {num_classes})"
+        );
+        Self { features, labels, num_classes }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset has no items.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Item count per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        class_counts(&self.labels, self.num_classes)
+    }
+
+    /// Indices of all items with the given label.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Sub-dataset with the given row indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let features = self.features.select_rows(indices);
+        let labels = indices.iter().map(|&i| self.labels[i]).collect();
+        Dataset { features, labels, num_classes: self.num_classes }
+    }
+
+    /// Per-class mean feature vectors (`num_classes × d`); empty classes get
+    /// zero rows. Used for prototype initialization and diagnostics.
+    pub fn class_means(&self) -> Matrix {
+        let mut sums = Matrix::zeros(self.num_classes, self.dim());
+        let mut counts = vec![0usize; self.num_classes];
+        for (i, &label) in self.labels.iter().enumerate() {
+            counts[label] += 1;
+            let row = self.features.row(i);
+            let srow = sums.row_mut(label);
+            for (s, &v) in srow.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                let inv = 1.0 / count as f32;
+                for v in sums.row_mut(c) {
+                    *v *= inv;
+                }
+            }
+        }
+        sums
+    }
+}
+
+/// The three sets of a retrieval experiment.
+#[derive(Debug, Clone)]
+pub struct RetrievalSplit {
+    /// Long-tail training set (drives supervised quantization).
+    pub train: Dataset,
+    /// Query set (items to search with).
+    pub query: Dataset,
+    /// Database (items to search over).
+    pub database: Dataset,
+}
+
+impl RetrievalSplit {
+    /// Validates that all three sets agree on dimension and class count.
+    pub fn validate(&self) {
+        assert_eq!(self.train.dim(), self.query.dim(), "train/query dim mismatch");
+        assert_eq!(self.train.dim(), self.database.dim(), "train/db dim mismatch");
+        assert_eq!(
+            self.train.num_classes, self.query.num_classes,
+            "train/query class count mismatch"
+        );
+        assert_eq!(
+            self.train.num_classes, self.database.num_classes,
+            "train/db class count mismatch"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 3.0], &[4.0, 5.0], &[6.0, 7.0]]),
+            vec![0, 1, 1, 0],
+            3,
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.class_counts(), vec![2, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_out_of_range_labels() {
+        let _ = Dataset::new(Matrix::zeros(1, 2), vec![5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature/label count mismatch")]
+    fn rejects_count_mismatch() {
+        let _ = Dataset::new(Matrix::zeros(2, 2), vec![0], 3);
+    }
+
+    #[test]
+    fn indices_and_subset() {
+        let d = toy();
+        assert_eq!(d.indices_of_class(1), vec![1, 2]);
+        let s = d.subset(&[1, 2]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels, vec![1, 1]);
+        assert_eq!(s.features.row(0), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn class_means_averages_rows() {
+        let d = toy();
+        let means = d.class_means();
+        // Class 0: rows (0,1) and (6,7) → (3, 4).
+        assert_eq!(means.row(0), &[3.0, 4.0]);
+        // Class 2 empty → zeros.
+        assert_eq!(means.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn split_validation_passes_on_consistent_sets() {
+        let d = toy();
+        let split = RetrievalSplit { train: d.clone(), query: d.clone(), database: d };
+        split.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "train/db dim mismatch")]
+    fn split_validation_catches_dim_mismatch() {
+        let d = toy();
+        let bad = Dataset::new(Matrix::zeros(1, 5), vec![0], 3);
+        let split = RetrievalSplit { train: d.clone(), query: d, database: bad };
+        split.validate();
+    }
+}

@@ -1,0 +1,176 @@
+//! Binary dataset serialization (`.ltd` format).
+//!
+//! A compact little-endian layout for [`Dataset`] and [`RetrievalSplit`]
+//! so generated benchmarks and user-provided embeddings can be stored and
+//! reloaded without JSON overhead (features are raw `f32`).
+//!
+//! Layout of one dataset block:
+//! `magic "LTDATA1\0" | num_classes u32 | rows u64 | cols u32 |`
+//! `features rows×cols f32 | labels rows×u32`.
+//! A split file is three consecutive blocks (train, query, database).
+
+use std::io::{self, Read, Write};
+
+use crate::dataset::{Dataset, RetrievalSplit};
+use lt_linalg::Matrix;
+
+/// Magic bytes of a dataset block.
+pub const DATASET_MAGIC: &[u8; 8] = b"LTDATA1\0";
+
+/// Writes one dataset block.
+pub fn write_dataset<W: Write>(w: &mut W, dataset: &Dataset) -> io::Result<()> {
+    w.write_all(DATASET_MAGIC)?;
+    w.write_all(&(dataset.num_classes as u32).to_le_bytes())?;
+    w.write_all(&(dataset.len() as u64).to_le_bytes())?;
+    w.write_all(&(dataset.dim() as u32).to_le_bytes())?;
+    for &v in dataset.features.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for &l in &dataset.labels {
+        w.write_all(&(l as u32).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_exact_array<R: Read, const N: usize>(r: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Reads one dataset block.
+///
+/// # Errors
+/// Returns an IO error on truncation or bad magic.
+pub fn read_dataset<R: Read>(r: &mut R) -> io::Result<Dataset> {
+    let magic = read_exact_array::<_, 8>(r)?;
+    if &magic != DATASET_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad dataset magic"));
+    }
+    let num_classes = u32::from_le_bytes(read_exact_array::<_, 4>(r)?) as usize;
+    let rows = u64::from_le_bytes(read_exact_array::<_, 8>(r)?) as usize;
+    let cols = u32::from_le_bytes(read_exact_array::<_, 4>(r)?) as usize;
+    if num_classes == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero classes"));
+    }
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(f32::from_le_bytes(read_exact_array::<_, 4>(r)?));
+    }
+    let mut labels = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let l = u32::from_le_bytes(read_exact_array::<_, 4>(r)?) as usize;
+        if l >= num_classes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("label {l} out of range (C={num_classes})"),
+            ));
+        }
+        labels.push(l);
+    }
+    Ok(Dataset::new(Matrix::from_vec(rows, cols, data), labels, num_classes))
+}
+
+/// Writes a full retrieval split (train, query, database).
+pub fn write_split<W: Write>(w: &mut W, split: &RetrievalSplit) -> io::Result<()> {
+    write_dataset(w, &split.train)?;
+    write_dataset(w, &split.query)?;
+    write_dataset(w, &split.database)
+}
+
+/// Reads a full retrieval split.
+///
+/// # Errors
+/// Returns an IO error on truncation, bad magic, or cross-set
+/// inconsistencies.
+pub fn read_split<R: Read>(r: &mut R) -> io::Result<RetrievalSplit> {
+    let train = read_dataset(r)?;
+    let query = read_dataset(r)?;
+    let database = read_dataset(r)?;
+    let split = RetrievalSplit { train, query, database };
+    split.validate();
+    Ok(split)
+}
+
+/// Convenience: write a split to a file path.
+pub fn save_split(path: impl AsRef<std::path::Path>, split: &RetrievalSplit) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_split(&mut f, split)?;
+    f.flush()
+}
+
+/// Convenience: read a split from a file path.
+pub fn load_split(path: impl AsRef<std::path::Path>) -> io::Result<RetrievalSplit> {
+    let mut f = io::BufReader::new(std::fs::File::open(path)?);
+    read_split(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_split, Domain, SynthConfig};
+
+    fn toy_split() -> RetrievalSplit {
+        generate_split(&SynthConfig {
+            num_classes: 4,
+            dim: 6,
+            pi1: 12,
+            imbalance_factor: 4.0,
+            n_query: 8,
+            n_database: 30,
+            domain: Domain::ImageLike,
+            intra_class_std: None,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn dataset_roundtrip_exact() {
+        let split = toy_split();
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &split.train).unwrap();
+        let back = read_dataset(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.features, split.train.features);
+        assert_eq!(back.labels, split.train.labels);
+        assert_eq!(back.num_classes, 4);
+    }
+
+    #[test]
+    fn split_roundtrip_via_file() {
+        let split = toy_split();
+        let path = std::env::temp_dir().join("lt_data_io_test.ltd");
+        save_split(&path, &split).unwrap();
+        let back = load_split(&path).unwrap();
+        assert_eq!(back.train.features, split.train.features);
+        assert_eq!(back.query.labels, split.query.labels);
+        assert_eq!(back.database.len(), split.database.len());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &toy_split().train).unwrap();
+        buf[0] ^= 0xFF;
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &toy_split().train).unwrap();
+        for cut in [4usize, 20, buf.len() / 2, buf.len() - 1] {
+            assert!(read_dataset(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_label_rejected() {
+        let mut buf = Vec::new();
+        write_dataset(&mut buf, &toy_split().train).unwrap();
+        // Corrupt the last label (the final 4 bytes).
+        let n = buf.len();
+        buf[n - 4..].copy_from_slice(&999u32.to_le_bytes());
+        assert!(read_dataset(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `lt-data`: long-tail dataset synthesis for the LightLT reproduction.
+//!
+//! The paper evaluates on Cifar100, ImageNet100, Amazon News (NC), and a
+//! proprietary Amazon query dataset (QBA), all re-split to Zipf's-law
+//! long-tail distributions (Definition 1, Table I). None of those are
+//! available here, and the paper's pipelines consume *pretrained
+//! embeddings* rather than raw data — so this crate synthesizes embedding
+//! datasets with controlled class geometry and exactly the Table-I class
+//! statistics. See DESIGN.md §3 for the substitution argument.
+//!
+//! * [`zipf`] — Zipf class sizes and imbalance-factor math (Definition 1).
+//! * [`dataset`] — [`Dataset`] / [`RetrievalSplit`] containers.
+//! * [`synth`] — Gaussian class-cluster generator with per-domain variance.
+//! * [`registry`] — the eight Table-I dataset specs and their generators.
+//! * [`split`] — mini-batch iteration and holdout splitting.
+//! * [`io`] — binary .ltd dataset serialization.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod io;
+pub mod registry;
+pub mod split;
+pub mod synth;
+pub mod zipf;
+
+pub use dataset::{Dataset, RetrievalSplit};
+pub use registry::{all_specs, generate, spec, DatasetKind, DatasetSpec};
+pub use split::{Batch, BatchIter};
+pub use synth::{generate_split, Domain, SynthConfig};

@@ -1,0 +1,219 @@
+//! The Table-I dataset registry.
+//!
+//! Eight long-tail benchmark configurations: {Cifar100, ImageNet100, NC,
+//! QBA} × IF ∈ {50, 100}, with the class counts, head/tail sizes, and split
+//! sizes of the paper's Table I. Because full-size generation is expensive
+//! for CI, every spec can be scaled down uniformly while preserving the
+//! class count and imbalance factor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::RetrievalSplit;
+use crate::synth::{generate_split, Domain, SynthConfig};
+
+/// The four benchmark datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// CIFAR-100 (image).
+    Cifar100,
+    /// ImageNet-100 (image).
+    ImageNet100,
+    /// Amazon News Categories (text).
+    Nc,
+    /// Amazon query dataset (text).
+    Qba,
+}
+
+impl DatasetKind {
+    /// All four kinds, in Table-I order.
+    pub const ALL: [DatasetKind; 4] =
+        [DatasetKind::Cifar100, DatasetKind::ImageNet100, DatasetKind::Nc, DatasetKind::Qba];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetKind::Cifar100 => "Cifar100",
+            DatasetKind::ImageNet100 => "ImageNet100",
+            DatasetKind::Nc => "NC",
+            DatasetKind::Qba => "QBA",
+        }
+    }
+
+    /// Embedding-space domain (image vs text).
+    pub fn domain(self) -> Domain {
+        match self {
+            DatasetKind::Cifar100 | DatasetKind::ImageNet100 => Domain::ImageLike,
+            DatasetKind::Nc | DatasetKind::Qba => Domain::TextLike,
+        }
+    }
+}
+
+/// One row of Table I.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset.
+    pub kind: DatasetKind,
+    /// Imbalance factor (50 or 100 in the paper).
+    pub imbalance_factor: u32,
+    /// Number of classes `C`.
+    pub num_classes: usize,
+    /// Head-class training size `π₁`.
+    pub pi1: usize,
+    /// Tail-class training size `π_C` (as reported in Table I).
+    pub pi_c: usize,
+    /// Training-set size reported in Table I.
+    pub n_train: usize,
+    /// Query-set size.
+    pub n_query: usize,
+    /// Database size.
+    pub n_db: usize,
+}
+
+/// Returns the Table-I row for a dataset/IF combination.
+///
+/// # Panics
+/// Panics for imbalance factors other than 50 or 100 (the two the paper
+/// evaluates).
+pub fn spec(kind: DatasetKind, imbalance_factor: u32) -> DatasetSpec {
+    use DatasetKind::*;
+    let (num_classes, pi1, pi_c, n_train, n_query, n_db) = match (kind, imbalance_factor) {
+        (Cifar100, 50) => (100, 500, 10, 3_732, 10_000, 50_000),
+        (Cifar100, 100) => (100, 500, 5, 2_598, 10_000, 50_000),
+        (ImageNet100, 50) => (100, 1_300, 26, 9_437, 5_000, 130_000),
+        (ImageNet100, 100) => (100, 1_300, 13, 6_834, 5_000, 130_000),
+        (Nc, 50) => (10, 29_000, 584, 52_027, 2_000, 65_000),
+        (Nc, 100) => (10, 29_000, 292, 45_300, 2_000, 72_000),
+        (Qba, 50) => (25, 10_000, 199, 29_236, 5_000, 636_000),
+        (Qba, 100) => (25, 10_000, 99, 23_527, 5_000, 642_000),
+        (_, other) => panic!("Table I defines IF ∈ {{50, 100}}, got {other}"),
+    };
+    DatasetSpec { kind, imbalance_factor, num_classes, pi1, pi_c, n_train, n_query, n_db }
+}
+
+/// All eight Table-I rows.
+pub fn all_specs() -> Vec<DatasetSpec> {
+    DatasetKind::ALL
+        .into_iter()
+        .flat_map(|k| [spec(k, 50), spec(k, 100)])
+        .collect()
+}
+
+/// Materializes a spec as a synthetic retrieval split.
+///
+/// `dim` is the embedding dimensionality (the paper's substrates produce
+/// 512-/768-dim features; the benches default to something smaller).
+/// `scale ∈ (0, 1]` shrinks `π₁`, `n_query`, and `n_db` proportionally while
+/// keeping `C` and `IF` fixed, so scaled-down runs preserve the long-tail
+/// geometry.
+pub fn generate(spec: &DatasetSpec, dim: usize, scale: f64, seed: u64) -> RetrievalSplit {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let pi1 = ((spec.pi1 as f64 * scale).round() as usize)
+        .max(spec.imbalance_factor as usize) // keep π_C ≥ 1
+        .max(2);
+    let n_query = ((spec.n_query as f64 * scale).round() as usize).max(spec.num_classes);
+    let n_db = ((spec.n_db as f64 * scale).round() as usize).max(spec.num_classes * 2);
+    let config = SynthConfig {
+        num_classes: spec.num_classes,
+        dim,
+        pi1,
+        imbalance_factor: spec.imbalance_factor as f64,
+        n_query,
+        n_database: n_db,
+        domain: spec.kind.domain(),
+        intra_class_std: None,
+        seed,
+    };
+    generate_split(&config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::imbalance_factor;
+
+    #[test]
+    fn all_specs_has_eight_rows() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 8);
+    }
+
+    #[test]
+    fn table1_values_roundtrip() {
+        let s = spec(DatasetKind::Nc, 100);
+        assert_eq!(s.num_classes, 10);
+        assert_eq!(s.pi1, 29_000);
+        assert_eq!(s.pi_c, 292);
+        assert_eq!(s.n_db, 72_000);
+    }
+
+    #[test]
+    fn zipf_totals_approximate_table1_train_sizes() {
+        // The generator's Zipf sizes should land near the paper's n_train.
+        for s in all_specs() {
+            let sizes = crate::zipf::zipf_class_sizes(
+                s.num_classes,
+                s.pi1,
+                s.imbalance_factor as f64,
+            );
+            let total: usize = sizes.iter().sum();
+            let rel = (total as f64 - s.n_train as f64).abs() / s.n_train as f64;
+            assert!(
+                rel < 0.12,
+                "{} IF={}: generated {total} vs Table I {} ({rel:.2})",
+                s.kind.name(),
+                s.imbalance_factor,
+                s.n_train
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_tails_approximate_table1_pi_c() {
+        for s in all_specs() {
+            let sizes = crate::zipf::zipf_class_sizes(
+                s.num_classes,
+                s.pi1,
+                s.imbalance_factor as f64,
+            );
+            let tail = *sizes.last().unwrap();
+            let rel = (tail as f64 - s.pi_c as f64).abs() / s.pi_c as f64;
+            assert!(
+                rel < 0.05,
+                "{} IF={}: tail {tail} vs Table I {}",
+                s.kind.name(),
+                s.imbalance_factor,
+                s.pi_c
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_generation_preserves_if() {
+        let s = spec(DatasetKind::Cifar100, 50);
+        let split = generate(&s, 8, 0.05, 3);
+        let counts = split.train.class_counts();
+        let measured = imbalance_factor(&counts);
+        // Small-scale rounding loosens the match, but the tail must remain.
+        assert!(measured > 10.0, "IF collapsed: {measured}");
+        assert_eq!(split.train.num_classes, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "IF ∈ {50, 100}")]
+    fn rejects_unknown_if() {
+        let _ = spec(DatasetKind::Cifar100, 75);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn rejects_bad_scale() {
+        let s = spec(DatasetKind::Nc, 50);
+        let _ = generate(&s, 8, 0.0, 1);
+    }
+
+    #[test]
+    fn image_and_text_domains_assigned() {
+        assert_eq!(DatasetKind::Cifar100.domain(), Domain::ImageLike);
+        assert_eq!(DatasetKind::Qba.domain(), Domain::TextLike);
+    }
+}

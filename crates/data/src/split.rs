@@ -1,0 +1,176 @@
+//! Mini-batch iteration and train/validation splitting.
+
+use lt_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// One mini-batch: features plus aligned labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// `b × d` features.
+    pub features: Matrix,
+    /// Labels, length `b`.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Yields shuffled mini-batches over a dataset, reshuffling each epoch.
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Creates a shuffled batch iterator for one epoch.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn new(dataset: &'a Dataset, batch_size: usize, rng: &mut StdRng) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let n = dataset.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        Self { dataset, order, batch_size, cursor: 0 }
+    }
+
+    /// Number of batches this epoch will yield.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let idx = &self.order[self.cursor..end];
+        self.cursor = end;
+        let features = self.dataset.features.select_rows(idx);
+        let labels = idx.iter().map(|&i| self.dataset.labels[i]).collect();
+        Some(Batch { features, labels })
+    }
+}
+
+/// Splits a dataset into `(train, holdout)` with `holdout_fraction` of the
+/// rows (at least one row each when possible), after shuffling.
+pub fn train_holdout_split(
+    dataset: &Dataset,
+    holdout_fraction: f32,
+    rng: &mut StdRng,
+) -> (Dataset, Dataset) {
+    assert!(
+        (0.0..1.0).contains(&holdout_fraction),
+        "holdout fraction must be in [0, 1)"
+    );
+    let n = dataset.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let n_holdout = ((n as f32 * holdout_fraction).round() as usize).min(n.saturating_sub(1));
+    let (holdout_idx, train_idx) = order.split_at(n_holdout);
+    (dataset.subset(train_idx), dataset.subset(holdout_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::random::rng;
+
+    fn toy(n: usize) -> Dataset {
+        let features = Matrix::from_fn(n, 2, |r, c| (r * 2 + c) as f32);
+        let labels = (0..n).map(|i| i % 3).collect();
+        Dataset::new(features, labels, 3)
+    }
+
+    #[test]
+    fn batches_cover_dataset_exactly_once() {
+        let d = toy(10);
+        let mut r = rng(1);
+        let mut seen = vec![0usize; 10];
+        for batch in BatchIter::new(&d, 3, &mut r) {
+            for i in 0..batch.len() {
+                // Recover the original row from its unique feature value.
+                let row0 = batch.features[(i, 0)] as usize / 2;
+                seen[row0] += 1;
+                assert_eq!(batch.labels[i], row0 % 3, "pairing broken");
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage {seen:?}");
+    }
+
+    #[test]
+    fn batch_sizes_and_count() {
+        let d = toy(10);
+        let mut r = rng(2);
+        let it = BatchIter::new(&d, 4, &mut r);
+        assert_eq!(it.num_batches(), 3);
+        let sizes: Vec<usize> = it.map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn different_epochs_shuffle_differently() {
+        let d = toy(64);
+        let mut r = rng(3);
+        let a: Vec<usize> = BatchIter::new(&d, 64, &mut r).next().unwrap().labels;
+        let b: Vec<usize> = BatchIter::new(&d, 64, &mut r).next().unwrap().labels;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn rejects_zero_batch() {
+        let d = toy(4);
+        let _ = BatchIter::new(&d, 0, &mut rng(4));
+    }
+
+    #[test]
+    fn holdout_split_partitions() {
+        let d = toy(20);
+        let mut r = rng(5);
+        let (train, holdout) = train_holdout_split(&d, 0.25, &mut r);
+        assert_eq!(train.len(), 15);
+        assert_eq!(holdout.len(), 5);
+        // Together they contain every row exactly once (by unique feature).
+        let mut all: Vec<i64> = train
+            .features
+            .rows_iter()
+            .chain(holdout.features.rows_iter())
+            .map(|row| row[0] as i64)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn holdout_zero_fraction_keeps_everything() {
+        let d = toy(5);
+        let (train, holdout) = train_holdout_split(&d, 0.0, &mut rng(6));
+        assert_eq!(train.len(), 5);
+        assert_eq!(holdout.len(), 0);
+    }
+}

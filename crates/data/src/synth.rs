@@ -1,0 +1,325 @@
+//! Synthetic long-tail embedding generator.
+//!
+//! Substitution for Cifar100 / ImageNet100 / Amazon-NC / QBA (see DESIGN.md
+//! §3): the paper feeds every method *pretrained embeddings* (ResNet34 /
+//! BERT outputs), so the algorithmic comparison only depends on the geometry
+//! of the embedding space. We generate per-class Gaussian clusters on the
+//! unit sphere with class sizes following Zipf's law:
+//!
+//! * class centers are random unit vectors,
+//! * items are `center + N(0, σ²·I)` with a per-domain intra-class σ,
+//! * image-like domains use a lower σ (tight visual classes), text-like
+//!   domains a higher σ (high lexical variance — the property the paper
+//!   invokes to explain why its loss helps Cifar100 more than NC).
+
+use lt_linalg::random::{randn_scaled, rng};
+use lt_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::dataset::{Dataset, RetrievalSplit};
+use crate::zipf::zipf_class_sizes;
+
+/// Embedding-space "domain": controls intra-class variance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Image-like: tight clusters (ResNet embeddings of visual classes).
+    ImageLike,
+    /// Text-like: loose clusters (BERT embeddings of topical classes).
+    TextLike,
+}
+
+impl Domain {
+    /// Total intra-class noise norm (the expected L2 length of the noise
+    /// vector), relative to unit-norm class centers whose typical pairwise
+    /// separation is √2. Keeping the *norm* fixed — rather than a per-
+    /// dimension σ — makes task difficulty independent of the embedding
+    /// dimensionality.
+    pub fn noise_norm(self) -> f32 {
+        match self {
+            Domain::ImageLike => 0.9,
+            Domain::TextLike => 1.6,
+        }
+    }
+
+    /// Per-dimension standard deviation achieving [`Domain::noise_norm`]
+    /// in `dim` dimensions.
+    pub fn intra_class_std(self, dim: usize) -> f32 {
+        self.noise_norm() / (dim.max(1) as f32).sqrt()
+    }
+}
+
+/// Configuration for the synthetic generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of classes `C`.
+    pub num_classes: usize,
+    /// Embedding dimensionality `d`.
+    pub dim: usize,
+    /// Head-class training size `π₁`.
+    pub pi1: usize,
+    /// Imbalance factor `IF = π₁ / π_C`.
+    pub imbalance_factor: f64,
+    /// Number of query items (class-balanced).
+    pub n_query: usize,
+    /// Number of database items (long-tail, same Zipf shape as training).
+    pub n_database: usize,
+    /// Embedding-space domain.
+    pub domain: Domain,
+    /// Optional override of the *per-dimension* intra-class standard
+    /// deviation (bypasses the domain noise-norm scaling).
+    pub intra_class_std: Option<f32>,
+    /// RNG seed; two calls with equal configs produce identical data.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// Effective per-dimension intra-class σ.
+    pub fn sigma(&self) -> f32 {
+        self.intra_class_std.unwrap_or_else(|| self.domain.intra_class_std(self.dim))
+    }
+}
+
+/// Random unit-norm class centers (`C × d`).
+pub fn class_centers(num_classes: usize, dim: usize, rng: &mut StdRng) -> Matrix {
+    let mut centers = Matrix::zeros(num_classes, dim);
+    for c in 0..num_classes {
+        let v = lt_linalg::random::random_unit_vector(dim, rng);
+        centers.row_mut(c).copy_from_slice(&v);
+    }
+    centers
+}
+
+/// Samples `count` items of class `label` around its center.
+fn sample_class(
+    centers: &Matrix,
+    label: usize,
+    count: usize,
+    sigma: f32,
+    rng: &mut StdRng,
+) -> Matrix {
+    let d = centers.cols();
+    let mut out = randn_scaled(count, d, 0.0, sigma, rng);
+    let center = centers.row(label).to_vec();
+    for i in 0..count {
+        let row = out.row_mut(i);
+        for (v, &c) in row.iter_mut().zip(&center) {
+            *v += c;
+        }
+    }
+    out
+}
+
+/// Generates a dataset whose per-class counts are given explicitly.
+pub fn generate_with_counts(
+    centers: &Matrix,
+    counts: &[usize],
+    sigma: f32,
+    num_classes: usize,
+    rng: &mut StdRng,
+) -> Dataset {
+    assert_eq!(counts.len(), num_classes, "one count per class required");
+    let total: usize = counts.iter().sum();
+    let d = centers.cols();
+    let mut features = Matrix::zeros(total, d);
+    let mut labels = Vec::with_capacity(total);
+    let mut row = 0;
+    for (class, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let block = sample_class(centers, class, count, sigma, rng);
+        for i in 0..count {
+            features.row_mut(row).copy_from_slice(block.row(i));
+            labels.push(class);
+            row += 1;
+        }
+    }
+    Dataset::new(features, labels, num_classes)
+}
+
+/// Distributes `total` items over classes following the same Zipf shape as
+/// the training split (used for the database set).
+pub fn zipf_proportional_counts(total: usize, train_sizes: &[usize]) -> Vec<usize> {
+    let train_total: usize = train_sizes.iter().sum();
+    assert!(train_total > 0, "training sizes sum to zero");
+    let mut counts: Vec<usize> = train_sizes
+        .iter()
+        .map(|&s| ((s as f64 / train_total as f64) * total as f64).floor() as usize)
+        .collect();
+    // Distribute the rounding remainder to the head classes.
+    let mut assigned: usize = counts.iter().sum();
+    let n_classes = counts.len();
+    let mut c = 0;
+    while assigned < total {
+        counts[c % n_classes] += 1;
+        assigned += 1;
+        c += 1;
+    }
+    counts.iter_mut().for_each(|x| *x = (*x).max(1));
+    counts
+}
+
+/// Class-balanced counts for the query set: `total / C` each, remainder to
+/// the first classes.
+pub fn balanced_counts(total: usize, num_classes: usize) -> Vec<usize> {
+    let base = total / num_classes;
+    let rem = total % num_classes;
+    (0..num_classes).map(|c| base + usize::from(c < rem)).collect()
+}
+
+/// Generates the full train/query/database retrieval split.
+pub fn generate_split(config: &SynthConfig) -> RetrievalSplit {
+    assert!(config.num_classes >= 2, "need at least two classes");
+    assert!(config.dim >= 2, "need at least two dimensions");
+    let mut r = rng(config.seed);
+    let centers = class_centers(config.num_classes, config.dim, &mut r);
+    let sigma = config.sigma();
+
+    let train_sizes = zipf_class_sizes(config.num_classes, config.pi1, config.imbalance_factor);
+    let train = generate_with_counts(&centers, &train_sizes, sigma, config.num_classes, &mut r);
+
+    let query_counts = balanced_counts(config.n_query, config.num_classes);
+    let query = generate_with_counts(&centers, &query_counts, sigma, config.num_classes, &mut r);
+
+    let db_counts = zipf_proportional_counts(config.n_database, &train_sizes);
+    let database = generate_with_counts(&centers, &db_counts, sigma, config.num_classes, &mut r);
+
+    let split = RetrievalSplit { train, query, database };
+    split.validate();
+    split
+}
+
+/// Shuffles a dataset's row order in place (keeps feature/label pairing).
+pub fn shuffle(dataset: &Dataset, rng: &mut StdRng) -> Dataset {
+    let n = dataset.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    dataset.subset(&idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zipf::imbalance_factor;
+    use lt_linalg::distance::squared_l2;
+
+    fn small_config() -> SynthConfig {
+        SynthConfig {
+            num_classes: 10,
+            dim: 16,
+            pi1: 50,
+            imbalance_factor: 10.0,
+            n_query: 40,
+            n_database: 300,
+            domain: Domain::ImageLike,
+            intra_class_std: None,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn split_shapes_and_determinism() {
+        let a = generate_split(&small_config());
+        let b = generate_split(&small_config());
+        assert_eq!(a.train.len(), b.train.len());
+        assert_eq!(a.train.features, b.train.features);
+        assert_eq!(a.query.len(), 40);
+        assert_eq!(a.database.len(), 300);
+        assert_eq!(a.train.dim(), 16);
+    }
+
+    #[test]
+    fn train_follows_zipf() {
+        let split = generate_split(&small_config());
+        let counts = split.train.class_counts();
+        assert_eq!(counts[0], 50);
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+        let measured = imbalance_factor(&counts);
+        assert!((measured - 10.0).abs() < 1.0, "IF {measured}");
+    }
+
+    #[test]
+    fn query_is_balanced() {
+        let split = generate_split(&small_config());
+        let counts = split.query.class_counts();
+        assert!(counts.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn database_preserves_zipf_shape() {
+        let split = generate_split(&small_config());
+        let counts = split.database.class_counts();
+        assert!(counts[0] > counts[9], "db should stay long-tail");
+        assert!(counts.iter().all(|&c| c >= 1));
+        assert_eq!(counts.iter().sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn items_cluster_around_their_center() {
+        let cfg = small_config();
+        let split = generate_split(&cfg);
+        let mut r = rng(cfg.seed);
+        let centers = class_centers(cfg.num_classes, cfg.dim, &mut r);
+        // Mean distance to own center should beat mean distance to a
+        // different center for the head class.
+        let idx = split.train.indices_of_class(0);
+        let own: f32 = idx
+            .iter()
+            .map(|&i| squared_l2(split.train.features.row(i), centers.row(0)))
+            .sum::<f32>()
+            / idx.len() as f32;
+        let other: f32 = idx
+            .iter()
+            .map(|&i| squared_l2(split.train.features.row(i), centers.row(5)))
+            .sum::<f32>()
+            / idx.len() as f32;
+        assert!(own < other, "own {own} vs other {other}");
+    }
+
+    #[test]
+    fn text_domain_has_higher_variance() {
+        let mut img_cfg = small_config();
+        img_cfg.domain = Domain::ImageLike;
+        let mut txt_cfg = small_config();
+        txt_cfg.domain = Domain::TextLike;
+        assert!(txt_cfg.sigma() > img_cfg.sigma());
+    }
+
+    #[test]
+    fn noise_norm_is_dimension_invariant() {
+        // The per-dim σ shrinks with dimension so the total noise norm is
+        // constant: σ(d)·√d = noise_norm.
+        for d in [8usize, 64, 512] {
+            let s = Domain::ImageLike.intra_class_std(d);
+            assert!((s * (d as f32).sqrt() - 0.9).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn proportional_counts_sum_to_total() {
+        let counts = zipf_proportional_counts(1000, &[50, 25, 10, 5]);
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        assert!(counts[0] > counts[3]);
+    }
+
+    #[test]
+    fn balanced_counts_distribute_remainder() {
+        assert_eq!(balanced_counts(10, 3), vec![4, 3, 3]);
+        assert_eq!(balanced_counts(9, 3), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn shuffle_preserves_pairing() {
+        let split = generate_split(&small_config());
+        let mut r = rng(99);
+        let shuffled = shuffle(&split.train, &mut r);
+        assert_eq!(shuffled.len(), split.train.len());
+        assert_eq!(shuffled.class_counts(), split.train.class_counts());
+        // Order actually changed (overwhelmingly likely).
+        assert_ne!(shuffled.labels, split.train.labels);
+    }
+}

@@ -1,0 +1,130 @@
+//! Zipf's-law class sizes (paper Definition 1).
+//!
+//! A long-tail dataset has class sizes `π_i = π₁ · i^(−p)` for a positive
+//! exponent `p`; the imbalance factor is `IF = π₁ / π_C`. Given the head
+//! size `π₁`, the class count `C`, and the target `IF`, the exponent is
+//! `p = ln(IF) / ln(C)` so the tail class lands exactly at `π₁ / IF`.
+
+/// Computes the Zipf exponent `p` so that `π_C = π₁ / imbalance_factor`.
+///
+/// # Panics
+/// Panics if `num_classes < 2` or `imbalance_factor < 1`.
+pub fn zipf_exponent(num_classes: usize, imbalance_factor: f64) -> f64 {
+    assert!(num_classes >= 2, "need at least two classes for a long tail");
+    assert!(imbalance_factor >= 1.0, "imbalance factor must be >= 1");
+    imbalance_factor.ln() / (num_classes as f64).ln()
+}
+
+/// Class sizes `π_i = round(π₁ · i^(−p))`, descending, clamped to ≥ 1.
+///
+/// The returned sizes satisfy (up to rounding):
+/// * `sizes[0] == pi1`
+/// * `sizes[C−1] ≈ pi1 / imbalance_factor`
+/// * monotone non-increasing.
+pub fn zipf_class_sizes(num_classes: usize, pi1: usize, imbalance_factor: f64) -> Vec<usize> {
+    let p = zipf_exponent(num_classes, imbalance_factor);
+    (1..=num_classes)
+        .map(|i| {
+            let size = pi1 as f64 * (i as f64).powf(-p);
+            (size.round() as usize).max(1)
+        })
+        .collect()
+}
+
+/// Measured imbalance factor `π₁ / π_C` of a size vector.
+///
+/// # Panics
+/// Panics on an empty input or a zero tail class.
+pub fn imbalance_factor(sizes: &[usize]) -> f64 {
+    assert!(!sizes.is_empty(), "no class sizes");
+    let head = *sizes.iter().max().expect("non-empty");
+    let tail = *sizes.iter().min().expect("non-empty");
+    assert!(tail > 0, "tail class has zero items");
+    head as f64 / tail as f64
+}
+
+/// Counts per class of a label vector (length = `num_classes`).
+pub fn class_counts(labels: &[usize], num_classes: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; num_classes];
+    for &l in labels {
+        assert!(l < num_classes, "label {l} out of range");
+        counts[l] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_hits_target_tail() {
+        let p = zipf_exponent(100, 50.0);
+        let tail = 500.0 * 100f64.powf(-p);
+        assert!((tail - 10.0).abs() < 1e-6, "tail {tail}");
+    }
+
+    #[test]
+    fn sizes_monotone_nonincreasing() {
+        let sizes = zipf_class_sizes(100, 500, 50.0);
+        assert_eq!(sizes.len(), 100);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn head_and_tail_match_table1_cifar() {
+        // Cifar100 IF=50 row of Table I: π₁=500, π_C=10.
+        let sizes = zipf_class_sizes(100, 500, 50.0);
+        assert_eq!(sizes[0], 500);
+        assert_eq!(sizes[99], 10);
+        // Total ≈ 3,732 (Table I n_train); allow rounding slack.
+        let total: usize = sizes.iter().sum();
+        assert!((3500..4000).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn head_and_tail_match_table1_cifar_if100() {
+        let sizes = zipf_class_sizes(100, 500, 100.0);
+        assert_eq!(sizes[0], 500);
+        assert_eq!(sizes[99], 5);
+        let total: usize = sizes.iter().sum();
+        assert!((2400..2800).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn measured_if_matches_request() {
+        for &target in &[10.0, 50.0, 100.0] {
+            let sizes = zipf_class_sizes(50, 1000, target);
+            let measured = imbalance_factor(&sizes);
+            assert!(
+                (measured - target).abs() / target < 0.05,
+                "requested IF {target}, measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn if_one_is_balanced() {
+        let sizes = zipf_class_sizes(10, 100, 1.0);
+        assert!(sizes.iter().all(|&s| s == 100));
+        assert_eq!(imbalance_factor(&sizes), 1.0);
+    }
+
+    #[test]
+    fn tiny_classes_clamped_to_one() {
+        let sizes = zipf_class_sizes(100, 3, 100.0);
+        assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn class_counts_tallies() {
+        let counts = class_counts(&[0, 1, 1, 2, 2, 2], 4);
+        assert_eq!(counts, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn class_counts_rejects_bad_label() {
+        let _ = class_counts(&[5], 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! `lt-eval`: retrieval evaluation for the LightLT reproduction.
+//!
+//! * [`metrics`] — AP / MAP@n_db (the paper's Section V-A3 protocol),
+//!   precision/recall@k, per-class MAP for head-vs-tail diagnostics.
+//! * [`retrieval`] — the [`retrieval::Ranker`] trait every method under test
+//!   implements, plus the exhaustive-scan oracle.
+//! * [`timing`] — warmup + best-of-N wall-clock timing and speedup ratios
+//!   (Fig. 7).
+//! * [`report`] — aligned text tables matching the paper's layout and JSON
+//!   artifact writing for EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod report;
+pub mod retrieval;
+pub mod timing;
+
+pub use metrics::{average_precision, mean_average_precision, per_class_map};
+pub use report::{fmt_map, fmt_ratio, Table};
+pub use retrieval::{evaluate_map, ExhaustiveRanker, FnRanker, Ranker};
+pub use timing::{speedup_ratio, time_best_of, Timing};

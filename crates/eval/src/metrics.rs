@@ -1,0 +1,185 @@
+//! Retrieval metrics (Section V-A3).
+//!
+//! The paper evaluates with Mean Average Precision over the full database
+//! ranking: `AP@n_db = Σ_i P(i)·δ(i) / Σ_i δ(i)` where `P(i)` is precision
+//! at rank `i` and `δ(i)` marks a relevant result (same class label as the
+//! query); MAP is the mean over queries.
+
+/// Average precision of one ranking. `relevance[r]` tells whether the item
+/// at rank `r` (0-based, best first) is relevant.
+///
+/// Returns 0 when there are no relevant items (AP is undefined; the paper's
+/// denominator Σδ would be zero).
+pub fn average_precision(relevance: &[bool]) -> f64 {
+    let mut hits = 0usize;
+    let mut sum = 0.0f64;
+    for (rank, &rel) in relevance.iter().enumerate() {
+        if rel {
+            hits += 1;
+            sum += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    if hits == 0 {
+        0.0
+    } else {
+        sum / hits as f64
+    }
+}
+
+/// Precision among the first `k` ranks.
+pub fn precision_at_k(relevance: &[bool], k: usize) -> f64 {
+    let k = k.min(relevance.len());
+    if k == 0 {
+        return 0.0;
+    }
+    relevance[..k].iter().filter(|&&r| r).count() as f64 / k as f64
+}
+
+/// Fraction of all relevant items found within the first `k` ranks.
+pub fn recall_at_k(relevance: &[bool], k: usize) -> f64 {
+    let total: usize = relevance.iter().filter(|&&r| r).count();
+    if total == 0 {
+        return 0.0;
+    }
+    let k = k.min(relevance.len());
+    relevance[..k].iter().filter(|&&r| r).count() as f64 / total as f64
+}
+
+/// Relevance vector for a label-based ranking: item `db_ranking[r]` is
+/// relevant iff its label equals `query_label`.
+pub fn relevance_from_labels(
+    db_ranking: &[usize],
+    db_labels: &[usize],
+    query_label: usize,
+) -> Vec<bool> {
+    db_ranking.iter().map(|&i| db_labels[i] == query_label).collect()
+}
+
+/// Mean Average Precision over a query set.
+///
+/// `rankings[q]` is the full database ranking (best first) produced for
+/// query `q`.
+pub fn mean_average_precision(
+    rankings: &[Vec<usize>],
+    query_labels: &[usize],
+    db_labels: &[usize],
+) -> f64 {
+    assert_eq!(rankings.len(), query_labels.len(), "one ranking per query");
+    if rankings.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = rankings
+        .iter()
+        .zip(query_labels)
+        .map(|(ranking, &label)| {
+            let rel = relevance_from_labels(ranking, db_labels, label);
+            average_precision(&rel)
+        })
+        .sum();
+    sum / rankings.len() as f64
+}
+
+/// Per-class MAP breakdown: MAP restricted to queries of each class.
+/// Useful for head-vs-tail diagnostics on long-tail datasets.
+pub fn per_class_map(
+    rankings: &[Vec<usize>],
+    query_labels: &[usize],
+    db_labels: &[usize],
+    num_classes: usize,
+) -> Vec<f64> {
+    let mut sums = vec![0.0f64; num_classes];
+    let mut counts = vec![0usize; num_classes];
+    for (ranking, &label) in rankings.iter().zip(query_labels) {
+        let rel = relevance_from_labels(ranking, db_labels, label);
+        sums[label] += average_precision(&rel);
+        counts[label] += 1;
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        assert_eq!(average_precision(&[true, true, false, false]), 1.0);
+        assert_eq!(average_precision(&[true; 5]), 1.0);
+    }
+
+    #[test]
+    fn worst_ranking_ap() {
+        // Single relevant item at the last of 4 ranks: AP = 1/4.
+        assert_eq!(average_precision(&[false, false, false, true]), 0.25);
+    }
+
+    #[test]
+    fn textbook_ap_example() {
+        // Relevant at ranks 1, 3, 5 (1-based): AP = (1/1 + 2/3 + 3/5)/3.
+        let rel = [true, false, true, false, true];
+        let expect = (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0;
+        assert!((average_precision(&rel) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_relevant_items_is_zero() {
+        assert_eq!(average_precision(&[false, false]), 0.0);
+        assert_eq!(recall_at_k(&[false, false], 1), 0.0);
+    }
+
+    #[test]
+    fn ap_in_unit_interval() {
+        // Pseudo-random relevance patterns stay within [0, 1].
+        let mut state = 12345u64;
+        for _ in 0..50 {
+            let rel: Vec<bool> = (0..20)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) & 1 == 1
+                })
+                .collect();
+            let ap = average_precision(&rel);
+            assert!((0.0..=1.0).contains(&ap));
+        }
+    }
+
+    #[test]
+    fn precision_and_recall_at_k() {
+        let rel = [true, false, true, true, false];
+        assert_eq!(precision_at_k(&rel, 1), 1.0);
+        assert_eq!(precision_at_k(&rel, 2), 0.5);
+        assert_eq!(precision_at_k(&rel, 4), 0.75);
+        assert_eq!(recall_at_k(&rel, 1), 1.0 / 3.0);
+        assert_eq!(recall_at_k(&rel, 5), 1.0);
+        // k beyond length clamps.
+        assert_eq!(precision_at_k(&rel, 100), 3.0 / 5.0);
+    }
+
+    #[test]
+    fn map_averages_queries() {
+        let db_labels = vec![0, 0, 1, 1];
+        // Query 0 (label 0): perfect ranking → AP 1.
+        // Query 1 (label 1): items at ranks 3,4 → AP = (1/3 + 2/4)/2.
+        let rankings = vec![vec![0, 1, 2, 3], vec![0, 1, 2, 3]];
+        let map = mean_average_precision(&rankings, &[0, 1], &db_labels);
+        let ap1 = (1.0 / 3.0 + 2.0 / 4.0) / 2.0;
+        assert!((map - (1.0 + ap1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_map_separates() {
+        let db_labels = vec![0, 1];
+        let rankings = vec![vec![0, 1], vec![0, 1]];
+        let pcm = per_class_map(&rankings, &[0, 1], &db_labels, 2);
+        assert_eq!(pcm[0], 1.0);
+        assert_eq!(pcm[1], 0.5);
+    }
+
+    #[test]
+    fn empty_query_set_map_zero() {
+        assert_eq!(mean_average_precision(&[], &[], &[0, 1]), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Experiment reporting: aligned text tables (matching the paper's layout)
+//! and JSON artifacts for EXPERIMENTS.md regeneration.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use serde::Serialize;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; pads/truncates to the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        let mut row: Vec<String> = cells.to_vec();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Appends a row of string slices.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(ncols) {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                let pad = widths[c].saturating_sub(cell.chars().count());
+                line.push_str(cell);
+                line.extend(std::iter::repeat_n(' ', pad));
+                if c + 1 < cells.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a MAP value the way the paper prints it (4 decimals).
+pub fn fmt_map(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a ratio (speedup/compression) with 2 decimals.
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Writes a serializable experiment artifact as pretty JSON, creating parent
+/// directories. Returns the rendered JSON so callers can also print it.
+pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::Result<String> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    fs::write(path, &json)?;
+    Ok(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new("Demo", &["method", "MAP"]);
+        t.row_strs(&["LSH", "0.0333"]);
+        t.row_strs(&["LightLT", "0.3801"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + separator + 2 rows (+title).
+        assert_eq!(lines.len(), 5);
+        // Columns align: "MAP" starts at the same offset in all data lines.
+        let header_pos = lines[1].find("MAP").unwrap();
+        assert_eq!(lines[3].find("0.0333").unwrap(), header_pos);
+        assert_eq!(lines[4].find("0.3801").unwrap(), header_pos);
+    }
+
+    #[test]
+    fn row_pads_missing_cells() {
+        let mut t = Table::new("", &["a", "b", "c"]);
+        t.row_strs(&["only"]);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_map(0.38011), "0.3801");
+        assert_eq!(fmt_ratio(62.357), "62.36");
+    }
+
+    #[test]
+    fn json_roundtrip_via_tempfile() {
+        #[derive(Serialize)]
+        struct Artifact {
+            map: f64,
+        }
+        let dir = std::env::temp_dir().join("lt_eval_test");
+        let path = dir.join("artifact.json");
+        let json = write_json(&path, &Artifact { map: 0.5 }).unwrap();
+        assert!(json.contains("0.5"));
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, json);
+        let _ = std::fs::remove_file(&path);
+    }
+}

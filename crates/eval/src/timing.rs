@@ -1,0 +1,102 @@
+//! Wall-clock timing for the efficiency experiments (Fig. 7).
+//!
+//! The paper reports *ratios* (speedup, compression) rather than absolute
+//! times to factor out hardware. These helpers time closures robustly
+//! (warmup + best-of-N) and compute ratios.
+
+use std::time::{Duration, Instant};
+
+/// Result of a timed measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Best (minimum) duration across repetitions — least noisy estimator
+    /// for a deterministic workload.
+    pub best: Duration,
+    /// Mean duration.
+    pub mean: Duration,
+    /// Number of timed repetitions.
+    pub reps: usize,
+}
+
+impl Timing {
+    /// Best time in seconds.
+    pub fn best_secs(&self) -> f64 {
+        self.best.as_secs_f64()
+    }
+}
+
+/// Times `f` with `warmup` untimed runs followed by `reps` timed runs.
+///
+/// # Panics
+/// Panics if `reps == 0`.
+pub fn time_best_of<F: FnMut()>(warmup: usize, reps: usize, mut f: F) -> Timing {
+    assert!(reps > 0, "need at least one timed repetition");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        let elapsed = start.elapsed();
+        best = best.min(elapsed);
+        total += elapsed;
+    }
+    Timing { best, mean: total / reps as u32, reps }
+}
+
+/// Speedup of `fast` relative to `slow` (`slow_time / fast_time`).
+pub fn speedup_ratio(slow: &Timing, fast: &Timing) -> f64 {
+    let fast_s = fast.best_secs().max(1e-12);
+    slow.best_secs() / fast_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn counts_warmup_and_reps() {
+        let calls = AtomicUsize::new(0);
+        let t = time_best_of(2, 3, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 5);
+        assert_eq!(t.reps, 3);
+        assert!(t.best <= t.mean);
+    }
+
+    /// A serially-dependent LCG chain: LLVM cannot close-form it, so the
+    /// runtime genuinely scales with `n` even at full optimization.
+    fn lcg_chain(n: u64) -> u64 {
+        let mut acc = std::hint::black_box(1u64);
+        for _ in 0..std::hint::black_box(n) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        }
+        std::hint::black_box(acc)
+    }
+
+    #[test]
+    fn slower_work_times_longer() {
+        let fast = time_best_of(1, 3, || {
+            lcg_chain(1_000);
+        });
+        let slow = time_best_of(1, 3, || {
+            lcg_chain(8_000_000);
+        });
+        assert!(
+            speedup_ratio(&slow, &fast) > 1.0,
+            "slow {:?} vs fast {:?}",
+            slow.best,
+            fast.best
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timed repetition")]
+    fn rejects_zero_reps() {
+        let _ = time_best_of(0, 0, || {});
+    }
+}

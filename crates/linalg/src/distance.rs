@@ -1,0 +1,174 @@
+//! Distance and similarity kernels used by every retrieval path.
+//!
+//! The paper scores query–codeword and query–item pairs with negative
+//! squared Euclidean distance or inner product (Eqn. 3 / Eqn. 24). These
+//! kernels are the hot loops of both exhaustive search and the ADC
+//! lookup-table search, so they are written over raw slices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gemm::dot;
+use crate::matrix::Matrix;
+
+/// Similarity measure used when selecting codewords or ranking items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Negative squared Euclidean distance (higher = more similar).
+    NegSquaredL2,
+    /// Inner product.
+    InnerProduct,
+    /// Cosine similarity (inner product of L2-normalized vectors).
+    Cosine,
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn squared_l2(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut s = 0.0;
+    for (a, b) in x.iter().zip(y.iter()) {
+        let d = a - b;
+        s += d * d;
+    }
+    s
+}
+
+/// Euclidean distance between two equal-length slices.
+#[inline]
+pub fn l2(x: &[f32], y: &[f32]) -> f32 {
+    squared_l2(x, y).sqrt()
+}
+
+/// Cosine similarity; returns 0 when either vector is (near-)zero.
+#[inline]
+pub fn cosine(x: &[f32], y: &[f32]) -> f32 {
+    let nx = dot(x, x).sqrt();
+    let ny = dot(y, y).sqrt();
+    if nx < 1e-12 || ny < 1e-12 {
+        0.0
+    } else {
+        dot(x, y) / (nx * ny)
+    }
+}
+
+/// Similarity of `x` and `y` under `metric` (higher = more similar).
+#[inline]
+pub fn similarity(metric: Metric, x: &[f32], y: &[f32]) -> f32 {
+    match metric {
+        Metric::NegSquaredL2 => -squared_l2(x, y),
+        Metric::InnerProduct => dot(x, y),
+        Metric::Cosine => cosine(x, y),
+    }
+}
+
+/// Pairwise similarity matrix: `out[i][j] = similarity(queries[i], items[j])`.
+///
+/// For [`Metric::NegSquaredL2`] this uses the expansion
+/// `-‖q−x‖² = 2⟨q,x⟩ − ‖q‖² − ‖x‖²` so the bulk of the work is a single GEMM.
+#[allow(clippy::needless_range_loop)] // indexing two precomputed norm tables
+pub fn similarity_matrix(metric: Metric, queries: &Matrix, items: &Matrix) -> Matrix {
+    assert_eq!(queries.cols(), items.cols(), "dimension mismatch");
+    match metric {
+        Metric::InnerProduct => crate::gemm::matmul_a_bt(queries, items),
+        Metric::Cosine => {
+            crate::gemm::matmul_a_bt(&queries.normalize_rows(), &items.normalize_rows())
+        }
+        Metric::NegSquaredL2 => {
+            let mut out = crate::gemm::matmul_a_bt(queries, items);
+            let qn: Vec<f32> = (0..queries.rows()).map(|i| dot(queries.row(i), queries.row(i))).collect();
+            let xn: Vec<f32> = (0..items.rows()).map(|j| dot(items.row(j), items.row(j))).collect();
+            for i in 0..out.rows() {
+                let row = out.row_mut(i);
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = 2.0 * *v - qn[i] - xn[j];
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Index of the most similar row of `items` to `x` under `metric`.
+///
+/// Ties break toward the lower index, matching `argmax` semantics in Eqn. 3.
+pub fn nearest(metric: Metric, x: &[f32], items: &Matrix) -> usize {
+    assert!(items.rows() > 0, "nearest over empty item set");
+    let mut best = 0;
+    let mut best_sim = f32::NEG_INFINITY;
+    for j in 0..items.rows() {
+        let s = similarity(metric, x, items.row(j));
+        if s > best_sim {
+            best_sim = s;
+            best = j;
+        }
+    }
+    best
+}
+
+/// Hamming distance between two packed bit codes.
+#[inline]
+pub fn hamming(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn squared_l2_basics() {
+        assert_eq!(squared_l2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(squared_l2(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_bounds_and_degenerate() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn similarity_matrix_neg_l2_matches_direct() {
+        let q = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, -1.0]]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[-1.0, 0.5]]);
+        let s = similarity_matrix(Metric::NegSquaredL2, &q, &x);
+        for i in 0..2 {
+            for j in 0..3 {
+                let direct = -squared_l2(q.row(i), x.row(j));
+                assert!((s[(i, j)] - direct).abs() < 1e-4, "{} vs {}", s[(i, j)], direct);
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_matrix_ip_matches_dot() {
+        let q = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let x = Matrix::from_rows(&[&[3.0, 4.0]]);
+        let s = similarity_matrix(Metric::InnerProduct, &q, &x);
+        assert_eq!(s[(0, 0)], 11.0);
+    }
+
+    #[test]
+    fn nearest_prefers_exact_match() {
+        let items = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]]);
+        assert_eq!(nearest(Metric::NegSquaredL2, &[1.1, 0.9], &items), 1);
+        assert_eq!(nearest(Metric::InnerProduct, &[1.0, 1.0], &items), 2);
+    }
+
+    #[test]
+    fn nearest_tie_breaks_low_index() {
+        let items = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]);
+        assert_eq!(nearest(Metric::NegSquaredL2, &[1.0, 0.0], &items), 0);
+    }
+
+    #[test]
+    fn hamming_counts_bits() {
+        assert_eq!(hamming(&[0b1010], &[0b0110]), 2);
+        assert_eq!(hamming(&[u64::MAX, 0], &[0, 0]), 64);
+        assert_eq!(hamming(&[7], &[7]), 0);
+    }
+}

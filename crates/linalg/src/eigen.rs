@@ -1,0 +1,212 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA hashing (PCAH), ITQ's PCA preprocessing, and the Fig.-8 projection all
+//! need eigenvectors of small symmetric covariance matrices (at most a few
+//! hundred rows). Cyclic Jacobi is simple, numerically robust, and more than
+//! fast enough at these sizes.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition: `a = V · diag(λ) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f32>,
+    /// Eigenvectors as columns, in the same order as `values`.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenvalues/vectors of a symmetric matrix.
+///
+/// The input is symmetrized (`(A + Aᵀ)/2`) to absorb floating-point
+/// asymmetry in covariance accumulation.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn eigen_symmetric(a: &Matrix) -> Eigen {
+    assert_eq!(a.rows(), a.cols(), "eigen_symmetric requires a square matrix");
+    let n = a.rows();
+    if n == 0 {
+        return Eigen { values: vec![], vectors: Matrix::zeros(0, 0) };
+    }
+
+    // Work on a symmetrized copy in f64 for accuracy.
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            m[i * n + j] = 0.5 * (a[(i, j)] as f64 + a[(j, i)] as f64);
+        }
+    }
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let max_sweeps = 60;
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[i * n + j] * m[i * n + j];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Rotate rows/cols p and q of M.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                // Accumulate rotations into V.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Collect eigenpairs and sort by descending eigenvalue.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[i * n + i], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let values: Vec<f32> = pairs.iter().map(|&(val, _)| val as f32).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (out_col, &(_, src_col)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, out_col)] = v[r * n + src_col] as f32;
+        }
+    }
+    Eigen { values, vectors }
+}
+
+/// Returns the top-`k` eigenvectors (as an `n × k` matrix) of a symmetric
+/// matrix, sorted by descending eigenvalue.
+pub fn top_eigenvectors(a: &Matrix, k: usize) -> Matrix {
+    let eig = eigen_symmetric(a);
+    let n = a.rows();
+    let k = k.min(n);
+    let mut out = Matrix::zeros(n, k);
+    for c in 0..k {
+        for r in 0..n {
+            out[(r, c)] = eig.vectors[(r, c)];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]);
+        let e = eigen_symmetric(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-5);
+        assert!((e.values[1] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigen_symmetric(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-5);
+        assert!((e.values[1] - 1.0).abs() < 1e-5);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-4);
+        assert!((v0[0] - v0[1]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        // Random symmetric matrix.
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let n = 8;
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+        }
+        let e = eigen_symmetric(&a);
+
+        // VᵀV = I
+        let vtv = matmul(&e.vectors.transpose(), &e.vectors);
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vtv[(i, j)] - expect).abs() < 1e-4);
+            }
+        }
+
+        // V diag(λ) Vᵀ = A
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let recon = matmul(&matmul(&e.vectors, &lam), &e.vectors.transpose());
+        for i in 0..n {
+            for j in 0..n {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 5.0, 0.0], &[0.0, 0.0, 3.0]]);
+        let e = eigen_symmetric(&a);
+        assert!(e.values.windows(2).all(|w| w[0] >= w[1] - 1e-6));
+    }
+
+    #[test]
+    fn top_eigenvectors_shape() {
+        let a = Matrix::identity(4);
+        let v = top_eigenvectors(&a, 2);
+        assert_eq!(v.shape(), (4, 2));
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let e = eigen_symmetric(&Matrix::zeros(0, 0));
+        assert!(e.values.is_empty());
+    }
+}

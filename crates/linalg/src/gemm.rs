@@ -1,0 +1,244 @@
+//! General matrix multiply kernels.
+//!
+//! The workloads in this workspace multiply small-to-medium dense matrices
+//! (batch × feature × codebook sizes in the tens to thousands). A cache-aware
+//! `ikj` loop ordering with a fixed row-panel block is enough to keep the
+//! training loops compute-bound without pulling in a BLAS dependency.
+
+use crate::matrix::Matrix;
+
+/// Panel height for the blocked kernel; chosen so a block of `B` rows of the
+/// output plus a row of `b` stays comfortably inside L1/L2 for typical sizes.
+const BLOCK: usize = 32;
+
+/// `C = A · B`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let m = a.rows();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C += A · B`, writing into an existing output buffer.
+///
+/// The accumulate form lets the autodiff backward pass fold gradient
+/// contributions without intermediate allocations.
+pub fn matmul_acc(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "matmul_acc inner-dimension mismatch");
+    assert_eq!(c.shape(), (a.rows(), b.cols()), "matmul_acc output shape mismatch");
+    matmul_kernel(a, b, c);
+}
+
+fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    matmul_kernel(a, b, c);
+}
+
+/// `ikj` kernel: for each row of A, scale rows of B into the C row. This
+/// streams B row-by-row (contiguous) and keeps the C row hot, which
+/// autovectorizes well.
+fn matmul_kernel(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let b_data = b.as_slice();
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for i in i0..i1 {
+            let a_row = a.row(i);
+            let c_row = c.row_mut(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[p * n..(p + 1) * n];
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_v += a_ip * b_v;
+                }
+            }
+        }
+    }
+}
+
+/// `C = Aᵀ · B` without materializing the transpose.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_at_b row mismatch");
+    let m = a.cols();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for r in 0..a.rows() {
+        let a_row = a.row(r);
+        let b_row = b.row(r);
+        for (i, &a_ri) in a_row.iter().enumerate() {
+            if a_ri == 0.0 {
+                continue;
+            }
+            let c_row = c.row_mut(i);
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_ri * b_v;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` without materializing the transpose.
+///
+/// Inner loops are plain dot products over contiguous rows of both operands,
+/// which is the fastest orientation for similarity matrices
+/// (`batch × dim` times `K × dim`).
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_a_bt column mismatch");
+    let m = a.rows();
+    let n = b.rows();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (j, c_v) in c_row.iter_mut().enumerate().take(n) {
+            *c_v = dot(a_row, b.row(j));
+        }
+    }
+    c
+}
+
+/// Dot product of two equal-length slices.
+///
+/// Written with 4-way unrolled accumulators so LLVM reliably vectorizes it;
+/// this is the innermost kernel of both search and training.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let chunks = x.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let b = i * 4;
+        s0 += x[b] * y[b];
+        s1 += x[b + 1] * y[b + 1];
+        s2 += x[b + 2] * y[b + 2];
+        s3 += x[b + 3] * y[b + 3];
+    }
+    let mut s = s0 + s1 + s2 + s3;
+    for i in chunks * 4..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// Matrix–vector product `A · x` for a row-major `A` and dense `x`.
+pub fn matvec(a: &Matrix, x: &[f32]) -> Vec<f32> {
+    assert_eq!(a.cols(), x.len(), "matvec shape mismatch");
+    (0..a.rows()).map(|r| dot(a.row(r), x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for p in 0..a.cols() {
+                    s += a[(i, p)] * b[(p, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Simple LCG so the test has no RNG dependency.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (7, 5, 9), (33, 17, 40)] {
+            let a = rand_mat(m, k, 1);
+            let b = rand_mat(k, n, 2);
+            assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = rand_mat(5, 5, 3);
+        assert_close(&matmul(&a, &Matrix::identity(5)), &a, 1e-6);
+        assert_close(&matmul(&Matrix::identity(5), &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn matmul_acc_accumulates() {
+        let a = rand_mat(3, 4, 4);
+        let b = rand_mat(4, 2, 5);
+        let mut c = matmul(&a, &b);
+        matmul_acc(&a, &b, &mut c);
+        assert_close(&c, &naive(&a, &b).scale(2.0), 1e-4);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = rand_mat(6, 3, 6);
+        let b = rand_mat(6, 4, 7);
+        assert_close(&matmul_at_b(&a, &b), &matmul(&a.transpose(), &b), 1e-4);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = rand_mat(5, 7, 8);
+        let b = rand_mat(4, 7, 9);
+        assert_close(&matmul_a_bt(&a, &b), &matmul(&a, &b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        for n in 0..9 {
+            let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let y: Vec<f32> = (0..n).map(|i| (i + 1) as f32).collect();
+            let expect: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            assert_eq!(dot(&x, &y), expect);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = rand_mat(4, 6, 10);
+        let x = rand_mat(6, 1, 11);
+        let mv = matvec(&a, x.as_slice());
+        let mm = matmul(&a, &x);
+        for (u, v) in mv.iter().zip(mm.as_slice()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3));
+    }
+}

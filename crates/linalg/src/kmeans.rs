@@ -1,0 +1,242 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Product quantization (PQ/OPQ) learns its codebooks with k-means per
+//! subspace; LTHNet's multi-prototype construction and the synthetic dataset
+//! diagnostics also use it.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::distance::squared_l2;
+use crate::matrix::Matrix;
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// `k × d` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster assignment per input row.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f32,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when inertia improves by less than this relative amount.
+    pub tol: f32,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 8, max_iters: 50, tol: 1e-4 }
+    }
+}
+
+/// k-means++ seeding: the first centroid is uniform, later centroids are
+/// sampled proportionally to squared distance from the nearest chosen one.
+fn seed_plus_plus(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+    let n = data.rows();
+    let d = data.cols();
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(data.row(first));
+
+    let mut dist2: Vec<f32> = (0..n)
+        .map(|i| squared_l2(data.row(i), centroids.row(0)))
+        .collect();
+
+    for c in 1..k {
+        let total: f32 = dist2.iter().sum();
+        let choice = if total <= 1e-12 {
+            // All points coincide with chosen centroids; pick uniformly.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = n - 1;
+            for (i, &d2) in dist2.iter().enumerate() {
+                if target < d2 {
+                    idx = i;
+                    break;
+                }
+                target -= d2;
+            }
+            idx
+        };
+        centroids.row_mut(c).copy_from_slice(data.row(choice));
+        for (i, slot) in dist2.iter_mut().enumerate() {
+            let d2 = squared_l2(data.row(i), centroids.row(c));
+            if d2 < *slot {
+                *slot = d2;
+            }
+        }
+    }
+    centroids
+}
+
+fn assign(data: &Matrix, centroids: &Matrix, assignments: &mut [usize]) -> f32 {
+    let mut inertia = 0.0;
+    for (i, slot) in assignments.iter_mut().enumerate() {
+        let row = data.row(i);
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for c in 0..centroids.rows() {
+            let d = squared_l2(row, centroids.row(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *slot = best;
+        inertia += best_d;
+    }
+    inertia
+}
+
+/// Runs Lloyd's algorithm with k-means++ seeding.
+///
+/// Empty clusters are re-seeded from the point farthest from its centroid,
+/// so the fit always returns exactly `k` centroids.
+///
+/// # Panics
+/// Panics if `k == 0` or the dataset is empty.
+pub fn kmeans(data: &Matrix, config: KMeansConfig, rng: &mut StdRng) -> KMeans {
+    assert!(config.k > 0, "k must be positive");
+    assert!(data.rows() > 0, "kmeans needs data");
+    let k = config.k.min(data.rows());
+    let n = data.rows();
+    let d = data.cols();
+
+    let mut centroids = seed_plus_plus(data, k, rng);
+    let mut assignments = vec![0usize; n];
+    let mut inertia = assign(data, &centroids, &mut assignments);
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iters {
+        iterations += 1;
+        // Update step.
+        let mut counts = vec![0usize; k];
+        let mut sums = Matrix::zeros(k, d);
+        for (i, &a) in assignments.iter().enumerate() {
+            counts[a] += 1;
+            let row = data.row(i);
+            let srow = sums.row_mut(a);
+            for (s, &v) in srow.iter_mut().zip(row.iter()) {
+                *s += v;
+            }
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                // Re-seed empty cluster at the worst-fit point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = squared_l2(data.row(a), centroids.row(assignments[a]));
+                        let db = squared_l2(data.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0);
+                centroids.row_mut(c).copy_from_slice(data.row(far));
+            } else {
+                let inv = 1.0 / count as f32;
+                let srow = sums.row(c).to_vec();
+                let crow = centroids.row_mut(c);
+                for (cv, sv) in crow.iter_mut().zip(srow.iter()) {
+                    *cv = sv * inv;
+                }
+            }
+        }
+
+        let new_inertia = assign(data, &centroids, &mut assignments);
+        let improved = inertia - new_inertia;
+        inertia = new_inertia;
+        if improved >= 0.0 && improved <= config.tol * inertia.max(1e-12) {
+            break;
+        }
+    }
+
+    // Pad centroids if k was clamped (callers asked for more clusters than
+    // points): duplicate existing rows so the shape contract holds.
+    let centroids = if k < config.k {
+        let mut padded = Matrix::zeros(config.k, d);
+        for c in 0..config.k {
+            padded.row_mut(c).copy_from_slice(centroids.row(c % k));
+        }
+        padded
+    } else {
+        centroids
+    };
+
+    KMeans { centroids, assignments, inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{randn_scaled, rng};
+
+    fn two_blobs(n_per: usize, seed: u64) -> Matrix {
+        let mut r = rng(seed);
+        let a = randn_scaled(n_per, 2, -5.0, 0.3, &mut r);
+        let b = randn_scaled(n_per, 2, 5.0, 0.3, &mut r);
+        Matrix::vstack(&[&a, &b])
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = two_blobs(50, 1);
+        let fit = kmeans(&data, KMeansConfig { k: 2, max_iters: 50, tol: 1e-6 }, &mut rng(2));
+        // Each blob should be pure.
+        let first_cluster = fit.assignments[0];
+        assert!(fit.assignments[..50].iter().all(|&a| a == first_cluster));
+        assert!(fit.assignments[50..].iter().all(|&a| a != first_cluster));
+        // Centroids near (±5, ±5).
+        let c0 = fit.centroids.row(0);
+        assert!(c0[0].abs() > 4.0);
+    }
+
+    #[test]
+    fn inertia_nonincreasing_over_restarts_of_longer_runs() {
+        let data = two_blobs(40, 3);
+        let short = kmeans(&data, KMeansConfig { k: 4, max_iters: 1, tol: 0.0 }, &mut rng(4));
+        let long = kmeans(&data, KMeansConfig { k: 4, max_iters: 30, tol: 0.0 }, &mut rng(4));
+        assert!(long.inertia <= short.inertia + 1e-4);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        let fit = kmeans(&data, KMeansConfig { k: 3, max_iters: 20, tol: 0.0 }, &mut rng(5));
+        assert!(fit.inertia < 1e-8);
+    }
+
+    #[test]
+    fn k_greater_than_n_pads_centroids() {
+        let data = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let fit = kmeans(&data, KMeansConfig { k: 5, max_iters: 5, tol: 0.0 }, &mut rng(6));
+        assert_eq!(fit.centroids.rows(), 5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = two_blobs(30, 7);
+        let a = kmeans(&data, KMeansConfig::default(), &mut rng(8));
+        let b = kmeans(&data, KMeansConfig::default(), &mut rng(8));
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn identical_points_converge_immediately() {
+        let data = Matrix::full(10, 3, 2.0);
+        let fit = kmeans(&data, KMeansConfig { k: 2, max_iters: 10, tol: 1e-6 }, &mut rng(9));
+        assert!(fit.inertia < 1e-8);
+        assert_eq!(fit.centroids.row(0), &[2.0, 2.0, 2.0]);
+    }
+}

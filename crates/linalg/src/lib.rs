@@ -1,0 +1,37 @@
+//! `lt-linalg`: the dense linear-algebra substrate for the LightLT
+//! reproduction workspace.
+//!
+//! Everything here is self-contained (no BLAS, no ndarray): the repro target
+//! explicitly includes building the numerical substrate the paper's training
+//! and search pipelines need.
+//!
+//! Modules:
+//! * [`matrix`] — row-major `f32` [`Matrix`], the shared storage type.
+//! * [`gemm`] — blocked matrix multiply and dot-product kernels.
+//! * [`distance`] — L2 / inner-product / cosine / Hamming kernels
+//!   and bulk similarity matrices.
+//! * [`topk`] — heap-based top-k selection for retrieval.
+//! * [`eigen`] / [`svd`] — cyclic-Jacobi eigendecomposition and small SVD
+//!   (ITQ's Procrustes step).
+//! * [`pca`] — principal component analysis (PCAH/ITQ, Fig. 8).
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding (PQ/OPQ, LTHNet).
+//! * [`random`] — seeded random matrices for reproducible experiments.
+//! * [`stats`] — means/variance/correlation/silhouette helpers.
+
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod eigen;
+pub mod gemm;
+pub mod kmeans;
+pub mod matrix;
+pub mod pca;
+pub mod random;
+pub mod solve;
+pub mod stats;
+pub mod svd;
+pub mod topk;
+
+pub use distance::Metric;
+pub use matrix::Matrix;
+pub use topk::{Scored, TopK};

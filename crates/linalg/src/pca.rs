@@ -1,0 +1,128 @@
+//! Principal component analysis.
+//!
+//! Used by the PCAH and ITQ baselines (projection to `B` bits) and by the
+//! Fig.-8 representation visualization (2-D projection of quantized
+//! embeddings).
+
+use crate::eigen::{eigen_symmetric, Eigen};
+use crate::gemm::{matmul, matmul_at_b};
+use crate::matrix::Matrix;
+
+/// A fitted PCA model: mean vector and projection matrix.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// `1 × d` data mean.
+    pub mean: Matrix,
+    /// `d × k` projection (columns = top-k principal directions).
+    pub components: Matrix,
+    /// Explained variance per component (descending).
+    pub explained_variance: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits PCA on row-vector data, keeping the top `k` components.
+    ///
+    /// # Panics
+    /// Panics if `data` has no rows or `k == 0`.
+    pub fn fit(data: &Matrix, k: usize) -> Self {
+        assert!(data.rows() > 0, "PCA needs at least one sample");
+        assert!(k > 0, "PCA needs k >= 1 components");
+        let k = k.min(data.cols());
+        let mean = data.col_mean();
+        let centered = data.center_rows(&mean);
+        // Covariance = Xᶜᵀ Xᶜ / (n − 1); the scale does not change the
+        // eigenvectors but keeps explained_variance interpretable.
+        let scale = 1.0 / ((data.rows().max(2) - 1) as f32);
+        let cov = matmul_at_b(&centered, &centered).scale(scale);
+        let Eigen { values, vectors } = eigen_symmetric(&cov);
+
+        let d = data.cols();
+        let mut components = Matrix::zeros(d, k);
+        for c in 0..k {
+            for r in 0..d {
+                components[(r, c)] = vectors[(r, c)];
+            }
+        }
+        let explained_variance = values[..k].iter().map(|&v| v.max(0.0)).collect();
+        Self { mean, components, explained_variance }
+    }
+
+    /// Projects row-vector data into the principal subspace (`n × k`).
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let centered = data.center_rows(&self.mean);
+        matmul(&centered, &self.components)
+    }
+
+    /// Number of retained components.
+    pub fn k(&self) -> usize {
+        self.components.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{randn, rng};
+
+    #[test]
+    fn first_component_captures_dominant_direction() {
+        // Data stretched along (1, 1)/√2.
+        let mut r = rng(3);
+        let n = 300;
+        let mut data = Matrix::zeros(n, 2);
+        let noise = randn(n, 2, &mut r);
+        let signal = randn(n, 1, &mut r);
+        for i in 0..n {
+            let s = signal[(i, 0)] * 5.0;
+            data[(i, 0)] = s + 0.1 * noise[(i, 0)];
+            data[(i, 1)] = s + 0.1 * noise[(i, 1)];
+        }
+        let pca = Pca::fit(&data, 2);
+        let c0 = pca.components.col(0);
+        // Direction ≈ ±(0.707, 0.707)
+        assert!((c0[0].abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 0.05);
+        assert!((c0[0] - c0[1]).abs() < 0.05 || (c0[0] + c0[1]).abs() < 0.05);
+        assert!(pca.explained_variance[0] > pca.explained_variance[1] * 10.0);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let pca = Pca::fit(&data, 2);
+        let t = pca.transform(&data);
+        // Projected data is centered.
+        assert!(t.col_mean().max_abs() < 1e-4);
+        assert_eq!(t.shape(), (3, 2));
+    }
+
+    #[test]
+    fn k_clamped_to_dimension() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let pca = Pca::fit(&data, 10);
+        assert_eq!(pca.k(), 2);
+    }
+
+    #[test]
+    fn projection_preserves_variance_ordering() {
+        let mut r = rng(7);
+        let data = randn(100, 5, &mut r);
+        let pca = Pca::fit(&data, 5);
+        assert!(pca
+            .explained_variance
+            .windows(2)
+            .all(|w| w[0] >= w[1] - 1e-5));
+        // Empirical variance of each projected column matches eigenvalue.
+        let t = pca.transform(&data);
+        for c in 0..3 {
+            let col = t.col(c);
+            let mean: f32 = col.iter().sum::<f32>() / col.len() as f32;
+            let var: f32 =
+                col.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (col.len() - 1) as f32;
+            assert!(
+                (var - pca.explained_variance[c]).abs() < 0.1 * pca.explained_variance[c].max(0.1),
+                "col {c}: var {var} vs eig {}",
+                pca.explained_variance[c]
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Seedable random matrix/vector helpers.
+//!
+//! Everything in the workspace that needs randomness goes through an
+//! explicitly-seeded [`rand::rngs::StdRng`] so experiments are reproducible
+//! run-to-run — a requirement for the paper-reproduction benches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal, StandardNormal};
+
+use crate::matrix::Matrix;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Matrix with i.i.d. standard-normal entries.
+pub fn randn(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let data = (0..rows * cols).map(|_| StandardNormal.sample(rng)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Matrix with i.i.d. `N(mean, std²)` entries.
+pub fn randn_scaled(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut StdRng) -> Matrix {
+    let dist = Normal::new(mean, std).expect("std must be finite and non-negative");
+    let data = (0..rows * cols).map(|_| dist.sample(rng)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Matrix with i.i.d. uniform entries in `[lo, hi)`.
+pub fn rand_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut StdRng) -> Matrix {
+    let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// A random unit vector of dimension `d`.
+pub fn random_unit_vector(d: usize, rng: &mut StdRng) -> Vec<f32> {
+    loop {
+        let v: Vec<f32> = (0..d).map(|_| StandardNormal.sample(rng)).collect();
+        let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 1e-6 {
+            return v.into_iter().map(|x| x / norm).collect();
+        }
+    }
+}
+
+/// Fisher–Yates shuffle of `0..n` index permutation.
+pub fn permutation(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Samples `k` distinct indices from `0..n` (reservoir-free: shuffle prefix).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_without_replacement(n: usize, k: usize, rng: &mut StdRng) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} of {n} without replacement");
+    let mut idx = permutation(n, rng);
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = randn(3, 3, &mut rng(9));
+        let b = randn(3, 3, &mut rng(9));
+        assert_eq!(a, b);
+        let c = randn(3, 3, &mut rng(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn randn_moments_roughly_standard() {
+        let m = randn(200, 50, &mut rng(1));
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / (m.len() as f32);
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = rand_uniform(10, 10, -2.0, 3.0, &mut rng(2));
+        assert!(m.as_slice().iter().all(|&v| (-2.0..3.0).contains(&v)));
+    }
+
+    #[test]
+    fn unit_vector_has_unit_norm() {
+        let v = random_unit_vector(16, &mut rng(3));
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = permutation(100, &mut rng(4));
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_without_replacement_distinct() {
+        let s = sample_without_replacement(50, 20, &mut rng(5));
+        assert_eq!(s.len(), 20);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn sample_rejects_oversample() {
+        let _ = sample_without_replacement(3, 4, &mut rng(6));
+    }
+}

@@ -1,0 +1,151 @@
+//! Dense linear solves (Gaussian elimination with partial pivoting).
+//!
+//! The SDH baseline alternates two ridge regressions; both reduce to solving
+//! small symmetric positive-definite systems (`B × B` or `d × d`).
+
+use crate::matrix::Matrix;
+
+/// Solves `A · X = B` for `X` via Gaussian elimination with partial
+/// pivoting. `A` is `n × n`, `B` is `n × m`.
+///
+/// # Panics
+/// Panics if shapes are inconsistent or `A` is singular to working
+/// precision.
+pub fn solve(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), a.cols(), "solve needs a square system");
+    assert_eq!(a.rows(), b.rows(), "rhs height mismatch");
+    let n = a.rows();
+    let m = b.cols();
+
+    // Augmented system in f64 for stability.
+    let mut aug = vec![0.0f64; n * (n + m)];
+    let w = n + m;
+    for i in 0..n {
+        for j in 0..n {
+            aug[i * w + j] = a[(i, j)] as f64;
+        }
+        for j in 0..m {
+            aug[i * w + n + j] = b[(i, j)] as f64;
+        }
+    }
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = aug[col * w + col].abs();
+        for row in (col + 1)..n {
+            let v = aug[row * w + col].abs();
+            if v > best {
+                best = v;
+                pivot = row;
+            }
+        }
+        assert!(best > 1e-12, "singular matrix in solve (pivot {best:e} at col {col})");
+        if pivot != col {
+            for j in 0..w {
+                aug.swap(col * w + j, pivot * w + j);
+            }
+        }
+        // Eliminate below and above (Gauss–Jordan).
+        let inv = 1.0 / aug[col * w + col];
+        for j in col..w {
+            aug[col * w + j] *= inv;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = aug[row * w + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..w {
+                aug[row * w + j] -= factor * aug[col * w + j];
+            }
+        }
+    }
+
+    Matrix::from_fn(n, m, |i, j| aug[i * w + n + j] as f32)
+}
+
+/// Ridge-regularized least squares: solves `(AᵀA + λI) X = AᵀB`, the normal
+/// equations of `min_X ‖A·X − B‖² + λ‖X‖²`.
+pub fn ridge_solve(a: &Matrix, b: &Matrix, lambda: f32) -> Matrix {
+    assert!(lambda >= 0.0, "ridge parameter must be non-negative");
+    let mut ata = crate::gemm::matmul_at_b(a, a);
+    for i in 0..ata.rows() {
+        ata[(i, i)] += lambda;
+    }
+    let atb = crate::gemm::matmul_at_b(a, b);
+    solve(&ata, &atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::matmul;
+
+    #[test]
+    fn solves_known_system() {
+        // [[2,1],[1,3]] x = [3; 5] → x = [0.8, 1.4].
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::from_rows(&[&[3.0], &[5.0]]);
+        let x = solve(&a, &b);
+        assert!((x[(0, 0)] - 0.8).abs() < 1e-5);
+        assert!((x[(1, 0)] - 1.4).abs() < 1e-5);
+    }
+
+    #[test]
+    fn multi_rhs_solve() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[8.0, 4.0], &[2.0, 6.0]]);
+        let x = solve(&a, &b);
+        assert_eq!(x.as_slice(), &[2.0, 1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[2.0], &[3.0]]);
+        let x = solve(&a, &b);
+        assert!((x[(0, 0)] - 3.0).abs() < 1e-6);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn residual_small_on_random_system() {
+        let mut state = 5u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let a = Matrix::from_fn(6, 6, |_, _| next()).add(&Matrix::identity(6).scale(3.0));
+        let b = Matrix::from_fn(6, 2, |_, _| next());
+        let x = solve(&a, &b);
+        let recon = matmul(&a, &x);
+        for (u, v) in recon.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn ridge_shrinks_solution() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[1.0], &[2.0]]);
+        let x0 = ridge_solve(&a, &b, 0.0);
+        let x_big = ridge_solve(&a, &b, 100.0);
+        assert!(x_big.frobenius_norm() < x0.frobenius_norm());
+        // λ=0 recovers the exact solution (1, 1).
+        assert!((x0[(0, 0)] - 1.0).abs() < 1e-4);
+        assert!((x0[(1, 0)] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular matrix")]
+    fn singular_panics() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let _ = solve(&a, &b);
+    }
+}

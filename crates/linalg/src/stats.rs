@@ -1,0 +1,194 @@
+//! Small statistics helpers shared by evaluation and dataset diagnostics.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Unbiased sample variance; 0 for fewer than two samples.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / (xs.len() - 1) as f32
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    variance(xs).sqrt()
+}
+
+/// Median (average of the two middle values for even lengths); 0 if empty.
+pub fn median(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+pub fn pearson(xs: &[f32], ys: &[f32]) -> f32 {
+    assert_eq!(xs.len(), ys.len(), "pearson needs equal-length slices");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys.iter()) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx < 1e-12 || vy < 1e-12 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Simplified silhouette score for labeled points: per point,
+/// `(b − a) / max(a, b)` where `a` is the mean distance to same-label points
+/// and `b` the smallest mean distance to any other label. Used by the Fig.-8
+/// cluster-quality report.
+#[allow(clippy::needless_range_loop)] // pairwise loop over points and labels
+pub fn silhouette(points: &crate::matrix::Matrix, labels: &[usize]) -> f32 {
+    assert_eq!(points.rows(), labels.len(), "label count mismatch");
+    let n = points.rows();
+    if n < 2 {
+        return 0.0;
+    }
+    let classes: Vec<usize> = {
+        let mut c = labels.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        c
+    };
+    if classes.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for i in 0..n {
+        // Mean distance to each class.
+        let mut sums = vec![0.0f32; classes.len()];
+        let mut counts = vec![0usize; classes.len()];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let ci = classes.iter().position(|&c| c == labels[j]).unwrap();
+            sums[ci] += crate::distance::l2(points.row(i), points.row(j));
+            counts[ci] += 1;
+        }
+        let own = classes.iter().position(|&c| c == labels[i]).unwrap();
+        if counts[own] == 0 {
+            continue; // singleton cluster: silhouette undefined, skip.
+        }
+        let a = sums[own] / counts[own] as f32;
+        let b = (0..classes.len())
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f32)
+            .fold(f32::INFINITY, f32::min);
+        if !b.is_finite() {
+            continue;
+        }
+        total += (b - a) / a.max(b).max(1e-12);
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 5.0 / 3.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - (5.0f32 / 3.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-6);
+        let neg = [-2.0, -4.0, -6.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn silhouette_separated_clusters_near_one() {
+        let points = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, 0.0],
+            &[0.0, 0.1],
+            &[10.0, 10.0],
+            &[10.1, 10.0],
+            &[10.0, 10.1],
+        ]);
+        let labels = [0, 0, 0, 1, 1, 1];
+        let s = silhouette(&points, &labels);
+        assert!(s > 0.9, "expected near-1 silhouette, got {s}");
+    }
+
+    #[test]
+    fn silhouette_mixed_clusters_low() {
+        let points = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[0.5, 0.0],
+            &[0.25, 0.0],
+        ]);
+        // Interleave labels so clusters overlap completely.
+        let labels = [0, 0, 1, 1];
+        let s = silhouette(&points, &labels);
+        assert!(s < 0.5, "overlapping clusters should score low, got {s}");
+    }
+
+    #[test]
+    fn silhouette_single_class_zero() {
+        let points = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        assert_eq!(silhouette(&points, &[0, 0]), 0.0);
+    }
+}

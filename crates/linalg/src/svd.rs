@@ -1,0 +1,194 @@
+//! Small-matrix singular value decomposition.
+//!
+//! ITQ's orthogonal-Procrustes update needs the SVD of a `B × B` matrix
+//! (B = code bits, ≤ 64 here). We compute it through the symmetric
+//! eigendecompositions of `AᵀA` and recover `U = A · V · Σ⁻¹`, handling the
+//! rank-deficient case by completing `U` to an orthonormal basis with
+//! Gram–Schmidt.
+
+use crate::eigen::eigen_symmetric;
+use crate::gemm::{dot, matmul, matmul_at_b};
+use crate::matrix::Matrix;
+
+/// Thin SVD `A = U · diag(σ) · Vᵀ` of an `m × n` matrix with `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors, `m × n`.
+    pub u: Matrix,
+    /// Singular values, descending, length `n`.
+    pub sigma: Vec<f32>,
+    /// Right singular vectors, `n × n` (columns).
+    pub v: Matrix,
+}
+
+/// Computes the thin SVD of `a` (requires `rows ≥ cols`).
+///
+/// # Panics
+/// Panics if `a.rows() < a.cols()`.
+pub fn svd(a: &Matrix) -> Svd {
+    assert!(
+        a.rows() >= a.cols(),
+        "svd expects a tall (or square) matrix; got {}x{}",
+        a.rows(),
+        a.cols()
+    );
+    let n = a.cols();
+    let ata = matmul_at_b(a, a);
+    let eig = eigen_symmetric(&ata);
+
+    let sigma: Vec<f32> = eig.values.iter().map(|&l| l.max(0.0).sqrt()).collect();
+    let v = eig.vectors; // n × n, columns are right singular vectors.
+
+    // U = A V Σ⁻¹ for non-degenerate singular values.
+    let av = matmul(a, &v);
+    let mut u = Matrix::zeros(a.rows(), n);
+    let mut degenerate = Vec::new();
+    for c in 0..n {
+        if sigma[c] > 1e-6 {
+            let inv = 1.0 / sigma[c];
+            for r in 0..a.rows() {
+                u[(r, c)] = av[(r, c)] * inv;
+            }
+        } else {
+            degenerate.push(c);
+        }
+    }
+    // Complete degenerate columns to an orthonormal set via Gram–Schmidt
+    // against the existing columns, seeding from canonical basis vectors.
+    for &c in &degenerate {
+        let mut seed = 0;
+        'seed: loop {
+            assert!(seed < a.rows(), "could not complete orthonormal basis");
+            let mut col = vec![0.0f32; a.rows()];
+            col[seed] = 1.0;
+            // Orthogonalize against all previously-filled columns.
+            for cc in 0..n {
+                if cc == c || (sigma[cc] <= 1e-6 && cc > c) {
+                    continue;
+                }
+                let existing: Vec<f32> = (0..a.rows()).map(|r| u[(r, cc)]).collect();
+                let proj = dot(&col, &existing);
+                for (v_i, e_i) in col.iter_mut().zip(existing.iter()) {
+                    *v_i -= proj * e_i;
+                }
+            }
+            let norm = dot(&col, &col).sqrt();
+            if norm > 1e-4 {
+                for (r, val) in col.iter().enumerate() {
+                    u[(r, c)] = val / norm;
+                }
+                break 'seed;
+            }
+            seed += 1;
+        }
+    }
+
+    Svd { u, sigma, v }
+}
+
+/// Solves the orthogonal Procrustes problem: the orthogonal `R` minimizing
+/// `‖A·R − B‖_F`, namely `R = U·Vᵀ` where `BᵀA = V·Σ·Uᵀ`.
+///
+/// This is exactly ITQ's rotation update step.
+pub fn procrustes_rotation(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "procrustes operands must share a shape");
+    let m = matmul_at_b(b, a); // n × n
+    let s = svd(&m);
+    // R = V Uᵀ  (for M = BᵀA with SVD M = U Σ Vᵀ, argmin is R = V Uᵀ
+    // in the convention where scores are A·R ≈ B).
+    matmul(&s.v, &s.u.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    fn is_orthonormal_cols(m: &Matrix, tol: f32) -> bool {
+        let g = matmul_at_b(m, m);
+        (0..g.rows()).all(|i| {
+            (0..g.cols()).all(|j| {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                (g[(i, j)] - expect).abs() < tol
+            })
+        })
+    }
+
+    #[test]
+    fn svd_reconstructs_random_matrix() {
+        for seed in 1..4u64 {
+            let a = rand_mat(6, 4, seed);
+            let s = svd(&a);
+            // Rebuild A = U Σ Vᵀ.
+            let mut us = s.u.clone();
+            for c in 0..s.sigma.len() {
+                for r in 0..us.rows() {
+                    us[(r, c)] *= s.sigma[c];
+                }
+            }
+            let recon = matmul(&us, &s.v.transpose());
+            assert_close(&recon, &a, 1e-3);
+            assert!(is_orthonormal_cols(&s.v, 1e-3));
+        }
+    }
+
+    #[test]
+    fn svd_sigma_descending_nonnegative() {
+        let a = rand_mat(5, 5, 7);
+        let s = svd(&a);
+        assert!(s.sigma.iter().all(|&x| x >= 0.0));
+        assert!(s.sigma.windows(2).all(|w| w[0] >= w[1] - 1e-5));
+    }
+
+    #[test]
+    fn svd_handles_rank_deficiency() {
+        // Two identical columns → rank 1.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let s = svd(&a);
+        assert!(s.sigma[1].abs() < 1e-4);
+        assert!(is_orthonormal_cols(&s.u, 1e-3));
+        let mut us = s.u.clone();
+        for c in 0..2 {
+            for r in 0..3 {
+                us[(r, c)] *= s.sigma[c];
+            }
+        }
+        assert_close(&matmul(&us, &s.v.transpose()), &a, 1e-3);
+    }
+
+    #[test]
+    fn procrustes_recovers_known_rotation() {
+        // Build a random rotation from Jacobi eigenvectors of a symmetric
+        // matrix (orthonormal), then check recovery.
+        let sym = {
+            let r = rand_mat(4, 4, 11);
+            matmul_at_b(&r, &r)
+        };
+        let rot = crate::eigen::eigen_symmetric(&sym).vectors; // orthonormal 4×4
+        let a = rand_mat(20, 4, 12);
+        let b = matmul(&a, &rot);
+        let r_hat = procrustes_rotation(&a, &b);
+        assert_close(&matmul(&a, &r_hat), &b, 1e-2);
+        assert!(is_orthonormal_cols(&r_hat, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "svd expects a tall")]
+    fn svd_rejects_wide_matrices() {
+        let _ = svd(&Matrix::zeros(2, 5));
+    }
+}

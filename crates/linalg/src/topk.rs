@@ -1,0 +1,205 @@
+//! Top-k selection over scored items.
+//!
+//! Retrieval returns the `k` database items with the highest similarity
+//! score. A bounded binary min-heap keeps selection `O(n log k)` instead of
+//! sorting the full score list, which matters at Fig.-7 database scales.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A `(score, index)` pair ordered by score, then by index (lower index wins
+/// ties, giving deterministic rankings).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// Similarity score; higher is better.
+    pub score: f32,
+    /// Item index.
+    pub index: usize,
+}
+
+impl Eq for Scored {}
+
+/// Maps NaN to `-inf` so a NaN score can never outrank a real one.
+#[inline]
+fn order_key(s: f32) -> f32 {
+    if s.is_nan() {
+        f32::NEG_INFINITY
+    } else {
+        s
+    }
+}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        order_key(self.score)
+            .total_cmp(&order_key(other.score))
+            .then_with(|| other.index.cmp(&self.index))
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Inverted ordering wrapper so `BinaryHeap` behaves as a min-heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MinScored(Scored);
+
+impl Ord for MinScored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.cmp(&self.0)
+    }
+}
+
+impl PartialOrd for MinScored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Streaming top-k accumulator.
+///
+/// Push every `(score, index)` pair; [`TopK::into_sorted_vec`] returns the k
+/// best, highest score first.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<MinScored>,
+}
+
+impl TopK {
+    /// Creates an accumulator retaining the best `k` items.
+    pub fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// Offers one scored item.
+    #[inline]
+    pub fn push(&mut self, score: f32, index: usize) {
+        if self.k == 0 {
+            return;
+        }
+        let item = Scored { score, index };
+        if self.heap.len() < self.k {
+            self.heap.push(MinScored(item));
+        } else if let Some(min) = self.heap.peek() {
+            if item > min.0 {
+                self.heap.pop();
+                self.heap.push(MinScored(item));
+            }
+        }
+    }
+
+    /// Number of retained items so far (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Current k-th best score, or `-inf` while fewer than k items are held.
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::NEG_INFINITY
+        } else {
+            self.heap.peek().map_or(f32::NEG_INFINITY, |m| m.0.score)
+        }
+    }
+
+    /// Consumes the accumulator, returning retained items sorted best-first.
+    pub fn into_sorted_vec(self) -> Vec<Scored> {
+        let mut v: Vec<Scored> = self.heap.into_iter().map(|m| m.0).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+/// Convenience: top-k over a score slice, best-first.
+pub fn top_k(scores: &[f32], k: usize) -> Vec<Scored> {
+    let mut acc = TopK::new(k);
+    for (i, &s) in scores.iter().enumerate() {
+        acc.push(s, i);
+    }
+    acc.into_sorted_vec()
+}
+
+/// Reference implementation used by tests and property checks: full sort.
+pub fn top_k_by_sort(scores: &[f32], k: usize) -> Vec<Scored> {
+    let mut v: Vec<Scored> = scores
+        .iter()
+        .enumerate()
+        .map(|(index, &score)| Scored { score, index })
+        .collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v.truncate(k);
+    v
+}
+
+/// Ranks all items best-first (a full argsort by descending score).
+pub fn rank_all(scores: &[f32]) -> Vec<usize> {
+    top_k_by_sort(scores, scores.len()).into_iter().map(|s| s.index).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_matches_sort_reference() {
+        let scores = [0.3, -1.0, 2.5, 2.5, 0.0, 7.1, -3.2, 2.5];
+        for k in 0..=scores.len() + 2 {
+            let a = top_k(&scores, k);
+            let b = top_k_by_sort(&scores, k);
+            assert_eq!(a, b, "k={k}");
+        }
+    }
+
+    #[test]
+    fn ties_break_toward_lower_index() {
+        let got = top_k(&[1.0, 1.0, 1.0], 2);
+        assert_eq!(got[0].index, 0);
+        assert_eq!(got[1].index, 1);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        assert!(top_k(&[1.0, 2.0], 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all_sorted() {
+        let got = top_k(&[1.0, 3.0, 2.0], 10);
+        let idx: Vec<usize> = got.iter().map(|s| s.index).collect();
+        assert_eq!(idx, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn threshold_tracks_kth_best() {
+        let mut acc = TopK::new(2);
+        assert_eq!(acc.threshold(), f32::NEG_INFINITY);
+        acc.push(1.0, 0);
+        assert_eq!(acc.threshold(), f32::NEG_INFINITY);
+        acc.push(5.0, 1);
+        assert_eq!(acc.threshold(), 1.0);
+        acc.push(3.0, 2);
+        assert_eq!(acc.threshold(), 3.0);
+    }
+
+    #[test]
+    fn nan_scores_never_win() {
+        let got = top_k(&[f32::NAN, 1.0, f32::NAN, 0.5], 2);
+        let idx: Vec<usize> = got.iter().map(|s| s.index).collect();
+        assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn rank_all_is_descending() {
+        let r = rank_all(&[0.1, 0.9, 0.5]);
+        assert_eq!(r, vec![1, 2, 0]);
+    }
+}

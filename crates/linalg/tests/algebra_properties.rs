@@ -1,0 +1,121 @@
+//! Property-based tests of the linear-algebra substrate's algebraic laws.
+
+use proptest::prelude::*;
+
+use lt_linalg::eigen::eigen_symmetric;
+use lt_linalg::gemm::{matmul, matmul_a_bt, matmul_at_b};
+use lt_linalg::matrix::Matrix;
+use lt_linalg::pca::Pca;
+use lt_linalg::solve::solve;
+
+/// Strategy: a matrix with bounded entries and small dimensions.
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        prop_assert!((x - y).abs() <= tol, "{} vs {}", x, y);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `(A·B)·C == A·(B·C)` (associativity).
+    #[test]
+    fn matmul_associative(a in matrix(1..6, 1..6), bc in (1usize..6, 1usize..6)) {
+        let (bk, cn) = bc;
+        let b = Matrix::from_fn(a.cols(), bk, |i, j| ((i * 3 + j) as f32).sin());
+        let c = Matrix::from_fn(bk, cn, |i, j| ((i + 2 * j) as f32).cos());
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert_close(&left, &right, 1e-2)?;
+    }
+
+    /// `A·(B + C) == A·B + A·C` (distributivity).
+    #[test]
+    fn matmul_distributive(a in matrix(1..6, 1..6), n in 1usize..6) {
+        let b = Matrix::from_fn(a.cols(), n, |i, j| ((i + j) as f32).sin());
+        let c = Matrix::from_fn(a.cols(), n, |i, j| ((2 * i + j) as f32).cos());
+        let left = matmul(&a, &b.add(&c));
+        let right = matmul(&a, &b).add(&matmul(&a, &c));
+        assert_close(&left, &right, 1e-3)?;
+    }
+
+    /// Identity is neutral and transpose is an involution.
+    #[test]
+    fn identity_and_transpose(a in matrix(1..8, 1..8)) {
+        assert_close(&matmul(&a, &Matrix::identity(a.cols())), &a, 1e-5)?;
+        assert_close(&matmul(&Matrix::identity(a.rows()), &a), &a, 1e-5)?;
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+    }
+
+    /// `(A·B)ᵀ == Bᵀ·Aᵀ`.
+    #[test]
+    fn transpose_of_product(a in matrix(1..6, 1..6), n in 1usize..6) {
+        let b = Matrix::from_fn(a.cols(), n, |i, j| (i as f32 - j as f32) * 0.5);
+        let left = matmul(&a, &b).transpose();
+        let right = matmul(&b.transpose(), &a.transpose());
+        assert_close(&left, &right, 1e-3)?;
+    }
+
+    /// The fused transpose kernels agree with explicit transposes.
+    #[test]
+    fn fused_transpose_kernels(a in matrix(1..7, 1..7), n in 1usize..7) {
+        let b = Matrix::from_fn(a.rows(), n, |i, j| ((i * j) as f32) * 0.1 - 1.0);
+        assert_close(&matmul_at_b(&a, &b), &matmul(&a.transpose(), &b), 1e-3)?;
+        let c = Matrix::from_fn(n, a.cols(), |i, j| (i as f32 + j as f32) * 0.2);
+        assert_close(&matmul_a_bt(&a, &c), &matmul(&a, &c.transpose()), 1e-3)?;
+    }
+
+    /// Eigendecomposition reconstructs random symmetric matrices and yields
+    /// orthonormal eigenvectors.
+    #[test]
+    fn eigen_reconstructs(a in matrix(2..7, 2..7)) {
+        let n = a.rows().min(a.cols());
+        let sym = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j % a.cols())] + a[(j, i % a.cols())]));
+        let e = eigen_symmetric(&sym);
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam[(i, i)] = e.values[i];
+        }
+        let recon = matmul(&matmul(&e.vectors, &lam), &e.vectors.transpose());
+        assert_close(&recon, &sym, 2e-2)?;
+        let vtv = matmul(&e.vectors.transpose(), &e.vectors);
+        assert_close(&vtv, &Matrix::identity(n), 1e-3)?;
+    }
+
+    /// `solve(A, A·x) == x` for well-conditioned A.
+    #[test]
+    fn solve_inverts_application(x in matrix(2..6, 1..3), seed in 0u64..100) {
+        let n = x.rows();
+        // Diagonally dominant A: guaranteed invertible.
+        let mut state = seed;
+        let mut a = Matrix::from_fn(n, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        });
+        for i in 0..n {
+            a[(i, i)] += n as f32 + 1.0;
+        }
+        let b = matmul(&a, &x);
+        let got = solve(&a, &b);
+        assert_close(&got, &x, 1e-2)?;
+    }
+
+    /// PCA components are orthonormal and the projection is centered.
+    #[test]
+    fn pca_orthonormal_components(data in matrix(8..20, 2..6), k in 1usize..4) {
+        let pca = Pca::fit(&data, k);
+        let g = matmul_at_b(&pca.components, &pca.components);
+        assert_close(&g, &Matrix::identity(pca.k()), 1e-3)?;
+        let t = pca.transform(&data);
+        prop_assert!(t.col_mean().max_abs() < 1e-3);
+    }
+}

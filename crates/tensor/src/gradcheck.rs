@@ -1,0 +1,213 @@
+//! Finite-difference gradient checking.
+//!
+//! Every op in [`crate::tape`] has a hand-written backward rule; this module
+//! verifies them against central differences. It is used by the tensor
+//! crate's own tests and re-exported so downstream crates can gradcheck
+//! their full loss graphs (the LightLT loss in `lightlt-core` does).
+
+use crate::params::{ParamId, ParamStore};
+
+/// Result of a gradient check for one parameter.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// Parameter name.
+    pub name: String,
+    /// Maximum absolute difference between analytic and numeric gradients.
+    pub max_abs_err: f32,
+    /// Maximum relative difference (guarded for tiny magnitudes).
+    pub max_rel_err: f32,
+}
+
+/// Checks the analytic gradients of a scalar loss against central
+/// differences for every parameter in `store`.
+///
+/// `loss_fn` must be a pure function of the store: it builds a fresh graph,
+/// runs backward, accumulates gradients into the store it is given, and
+/// returns the scalar loss. Determinism (fixed batch, fixed seeds) is the
+/// caller's responsibility.
+///
+/// Returns one report per parameter; use [`assert_grads_close`] for a
+/// pass/fail wrapper.
+pub fn check_gradients(
+    store: &ParamStore,
+    eps: f32,
+    loss_fn: &mut dyn FnMut(&mut ParamStore) -> f32,
+) -> Vec<GradCheckReport> {
+    // Analytic pass.
+    let mut analytic_store = store.clone();
+    analytic_store.zero_grads();
+    let _ = loss_fn(&mut analytic_store);
+
+    let mut reports = Vec::new();
+    for (id, param) in store.iter() {
+        let analytic = analytic_store.get(id).grad.clone();
+        let mut max_abs = 0.0f32;
+        let mut max_rel = 0.0f32;
+        let (rows, cols) = param.value.shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let numeric = numeric_partial(store, id, (r, c), eps, loss_fn);
+                let a = analytic[(r, c)];
+                let abs = (a - numeric).abs();
+                let rel = abs / a.abs().max(numeric.abs()).max(1e-3);
+                max_abs = max_abs.max(abs);
+                max_rel = max_rel.max(rel);
+            }
+        }
+        reports.push(GradCheckReport {
+            name: param.name.clone(),
+            max_abs_err: max_abs,
+            max_rel_err: max_rel,
+        });
+    }
+    reports
+}
+
+fn numeric_partial(
+    store: &ParamStore,
+    id: ParamId,
+    at: (usize, usize),
+    eps: f32,
+    loss_fn: &mut dyn FnMut(&mut ParamStore) -> f32,
+) -> f32 {
+    let mut plus = store.clone();
+    {
+        let p = plus.get_mut(id);
+        p.value[at] += eps;
+    }
+    plus.zero_grads();
+    let lp = loss_fn(&mut plus);
+
+    let mut minus = store.clone();
+    {
+        let p = minus.get_mut(id);
+        p.value[at] -= eps;
+    }
+    minus.zero_grads();
+    let lm = loss_fn(&mut minus);
+
+    (lp - lm) / (2.0 * eps)
+}
+
+/// Asserts all parameters pass the gradient check within `rel_tol`.
+///
+/// # Panics
+/// Panics with the offending parameter name and errors on failure.
+pub fn assert_grads_close(
+    store: &ParamStore,
+    eps: f32,
+    rel_tol: f32,
+    loss_fn: &mut dyn FnMut(&mut ParamStore) -> f32,
+) {
+    for report in check_gradients(store, eps, loss_fn) {
+        assert!(
+            report.max_rel_err <= rel_tol,
+            "gradient check failed for `{}`: max_abs_err={:.3e}, max_rel_err={:.3e} (tol {rel_tol:.1e})",
+            report.name,
+            report.max_abs_err,
+            report.max_rel_err,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::Matrix;
+    use crate::tape::Tape;
+    use lt_linalg::random::{randn, rng};
+
+    /// Builds a loss exercising most ops: two-layer net with softmax CE,
+    /// broadcasts, gathers, and norms.
+    fn composite_loss(store: &mut ParamStore) -> f32 {
+        let x = {
+            let mut r = rng(123);
+            randn(5, 4, &mut r)
+        };
+        let targets = [0usize, 2, 1, 2, 0];
+        let weights = [1.0f32, 0.5, 2.0, 1.0, 1.0];
+
+        let w1 = store.id_of("w1").unwrap();
+        let b1 = store.id_of("b1").unwrap();
+        let w2 = store.id_of("w2").unwrap();
+        let protos = store.id_of("protos").unwrap();
+        let gate = store.id_of("gate").unwrap();
+
+        let mut t = Tape::new();
+        let xv = t.constant(x);
+        let w1v = t.param(store, w1);
+        let b1v = t.param(store, b1);
+        let w2v = t.param(store, w2);
+        let pv = t.param(store, protos);
+        let gv = t.param(store, gate);
+
+        let h = t.matmul(xv, w1v);
+        let h = t.add_row_broadcast(h, b1v);
+        let h = t.relu(h);
+        let h = t.mul_scalar_var(h, gv);
+        let logits = t.matmul(h, w2v);
+        let logp = t.log_softmax_rows(logits);
+        let ce = t.nll_weighted(logp, &targets, &weights);
+
+        // Center-loss-like term: ‖h − protos[y]‖².
+        let gathered = t.gather_rows(pv, &targets);
+        let diff = t.sub(h, gathered);
+        let nsq = t.row_norm_sq(diff);
+        let center = t.mean(nsq);
+        let center_scaled = t.scale(center, 0.1);
+
+        let loss = t.add(ce, center_scaled);
+        let grads = t.backward(loss);
+        t.accumulate_param_grads(&grads, store);
+        t.value(loss)[(0, 0)]
+    }
+
+    #[test]
+    fn composite_graph_passes_gradcheck() {
+        let mut r = rng(7);
+        let mut store = ParamStore::new();
+        store.register("w1", randn(4, 6, &mut r).scale(0.5));
+        store.register("b1", randn(1, 6, &mut r).scale(0.1));
+        store.register("w2", randn(6, 3, &mut r).scale(0.5));
+        store.register("protos", randn(3, 6, &mut r).scale(0.5));
+        store.register("gate", Matrix::full(1, 1, 0.8));
+        assert_grads_close(&store, 1e-2, 2e-2, &mut composite_loss);
+    }
+
+    #[test]
+    fn detects_wrong_gradients() {
+        // A loss function that reports gradients scaled wrongly must fail.
+        let mut store = ParamStore::new();
+        store.register("w", Matrix::full(1, 1, 2.0));
+        let mut bad = |s: &mut ParamStore| -> f32 {
+            let id = s.id_of("w").unwrap();
+            let w = s.value(id)[(0, 0)];
+            // True loss w², true grad 2w — report half of it.
+            s.accumulate_grad(id, &Matrix::full(1, 1, w));
+            w * w
+        };
+        let reports = check_gradients(&store, 1e-3, &mut bad);
+        assert!(reports[0].max_rel_err > 0.1, "should flag wrong gradient");
+    }
+
+    #[test]
+    fn exp_ln_sqrt_chain_gradcheck() {
+        let mut r = rng(9);
+        let mut store = ParamStore::new();
+        store.register("w", randn(2, 3, &mut r).map(|v| v.abs() + 0.5));
+        let mut loss_fn = |s: &mut ParamStore| -> f32 {
+            let id = s.id_of("w").unwrap();
+            let mut t = Tape::new();
+            let w = t.param(s, id);
+            let e = t.exp(w);
+            let l = t.ln(e);
+            let sq = t.sqrt(l);
+            let tanh = t.tanh(sq);
+            let loss = t.mean(tanh);
+            let g = t.backward(loss);
+            t.accumulate_param_grads(&g, s);
+            t.value(loss)[(0, 0)]
+        };
+        assert_grads_close(&store, 1e-3, 2e-2, &mut loss_fn);
+    }
+}

@@ -1,0 +1,88 @@
+//! Weight initialization schemes.
+
+use lt_linalg::random::{rand_uniform, randn};
+use lt_linalg::Matrix;
+use rand::rngs::StdRng;
+
+/// Initialization scheme for a weight matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (biases, gates that should start closed).
+    Zeros,
+    /// Constant fill.
+    Constant(f32),
+    /// Gaussian with the given standard deviation.
+    Normal {
+        /// Standard deviation of the Gaussian.
+        std: f32,
+    },
+    /// Glorot/Xavier uniform: `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming normal: `N(0, sqrt(2 / fan_in))` — for ReLU networks.
+    HeNormal,
+}
+
+impl Init {
+    /// Materializes a `rows × cols` matrix. For linear layers, `rows` is
+    /// treated as fan-in and `cols` as fan-out (row-vector convention:
+    /// `y = x · W`).
+    pub fn build(&self, rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        match *self {
+            Init::Zeros => Matrix::zeros(rows, cols),
+            Init::Constant(v) => Matrix::full(rows, cols, v),
+            Init::Normal { std } => randn(rows, cols, rng).scale(std),
+            Init::XavierUniform => {
+                let a = (6.0 / (rows + cols) as f32).sqrt();
+                rand_uniform(rows, cols, -a, a, rng)
+            }
+            Init::HeNormal => {
+                let std = (2.0 / rows.max(1) as f32).sqrt();
+                randn(rows, cols, rng).scale(std)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::random::rng;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut r = rng(1);
+        assert!(Init::Zeros.build(2, 3, &mut r).as_slice().iter().all(|&v| v == 0.0));
+        assert!(Init::Constant(7.0).build(2, 3, &mut r).as_slice().iter().all(|&v| v == 7.0));
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut r = rng(2);
+        let m = Init::XavierUniform.build(50, 50, &mut r);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= a));
+        // Not all zero.
+        assert!(m.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let mut r = rng(3);
+        let m = Init::HeNormal.build(200, 100, &mut r);
+        let std = {
+            let mean = m.mean();
+            (m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                / m.len() as f32)
+                .sqrt()
+        };
+        let expect = (2.0f32 / 200.0).sqrt();
+        assert!((std - expect).abs() < 0.02 * expect.max(0.05), "std {std} vs {expect}");
+    }
+
+    #[test]
+    fn normal_deterministic_with_seed() {
+        let a = Init::Normal { std: 0.5 }.build(3, 3, &mut rng(7));
+        let b = Init::Normal { std: 0.5 }.build(3, 3, &mut rng(7));
+        assert_eq!(a, b);
+    }
+}

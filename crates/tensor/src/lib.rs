@@ -1,0 +1,57 @@
+//! `lt-tensor`: a tape-based reverse-mode autodiff tensor library.
+//!
+//! The LightLT paper trains its quantization framework end-to-end with AdamW
+//! (Section V-A4). Rust has no mature deep-learning stack to lean on, so this
+//! crate provides the minimum complete one:
+//!
+//! * [`tape`] — the computation graph: dense ops, softmax/log-softmax,
+//!   broadcasts, row gathers, stop-gradient (Straight-Through Estimator),
+//!   and a fused class-weighted NLL.
+//! * [`params`] — named parameter storage, gradient accumulation, and the
+//!   weight averaging used by the paper's model-ensemble step.
+//! * [`optim`] — AdamW and SGD, with subset stepping for the ensemble
+//!   fine-tuning stage (freeze backbone + classifier, train DSQ only).
+//! * [`schedule`] — cosine-annealing and linear-warmup LR schedules.
+//! * [`init`] — Xavier/He/Gaussian initializers.
+//! * [`nn`] — [`nn::Linear`] and [`nn::Mlp`] building blocks.
+//! * [`gradcheck`] — finite-difference verification of backward rules.
+//!
+//! # Example
+//!
+//! ```
+//! use lt_tensor::{Tape, ParamStore};
+//! use lt_tensor::optim::{Optimizer, Sgd};
+//! use lt_linalg::Matrix;
+//!
+//! // Minimize (w - 3)^2.
+//! let mut store = ParamStore::new();
+//! let w = store.register("w", Matrix::full(1, 1, 0.0));
+//! let mut opt = Sgd::new(0.3);
+//! for _ in 0..50 {
+//!     store.zero_grads();
+//!     let mut tape = Tape::new();
+//!     let wv = tape.param(&store, w);
+//!     let shifted = tape.add_scalar(wv, -3.0);
+//!     let sq = tape.square(shifted);
+//!     let loss = tape.sum(sq);
+//!     let grads = tape.backward(loss);
+//!     tape.accumulate_param_grads(&grads, &mut store);
+//!     opt.step(&mut store);
+//! }
+//! assert!((store.value(w)[(0, 0)] - 3.0).abs() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod nn;
+pub mod optim;
+pub mod params;
+pub mod schedule;
+pub mod tape;
+
+pub use init::Init;
+pub use params::{Param, ParamId, ParamStore};
+pub use schedule::LrSchedule;
+pub use tape::{Gradients, Tape, Var};

@@ -1,0 +1,188 @@
+//! Small neural-network building blocks on top of the tape.
+//!
+//! The paper's models are compositions of linear layers, ReLU, and the DSQ
+//! module. [`Linear`] and [`Mlp`] register their parameters in a
+//! [`ParamStore`] at construction and replay them onto a fresh [`Tape`] each
+//! step.
+
+use rand::rngs::StdRng;
+
+use crate::init::Init;
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+
+/// A dense layer `y = x · W + b` with `W: in × out`, `b: 1 × out`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight parameter id.
+    pub weight: ParamId,
+    /// Bias parameter id.
+    pub bias: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new linear layer under `name` ("`name.weight`",
+    /// "`name.bias`").
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        init: Init,
+        rng: &mut StdRng,
+    ) -> Self {
+        let weight = store.register(format!("{name}.weight"), init.build(in_dim, out_dim, rng));
+        let bias = store.register(format!("{name}.bias"), Init::Zeros.build(1, out_dim, rng));
+        Self { weight, bias, in_dim, out_dim }
+    }
+
+    /// Applies the layer to a `batch × in` activation.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        assert_eq!(
+            tape.value(x).cols(),
+            self.in_dim,
+            "linear layer expected input width {}",
+            self.in_dim
+        );
+        let w = tape.param(store, self.weight);
+        let b = tape.param(store, self.bias);
+        let xw = tape.matmul(x, w);
+        tape.add_row_broadcast(xw, b)
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+/// A multi-layer perceptron with ReLU activations between layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[d_in, h, d_out]`.
+    /// Hidden layers use He initialization (ReLU-friendly); the output layer
+    /// uses Xavier.
+    ///
+    /// # Panics
+    /// Panics if fewer than two widths are given.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        widths: &[usize],
+        rng: &mut StdRng,
+    ) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+        let mut layers = Vec::with_capacity(widths.len() - 1);
+        for (i, w) in widths.windows(2).enumerate() {
+            let is_last = i + 2 == widths.len();
+            let init = if is_last { Init::XavierUniform } else { Init::HeNormal };
+            layers.push(Linear::new(
+                store,
+                &format!("{name}.{i}"),
+                w[0],
+                w[1],
+                init,
+                rng,
+            ));
+        }
+        Self { layers }
+    }
+
+    /// Forward pass: linear → ReLU between layers, no activation after the
+    /// final layer.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, store, h);
+            if i + 1 < self.layers.len() {
+                h = tape.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Layer list.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Output width of the final layer.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("MLP has layers").out_dim()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Optimizer, Sgd};
+    use lt_linalg::random::rng;
+    use lt_linalg::Matrix;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut store = ParamStore::new();
+        let mut r = rng(1);
+        let lin = Linear::new(&mut store, "l", 3, 2, Init::Zeros, &mut r);
+        // Set bias to check the broadcast.
+        store.set_value(lin.bias, Matrix::from_rows(&[&[1.0, -1.0]]));
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(4, 3));
+        let y = lin.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (4, 2));
+        assert_eq!(tape.value(y).row(0), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn mlp_learns_xor_like_regression() {
+        // Fit y = x0 * x1 on four points; MLP with hidden layer can do it.
+        let mut store = ParamStore::new();
+        let mut r = rng(42);
+        let mlp = Mlp::new(&mut store, "m", &[2, 16, 1], &mut r);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut opt = Sgd::new(0.2);
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..800 {
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let yv = tape.constant(y.clone());
+            let pred = mlp.forward(&mut tape, &store, xv);
+            let diff = tape.sub(pred, yv);
+            let sq = tape.square(diff);
+            let loss = tape.mean(sq);
+            final_loss = tape.value(loss)[(0, 0)];
+            let grads = tape.backward(loss);
+            tape.accumulate_param_grads(&grads, &mut store);
+            opt.step(&mut store);
+        }
+        assert!(final_loss < 0.02, "XOR regression did not converge: {final_loss}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output widths")]
+    fn mlp_rejects_single_width() {
+        let mut store = ParamStore::new();
+        let _ = Mlp::new(&mut store, "m", &[4], &mut rng(1));
+    }
+
+    #[test]
+    fn mlp_out_dim_reports_last_layer() {
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[4, 8, 3], &mut rng(2));
+        assert_eq!(mlp.out_dim(), 3);
+        assert_eq!(mlp.layers().len(), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Optimizers: AdamW (the paper's choice) and SGD with momentum.
+//!
+//! Optimizer state (first/second moments) is keyed by [`ParamId`] and kept
+//! outside the [`ParamStore`], so freezing a sub-module — as the ensemble
+//! fine-tuning step does with everything except DSQ — is just a matter of
+//! passing a restricted id list to [`Optimizer::step_subset`].
+
+use lt_linalg::Matrix;
+
+use crate::params::{ParamId, ParamStore};
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Applies one update to every parameter in the store using the
+    /// accumulated gradients, then leaves gradients untouched (call
+    /// [`ParamStore::zero_grads`] afterwards).
+    fn step(&mut self, store: &mut ParamStore) {
+        let ids = store.ids();
+        self.step_subset(store, &ids);
+    }
+
+    /// Applies one update to the listed parameters only; all others stay
+    /// frozen. This implements Algorithm 1's fine-tuning stage
+    /// (`min_{Φ_DSQ} L` with the backbone and classifier fixed).
+    fn step_subset(&mut self, store: &mut ParamStore, ids: &[ParamId]);
+
+    /// Sets the learning rate (driven by an LR schedule between steps).
+    fn set_lr(&mut self, lr: f32);
+
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+}
+
+/// AdamW: Adam with decoupled weight decay (Loshchilov & Hutter).
+#[derive(Debug)]
+pub struct AdamW {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    /// Per-parameter (first moment, second moment, step count).
+    state: Vec<Option<(Matrix, Matrix, u64)>>,
+}
+
+impl AdamW {
+    /// Creates AdamW with the given learning rate and default betas
+    /// `(0.9, 0.999)`, `eps = 1e-8`, `weight_decay = 0.01`.
+    pub fn new(lr: f32) -> Self {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.01)
+    }
+
+    /// Fully-parameterized constructor.
+    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr, beta1, beta2, eps, weight_decay, state: Vec::new() }
+    }
+
+    fn ensure_state(&mut self, id: ParamId, shape: (usize, usize)) {
+        if self.state.len() <= id.0 {
+            self.state.resize_with(id.0 + 1, || None);
+        }
+        if self.state[id.0].is_none() {
+            self.state[id.0] = Some((Matrix::zeros(shape.0, shape.1), Matrix::zeros(shape.0, shape.1), 0));
+        }
+    }
+}
+
+impl Optimizer for AdamW {
+    fn step_subset(&mut self, store: &mut ParamStore, ids: &[ParamId]) {
+        for &id in ids {
+            let shape = store.value(id).shape();
+            self.ensure_state(id, shape);
+            let (m, v, t) = self.state[id.0].as_mut().expect("state ensured above");
+            *t += 1;
+            let t_f = *t as f32;
+            let bc1 = 1.0 - self.beta1.powf(t_f);
+            let bc2 = 1.0 - self.beta2.powf(t_f);
+
+            let param = store.get_mut(id);
+            let g = param.grad.as_slice();
+            let w = param.value.as_mut_slice();
+            let m_s = m.as_mut_slice();
+            let v_s = v.as_mut_slice();
+            for i in 0..w.len() {
+                m_s[i] = self.beta1 * m_s[i] + (1.0 - self.beta1) * g[i];
+                v_s[i] = self.beta2 * v_s[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let m_hat = m_s[i] / bc1;
+                let v_hat = v_s[i] / bc2;
+                // Decoupled weight decay, then the Adam update.
+                w[i] -= self.lr * self.weight_decay * w[i];
+                w[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Plain SGD with optional momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// SGD without momentum.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step_subset(&mut self, store: &mut ParamStore, ids: &[ParamId]) {
+        for &id in ids {
+            let shape = store.value(id).shape();
+            if self.velocity.len() <= id.0 {
+                self.velocity.resize_with(id.0 + 1, || None);
+            }
+            if self.velocity[id.0].is_none() {
+                self.velocity[id.0] = Some(Matrix::zeros(shape.0, shape.1));
+            }
+            let vel = self.velocity[id.0].as_mut().expect("velocity ensured above");
+            let param = store.get_mut(id);
+            let g = param.grad.as_slice();
+            let w = param.value.as_mut_slice();
+            let v = vel.as_mut_slice();
+            for i in 0..w.len() {
+                v[i] = self.momentum * v[i] + g[i];
+                w[i] -= self.lr * v[i];
+            }
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(w) = ‖w − target‖² and checks convergence.
+    fn converges(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::full(1, 4, 5.0));
+        let target = [1.0f32, -2.0, 0.5, 3.0];
+        for _ in 0..steps {
+            store.zero_grads();
+            let grad = {
+                let w = store.value(id).as_slice();
+                Matrix::from_vec(1, 4, w.iter().zip(&target).map(|(a, b)| 2.0 * (a - b)).collect())
+            };
+            store.accumulate_grad(id, &grad);
+            opt.step(&mut store);
+        }
+        store
+            .value(id)
+            .as_slice()
+            .iter()
+            .zip(&target)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!(converges(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        assert!(converges(&mut opt, 300) < 1e-2);
+    }
+
+    #[test]
+    fn adamw_converges_on_quadratic() {
+        let mut opt = AdamW::with_config(0.1, 0.9, 0.999, 1e-8, 0.0);
+        assert!(converges(&mut opt, 500) < 1e-2);
+    }
+
+    #[test]
+    fn adamw_weight_decay_shrinks_unused_params() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::full(1, 1, 1.0));
+        let mut opt = AdamW::with_config(0.1, 0.9, 0.999, 1e-8, 0.1);
+        // Zero gradient: only decay acts.
+        for _ in 0..10 {
+            opt.step(&mut store);
+        }
+        let w = store.value(id)[(0, 0)];
+        assert!(w < 1.0 && w > 0.0, "decayed weight {w}");
+    }
+
+    #[test]
+    fn step_subset_freezes_other_params() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::full(1, 1, 1.0));
+        let b = store.register("b", Matrix::full(1, 1, 1.0));
+        store.accumulate_grad(a, &Matrix::full(1, 1, 1.0));
+        store.accumulate_grad(b, &Matrix::full(1, 1, 1.0));
+        let mut opt = Sgd::new(0.5);
+        opt.step_subset(&mut store, &[b]);
+        assert_eq!(store.value(a)[(0, 0)], 1.0, "frozen param moved");
+        assert_eq!(store.value(b)[(0, 0)], 0.5);
+    }
+
+    #[test]
+    fn set_lr_changes_updates() {
+        let mut opt = Sgd::new(1.0);
+        opt.set_lr(0.25);
+        assert_eq!(opt.lr(), 0.25);
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::full(1, 1, 0.0));
+        store.accumulate_grad(id, &Matrix::full(1, 1, 4.0));
+        opt.step(&mut store);
+        assert_eq!(store.value(id)[(0, 0)], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_nonpositive_lr() {
+        let _ = AdamW::new(0.0);
+    }
+}

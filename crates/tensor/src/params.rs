@@ -1,0 +1,265 @@
+//! Parameter storage shared across training steps.
+//!
+//! A [`ParamStore`] owns every learnable matrix of a model (codebooks,
+//! linear layers, prototypes, gates). The tape references parameters by
+//! [`ParamId`]; after a backward pass the accumulated gradients land in the
+//! store, where an optimizer consumes them.
+//!
+//! The store is also the unit of the paper's *model weight ensemble*
+//! (Eqn. 23): [`ParamStore::average`] averages several stores trained from
+//! different seeds, provided their schemas match.
+
+use lt_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub usize);
+
+/// One named, learnable matrix plus its gradient accumulator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Human-readable unique name, e.g. `"dsq.codebook.2"`.
+    pub name: String,
+    /// Current value.
+    pub value: Matrix,
+    /// Gradient accumulated by the last backward pass(es).
+    pub grad: Matrix,
+}
+
+/// A collection of parameters forming one model's weights.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter with an initial value; names must be unique.
+    ///
+    /// # Panics
+    /// Panics on duplicate names (they would silently diverge during
+    /// ensemble averaging otherwise).
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let name = name.into();
+        assert!(
+            self.id_of(&name).is_none(),
+            "duplicate parameter name: {name}"
+        );
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.params.push(Param { name, value, grad });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Looks up a parameter id by name.
+    pub fn id_of(&self, name: &str) -> Option<ParamId> {
+        self.params.iter().position(|p| p.name == name).map(ParamId)
+    }
+
+    /// All parameter ids, in registration order.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.params.len()).map(ParamId).collect()
+    }
+
+    /// Ids of parameters whose name starts with `prefix` — used to select
+    /// the DSQ sub-module for ensemble fine-tuning.
+    pub fn ids_with_prefix(&self, prefix: &str) -> Vec<ParamId> {
+        self.params
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.name.starts_with(prefix))
+            .map(|(i, _)| ParamId(i))
+            .collect()
+    }
+
+    /// Immutable access to a parameter.
+    pub fn get(&self, id: ParamId) -> &Param {
+        &self.params[id.0]
+    }
+
+    /// Mutable access to a parameter.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Param {
+        &mut self.params[id.0]
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Overwrites a parameter value (shape must match).
+    pub fn set_value(&mut self, id: ParamId, value: Matrix) {
+        let p = &mut self.params[id.0];
+        assert_eq!(p.value.shape(), value.shape(), "shape change for {}", p.name);
+        p.value = value;
+    }
+
+    /// Adds `g` into the gradient accumulator of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
+        let p = &mut self.params[id.0];
+        assert_eq!(p.grad.shape(), g.shape(), "grad shape mismatch for {}", p.name);
+        p.grad.axpy(1.0, g);
+    }
+
+    /// Clears all gradient accumulators.
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.as_mut_slice().fill(0.0);
+        }
+    }
+
+    /// Global gradient L2 norm across all parameters (for clipping/logging).
+    pub fn grad_norm(&self) -> f32 {
+        self.params
+            .iter()
+            .map(|p| p.grad.as_slice().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales every gradient by `s` (gradient clipping support).
+    pub fn scale_grads(&mut self, s: f32) {
+        for p in &mut self.params {
+            p.grad.map_inplace(|v| v * s);
+        }
+    }
+
+    /// True when the two stores have identical schemas (names and shapes in
+    /// the same order) — the precondition for weight averaging.
+    pub fn schema_matches(&self, other: &ParamStore) -> bool {
+        self.params.len() == other.params.len()
+            && self
+                .params
+                .iter()
+                .zip(other.params.iter())
+                .all(|(a, b)| a.name == b.name && a.value.shape() == b.value.shape())
+    }
+
+    /// Model weight ensemble (paper Eqn. 23): element-wise average of the
+    /// values of `stores`. Gradients of the result are zeroed.
+    ///
+    /// # Panics
+    /// Panics when `stores` is empty or schemas mismatch.
+    pub fn average(stores: &[&ParamStore]) -> ParamStore {
+        assert!(!stores.is_empty(), "cannot average zero models");
+        let first = stores[0];
+        for s in &stores[1..] {
+            assert!(
+                first.schema_matches(s),
+                "ensemble averaging requires identical parameter schemas"
+            );
+        }
+        let inv = 1.0 / stores.len() as f32;
+        let mut out = ParamStore::new();
+        for (i, p) in first.params.iter().enumerate() {
+            let mut value = Matrix::zeros(p.value.rows(), p.value.cols());
+            for s in stores {
+                value.axpy(inv, &s.params[i].value);
+            }
+            out.register(p.name.clone(), value);
+        }
+        out
+    }
+
+    /// Iterates over `(ParamId, &Param)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(names: &[(&str, (usize, usize), f32)]) -> ParamStore {
+        let mut s = ParamStore::new();
+        for &(name, (r, c), v) in names {
+            s.register(name, Matrix::full(r, c, v));
+        }
+        s
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let s = store_with(&[("a", (2, 2), 1.0), ("b", (1, 3), 2.0)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_weights(), 7);
+        assert_eq!(s.id_of("b"), Some(ParamId(1)));
+        assert_eq!(s.id_of("missing"), None);
+        assert_eq!(s.value(ParamId(0)).as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter name")]
+    fn duplicate_names_rejected() {
+        let mut s = ParamStore::new();
+        s.register("w", Matrix::zeros(1, 1));
+        s.register("w", Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn prefix_selection() {
+        let s = store_with(&[
+            ("dsq.codebook.0", (1, 1), 0.0),
+            ("backbone.w", (1, 1), 0.0),
+            ("dsq.gate", (1, 1), 0.0),
+        ]);
+        let ids = s.ids_with_prefix("dsq.");
+        assert_eq!(ids, vec![ParamId(0), ParamId(2)]);
+    }
+
+    #[test]
+    fn grad_accumulation_and_zeroing() {
+        let mut s = store_with(&[("w", (1, 2), 0.0)]);
+        let id = ParamId(0);
+        s.accumulate_grad(id, &Matrix::from_rows(&[&[1.0, 2.0]]));
+        s.accumulate_grad(id, &Matrix::from_rows(&[&[0.5, 0.5]]));
+        assert_eq!(s.get(id).grad.as_slice(), &[1.5, 2.5]);
+        assert!((s.grad_norm() - (1.5f32 * 1.5 + 2.5 * 2.5).sqrt()).abs() < 1e-6);
+        s.zero_grads();
+        assert_eq!(s.get(id).grad.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn averaging_matches_manual_mean() {
+        let a = store_with(&[("w", (1, 2), 1.0)]);
+        let b = store_with(&[("w", (1, 2), 3.0)]);
+        let avg = ParamStore::average(&[&a, &b]);
+        assert_eq!(avg.value(ParamId(0)).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical parameter schemas")]
+    fn averaging_rejects_mismatched_schemas() {
+        let a = store_with(&[("w", (1, 2), 1.0)]);
+        let b = store_with(&[("v", (1, 2), 3.0)]);
+        let _ = ParamStore::average(&[&a, &b]);
+    }
+
+    #[test]
+    fn scale_grads_applies_uniformly() {
+        let mut s = store_with(&[("w", (1, 2), 0.0)]);
+        s.accumulate_grad(ParamId(0), &Matrix::from_rows(&[&[2.0, 4.0]]));
+        s.scale_grads(0.5);
+        assert_eq!(s.get(ParamId(0)).grad.as_slice(), &[1.0, 2.0]);
+    }
+}

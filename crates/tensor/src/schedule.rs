@@ -1,0 +1,147 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with cosine annealing on the image datasets and a
+//! linear schedule with warmup on the text datasets (Section V-A4). Both are
+//! provided, plus a constant schedule for ablations.
+
+/// A learning-rate schedule mapping a step index to a learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant {
+        /// The learning rate.
+        lr: f32,
+    },
+    /// Linear warmup from 0 to `lr` over `warmup_steps`, then cosine decay
+    /// to `min_lr` at `total_steps`.
+    CosineAnnealing {
+        /// Peak learning rate (reached at the end of warmup).
+        lr: f32,
+        /// Floor the cosine decays to at `total_steps`.
+        min_lr: f32,
+        /// Steps of linear warmup from 0 to `lr`.
+        warmup_steps: usize,
+        /// Total steps of the run (decay endpoint).
+        total_steps: usize,
+    },
+    /// Linear warmup from 0 to `lr` over `warmup_steps`, then linear decay
+    /// to 0 at `total_steps`.
+    LinearWithWarmup {
+        /// Peak learning rate (reached at the end of warmup).
+        lr: f32,
+        /// Steps of linear warmup from 0 to `lr`.
+        warmup_steps: usize,
+        /// Total steps of the run (decay endpoint).
+        total_steps: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `step` (0-based).
+    pub fn at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::CosineAnnealing { lr, min_lr, warmup_steps, total_steps } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    return lr * (step + 1) as f32 / warmup_steps as f32;
+                }
+                let total = total_steps.max(warmup_steps + 1);
+                let progress =
+                    (step - warmup_steps) as f32 / (total - warmup_steps).max(1) as f32;
+                let progress = progress.clamp(0.0, 1.0);
+                min_lr + 0.5 * (lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+            LrSchedule::LinearWithWarmup { lr, warmup_steps, total_steps } => {
+                if warmup_steps > 0 && step < warmup_steps {
+                    return lr * (step + 1) as f32 / warmup_steps as f32;
+                }
+                let total = total_steps.max(warmup_steps + 1);
+                let progress =
+                    (step - warmup_steps) as f32 / (total - warmup_steps).max(1) as f32;
+                lr * (1.0 - progress.clamp(0.0, 1.0))
+            }
+        }
+    }
+
+    /// Peak learning rate of the schedule.
+    pub fn peak(&self) -> f32 {
+        match *self {
+            LrSchedule::Constant { lr }
+            | LrSchedule::CosineAnnealing { lr, .. }
+            | LrSchedule::LinearWithWarmup { lr, .. } => lr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn cosine_warms_up_then_decays() {
+        let s = LrSchedule::CosineAnnealing {
+            lr: 1.0,
+            min_lr: 0.0,
+            warmup_steps: 10,
+            total_steps: 110,
+        };
+        // Warmup is increasing.
+        assert!(s.at(0) < s.at(5));
+        assert!(s.at(5) < s.at(9));
+        // Peak right after warmup.
+        assert!((s.at(10) - 1.0).abs() < 1e-6);
+        // Midpoint of cosine ≈ half the peak.
+        assert!((s.at(60) - 0.5).abs() < 0.02);
+        // End reaches min_lr.
+        assert!(s.at(110) < 1e-6);
+        // Past the end stays clamped.
+        assert!(s.at(1000) < 1e-6);
+    }
+
+    #[test]
+    fn cosine_respects_min_lr() {
+        let s = LrSchedule::CosineAnnealing {
+            lr: 1.0,
+            min_lr: 0.25,
+            warmup_steps: 0,
+            total_steps: 100,
+        };
+        assert!((s.at(100) - 0.25).abs() < 1e-6);
+        for step in 0..=100 {
+            assert!(s.at(step) >= 0.25 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn linear_decays_to_zero() {
+        let s = LrSchedule::LinearWithWarmup { lr: 0.8, warmup_steps: 4, total_steps: 24 };
+        assert!(s.at(1) < 0.8);
+        assert!((s.at(4) - 0.8).abs() < 1e-6);
+        assert!((s.at(14) - 0.4).abs() < 1e-6);
+        assert!(s.at(24) < 1e-6);
+        assert_eq!(s.at(1000), 0.0);
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_peak() {
+        let s = LrSchedule::LinearWithWarmup { lr: 0.5, warmup_steps: 0, total_steps: 10 };
+        assert!((s.at(0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_reports_configured_lr() {
+        assert_eq!(LrSchedule::Constant { lr: 0.3 }.peak(), 0.3);
+        assert_eq!(
+            LrSchedule::CosineAnnealing { lr: 0.2, min_lr: 0.0, warmup_steps: 1, total_steps: 2 }
+                .peak(),
+            0.2
+        );
+    }
+}

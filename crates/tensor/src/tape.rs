@@ -1,0 +1,921 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a fresh computation graph per training step. Every op
+//! returns a [`Var`] (an index into the tape). Calling [`Tape::backward`] on
+//! a scalar loss walks the tape in reverse, producing gradients for every
+//! node; gradients of parameter leaves are then folded into a
+//! [`ParamStore`].
+//!
+//! The op set is exactly what the LightLT training graphs need: dense
+//! matmuls, broadcasts, softmax/log-softmax, row gathers (class prototypes),
+//! stop-gradient (the Straight-Through Estimator of Eqn. 6), and a fused
+//! weighted negative-log-likelihood (the class-weighted cross-entropy of
+//! Eqn. 12).
+
+use lt_linalg::gemm::{matmul, matmul_a_bt, matmul_at_b};
+use lt_linalg::Matrix;
+
+use crate::params::{ParamId, ParamStore};
+
+/// Handle to a node on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant or parameter leaf.
+    Leaf {
+        /// Which parameter this leaf mirrors, if any (kept for Debug output).
+        #[allow(dead_code)]
+        param: Option<ParamId>,
+    },
+    /// `A · B`.
+    MatMul(Var, Var),
+    /// `A · Bᵀ` (similarity-matrix orientation).
+    MatMulBT(Var, Var),
+    /// Element-wise `a + b`.
+    Add(Var, Var),
+    /// Element-wise `a − b`.
+    Sub(Var, Var),
+    /// Element-wise `a ⊙ b`.
+    Hadamard(Var, Var),
+    /// `a * s` for a compile-time scalar.
+    Scale(Var, f32),
+    /// `a + s` for a compile-time scalar.
+    AddScalar(Var, #[allow(dead_code)] f32),
+    /// `x (n×k) + r (1×k)` broadcast over rows.
+    AddRowBroadcast(Var, Var),
+    /// `x (n×k) + c (n×1)` broadcast over columns.
+    AddColBroadcast(Var, Var),
+    /// `x (n×k) ⊙ r (1×k)` broadcast over rows.
+    MulRowBroadcast(Var, Var),
+    /// `x ⊙ s` where `s` is a learnable `1×1` scalar variable.
+    MulScalarVar(Var, Var),
+    /// `max(a, 0)`.
+    Relu(Var),
+    /// `tanh(a)`.
+    Tanh(Var),
+    /// Row-wise softmax.
+    SoftmaxRows(Var),
+    /// Row-wise log-softmax.
+    LogSoftmaxRows(Var),
+    /// Element-wise `exp`.
+    Exp(Var),
+    /// Element-wise natural log (input clamped to ≥ 1e-12).
+    Ln(Var),
+    /// Element-wise square.
+    Square(Var),
+    /// Element-wise square root (input clamped to ≥ 0).
+    Sqrt(Var),
+    /// Per-row squared L2 norm, producing `n×1`.
+    RowNormSq(Var),
+    /// Sum of all elements → `1×1`.
+    Sum(Var),
+    /// Mean of all elements → `1×1`.
+    Mean(Var),
+    /// Column sums → `1×k`.
+    SumRows(Var),
+    /// Row sums → `n×1`.
+    SumCols(Var),
+    /// Row gather: `out[i] = src[idx[i]]`.
+    GatherRows { src: Var, idx: Vec<usize> },
+    /// Column slice: `out = src[:, start..start+len]`.
+    SliceCols { src: Var, start: usize, len: usize },
+    /// Identity forward, zero backward (the `Sg` of Eqn. 6).
+    StopGrad(#[allow(dead_code)] Var),
+    /// Matrix transpose.
+    Transpose(Var),
+    /// Fused class-weighted NLL over row log-probabilities:
+    /// `−(1/N) Σ_i w[i] · logp[i, t[i]]`.
+    NllWeighted { logp: Var, targets: Vec<usize>, weights: Vec<f32> },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A recorded computation graph.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    /// `(node, param)` pairs for gradient routing back to the store.
+    param_leaves: Vec<(Var, ParamId)>,
+}
+
+/// Gradients of every tape node with respect to one scalar root.
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Gradient of the root with respect to `var`; zeros if the node does
+    /// not influence the root.
+    pub fn wrt(&self, tape: &Tape, var: Var) -> Matrix {
+        match &self.grads[var.0] {
+            Some(g) => g.clone(),
+            None => {
+                let v = &tape.nodes[var.0].value;
+                Matrix::zeros(v.rows(), v.cols())
+            }
+        }
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, var: Var) -> &Matrix {
+        &self.nodes[var.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        debug_assert!(value.all_finite(), "non-finite value produced by {op:?}");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ---- leaves ---------------------------------------------------------
+
+    /// Records a constant input (no gradient routed anywhere).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf { param: None })
+    }
+
+    /// Records a parameter leaf: copies the current value from the store and
+    /// remembers the id so [`Tape::accumulate_param_grads`] can route the
+    /// gradient back.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let v = self.push(store.value(id).clone(), Op::Leaf { param: Some(id) });
+        self.param_leaves.push((v, id));
+        v
+    }
+
+    // ---- binary ops -----------------------------------------------------
+
+    /// `A · B`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = matmul(self.value(a), self.value(b));
+        self.push(value, Op::MatMul(a, b))
+    }
+
+    /// `A · Bᵀ` — the orientation used for similarity scores
+    /// (`batch × dim` against `K × dim` codebooks).
+    pub fn matmul_bt(&mut self, a: Var, b: Var) -> Var {
+        let value = matmul_a_bt(self.value(a), self.value(b));
+        self.push(value, Op::MatMulBT(a, b))
+    }
+
+    /// Element-wise sum (shapes must match).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add(a, b))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        self.push(value, Op::Sub(a, b))
+    }
+
+    /// Element-wise product.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hadamard(self.value(b));
+        self.push(value, Op::Hadamard(a, b))
+    }
+
+    /// `x + r` with `r` a `1 × k` row vector broadcast over every row of `x`.
+    pub fn add_row_broadcast(&mut self, x: Var, r: Var) -> Var {
+        let (xv, rv) = (self.value(x), self.value(r));
+        assert_eq!(rv.rows(), 1, "broadcast operand must be 1×k");
+        assert_eq!(rv.cols(), xv.cols(), "broadcast width mismatch");
+        let mut value = xv.clone();
+        for i in 0..value.rows() {
+            let row = value.row_mut(i);
+            for (v, &b) in row.iter_mut().zip(rv.row(0)) {
+                *v += b;
+            }
+        }
+        self.push(value, Op::AddRowBroadcast(x, r))
+    }
+
+    /// `x + c` with `c` an `n × 1` column vector broadcast over columns.
+    pub fn add_col_broadcast(&mut self, x: Var, c: Var) -> Var {
+        let (xv, cv) = (self.value(x), self.value(c));
+        assert_eq!(cv.cols(), 1, "broadcast operand must be n×1");
+        assert_eq!(cv.rows(), xv.rows(), "broadcast height mismatch");
+        let mut value = xv.clone();
+        for i in 0..value.rows() {
+            let b = cv[(i, 0)];
+            for v in value.row_mut(i) {
+                *v += b;
+            }
+        }
+        self.push(value, Op::AddColBroadcast(x, c))
+    }
+
+    /// `x ⊙ r` with `r` a `1 × k` row vector broadcast over rows.
+    pub fn mul_row_broadcast(&mut self, x: Var, r: Var) -> Var {
+        let (xv, rv) = (self.value(x), self.value(r));
+        assert_eq!(rv.rows(), 1, "broadcast operand must be 1×k");
+        assert_eq!(rv.cols(), xv.cols(), "broadcast width mismatch");
+        let mut value = xv.clone();
+        for i in 0..value.rows() {
+            let row = value.row_mut(i);
+            for (v, &b) in row.iter_mut().zip(rv.row(0)) {
+                *v *= b;
+            }
+        }
+        self.push(value, Op::MulRowBroadcast(x, r))
+    }
+
+    /// `x * s` with a learnable `1×1` scalar (the DSQ codebook gate `g_k`).
+    pub fn mul_scalar_var(&mut self, x: Var, s: Var) -> Var {
+        let sv = self.value(s);
+        assert_eq!(sv.shape(), (1, 1), "scalar var must be 1×1");
+        let scale = sv[(0, 0)];
+        let value = self.value(x).scale(scale);
+        self.push(value, Op::MulScalarVar(x, s))
+    }
+
+    // ---- unary ops ------------------------------------------------------
+
+    /// `a * s` for a constant scalar.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).scale(s);
+        self.push(value, Op::Scale(a, s))
+    }
+
+    /// `a + s` for a constant scalar.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).map(|v| v + s);
+        self.push(value, Op::AddScalar(a, s))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0));
+        self.push(value, Op::Relu(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::tanh);
+        self.push(value, Op::Tanh(a))
+    }
+
+    /// Numerically-stable row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let mut value = av.clone();
+        for i in 0..value.rows() {
+            softmax_row_inplace(value.row_mut(i));
+        }
+        self.push(value, Op::SoftmaxRows(a))
+    }
+
+    /// Numerically-stable row-wise log-softmax.
+    pub fn log_softmax_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let mut value = av.clone();
+        for i in 0..value.rows() {
+            let row = value.row_mut(i);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for v in row.iter_mut() {
+                *v -= lse;
+            }
+        }
+        self.push(value, Op::LogSoftmaxRows(a))
+    }
+
+    /// Element-wise `exp`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(f32::exp);
+        self.push(value, Op::Exp(a))
+    }
+
+    /// Element-wise `ln(max(a, 1e-12))`.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(1e-12).ln());
+        self.push(value, Op::Ln(a))
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v * v);
+        self.push(value, Op::Square(a))
+    }
+
+    /// Element-wise `sqrt(max(a, 0))`.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0).sqrt());
+        self.push(value, Op::Sqrt(a))
+    }
+
+    /// Per-row squared L2 norm → `n × 1`.
+    pub fn row_norm_sq(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let mut value = Matrix::zeros(av.rows(), 1);
+        for i in 0..av.rows() {
+            value[(i, 0)] = av.row(i).iter().map(|v| v * v).sum();
+        }
+        self.push(value, Op::RowNormSq(a))
+    }
+
+    /// Sum of all elements → `1 × 1`.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(value, Op::Sum(a))
+    }
+
+    /// Mean of all elements → `1 × 1`.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(value, Op::Mean(a))
+    }
+
+    /// Column sums → `1 × k`.
+    pub fn sum_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let mut value = Matrix::zeros(1, av.cols());
+        for i in 0..av.rows() {
+            for (j, &v) in av.row(i).iter().enumerate() {
+                value[(0, j)] += v;
+            }
+        }
+        self.push(value, Op::SumRows(a))
+    }
+
+    /// Row sums → `n × 1`.
+    pub fn sum_cols(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let mut value = Matrix::zeros(av.rows(), 1);
+        for i in 0..av.rows() {
+            value[(i, 0)] = av.row(i).iter().sum();
+        }
+        self.push(value, Op::SumCols(a))
+    }
+
+    /// Row gather: `out[i] = src[idx[i]]`. The backward pass scatter-adds,
+    /// so duplicate indices accumulate — exactly what class prototypes need.
+    pub fn gather_rows(&mut self, src: Var, idx: &[usize]) -> Var {
+        let sv = self.value(src);
+        let value = sv.select_rows(idx);
+        self.push(value, Op::GatherRows { src, idx: idx.to_vec() })
+    }
+
+    /// Column slice `src[:, start..start+len]` (e.g. product-quantization
+    /// subspace splits). The backward pass scatters the gradient back into
+    /// the sliced columns.
+    pub fn slice_cols(&mut self, src: Var, start: usize, len: usize) -> Var {
+        let sv = self.value(src);
+        assert!(start + len <= sv.cols(), "column slice out of bounds");
+        let value = Matrix::from_fn(sv.rows(), len, |r, c| sv[(r, start + c)]);
+        self.push(value, Op::SliceCols { src, start, len })
+    }
+
+    /// Identity in the forward pass, zero gradient in the backward pass
+    /// (the `Sg` operator of the Straight-Through Estimator, Eqn. 6).
+    pub fn stop_grad(&mut self, a: Var) -> Var {
+        let value = self.value(a).clone();
+        self.push(value, Op::StopGrad(a))
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let value = self.value(a).transpose();
+        self.push(value, Op::Transpose(a))
+    }
+
+    /// Fused class-weighted negative log-likelihood (Eqn. 12):
+    /// `−(1/N) Σ_i weights[i] · logp[i, targets[i]]` → `1 × 1`.
+    ///
+    /// # Panics
+    /// Panics if lengths mismatch or a target is out of range.
+    pub fn nll_weighted(&mut self, logp: Var, targets: &[usize], weights: &[f32]) -> Var {
+        let lv = self.value(logp);
+        assert_eq!(lv.rows(), targets.len(), "target count mismatch");
+        assert_eq!(targets.len(), weights.len(), "weight count mismatch");
+        let n = targets.len().max(1) as f32;
+        let mut loss = 0.0;
+        for (i, (&t, &w)) in targets.iter().zip(weights.iter()).enumerate() {
+            assert!(t < lv.cols(), "target {t} out of range (C={})", lv.cols());
+            loss -= w * lv[(i, t)];
+        }
+        let value = Matrix::from_vec(1, 1, vec![loss / n]);
+        self.push(
+            value,
+            Op::NllWeighted { logp, targets: targets.to_vec(), weights: weights.to_vec() },
+        )
+    }
+
+    // ---- backward -------------------------------------------------------
+
+    /// Reverse-mode sweep from a scalar root.
+    ///
+    /// # Panics
+    /// Panics if `root` is not `1 × 1`.
+    pub fn backward(&self, root: Var) -> Gradients {
+        assert_eq!(
+            self.value(root).shape(),
+            (1, 1),
+            "backward root must be a scalar loss"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[root.0] = Some(Matrix::full(1, 1, 1.0));
+
+        for i in (0..self.nodes.len()).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            self.backprop_node(i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        Gradients { grads }
+    }
+
+    /// Routes parameter-leaf gradients into the store's accumulators.
+    pub fn accumulate_param_grads(&self, grads: &Gradients, store: &mut ParamStore) {
+        for &(var, id) in &self.param_leaves {
+            if let Some(g) = &grads.grads[var.0] {
+                store.accumulate_grad(id, g);
+            }
+        }
+    }
+
+    fn backprop_node(&self, i: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
+        let add_grad = |grads: &mut [Option<Matrix>], v: Var, delta: Matrix| {
+            match &mut grads[v.0] {
+                Some(existing) => existing.axpy(1.0, &delta),
+                slot @ None => *slot = Some(delta),
+            }
+        };
+
+        match &self.nodes[i].op {
+            Op::Leaf { .. } => {}
+            Op::MatMul(a, b) => {
+                let da = matmul_a_bt(g, self.value(*b));
+                let db = matmul_at_b(self.value(*a), g);
+                add_grad(grads, *a, da);
+                add_grad(grads, *b, db);
+            }
+            Op::MatMulBT(a, b) => {
+                // C = A·Bᵀ ⇒ dA = G·B, dB = Gᵀ·A.
+                let da = matmul(g, self.value(*b));
+                let db = matmul_at_b(g, self.value(*a));
+                add_grad(grads, *a, da);
+                add_grad(grads, *b, db);
+            }
+            Op::Add(a, b) => {
+                add_grad(grads, *a, g.clone());
+                add_grad(grads, *b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                add_grad(grads, *a, g.clone());
+                add_grad(grads, *b, g.scale(-1.0));
+            }
+            Op::Hadamard(a, b) => {
+                add_grad(grads, *a, g.hadamard(self.value(*b)));
+                add_grad(grads, *b, g.hadamard(self.value(*a)));
+            }
+            Op::Scale(a, s) => add_grad(grads, *a, g.scale(*s)),
+            Op::AddScalar(a, _) => add_grad(grads, *a, g.clone()),
+            Op::AddRowBroadcast(x, r) => {
+                add_grad(grads, *x, g.clone());
+                let mut dr = Matrix::zeros(1, g.cols());
+                for i in 0..g.rows() {
+                    for (j, &v) in g.row(i).iter().enumerate() {
+                        dr[(0, j)] += v;
+                    }
+                }
+                add_grad(grads, *r, dr);
+            }
+            Op::AddColBroadcast(x, c) => {
+                add_grad(grads, *x, g.clone());
+                let mut dc = Matrix::zeros(g.rows(), 1);
+                for i in 0..g.rows() {
+                    dc[(i, 0)] = g.row(i).iter().sum();
+                }
+                add_grad(grads, *c, dc);
+            }
+            Op::MulRowBroadcast(x, r) => {
+                let rv = self.value(*r);
+                let xv = self.value(*x);
+                let mut dx = g.clone();
+                for i in 0..dx.rows() {
+                    let row = dx.row_mut(i);
+                    for (v, &b) in row.iter_mut().zip(rv.row(0)) {
+                        *v *= b;
+                    }
+                }
+                add_grad(grads, *x, dx);
+                let mut dr = Matrix::zeros(1, g.cols());
+                for i in 0..g.rows() {
+                    for (j, (&gv, &xvj)) in g.row(i).iter().zip(xv.row(i)).enumerate() {
+                        dr[(0, j)] += gv * xvj;
+                    }
+                }
+                add_grad(grads, *r, dr);
+            }
+            Op::MulScalarVar(x, s) => {
+                let scale = self.value(*s)[(0, 0)];
+                add_grad(grads, *x, g.scale(scale));
+                let ds = g
+                    .as_slice()
+                    .iter()
+                    .zip(self.value(*x).as_slice())
+                    .map(|(&gv, &xv)| gv * xv)
+                    .sum::<f32>();
+                add_grad(grads, *s, Matrix::from_vec(1, 1, vec![ds]));
+            }
+            Op::Relu(a) => {
+                let av = self.value(*a);
+                let dx = g.zip(av, |gv, x| if x > 0.0 { gv } else { 0.0 });
+                add_grad(grads, *a, dx);
+            }
+            Op::Tanh(a) => {
+                let y = &self.nodes[i].value;
+                let dx = g.zip(y, |gv, yv| gv * (1.0 - yv * yv));
+                add_grad(grads, *a, dx);
+            }
+            Op::SoftmaxRows(a) => {
+                let y = &self.nodes[i].value;
+                let mut dx = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let yr = y.row(r);
+                    let gr = g.row(r);
+                    let dot: f32 = yr.iter().zip(gr).map(|(&yv, &gv)| yv * gv).sum();
+                    let dr = dx.row_mut(r);
+                    for ((d, &yv), &gv) in dr.iter_mut().zip(yr).zip(gr) {
+                        *d = yv * (gv - dot);
+                    }
+                }
+                add_grad(grads, *a, dx);
+            }
+            Op::LogSoftmaxRows(a) => {
+                let y = &self.nodes[i].value; // log-probs
+                let mut dx = Matrix::zeros(y.rows(), y.cols());
+                for r in 0..y.rows() {
+                    let gsum: f32 = g.row(r).iter().sum();
+                    let dr = dx.row_mut(r);
+                    for ((d, &lp), &gv) in dr.iter_mut().zip(y.row(r)).zip(g.row(r)) {
+                        *d = gv - lp.exp() * gsum;
+                    }
+                }
+                add_grad(grads, *a, dx);
+            }
+            Op::Exp(a) => {
+                let y = &self.nodes[i].value;
+                add_grad(grads, *a, g.hadamard(y));
+            }
+            Op::Ln(a) => {
+                let av = self.value(*a);
+                let dx = g.zip(av, |gv, x| gv / x.max(1e-12));
+                add_grad(grads, *a, dx);
+            }
+            Op::Square(a) => {
+                let av = self.value(*a);
+                let dx = g.zip(av, |gv, x| 2.0 * gv * x);
+                add_grad(grads, *a, dx);
+            }
+            Op::Sqrt(a) => {
+                let y = &self.nodes[i].value;
+                let dx = g.zip(y, |gv, yv| 0.5 * gv / yv.max(1e-6));
+                add_grad(grads, *a, dx);
+            }
+            Op::RowNormSq(a) => {
+                let av = self.value(*a);
+                let mut dx = av.scale(2.0);
+                for r in 0..dx.rows() {
+                    let gr = g[(r, 0)];
+                    for v in dx.row_mut(r) {
+                        *v *= gr;
+                    }
+                }
+                add_grad(grads, *a, dx);
+            }
+            Op::Sum(a) => {
+                let av = self.value(*a);
+                add_grad(grads, *a, Matrix::full(av.rows(), av.cols(), g[(0, 0)]));
+            }
+            Op::Mean(a) => {
+                let av = self.value(*a);
+                let scale = g[(0, 0)] / av.len().max(1) as f32;
+                add_grad(grads, *a, Matrix::full(av.rows(), av.cols(), scale));
+            }
+            Op::SumRows(a) => {
+                let av = self.value(*a);
+                let mut dx = Matrix::zeros(av.rows(), av.cols());
+                for r in 0..av.rows() {
+                    dx.row_mut(r).copy_from_slice(g.row(0));
+                }
+                add_grad(grads, *a, dx);
+            }
+            Op::SumCols(a) => {
+                let av = self.value(*a);
+                let mut dx = Matrix::zeros(av.rows(), av.cols());
+                for r in 0..av.rows() {
+                    let gr = g[(r, 0)];
+                    for v in dx.row_mut(r) {
+                        *v = gr;
+                    }
+                }
+                add_grad(grads, *a, dx);
+            }
+            Op::GatherRows { src, idx } => {
+                let sv = self.value(*src);
+                let mut dsrc = Matrix::zeros(sv.rows(), sv.cols());
+                for (out_row, &src_row) in idx.iter().enumerate() {
+                    let grow = g.row(out_row);
+                    let drow = dsrc.row_mut(src_row);
+                    for (d, &gv) in drow.iter_mut().zip(grow) {
+                        *d += gv;
+                    }
+                }
+                add_grad(grads, *src, dsrc);
+            }
+            Op::SliceCols { src, start, len } => {
+                let sv = self.value(*src);
+                let mut dsrc = Matrix::zeros(sv.rows(), sv.cols());
+                for r in 0..g.rows() {
+                    for c in 0..*len {
+                        dsrc[(r, start + c)] = g[(r, c)];
+                    }
+                }
+                add_grad(grads, *src, dsrc);
+            }
+            Op::StopGrad(_) => {}
+            Op::Transpose(a) => add_grad(grads, *a, g.transpose()),
+            Op::NllWeighted { logp, targets, weights } => {
+                let lv = self.value(*logp);
+                let n = targets.len().max(1) as f32;
+                let scale = g[(0, 0)] / n;
+                let mut dl = Matrix::zeros(lv.rows(), lv.cols());
+                for (i, (&t, &w)) in targets.iter().zip(weights.iter()).enumerate() {
+                    dl[(i, t)] = -w * scale;
+                }
+                add_grad(grads, *logp, dl);
+            }
+        }
+    }
+}
+
+/// In-place numerically-stable softmax of one row.
+fn softmax_row_inplace(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum.max(1e-30);
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar(t: &Tape, v: Var) -> f32 {
+        t.value(v)[(0, 0)]
+    }
+
+    #[test]
+    fn forward_matmul_chain() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = t.constant(Matrix::from_rows(&[&[3.0], &[4.0]]));
+        let c = t.matmul(a, b);
+        assert_eq!(t.value(c)[(0, 0)], 11.0);
+    }
+
+    #[test]
+    fn backward_of_simple_product() {
+        // loss = sum(a ⊙ b) ⇒ dL/da = b, dL/db = a.
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let b = t.constant(Matrix::from_rows(&[&[3.0, 5.0]]));
+        let h = t.hadamard(a, b);
+        let loss = t.sum(h);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(&t, a).as_slice(), &[3.0, 5.0]);
+        assert_eq!(g.wrt(&t, b).as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_matmul_matches_manual() {
+        // loss = sum(A·B); dA = ones·Bᵀ, dB = Aᵀ·ones.
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let b = t.constant(Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let c = t.matmul(a, b);
+        let loss = t.sum(c);
+        let g = t.backward(loss);
+        // dA[i][p] = Σ_j B[p][j]
+        assert_eq!(g.wrt(&t, a).as_slice(), &[11.0, 15.0, 11.0, 15.0]);
+        // dB[p][j] = Σ_i A[i][p]
+        assert_eq!(g.wrt(&t, b).as_slice(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn stop_grad_blocks_flow() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_rows(&[&[2.0]]));
+        let sg = t.stop_grad(a);
+        let sq = t.square(sg);
+        let loss = t.sum(sq);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(&t, a).as_slice(), &[0.0]);
+        assert_eq!(scalar(&t, loss), 4.0);
+    }
+
+    #[test]
+    fn ste_forward_hard_backward_soft() {
+        // b = soft + sg(onehot − soft): forward equals onehot, gradient
+        // equals the softmax gradient (Eqn. 6).
+        let mut t = Tape::new();
+        let scores = t.constant(Matrix::from_rows(&[&[1.0, 3.0, 2.0]]));
+        let soft = t.softmax_rows(scores);
+        let onehot = t.constant(Matrix::from_rows(&[&[0.0, 1.0, 0.0]]));
+        let diff = t.sub(onehot, soft);
+        let sg = t.stop_grad(diff);
+        let b = t.add(soft, sg);
+        assert_eq!(t.value(b).as_slice(), &[0.0, 1.0, 0.0]);
+
+        let probe = t.constant(Matrix::from_rows(&[&[1.0, 0.0, 0.0]]));
+        let picked = t.hadamard(b, probe);
+        let loss = t.sum(picked);
+        let g = t.backward(loss);
+        // Gradient w.r.t. scores equals softmax backward of picking entry 0.
+        let y = t.value(soft).as_slice().to_vec();
+        let expect: Vec<f32> = (0..3).map(|j| y[j] * ((j == 0) as u8 as f32 - y[0])).collect();
+        for (got, want) in g.wrt(&t, scores).as_slice().iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_rows(&[&[1000.0, 1000.0], &[-1000.0, 0.0]]));
+        let s = t.softmax_rows(a);
+        for r in 0..2 {
+            let sum: f32 = t.value(s).row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_rows(&[&[0.5, -1.0, 2.0]]));
+        let ls = t.log_softmax_rows(a);
+        let s = t.softmax_rows(a);
+        for j in 0..3 {
+            assert!((t.value(ls)[(0, j)] - t.value(s)[(0, j)].ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_rows_scatter_adds_duplicates() {
+        let mut t = Tape::new();
+        let src = t.constant(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+        let gathered = t.gather_rows(src, &[0, 0, 1]);
+        assert_eq!(t.value(gathered).rows(), 3);
+        let loss = t.sum(gathered);
+        let g = t.backward(loss);
+        // Row 0 gathered twice ⇒ gradient 2 per entry.
+        assert_eq!(g.wrt(&t, src).as_slice(), &[2.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn nll_weighted_value_and_grad() {
+        let mut t = Tape::new();
+        let logits = t.constant(Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 1.0]]));
+        let logp = t.log_softmax_rows(logits);
+        let loss = t.nll_weighted(logp, &[0, 1], &[1.0, 2.0]);
+        // Manual: lse0 = ln(e^2+1), lse1 = ln(1+e)
+        let lse0 = (2f32.exp() + 1.0).ln();
+        let lse1 = (1.0 + 1f32.exp()).ln();
+        let expect = -((2.0 - lse0) + 2.0 * (1.0 - lse1)) / 2.0;
+        assert!((scalar(&t, loss) - expect).abs() < 1e-5);
+
+        let g = t.backward(loss);
+        let dl = g.wrt(&t, logits);
+        // d/dlogits = (softmax − onehot) * w / N per row.
+        let p00 = 2f32.exp() / (2f32.exp() + 1.0);
+        assert!((dl[(0, 0)] - (p00 - 1.0) * 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn param_grads_route_to_store() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::from_rows(&[&[2.0, -1.0]]));
+        let mut t = Tape::new();
+        let wv = t.param(&store, w);
+        let sq = t.square(wv);
+        let loss = t.sum(sq);
+        let g = t.backward(loss);
+        t.accumulate_param_grads(&g, &mut store);
+        assert_eq!(store.get(w).grad.as_slice(), &[4.0, -2.0]);
+    }
+
+    #[test]
+    fn reused_node_accumulates_gradient() {
+        // loss = sum(a + a) ⇒ dL/da = 2.
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::from_rows(&[&[1.0]]));
+        let s = t.add(a, a);
+        let loss = t.sum(s);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(&t, a).as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn broadcast_backwards() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let r = t.constant(Matrix::from_rows(&[&[10.0, 20.0]]));
+        let y = t.add_row_broadcast(x, r);
+        assert_eq!(t.value(y).as_slice(), &[11.0, 22.0, 13.0, 24.0]);
+        let loss = t.sum(y);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(&t, r).as_slice(), &[2.0, 2.0]);
+
+        let c = t.constant(Matrix::from_rows(&[&[100.0], &[200.0]]));
+        let y2 = t.add_col_broadcast(x, c);
+        assert_eq!(t.value(y2).as_slice(), &[101.0, 102.0, 203.0, 204.0]);
+        let loss2 = t.sum(y2);
+        let g2 = t.backward(loss2);
+        assert_eq!(g2.wrt(&t, c).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_scalar_var_gradients() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_rows(&[&[1.0, 2.0]]));
+        let s = t.constant(Matrix::from_rows(&[&[3.0]]));
+        let y = t.mul_scalar_var(x, s);
+        assert_eq!(t.value(y).as_slice(), &[3.0, 6.0]);
+        let loss = t.sum(y);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(&t, x).as_slice(), &[3.0, 3.0]);
+        assert_eq!(g.wrt(&t, s).as_slice(), &[3.0]); // Σ x = 3
+    }
+
+    #[test]
+    fn row_norm_sq_forward_backward() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_rows(&[&[3.0, 4.0], &[1.0, 0.0]]));
+        let n = t.row_norm_sq(x);
+        assert_eq!(t.value(n).as_slice(), &[25.0, 1.0]);
+        let loss = t.sum(n);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(&t, x).as_slice(), &[6.0, 8.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn slice_cols_forward_backward() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]));
+        let s = t.slice_cols(x, 1, 2);
+        assert_eq!(t.value(s).as_slice(), &[2.0, 3.0, 5.0, 6.0]);
+        let loss = t.sum(s);
+        let g = t.backward(loss);
+        assert_eq!(g.wrt(&t, x).as_slice(), &[0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column slice out of bounds")]
+    fn slice_cols_bounds_checked() {
+        let mut t = Tape::new();
+        let x = t.constant(Matrix::zeros(1, 3));
+        let _ = t.slice_cols(x, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward root must be a scalar")]
+    fn backward_rejects_non_scalar_root() {
+        let mut t = Tape::new();
+        let a = t.constant(Matrix::zeros(2, 2));
+        let _ = t.backward(a);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the autodiff engine: every differentiable op's
+//! backward rule is validated against central differences on random inputs,
+//! and gradient algebra (linearity, accumulation) holds.
+
+use proptest::prelude::*;
+
+use lt_linalg::Matrix;
+use lt_tensor::gradcheck::check_gradients;
+use lt_tensor::{ParamStore, Tape};
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Runs gradcheck on a single-parameter graph builder.
+fn check_unary(
+    w: Matrix,
+    build: impl Fn(&mut Tape, lt_tensor::Var) -> lt_tensor::Var,
+) -> Result<(), TestCaseError> {
+    let mut store = ParamStore::new();
+    store.register("w", w);
+    let mut loss_fn = |s: &mut ParamStore| -> f32 {
+        let id = s.id_of("w").unwrap();
+        let mut t = Tape::new();
+        let wv = t.param(s, id);
+        let y = build(&mut t, wv);
+        let loss = t.mean(y);
+        let g = t.backward(loss);
+        t.accumulate_param_grads(&g, s);
+        t.value(loss)[(0, 0)]
+    };
+    for r in check_gradients(&store, 1e-2, &mut loss_fn) {
+        prop_assert!(
+            r.max_rel_err < 5e-2,
+            "op gradcheck failed: rel err {:.3e}",
+            r.max_rel_err
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Smooth unary ops pass gradcheck on random inputs.
+    #[test]
+    fn unary_ops_gradcheck(w in small_matrix(3, 4), op in 0usize..6) {
+        // Shift inputs away from non-differentiable points per op.
+        let w = match op {
+            0 => w.map(|v| v + if v.abs() < 0.15 { 0.3 } else { 0.0 }), // relu kink
+            3 => w.map(|v| v.abs() + 0.5),                              // ln domain
+            4 => w.map(|v| v.abs() + 0.5),                              // sqrt domain
+            _ => w,
+        };
+        check_unary(w, move |t, x| match op {
+            0 => t.relu(x),
+            1 => t.tanh(x),
+            2 => t.exp(x),
+            3 => t.ln(x),
+            4 => t.sqrt(x),
+            _ => t.square(x),
+        })?;
+    }
+
+    /// Softmax / log-softmax / row-norm pass gradcheck.
+    #[test]
+    fn row_ops_gradcheck(w in small_matrix(3, 5), op in 0usize..3) {
+        check_unary(w, move |t, x| match op {
+            0 => t.softmax_rows(x),
+            1 => t.log_softmax_rows(x),
+            _ => t.row_norm_sq(x),
+        })?;
+    }
+
+    /// Binary op gradients check out for both operands simultaneously.
+    #[test]
+    fn binary_ops_gradcheck(a in small_matrix(3, 3), b in small_matrix(3, 3), op in 0usize..4) {
+        let mut store = ParamStore::new();
+        store.register("a", a);
+        store.register("b", b);
+        let mut loss_fn = move |s: &mut ParamStore| -> f32 {
+            let ida = s.id_of("a").unwrap();
+            let idb = s.id_of("b").unwrap();
+            let mut t = Tape::new();
+            let av = t.param(s, ida);
+            let bv = t.param(s, idb);
+            let y = match op {
+                0 => t.add(av, bv),
+                1 => t.sub(av, bv),
+                2 => t.hadamard(av, bv),
+                _ => t.matmul(av, bv),
+            };
+            let loss = t.mean(y);
+            let g = t.backward(loss);
+            t.accumulate_param_grads(&g, s);
+            t.value(loss)[(0, 0)]
+        };
+        for r in check_gradients(&store, 1e-2, &mut loss_fn) {
+            prop_assert!(r.max_rel_err < 5e-2, "{}: rel err {:.3e}", r.name, r.max_rel_err);
+        }
+    }
+
+    /// Gradient linearity: d(α·L)/dw == α · dL/dw.
+    #[test]
+    fn gradient_scales_linearly(w in small_matrix(2, 3), alpha in 0.1f32..4.0) {
+        let mut store = ParamStore::new();
+        let id = store.register("w", w);
+        let grad_of = |scale: f32, store: &ParamStore| -> Matrix {
+            let mut s = store.clone();
+            s.zero_grads();
+            let mut t = Tape::new();
+            let wv = t.param(&s, id);
+            let sq = t.square(wv);
+            let m = t.mean(sq);
+            let loss = t.scale(m, scale);
+            let g = t.backward(loss);
+            t.accumulate_param_grads(&g, &mut s);
+            s.get(id).grad.clone()
+        };
+        let g1 = grad_of(1.0, &store);
+        let ga = grad_of(alpha, &store);
+        for (x, y) in g1.as_slice().iter().zip(ga.as_slice()) {
+            prop_assert!((x * alpha - y).abs() < 1e-4, "{} vs {}", x * alpha, y);
+        }
+    }
+
+    /// Two backward passes accumulate: grads add up across calls.
+    #[test]
+    fn gradients_accumulate_across_passes(w in small_matrix(2, 2)) {
+        let mut store = ParamStore::new();
+        let id = store.register("w", w);
+        let run = |s: &mut ParamStore| {
+            let mut t = Tape::new();
+            let wv = t.param(s, id);
+            let sq = t.square(wv);
+            let loss = t.sum(sq);
+            let g = t.backward(loss);
+            t.accumulate_param_grads(&g, s);
+        };
+        run(&mut store);
+        let once = store.get(id).grad.clone();
+        run(&mut store);
+        let twice = store.get(id).grad.clone();
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Stop-gradient kills the gradient exactly while preserving values.
+    #[test]
+    fn stop_grad_is_identity_forward_zero_backward(w in small_matrix(2, 3)) {
+        let mut store = ParamStore::new();
+        let id = store.register("w", w.clone());
+        let mut t = Tape::new();
+        let wv = t.param(&store, id);
+        let sg = t.stop_grad(wv);
+        prop_assert_eq!(t.value(sg).clone(), w);
+        let sq = t.square(sg);
+        let loss = t.sum(sq);
+        let g = t.backward(loss);
+        t.accumulate_param_grads(&g, &mut store);
+        prop_assert!(store.get(id).grad.max_abs() == 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Efficiency sweep — how speedup and compression scale with database size
+//! (a runnable miniature of the paper's Fig. 7).
+//!
+//! Sweeps the database proportion over {1e-3, 1e-2, 1e-1, 1} of a synthetic
+//! archive, reporting measured speedup (exhaustive / ADC wall-clock) and
+//! compression (dense bytes / quantized bytes), next to the analytic model
+//! of Section IV.
+//!
+//! ```sh
+//! cargo run --release --example efficiency_sweep
+//! ```
+
+use lightlt::prelude::*;
+use lightlt_core::search::{adc_search, exhaustive_search};
+use lt_eval::{speedup_ratio, time_best_of};
+use lt_linalg::random::{randn, rng};
+use lt_tensor::ParamStore;
+
+fn main() {
+    // Efficiency depends only on n, d, M, K — not on training — so use an
+    // untrained DSQ over random embeddings (Fig. 7 is a systems experiment).
+    let dim = 64;
+    let m = 4;
+    let k = 256;
+    let full_n = 40_000;
+    let mut store = ParamStore::new();
+    let dsq = lightlt_core::Dsq::new(
+        &mut store,
+        m,
+        k,
+        dim,
+        64,
+        CodebookTopology::DoubleSkip,
+        0.2,
+        Metric::NegSquaredL2,
+        &mut rng(1),
+    );
+    let database = randn(full_n, dim, &mut rng(2)).scale(0.5);
+    let queries = randn(16, dim, &mut rng(3)).scale(0.5);
+
+    let mut table = Table::new(
+        "Efficiency vs database scale (miniature Fig. 7)",
+        &["proportion", "n", "speedup", "theoretical speedup", "compression", "theoretical compression"],
+    );
+
+    for &prop in &[0.001f64, 0.01, 0.1, 1.0] {
+        let n = ((full_n as f64 * prop).round() as usize).max(8);
+        let sub: Vec<usize> = (0..n).collect();
+        let db = database.select_rows(&sub);
+        let index = QuantizedIndex::build(&dsq, &store, &db);
+
+        let adc = time_best_of(1, 3, || {
+            for qi in 0..queries.rows() {
+                std::hint::black_box(adc_search(&index, queries.row(qi), 10));
+            }
+        });
+        let dense = time_best_of(1, 3, || {
+            for qi in 0..queries.rows() {
+                std::hint::black_box(exhaustive_search(
+                    &db,
+                    queries.row(qi),
+                    Metric::NegSquaredL2,
+                    10,
+                ));
+            }
+        });
+
+        let model = index.complexity();
+        let measured_speedup = speedup_ratio(&dense, &adc);
+        let measured_compression =
+            model.dense_bytes() / index.storage_bytes() as f64;
+
+        table.row(&[
+            format!("{prop}"),
+            format!("{n}"),
+            format!("{measured_speedup:.2}"),
+            format!("{:.2}", model.theoretical_speedup()),
+            format!("{measured_compression:.2}"),
+            format!("{:.2}", model.compression_ratio()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Shape check (paper Fig. 7): both ratios grow with n; at tiny n the\n\
+         codebooks dominate and quantization does not pay off."
+    );
+}

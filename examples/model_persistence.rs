@@ -1,0 +1,109 @@
+//! Model and index persistence — the deploy/serve workflow.
+//!
+//! Trains LightLT, saves the model as a JSON bundle and the database index
+//! as a compact binary image (bit-packed codes at the paper's
+//! `M·log2(K)/8` bytes per item), then reloads both in a fresh "serving
+//! process" and answers queries, verifying results match the training
+//! process exactly.
+//!
+//! ```sh
+//! cargo run --release --example model_persistence
+//! ```
+
+use lightlt::prelude::*;
+use lightlt_core::persist::{deserialize_index, serialize_index, ModelBundle};
+use lightlt_core::search::adc_search;
+use lt_data::synth::{generate_split, Domain};
+
+fn main() {
+    let dir = std::env::temp_dir().join("lightlt_persistence_demo");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    // --- "training process" -------------------------------------------
+    let split = generate_split(&SynthConfig {
+        num_classes: 8,
+        dim: 24,
+        pi1: 60,
+        imbalance_factor: 12.0,
+        n_query: 20,
+        n_database: 400,
+        domain: Domain::ImageLike,
+        intra_class_std: None,
+        seed: 33,
+    });
+    let config = LightLtConfig {
+        input_dim: 24,
+        backbone_hidden: 48,
+        embed_dim: 16,
+        num_classes: 8,
+        num_codebooks: 4,
+        num_codewords: 16,
+        ffn_hidden: 24,
+        epochs: 15,
+        batch_size: 32,
+        ensemble_size: 1,
+        ..Default::default()
+    };
+    let result = train_ensemble(&config, &split.train);
+    let db_emb = result.model.embed(&result.store, &split.database.features);
+    let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
+
+    // Save.
+    let bundle = ModelBundle::capture(&result.model, &result.store);
+    let model_path = dir.join("model.json");
+    std::fs::write(&model_path, bundle.to_json()).expect("write model bundle");
+    let index_path = dir.join("index.bin");
+    let image = serialize_index(&index);
+    std::fs::write(&index_path, &image).expect("write index image");
+    println!(
+        "saved model bundle ({} KiB) and index image ({} KiB, {} items)",
+        std::fs::metadata(&model_path).unwrap().len() / 1024,
+        image.len() / 1024,
+        index.len(),
+    );
+
+    // --- "serving process" --------------------------------------------
+    let loaded_bundle =
+        ModelBundle::from_json(&std::fs::read_to_string(&model_path).expect("read bundle"))
+            .expect("parse bundle");
+    let (served_model, served_store) = loaded_bundle.restore().expect("restore model");
+    let served_index =
+        deserialize_index(&std::fs::read(&index_path).expect("read image")).expect("parse image");
+
+    // Serve a few queries from both the original and the reloaded stack.
+    let q_emb_orig = result.model.embed(&result.store, &split.query.features);
+    let q_emb_served = served_model.embed(&served_store, &split.query.features);
+    let mut identical = true;
+    for qi in 0..split.query.len() {
+        let a = adc_search(&index, q_emb_orig.row(qi), 5);
+        let b = adc_search(&served_index, q_emb_served.row(qi), 5);
+        let ai: Vec<usize> = a.iter().map(|s| s.index).collect();
+        let bi: Vec<usize> = b.iter().map(|s| s.index).collect();
+        if ai != bi {
+            identical = false;
+        }
+    }
+    println!(
+        "reloaded stack answered {} queries — results {}",
+        split.query.len(),
+        if identical { "IDENTICAL to the training process" } else { "DIVERGED (bug!)" }
+    );
+    assert!(identical);
+
+    // Incremental serving: append fresh items to the loaded index and
+    // immediately search them.
+    let mut served_index = served_index;
+    let extra = result
+        .model
+        .embed(&result.store, &split.query.features.select_rows(&[0, 1, 2]));
+    let assigned = served_index.append(&extra);
+    println!("appended 3 items → ids {assigned:?}");
+    let hits = adc_search(&served_index, q_emb_served.row(0), 1);
+    println!(
+        "query 0's nearest item after append: id {} (its own fresh copy: {})",
+        hits[0].index,
+        hits[0].index == assigned.start
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,86 @@
+//! Quickstart: train LightLT on a synthetic long-tail dataset, index a
+//! database, and run ADC search.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lightlt::prelude::*;
+use lt_data::synth::{generate_split, Domain};
+
+fn main() {
+    // 1. A small long-tail retrieval task: 10 classes, imbalance factor 20
+    //    (the head class has 20× the training data of the tail class).
+    let split = generate_split(&SynthConfig {
+        num_classes: 10,
+        dim: 32,
+        pi1: 80,
+        imbalance_factor: 20.0,
+        n_query: 50,
+        n_database: 600,
+        domain: Domain::ImageLike,
+        intra_class_std: None,
+        seed: 7,
+    });
+    println!(
+        "train: {} items, query: {}, database: {} (IF = {:.0})",
+        split.train.len(),
+        split.query.len(),
+        split.database.len(),
+        lt_data::zipf::imbalance_factor(&split.train.class_counts()),
+    );
+
+    // 2. Configure LightLT: 4 codebooks × 32 codewords = 20-bit codes here;
+    //    the paper's default is 4 × 256 = 32 bits.
+    let config = LightLtConfig {
+        input_dim: 32,
+        backbone_hidden: 64,
+        embed_dim: 16,
+        num_classes: 10,
+        num_codebooks: 4,
+        num_codewords: 32,
+        ffn_hidden: 32,
+        epochs: 20,
+        batch_size: 32,
+        ensemble_size: 2,
+        finetune_epochs: 3,
+        ..Default::default()
+    };
+
+    // 3. Train (base models + weight ensemble + DSQ fine-tune).
+    let result = train_ensemble(&config, &split.train);
+    println!(
+        "trained {} base models; final base loss {:.4}",
+        result.base_histories.len(),
+        result.base_histories[0].final_loss()
+    );
+
+    // 4. Index the database: only M codeword ids + one norm per item.
+    let db_emb = result.model.embed(&result.store, &split.database.features);
+    let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
+    println!(
+        "index: {} items, {} bytes ({}x smaller than dense f32)",
+        index.len(),
+        index.storage_bytes(),
+        (index.complexity().compression_ratio()).round()
+    );
+
+    // 5. Search: one ADC query.
+    let q_emb = result.model.embed(&result.store, &split.query.features);
+    let hits = adc_search(&index, q_emb.row(0), 5);
+    println!("\ntop-5 for query 0 (true class {}):", split.query.labels[0]);
+    for hit in &hits {
+        println!(
+            "  db item {:>4}  class {}  score {:+.4}",
+            hit.index, split.database.labels[hit.index], hit.score
+        );
+    }
+
+    // 6. Full evaluation: MAP over the query set.
+    let rankings: Vec<Vec<usize>> = (0..q_emb.rows())
+        .map(|i| lightlt_core::search::adc_rank_all(&index, q_emb.row(i)))
+        .collect();
+    let map = mean_average_precision(&rankings, &split.query.labels, &split.database.labels);
+    println!("\nMAP over {} queries: {:.4}", split.query.len(), map);
+    assert!(map > 0.4, "quickstart MAP unexpectedly low: {map}");
+}

@@ -1,0 +1,38 @@
+//! `lightlt` — a Rust implementation of **LightLT: a Lightweight
+//! Representation Quantization Framework for Long-tail Data** (Wang et al.,
+//! ICDE 2024), including the full substrate it needs: a tape-based autodiff
+//! tensor library, dense linear algebra, synthetic long-tail datasets, the
+//! baseline methods it is compared against, and a retrieval-evaluation
+//! harness.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`core`] ([`lightlt_core`]) — DSQ quantization, losses, trainer,
+//!   ensemble, ADC index/search, complexity model.
+//! * [`tensor`] ([`lt_tensor`]) — autodiff, optimizers, LR schedules.
+//! * [`linalg`] ([`lt_linalg`]) — matrices, GEMM, eigen/SVD, PCA, k-means.
+//! * [`data`] ([`lt_data`]) — Zipf long-tail dataset synthesis (Table I).
+//! * [`baselines`] ([`lt_baselines`]) — LSH…LTHNet comparators.
+//! * [`eval`] ([`lt_eval`]) — MAP, timing, reporting.
+//!
+//! See `examples/quickstart.rs` for the fastest path from data to search.
+
+#![warn(missing_docs)]
+
+pub use lt_baselines as baselines;
+pub use lt_data as data;
+pub use lt_eval as eval;
+pub use lt_linalg as linalg;
+pub use lt_tensor as tensor;
+pub use lightlt_core as core;
+
+/// One-stop imports: the core prelude plus the types the examples use.
+pub mod prelude {
+    pub use lightlt_core::prelude::*;
+    pub use lt_data::{
+        generate as generate_table1, spec as table1_spec, DatasetKind, Dataset, RetrievalSplit,
+        SynthConfig,
+    };
+    pub use lt_eval::{evaluate_map, mean_average_precision, Ranker, Table};
+    pub use lt_linalg::{Matrix, Metric};
+}

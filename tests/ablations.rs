@@ -1,0 +1,138 @@
+//! Integration-level checks of the paper's ablation claims at miniature
+//! scale: the proposed loss (Fig. 5), DSQ vs vanilla residual (Table IV),
+//! and the ensemble (Fig. 6). These assert the *direction* of each effect
+//! averaged over seeds — the same shape criterion EXPERIMENTS.md uses.
+
+use lightlt::prelude::*;
+use lightlt_core::search::adc_rank_all;
+use lt_data::synth::{generate_split, Domain};
+
+fn task(seed: u64) -> RetrievalSplit {
+    generate_split(&SynthConfig {
+        num_classes: 8,
+        dim: 24,
+        pi1: 60,
+        imbalance_factor: 16.0,
+        n_query: 32,
+        n_database: 320,
+        domain: Domain::ImageLike,
+        intra_class_std: None,
+        seed,
+    })
+}
+
+fn base_config(seed: u64) -> LightLtConfig {
+    LightLtConfig {
+        input_dim: 24,
+        backbone_hidden: 48,
+        embed_dim: 16,
+        num_classes: 8,
+        num_codebooks: 4,
+        num_codewords: 16,
+        ffn_hidden: 24,
+        epochs: 16,
+        batch_size: 32,
+        ensemble_size: 1,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn run_map(config: &LightLtConfig, split: &RetrievalSplit) -> f64 {
+    let result = train_ensemble(config, &split.train);
+    let db_emb = result.model.embed(&result.store, &split.database.features);
+    let q_emb = result.model.embed(&result.store, &split.query.features);
+    let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
+    let rankings: Vec<Vec<usize>> =
+        (0..q_emb.rows()).map(|i| adc_rank_all(&index, q_emb.row(i))).collect();
+    mean_average_precision(&rankings, &split.query.labels, &split.database.labels)
+}
+
+fn mean_over_seeds(make: impl Fn(u64) -> LightLtConfig) -> f64 {
+    let seeds = [11u64, 22, 33];
+    let mut total = 0.0;
+    for &s in &seeds {
+        let split = task(s);
+        total += run_map(&make(s), &split);
+    }
+    total / seeds.len() as f64
+}
+
+/// Fig.-5 direction: the full loss (CE + α(center + ranking)) with a tuned
+/// α should not be worse than CE alone, averaged over seeds. (The paper
+/// grid-searches α per dataset; α = 0.01 is the tuned value here.)
+#[test]
+fn full_loss_not_worse_than_ce_only() {
+    let full = mean_over_seeds(|s| LightLtConfig { alpha: 0.01, ..base_config(s) });
+    let ce_only = mean_over_seeds(|s| LightLtConfig { alpha: 0.0, ..base_config(s) });
+    assert!(
+        full >= ce_only - 0.02,
+        "full loss {full:.4} unexpectedly below CE-only {ce_only:.4}"
+    );
+}
+
+/// Table-IV direction: DSQ (codebook skip) should not be worse than the
+/// vanilla residual mechanism, averaged over seeds.
+#[test]
+fn dsq_not_worse_than_vanilla_residual() {
+    let dsq = mean_over_seeds(|s| LightLtConfig { alpha: 0.01, ..base_config(s) });
+    let residual = mean_over_seeds(|s| LightLtConfig {
+        alpha: 0.01,
+        topology: CodebookTopology::VanillaResidual,
+        ..base_config(s)
+    });
+    assert!(
+        dsq >= residual - 0.02,
+        "DSQ {dsq:.4} unexpectedly below vanilla residual {residual:.4}"
+    );
+}
+
+/// Fig.-6 direction: the 4-model ensemble should not be worse than the
+/// single model, averaged over seeds.
+#[test]
+fn ensemble_not_worse_than_single_model() {
+    let single = mean_over_seeds(base_config);
+    let ensemble = mean_over_seeds(|s| LightLtConfig {
+        ensemble_size: 4,
+        ensemble_branch_epochs: 5,
+        finetune_epochs: 3,
+        ..base_config(s)
+    });
+    assert!(
+        ensemble >= single - 0.02,
+        "ensemble {ensemble:.4} unexpectedly below single {single:.4}"
+    );
+}
+
+/// Long-tail direction: class re-weighting (γ close to 1) should help tail
+/// classes relative to γ = 0 on the per-class MAP of the tail.
+#[test]
+fn class_weighting_helps_tail_classes() {
+    let seeds = [7u64, 14];
+    let mut tail_weighted = 0.0;
+    let mut tail_plain = 0.0;
+    for &s in &seeds {
+        let split = task(s);
+        for (gamma, acc) in [(0.999f32, &mut tail_weighted), (0.0, &mut tail_plain)] {
+            let config = LightLtConfig { gamma, ..base_config(s) };
+            let result = train_ensemble(&config, &split.train);
+            let db_emb = result.model.embed(&result.store, &split.database.features);
+            let q_emb = result.model.embed(&result.store, &split.query.features);
+            let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
+            let rankings: Vec<Vec<usize>> =
+                (0..q_emb.rows()).map(|i| adc_rank_all(&index, q_emb.row(i))).collect();
+            let pcm = lt_eval::per_class_map(
+                &rankings,
+                &split.query.labels,
+                &split.database.labels,
+                8,
+            );
+            // Tail = last three classes of the Zipf ordering.
+            *acc += pcm[5..].iter().sum::<f64>() / 3.0;
+        }
+    }
+    assert!(
+        tail_weighted >= tail_plain - 0.05,
+        "re-weighting should not hurt the tail: weighted {tail_weighted:.4} vs plain {tail_plain:.4}"
+    );
+}

@@ -1,0 +1,123 @@
+//! End-to-end integration: dataset synthesis → training → indexing →
+//! ADC search → MAP evaluation, spanning every workspace crate.
+
+use lightlt::prelude::*;
+use lightlt_core::search::{adc_rank_all, exhaustive_rank_all};
+use lt_data::synth::{generate_split, Domain};
+
+fn task(seed: u64) -> RetrievalSplit {
+    generate_split(&SynthConfig {
+        num_classes: 6,
+        dim: 24,
+        pi1: 60,
+        imbalance_factor: 12.0,
+        n_query: 30,
+        n_database: 300,
+        domain: Domain::ImageLike,
+        intra_class_std: None,
+        seed,
+    })
+}
+
+fn config() -> LightLtConfig {
+    LightLtConfig {
+        input_dim: 24,
+        backbone_hidden: 48,
+        embed_dim: 16,
+        num_classes: 6,
+        num_codebooks: 4,
+        num_codewords: 16,
+        ffn_hidden: 24,
+        epochs: 18,
+        batch_size: 32,
+        ensemble_size: 1,
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+/// MAP of a fixed arbitrary ranking — the "chance" floor for this task.
+fn chance_map(split: &RetrievalSplit) -> f64 {
+    let fixed: Vec<usize> = (0..split.database.len()).collect();
+    let rankings: Vec<Vec<usize>> = (0..split.query.len()).map(|_| fixed.clone()).collect();
+    mean_average_precision(&rankings, &split.query.labels, &split.database.labels)
+}
+
+#[test]
+fn full_pipeline_beats_chance_by_wide_margin() {
+    let split = task(1);
+    let result = train_ensemble(&config(), &split.train);
+
+    let db_emb = result.model.embed(&result.store, &split.database.features);
+    let q_emb = result.model.embed(&result.store, &split.query.features);
+    let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
+
+    let rankings: Vec<Vec<usize>> =
+        (0..q_emb.rows()).map(|i| adc_rank_all(&index, q_emb.row(i))).collect();
+    let map = mean_average_precision(&rankings, &split.query.labels, &split.database.labels);
+    let chance = chance_map(&split);
+    assert!(
+        map > chance + 0.2,
+        "trained MAP {map:.3} should beat chance {chance:.3} by a wide margin"
+    );
+}
+
+#[test]
+fn quantized_search_tracks_dense_search() {
+    // ADC over 16-bit codes should retain most of the dense-embedding MAP.
+    let split = task(2);
+    let result = train_ensemble(&config(), &split.train);
+    let db_emb = result.model.embed(&result.store, &split.database.features);
+    let q_emb = result.model.embed(&result.store, &split.query.features);
+    let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
+
+    let adc: Vec<Vec<usize>> =
+        (0..q_emb.rows()).map(|i| adc_rank_all(&index, q_emb.row(i))).collect();
+    let dense: Vec<Vec<usize>> = (0..q_emb.rows())
+        .map(|i| exhaustive_rank_all(&db_emb, q_emb.row(i), Metric::NegSquaredL2))
+        .collect();
+    let map_adc = mean_average_precision(&adc, &split.query.labels, &split.database.labels);
+    let map_dense = mean_average_precision(&dense, &split.query.labels, &split.database.labels);
+    assert!(
+        map_adc > 0.7 * map_dense,
+        "quantization lost too much: ADC {map_adc:.3} vs dense {map_dense:.3}"
+    );
+}
+
+#[test]
+fn index_storage_beats_dense_storage() {
+    let split = task(3);
+    let result = train_ensemble(&config(), &split.train);
+    let db_emb = result.model.embed(&result.store, &split.database.features);
+    let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
+    let dense_bytes = 4 * db_emb.rows() * db_emb.cols();
+    assert!(
+        index.storage_bytes() < dense_bytes,
+        "index {} bytes should undercut dense {} bytes",
+        index.storage_bytes(),
+        dense_bytes
+    );
+}
+
+#[test]
+fn codes_are_stable_across_encodes() {
+    let split = task(4);
+    let result = train_ensemble(&config(), &split.train);
+    let a = result.model.encode(&result.store, &split.query.features);
+    let b = result.model.encode(&result.store, &split.query.features);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), split.query.len());
+    assert_eq!(a.num_codebooks(), 4);
+}
+
+#[test]
+fn classifier_learns_head_and_some_tail() {
+    let split = task(5);
+    let result = train_ensemble(&config(), &split.train);
+    let acc = result.model.accuracy(
+        &result.store,
+        &split.train.features,
+        &split.train.labels,
+    );
+    assert!(acc > 0.6, "train accuracy only {acc:.3}");
+}

@@ -1,0 +1,241 @@
+//! Cross-crate property-based tests (proptest) of the invariants DESIGN.md
+//! §7 calls out.
+
+use proptest::prelude::*;
+
+use lightlt::prelude::*;
+use lightlt_core::dsq::{Codes, Dsq};
+use lightlt_core::search::adc_search;
+use lt_data::zipf::{imbalance_factor, zipf_class_sizes};
+use lt_linalg::random::{randn, rng};
+use lt_linalg::topk::{top_k, top_k_by_sort};
+use lt_tensor::ParamStore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Zipf class sizes are monotone non-increasing, hit π₁ at the head,
+    /// and realize the requested imbalance factor within rounding.
+    #[test]
+    fn zipf_sizes_monotone_and_calibrated(
+        c in 2usize..60,
+        pi1 in 50usize..2000,
+        if_target in 2.0f64..120.0,
+    ) {
+        let sizes = zipf_class_sizes(c, pi1, if_target);
+        prop_assert_eq!(sizes.len(), c);
+        prop_assert_eq!(sizes[0], pi1);
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+        let measured = imbalance_factor(&sizes);
+        // Rounding the tail to integers bounds the error by 1 tail item.
+        let tail_exact = pi1 as f64 / if_target;
+        prop_assert!((measured - if_target).abs() / if_target < 1.0 / tail_exact.max(1.0) + 0.05);
+    }
+
+    /// Heap-based top-k equals the sort-based reference on arbitrary scores.
+    #[test]
+    fn topk_matches_sort_reference(
+        scores in prop::collection::vec(-1e3f32..1e3, 0..120),
+        k in 0usize..140,
+    ) {
+        prop_assert_eq!(top_k(&scores, k), top_k_by_sort(&scores, k));
+    }
+
+    /// MAP is always within [0, 1] and equals 1 for the perfect ranking.
+    #[test]
+    fn map_bounds_and_perfection(
+        labels in prop::collection::vec(0usize..4, 2..40),
+        query_label in 0usize..4,
+    ) {
+        // Perfect ranking: all relevant items first.
+        let mut perfect: Vec<usize> = (0..labels.len())
+            .filter(|&i| labels[i] == query_label)
+            .collect();
+        let relevant = perfect.len();
+        perfect.extend((0..labels.len()).filter(|&i| labels[i] != query_label));
+        let map = mean_average_precision(&[perfect], &[query_label], &labels);
+        prop_assert!((0.0..=1.0).contains(&map));
+        if relevant > 0 {
+            prop_assert!((map - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Compression ratio is monotone in database size and eventually > 1.
+    #[test]
+    fn compression_monotone_in_n(d in 16usize..512, m in 1usize..8, k_pow in 2u32..9) {
+        let k = 1usize << k_pow;
+        let mut prev = 0.0;
+        for &n in &[100usize, 10_000, 1_000_000] {
+            let model = ComplexityModel::new(d, m, k, n);
+            let ratio = model.compression_ratio();
+            prop_assert!(ratio > prev);
+            prev = ratio;
+        }
+        prop_assert!(prev > 1.0, "1M items must compress ({prev})");
+    }
+
+    /// Class weights are non-increasing in class count and normalized.
+    #[test]
+    fn class_weights_monotone(gamma in 0.5f32..0.9999, seed in 0u64..1000) {
+        let mut r = rng(seed);
+        use rand::Rng;
+        let mut counts: Vec<usize> = (0..8).map(|_| r.gen_range(1usize..3000)).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let w = class_weights(&counts, gamma);
+        // Larger classes never get larger weights.
+        for i in 1..w.len() {
+            prop_assert!(w[i] + 1e-5 >= w[i - 1], "weights must be non-decreasing as counts shrink");
+        }
+        let mean: f32 = w.iter().sum::<f32>() / w.len() as f32;
+        prop_assert!((mean - 1.0).abs() < 1e-3);
+    }
+
+    /// Bit-packing roundtrip: pack → unpack is the identity for any code
+    /// table and any codebook size, and the packed size matches the paper's
+    /// `M·log2(K)/8` bytes-per-item accounting.
+    #[test]
+    fn codec_roundtrip_and_size(
+        n in 0usize..40,
+        m in 1usize..6,
+        k_pow in 1u32..10,
+        seed in 0u64..10_000,
+    ) {
+        let k = 1usize << k_pow;
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let ids: Vec<u16> = (0..n * m)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as usize % k) as u16
+            })
+            .collect();
+        let codes = Codes::new(ids, m);
+        let packed = lightlt_core::codec::pack_codes(&codes, k);
+        let expect_bytes = (n as u64 * m as u64 * k_pow as u64).div_ceil(8) as usize;
+        prop_assert_eq!(packed.len(), expect_bytes);
+        let back = lightlt_core::codec::unpack_codes(&packed, n, m, k);
+        prop_assert_eq!(back, codes);
+    }
+
+    /// Proposition 1: the prototype bound dominates the simplified triplet
+    /// loss for arbitrary embeddings, labels, and prototypes.
+    #[test]
+    fn proposition1_bound(seed in 0u64..500, n in 4usize..10, c in 2usize..4) {
+        let mut r = rng(seed);
+        let o = randn(n, 5, &mut r);
+        let labels: Vec<usize> = (0..n).map(|i| i % c).collect();
+        let protos = randn(c, 5, &mut r);
+        let lhs = lightlt_core::loss::simplified_triplet(&o, &labels);
+        let rhs = lightlt_core::loss::prototype_triplet_bound(&o, &labels, &protos);
+        prop_assert!(lhs <= rhs + 1e-2, "triplet {lhs} > bound {rhs}");
+    }
+}
+
+proptest! {
+    // DSQ properties are costlier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Example-1 invariance: permuting a codebook's rows together with the
+    /// stored codes leaves every decoded vector unchanged — the reason naive
+    /// codebook averaging is meaningless and fine-tuning is required.
+    #[test]
+    fn codeword_permutation_invariance(seed in 0u64..200) {
+        let mut store = ParamStore::new();
+        let mut r = rng(seed);
+        let dsq = Dsq::new(
+            &mut store, 3, 8, 6, 8,
+            CodebookTopology::VanillaResidual, // direct P_k = C_k mapping
+            0.1,
+            Metric::NegSquaredL2,
+            &mut r,
+        );
+        let x = randn(6, 6, &mut rng(seed + 1));
+        let codebooks = dsq.effective_codebooks(&store);
+        let codes = dsq.encode_with_codebooks(&codebooks, &x);
+        let decoded = dsq.decode_with_codebooks(&codebooks, &codes);
+
+        // Permute codebook 1 by reversal and remap its codes accordingly.
+        let k = 8usize;
+        let permuted_cb: Vec<Matrix> = codebooks
+            .iter()
+            .enumerate()
+            .map(|(level, cb)| {
+                if level == 1 {
+                    let rows: Vec<usize> = (0..k).rev().collect();
+                    cb.select_rows(&rows)
+                } else {
+                    cb.clone()
+                }
+            })
+            .collect();
+        let remapped: Vec<u16> = (0..codes.len())
+            .flat_map(|i| {
+                codes.item(i).iter().enumerate().map(|(level, &id)| {
+                    if level == 1 { (k - 1 - id as usize) as u16 } else { id }
+                }).collect::<Vec<u16>>()
+            })
+            .collect();
+        let remapped = Codes::new(remapped, 3);
+        let decoded_permuted = dsq.decode_with_codebooks(&permuted_cb, &remapped);
+        for (a, b) in decoded.as_slice().iter().zip(decoded_permuted.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// ADC search scores equal explicit reconstructed distances for random
+    /// quantizers and databases.
+    #[test]
+    fn adc_equals_reconstructed_distance(seed in 0u64..200) {
+        let mut store = ParamStore::new();
+        let mut r = rng(seed);
+        let dsq = Dsq::new(
+            &mut store, 2, 8, 5, 8,
+            CodebookTopology::DoubleSkip,
+            0.1,
+            Metric::NegSquaredL2,
+            &mut r,
+        );
+        let db = randn(20, 5, &mut rng(seed + 1)).scale(0.5);
+        let index = QuantizedIndex::build(&dsq, &store, &db);
+        let q: Vec<f32> = randn(1, 5, &mut rng(seed + 2)).into_vec();
+        let hits = adc_search(&index, &q, 20);
+        for hit in hits {
+            let recon = index.reconstruct_item(hit.index);
+            let direct = -lt_linalg::distance::squared_l2(&q, &recon);
+            prop_assert!((hit.score - direct).abs() < 1e-2,
+                "item {}: {} vs {}", hit.index, hit.score, direct);
+        }
+    }
+
+    /// Greedy per-level optimality (Eqn. 3): at every level the selected
+    /// codeword is the one closest to that level's residual.
+    #[test]
+    fn encoder_selects_per_level_nearest_codeword(seed in 0u64..100) {
+        let mut store = ParamStore::new();
+        let mut r = rng(seed);
+        let dsq = Dsq::new(
+            &mut store, 3, 8, 5, 8,
+            CodebookTopology::DoubleSkip,
+            0.1,
+            Metric::NegSquaredL2,
+            &mut r,
+        );
+        let x = randn(6, 5, &mut rng(seed + 7)).scale(0.5);
+        let codebooks = dsq.effective_codebooks(&store);
+        let codes = dsq.encode_with_codebooks(&codebooks, &x);
+        for i in 0..x.rows() {
+            let mut residual = x.row(i).to_vec();
+            for (level, cb) in codebooks.iter().enumerate() {
+                let chosen = codes.item(i)[level] as usize;
+                let chosen_d = lt_linalg::distance::squared_l2(&residual, cb.row(chosen));
+                for j in 0..cb.rows() {
+                    let d = lt_linalg::distance::squared_l2(&residual, cb.row(j));
+                    prop_assert!(chosen_d <= d + 1e-5,
+                        "level {level}: codeword {chosen} ({chosen_d}) beaten by {j} ({d})");
+                }
+                for (v, &c) in residual.iter_mut().zip(cb.row(chosen)) {
+                    *v -= c;
+                }
+            }
+        }
+    }
+}
