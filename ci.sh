@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Local CI: build, test, lint. Run from the repo root.
+set -euo pipefail
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

@@ -46,7 +46,7 @@ fn main() {
         eprintln!("[ablation] gamma={gamma}");
         let mut config = lightlt_config(&s, &params, 1, 77);
         config.gamma = gamma;
-        let result = lightlt_core::train_ensemble(&config, &split.train);
+        let result = lightlt_core::train_ensemble(&config, &split.train).expect("training failed");
         let db_emb = result.model.embed(&result.store, &split.database.features);
         let q_emb = result.model.embed(&result.store, &split.query.features);
         let index =

@@ -95,7 +95,7 @@ fn main() {
         let mut config = lightlt_config(&s, &params, 1, 7);
         config.alpha = alpha;
         config.tau = tau;
-        let result = train_ensemble(&config, &split.train);
+        let result = train_ensemble(&config, &split.train).expect("training failed");
 
         // Quantized representations of the probe classes' database items.
         let mut idx: Vec<usize> = Vec::new();

@@ -171,7 +171,8 @@ pub fn tuned_lightlt_config(
 ) -> LightLtConfig {
     let mut probe = lightlt_config(spec, params, 1, seed);
     probe.epochs = (params.epochs / 2).max(4);
-    let alpha = lightlt_core::tune_alpha(&probe, train_set, &[0.003, 0.01, 0.03, 0.1]);
+    let alpha = lightlt_core::tune_alpha(&probe, train_set, &[0.003, 0.01, 0.03, 0.1])
+        .expect("alpha grid search failed");
     eprintln!("[tune] {} IF={}: grid-searched alpha = {alpha}", spec.kind.name(), spec.imbalance_factor);
     let mut config = lightlt_config(spec, params, ensemble, seed);
     config.alpha = alpha;
@@ -181,7 +182,7 @@ pub fn tuned_lightlt_config(
 /// MAP of a trained LightLT configuration on a split (trains, indexes the
 /// database, ranks every query by ADC).
 pub fn run_lightlt(config: &LightLtConfig, split: &RetrievalSplit) -> f64 {
-    let result = train_ensemble(config, &split.train);
+    let result = train_ensemble(config, &split.train).expect("training failed");
     lightlt_map(&result, split)
 }
 

@@ -29,10 +29,12 @@ impl Args {
                 // Treat as flag if the next token is another option or
                 // missing; else consume the value.
                 match it.peek() {
-                    Some(v) if !v.starts_with("--") => {
-                        let value = it.next().expect("peeked");
-                        args.options.insert(key.to_string(), value);
-                    }
+                    Some(v) if !v.starts_with("--") => match it.next() {
+                        Some(value) => {
+                            args.options.insert(key.to_string(), value);
+                        }
+                        None => return Err(format!("missing value for option --{key}")),
+                    },
                     _ => args.flags.push(key.to_string()),
                 }
             } else {
@@ -106,6 +108,13 @@ mod tests {
     fn invalid_numeric_value_reported() {
         let a = parse("train --epochs abc").unwrap();
         assert!(a.get_or("epochs", 0usize).is_err());
+    }
+
+    #[test]
+    fn option_followed_by_option_becomes_flag() {
+        let a = parse("train --resume --epochs 3").unwrap();
+        assert!(a.flag("resume"));
+        assert_eq!(a.get_or("epochs", 0usize).unwrap(), 3);
     }
 
     #[test]

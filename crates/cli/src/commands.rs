@@ -46,7 +46,13 @@ pub fn generate(args: &Args) -> Result<(), String> {
 }
 
 fn config_from_args(args: &Args, split: &lt_data::RetrievalSplit) -> Result<LightLtConfig, String> {
-    Ok(LightLtConfig {
+    let fault_defaults = FaultPolicy::default();
+    let fault = FaultPolicy {
+        max_retries: args.get_or("max-retries", fault_defaults.max_retries)?,
+        lr_backoff: args.get_or("lr-backoff", fault_defaults.lr_backoff)?,
+        ..fault_defaults
+    };
+    let config = LightLtConfig {
         input_dim: split.train.dim(),
         backbone_hidden: args.get_or("hidden", (split.train.dim() * 3).max(32))?,
         embed_dim: args.get_or("embed-dim", 32)?,
@@ -61,21 +67,49 @@ fn config_from_args(args: &Args, split: &lt_data::RetrievalSplit) -> Result<Ligh
         gamma: args.get_or("gamma", 0.99)?,
         ensemble_size: args.get_or("ensemble", 1)?,
         seed: args.get_or("seed", 17)?,
+        fault,
         ..Default::default()
-    })
+    };
+    config.validate().map_err(|e| e.to_string())?;
+    Ok(config)
+}
+
+/// True when `dir` already holds `.ckpt` files from an earlier run.
+fn has_checkpoints(dir: &std::path::Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .any(|e| e.path().extension().is_some_and(|ext| ext == "ckpt"))
+        })
+        .unwrap_or(false)
 }
 
 /// `lightlt train` — train a LightLT model on a split's training set.
 pub fn train(args: &Args) -> Result<(), String> {
     let data = args.require("data")?;
     let out = args.require("out")?;
+    let resume = args.flag("resume");
+    let checkpoint_dir = args.get("checkpoint-dir").map(std::path::PathBuf::from);
+    if resume && checkpoint_dir.is_none() {
+        return Err("--resume requires --checkpoint-dir".into());
+    }
+    if let Some(dir) = &checkpoint_dir {
+        if !resume && has_checkpoints(dir) {
+            return Err(format!(
+                "checkpoint directory {} already contains checkpoints; pass --resume to \
+                 continue that run, or remove the directory to start over",
+                dir.display()
+            ));
+        }
+    }
     let split = load_split(data).map_err(|e| format!("reading {data}: {e}"))?;
     let mut config = config_from_args(args, &split)?;
-    config.validate();
 
     if args.flag("tune-alpha") {
         let probe = LightLtConfig { epochs: (config.epochs / 2).max(4), ..config.clone() };
-        let alpha = tune_alpha(&probe, &split.train, &[0.003, 0.01, 0.03, 0.1]);
+        let alpha = tune_alpha(&probe, &split.train, &[0.003, 0.01, 0.03, 0.1])
+            .map_err(|e| e.to_string())?;
         println!("grid-searched alpha = {alpha}");
         config.alpha = alpha;
     }
@@ -89,12 +123,16 @@ pub fn train(args: &Args) -> Result<(), String> {
         config.epochs,
         config.ensemble_size,
     );
-    let result = train_ensemble(&config, &split.train);
+    let result = match &checkpoint_dir {
+        Some(dir) => train_ensemble_resumable(&config, &split.train, dir),
+        None => train_ensemble(&config, &split.train),
+    }
+    .map_err(|e| e.to_string())?;
     for (i, h) in result.base_histories.iter().enumerate() {
         println!("  stage {i}: final loss {:.4}", h.final_loss());
     }
     let bundle = ModelBundle::capture(&result.model, &result.store);
-    std::fs::write(out, bundle.to_json()).map_err(|e| format!("writing {out}: {e}"))?;
+    std::fs::write(out, bundle.to_json()?).map_err(|e| format!("writing {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
 }

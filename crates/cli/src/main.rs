@@ -29,6 +29,8 @@ COMMANDS:
              [--epochs 30] [--ensemble 1] [--codebooks 4] [--codewords 64]
              [--embed-dim 32] [--alpha 0.01] [--gamma 0.99] [--lr 0.005]
              [--seed 17] [--tune-alpha]
+             [--checkpoint-dir <dir>] [--resume]
+             [--max-retries 3] [--lr-backoff 0.5]
   index      encode a split's database into a binary ADC index
              --model <model.json>  --data <file.ltd>  --out <index.bin>
   search     run one query against an index

@@ -129,6 +129,76 @@ fn corrupt_model_file_reported() {
 }
 
 #[test]
+fn degenerate_config_exits_nonzero_naming_the_field() {
+    let dir = tmpdir("degenerate");
+    let split = dir.join("split.ltd");
+    let s = split.to_str().unwrap();
+    assert!(run(&[
+        "generate", "--dataset", "nc", "--if", "50", "--dim", "12", "--scale", "0.004",
+        "--out", s,
+    ])
+    .status
+    .success());
+    let out = run(&[
+        "train", "--data", s, "--epochs", "2", "--codebooks", "0",
+        "--out", dir.join("model.json").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "degenerate config accepted");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("num_codebooks"), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpointed_training_resumes_to_identical_model() {
+    let dir = tmpdir("ckpt");
+    let split = dir.join("split.ltd");
+    let ckpts = dir.join("checkpoints");
+    let model_a = dir.join("a.json");
+    let model_b = dir.join("b.json");
+    let s = split.to_str().unwrap();
+    let c = ckpts.to_str().unwrap();
+    assert!(run(&[
+        "generate", "--dataset", "nc", "--if", "50", "--dim", "12", "--scale", "0.004",
+        "--out", s,
+    ])
+    .status
+    .success());
+
+    // --resume without --checkpoint-dir is rejected up front.
+    let out = run(&["train", "--data", s, "--resume", "--out", model_a.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--checkpoint-dir"), "{}", stderr(&out));
+
+    let base = [
+        "train", "--data", s, "--epochs", "2", "--embed-dim", "8", "--codewords", "8",
+        "--codebooks", "2", "--checkpoint-dir", c,
+    ];
+    let mut first = base.to_vec();
+    first.extend(["--out", model_a.to_str().unwrap()]);
+    let out = run(&first);
+    assert!(out.status.success(), "checkpointed train failed: {}", stderr(&out));
+    assert!(ckpts.join("shared.ckpt").exists(), "no checkpoint written");
+
+    // Same dir without --resume refuses to clobber the previous run.
+    let out = run(&first);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--resume"), "{}", stderr(&out));
+
+    // With --resume the completed run is loaded back; the model written
+    // must be byte-identical to the first one.
+    let mut second = base.to_vec();
+    second.extend(["--resume", "--out", model_b.to_str().unwrap()]);
+    let out = run(&second);
+    assert!(out.status.success(), "resumed train failed: {}", stderr(&out));
+    let a = std::fs::read(&model_a).unwrap();
+    let b = std::fs::read(&model_b).unwrap();
+    assert_eq!(a, b, "resumed model differs from the original");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn query_out_of_range_reported() {
     let dir = tmpdir("range");
     let split = dir.join("split.ltd");

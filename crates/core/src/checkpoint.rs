@@ -1,0 +1,330 @@
+//! Checksummed, atomically-written training checkpoints.
+//!
+//! A [`Checkpoint`] captures *everything* a training run needs to continue
+//! bit-for-bit: model weights, AdamW moment/step state, the LR-schedule
+//! position, the data-RNG state (encoded as the number of epoch shuffles
+//! drawn from the seeded stream — replaying that many shuffles restores the
+//! exact generator state), retry bookkeeping, and the epoch history so far.
+//!
+//! On disk a checkpoint is a small binary envelope around a JSON payload:
+//!
+//! ```text
+//! magic "LTCKPT01" (8) | version u32 LE (4) | payload len u64 LE (8)
+//! | JSON payload | CRC32 of everything before the footer, u32 LE (4)
+//! ```
+//!
+//! Writes go to a temp file in the same directory followed by an atomic
+//! rename, so a crash mid-write can never leave a half-written file under
+//! the checkpoint's name; truncation or bit-flips of an existing file fail
+//! the CRC at load time.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use lt_tensor::optim::AdamW;
+use lt_tensor::ParamStore;
+use serde::{Deserialize, Serialize};
+
+use crate::checksum::crc32;
+use crate::config::LightLtConfig;
+use crate::trainer::TrainHistory;
+
+/// Magic bytes opening a checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"LTCKPT01";
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Why a checkpoint could not be written or read back.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure while reading or writing.
+    Io(io::Error),
+    /// The file does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic,
+    /// The file is shorter than its header/payload claims.
+    Truncated,
+    /// The CRC32 footer does not match the file contents.
+    ChecksumMismatch {
+        /// CRC stored in the footer.
+        stored: u32,
+        /// CRC computed over the file contents.
+        computed: u32,
+    },
+    /// The format version is not supported by this build.
+    Version(u32),
+    /// The payload failed to parse.
+    Malformed(String),
+    /// The checkpoint is valid but does not belong to this run (different
+    /// config, stage, or parameter schema).
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "I/O failure: {e}"),
+            CheckpointError::BadMagic => write!(f, "bad checkpoint magic"),
+            CheckpointError::Truncated => write!(f, "truncated checkpoint"),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch (stored {stored:#010x}, computed {computed:#010x}) — \
+                 the checkpoint file is corrupted"
+            ),
+            CheckpointError::Version(v) => {
+                write!(f, "unsupported checkpoint version {v} (expected {CHECKPOINT_VERSION})")
+            }
+            CheckpointError::Malformed(m) => write!(f, "malformed checkpoint payload: {m}"),
+            CheckpointError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Complete resumable state of one training stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Stage label inside a multi-stage run (`"model"`, `"shared"`,
+    /// `"branch-1"`, `"finetune"`, …) — also the file stem.
+    pub stage: String,
+    /// The full training configuration of the run.
+    pub config: LightLtConfig,
+    /// Ensemble member identity (perturbs the data order).
+    pub seed_offset: u64,
+    /// First epoch the resumed run still has to execute.
+    pub next_epoch: usize,
+    /// Total epochs this stage trains for (detects override mismatches).
+    pub target_epochs: usize,
+    /// Global optimizer step reached (drives the LR schedule).
+    pub step: usize,
+    /// Epoch shuffles already drawn from the seeded data-RNG stream;
+    /// replaying this many shuffles reproduces the generator state exactly.
+    pub shuffles_drawn: u64,
+    /// Learning-rate multiplier accumulated by guard-retry backoff.
+    pub lr_scale: f32,
+    /// Guard retries consumed so far.
+    pub retries_used: usize,
+    /// Best (lowest) finite batch loss seen, for the divergence detector.
+    /// `None` when no finite loss has been observed yet.
+    pub best_loss: Option<f32>,
+    /// Per-epoch statistics accumulated so far.
+    pub history: TrainHistory,
+    /// All model weights.
+    pub store: ParamStore,
+    /// Full AdamW moment and per-parameter step state.
+    pub optimizer: AdamW,
+}
+
+impl Checkpoint {
+    /// Encodes the checkpoint into the checksummed binary envelope.
+    ///
+    /// # Errors
+    /// Returns [`CheckpointError::Malformed`] if serialization fails
+    /// (non-finite floats in the state would do it — the trainer's guards
+    /// keep that from happening).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, CheckpointError> {
+        let payload =
+            serde_json::to_vec(self).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        let mut out = Vec::with_capacity(8 + 4 + 8 + payload.len() + 4);
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        Ok(out)
+    }
+
+    /// Decodes and integrity-checks a checkpoint envelope.
+    ///
+    /// # Errors
+    /// Rejects bad magic, truncation, checksum mismatches, unsupported
+    /// versions, and unparsable payloads.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        const HEADER: usize = 8 + 4 + 8;
+        if bytes.len() < CHECKPOINT_MAGIC.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        if &bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        if bytes.len() < HEADER + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version(version));
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+        let Some(total) = HEADER.checked_add(payload_len).and_then(|n| n.checked_add(4)) else {
+            return Err(CheckpointError::Truncated);
+        };
+        if bytes.len() < total {
+            return Err(CheckpointError::Truncated);
+        }
+        let body_end = HEADER + payload_len;
+        let stored = u32::from_le_bytes(bytes[body_end..body_end + 4].try_into().expect("4 bytes"));
+        let computed = crc32(&bytes[..body_end]);
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        }
+        serde_json::from_slice(&bytes[HEADER..body_end])
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))
+    }
+
+    /// Writes the checkpoint atomically: temp file in the target directory,
+    /// fsync, then rename over `path`.
+    ///
+    /// # Errors
+    /// Propagates serialization and filesystem failures.
+    pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = self.to_bytes()?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir)?;
+            }
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        // Best-effort directory sync so the rename itself is durable.
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                if let Ok(d) = fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads and integrity-checks a checkpoint file.
+    ///
+    /// # Errors
+    /// Propagates I/O failures and every [`Checkpoint::from_bytes`] reject.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Canonical file path of a stage's checkpoint inside a checkpoint dir.
+pub fn checkpoint_path(dir: &Path, stage: &str) -> PathBuf {
+    dir.join(format!("{stage}.ckpt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lt_linalg::Matrix;
+
+    fn sample() -> Checkpoint {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::full(2, 3, 0.25));
+        let mut opt = AdamW::new(0.01);
+        store.accumulate_grad(id, &Matrix::full(2, 3, 0.5));
+        use lt_tensor::optim::Optimizer as _;
+        opt.step(&mut store);
+        store.zero_grads();
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            stage: "model".into(),
+            config: LightLtConfig::default(),
+            seed_offset: 0,
+            next_epoch: 3,
+            target_epochs: 10,
+            step: 42,
+            shuffles_drawn: 3,
+            lr_scale: 0.5,
+            retries_used: 1,
+            best_loss: Some(0.75),
+            history: TrainHistory::default(),
+            store,
+            optimizer: opt,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_state_exactly() {
+        let ck = sample();
+        let bytes = ck.to_bytes().unwrap();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.stage, ck.stage);
+        assert_eq!(back.next_epoch, 3);
+        assert_eq!(back.step, 42);
+        assert_eq!(back.shuffles_drawn, 3);
+        assert_eq!(back.lr_scale, 0.5);
+        assert_eq!(back.best_loss, Some(0.75));
+        let id = ck.store.id_of("w").unwrap();
+        assert_eq!(back.store.value(id), ck.store.value(id));
+        assert!(back.store.schema_matches(&ck.store));
+    }
+
+    #[test]
+    fn save_load_roundtrip_on_disk() {
+        let dir = std::env::temp_dir()
+            .join(format!("lightlt_ckpt_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = checkpoint_path(&dir, "model");
+        let ck = sample();
+        ck.save_atomic(&path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("ckpt.tmp").exists(), "temp file left behind");
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.step, ck.step);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(Checkpoint::from_bytes(&bytes), Err(CheckpointError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_region() {
+        let bytes = sample().to_bytes().unwrap();
+        for cut in [0usize, 4, 11, 19, 40, bytes.len() - 1] {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bit_flip_in_payload() {
+        let mut bytes = sample().to_bytes().unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = sample().to_bytes().unwrap();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(Checkpoint::from_bytes(&bytes), Err(CheckpointError::Version(99))));
+    }
+}

@@ -1,0 +1,78 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`).
+//!
+//! Used as the integrity footer of the binary index image (`LTINDEX2`) and
+//! of training checkpoints, so that bit-flips in persisted artifacts fail
+//! loudly at load time instead of silently corrupting search results or a
+//! resumed run. Implemented locally — the workspace deliberately has no
+//! checksum crate dependency.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `bytes` (standard init `0xFFFFFFFF`, final xor `0xFFFFFFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Advances a raw (pre-final-xor) CRC state over `bytes`; lets callers
+/// checksum a stream in chunks: start from `0xFFFFFFFF`, finish by xoring
+/// with `0xFFFFFFFF`.
+pub fn update(state: u32, bytes: &[u8]) -> u32 {
+    let mut c = state;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // The canonical CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn chunked_equals_whole() {
+        let data = b"split into several chunks of uneven length";
+        let whole = crc32(data);
+        let mut state = 0xFFFF_FFFFu32;
+        for chunk in data.chunks(7) {
+            state = update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, whole);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = vec![0xA5u8; 128];
+        let base = crc32(&data);
+        for byte in [0usize, 17, 127] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

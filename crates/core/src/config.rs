@@ -1,7 +1,52 @@
 //! LightLT hyper-parameters.
 
+use std::fmt;
+
 use lt_linalg::Metric;
 use serde::{Deserialize, Serialize};
+
+/// A rejected configuration: which field was invalid and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Name of the offending field.
+    pub field: &'static str,
+    /// Human-readable constraint that was violated.
+    pub reason: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config: {} {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fault-tolerance policy for the training loop: what happens when a step
+/// produces a non-finite loss/gradient or the loss diverges.
+///
+/// On a tripped guard the trainer restores the last-good parameter and
+/// optimizer snapshot (taken at the start of the epoch), scales the
+/// learning rate down by [`lr_backoff`](Self::lr_backoff), reshuffles the
+/// epoch's data order, and retries; after
+/// [`max_retries`](Self::max_retries) cumulative retries it gives up with
+/// [`TrainError::RetriesExhausted`](crate::fault::TrainError::RetriesExhausted).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPolicy {
+    /// Maximum cumulative epoch retries before training fails.
+    pub max_retries: usize,
+    /// Multiplier applied to the learning rate on every retry (in `(0, 1]`).
+    pub lr_backoff: f32,
+    /// A step loss exceeding `divergence_factor ×` the best loss seen so
+    /// far (after a one-epoch grace period) counts as divergence.
+    pub divergence_factor: f32,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self { max_retries: 3, lr_backoff: 0.5, divergence_factor: 25.0 }
+    }
+}
 
 /// How effective codebooks are derived from the learnable parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,7 +71,7 @@ pub enum ScheduleKind {
 }
 
 /// Full configuration of a LightLT model and its training run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LightLtConfig {
     /// Input (pretrained-embedding) dimensionality.
     pub input_dim: usize,
@@ -90,6 +135,10 @@ pub struct LightLtConfig {
     pub finetune_prototypes: bool,
     /// RNG seed for the first base model; base model `i` uses `seed + i`.
     pub seed: u64,
+    /// NaN/divergence guard policy (absent in older serialized configs, in
+    /// which case the default applies).
+    #[serde(default)]
+    pub fault: FaultPolicy,
 }
 
 impl Default for LightLtConfig {
@@ -122,28 +171,84 @@ impl Default for LightLtConfig {
             finetune_epochs: 5,
             finetune_prototypes: false,
             seed: 17,
+            fault: FaultPolicy::default(),
         }
     }
 }
 
 impl LightLtConfig {
-    /// Validates invariants; call before training.
+    /// Validates invariants; call before training or restoring a bundle.
     ///
-    /// # Panics
-    /// Panics with a descriptive message on any invalid setting.
-    pub fn validate(&self) {
-        assert!(self.input_dim > 0, "input_dim must be positive");
-        assert!(self.embed_dim > 0, "embed_dim must be positive");
-        assert!(self.num_classes >= 2, "need at least two classes");
-        assert!(self.num_codebooks >= 1, "need at least one codebook");
-        assert!(self.num_codewords >= 2, "need at least two codewords");
-        assert!(self.temperature > 0.0, "temperature must be positive");
-        assert!((0.0..1.0).contains(&self.gamma), "gamma must be in [0, 1)");
-        assert!(self.alpha >= 0.0, "alpha must be non-negative");
-        assert!(self.tau > 0.0, "tau must be positive");
-        assert!(self.batch_size > 0, "batch_size must be positive");
-        assert!(self.learning_rate > 0.0, "learning_rate must be positive");
-        assert!(self.ensemble_size >= 1, "ensemble_size must be >= 1");
+    /// # Errors
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn err(field: &'static str, reason: impl Into<String>) -> Result<(), ConfigError> {
+            Err(ConfigError { field, reason: reason.into() })
+        }
+        if self.input_dim == 0 {
+            return err("input_dim", "must be positive");
+        }
+        if self.backbone_hidden == 0 {
+            return err("backbone_hidden", "must be positive");
+        }
+        if self.embed_dim == 0 {
+            return err("embed_dim", "must be positive");
+        }
+        if self.num_classes < 2 {
+            return err("num_classes", "need at least two classes");
+        }
+        if self.num_codebooks == 0 {
+            return err("num_codebooks", "need at least one codebook");
+        }
+        if self.num_codewords < 2 {
+            return err("num_codewords", "need at least two codewords");
+        }
+        if self.ffn_hidden == 0 {
+            return err("ffn_hidden", "must be positive");
+        }
+        if self.temperature.is_nan() || self.temperature <= 0.0 {
+            return err("temperature", "must be positive");
+        }
+        if !(0.0..1.0).contains(&self.gamma) {
+            return err("gamma", "must be in [0, 1)");
+        }
+        if !self.alpha.is_finite() || self.alpha < 0.0 {
+            return err("alpha", "must be non-negative and finite");
+        }
+        if self.tau.is_nan() || self.tau <= 0.0 {
+            return err("tau", "must be positive");
+        }
+        if self.epochs == 0 {
+            return err("epochs", "must be at least 1");
+        }
+        if self.batch_size == 0 {
+            return err("batch_size", "must be positive");
+        }
+        if !self.learning_rate.is_finite() || self.learning_rate <= 0.0 {
+            return err("learning_rate", "must be positive and finite");
+        }
+        if !(0.0..=1.0).contains(&self.warmup_fraction) {
+            return err("warmup_fraction", "must be in [0, 1]");
+        }
+        if !(0.0..=1.0).contains(&self.skip_warmup_fraction) {
+            return err("skip_warmup_fraction", "must be in [0, 1]");
+        }
+        if self.grad_clip.is_nan() || self.grad_clip < 0.0 {
+            return err("grad_clip", "must be non-negative (0 disables clipping)");
+        }
+        if self.ensemble_size == 0 {
+            return err("ensemble_size", "must be >= 1");
+        }
+        if self.ensemble_perturb_std.is_nan() || self.ensemble_perturb_std < 0.0 {
+            return err("ensemble_perturb_std", "must be non-negative");
+        }
+        if !(self.fault.lr_backoff > 0.0 && self.fault.lr_backoff <= 1.0) {
+            return err("fault.lr_backoff", "must be in (0, 1]");
+        }
+        if self.fault.divergence_factor.is_nan() || self.fault.divergence_factor <= 1.0 {
+            return err("fault.divergence_factor", "must exceed 1");
+        }
+        Ok(())
     }
 
     /// Encoded size of one item in bits: `M · log2(K)`.
@@ -159,7 +264,7 @@ mod tests {
     #[test]
     fn default_is_valid_and_32_bits() {
         let c = LightLtConfig::default();
-        c.validate();
+        c.validate().unwrap();
         // Paper setting: 4 codebooks × 256 codewords = 32-bit codes.
         assert_eq!(c.code_bits(), 32);
     }
@@ -171,18 +276,64 @@ mod tests {
         assert_eq!(c.code_bits(), 21);
     }
 
+    /// Table test over every degenerate setting `validate` must reject.
     #[test]
-    #[should_panic(expected = "gamma must be in [0, 1)")]
-    fn rejects_gamma_one() {
-        let c = LightLtConfig { gamma: 1.0, ..Default::default() };
-        c.validate();
+    fn rejects_degenerate_configs() {
+        let cases: Vec<(&'static str, LightLtConfig)> = vec![
+            ("input_dim", LightLtConfig { input_dim: 0, ..Default::default() }),
+            ("backbone_hidden", LightLtConfig { backbone_hidden: 0, ..Default::default() }),
+            ("embed_dim", LightLtConfig { embed_dim: 0, ..Default::default() }),
+            ("num_classes", LightLtConfig { num_classes: 1, ..Default::default() }),
+            ("num_codebooks", LightLtConfig { num_codebooks: 0, ..Default::default() }),
+            ("num_codewords", LightLtConfig { num_codewords: 1, ..Default::default() }),
+            ("ffn_hidden", LightLtConfig { ffn_hidden: 0, ..Default::default() }),
+            ("temperature", LightLtConfig { temperature: 0.0, ..Default::default() }),
+            ("temperature", LightLtConfig { temperature: f32::NAN, ..Default::default() }),
+            ("gamma", LightLtConfig { gamma: 1.0, ..Default::default() }),
+            ("gamma", LightLtConfig { gamma: -0.1, ..Default::default() }),
+            ("alpha", LightLtConfig { alpha: -0.5, ..Default::default() }),
+            ("tau", LightLtConfig { tau: 0.0, ..Default::default() }),
+            ("epochs", LightLtConfig { epochs: 0, ..Default::default() }),
+            ("batch_size", LightLtConfig { batch_size: 0, ..Default::default() }),
+            ("learning_rate", LightLtConfig { learning_rate: 0.0, ..Default::default() }),
+            ("learning_rate", LightLtConfig { learning_rate: -1e-3, ..Default::default() }),
+            (
+                "learning_rate",
+                LightLtConfig { learning_rate: f32::INFINITY, ..Default::default() },
+            ),
+            ("warmup_fraction", LightLtConfig { warmup_fraction: 1.5, ..Default::default() }),
+            (
+                "skip_warmup_fraction",
+                LightLtConfig { skip_warmup_fraction: -0.2, ..Default::default() },
+            ),
+            ("grad_clip", LightLtConfig { grad_clip: -1.0, ..Default::default() }),
+            ("ensemble_size", LightLtConfig { ensemble_size: 0, ..Default::default() }),
+            (
+                "fault.lr_backoff",
+                LightLtConfig {
+                    fault: FaultPolicy { lr_backoff: 0.0, ..Default::default() },
+                    ..Default::default()
+                },
+            ),
+            (
+                "fault.divergence_factor",
+                LightLtConfig {
+                    fault: FaultPolicy { divergence_factor: 1.0, ..Default::default() },
+                    ..Default::default()
+                },
+            ),
+        ];
+        for (field, config) in cases {
+            let got = config.validate().expect_err(field).field;
+            assert_eq!(got, field, "wrong field blamed");
+        }
     }
 
     #[test]
-    #[should_panic(expected = "temperature must be positive")]
-    fn rejects_zero_temperature() {
-        let c = LightLtConfig { temperature: 0.0, ..Default::default() };
-        c.validate();
+    fn config_error_display_names_field() {
+        let err = LightLtConfig { gamma: 1.0, ..Default::default() }.validate().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("gamma") && msg.contains("[0, 1)"), "{msg}");
     }
 
     #[test]
@@ -190,7 +341,18 @@ mod tests {
         let c = LightLtConfig::default();
         let json = serde_json::to_string(&c).unwrap();
         let back: LightLtConfig = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.num_codebooks, c.num_codebooks);
-        assert_eq!(back.topology, c.topology);
+        assert_eq!(back, c);
+    }
+
+    /// Configs serialized before the fault policy existed must still load,
+    /// picking up the default policy.
+    #[test]
+    fn serde_defaults_missing_fault_policy() {
+        let mut v: serde_json::Value =
+            serde_json::from_str(&serde_json::to_string(&LightLtConfig::default()).unwrap())
+                .unwrap();
+        v.as_object_mut().unwrap().remove("fault");
+        let back: LightLtConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(back.fault, FaultPolicy::default());
     }
 }

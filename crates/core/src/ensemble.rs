@@ -21,6 +21,14 @@
 //!    prototype parameters perturbed by per-branch noise (the "different
 //!    initializations") and trained further with a per-branch data order.
 //! 3. **Average** (Eqn. 23) and **DSQ fine-tune** (Algorithm 1 line 8).
+//!
+//! **Fault tolerance.** [`train_ensemble_resumable`] checkpoints every
+//! stage into its own file (`shared.ckpt`, `branch-<i>.ckpt`,
+//! `finetune.ckpt`); rerunning it after an interruption skips completed
+//! stages instantly and continues the interrupted one mid-run, yielding
+//! the same weights an uninterrupted run would.
+
+use std::path::Path;
 
 use crossbeam::thread;
 use lt_data::Dataset;
@@ -31,8 +39,9 @@ use rand_distr::{Distribution, Normal};
 use crate::backbone::BACKBONE_PREFIX;
 use crate::config::LightLtConfig;
 use crate::dsq::DSQ_PREFIX;
+use crate::fault::TrainError;
 use crate::model::{LightLt, PROTO_PREFIX};
-use crate::trainer::{train, train_base_model, TrainHistory};
+use crate::trainer::{train_with_options, CheckpointSpec, TrainHistory, TrainOptions};
 
 /// Outcome of the full ensemble pipeline.
 #[derive(Debug)]
@@ -70,54 +79,115 @@ fn perturb_heads(store: &mut ParamStore, std: f32, seed: u64) {
 /// → weight average → DSQ fine-tune. With `ensemble_size == 1` this is
 /// exactly one base model (the "LightLT w/o ensemble" rows of
 /// Tables II/III).
-pub fn train_ensemble(config: &LightLtConfig, train_set: &Dataset) -> EnsembleResult {
-    config.validate();
+///
+/// # Errors
+/// Fails on an invalid config, an empty training set, or when any stage's
+/// NaN/divergence guards exhaust their retry budget.
+pub fn train_ensemble(
+    config: &LightLtConfig,
+    train_set: &Dataset,
+) -> Result<EnsembleResult, TrainError> {
+    run_ensemble(config, train_set, None)
+}
+
+/// [`train_ensemble`] with per-stage checkpoints in `checkpoint_dir`.
+///
+/// Each stage writes its own checksummed checkpoint after every epoch
+/// (`shared.ckpt`, `branch-<i>.ckpt`, `finetune.ckpt`). Calling this again
+/// after a crash loads completed stages from disk, resumes the interrupted
+/// stage mid-run, and produces the same weights as an uninterrupted call.
+///
+/// # Errors
+/// Everything [`train_ensemble`] rejects, plus checkpoint I/O failures and
+/// checkpoints written by a different configuration.
+pub fn train_ensemble_resumable(
+    config: &LightLtConfig,
+    train_set: &Dataset,
+    checkpoint_dir: &Path,
+) -> Result<EnsembleResult, TrainError> {
+    run_ensemble(config, train_set, Some(checkpoint_dir))
+}
+
+fn run_ensemble(
+    config: &LightLtConfig,
+    train_set: &Dataset,
+    ckpt_dir: Option<&Path>,
+) -> Result<EnsembleResult, TrainError> {
+    config.validate()?;
+    if train_set.is_empty() {
+        return Err(TrainError::EmptyTrainingSet);
+    }
     let n = config.ensemble_size;
+    let spec_for = |stage: &str| ckpt_dir.map(|dir| CheckpointSpec::new(dir, stage));
 
     // Shared stage (also the whole pipeline when n == 1).
-    let (model, shared_store, shared_history) = train_base_model(config, train_set, 0);
+    let (mut model, mut shared_store) = LightLt::new(config, 0);
+    model.set_class_counts(&train_set.class_counts());
+    let shared_history = train_with_options(
+        &model,
+        &mut shared_store,
+        train_set,
+        &TrainOptions {
+            checkpoint: spec_for("shared"),
+            resume: ckpt_dir.is_some(),
+            ..TrainOptions::default()
+        },
+    )?;
     if n == 1 {
-        return EnsembleResult {
+        return Ok(EnsembleResult {
             model,
             store: shared_store,
             base_histories: vec![shared_history],
             finetune_history: TrainHistory::default(),
-        };
+        });
     }
 
-    // Branch stage: n perturbed copies trained in parallel.
-    let branch_runs: Vec<(ParamStore, TrainHistory)> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .map(|i| {
-                let config = config.clone();
-                let mut store = shared_store.clone();
-                let mut branch_model = model.clone();
-                let train_set = &train_set;
-                scope.spawn(move |_| {
-                    branch_model.seed_offset = i as u64 + 1;
-                    // Branch 0 keeps the shared weights unperturbed; later
-                    // branches get noisy head re-initializations.
-                    if i > 0 {
-                        perturb_heads(
+    // Branch stage: n perturbed copies trained in parallel. Each branch
+    // checkpoints under its own stage name, so a completed branch is
+    // loaded back instantly on resume.
+    let branch_outcomes: Vec<Result<(ParamStore, TrainHistory), TrainError>> =
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let config = config.clone();
+                    let mut store = shared_store.clone();
+                    let mut branch_model = model.clone();
+                    let spec = spec_for(&format!("branch-{i}"));
+                    scope.spawn(move |_| -> Result<(ParamStore, TrainHistory), TrainError> {
+                        branch_model.seed_offset = i as u64 + 1;
+                        // Branch 0 keeps the shared weights unperturbed;
+                        // later branches get noisy head re-initializations.
+                        // (On resume a loaded checkpoint replaces the
+                        // perturbed store wholesale, so this stays
+                        // deterministic either way.)
+                        if i > 0 {
+                            perturb_heads(
+                                &mut store,
+                                config.ensemble_perturb_std,
+                                config.seed.wrapping_add(1000 + i as u64),
+                            );
+                        }
+                        let resume = spec.is_some();
+                        let history = train_with_options(
+                            &branch_model,
                             &mut store,
-                            config.ensemble_perturb_std,
-                            config.seed.wrapping_add(1000 + i as u64),
-                        );
-                    }
-                    let history = train(
-                        &branch_model,
-                        &mut store,
-                        train_set,
-                        None,
-                        Some(config.ensemble_branch_epochs),
-                    );
-                    (store, history)
+                            train_set,
+                            &TrainOptions {
+                                epochs_override: Some(config.ensemble_branch_epochs),
+                                checkpoint: spec,
+                                resume,
+                                ..TrainOptions::default()
+                            },
+                        )?;
+                        Ok((store, history))
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("branch thread panicked")).collect()
-    })
-    .expect("ensemble branch scope panicked");
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("branch thread panicked")).collect()
+        })
+        .expect("ensemble branch scope panicked");
+    let branch_runs: Vec<(ParamStore, TrainHistory)> =
+        branch_outcomes.into_iter().collect::<Result<_, _>>()?;
 
     let mut base_histories = vec![shared_history];
     base_histories.extend(branch_runs.iter().map(|(_, h)| h.clone()));
@@ -128,21 +198,25 @@ pub fn train_ensemble(config: &LightLtConfig, train_set: &Dataset) -> EnsembleRe
 
     // Algorithm 1 line 8: freeze everything but DSQ, fine-tune to re-align
     // codebooks.
-    let mut model = model;
     model.set_class_counts(&train_set.class_counts());
     let mut trainable = averaged.ids_with_prefix(DSQ_PREFIX);
     if config.finetune_prototypes {
         trainable.extend(averaged.ids_with_prefix(PROTO_PREFIX));
     }
-    let finetune_history = train(
+    let finetune_history = train_with_options(
         &model,
         &mut averaged,
         train_set,
-        Some(&trainable),
-        Some(config.finetune_epochs),
-    );
+        &TrainOptions {
+            trainable: Some(&trainable),
+            epochs_override: Some(config.finetune_epochs),
+            checkpoint: spec_for("finetune"),
+            resume: ckpt_dir.is_some(),
+            ..TrainOptions::default()
+        },
+    )?;
 
-    EnsembleResult { model, store: averaged, base_histories, finetune_history }
+    Ok(EnsembleResult { model, store: averaged, base_histories, finetune_history })
 }
 
 #[cfg(test)]
@@ -187,7 +261,7 @@ mod tests {
     #[test]
     fn single_model_skips_finetune() {
         let split = tiny_split();
-        let res = train_ensemble(&tiny_config(1), &split.train);
+        let res = train_ensemble(&tiny_config(1), &split.train).unwrap();
         assert_eq!(res.base_histories.len(), 1);
         assert!(res.finetune_history.epochs.is_empty());
     }
@@ -195,13 +269,23 @@ mod tests {
     #[test]
     fn ensemble_averages_and_finetunes() {
         let split = tiny_split();
-        let res = train_ensemble(&tiny_config(2), &split.train);
+        let res = train_ensemble(&tiny_config(2), &split.train).unwrap();
         // Shared stage + 2 branches.
         assert_eq!(res.base_histories.len(), 3);
         assert_eq!(res.finetune_history.epochs.len(), 2);
         // The result store has the same schema as a fresh model.
         let (_, fresh) = LightLt::new(&tiny_config(2), 0);
         assert!(res.store.schema_matches(&fresh));
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let split = tiny_split();
+        let cfg = LightLtConfig { num_codewords: 1, ..tiny_config(2) };
+        assert!(matches!(
+            train_ensemble(&cfg, &split.train),
+            Err(TrainError::Config(_))
+        ));
     }
 
     #[test]
@@ -229,7 +313,7 @@ mod tests {
     fn finetune_only_moves_dsq() {
         let split = tiny_split();
         let cfg = tiny_config(2);
-        let res = train_ensemble(&cfg, &split.train);
+        let res = train_ensemble(&cfg, &split.train).unwrap();
         // Rebuild the pre-finetune average to compare the frozen parts:
         // frozen parameters in the result must equal a plain average of the
         // branch stores. We can't easily reconstruct the branches here, but
@@ -238,7 +322,7 @@ mod tests {
         // the frozen parts across two identical runs plus movement of DSQ
         // relative to a run with zero fine-tune epochs.
         let cfg_no_ft = LightLtConfig { finetune_epochs: 0, ..cfg.clone() };
-        let res_no_ft = train_ensemble(&cfg_no_ft, &split.train);
+        let res_no_ft = train_ensemble(&cfg_no_ft, &split.train).unwrap();
         let bb = res.store.id_of("backbone.0.weight").unwrap();
         assert_eq!(
             res.store.value(bb),
@@ -257,9 +341,30 @@ mod tests {
     fn ensemble_is_deterministic() {
         let split = tiny_split();
         let cfg = tiny_config(2);
-        let a = train_ensemble(&cfg, &split.train);
-        let b = train_ensemble(&cfg, &split.train);
+        let a = train_ensemble(&cfg, &split.train).unwrap();
+        let b = train_ensemble(&cfg, &split.train).unwrap();
         let id = a.store.id_of("dsq.p.0").unwrap();
         assert_eq!(a.store.value(id), b.store.value(id));
+    }
+
+    #[test]
+    fn resumable_matches_plain_ensemble() {
+        let split = tiny_split();
+        let cfg = tiny_config(2);
+        let dir = std::env::temp_dir()
+            .join(format!("lightlt_ensemble_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let plain = train_ensemble(&cfg, &split.train).unwrap();
+        let ckpt = train_ensemble_resumable(&cfg, &split.train, &dir).unwrap();
+        // A rerun over the completed checkpoints is a fast no-op.
+        let rerun = train_ensemble_resumable(&cfg, &split.train, &dir).unwrap();
+
+        for (id, p) in plain.store.iter() {
+            assert_eq!(p.value, *ckpt.store.value(id), "checkpointed run diverged: {}", p.name);
+            assert_eq!(p.value, *rerun.store.value(id), "rerun diverged: {}", p.name);
+        }
+        assert_eq!(plain.finetune_history, ckpt.finetune_history);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,194 @@
+//! Fault model of the training stack: typed training errors, the guard
+//! verdicts that trigger retries, and a deterministic fault-injection plan
+//! used by the integration tests to prove recovery behavior.
+
+use std::fmt;
+
+use crate::checkpoint::CheckpointError;
+use crate::config::ConfigError;
+
+/// Which per-step guard tripped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardTrip {
+    /// The batch loss was NaN or infinite.
+    NonFiniteLoss,
+    /// The global gradient norm was NaN or infinite.
+    NonFiniteGradNorm,
+    /// The batch loss exceeded `divergence_factor ×` the best loss seen.
+    Diverged {
+        /// The offending batch loss.
+        loss: f32,
+        /// Best (lowest) batch loss seen before the trip.
+        best: f32,
+    },
+}
+
+impl fmt::Display for GuardTrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GuardTrip::NonFiniteLoss => write!(f, "non-finite loss"),
+            GuardTrip::NonFiniteGradNorm => write!(f, "non-finite gradient norm"),
+            GuardTrip::Diverged { loss, best } => {
+                write!(f, "loss diverged ({loss:.4} vs best {best:.4})")
+            }
+        }
+    }
+}
+
+/// Error returned by the fallible training APIs.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The configuration failed [`LightLtConfig::validate`](crate::config::LightLtConfig::validate).
+    Config(ConfigError),
+    /// The training set has no items.
+    EmptyTrainingSet,
+    /// `tune_alpha` was called with an empty candidate grid.
+    NoAlphaCandidates,
+    /// Every alpha candidate produced a non-finite validation MAP.
+    NonFiniteValidationMap,
+    /// A guard tripped and the retry budget is exhausted.
+    RetriesExhausted {
+        /// Retries performed before giving up.
+        retries: usize,
+        /// Global step at which the final trip occurred.
+        step: usize,
+        /// The final guard verdict.
+        reason: GuardTrip,
+    },
+    /// A [`FaultPlan`] kill point was reached (test-only simulated crash).
+    SimulatedKill {
+        /// Epoch after which the simulated kill fired.
+        epoch: usize,
+    },
+    /// Checkpoint persistence failed or a checkpoint was rejected.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Config(e) => write!(f, "{e}"),
+            TrainError::EmptyTrainingSet => write!(f, "training set is empty"),
+            TrainError::NoAlphaCandidates => {
+                write!(f, "need at least one alpha candidate")
+            }
+            TrainError::NonFiniteValidationMap => {
+                write!(f, "validation MAP was non-finite for every alpha candidate")
+            }
+            TrainError::RetriesExhausted { retries, step, reason } => write!(
+                f,
+                "training failed at step {step} after {retries} retries: {reason}"
+            ),
+            TrainError::SimulatedKill { epoch } => {
+                write!(f, "simulated kill after epoch {epoch}")
+            }
+            TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<ConfigError> for TrainError {
+    fn from(e: ConfigError) -> Self {
+        TrainError::Config(e)
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// A deterministic fault-injection plan for the training loop.
+///
+/// Used by the fault-tolerance integration tests: inject a NaN into the
+/// gradients at a given global step (exercising the guard + retry path), or
+/// simulate a crash after a given epoch's checkpoint is written (exercising
+/// kill-and-resume). An empty plan (the default) injects nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    nan_steps: Vec<usize>,
+    kill_after: Option<usize>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Poisons one gradient entry with NaN at global step `step`. Each call
+    /// arms one injection; repeating the same step re-injects on the retry
+    /// of that step.
+    pub fn nan_at_step(mut self, step: usize) -> Self {
+        self.nan_steps.push(step);
+        self
+    }
+
+    /// Simulates a crash (returns [`TrainError::SimulatedKill`]) right
+    /// after epoch `epoch` completes and its checkpoint is written.
+    pub fn kill_after_epoch(mut self, epoch: usize) -> Self {
+        self.kill_after = Some(epoch);
+        self
+    }
+
+    /// True when the plan has no armed faults.
+    pub fn is_empty(&self) -> bool {
+        self.nan_steps.is_empty() && self.kill_after.is_none()
+    }
+
+    /// Consumes one armed NaN injection for `step`, if any.
+    pub(crate) fn take_nan(&mut self, step: usize) -> bool {
+        match self.nan_steps.iter().position(|&s| s == step) {
+            Some(i) => {
+                self.nan_steps.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True when the plan kills the run after `epoch`.
+    pub(crate) fn should_kill(&self, epoch: usize) -> bool {
+        self.kill_after == Some(epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_consumes_injections_once_each() {
+        let mut plan = FaultPlan::none().nan_at_step(3).nan_at_step(3).nan_at_step(7);
+        assert!(!plan.is_empty());
+        assert!(!plan.take_nan(2));
+        assert!(plan.take_nan(3));
+        assert!(plan.take_nan(3), "second armed injection at the same step");
+        assert!(!plan.take_nan(3), "both consumed");
+        assert!(plan.take_nan(7));
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn kill_point_matches_exact_epoch() {
+        let plan = FaultPlan::none().kill_after_epoch(2);
+        assert!(!plan.should_kill(1));
+        assert!(plan.should_kill(2));
+        assert!(!plan.should_kill(3));
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        let e = TrainError::RetriesExhausted {
+            retries: 3,
+            step: 41,
+            reason: GuardTrip::NonFiniteLoss,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("step 41") && msg.contains("3 retries"), "{msg}");
+        assert!(TrainError::EmptyTrainingSet.to_string().contains("empty"));
+    }
+}

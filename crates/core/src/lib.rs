@@ -17,6 +17,10 @@
 //! | ADC lookup-table search (Section IV-B) | [`search`] |
 //! | Space/inference complexity (Section IV) | [`complexity`] |
 //!
+//! Training is fault-tolerant: NaN/divergence guards with retry-backoff
+//! live in [`trainer`] and [`fault`], and checksummed atomic checkpoints
+//! for killed-and-resumed runs in [`checkpoint`].
+//!
 //! # Quickstart
 //!
 //! ```
@@ -34,7 +38,7 @@
 //!     num_codebooks: 2, num_codewords: 8, ffn_hidden: 8,
 //!     epochs: 2, ensemble_size: 1, ..Default::default()
 //! };
-//! let result = train_ensemble(&config, &split.train);
+//! let result = train_ensemble(&config, &split.train).expect("training failed");
 //! // Index the database and search with a query.
 //! let db_emb = result.model.embed(&result.store, &split.database.features);
 //! let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
@@ -46,11 +50,14 @@
 #![warn(missing_docs)]
 
 pub mod backbone;
+pub mod checkpoint;
+pub mod checksum;
 pub mod codec;
 pub mod complexity;
 pub mod config;
 pub mod dsq;
 pub mod ensemble;
+pub mod fault;
 pub mod index;
 pub mod loss;
 pub mod model;
@@ -60,10 +67,12 @@ pub mod trainer;
 
 /// Common imports for downstream users.
 pub mod prelude {
+    pub use crate::checkpoint::{checkpoint_path, Checkpoint, CheckpointError};
     pub use crate::complexity::ComplexityModel;
-    pub use crate::config::{CodebookTopology, LightLtConfig, ScheduleKind};
+    pub use crate::config::{CodebookTopology, ConfigError, FaultPolicy, LightLtConfig, ScheduleKind};
     pub use crate::dsq::{Codes, Dsq};
-    pub use crate::ensemble::{train_ensemble, EnsembleResult};
+    pub use crate::ensemble::{train_ensemble, train_ensemble_resumable, EnsembleResult};
+    pub use crate::fault::{FaultPlan, GuardTrip, TrainError};
     pub use crate::index::QuantizedIndex;
     pub use crate::loss::{class_weights, LossBreakdown};
     pub use crate::model::LightLt;
@@ -72,7 +81,10 @@ pub mod prelude {
         adc_search, adc_search_batch, adc_search_batch_parallel, adc_search_rerank,
         exhaustive_search,
     };
-    pub use crate::trainer::{train, train_base_model, tune_alpha, TrainHistory};
+    pub use crate::trainer::{
+        resume, train, train_base_model, train_resumable, train_with_options, tune_alpha,
+        CheckpointSpec, TrainHistory, TrainOptions,
+    };
 }
 
 pub use prelude::*;

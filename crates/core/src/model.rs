@@ -50,8 +50,15 @@ impl LightLt {
     /// the averaged models share a loss basin. So the backbone here is
     /// seeded from `config.seed` alone, while DSQ, classifier, and
     /// prototypes are seeded from `config.seed + seed_offset`.
+    /// # Panics
+    /// Panics on a degenerate config — fallible entry points
+    /// ([`crate::trainer::train_base_model`], [`crate::train_ensemble`])
+    /// validate first and return [`crate::fault::TrainError::Config`]
+    /// instead; reaching this panic means a caller skipped validation.
     pub fn new(config: &LightLtConfig, seed_offset: u64) -> (Self, ParamStore) {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         let mut store = ParamStore::new();
         let mut backbone_rng = StdRng::seed_from_u64(config.seed);
         let mut head_rng = StdRng::seed_from_u64(

@@ -7,13 +7,16 @@
 //!   identical [`LightLt`] + [`ParamStore`] pair.
 //! * **Index images** — a compact binary layout for a [`QuantizedIndex`]:
 //!   fixed little-endian header, raw `f32` codebooks, *bit-packed* codes
-//!   (the paper's `M·log2(K)/8` bytes per item), and per-item norms.
+//!   (the paper's `M·log2(K)/8` bytes per item), per-item norms, and a
+//!   trailing CRC32 so on-disk corruption is caught at load time. Images
+//!   written by the pre-checksum `LTINDEX1` format are still readable.
 
 use bytes::{Buf, BufMut, BytesMut};
 use lt_linalg::{Matrix, Metric};
 use lt_tensor::ParamStore;
 use serde::{Deserialize, Serialize};
 
+use crate::checksum::crc32;
 use crate::codec::{bits_per_id, pack_codes, unpack_codes};
 use crate::config::LightLtConfig;
 use crate::index::QuantizedIndex;
@@ -37,8 +40,11 @@ pub struct ModelBundle {
 /// Current bundle format version.
 pub const BUNDLE_VERSION: u32 = 1;
 
-/// Magic bytes of the binary index image.
-pub const INDEX_MAGIC: &[u8; 8] = b"LTINDEX1";
+/// Magic bytes of the binary index image (v2: CRC32-checksummed).
+pub const INDEX_MAGIC: &[u8; 8] = b"LTINDEX2";
+
+/// Magic bytes of the legacy v1 index image (no checksum); still readable.
+pub const INDEX_MAGIC_V1: &[u8; 8] = b"LTINDEX1";
 
 impl ModelBundle {
     /// Captures a trained model and its weights.
@@ -52,8 +58,12 @@ impl ModelBundle {
     }
 
     /// Serializes to JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("bundle serialization cannot fail")
+    ///
+    /// # Errors
+    /// Returns a message when serialization fails (e.g. a non-finite float
+    /// smuggled into the config by a caller that skipped validation).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string(self).map_err(|e| format!("bundle serialization failed: {e}"))
     }
 
     /// Restores from JSON.
@@ -77,9 +87,10 @@ impl ModelBundle {
     /// its schema.
     ///
     /// # Errors
-    /// Returns a message when weight names/shapes disagree with the
-    /// architecture the config describes.
+    /// Returns a message when the stored config is degenerate or weight
+    /// names/shapes disagree with the architecture the config describes.
     pub fn restore(&self) -> Result<(LightLt, ParamStore), String> {
+        self.config.validate().map_err(|e| e.to_string())?;
         let (model, fresh) = LightLt::new(&self.config, self.seed_offset);
         if !fresh.schema_matches(&self.store) {
             return Err("stored weights do not match the config's architecture".into());
@@ -118,18 +129,41 @@ pub fn serialize_index(index: &QuantizedIndex) -> Vec<u8> {
     for i in 0..n {
         buf.put_f32_le(index.recon_norm_sq(i));
     }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
     buf.to_vec()
 }
 
-/// Restores a [`QuantizedIndex`] from an index image.
+/// Restores a [`QuantizedIndex`] from an index image (current `LTINDEX2`
+/// with checksum verification, or legacy `LTINDEX1` without).
 ///
 /// # Errors
-/// Returns a message on bad magic, truncation, or inconsistent sizes.
+/// Returns a message on bad magic, truncation, a checksum mismatch, or
+/// inconsistent sizes.
 pub fn deserialize_index(bytes: &[u8]) -> Result<QuantizedIndex, String> {
-    let mut buf = bytes;
-    if buf.remaining() < INDEX_MAGIC.len() || &buf[..INDEX_MAGIC.len()] != INDEX_MAGIC {
+    if bytes.len() < INDEX_MAGIC.len() {
         return Err("bad index magic".into());
     }
+    let body = if &bytes[..INDEX_MAGIC.len()] == INDEX_MAGIC {
+        // v2: the last four bytes are a little-endian CRC32 of the rest.
+        if bytes.len() < INDEX_MAGIC.len() + 4 {
+            return Err("truncated index image".into());
+        }
+        let (body, footer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(footer.try_into().expect("footer is 4 bytes"));
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(format!(
+                "index image checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ));
+        }
+        body
+    } else if &bytes[..INDEX_MAGIC.len()] == INDEX_MAGIC_V1 {
+        bytes
+    } else {
+        return Err("bad index magic".into());
+    };
+    let mut buf = body;
     buf.advance(INDEX_MAGIC.len());
     if buf.remaining() < 1 + 4 + 4 + 4 + 8 {
         return Err("truncated index header".into());
@@ -214,7 +248,7 @@ mod tests {
     fn bundle_roundtrip_preserves_weights_and_behaviour() {
         let (model, store) = trained_pair();
         let bundle = ModelBundle::capture(&model, &store);
-        let json = bundle.to_json();
+        let json = bundle.to_json().unwrap();
         let restored = ModelBundle::from_json(&json).unwrap();
         let (model2, store2) = restored.restore().unwrap();
 
@@ -232,8 +266,17 @@ mod tests {
         let (model, store) = trained_pair();
         let mut bundle = ModelBundle::capture(&model, &store);
         bundle.version = 999;
-        let json = bundle.to_json();
+        let json = bundle.to_json().unwrap();
         assert!(ModelBundle::from_json(&json).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn bundle_rejects_degenerate_config() {
+        let (model, store) = trained_pair();
+        let mut bundle = ModelBundle::capture(&model, &store);
+        bundle.config.num_codebooks = 0; // would panic in LightLt::new
+        let err = bundle.restore().unwrap_err();
+        assert!(err.contains("num_codebooks"), "unexpected error: {err}");
     }
 
     #[test]
@@ -293,9 +336,43 @@ mod tests {
                 "truncation at {cut} not detected"
             );
         }
-        // Corrupt the packed-length field (bytes 21..29).
+        // Corrupt the item-count field (bytes 21..29).
         bytes[21] = bytes[21].wrapping_add(1);
         assert!(deserialize_index(&bytes).is_err());
+    }
+
+    #[test]
+    fn index_image_checksum_catches_single_bit_flip() {
+        let index = build_index();
+        let clean = serialize_index(&index);
+        // A single flipped bit anywhere in the body must be rejected, even
+        // where it would still parse structurally (codebook floats, norms).
+        for pos in [40usize, clean.len() / 2, clean.len() - 6] {
+            let mut corrupted = clean.clone();
+            corrupted[pos] ^= 0x01;
+            let err = deserialize_index(&corrupted).unwrap_err();
+            assert!(
+                err.contains("checksum") || err.contains("magic"),
+                "bit flip at {pos} gave unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_image_reads_legacy_v1_without_checksum() {
+        let index = build_index();
+        let mut bytes = serialize_index(&index);
+        // Rewrite a v2 image as the v1 format: old magic, no CRC footer.
+        bytes.truncate(bytes.len() - 4);
+        bytes[..8].copy_from_slice(INDEX_MAGIC_V1);
+        let restored = deserialize_index(&bytes).unwrap();
+        assert_eq!(restored.len(), index.len());
+        let q = [0.1f32, -0.2, 0.3, 0.0, 0.5, -0.4];
+        let a = adc_search(&index, &q, 5);
+        let b = adc_search(&restored, &q, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+        }
     }
 
     #[test]

@@ -1,16 +1,35 @@
-//! Training loop for a single LightLT base model (Algorithm 1, lines 2–6).
+//! Training loop for a single LightLT base model (Algorithm 1, lines 2–6),
+//! hardened for long runs.
+//!
+//! Every step is guarded: a non-finite loss, a non-finite gradient norm, or
+//! a loss exceeding `divergence_factor ×` the best seen trips a rollback to
+//! the epoch-start snapshot (weights *and* AdamW moments), backs the
+//! learning rate off, reshuffles the data order, and retries — up to
+//! [`FaultPolicy::max_retries`](crate::config::FaultPolicy) times before the
+//! run fails with a typed [`TrainError`]. Training is therefore fallible:
+//! every entry point returns `Result`.
+//!
+//! Runs can also be made restartable: [`train_resumable`] writes a
+//! checksummed [`Checkpoint`] after each epoch, and [`resume`] continues an
+//! interrupted run so that the final weights are bit-for-bit identical to
+//! an uninterrupted run (the `kill_and_resume` integration tests pin this).
+
+use std::path::Path;
 
 use lt_data::{BatchIter, Dataset};
 use lt_tensor::optim::{AdamW, Optimizer};
 use lt_tensor::{LrSchedule, ParamId, ParamStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{checkpoint_path, Checkpoint, CheckpointError, CHECKPOINT_VERSION};
 use crate::config::{LightLtConfig, ScheduleKind};
+use crate::fault::{FaultPlan, GuardTrip, TrainError};
 use crate::model::LightLt;
 
 /// Per-epoch training statistics.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -27,7 +46,7 @@ pub struct EpochStats {
 }
 
 /// Full training history of one run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainHistory {
     /// One entry per epoch.
     pub epochs: Vec<EpochStats>,
@@ -60,104 +79,460 @@ pub fn build_schedule(config: &LightLtConfig, total_steps: usize) -> LrSchedule 
     }
 }
 
+/// Where (and how often) a training run writes its checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Directory the stage checkpoint lives in (created on first write).
+    pub dir: std::path::PathBuf,
+    /// Stage label; also the checkpoint file stem (`<stage>.ckpt`).
+    pub stage: String,
+    /// Write a checkpoint every this many epochs (the final epoch is
+    /// always checkpointed); clamped to at least 1.
+    pub every_epochs: usize,
+}
+
+impl CheckpointSpec {
+    /// Checkpoint every epoch into `dir/<stage>.ckpt`.
+    pub fn new(dir: impl Into<std::path::PathBuf>, stage: impl Into<String>) -> Self {
+        Self { dir: dir.into(), stage: stage.into(), every_epochs: 1 }
+    }
+
+    fn path(&self) -> std::path::PathBuf {
+        checkpoint_path(&self.dir, &self.stage)
+    }
+}
+
+/// Options for [`train_with_options`]; `Default` reproduces plain
+/// [`train`] over all parameters with no checkpointing or fault injection.
+#[derive(Debug, Clone, Default)]
+pub struct TrainOptions<'a> {
+    /// Restrict updates to a parameter subset (`None` = all) — how the
+    /// ensemble fine-tuning stage trains DSQ only.
+    pub trainable: Option<&'a [ParamId]>,
+    /// Train fewer/more epochs than `config.epochs`.
+    pub epochs_override: Option<usize>,
+    /// Write checkpoints when set.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Continue from an existing checkpoint if one is present (requires
+    /// `checkpoint`); a mismatched checkpoint is an error, a missing one a
+    /// fresh start.
+    pub resume: bool,
+    /// Deterministic fault injection (tests only; default injects nothing).
+    pub fault_plan: FaultPlan,
+}
+
+/// The seed of the epoch-shuffle RNG stream — data order varies per
+/// ensemble base model (the paper's stochastic diversity between runs).
+fn data_seed(config: &LightLtConfig, seed_offset: u64) -> u64 {
+    config
+        .seed
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(7)
+        .wrapping_add(seed_offset.wrapping_mul(0x5851_F42D))
+}
+
+/// Mutable bookkeeping of a run, mirrored 1:1 by the checkpoint format.
+struct RunState {
+    next_epoch: usize,
+    step: usize,
+    shuffles: u64,
+    lr_scale: f32,
+    retries: usize,
+    best_loss: f32,
+    history: TrainHistory,
+}
+
+/// Immutable per-run context shared by every epoch.
+struct RunCtx<'a> {
+    config: &'a LightLtConfig,
+    schedule: LrSchedule,
+    all_ids: Vec<ParamId>,
+    warmup_ids: Vec<ParamId>,
+    skip_warmup_steps: usize,
+    steps_per_epoch: usize,
+}
+
 /// Trains `model`'s parameters in `store` on the long-tail training set.
 ///
 /// `trainable` restricts updates to a parameter subset (`None` = all); this
 /// is how the ensemble fine-tuning stage trains DSQ only. `epochs_override`
 /// lets the fine-tuning stage run fewer epochs than `config.epochs`.
+///
+/// # Errors
+/// Fails on an invalid config, an empty training set, or when the
+/// NaN/divergence guards exhaust their retry budget.
 pub fn train(
     model: &LightLt,
     store: &mut ParamStore,
     train_set: &Dataset,
     trainable: Option<&[ParamId]>,
     epochs_override: Option<usize>,
-) -> TrainHistory {
+) -> Result<TrainHistory, TrainError> {
+    train_with_options(
+        model,
+        store,
+        train_set,
+        &TrainOptions { trainable, epochs_override, ..TrainOptions::default() },
+    )
+}
+
+/// [`train`] with checkpointing and resumption: writes `model.ckpt` into
+/// `checkpoint_dir` after every epoch and continues from it when one from
+/// the same run is already there (so calling this again after a crash — or
+/// via [`resume`] — picks up where the run left off).
+///
+/// # Errors
+/// Everything [`train`] rejects, plus checkpoint I/O and mismatched
+/// existing checkpoints.
+pub fn train_resumable(
+    model: &LightLt,
+    store: &mut ParamStore,
+    train_set: &Dataset,
+    checkpoint_dir: &Path,
+) -> Result<TrainHistory, TrainError> {
+    train_with_options(
+        model,
+        store,
+        train_set,
+        &TrainOptions {
+            checkpoint: Some(CheckpointSpec::new(checkpoint_dir, "model")),
+            resume: true,
+            ..TrainOptions::default()
+        },
+    )
+}
+
+/// Continues an interrupted [`train_resumable`] run from its checkpoint,
+/// reconstructing the model from the checkpointed config. The resumed run
+/// finishes with weights bit-for-bit identical to an uninterrupted run.
+///
+/// # Errors
+/// Fails when the checkpoint is missing/corrupt, its config is invalid, or
+/// its weights do not match the architecture the config describes.
+pub fn resume(
+    train_set: &Dataset,
+    checkpoint_dir: &Path,
+) -> Result<(LightLt, ParamStore, TrainHistory), TrainError> {
+    let ck = Checkpoint::load(&checkpoint_path(checkpoint_dir, "model"))?;
+    ck.config.validate()?;
+    let (mut model, mut store) = LightLt::new(&ck.config, ck.seed_offset);
+    if !store.schema_matches(&ck.store) {
+        return Err(CheckpointError::Mismatch(
+            "checkpointed weights do not match the architecture its config describes".into(),
+        )
+        .into());
+    }
+    model.set_class_counts(&train_set.class_counts());
+    let history = train_resumable(&model, &mut store, train_set, checkpoint_dir)?;
+    Ok((model, store, history))
+}
+
+/// The fully-optioned training entry point all others delegate to.
+///
+/// # Errors
+/// See [`TrainError`]; with `resume` set, also every checkpoint reject.
+pub fn train_with_options(
+    model: &LightLt,
+    store: &mut ParamStore,
+    train_set: &Dataset,
+    opts: &TrainOptions<'_>,
+) -> Result<TrainHistory, TrainError> {
     let config = &model.config;
-    let epochs = epochs_override.unwrap_or(config.epochs);
+    config.validate()?;
+    if train_set.is_empty() {
+        return Err(TrainError::EmptyTrainingSet);
+    }
+
+    let epochs = opts.epochs_override.unwrap_or(config.epochs);
     let steps_per_epoch = train_set.len().div_ceil(config.batch_size).max(1);
     let total_steps = (epochs * steps_per_epoch).max(1);
-    let schedule = build_schedule(config, total_steps);
-
-    let mut opt = AdamW::new(config.learning_rate);
     // The codebook-skip parameters (gates + FFN) stay frozen for the first
     // `skip_warmup_fraction` of steps; see `LightLtConfig` docs.
     let skip_warmup_steps =
         (total_steps as f32 * config.skip_warmup_fraction.clamp(0.0, 1.0)).round() as usize;
-    let is_skip_param =
-        |store: &ParamStore, id: ParamId| -> bool {
-            let name = &store.get(id).name;
-            name.starts_with("dsq.gate.") || name.starts_with("dsq.ffn.")
-        };
-    let all_ids: Vec<ParamId> = match trainable {
+    let is_skip_param = |store: &ParamStore, id: ParamId| -> bool {
+        let name = &store.get(id).name;
+        name.starts_with("dsq.gate.") || name.starts_with("dsq.ffn.")
+    };
+    let all_ids: Vec<ParamId> = match opts.trainable {
         Some(ids) => ids.to_vec(),
         None => store.ids(),
     };
     let warmup_ids: Vec<ParamId> =
         all_ids.iter().copied().filter(|&id| !is_skip_param(store, id)).collect();
-    // Data order varies per ensemble base model (the paper's stochastic
-    // diversity between base runs).
-    let mut data_rng = StdRng::seed_from_u64(
-        config
-            .seed
-            .wrapping_mul(0x9E37_79B9)
-            .wrapping_add(7)
-            .wrapping_add(model.seed_offset.wrapping_mul(0x5851_F42D)),
-    );
-    let mut history = TrainHistory::default();
-    let mut step = 0usize;
+    let ctx = RunCtx {
+        config,
+        schedule: build_schedule(config, total_steps),
+        all_ids,
+        warmup_ids,
+        skip_warmup_steps,
+        steps_per_epoch,
+    };
 
-    for epoch in 0..epochs {
-        let mut sums = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        let mut batches = 0usize;
-        for batch in BatchIter::new(train_set, config.batch_size, &mut data_rng) {
-            store.zero_grads();
-            let (breakdown, _) = model.loss_on_batch(store, &batch.features, &batch.labels);
+    let mut opt = AdamW::new(config.learning_rate);
+    let mut state = RunState {
+        next_epoch: 0,
+        step: 0,
+        shuffles: 0,
+        lr_scale: 1.0,
+        retries: 0,
+        best_loss: f32::INFINITY,
+        history: TrainHistory::default(),
+    };
 
-            if config.grad_clip > 0.0 {
-                let norm = store.grad_norm();
-                if norm > config.grad_clip {
-                    store.scale_grads(config.grad_clip / norm);
+    if opts.resume {
+        if let Some(spec) = &opts.checkpoint {
+            let path = spec.path();
+            if path.exists() {
+                let ck = Checkpoint::load(&path)?;
+                verify_resume(&ck, model, store, spec, epochs)?;
+                *store = ck.store;
+                opt = ck.optimizer;
+                state = RunState {
+                    next_epoch: ck.next_epoch,
+                    step: ck.step,
+                    shuffles: ck.shuffles_drawn,
+                    lr_scale: ck.lr_scale,
+                    retries: ck.retries_used,
+                    best_loss: ck.best_loss.unwrap_or(f32::INFINITY),
+                    history: ck.history,
+                };
+            }
+        }
+    }
+    if state.next_epoch >= epochs {
+        return Ok(state.history);
+    }
+
+    // Restore the data-RNG state: the stream is a pure function of the
+    // seed, so replaying the checkpointed number of epoch shuffles lands
+    // the generator exactly where the interrupted run left it.
+    let mut data_rng = StdRng::seed_from_u64(data_seed(config, model.seed_offset));
+    for _ in 0..state.shuffles {
+        let _ = BatchIter::new(train_set, config.batch_size, &mut data_rng);
+    }
+
+    let mut plan = opts.fault_plan.clone();
+    while state.next_epoch < epochs {
+        let epoch = state.next_epoch;
+        // Last-good snapshot the guards roll back to: weights, moments,
+        // and schedule position as of the top of the epoch.
+        let snap_store = store.clone();
+        let snap_opt = opt.clone();
+        let snap_step = state.step;
+
+        state.shuffles += 1;
+        let outcome = run_epoch(
+            &ctx,
+            model,
+            store,
+            &mut opt,
+            train_set,
+            &mut data_rng,
+            epoch,
+            &mut state.step,
+            state.lr_scale,
+            &mut state.best_loss,
+            &mut plan,
+        );
+        match outcome {
+            Ok(stats) => {
+                state.history.epochs.push(stats);
+                state.next_epoch += 1;
+                if let Some(spec) = &opts.checkpoint {
+                    let due = state.next_epoch == epochs
+                        || state.next_epoch % spec.every_epochs.max(1) == 0;
+                    if due {
+                        write_checkpoint(spec, model, store, &opt, &state, epochs)?;
+                    }
+                }
+                if plan.should_kill(epoch) {
+                    return Err(TrainError::SimulatedKill { epoch });
                 }
             }
-
-            opt.set_lr(schedule.at(step));
-            if step < skip_warmup_steps {
-                opt.step_subset(store, &warmup_ids);
-            } else {
-                opt.step_subset(store, &all_ids);
+            Err(trip) => {
+                if state.retries >= config.fault.max_retries {
+                    return Err(TrainError::RetriesExhausted {
+                        retries: state.retries,
+                        step: state.step,
+                        reason: trip,
+                    });
+                }
+                state.retries += 1;
+                // Roll back to the last-good state; the next attempt sees a
+                // reduced LR and a freshly-drawn data order.
+                *store = snap_store;
+                opt = snap_opt;
+                state.step = snap_step;
+                state.lr_scale *= config.fault.lr_backoff;
             }
-            step += 1;
-            sums.0 += breakdown.total;
-            sums.1 += breakdown.ce;
-            sums.2 += breakdown.center;
-            sums.3 += breakdown.ranking;
-            batches += 1;
         }
-        let inv = 1.0 / batches.max(1) as f32;
-        history.epochs.push(EpochStats {
-            epoch,
-            loss: sums.0 * inv,
-            ce: sums.1 * inv,
-            center: sums.2 * inv,
-            ranking: sums.3 * inv,
-            lr: schedule.at(step.saturating_sub(1)),
-        });
     }
-    history
+    debug_assert!(store.all_finite(), "guards let a non-finite weight through");
+    Ok(state.history)
+}
+
+/// One epoch over freshly shuffled batches; stops at the first tripped
+/// guard without touching the history.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    ctx: &RunCtx<'_>,
+    model: &LightLt,
+    store: &mut ParamStore,
+    opt: &mut AdamW,
+    train_set: &Dataset,
+    data_rng: &mut StdRng,
+    epoch: usize,
+    step: &mut usize,
+    lr_scale: f32,
+    best_loss: &mut f32,
+    plan: &mut FaultPlan,
+) -> Result<EpochStats, GuardTrip> {
+    let config = ctx.config;
+    let mut sums = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let mut batches = 0usize;
+    for batch in BatchIter::new(train_set, config.batch_size, data_rng) {
+        store.zero_grads();
+        let (breakdown, _) = model.loss_on_batch(store, &batch.features, &batch.labels);
+        if plan.take_nan(*step) {
+            // Fault injection: poison one gradient entry. The guard below
+            // must catch it before it can reach the parameter store.
+            let id = ctx.all_ids[0];
+            store.get_mut(id).grad.as_mut_slice()[0] = f32::NAN;
+        }
+
+        if !breakdown.total.is_finite() {
+            return Err(GuardTrip::NonFiniteLoss);
+        }
+        let norm = store.grad_norm();
+        if !norm.is_finite() {
+            return Err(GuardTrip::NonFiniteGradNorm);
+        }
+        // Divergence detector, after a one-epoch grace period: a batch loss
+        // far above the best ever seen means the run has blown up even if
+        // every value is still finite.
+        if *step >= ctx.steps_per_epoch
+            && best_loss.is_finite()
+            && breakdown.total > config.fault.divergence_factor * best_loss.max(1e-3)
+        {
+            return Err(GuardTrip::Diverged { loss: breakdown.total, best: *best_loss });
+        }
+        *best_loss = best_loss.min(breakdown.total);
+
+        if config.grad_clip > 0.0 && norm > config.grad_clip {
+            store.scale_grads(config.grad_clip / norm);
+        }
+        opt.set_lr(ctx.schedule.at(*step) * lr_scale);
+        if *step < ctx.skip_warmup_steps {
+            opt.step_subset(store, &ctx.warmup_ids);
+        } else {
+            opt.step_subset(store, &ctx.all_ids);
+        }
+        *step += 1;
+        sums.0 += breakdown.total;
+        sums.1 += breakdown.ce;
+        sums.2 += breakdown.center;
+        sums.3 += breakdown.ranking;
+        batches += 1;
+    }
+    let inv = 1.0 / batches.max(1) as f32;
+    Ok(EpochStats {
+        epoch,
+        loss: sums.0 * inv,
+        ce: sums.1 * inv,
+        center: sums.2 * inv,
+        ranking: sums.3 * inv,
+        lr: ctx.schedule.at(step.saturating_sub(1)) * lr_scale,
+    })
+}
+
+fn write_checkpoint(
+    spec: &CheckpointSpec,
+    model: &LightLt,
+    store: &ParamStore,
+    opt: &AdamW,
+    state: &RunState,
+    target_epochs: usize,
+) -> Result<(), CheckpointError> {
+    let ck = Checkpoint {
+        version: CHECKPOINT_VERSION,
+        stage: spec.stage.clone(),
+        config: model.config.clone(),
+        seed_offset: model.seed_offset,
+        next_epoch: state.next_epoch,
+        target_epochs,
+        step: state.step,
+        shuffles_drawn: state.shuffles,
+        lr_scale: state.lr_scale,
+        retries_used: state.retries,
+        best_loss: state.best_loss.is_finite().then_some(state.best_loss),
+        history: state.history.clone(),
+        store: store.clone(),
+        optimizer: opt.clone(),
+    };
+    ck.save_atomic(&spec.path())
+}
+
+/// A checkpoint may only resume the run that wrote it.
+fn verify_resume(
+    ck: &Checkpoint,
+    model: &LightLt,
+    store: &ParamStore,
+    spec: &CheckpointSpec,
+    epochs: usize,
+) -> Result<(), CheckpointError> {
+    if ck.stage != spec.stage {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint stage `{}` but this run is stage `{}`",
+            ck.stage, spec.stage
+        )));
+    }
+    if ck.config != model.config {
+        return Err(CheckpointError::Mismatch(
+            "training configuration differs from the checkpoint's; \
+             delete the checkpoint directory to start over"
+                .into(),
+        ));
+    }
+    if ck.seed_offset != model.seed_offset {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint seed_offset {} but this run uses {}",
+            ck.seed_offset, model.seed_offset
+        )));
+    }
+    if ck.target_epochs != epochs {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint targets {} epochs but this run targets {epochs}",
+            ck.target_epochs
+        )));
+    }
+    if !ck.store.schema_matches(store) {
+        return Err(CheckpointError::Mismatch(
+            "checkpointed parameter schema does not match the model's".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Convenience: construct, configure class weights, and train one base
 /// model with the given seed offset. Returns the model, its weights, and
 /// the history.
+///
+/// # Errors
+/// Everything [`train`] rejects.
 pub fn train_base_model(
     config: &LightLtConfig,
     train_set: &Dataset,
     seed_offset: u64,
-) -> (LightLt, ParamStore, TrainHistory) {
+) -> Result<(LightLt, ParamStore, TrainHistory), TrainError> {
+    config.validate()?;
+    if train_set.is_empty() {
+        return Err(TrainError::EmptyTrainingSet);
+    }
     let (mut model, mut store) = LightLt::new(config, seed_offset);
     model.set_class_counts(&train_set.class_counts());
-    let history = train(&model, &mut store, train_set, None, None);
-    (model, store, history)
+    let history = train(&model, &mut store, train_set, None, None)?;
+    Ok((model, store, history))
 }
 
 /// Grid-searches the loss weight α on a validation split, the paper's
@@ -166,25 +541,29 @@ pub fn train_base_model(
 ///
 /// A holdout slice of the training set serves as the validation query set;
 /// the remaining slice is both the training data and the search database.
-/// Returns the candidate with the highest validation MAP (ties go to the
-/// earlier candidate).
+/// Returns the candidate with the highest *finite* validation MAP (ties go
+/// to the earlier candidate); candidates whose validation MAP comes back
+/// NaN are skipped rather than silently winning a `>` comparison.
 ///
-/// # Panics
-/// Panics if `candidates` is empty.
+/// # Errors
+/// Fails on an empty candidate grid, when every candidate's validation MAP
+/// is non-finite, or when any candidate's training run fails.
 pub fn tune_alpha(
     config: &LightLtConfig,
     train_set: &lt_data::Dataset,
     candidates: &[f32],
-) -> f32 {
-    assert!(!candidates.is_empty(), "need at least one alpha candidate");
+) -> Result<f32, TrainError> {
+    if candidates.is_empty() {
+        return Err(TrainError::NoAlphaCandidates);
+    }
+    config.validate()?;
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xA1FA));
     let (fit_set, holdout) = lt_data::split::train_holdout_split(train_set, 0.15, &mut rng);
 
-    let mut best = candidates[0];
-    let mut best_map = f64::NEG_INFINITY;
+    let mut best: Option<(f32, f64)> = None;
     for &alpha in candidates {
         let candidate_config = LightLtConfig { alpha, ensemble_size: 1, ..config.clone() };
-        let (model, store, _) = train_base_model(&candidate_config, &fit_set, 0);
+        let (model, store, _) = train_base_model(&candidate_config, &fit_set, 0)?;
         let db_emb = model.embed(&store, &fit_set.features);
         let q_emb = model.embed(&store, &holdout.features);
         let index = crate::index::QuantizedIndex::build(&model.dsq, &store, &db_emb);
@@ -192,18 +571,22 @@ pub fn tune_alpha(
             .map(|i| crate::search::adc_rank_all(&index, q_emb.row(i)))
             .collect();
         let map = lt_eval::mean_average_precision(&rankings, &holdout.labels, &fit_set.labels);
-        if map > best_map {
-            best_map = map;
-            best = alpha;
+        if !map.is_finite() {
+            continue;
+        }
+        match best {
+            Some((_, best_map)) if map <= best_map => {}
+            _ => best = Some((alpha, map)),
         }
     }
-    best
+    best.map(|(alpha, _)| alpha).ok_or(TrainError::NonFiniteValidationMap)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use lt_data::synth::{generate_split, Domain, SynthConfig};
+    use lt_linalg::Matrix;
 
     fn tiny_split() -> lt_data::RetrievalSplit {
         generate_split(&SynthConfig {
@@ -237,10 +620,17 @@ mod tests {
         }
     }
 
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("lightlt_trainer_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn training_reduces_loss() {
         let split = tiny_split();
-        let (_, _, history) = train_base_model(&tiny_config(), &split.train, 0);
+        let (_, _, history) = train_base_model(&tiny_config(), &split.train, 0).unwrap();
         assert_eq!(history.epochs.len(), 6);
         let first = history.epochs.first().unwrap().loss;
         let last = history.final_loss();
@@ -250,8 +640,8 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let split = tiny_split();
-        let (_, s1, h1) = train_base_model(&tiny_config(), &split.train, 0);
-        let (_, s2, h2) = train_base_model(&tiny_config(), &split.train, 0);
+        let (_, s1, h1) = train_base_model(&tiny_config(), &split.train, 0).unwrap();
+        let (_, s2, h2) = train_base_model(&tiny_config(), &split.train, 0).unwrap();
         assert_eq!(h1.final_loss(), h2.final_loss());
         let id = s1.id_of("dsq.p.0").unwrap();
         assert_eq!(s1.value(id), s2.value(id));
@@ -266,7 +656,7 @@ mod tests {
         let backbone_id = store.id_of("backbone.0.weight").unwrap();
         let before = store.value(backbone_id).clone();
         let dsq_ids = store.ids_with_prefix("dsq.");
-        let _ = train(&model, &mut store, &split.train, Some(&dsq_ids), Some(2));
+        train(&model, &mut store, &split.train, Some(&dsq_ids), Some(2)).unwrap();
         assert_eq!(store.value(backbone_id), &before, "frozen backbone moved");
         // DSQ did move.
         let p0 = store.id_of("dsq.p.0").unwrap();
@@ -275,19 +665,138 @@ mod tests {
     }
 
     #[test]
+    fn empty_training_set_rejected() {
+        let cfg = tiny_config();
+        let empty = Dataset::new(Matrix::zeros(0, cfg.input_dim), vec![], cfg.num_classes);
+        assert!(matches!(
+            train_base_model(&cfg, &empty, 0),
+            Err(TrainError::EmptyTrainingSet)
+        ));
+        let (model, mut store) = LightLt::new(&cfg, 0);
+        assert!(matches!(
+            train(&model, &mut store, &empty, None, None),
+            Err(TrainError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected_before_training() {
+        let split = tiny_split();
+        let cfg = LightLtConfig { num_codebooks: 0, ..tiny_config() };
+        assert!(matches!(
+            train_base_model(&cfg, &split.train, 0),
+            Err(TrainError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn nan_injection_recovers_to_finite_weights() {
+        let split = tiny_split();
+        let cfg = tiny_config();
+        let (mut model, mut store) = LightLt::new(&cfg, 0);
+        model.set_class_counts(&split.train.class_counts());
+        let opts = TrainOptions {
+            fault_plan: FaultPlan::none().nan_at_step(5),
+            ..TrainOptions::default()
+        };
+        let history = train_with_options(&model, &mut store, &split.train, &opts).unwrap();
+        assert_eq!(history.epochs.len(), cfg.epochs);
+        assert!(history.final_loss().is_finite());
+        assert!(store.all_finite(), "NaN leaked into the parameter store");
+    }
+
+    #[test]
+    fn retries_exhausted_is_reported() {
+        let split = tiny_split();
+        let mut cfg = tiny_config();
+        cfg.fault.max_retries = 1;
+        let (mut model, mut store) = LightLt::new(&cfg, 0);
+        model.set_class_counts(&split.train.class_counts());
+        // Step 0 is re-poisoned on the retry, exhausting the budget of 1.
+        let opts = TrainOptions {
+            fault_plan: FaultPlan::none().nan_at_step(0).nan_at_step(0),
+            ..TrainOptions::default()
+        };
+        match train_with_options(&model, &mut store, &split.train, &opts) {
+            Err(TrainError::RetriesExhausted { retries, reason, .. }) => {
+                assert_eq!(retries, 1);
+                assert!(matches!(reason, GuardTrip::NonFiniteGradNorm));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_the_math() {
+        let split = tiny_split();
+        let cfg = tiny_config();
+        let dir = tmpdir("nochange");
+        let (_, plain_store, plain_hist) = train_base_model(&cfg, &split.train, 0).unwrap();
+
+        let (mut model, mut store) = LightLt::new(&cfg, 0);
+        model.set_class_counts(&split.train.class_counts());
+        let hist = train_resumable(&model, &mut store, &split.train, &dir).unwrap();
+
+        assert_eq!(hist, plain_hist);
+        let id = store.id_of("dsq.p.0").unwrap();
+        assert_eq!(store.value(id), plain_store.value(id));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_run_resumes_as_noop() {
+        let split = tiny_split();
+        let cfg = tiny_config();
+        let dir = tmpdir("noop");
+        let (mut model, mut store) = LightLt::new(&cfg, 0);
+        model.set_class_counts(&split.train.class_counts());
+        let first = train_resumable(&model, &mut store, &split.train, &dir).unwrap();
+
+        // A second call resumes the finished checkpoint and trains nothing.
+        let (mut model2, mut store2) = LightLt::new(&cfg, 0);
+        model2.set_class_counts(&split.train.class_counts());
+        let second = train_resumable(&model2, &mut store2, &split.train, &dir).unwrap();
+        assert_eq!(first, second);
+        let id = store.id_of("dsq.p.0").unwrap();
+        assert_eq!(store.value(id), store2.value(id));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected() {
+        let split = tiny_split();
+        let cfg = tiny_config();
+        let dir = tmpdir("mismatch");
+        let (mut model, mut store) = LightLt::new(&cfg, 0);
+        model.set_class_counts(&split.train.class_counts());
+        train_resumable(&model, &mut store, &split.train, &dir).unwrap();
+
+        let other = LightLtConfig { learning_rate: 1e-3, ..cfg };
+        let (mut model2, mut store2) = LightLt::new(&other, 0);
+        model2.set_class_counts(&split.train.class_counts());
+        match train_resumable(&model2, &mut store2, &split.train, &dir) {
+            Err(TrainError::Checkpoint(CheckpointError::Mismatch(_))) => {}
+            other => panic!("expected checkpoint mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn tune_alpha_returns_a_candidate() {
         let split = tiny_split();
         let mut cfg = tiny_config();
         cfg.epochs = 2;
-        let best = tune_alpha(&cfg, &split.train, &[0.0, 0.01, 0.1]);
+        let best = tune_alpha(&cfg, &split.train, &[0.0, 0.01, 0.1]).unwrap();
         assert!([0.0, 0.01, 0.1].contains(&best));
     }
 
     #[test]
-    #[should_panic(expected = "at least one alpha candidate")]
     fn tune_alpha_rejects_empty_grid() {
         let split = tiny_split();
-        let _ = tune_alpha(&tiny_config(), &split.train, &[]);
+        assert!(matches!(
+            tune_alpha(&tiny_config(), &split.train, &[]),
+            Err(TrainError::NoAlphaCandidates)
+        ));
     }
 
     #[test]

@@ -4,8 +4,14 @@
 //! outside the [`ParamStore`], so freezing a sub-module — as the ensemble
 //! fine-tuning step does with everything except DSQ — is just a matter of
 //! passing a restricted id list to [`Optimizer::step_subset`].
+//!
+//! Both optimizers are `Clone` (the trainer's in-memory last-good snapshot
+//! for NaN/divergence rollback) and serde-serializable (the checkpoint
+//! format persists the full moment state so a resumed run reproduces the
+//! uninterrupted run bit for bit).
 
 use lt_linalg::Matrix;
+use serde::{Deserialize, Serialize};
 
 use crate::params::{ParamId, ParamStore};
 
@@ -32,7 +38,7 @@ pub trait Optimizer {
 }
 
 /// AdamW: Adam with decoupled weight decay (Loshchilov & Hutter).
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AdamW {
     lr: f32,
     beta1: f32,
@@ -104,7 +110,7 @@ impl Optimizer for AdamW {
 }
 
 /// Plain SGD with optional momentum.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sgd {
     lr: f32,
     momentum: f32,
@@ -243,5 +249,56 @@ mod tests {
     #[should_panic(expected = "learning rate must be positive")]
     fn rejects_nonpositive_lr() {
         let _ = AdamW::new(0.0);
+    }
+
+    /// The checkpoint path: a serialized-and-restored AdamW must continue
+    /// training exactly like the original (moments and step counts intact).
+    #[test]
+    fn adamw_state_roundtrips_through_serde() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::full(1, 3, 2.0));
+        let mut opt = AdamW::new(0.05);
+        let grad = Matrix::from_rows(&[&[0.3, -0.7, 1.1]]);
+        for _ in 0..5 {
+            store.zero_grads();
+            store.accumulate_grad(id, &grad);
+            opt.step(&mut store);
+        }
+
+        let json = serde_json::to_string(&opt).unwrap();
+        let mut restored: AdamW = serde_json::from_str(&json).unwrap();
+        let mut store2 = store.clone();
+
+        // Diverging state would show up within a few further steps.
+        for _ in 0..5 {
+            store.zero_grads();
+            store.accumulate_grad(id, &grad);
+            opt.step(&mut store);
+            store2.zero_grads();
+            store2.accumulate_grad(id, &grad);
+            restored.step(&mut store2);
+        }
+        assert_eq!(store.value(id), store2.value(id), "restored optimizer diverged");
+    }
+
+    /// The in-memory rollback path: stepping a clone must not affect the
+    /// original's state.
+    #[test]
+    fn cloned_optimizer_state_is_independent() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::full(1, 1, 1.0));
+        let mut opt = AdamW::new(0.1);
+        store.accumulate_grad(id, &Matrix::full(1, 1, 1.0));
+        opt.step(&mut store);
+
+        let snapshot = opt.clone();
+        let mut forked_store = store.clone();
+        opt.step(&mut forked_store);
+
+        // Restore from the snapshot and replay: must match the fork.
+        let mut replay = snapshot;
+        let mut replay_store = store.clone();
+        replay.step(&mut replay_store);
+        assert_eq!(replay_store.value(id), forked_store.value(id));
     }
 }

@@ -184,6 +184,13 @@ impl ParamStore {
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Param)> {
         self.params.iter().enumerate().map(|(i, p)| (ParamId(i), p))
     }
+
+    /// True when every parameter value is finite — the invariant the
+    /// trainer's NaN guards maintain, checked after restoring snapshots or
+    /// checkpoints.
+    pub fn all_finite(&self) -> bool {
+        self.params.iter().all(|p| p.value.as_slice().iter().all(|v| v.is_finite()))
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +260,16 @@ mod tests {
         let a = store_with(&[("w", (1, 2), 1.0)]);
         let b = store_with(&[("v", (1, 2), 3.0)]);
         let _ = ParamStore::average(&[&a, &b]);
+    }
+
+    #[test]
+    fn all_finite_flags_poisoned_values() {
+        let mut s = store_with(&[("w", (1, 2), 1.0)]);
+        assert!(s.all_finite());
+        s.get_mut(ParamId(0)).value.as_mut_slice()[1] = f32::NAN;
+        assert!(!s.all_finite());
+        s.get_mut(ParamId(0)).value.as_mut_slice()[1] = f32::INFINITY;
+        assert!(!s.all_finite());
     }
 
     #[test]

@@ -40,7 +40,7 @@ fn main() {
         ensemble_size: 1,
         ..Default::default()
     };
-    let result = train_ensemble(&config, &split.train);
+    let result = train_ensemble(&config, &split.train).expect("training failed");
 
     // Build both systems over the same learned embedding space.
     let db_emb = result.model.embed(&result.store, &split.database.features);

@@ -44,14 +44,15 @@ fn main() {
         ensemble_size: 1,
         ..Default::default()
     };
-    let result = train_ensemble(&config, &split.train);
+    let result = train_ensemble(&config, &split.train).expect("training failed");
     let db_emb = result.model.embed(&result.store, &split.database.features);
     let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
 
     // Save.
     let bundle = ModelBundle::capture(&result.model, &result.store);
     let model_path = dir.join("model.json");
-    std::fs::write(&model_path, bundle.to_json()).expect("write model bundle");
+    std::fs::write(&model_path, bundle.to_json().expect("serialize model bundle"))
+        .expect("write model bundle");
     let index_path = dir.join("index.bin");
     let image = serialize_index(&index);
     std::fs::write(&index_path, &image).expect("write index image");

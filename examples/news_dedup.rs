@@ -39,7 +39,7 @@ fn main() {
         ensemble_size: 1,
         ..Default::default()
     };
-    let result = train_ensemble(&config, &split.train);
+    let result = train_ensemble(&config, &split.train).expect("training failed");
 
     // Encode the whole archive to discrete fingerprints.
     let codes = result.model.encode(&result.store, &split.database.features);

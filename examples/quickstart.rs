@@ -48,7 +48,7 @@ fn main() {
     };
 
     // 3. Train (base models + weight ensemble + DSQ fine-tune).
-    let result = train_ensemble(&config, &split.train);
+    let result = train_ensemble(&config, &split.train).expect("training failed");
     println!(
         "trained {} base models; final base loss {:.4}",
         result.base_histories.len(),

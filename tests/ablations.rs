@@ -39,7 +39,7 @@ fn base_config(seed: u64) -> LightLtConfig {
 }
 
 fn run_map(config: &LightLtConfig, split: &RetrievalSplit) -> f64 {
-    let result = train_ensemble(config, &split.train);
+    let result = train_ensemble(config, &split.train).expect("training failed");
     let db_emb = result.model.embed(&result.store, &split.database.features);
     let q_emb = result.model.embed(&result.store, &split.query.features);
     let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
@@ -115,7 +115,7 @@ fn class_weighting_helps_tail_classes() {
         let split = task(s);
         for (gamma, acc) in [(0.999f32, &mut tail_weighted), (0.0, &mut tail_plain)] {
             let config = LightLtConfig { gamma, ..base_config(s) };
-            let result = train_ensemble(&config, &split.train);
+            let result = train_ensemble(&config, &split.train).expect("training failed");
             let db_emb = result.model.embed(&result.store, &split.database.features);
             let q_emb = result.model.embed(&result.store, &split.query.features);
             let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);

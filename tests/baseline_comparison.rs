@@ -45,7 +45,7 @@ fn lightlt_map(split: &RetrievalSplit) -> f64 {
         seed: 3,
         ..Default::default()
     };
-    let result = train_ensemble(&config, &split.train);
+    let result = train_ensemble(&config, &split.train).expect("training failed");
     let db_emb = result.model.embed(&result.store, &split.database.features);
     let q_emb = result.model.embed(&result.store, &split.query.features);
     let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);

@@ -46,7 +46,7 @@ fn chance_map(split: &RetrievalSplit) -> f64 {
 #[test]
 fn full_pipeline_beats_chance_by_wide_margin() {
     let split = task(1);
-    let result = train_ensemble(&config(), &split.train);
+    let result = train_ensemble(&config(), &split.train).expect("training failed");
 
     let db_emb = result.model.embed(&result.store, &split.database.features);
     let q_emb = result.model.embed(&result.store, &split.query.features);
@@ -66,7 +66,7 @@ fn full_pipeline_beats_chance_by_wide_margin() {
 fn quantized_search_tracks_dense_search() {
     // ADC over 16-bit codes should retain most of the dense-embedding MAP.
     let split = task(2);
-    let result = train_ensemble(&config(), &split.train);
+    let result = train_ensemble(&config(), &split.train).expect("training failed");
     let db_emb = result.model.embed(&result.store, &split.database.features);
     let q_emb = result.model.embed(&result.store, &split.query.features);
     let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
@@ -87,7 +87,7 @@ fn quantized_search_tracks_dense_search() {
 #[test]
 fn index_storage_beats_dense_storage() {
     let split = task(3);
-    let result = train_ensemble(&config(), &split.train);
+    let result = train_ensemble(&config(), &split.train).expect("training failed");
     let db_emb = result.model.embed(&result.store, &split.database.features);
     let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
     let dense_bytes = 4 * db_emb.rows() * db_emb.cols();
@@ -102,7 +102,7 @@ fn index_storage_beats_dense_storage() {
 #[test]
 fn codes_are_stable_across_encodes() {
     let split = task(4);
-    let result = train_ensemble(&config(), &split.train);
+    let result = train_ensemble(&config(), &split.train).expect("training failed");
     let a = result.model.encode(&result.store, &split.query.features);
     let b = result.model.encode(&result.store, &split.query.features);
     assert_eq!(a, b);
@@ -113,7 +113,7 @@ fn codes_are_stable_across_encodes() {
 #[test]
 fn classifier_learns_head_and_some_tail() {
     let split = task(5);
-    let result = train_ensemble(&config(), &split.train);
+    let result = train_ensemble(&config(), &split.train).expect("training failed");
     let acc = result.model.accuracy(
         &result.store,
         &split.train.features,

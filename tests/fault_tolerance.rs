@@ -1,0 +1,264 @@
+//! Fault-tolerance integration tests: NaN-injection recovery, simulated
+//! kill-and-resume bitwise reproducibility, and corrupted-checkpoint
+//! rejection — the acceptance criteria of the fault-tolerant training
+//! stack.
+
+use std::path::PathBuf;
+
+use lightlt::core::checkpoint::{checkpoint_path, CheckpointError};
+use lightlt::core::fault::{FaultPlan, TrainError};
+use lightlt::core::trainer::{
+    resume, train_base_model, train_with_options, CheckpointSpec, TrainOptions,
+};
+use lightlt::core::LightLt;
+use lightlt::prelude::*;
+use lt_data::synth::{generate_split, Domain};
+
+fn task() -> RetrievalSplit {
+    generate_split(&SynthConfig {
+        num_classes: 5,
+        dim: 12,
+        pi1: 40,
+        imbalance_factor: 8.0,
+        n_query: 15,
+        n_database: 100,
+        domain: Domain::ImageLike,
+        intra_class_std: None,
+        seed: 23,
+    })
+}
+
+fn config() -> LightLtConfig {
+    LightLtConfig {
+        input_dim: 12,
+        backbone_hidden: 20,
+        embed_dim: 8,
+        num_classes: 5,
+        num_codebooks: 2,
+        num_codewords: 8,
+        ffn_hidden: 12,
+        epochs: 6,
+        batch_size: 16,
+        learning_rate: 5e-3,
+        ensemble_size: 1,
+        seed: 13,
+        ..Default::default()
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("lightlt_fault_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_stores_identical(a: &lightlt::tensor::ParamStore, b: &lightlt::tensor::ParamStore) {
+    assert!(a.schema_matches(b), "parameter schemas differ");
+    for (id, p) in a.iter() {
+        assert_eq!(
+            p.value,
+            *b.value(id),
+            "parameter {} differs between the two runs",
+            p.name
+        );
+    }
+}
+
+/// Acceptance criterion: a NaN injected into the gradients mid-run is
+/// caught by the guards, the run rolls back and retries, and training
+/// still finishes with finite, improving loss.
+#[test]
+fn nan_injection_recovers_with_finite_loss() {
+    let split = task();
+    let cfg = config();
+    let (mut model, mut store) = LightLt::new(&cfg, 0);
+    model.set_class_counts(&split.train.class_counts());
+    let opts = TrainOptions {
+        fault_plan: FaultPlan::none().nan_at_step(7),
+        ..TrainOptions::default()
+    };
+    let history = train_with_options(&model, &mut store, &split.train, &opts)
+        .expect("guards should recover from one injected NaN");
+
+    assert_eq!(history.epochs.len(), cfg.epochs, "run did not complete all epochs");
+    assert!(history.final_loss().is_finite(), "final loss is not finite");
+    assert!(store.all_finite(), "a non-finite value reached the parameter store");
+    let first = history.epochs[0].loss;
+    assert!(
+        history.final_loss() < first,
+        "loss did not improve after recovery: {first} → {}",
+        history.final_loss()
+    );
+}
+
+/// Two NaN injections in different epochs: each costs one retry, both
+/// within the default budget.
+#[test]
+fn multiple_nan_injections_within_budget_recover() {
+    let split = task();
+    let cfg = config();
+    let steps_per_epoch = split.train.len().div_ceil(cfg.batch_size);
+    let (mut model, mut store) = LightLt::new(&cfg, 0);
+    model.set_class_counts(&split.train.class_counts());
+    let opts = TrainOptions {
+        fault_plan: FaultPlan::none()
+            .nan_at_step(1)
+            .nan_at_step(2 * steps_per_epoch + 1),
+        ..TrainOptions::default()
+    };
+    let history = train_with_options(&model, &mut store, &split.train, &opts).unwrap();
+    assert_eq!(history.epochs.len(), cfg.epochs);
+    assert!(store.all_finite());
+}
+
+/// Acceptance criterion: a run killed mid-training and resumed from its
+/// checkpoint yields final weights *bitwise identical* to an uninterrupted
+/// run.
+#[test]
+fn kill_and_resume_matches_uninterrupted_run_bitwise() {
+    let split = task();
+    let cfg = config();
+    let dir = tmpdir("kill_resume");
+
+    // Reference: uninterrupted training.
+    let (_, reference_store, reference_history) =
+        train_base_model(&cfg, &split.train, 0).unwrap();
+
+    // Interrupted run: killed right after epoch 2's checkpoint is written.
+    let (mut model, mut store) = LightLt::new(&cfg, 0);
+    model.set_class_counts(&split.train.class_counts());
+    let opts = TrainOptions {
+        checkpoint: Some(CheckpointSpec::new(&dir, "model")),
+        fault_plan: FaultPlan::none().kill_after_epoch(2),
+        ..TrainOptions::default()
+    };
+    match train_with_options(&model, &mut store, &split.train, &opts) {
+        Err(TrainError::SimulatedKill { epoch: 2 }) => {}
+        other => panic!("expected a simulated kill after epoch 2, got {other:?}"),
+    }
+    assert!(checkpoint_path(&dir, "model").exists(), "no checkpoint survived the kill");
+
+    // Resume from disk and finish the remaining epochs.
+    let (_, resumed_store, resumed_history) =
+        resume(&split.train, &dir).expect("resume failed");
+
+    assert_eq!(resumed_history, reference_history, "epoch histories differ");
+    assert_stores_identical(&reference_store, &resumed_store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing at different epochs always resumes to the same final weights.
+#[test]
+fn resume_is_kill_point_invariant() {
+    let split = task();
+    let cfg = config();
+    let (_, reference_store, _) = train_base_model(&cfg, &split.train, 0).unwrap();
+
+    for kill_epoch in [0usize, 4] {
+        let dir = tmpdir(&format!("kill_at_{kill_epoch}"));
+        let (mut model, mut store) = LightLt::new(&cfg, 0);
+        model.set_class_counts(&split.train.class_counts());
+        let opts = TrainOptions {
+            checkpoint: Some(CheckpointSpec::new(&dir, "model")),
+            fault_plan: FaultPlan::none().kill_after_epoch(kill_epoch),
+            ..TrainOptions::default()
+        };
+        assert!(matches!(
+            train_with_options(&model, &mut store, &split.train, &opts),
+            Err(TrainError::SimulatedKill { .. })
+        ));
+        let (_, resumed_store, _) = resume(&split.train, &dir).unwrap();
+        assert_stores_identical(&reference_store, &resumed_store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A checkpoint that was truncated or bit-flipped on disk must be rejected
+/// at resume time with a checkpoint error, not silently half-loaded.
+#[test]
+fn corrupted_checkpoint_is_rejected_on_resume() {
+    let split = task();
+    let cfg = config();
+    let dir = tmpdir("corrupt");
+    let (mut model, mut store) = LightLt::new(&cfg, 0);
+    model.set_class_counts(&split.train.class_counts());
+    let opts = TrainOptions {
+        checkpoint: Some(CheckpointSpec::new(&dir, "model")),
+        fault_plan: FaultPlan::none().kill_after_epoch(1),
+        ..TrainOptions::default()
+    };
+    let _ = train_with_options(&model, &mut store, &split.train, &opts);
+    let path = checkpoint_path(&dir, "model");
+    let clean = std::fs::read(&path).unwrap();
+
+    // Bit flip in the middle of the payload.
+    let mut flipped = clean.clone();
+    flipped[clean.len() / 2] ^= 0x04;
+    std::fs::write(&path, &flipped).unwrap();
+    match resume(&split.train, &dir) {
+        Err(TrainError::Checkpoint(CheckpointError::ChecksumMismatch { .. })) => {}
+        other => panic!("bit-flipped checkpoint accepted: {other:?}"),
+    }
+
+    // Truncation.
+    std::fs::write(&path, &clean[..clean.len() / 3]).unwrap();
+    match resume(&split.train, &dir) {
+        Err(TrainError::Checkpoint(_)) => {}
+        other => panic!("truncated checkpoint accepted: {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The retry budget is enforced: re-poisoning the same step more times
+/// than `max_retries` fails with the typed error, naming the guard.
+#[test]
+fn retry_budget_exhaustion_reports_typed_error() {
+    let split = task();
+    let mut cfg = config();
+    cfg.fault.max_retries = 2;
+    let (mut model, mut store) = LightLt::new(&cfg, 0);
+    model.set_class_counts(&split.train.class_counts());
+    let opts = TrainOptions {
+        fault_plan: FaultPlan::none()
+            .nan_at_step(0)
+            .nan_at_step(0)
+            .nan_at_step(0),
+        ..TrainOptions::default()
+    };
+    match train_with_options(&model, &mut store, &split.train, &opts) {
+        Err(TrainError::RetriesExhausted { retries, .. }) => assert_eq!(retries, 2),
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+}
+
+/// The full ensemble pipeline trains to the same weights with and without
+/// checkpointing, and an interrupted ensemble resumes cleanly through the
+/// remaining stages.
+#[test]
+fn checkpointed_ensemble_equals_plain_ensemble() {
+    let split = task();
+    let cfg = LightLtConfig {
+        epochs: 3,
+        ensemble_size: 2,
+        ensemble_branch_epochs: 2,
+        finetune_epochs: 2,
+        ..config()
+    };
+    let dir = tmpdir("ensemble");
+    let plain = train_ensemble(&cfg, &split.train).unwrap();
+    let resumable = train_ensemble_resumable(&cfg, &split.train, &dir).unwrap();
+    assert_stores_identical(&plain.store, &resumable.store);
+
+    // All per-stage checkpoints landed on disk.
+    for stage in ["shared", "branch-0", "branch-1", "finetune"] {
+        assert!(
+            checkpoint_path(&dir, stage).exists(),
+            "missing checkpoint for stage {stage}"
+        );
+    }
+    // A rerun over the finished checkpoints reproduces the result again.
+    let rerun = train_ensemble_resumable(&cfg, &split.train, &dir).unwrap();
+    assert_stores_identical(&plain.store, &rerun.store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
