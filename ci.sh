@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
 # Local CI: build, test, lint. Run from the repo root.
+#
+# The test suite runs twice — serial (LT_THREADS=1) and parallel
+# (LT_THREADS=4) — because every lt-runtime kernel must be bitwise
+# deterministic with respect to the thread count; a result that differs
+# between the two runs is a determinism bug, not flakiness.
 set -euo pipefail
 
 cargo build --release
-cargo test -q
+LT_THREADS=1 cargo test -q
+LT_THREADS=4 cargo test -q
 cargo clippy --all-targets -- -D warnings

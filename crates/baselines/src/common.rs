@@ -67,6 +67,11 @@ impl BitCodes {
     }
 }
 
+/// Database items per parallel work item in the bulk ranking paths. Fixed
+/// (never derived from the thread count) so rankings are identical for any
+/// runtime width.
+const RANK_CHUNK: usize = 1024;
+
 /// A trained binary hash function `h: R^d → {0,1}^B`.
 pub trait BinaryHasher {
     /// Hashes a batch of row vectors.
@@ -100,12 +105,22 @@ impl<H: BinaryHasher> Ranker for HammingRanker<'_, H> {
     fn rank(&self, query: &[f32]) -> Vec<usize> {
         let q = Matrix::from_vec(1, query.len(), query.to_vec());
         let q_codes = self.hasher.hash(&q);
-        let mut acc = lt_linalg::TopK::new(self.db_codes.len());
-        for i in 0..self.db_codes.len() {
-            // Negative distance = similarity (higher is better).
-            acc.push(-(q_codes.distance(0, &self.db_codes, i) as f32), i);
-        }
-        acc.into_sorted_vec().into_iter().map(|s| s.index).collect()
+        // Distances fan out on the runtime pool (fixed chunking, so the
+        // score vector — and the ranking — never depend on thread count).
+        // Borrow the codes alone: the workers never need the hasher, so
+        // `H` does not have to be `Sync`.
+        let db_codes = &self.db_codes;
+        let scores: Vec<f32> =
+            lt_runtime::parallel_map_chunks(db_codes.len(), RANK_CHUNK, |range| {
+                range
+                    // Negative distance = similarity (higher is better).
+                    .map(|i| -(q_codes.distance(0, db_codes, i) as f32))
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        lt_linalg::topk::rank_all(&scores)
     }
 
     fn database_len(&self) -> usize {
@@ -154,7 +169,8 @@ impl AdcIndex {
         Self { codebooks, codes, norms_sq, n }
     }
 
-    /// Scores all items for a query: `−‖q − recon_i‖²` via LUT.
+    /// Scores all items for a query: `−‖q − recon_i‖²` via LUT
+    /// (item-parallel on the runtime pool, thread-count invariant).
     pub fn scores(&self, query: &[f32]) -> Vec<f32> {
         let m = self.codebooks.len();
         let k = self.codebooks[0].rows();
@@ -165,15 +181,20 @@ impl AdcIndex {
                 lut[level * k + j] = lt_linalg::gemm::dot(query, cb.row(j));
             }
         }
-        (0..self.n)
-            .map(|i| {
-                let mut ip = 0.0f32;
-                for level in 0..m {
-                    ip += lut[level * k + self.codes[i * m + level] as usize];
-                }
-                2.0 * ip - self.norms_sq[i] - qn
-            })
-            .collect()
+        lt_runtime::parallel_map_chunks(self.n, RANK_CHUNK, |range| {
+            range
+                .map(|i| {
+                    let mut ip = 0.0f32;
+                    for level in 0..m {
+                        ip += lut[level * k + self.codes[i * m + level] as usize];
+                    }
+                    2.0 * ip - self.norms_sq[i] - qn
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 

@@ -11,9 +11,15 @@ use lt_eval::Ranker;
 use lt_linalg::distance::squared_l2;
 use lt_linalg::gemm::matmul;
 use lt_linalg::kmeans::{kmeans, KMeansConfig};
-use lt_linalg::random::rng;
+use lt_linalg::random::{derive_seed, rng};
 use lt_linalg::svd::procrustes_rotation;
 use lt_linalg::Matrix;
+
+/// Rows per parallel work item in `Pq::encode` (fixed, so codes never
+/// depend on the runtime width).
+const ENCODE_CHUNK: usize = 64;
+/// Items per parallel work item in the ADC scoring path.
+const SCORE_CHUNK: usize = 1024;
 
 /// A trained product quantizer.
 #[derive(Debug, Clone)]
@@ -27,6 +33,11 @@ pub struct Pq {
 impl Pq {
     /// Fits PQ with `m` subspaces of `k` centroids each.
     ///
+    /// Subspaces are independent, so their k-means fits run in parallel on
+    /// the runtime pool. Each subspace draws from its own RNG stream
+    /// (derived from `seed` and the subspace index), which keeps the fit
+    /// bitwise deterministic for any thread count.
+    ///
     /// # Panics
     /// Panics unless the feature dimension divides evenly by `m`.
     pub fn fit(train: &Matrix, m: usize, k: usize, seed: u64) -> Self {
@@ -38,13 +49,12 @@ impl Pq {
             train.cols()
         );
         let sub_dim = train.cols() / m;
-        let mut r = rng(seed);
-        let codebooks = (0..m)
-            .map(|s| {
-                let sub = subspace(train, s, sub_dim);
-                kmeans(&sub, KMeansConfig { k, max_iters: 25, tol: 1e-4 }, &mut r).centroids
-            })
-            .collect();
+        let codebooks = lt_runtime::parallel_map_chunks(m, 1, |range| {
+            let s = range.start;
+            let sub = subspace(train, s, sub_dim);
+            let mut r = rng(derive_seed(seed, s as u64));
+            kmeans(&sub, KMeansConfig { k, max_iters: 25, tol: 1e-4 }, &mut r).centroids
+        });
         Self { codebooks, sub_dim, k }
     }
 
@@ -58,26 +68,30 @@ impl Pq {
         self.k
     }
 
-    /// Encodes each row into `M` centroid ids.
+    /// Encodes each row into `M` centroid ids (row-parallel; rows are
+    /// independent, so codes are identical for any thread count).
     pub fn encode(&self, x: &Matrix) -> Vec<u16> {
         let m = self.num_subspaces();
         let mut codes = vec![0u16; x.rows() * m];
-        for i in 0..x.rows() {
-            let row = x.row(i);
-            for (s, cb) in self.codebooks.iter().enumerate() {
-                let sub = &row[s * self.sub_dim..(s + 1) * self.sub_dim];
-                let mut best = 0;
-                let mut best_d = f32::INFINITY;
-                for c in 0..self.k {
-                    let d = squared_l2(sub, cb.row(c));
-                    if d < best_d {
-                        best_d = d;
-                        best = c;
+        lt_runtime::parallel_for_each_mut(&mut codes, ENCODE_CHUNK * m, |start, chunk| {
+            let i0 = start / m;
+            for (ri, code_row) in chunk.chunks_mut(m).enumerate() {
+                let row = x.row(i0 + ri);
+                for (s, cb) in self.codebooks.iter().enumerate() {
+                    let sub = &row[s * self.sub_dim..(s + 1) * self.sub_dim];
+                    let mut best = 0;
+                    let mut best_d = f32::INFINITY;
+                    for c in 0..self.k {
+                        let d = squared_l2(sub, cb.row(c));
+                        if d < best_d {
+                            best_d = d;
+                            best = c;
+                        }
                     }
+                    code_row[s] = best as u16;
                 }
-                codes[i * m + s] = best as u16;
             }
-        }
+        });
         codes
     }
 
@@ -137,15 +151,20 @@ impl PqIndex {
                 lut[s * k + c] = squared_l2(sub, cb.row(c));
             }
         }
-        (0..self.n)
-            .map(|i| {
-                let mut d = 0.0;
-                for s in 0..m {
-                    d += lut[s * k + self.codes[i * m + s] as usize];
-                }
-                -d
-            })
-            .collect()
+        lt_runtime::parallel_map_chunks(self.n, SCORE_CHUNK, |range| {
+            range
+                .map(|i| {
+                    let mut d = 0.0;
+                    for s in 0..m {
+                        d += lut[s * k + self.codes[i * m + s] as usize];
+                    }
+                    -d
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 

@@ -1,12 +1,14 @@
 //! Criterion microbenchmarks of the hot kernels behind every experiment:
 //! ADC lookup-table search vs exhaustive scan (the Fig.-7 primitives), GEMM
 //! (the training substrate), DSQ encode, and one LightLT forward/backward
-//! step.
+//! step — plus thread-scaling sweeps of GEMM and batch ADC search across
+//! runtime widths (the kernels are bitwise deterministic with respect to
+//! thread count, so the sweeps measure pure speedup).
 //!
 //! Run: `cargo bench -p lt-bench --bench criterion_kernels`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lightlt_core::search::{adc_search, exhaustive_search};
+use lightlt_core::search::{adc_search, adc_search_batch, exhaustive_search};
 use lightlt_core::{CodebookTopology, Dsq, LightLt, LightLtConfig, QuantizedIndex};
 use lt_linalg::gemm::matmul;
 use lt_linalg::random::{randn, rng};
@@ -100,9 +102,57 @@ fn bench_train_step(c: &mut Criterion) {
     });
 }
 
+/// Thread counts swept by the scaling groups.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_gemm_threads(c: &mut Criterion) {
+    let n = 384;
+    let a = randn(n, n, &mut rng(9));
+    let b = randn(n, n, &mut rng(10));
+    let mut group = c.benchmark_group("gemm_threads");
+    group.throughput(Throughput::Elements((n * n * n) as u64));
+    for &t in &THREAD_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, &t| {
+            let _width = lt_runtime::scoped_threads(t);
+            bench.iter(|| matmul(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn bench_adc_batch_threads(c: &mut Criterion) {
+    let dim = 64;
+    let mut store = ParamStore::new();
+    let dsq = Dsq::new(
+        &mut store,
+        4,
+        256,
+        dim,
+        64,
+        CodebookTopology::DoubleSkip,
+        0.2,
+        Metric::NegSquaredL2,
+        &mut rng(11),
+    );
+    let n = 20_000;
+    let db = randn(n, dim, &mut rng(12)).scale(0.5);
+    let index = QuantizedIndex::build(&dsq, &store, &db);
+    let queries = randn(64, dim, &mut rng(13));
+    let mut group = c.benchmark_group("adc_batch_threads");
+    group.throughput(Throughput::Elements((queries.rows() * n) as u64));
+    for &t in &THREAD_SWEEP {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, &t| {
+            let _width = lt_runtime::scoped_threads(t);
+            bench.iter(|| adc_search_batch(&index, &queries, 10));
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_search, bench_gemm, bench_dsq_encode, bench_train_step
+    targets = bench_search, bench_gemm, bench_dsq_encode, bench_train_step,
+        bench_gemm_threads, bench_adc_batch_threads
 }
 criterion_main!(kernels);

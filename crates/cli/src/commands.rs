@@ -68,6 +68,7 @@ fn config_from_args(args: &Args, split: &lt_data::RetrievalSplit) -> Result<Ligh
         ensemble_size: args.get_or("ensemble", 1)?,
         seed: args.get_or("seed", 17)?,
         fault,
+        threads: args.get_or("threads", 0)?,
         ..Default::default()
     };
     config.validate().map_err(|e| e.to_string())?;

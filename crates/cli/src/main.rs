@@ -40,6 +40,11 @@ COMMANDS:
              --model <model.json>  --index <index.bin>  --data <file.ltd>
   info       print an index's statistics and complexity model
              --index <index.bin>
+
+GLOBAL OPTIONS (any command):
+  --threads N  worker threads for the parallel kernels (0 = auto from
+               LT_THREADS or the machine). Speed-only: every kernel is
+               bitwise deterministic with respect to the thread count.
 ";
 
 fn main() {
@@ -61,6 +66,16 @@ fn main() {
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    let threads: usize = args.get_or("threads", 0)?;
+    if threads > lt_runtime::MAX_THREADS {
+        return Err(format!(
+            "--threads {threads} exceeds the supported maximum {} (0 = auto)",
+            lt_runtime::MAX_THREADS
+        ));
+    }
+    if threads > 0 {
+        lt_runtime::set_threads(threads);
+    }
     match args.command.as_str() {
         "generate" => commands::generate(args),
         "train" => commands::train(args),

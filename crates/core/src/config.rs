@@ -139,6 +139,14 @@ pub struct LightLtConfig {
     /// which case the default applies).
     #[serde(default)]
     pub fault: FaultPolicy,
+    /// Worker threads for the deterministic parallel runtime
+    /// (`lt_runtime`): `0` resolves from the `LT_THREADS` environment
+    /// variable or the machine's available parallelism. Every parallel
+    /// kernel is bitwise deterministic with respect to the thread count,
+    /// so this knob changes speed only, never results — checkpoint
+    /// compatibility checks deliberately ignore it.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for LightLtConfig {
@@ -172,6 +180,7 @@ impl Default for LightLtConfig {
             finetune_prototypes: false,
             seed: 17,
             fault: FaultPolicy::default(),
+            threads: 0,
         }
     }
 }
@@ -248,6 +257,12 @@ impl LightLtConfig {
         if self.fault.divergence_factor.is_nan() || self.fault.divergence_factor <= 1.0 {
             return err("fault.divergence_factor", "must exceed 1");
         }
+        if self.threads > lt_runtime::MAX_THREADS {
+            return err(
+                "threads",
+                format!("must be at most {} (0 = auto)", lt_runtime::MAX_THREADS),
+            );
+        }
         Ok(())
     }
 
@@ -321,6 +336,10 @@ mod tests {
                     fault: FaultPolicy { divergence_factor: 1.0, ..Default::default() },
                     ..Default::default()
                 },
+            ),
+            (
+                "threads",
+                LightLtConfig { threads: lt_runtime::MAX_THREADS + 1, ..Default::default() },
             ),
         ];
         for (field, config) in cases {

@@ -31,6 +31,14 @@ use crate::config::CodebookTopology;
 /// stage selects exactly this prefix.
 pub const DSQ_PREFIX: &str = "dsq.";
 
+/// Items per parallel work item in the bulk encode/decode paths. Fixed
+/// (never derived from the thread count), so batch codes and
+/// reconstructions are bitwise identical for any runtime width.
+const CODEC_CHUNK: usize = 16;
+
+/// Below this much per-call work the bulk codecs stay on the calling thread.
+const CODEC_PAR_MIN: usize = 1 << 16;
+
 /// Discrete codes for a set of items: `M` codeword ids per item.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Codes {
@@ -368,30 +376,38 @@ impl Dsq {
 
     /// Encodes against pre-materialized codebooks (avoids recomputing
     /// Eqn. 10 per call).
+    ///
+    /// Items are independent — each walks the codebook stack on its own
+    /// local residual — so batches fan out on the [`lt_runtime`] pool with
+    /// results bitwise identical to a serial walk.
     pub fn encode_with_codebooks(&self, codebooks: &[Matrix], f_x: &Matrix) -> Codes {
         assert_eq!(codebooks.len(), self.m, "codebook count mismatch");
         let n = f_x.rows();
         let mut codes = vec![0u16; n * self.m];
-        let mut residual = f_x.clone();
-        for (level, cb) in codebooks.iter().enumerate() {
-            for i in 0..n {
-                let row = residual.row(i);
-                let mut best = 0usize;
-                let mut best_s = f32::NEG_INFINITY;
-                for j in 0..self.k {
-                    let s = similarity(self.metric, row, cb.row(j));
-                    if s > best_s {
-                        best_s = s;
-                        best = j;
+        let _serial = (n * self.m * self.k * self.d < CODEC_PAR_MIN)
+            .then(|| lt_runtime::scoped_threads(1));
+        lt_runtime::parallel_for_each_mut(&mut codes, CODEC_CHUNK * self.m, |start, slot| {
+            let i0 = start / self.m;
+            let mut residual = vec![0.0f32; self.d];
+            for (ri, item) in slot.chunks_mut(self.m).enumerate() {
+                residual.copy_from_slice(f_x.row(i0 + ri));
+                for (level, cb) in codebooks.iter().enumerate() {
+                    let mut best = 0usize;
+                    let mut best_s = f32::NEG_INFINITY;
+                    for j in 0..self.k {
+                        let s = similarity(self.metric, &residual, cb.row(j));
+                        if s > best_s {
+                            best_s = s;
+                            best = j;
+                        }
+                    }
+                    item[level] = best as u16;
+                    for (v, &c) in residual.iter_mut().zip(cb.row(best)) {
+                        *v -= c;
                     }
                 }
-                codes[i * self.m + level] = best as u16;
-                let chosen = cb.row(best).to_vec();
-                for (v, c) in residual.row_mut(i).iter_mut().zip(chosen) {
-                    *v -= c;
-                }
             }
-        }
+        });
         Codes::new(codes, self.m)
     }
 
@@ -401,21 +417,25 @@ impl Dsq {
         self.decode_with_codebooks(&codebooks, codes)
     }
 
-    /// Decodes against pre-materialized codebooks.
+    /// Decodes against pre-materialized codebooks (row-parallel, bitwise
+    /// identical for any runtime width).
     pub fn decode_with_codebooks(&self, codebooks: &[Matrix], codes: &Codes) -> Matrix {
         assert_eq!(codebooks.len(), self.m, "codebook count mismatch");
         let n = codes.len();
         let mut out = Matrix::zeros(n, self.d);
-        for i in 0..n {
-            let item = codes.item(i);
-            let row = out.row_mut(i);
-            for (level, &id) in item.iter().enumerate() {
-                let cw = codebooks[level].row(id as usize);
-                for (v, &c) in row.iter_mut().zip(cw) {
-                    *v += c;
+        let _serial =
+            (n * self.m * self.d < CODEC_PAR_MIN).then(|| lt_runtime::scoped_threads(1));
+        lt_runtime::parallel_for_each_mut(out.as_mut_slice(), CODEC_CHUNK * self.d, |start, panel| {
+            let i0 = start / self.d;
+            for (ri, row) in panel.chunks_mut(self.d).enumerate() {
+                for (level, &id) in codes.item(i0 + ri).iter().enumerate() {
+                    let cw = codebooks[level].row(id as usize);
+                    for (v, &c) in row.iter_mut().zip(cw) {
+                        *v += c;
+                    }
                 }
             }
-        }
+        });
         out
     }
 

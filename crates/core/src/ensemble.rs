@@ -30,7 +30,6 @@
 
 use std::path::Path;
 
-use crossbeam::thread;
 use lt_data::Dataset;
 use lt_linalg::random::rng;
 use lt_tensor::ParamStore;
@@ -117,6 +116,9 @@ fn run_ensemble(
     if train_set.is_empty() {
         return Err(TrainError::EmptyTrainingSet);
     }
+    // Pin the runtime width to the configured knob for the whole pipeline
+    // (0 = keep the ambient resolution). Results never depend on it.
+    let _threads = lt_runtime::scoped_threads(config.threads);
     let n = config.ensemble_size;
     let spec_for = |stage: &str| ckpt_dir.map(|dir| CheckpointSpec::new(dir, stage));
 
@@ -142,52 +144,53 @@ fn run_ensemble(
         });
     }
 
-    // Branch stage: n perturbed copies trained in parallel. Each branch
-    // checkpoints under its own stage name, so a completed branch is
-    // loaded back instantly on resume.
-    let branch_outcomes: Vec<Result<(ParamStore, TrainHistory), TrainError>> =
-        thread::scope(|scope| {
-            let handles: Vec<_> = (0..n)
-                .map(|i| {
-                    let config = config.clone();
-                    let mut store = shared_store.clone();
-                    let mut branch_model = model.clone();
-                    let spec = spec_for(&format!("branch-{i}"));
-                    scope.spawn(move |_| -> Result<(ParamStore, TrainHistory), TrainError> {
-                        branch_model.seed_offset = i as u64 + 1;
-                        // Branch 0 keeps the shared weights unperturbed;
-                        // later branches get noisy head re-initializations.
-                        // (On resume a loaded checkpoint replaces the
-                        // perturbed store wholesale, so this stays
-                        // deterministic either way.)
-                        if i > 0 {
-                            perturb_heads(
-                                &mut store,
-                                config.ensemble_perturb_std,
-                                config.seed.wrapping_add(1000 + i as u64),
-                            );
-                        }
-                        let resume = spec.is_some();
-                        let history = train_with_options(
-                            &branch_model,
-                            &mut store,
-                            train_set,
-                            &TrainOptions {
-                                epochs_override: Some(config.ensemble_branch_epochs),
-                                checkpoint: spec,
-                                resume,
-                                ..TrainOptions::default()
-                            },
-                        )?;
-                        Ok((store, history))
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("branch thread panicked")).collect()
-        })
-        .expect("ensemble branch scope panicked");
-    let branch_runs: Vec<(ParamStore, TrainHistory)> =
-        branch_outcomes.into_iter().collect::<Result<_, _>>()?;
+    // Branch stage: n perturbed copies trained in parallel on the runtime
+    // pool (one branch per chunk; each worker trains serially, so branch
+    // results never depend on the thread count). Each branch checkpoints
+    // under its own stage name, so a completed branch is loaded back
+    // instantly on resume. Worker panics are captured per branch and
+    // surfaced as a typed error instead of tearing down the process.
+    let branch_outcomes = lt_runtime::try_parallel_map_chunks(n, 1, |range| {
+        let i = range.start;
+        let mut store = shared_store.clone();
+        let mut branch_model = model.clone();
+        let spec = spec_for(&format!("branch-{i}"));
+        branch_model.seed_offset = i as u64 + 1;
+        // Branch 0 keeps the shared weights unperturbed; later branches
+        // get noisy head re-initializations. (On resume a loaded
+        // checkpoint replaces the perturbed store wholesale, so this
+        // stays deterministic either way.)
+        if i > 0 {
+            perturb_heads(
+                &mut store,
+                config.ensemble_perturb_std,
+                config.seed.wrapping_add(1000 + i as u64),
+            );
+        }
+        let resume = spec.is_some();
+        let history = train_with_options(
+            &branch_model,
+            &mut store,
+            train_set,
+            &TrainOptions {
+                epochs_override: Some(config.ensemble_branch_epochs),
+                checkpoint: spec,
+                resume,
+                ..TrainOptions::default()
+            },
+        )?;
+        Ok((store, history))
+    });
+    let mut branch_runs: Vec<(ParamStore, TrainHistory)> = Vec::with_capacity(n);
+    for (branch, outcome) in branch_outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(Ok(run)) => branch_runs.push(run),
+            Ok(Err(train_err)) => return Err(train_err),
+            Err(panic) => {
+                return Err(TrainError::BranchPanicked { branch, message: panic.message })
+            }
+        }
+    }
 
     let mut base_histories = vec![shared_history];
     base_histories.extend(branch_runs.iter().map(|(_, h)| h.clone()));

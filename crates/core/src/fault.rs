@@ -60,6 +60,14 @@ pub enum TrainError {
         /// Epoch after which the simulated kill fired.
         epoch: usize,
     },
+    /// An ensemble branch's worker panicked; the panic payload is captured
+    /// instead of tearing down the whole training process.
+    BranchPanicked {
+        /// Index of the branch whose worker panicked.
+        branch: usize,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
     /// Checkpoint persistence failed or a checkpoint was rejected.
     Checkpoint(CheckpointError),
 }
@@ -81,6 +89,9 @@ impl fmt::Display for TrainError {
             ),
             TrainError::SimulatedKill { epoch } => {
                 write!(f, "simulated kill after epoch {epoch}")
+            }
+            TrainError::BranchPanicked { branch, message } => {
+                write!(f, "ensemble branch {branch} panicked: {message}")
             }
             TrainError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }

@@ -21,6 +21,13 @@
 //! live in [`trainer`] and [`fault`], and checksummed atomic checkpoints
 //! for killed-and-resumed runs in [`checkpoint`].
 //!
+//! Hot paths — ensemble branches, batch encode/decode, batch search — fan
+//! out on the deterministic [`lt_runtime`] worker pool. The width comes
+//! from [`LightLtConfig::threads`](config::LightLtConfig::threads) (0 =
+//! `LT_THREADS` env or available parallelism) and is speed-only: every
+//! parallel kernel is bitwise deterministic with respect to the thread
+//! count, so checkpoints resume cleanly under any width.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -77,10 +84,10 @@ pub mod prelude {
     pub use crate::loss::{class_weights, LossBreakdown};
     pub use crate::model::LightLt;
     pub use crate::persist::{deserialize_index, serialize_index, ModelBundle};
-    pub use crate::search::{
-        adc_search, adc_search_batch, adc_search_batch_parallel, adc_search_rerank,
-        exhaustive_search,
-    };
+    pub use crate::search::{adc_search, adc_search_batch, adc_search_rerank, exhaustive_search};
+    // Kept for downstream callers migrating to the runtime-backed batch API.
+    #[allow(deprecated)]
+    pub use crate::search::adc_search_batch_parallel;
     pub use crate::trainer::{
         resume, train, train_base_model, train_resumable, train_with_options, tune_alpha,
         CheckpointSpec, TrainHistory, TrainOptions,

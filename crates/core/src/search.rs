@@ -25,41 +25,46 @@ pub fn adc_search(index: &QuantizedIndex, query: &[f32], k: usize) -> Vec<Scored
     acc.into_sorted_vec()
 }
 
+/// Queries per work item in the batch search paths. Fixed (never derived
+/// from the thread count), so batch results are bitwise identical for any
+/// runtime width.
+const SEARCH_CHUNK: usize = 8;
+
 /// Batch ADC search: one result list per query row.
+///
+/// Queries are embarrassingly parallel (the index is read-only), so this
+/// fans out on the [`lt_runtime`] pool and scales close to linearly until
+/// memory bandwidth saturates. Control the width with
+/// [`lt_runtime::set_threads`], [`lt_runtime::scoped_threads`], or the
+/// `LT_THREADS` environment variable; results are identical either way.
 pub fn adc_search_batch(index: &QuantizedIndex, queries: &Matrix, k: usize) -> Vec<Vec<Scored>> {
-    (0..queries.rows()).map(|i| adc_search(index, queries.row(i), k)).collect()
+    lt_runtime::parallel_map_chunks(queries.rows(), SEARCH_CHUNK, |range| {
+        range.map(|i| adc_search(index, queries.row(i), k)).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
-/// Parallel batch ADC search over `num_threads` worker threads. Queries are
-/// embarrassingly parallel (the index is read-only), so this scales close
-/// to linearly until memory bandwidth saturates.
+/// Batch ADC search over an explicit number of worker threads.
 ///
-/// Results are in query order, identical to [`adc_search_batch`].
+/// `num_threads == 0` is a request for "pick for me": it falls back to the
+/// runtime's resolved default width (it is *not* silently clamped to one
+/// thread). Results are in query order, identical to [`adc_search_batch`]
+/// for every `num_threads` value.
+#[deprecated(
+    note = "use `adc_search_batch`, which runs on the shared lt-runtime pool; \
+            control the width with `lt_runtime::set_threads` or `LT_THREADS`"
+)]
 pub fn adc_search_batch_parallel(
     index: &QuantizedIndex,
     queries: &Matrix,
     k: usize,
     num_threads: usize,
 ) -> Vec<Vec<Scored>> {
-    let n = queries.rows();
-    let threads = num_threads.clamp(1, n.max(1));
-    if threads <= 1 || n <= 1 {
-        return adc_search_batch(index, queries, k);
-    }
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<Vec<Scored>> = vec![Vec::new(); n];
-    crossbeam::thread::scope(|scope| {
-        for (t, slot) in out.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            scope.spawn(move |_| {
-                for (offset, dst) in slot.iter_mut().enumerate() {
-                    *dst = adc_search(index, queries.row(start + offset), k);
-                }
-            });
-        }
-    })
-    .expect("search worker panicked");
-    out
+    // scoped_threads(0) is a no-op guard, i.e. the runtime default.
+    let _width = lt_runtime::scoped_threads(num_threads.min(lt_runtime::MAX_THREADS));
+    adc_search_batch(index, queries, k)
 }
 
 /// Exhaustive kNN over dense embeddings (`n × d`), the `O(nd)` baseline.
@@ -77,16 +82,21 @@ pub fn exhaustive_search(
     acc.into_sorted_vec()
 }
 
-/// Batch exhaustive search.
+/// Batch exhaustive search (parallel over queries, like [`adc_search_batch`]).
 pub fn exhaustive_search_batch(
     database: &Matrix,
     queries: &Matrix,
     metric: Metric,
     k: usize,
 ) -> Vec<Vec<Scored>> {
-    (0..queries.rows())
-        .map(|i| exhaustive_search(database, queries.row(i), metric, k))
-        .collect()
+    lt_runtime::parallel_map_chunks(queries.rows(), SEARCH_CHUNK, |range| {
+        range
+            .map(|i| exhaustive_search(database, queries.row(i), metric, k))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Two-stage search: an ADC shortlist of `shortlist` candidates is
@@ -267,11 +277,16 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn parallel_batch_matches_sequential() {
         let (idx, _) = build_index(60);
         let queries = randn(9, 6, &mut rng(61));
-        let seq = adc_search_batch(&idx, &queries, 7);
-        for threads in [1usize, 2, 4, 16] {
+        let seq = {
+            let _serial = lt_runtime::scoped_threads(1);
+            adc_search_batch(&idx, &queries, 7)
+        };
+        // 0 exercises the graceful "runtime default" fallback.
+        for threads in [0usize, 1, 2, 4, 16] {
             let par = adc_search_batch_parallel(&idx, &queries, 7, threads);
             assert_eq!(par.len(), seq.len());
             for (a, b) in par.iter().zip(&seq) {

@@ -242,6 +242,11 @@ pub fn train_with_options(
     if train_set.is_empty() {
         return Err(TrainError::EmptyTrainingSet);
     }
+    // Pin the runtime width to the configured knob for the whole run
+    // (0 = keep the ambient resolution). Every parallel kernel underneath
+    // is bitwise deterministic in the thread count, so this affects wall
+    // clock only — never the trained weights.
+    let _threads = lt_runtime::scoped_threads(config.threads);
 
     let epochs = opts.epochs_override.unwrap_or(config.epochs);
     let steps_per_epoch = train_set.len().div_ceil(config.batch_size).max(1);
@@ -487,7 +492,10 @@ fn verify_resume(
             ck.stage, spec.stage
         )));
     }
-    if ck.config != model.config {
+    // The thread count changes speed, never results, so a checkpoint
+    // written under one width may resume under any other.
+    let comparable = LightLtConfig { threads: model.config.threads, ..ck.config.clone() };
+    if comparable != model.config {
         return Err(CheckpointError::Mismatch(
             "training configuration differs from the checkpoint's; \
              delete the checkpoint directory to start over"
@@ -778,6 +786,27 @@ mod tests {
             Err(TrainError::Checkpoint(CheckpointError::Mismatch(_))) => {}
             other => panic!("expected checkpoint mismatch, got {other:?}"),
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_accepts_different_thread_count() {
+        // The `threads` knob is speed-only, so a checkpoint written under
+        // one width must resume cleanly under another.
+        let split = tiny_split();
+        let cfg = LightLtConfig { threads: 1, ..tiny_config() };
+        let dir = tmpdir("threads");
+        let (mut model, mut store) = LightLt::new(&cfg, 0);
+        model.set_class_counts(&split.train.class_counts());
+        let first = train_resumable(&model, &mut store, &split.train, &dir).unwrap();
+
+        let cfg2 = LightLtConfig { threads: 4, ..cfg };
+        let (mut model2, mut store2) = LightLt::new(&cfg2, 0);
+        model2.set_class_counts(&split.train.class_counts());
+        let second = train_resumable(&model2, &mut store2, &split.train, &dir).unwrap();
+        assert_eq!(first, second);
+        let id = store.id_of("dsq.p.0").unwrap();
+        assert_eq!(store.value(id), store2.value(id));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

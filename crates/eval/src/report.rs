@@ -67,7 +67,7 @@ impl Table {
             for (c, cell) in cells.iter().enumerate() {
                 let pad = widths[c].saturating_sub(cell.chars().count());
                 line.push_str(cell);
-                line.extend(std::iter::repeat_n(' ', pad));
+                line.extend(std::iter::repeat(' ').take(pad));
                 if c + 1 < cells.len() {
                     line.push_str("  ");
                 }

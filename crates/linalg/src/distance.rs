@@ -77,11 +77,21 @@ pub fn similarity_matrix(metric: Metric, queries: &Matrix, items: &Matrix) -> Ma
             let mut out = crate::gemm::matmul_a_bt(queries, items);
             let qn: Vec<f32> = (0..queries.rows()).map(|i| dot(queries.row(i), queries.row(i))).collect();
             let xn: Vec<f32> = (0..items.rows()).map(|j| dot(items.row(j), items.row(j))).collect();
-            for i in 0..out.rows() {
-                let row = out.row_mut(i);
-                for (j, v) in row.iter_mut().enumerate() {
-                    *v = 2.0 * *v - qn[i] - xn[j];
-                }
+            let n = out.cols();
+            if n > 0 {
+                // Row panels of the fixup are independent, so the parallel
+                // walk is bitwise identical to a serial one.
+                let _serial = (out.rows() * n < (1 << 20))
+                    .then(|| lt_runtime::scoped_threads(1));
+                lt_runtime::parallel_for_each_mut(out.as_mut_slice(), 32 * n, |start, panel| {
+                    let i0 = start / n;
+                    for (ri, row) in panel.chunks_mut(n).enumerate() {
+                        let q = qn[i0 + ri];
+                        for (j, v) in row.iter_mut().enumerate() {
+                            *v = 2.0 * *v - q - xn[j];
+                        }
+                    }
+                });
             }
             out
         }

@@ -4,12 +4,28 @@
 //! (batch × feature × codebook sizes in the tens to thousands). A cache-aware
 //! `ikj` loop ordering with a fixed row-panel block is enough to keep the
 //! training loops compute-bound without pulling in a BLAS dependency.
+//!
+//! Large multiplies run their row panels in parallel on [`lt_runtime`].
+//! Every output element is accumulated in exactly the same order as the
+//! serial kernel (panels are whole output rows; nothing is reduced across
+//! panels), so results are bitwise identical for any thread count.
 
 use crate::matrix::Matrix;
 
 /// Panel height for the blocked kernel; chosen so a block of `B` rows of the
 /// output plus a row of `b` stays comfortably inside L1/L2 for typical sizes.
 const BLOCK: usize = 32;
+
+/// Below this many multiply-adds a kernel stays on the calling thread: the
+/// runtime's per-call spawn overhead would dominate. The cutoff depends only
+/// on the shapes — never the thread count — so it cannot affect results.
+const PAR_MIN_MACS: usize = 1 << 20;
+
+/// True when a kernel of `work` multiply-adds should fan out.
+#[inline]
+fn parallel_worthwhile(work: usize) -> bool {
+    work >= PAR_MIN_MACS && lt_runtime::threads() > 1
+}
 
 /// `C = A · B`.
 ///
@@ -48,45 +64,88 @@ fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
 
 /// `ikj` kernel: for each row of A, scale rows of B into the C row. This
 /// streams B row-by-row (contiguous) and keeps the C row hot, which
-/// autovectorizes well.
+/// autovectorizes well. Large shapes split C into row panels processed in
+/// parallel; every row is computed by the identical serial loop either way.
 fn matmul_kernel(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let (m, k) = a.shape();
     let n = b.cols();
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
     let b_data = b.as_slice();
-    for i0 in (0..m).step_by(BLOCK) {
-        let i1 = (i0 + BLOCK).min(m);
-        for i in i0..i1 {
-            let a_row = a.row(i);
-            let c_row = c.row_mut(i);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[p * n..(p + 1) * n];
-                for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
-                    *c_v += a_ip * b_v;
-                }
+    if parallel_worthwhile(m * k * n) {
+        lt_runtime::parallel_for_each_mut(c.as_mut_slice(), BLOCK * n, |start, panel| {
+            let i0 = start / n;
+            for (ri, c_row) in panel.chunks_mut(n).enumerate() {
+                matmul_row(a.row(i0 + ri), b_data, k, n, c_row);
+            }
+        });
+    } else {
+        for i0 in (0..m).step_by(BLOCK) {
+            let i1 = (i0 + BLOCK).min(m);
+            for i in i0..i1 {
+                matmul_row(a.row(i), b_data, k, n, c.row_mut(i));
             }
         }
     }
 }
 
+/// One output row of the `ikj` kernel: `c_row += a_row · B`.
+#[inline]
+fn matmul_row(a_row: &[f32], b_data: &[f32], k: usize, n: usize, c_row: &mut [f32]) {
+    for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+        if a_ip == 0.0 {
+            continue;
+        }
+        let b_row = &b_data[p * n..(p + 1) * n];
+        for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+            *c_v += a_ip * b_v;
+        }
+    }
+}
+
 /// `C = Aᵀ · B` without materializing the transpose.
+///
+/// Parallelism is over panels of C's rows (= columns of A); within a panel
+/// the accumulation runs over A's rows in ascending order, exactly like the
+/// serial loop, so the two paths are bitwise identical.
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_at_b row mismatch");
     let m = a.cols();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
-    for r in 0..a.rows() {
-        let a_row = a.row(r);
-        let b_row = b.row(r);
-        for (i, &a_ri) in a_row.iter().enumerate() {
-            if a_ri == 0.0 {
-                continue;
+    if n == 0 {
+        return c;
+    }
+    if parallel_worthwhile(a.rows() * m * n) {
+        lt_runtime::parallel_for_each_mut(c.as_mut_slice(), BLOCK * n, |start, panel| {
+            let i0 = start / n;
+            for r in 0..a.rows() {
+                let a_row = a.row(r);
+                let b_row = b.row(r);
+                for (ri, c_row) in panel.chunks_mut(n).enumerate() {
+                    let a_ri = a_row[i0 + ri];
+                    if a_ri == 0.0 {
+                        continue;
+                    }
+                    for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                        *c_v += a_ri * b_v;
+                    }
+                }
             }
-            let c_row = c.row_mut(i);
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_v += a_ri * b_v;
+        });
+    } else {
+        for r in 0..a.rows() {
+            let a_row = a.row(r);
+            let b_row = b.row(r);
+            for (i, &a_ri) in a_row.iter().enumerate() {
+                if a_ri == 0.0 {
+                    continue;
+                }
+                let c_row = c.row_mut(i);
+                for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                    *c_v += a_ri * b_v;
+                }
             }
         }
     }
@@ -102,12 +161,28 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_a_bt column mismatch");
     let m = a.rows();
     let n = b.rows();
+    let k = a.cols();
     let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let c_row = c.row_mut(i);
-        for (j, c_v) in c_row.iter_mut().enumerate().take(n) {
-            *c_v = dot(a_row, b.row(j));
+    if n == 0 {
+        return c;
+    }
+    if parallel_worthwhile(m * k * n) {
+        lt_runtime::parallel_for_each_mut(c.as_mut_slice(), BLOCK * n, |start, panel| {
+            let i0 = start / n;
+            for (ri, c_row) in panel.chunks_mut(n).enumerate() {
+                let a_row = a.row(i0 + ri);
+                for (j, c_v) in c_row.iter_mut().enumerate().take(n) {
+                    *c_v = dot(a_row, b.row(j));
+                }
+            }
+        });
+    } else {
+        for i in 0..m {
+            let a_row = a.row(i);
+            let c_row = c.row_mut(i);
+            for (j, c_v) in c_row.iter_mut().enumerate().take(n) {
+                *c_v = dot(a_row, b.row(j));
+            }
         }
     }
     c

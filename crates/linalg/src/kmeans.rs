@@ -81,23 +81,37 @@ fn seed_plus_plus(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
     centroids
 }
 
+/// Fixed chunk of points per parallel work item in [`assign`]. Chunk
+/// boundaries depend only on `n`, so the per-chunk inertia partials — and
+/// their ascending-chunk-order sum — are identical for any thread count.
+const ASSIGN_CHUNK: usize = 128;
+
+/// Below this many point–centroid distance terms the assignment step stays
+/// on the calling thread (same chunk walk, no spawns).
+const ASSIGN_PAR_MIN: usize = 1 << 16;
+
 fn assign(data: &Matrix, centroids: &Matrix, assignments: &mut [usize]) -> f32 {
-    let mut inertia = 0.0;
-    for (i, slot) in assignments.iter_mut().enumerate() {
-        let row = data.row(i);
-        let mut best = 0;
-        let mut best_d = f32::INFINITY;
-        for c in 0..centroids.rows() {
-            let d = squared_l2(row, centroids.row(c));
-            if d < best_d {
-                best_d = d;
-                best = c;
+    let work = assignments.len() * centroids.rows() * centroids.cols().max(1);
+    let _serial = (work < ASSIGN_PAR_MIN).then(|| lt_runtime::scoped_threads(1));
+    let partials = lt_runtime::parallel_chunks_mut(assignments, ASSIGN_CHUNK, |start, slots| {
+        let mut inertia = 0.0;
+        for (off, slot) in slots.iter_mut().enumerate() {
+            let row = data.row(start + off);
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for c in 0..centroids.rows() {
+                let d = squared_l2(row, centroids.row(c));
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
             }
+            *slot = best;
+            inertia += best_d;
         }
-        *slot = best;
-        inertia += best_d;
-    }
-    inertia
+        inertia
+    });
+    partials.into_iter().sum()
 }
 
 /// Runs Lloyd's algorithm with k-means++ seeding.

@@ -5,6 +5,11 @@
 //! explicitly includes building the numerical substrate the paper's training
 //! and search pipelines need.
 //!
+//! Hot kernels (GEMM, k-means assignment, bulk similarity, batch top-k) fan
+//! out on the [`lt_runtime`] worker pool with fixed deterministic chunking:
+//! results are bitwise identical for any thread count, including the serial
+//! fallback.
+//!
 //! Modules:
 //! * [`matrix`] — row-major `f32` [`Matrix`], the shared storage type.
 //! * [`gemm`] — blocked matrix multiply and dot-product kernels.

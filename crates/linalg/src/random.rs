@@ -15,6 +15,17 @@ pub fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Derives an independent stream seed from a base seed (splitmix64-style
+/// finalizer). Used by parallel fitters that give each work item its own
+/// RNG: streams depend only on `(seed, stream)`, never on thread count or
+/// completion order, so results stay bitwise reproducible.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Matrix with i.i.d. standard-normal entries.
 pub fn randn(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
     let data = (0..rows * cols).map(|_| StandardNormal.sample(rng)).collect();
@@ -77,6 +88,17 @@ mod tests {
         assert_eq!(a, b);
         let c = randn(3, 3, &mut rng(10));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn derived_seeds_distinct_and_deterministic() {
+        let seeds: Vec<u64> = (0..64).map(|s| derive_seed(42, s)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64, "stream seeds should not collide");
+        assert_eq!(derive_seed(42, 7), seeds[7]);
+        assert_ne!(derive_seed(43, 7), seeds[7]);
     }
 
     #[test]

@@ -128,6 +128,23 @@ pub fn top_k(scores: &[f32], k: usize) -> Vec<Scored> {
     acc.into_sorted_vec()
 }
 
+/// Batch top-k: one best-first result list per row of a score matrix.
+///
+/// Rows are selected independently on the [`lt_runtime`] pool with fixed
+/// chunking, so the output is bitwise identical for any thread count.
+pub fn top_k_batch(scores: &crate::matrix::Matrix, k: usize) -> Vec<Vec<Scored>> {
+    let rows = scores.rows();
+    // Small batches stay on the calling thread; the gate depends only on the
+    // problem shape, never the thread count.
+    let _serial = (rows * scores.cols() < (1 << 16)).then(|| lt_runtime::scoped_threads(1));
+    lt_runtime::parallel_map_chunks(rows, 16, |range| {
+        range.map(|i| top_k(scores.row(i), k)).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Reference implementation used by tests and property checks: full sort.
 pub fn top_k_by_sort(scores: &[f32], k: usize) -> Vec<Scored> {
     let mut v: Vec<Scored> = scores
@@ -195,6 +212,16 @@ mod tests {
         let got = top_k(&[f32::NAN, 1.0, f32::NAN, 0.5], 2);
         let idx: Vec<usize> = got.iter().map(|s| s.index).collect();
         assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn batch_matches_per_row() {
+        let m = crate::matrix::Matrix::from_rows(&[&[0.1, 0.9, 0.5], &[3.0, 1.0, 2.0]]);
+        let batch = top_k_batch(&m, 2);
+        assert_eq!(batch.len(), 2);
+        for (i, got) in batch.iter().enumerate() {
+            assert_eq!(got, &top_k(m.row(i), 2));
+        }
     }
 
     #[test]

@@ -1,0 +1,485 @@
+//! `lt-runtime`: the shared deterministic parallel runtime of the LightLT
+//! workspace.
+//!
+//! Every hot data-parallel loop in the workspace (GEMM row panels, k-means
+//! assignment, batch DSQ encoding, ADC ranking, ensemble branches) runs
+//! through this crate instead of hand-rolled thread scopes. The design goal
+//! is **bitwise determinism with respect to the thread count**: the same
+//! inputs produce the same bits whether the pool runs 1, 2, or 64 threads,
+//! which is what makes PR 1's bitwise checkpoint/resume guarantee survive a
+//! resume on a machine with a different core count.
+//!
+//! Two rules deliver that guarantee:
+//!
+//! 1. **Fixed chunking.** Work over `n` items is split into chunks whose
+//!    boundaries depend only on `n` and the caller's chunk size — never on
+//!    the thread count. Threads pick up whole chunks; a chunk is always
+//!    processed serially, start to end.
+//! 2. **Ordered reduction.** Per-chunk results are collected by chunk index
+//!    and folded in ascending chunk order, so floating-point accumulation
+//!    associates identically for every thread count. The serial fallback
+//!    (`threads <= 1`) walks the same chunks in the same order, making it
+//!    bit-for-bit equal to every parallel schedule.
+//!
+//! Thread-count resolution, highest priority first: a scoped override
+//! ([`scoped_threads`], how `LightLtConfig::threads` and CLI `--threads`
+//! plumb through), a process-wide override ([`set_threads`]), the
+//! `LT_THREADS` environment variable, and finally
+//! [`std::thread::available_parallelism`]. Nested parallel regions run
+//! serially (workers report one available thread), so kernels parallelized
+//! here compose without oversubscription.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Upper bound on worker threads; a safety clamp against absurd
+/// `LT_THREADS` values, far above any real core count we target.
+pub const MAX_THREADS: usize = 256;
+
+/// Process-wide override; 0 = unset.
+static GLOBAL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Scoped override for the current thread; 0 = unset.
+    static SCOPED_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Set inside pool workers so nested parallel regions degrade to serial.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn env_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("LT_THREADS").ok().and_then(|v| v.trim().parse().ok()).unwrap_or(0)
+    })
+}
+
+/// The worker-thread count a parallel region entered right now would use.
+///
+/// Resolution order: scoped override → process-wide [`set_threads`] →
+/// `LT_THREADS` → [`std::thread::available_parallelism`]. Inside a pool
+/// worker this returns 1 (nested regions run serially).
+pub fn threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let scoped = SCOPED_OVERRIDE.with(Cell::get);
+    if scoped != 0 {
+        return scoped.min(MAX_THREADS);
+    }
+    let global = GLOBAL_OVERRIDE.load(Ordering::Relaxed);
+    if global != 0 {
+        return global.min(MAX_THREADS);
+    }
+    let env = env_threads();
+    if env != 0 {
+        return env.min(MAX_THREADS);
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(MAX_THREADS)
+}
+
+/// Sets the process-wide thread count (`0` clears the override, returning
+/// resolution to `LT_THREADS` / available parallelism). The CLI calls this
+/// once at startup from `--threads`.
+pub fn set_threads(n: usize) {
+    GLOBAL_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// RAII guard restoring the previous scoped thread override on drop.
+#[derive(Debug)]
+pub struct ThreadGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for ThreadGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            SCOPED_OVERRIDE.with(|c| c.set(prev));
+        }
+    }
+}
+
+/// Overrides the thread count for the calling thread until the returned
+/// guard drops. `n == 0` is a no-op guard (keep the current resolution) so
+/// callers can pass a config knob through unconditionally.
+///
+/// The override is scoped to the calling thread; parallel regions entered
+/// while the guard lives use exactly `n` workers (clamped to
+/// [`MAX_THREADS`]). Thanks to the determinism rules, the override changes
+/// speed, never results.
+#[must_use = "the override ends when the guard drops"]
+pub fn scoped_threads(n: usize) -> ThreadGuard {
+    if n == 0 {
+        return ThreadGuard { prev: None };
+    }
+    let prev = SCOPED_OVERRIDE.with(|c| c.replace(n.min(MAX_THREADS)));
+    ThreadGuard { prev: Some(prev) }
+}
+
+/// A captured panic from a parallel worker, carrying the panic message.
+#[derive(Debug, Clone)]
+pub struct Panicked {
+    /// The panic payload rendered as text (best effort).
+    pub message: String,
+}
+
+impl std::fmt::Display for Panicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for Panicked {}
+
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The fixed chunk decomposition of `0..n` with the given chunk size:
+/// `ceil(n / chunk)` ranges, all but the last exactly `chunk` long.
+/// Independent of the thread count by construction.
+pub fn chunk_ranges(n: usize, chunk: usize) -> impl ExactSizeIterator<Item = Range<usize>> + Clone {
+    let chunk = chunk.max(1);
+    let num_chunks = n.div_ceil(chunk);
+    (0..num_chunks).map(move |c| c * chunk..((c + 1) * chunk).min(n))
+}
+
+/// Runs `map` over every fixed chunk of `0..n`, capturing worker panics.
+/// Results come back in chunk order.
+fn run_chunks<R, F>(n: usize, chunk: usize, map: F) -> Vec<Result<R, Panicked>>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges: Vec<Range<usize>> = chunk_ranges(n, chunk).collect();
+    let num_chunks = ranges.len();
+    let workers = threads().min(num_chunks);
+    if workers <= 1 {
+        // Serial fallback: same chunks, same order — bitwise identical to
+        // every parallel schedule.
+        return ranges
+            .into_iter()
+            .map(|r| {
+                panic::catch_unwind(AssertUnwindSafe(|| map(r)))
+                    .map_err(|p| Panicked { message: payload_message(p.as_ref()) })
+            })
+            .collect();
+    }
+
+    let map = &map;
+    let mut slots: Vec<Option<Result<R, Panicked>>> = Vec::with_capacity(num_chunks);
+    slots.resize_with(num_chunks, || None);
+    // Work distribution is a shared atomic cursor (dynamic load balance);
+    // it decides only *which worker* runs a chunk, never the chunk
+    // boundaries or the reduction order, so determinism is unaffected.
+    let cursor = AtomicUsize::new(0);
+    let outcomes: Vec<Vec<(usize, Result<R, Panicked>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let ranges = &ranges;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    IN_WORKER.with(|c| c.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        if idx >= ranges.len() {
+                            break;
+                        }
+                        let out = panic::catch_unwind(AssertUnwindSafe(|| map(ranges[idx].clone())))
+                            .map_err(|p| Panicked { message: payload_message(p.as_ref()) });
+                        local.push((idx, out));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("lt-runtime worker died outside catch_unwind"))
+            .collect()
+    });
+    for (idx, out) in outcomes.into_iter().flatten() {
+        slots[idx] = Some(out);
+    }
+    slots.into_iter().map(|s| s.expect("every chunk produces a result")).collect()
+}
+
+fn unwrap_or_resume<R>(results: Vec<Result<R, Panicked>>) -> Vec<R> {
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            // Re-raise the first panic (in chunk order) in the caller.
+            Err(p) => panic::resume_unwind(Box::new(p.message)),
+        })
+        .collect()
+}
+
+/// Maps every fixed chunk of `0..n` through `map`, returning the per-chunk
+/// results **in chunk order**. Worker panics propagate to the caller.
+///
+/// This is the deterministic map half of map/reduce: fold the returned
+/// vector front to back for an accumulation order that is identical for
+/// every thread count.
+pub fn parallel_map_chunks<R, F>(n: usize, chunk: usize, map: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    unwrap_or_resume(run_chunks(n, chunk, map))
+}
+
+/// [`parallel_map_chunks`] that captures worker panics instead of
+/// propagating them: each chunk yields `Err(Panicked)` when its body
+/// panicked. Lets coarse-grained callers (e.g. ensemble branch training)
+/// turn a diverging branch into a typed error instead of aborting the
+/// process.
+pub fn try_parallel_map_chunks<R, F>(n: usize, chunk: usize, map: F) -> Vec<Result<R, Panicked>>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    run_chunks(n, chunk, map)
+}
+
+/// Maps fixed chunks and folds the results **in ascending chunk order**:
+/// `fold(... fold(fold(init, r0), r1) ..., r_last)`. The fixed fold order
+/// makes floating-point reductions bitwise identical for any thread count.
+pub fn parallel_map_reduce<A, R, F, G>(n: usize, chunk: usize, init: A, map: F, fold: G) -> A
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+    G: FnMut(A, R) -> A,
+{
+    parallel_map_chunks(n, chunk, map).into_iter().fold(init, fold)
+}
+
+/// Splits `data` into fixed chunks of `chunk` elements and runs `body` on
+/// each, in parallel, returning per-chunk results in chunk order. `body`
+/// receives the chunk's start offset within `data` and the mutable chunk
+/// slice — chunks are disjoint, so no synchronization is needed.
+///
+/// This is the writer-side primitive behind row-parallel GEMM, batch
+/// encoding, and batch search: point it at the output buffer with a chunk
+/// size that is a whole number of rows.
+pub fn parallel_chunks_mut<T, R, F>(data: &mut [T], chunk: usize, body: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    let n = data.len();
+    let num_chunks = n.div_ceil(chunk).max(1);
+    let workers = threads().min(num_chunks);
+    if workers <= 1 || data.is_empty() {
+        return data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, slice)| body(c * chunk, slice))
+            .collect();
+    }
+
+    let body = &body;
+    let mut slots: Vec<Option<Result<R, String>>> = Vec::with_capacity(num_chunks);
+    slots.resize_with(num_chunks, || None);
+    // Chunk slices are handed out round-robin up front: worker `t` owns
+    // chunks `t, t+W, t+2W, …`. Static assignment keeps the borrow checker
+    // happy (each `&mut` slice moves into exactly one worker) and — like
+    // the atomic cursor above — only affects scheduling, never results.
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (c, slice) in data.chunks_mut(chunk).enumerate() {
+        per_worker[c % workers].push((c, slice));
+    }
+    let outcomes: Vec<Vec<(usize, Result<R, String>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|mine| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|c| c.set(true));
+                    mine.into_iter()
+                        .map(|(c, slice)| {
+                            let out =
+                                panic::catch_unwind(AssertUnwindSafe(|| body(c * chunk, slice)))
+                                    .map_err(|p| payload_message(p.as_ref()));
+                            (c, out)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("lt-runtime worker died outside catch_unwind"))
+            .collect()
+    });
+    for (c, out) in outcomes.into_iter().flatten() {
+        slots[c] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| match s.expect("every chunk produces a result") {
+            Ok(v) => v,
+            Err(message) => panic::resume_unwind(Box::new(message)),
+        })
+        .collect()
+}
+
+/// [`parallel_chunks_mut`] for bodies with no result.
+pub fn parallel_for_each_mut<T, F>(data: &mut [T], chunk: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let _: Vec<()> = parallel_chunks_mut(data, chunk, |start, slice| body(start, slice));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        let ranges: Vec<_> = chunk_ranges(10, 4).collect();
+        assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(0, 4).count(), 0);
+        assert_eq!(chunk_ranges(4, 0).count(), 4, "chunk=0 is clamped to 1");
+    }
+
+    #[test]
+    fn map_chunks_preserves_order_across_thread_counts() {
+        let reference: Vec<usize> = chunk_ranges(1000, 7).map(|r| r.start * 31 + r.len()).collect();
+        for t in [1usize, 2, 4, 8] {
+            let _g = scoped_threads(t);
+            let got = parallel_map_chunks(1000, 7, |r| r.start * 31 + r.len());
+            assert_eq!(got, reference, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_fold_order_is_thread_count_invariant() {
+        // A deliberately non-associative float reduction: identical bits
+        // for every thread count is the whole point of the runtime.
+        let reduce = || {
+            parallel_map_reduce(
+                10_000,
+                64,
+                0.0f32,
+                |r| r.map(|i| (i as f32).sqrt() * 1e-3).sum::<f32>(),
+                |acc, x| acc * 0.999 + x,
+            )
+        };
+        let reference = {
+            let _g = scoped_threads(1);
+            reduce()
+        };
+        for t in [2usize, 3, 4, 8] {
+            let _g = scoped_threads(t);
+            assert_eq!(reduce().to_bits(), reference.to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint_chunks() {
+        let mut data = vec![0usize; 103];
+        for t in [1usize, 2, 5] {
+            let _g = scoped_threads(t);
+            data.fill(0);
+            parallel_for_each_mut(&mut data, 8, |start, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = start + i;
+                }
+            });
+            let expect: Vec<usize> = (0..103).collect();
+            assert_eq!(data, expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_returns_results_in_chunk_order() {
+        let mut data = vec![1.0f64; 20];
+        let _g = scoped_threads(4);
+        let starts = parallel_chunks_mut(&mut data, 6, |start, _| start);
+        assert_eq!(starts, vec![0, 6, 12, 18]);
+    }
+
+    #[test]
+    fn try_map_captures_panics_per_chunk() {
+        let _g = scoped_threads(4);
+        let out = try_parallel_map_chunks(8, 2, |r| {
+            if r.start == 4 {
+                panic!("chunk {} exploded", r.start);
+            }
+            r.start
+        });
+        assert_eq!(out.len(), 4);
+        assert_eq!(*out[0].as_ref().unwrap(), 0);
+        assert!(out[2].as_ref().unwrap_err().message.contains("chunk 4 exploded"));
+        assert_eq!(*out[3].as_ref().unwrap(), 6);
+    }
+
+    #[test]
+    fn plain_map_propagates_panics() {
+        let _g = scoped_threads(2);
+        let result = std::panic::catch_unwind(|| {
+            parallel_map_chunks(4, 1, |r| {
+                if r.start == 2 {
+                    panic!("boom");
+                }
+                r.start
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn scoped_override_nests_and_restores() {
+        let base = threads();
+        {
+            let _g1 = scoped_threads(3);
+            assert_eq!(threads(), 3);
+            {
+                let _g2 = scoped_threads(7);
+                assert_eq!(threads(), 7);
+                let _noop = scoped_threads(0);
+                assert_eq!(threads(), 7, "0 keeps the current resolution");
+            }
+            assert_eq!(threads(), 3);
+        }
+        assert_eq!(threads(), base);
+    }
+
+    #[test]
+    fn nested_regions_run_serial() {
+        let _g = scoped_threads(4);
+        let inner_threads = parallel_map_chunks(2, 1, |_| threads());
+        assert_eq!(inner_threads, vec![1, 1], "workers must report 1 thread");
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_chunk_count() {
+        // Indirect check: with more threads than chunks the pool still
+        // produces every chunk exactly once.
+        let _g = scoped_threads(16);
+        let hits = AtomicUsize::new(0);
+        let out = parallel_map_chunks(3, 1, |r| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            r.start
+        });
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+}

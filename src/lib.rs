@@ -14,6 +14,8 @@
 //! * [`data`] ([`lt_data`]) — Zipf long-tail dataset synthesis (Table I).
 //! * [`baselines`] ([`lt_baselines`]) — LSH…LTHNet comparators.
 //! * [`eval`] ([`lt_eval`]) — MAP, timing, reporting.
+//! * [`runtime`] ([`lt_runtime`]) — the deterministic worker pool every
+//!   hot path fans out on (`LT_THREADS`, bitwise thread-count invariance).
 //!
 //! See `examples/quickstart.rs` for the fastest path from data to search.
 
@@ -23,6 +25,7 @@ pub use lt_baselines as baselines;
 pub use lt_data as data;
 pub use lt_eval as eval;
 pub use lt_linalg as linalg;
+pub use lt_runtime as runtime;
 pub use lt_tensor as tensor;
 pub use lightlt_core as core;
 

@@ -1,0 +1,218 @@
+//! Thread-count determinism suite: every parallel kernel in the workspace
+//! must produce results *bitwise identical* to its serial execution for any
+//! runtime width. The parallel runtime chunks work by problem shape only
+//! (never by thread count) and folds per-chunk results in chunk order, so
+//! parallelism is purely a wall-clock knob — these tests pin that contract
+//! for GEMM, k-means, DSQ batch encode, ADC batch search, PQ fitting, a
+//! short training run, and a kill-and-resume cycle that crosses thread
+//! counts.
+
+use std::path::PathBuf;
+
+use lightlt::core::fault::{FaultPlan, TrainError};
+use lightlt::core::trainer::{resume, train_base_model, train_with_options, CheckpointSpec, TrainOptions};
+use lightlt::core::LightLt;
+use lightlt::prelude::*;
+use lt_baselines::shallow::pq::Pq;
+use lt_data::synth::{generate_split, Domain};
+use lt_linalg::gemm::{matmul, matmul_a_bt, matmul_at_b};
+use lt_linalg::kmeans::{kmeans, KMeansConfig};
+use lt_linalg::random::{randn, rng};
+use lt_tensor::ParamStore;
+
+/// Runtime widths every kernel is checked against. Width 1 exercises the
+/// serial fallback; the rest exercise genuinely concurrent schedules.
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs `f` with the runtime pinned to `n` worker threads.
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let _width = lightlt::runtime::scoped_threads(n);
+    f()
+}
+
+/// Asserts that `f` returns bitwise-equal results at every width in
+/// [`WIDTHS`], using the serial run as the reference.
+fn assert_width_invariant<T: PartialEq + std::fmt::Debug>(f: impl Fn() -> T) {
+    let reference = with_threads(1, &f);
+    for &w in &WIDTHS[1..] {
+        let got = with_threads(w, &f);
+        assert_eq!(got, reference, "result differs at {w} threads");
+    }
+}
+
+#[test]
+fn gemm_is_thread_count_invariant() {
+    // 128³ MACs clears the parallel-worthwhile gate, so the parallel panels
+    // actually run at widths > 1.
+    let a = randn(128, 96, &mut rng(1));
+    let b = randn(96, 128, &mut rng(2));
+    assert_width_invariant(|| matmul(&a, &b));
+    assert_width_invariant(|| matmul_a_bt(&a, &a));
+    assert_width_invariant(|| matmul_at_b(&a, &a));
+}
+
+#[test]
+fn kmeans_is_thread_count_invariant() {
+    let data = randn(512, 16, &mut rng(3));
+    let cfg = KMeansConfig { k: 16, max_iters: 25, tol: 1e-4 };
+    assert_width_invariant(|| {
+        let fit = kmeans(&data, cfg, &mut rng(4));
+        (fit.centroids, fit.assignments, fit.iterations)
+    });
+}
+
+#[test]
+fn dsq_batch_encode_is_thread_count_invariant() {
+    let dim = 16;
+    let mut store = ParamStore::new();
+    let dsq = Dsq::new(
+        &mut store,
+        4,
+        16,
+        dim,
+        24,
+        CodebookTopology::DoubleSkip,
+        0.2,
+        Metric::NegSquaredL2,
+        &mut rng(5),
+    );
+    let x = randn(512, dim, &mut rng(6)).scale(0.5);
+    let codebooks = dsq.effective_codebooks(&store);
+    assert_width_invariant(|| dsq.encode_with_codebooks(&codebooks, &x));
+    let codes = dsq.encode_with_codebooks(&codebooks, &x);
+    assert_width_invariant(|| dsq.decode_with_codebooks(&codebooks, &codes));
+}
+
+#[test]
+fn adc_batch_search_is_thread_count_invariant() {
+    let dim = 16;
+    let mut store = ParamStore::new();
+    let dsq = Dsq::new(
+        &mut store,
+        4,
+        16,
+        dim,
+        24,
+        CodebookTopology::DoubleSkip,
+        0.2,
+        Metric::NegSquaredL2,
+        &mut rng(7),
+    );
+    let db = randn(400, dim, &mut rng(8)).scale(0.5);
+    let index = QuantizedIndex::build(&dsq, &store, &db);
+    let queries = randn(37, dim, &mut rng(9));
+    assert_width_invariant(|| adc_search_batch(&index, &queries, 10));
+}
+
+#[test]
+fn pq_fit_and_encode_are_thread_count_invariant() {
+    let x = randn(256, 16, &mut rng(10));
+    assert_width_invariant(|| {
+        let pq = Pq::fit(&x, 4, 8, 11);
+        pq.encode(&x)
+    });
+}
+
+fn task() -> RetrievalSplit {
+    generate_split(&SynthConfig {
+        num_classes: 5,
+        dim: 12,
+        pi1: 40,
+        imbalance_factor: 8.0,
+        n_query: 15,
+        n_database: 100,
+        domain: Domain::ImageLike,
+        intra_class_std: None,
+        seed: 29,
+    })
+}
+
+fn config() -> LightLtConfig {
+    LightLtConfig {
+        input_dim: 12,
+        backbone_hidden: 20,
+        embed_dim: 8,
+        num_classes: 5,
+        num_codebooks: 2,
+        num_codewords: 8,
+        ffn_hidden: 12,
+        epochs: 4,
+        batch_size: 16,
+        learning_rate: 5e-3,
+        ensemble_size: 1,
+        seed: 31,
+        ..Default::default()
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("lightlt_determinism_test_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_stores_identical(a: &ParamStore, b: &ParamStore) {
+    assert!(a.schema_matches(b), "parameter schemas differ");
+    for (id, p) in a.iter() {
+        assert_eq!(
+            p.value,
+            *b.value(id),
+            "parameter {} differs between the two runs",
+            p.name
+        );
+    }
+}
+
+/// A short training run reaches bitwise-identical weights and epoch
+/// histories at every runtime width.
+#[test]
+fn training_run_is_thread_count_invariant() {
+    let split = task();
+    let cfg = config();
+    let (_, reference_store, reference_history) =
+        with_threads(1, || train_base_model(&cfg, &split.train, 0).unwrap());
+    for &w in &WIDTHS[1..] {
+        let (_, store, history) =
+            with_threads(w, || train_base_model(&cfg, &split.train, 0).unwrap());
+        assert_eq!(history, reference_history, "epoch history differs at {w} threads");
+        assert_stores_identical(&reference_store, &store);
+    }
+}
+
+/// A run killed mid-training under one thread count and resumed under a
+/// different one still matches the uninterrupted reference bitwise: the
+/// checkpoint format carries no schedule state, and the kernels replay
+/// identically at any width.
+#[test]
+fn kill_and_resume_crosses_thread_counts_bitwise() {
+    let split = task();
+    let cfg = config();
+    let dir = tmpdir("cross_width_resume");
+
+    let (_, reference_store, reference_history) =
+        with_threads(1, || train_base_model(&cfg, &split.train, 0).unwrap());
+
+    // Interrupted run at 1 thread, killed after epoch 2's checkpoint.
+    with_threads(1, || {
+        let (mut model, mut store) = LightLt::new(&cfg, 0);
+        model.set_class_counts(&split.train.class_counts());
+        let opts = TrainOptions {
+            checkpoint: Some(CheckpointSpec::new(&dir, "model")),
+            fault_plan: FaultPlan::none().kill_after_epoch(2),
+            ..TrainOptions::default()
+        };
+        match train_with_options(&model, &mut store, &split.train, &opts) {
+            Err(TrainError::SimulatedKill { epoch: 2 }) => {}
+            other => panic!("expected a simulated kill after epoch 2, got {other:?}"),
+        }
+    });
+
+    // Resume at 4 threads.
+    let (_, resumed_store, resumed_history) =
+        with_threads(4, || resume(&split.train, &dir).expect("resume failed"));
+
+    assert_eq!(resumed_history, reference_history, "epoch histories differ");
+    assert_stores_identical(&reference_store, &resumed_store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
