@@ -11,3 +11,12 @@ cargo build --release
 LT_THREADS=1 cargo test -q
 LT_THREADS=4 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Benchmarks must keep compiling even when they are not run.
+cargo bench --no-run --workspace
+
+# Smoke the ADC benchmark runner on a tiny grid. Writes under target/ so
+# the tracked baseline (BENCH_adc.json, full grid) is never overwritten by
+# smoke numbers — regenerate that one deliberately with
+# `cargo run -p lt-bench --release -- adc`.
+cargo run -p lt-bench --release -- adc --smoke --out target/BENCH_adc_smoke.json

@@ -135,23 +135,26 @@ impl<H: BinaryHasher> Ranker for HammingRanker<'_, H> {
 /// the standard lookup-table trick.
 pub struct AdcIndex {
     codebooks: Vec<Matrix>,
-    /// Flattened `n × M` codeword ids.
-    codes: Vec<u16>,
+    /// Codeword ids in the level-major scan layout.
+    codes: lt_linalg::LevelCodes,
     /// Per-item reconstruction squared norms.
     norms_sq: Vec<f32>,
     n: usize,
 }
 
 impl AdcIndex {
-    /// Builds the index from full-dim additive codebooks and item codes.
+    /// Builds the index from full-dim additive codebooks and item-major
+    /// `n × M` codes (converted once to the level-major scan layout).
     ///
     /// # Panics
     /// Panics on shape inconsistencies.
     pub fn new(codebooks: Vec<Matrix>, codes: Vec<u16>) -> Self {
         assert!(!codebooks.is_empty(), "need at least one codebook");
         let m = codebooks.len();
+        let k = codebooks[0].rows();
         let d = codebooks[0].cols();
         assert!(codebooks.iter().all(|c| c.cols() == d), "codebook width mismatch");
+        assert!(codebooks.iter().all(|c| c.rows() == k), "codebook size mismatch");
         assert_eq!(codes.len() % m, 0, "code length not a multiple of M");
         let n = codes.len() / m;
         let norms_sq = (0..n)
@@ -166,12 +169,14 @@ impl AdcIndex {
                 lt_linalg::gemm::dot(&recon, &recon)
             })
             .collect();
+        let codes = lt_linalg::LevelCodes::from_item_major(&codes, m, k);
         Self { codebooks, codes, norms_sq, n }
     }
 
-    /// Scores all items for a query: `−‖q − recon_i‖²` via LUT
+    /// Scores all items into a caller-provided buffer:
+    /// `−‖q − recon_i‖²` via LUT on the blocked level-major scan engine
     /// (item-parallel on the runtime pool, thread-count invariant).
-    pub fn scores(&self, query: &[f32]) -> Vec<f32> {
+    pub fn scores_into(&self, query: &[f32], out: &mut Vec<f32>) {
         let m = self.codebooks.len();
         let k = self.codebooks[0].rows();
         let qn = lt_linalg::gemm::dot(query, query);
@@ -181,26 +186,33 @@ impl AdcIndex {
                 lut[level * k + j] = lt_linalg::gemm::dot(query, cb.row(j));
             }
         }
-        lt_runtime::parallel_map_chunks(self.n, RANK_CHUNK, |range| {
-            range
-                .map(|i| {
-                    let mut ip = 0.0f32;
-                    for level in 0..m {
-                        ip += lut[level * k + self.codes[i * m + level] as usize];
-                    }
-                    2.0 * ip - self.norms_sq[i] - qn
-                })
-                .collect::<Vec<_>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+        lt_linalg::scan::adc_scores_neg_l2(&self.codes, &lut, &self.norms_sq, qn, out);
+    }
+
+    /// Scores all items for a query (allocating convenience wrapper around
+    /// [`AdcIndex::scores_into`]).
+    pub fn scores(&self, query: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.scores_into(query, &mut out);
+        out
     }
 }
 
 impl Ranker for AdcIndex {
     fn rank(&self, query: &[f32]) -> Vec<usize> {
         lt_linalg::topk::rank_all(&self.scores(query))
+    }
+
+    fn rank_batch(&self, queries: &Matrix) -> Vec<Vec<usize>> {
+        // One score buffer for the whole batch; rankings are identical to
+        // per-row `rank`.
+        let mut scores = Vec::new();
+        (0..queries.rows())
+            .map(|i| {
+                self.scores_into(queries.row(i), &mut scores);
+                lt_linalg::topk::rank_all(&scores)
+            })
+            .collect()
     }
 
     fn database_len(&self) -> usize {

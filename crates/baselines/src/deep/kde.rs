@@ -314,8 +314,7 @@ mod tests {
         let model = Kde::fit(config(), &split.train);
         let index = model.build_index(&split.database.features);
         let q_emb = model.quantized_embed(&split.query.features);
-        let rankings: Vec<Vec<usize>> =
-            (0..q_emb.rows()).map(|i| index.rank(q_emb.row(i))).collect();
+        let rankings = index.rank_batch(&q_emb);
         let map = lt_eval::mean_average_precision(
             &rankings,
             &split.query.labels,

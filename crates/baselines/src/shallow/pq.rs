@@ -18,8 +18,6 @@ use lt_linalg::Matrix;
 /// Rows per parallel work item in `Pq::encode` (fixed, so codes never
 /// depend on the runtime width).
 const ENCODE_CHUNK: usize = 64;
-/// Items per parallel work item in the ADC scoring path.
-const SCORE_CHUNK: usize = 1024;
 
 /// A trained product quantizer.
 #[derive(Debug, Clone)]
@@ -123,23 +121,27 @@ fn subspace(x: &Matrix, s: usize, sub_dim: usize) -> Matrix {
     Matrix::from_fn(x.rows(), sub_dim, |i, j| x[(i, s * sub_dim + j)])
 }
 
-/// ADC index over a PQ-encoded database.
+/// ADC index over a PQ-encoded database (codes held in the level-major
+/// scan layout of [`lt_linalg::scan`]).
 pub struct PqIndex {
     pq: Pq,
-    codes: Vec<u16>,
+    codes: lt_linalg::LevelCodes,
     n: usize,
 }
 
 impl PqIndex {
     /// Encodes the database.
     pub fn build(pq: Pq, database: &Matrix) -> Self {
-        let codes = pq.encode(database);
+        let item_major = pq.encode(database);
+        let codes =
+            lt_linalg::LevelCodes::from_item_major(&item_major, pq.num_subspaces(), pq.num_centroids());
         Self { pq, codes, n: database.rows() }
     }
 
-    /// Scores all items for a query (negative squared distance, higher =
-    /// closer) using per-subspace lookup tables.
-    pub fn scores(&self, query: &[f32]) -> Vec<f32> {
+    /// Scores all items into a caller-provided buffer (negative squared
+    /// distance, higher = closer) using per-subspace lookup tables on the
+    /// blocked scan engine.
+    pub fn scores_into(&self, query: &[f32], out: &mut Vec<f32>) {
         let m = self.pq.num_subspaces();
         let k = self.pq.num_centroids();
         let sub_dim = self.pq.sub_dim;
@@ -151,26 +153,36 @@ impl PqIndex {
                 lut[s * k + c] = squared_l2(sub, cb.row(c));
             }
         }
-        lt_runtime::parallel_map_chunks(self.n, SCORE_CHUNK, |range| {
-            range
-                .map(|i| {
-                    let mut d = 0.0;
-                    for s in 0..m {
-                        d += lut[s * k + self.codes[i * m + s] as usize];
-                    }
-                    -d
-                })
-                .collect::<Vec<_>>()
-        })
-        .into_iter()
-        .flatten()
-        .collect()
+        lt_linalg::scan::adc_scores_sum(&self.codes, &lut, out);
+        // Negating a sum of distances equals summing then flipping the sign
+        // in the old per-item loop, so scores stay bitwise identical.
+        for v in out.iter_mut() {
+            *v = -*v;
+        }
+    }
+
+    /// Scores all items for a query (allocating wrapper around
+    /// [`PqIndex::scores_into`]).
+    pub fn scores(&self, query: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.scores_into(query, &mut out);
+        out
     }
 }
 
 impl Ranker for PqIndex {
     fn rank(&self, query: &[f32]) -> Vec<usize> {
         lt_linalg::topk::rank_all(&self.scores(query))
+    }
+
+    fn rank_batch(&self, queries: &Matrix) -> Vec<Vec<usize>> {
+        let mut scores = Vec::new();
+        (0..queries.rows())
+            .map(|i| {
+                self.scores_into(queries.row(i), &mut scores);
+                lt_linalg::topk::rank_all(&scores)
+            })
+            .collect()
     }
 
     fn database_len(&self) -> usize {

@@ -149,10 +149,46 @@ fn bench_adc_batch_threads(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_adc_scan(c: &mut Criterion) {
+    // Blocked level-major scan engine vs the retained scalar item-major
+    // reference, on the same index and LUT (the two are bitwise identical,
+    // so this group measures layout + blocking alone).
+    let dim = 64;
+    let mut store = ParamStore::new();
+    let dsq = Dsq::new(
+        &mut store,
+        8,
+        256,
+        dim,
+        64,
+        CodebookTopology::DoubleSkip,
+        0.2,
+        Metric::NegSquaredL2,
+        &mut rng(14),
+    );
+    let mut group = c.benchmark_group("adc_scan");
+    for &n in &[10_000usize, 50_000] {
+        let db = randn(n, dim, &mut rng(15)).scale(0.5);
+        let index = QuantizedIndex::build(&dsq, &store, &db);
+        let q: Vec<f32> = randn(1, dim, &mut rng(16)).into_vec();
+        let lut = index.build_lut(&q);
+        let qn = lt_linalg::gemm::dot(&q, &q);
+        let mut scores = Vec::new();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("engine", n), &n, |b, _| {
+            b.iter(|| index.scores_with_lut(&lut, qn, &mut scores));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| index.scores_with_lut_reference(&lut, qn, &mut scores));
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
     targets = bench_search, bench_gemm, bench_dsq_encode, bench_train_step,
-        bench_gemm_threads, bench_adc_batch_threads
+        bench_gemm_threads, bench_adc_batch_threads, bench_adc_scan
 }
 criterion_main!(kernels);

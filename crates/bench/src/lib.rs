@@ -11,7 +11,7 @@
 #![warn(missing_docs)]
 
 use lightlt_core::prelude::*;
-use lightlt_core::search::adc_rank_all;
+use lightlt_core::search::adc_rank_all_batch;
 use lt_baselines::deep::deep_hash::{DeepHash, DeepHashConfig, DeepHashKind};
 use lt_baselines::deep::dpq::{Dpq, DpqConfig};
 use lt_baselines::deep::kde::{Kde, KdeConfig};
@@ -191,8 +191,7 @@ pub fn lightlt_map(result: &EnsembleResult, split: &RetrievalSplit) -> f64 {
     let db_emb = result.model.embed(&result.store, &split.database.features);
     let q_emb = result.model.embed(&result.store, &split.query.features);
     let index = QuantizedIndex::build(&result.model.dsq, &result.store, &db_emb);
-    let rankings: Vec<Vec<usize>> =
-        (0..q_emb.rows()).map(|i| adc_rank_all(&index, q_emb.row(i))).collect();
+    let rankings = adc_rank_all_batch(&index, &q_emb);
     mean_average_precision(&rankings, &split.query.labels, &split.database.labels)
 }
 
@@ -324,8 +323,7 @@ impl Baseline {
                 );
                 let index = model.build_index(&split.database.features);
                 let q_emb = model.embed(q);
-                let rankings: Vec<Vec<usize>> =
-                    (0..q_emb.rows()).map(|i| index.rank(q_emb.row(i))).collect();
+                let rankings = index.rank_batch(&q_emb);
                 mean_average_precision(&rankings, ql, dbl)
             }
             Baseline::Kde => {
@@ -347,8 +345,7 @@ impl Baseline {
                 );
                 let index = model.build_index(&split.database.features);
                 let q_emb = model.quantized_embed(q);
-                let rankings: Vec<Vec<usize>> =
-                    (0..q_emb.rows()).map(|i| index.rank(q_emb.row(i))).collect();
+                let rankings = index.rank_batch(&q_emb);
                 mean_average_precision(&rankings, ql, dbl)
             }
             Baseline::LthNet => {

@@ -1,0 +1,229 @@
+//! Tracked performance baselines for the hot engines.
+//!
+//! `cargo run -p lt-bench --release -- adc` measures the ADC scan engine —
+//! LUT construction (per-query and GEMM-batched), scan throughput of the
+//! blocked level-major engine vs the scalar item-major reference, and
+//! end-to-end top-10 QPS — over the grid `n ∈ {10k, 100k} × K ∈ {16, 256}
+//! × M ∈ {4, 8}` at `d = 64`, and writes `BENCH_adc.json` at the repo
+//! root. The JSON is the tracked baseline: regenerate it after touching
+//! the scan engine and diff the throughput columns.
+//!
+//! `--smoke` shrinks the grid and repetition counts so CI can exercise the
+//! runner in seconds; pair it with `--out target/BENCH_adc_smoke.json` so
+//! the tracked baseline is not overwritten by smoke numbers.
+
+use std::time::Instant;
+
+use lightlt_core::search::{adc_search_with, SearchScratch};
+use lightlt_core::{Codes, QuantizedIndex};
+use lt_linalg::random::{randn, rng};
+use lt_linalg::{Matrix, Metric};
+
+/// Deterministic codeword ids without touching the RNG crates (the bench
+/// binary must behave the same whether `rand` is real or stubbed).
+fn synth_codes(n: usize, m: usize, k: usize, seed: u64) -> Vec<u16> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (0..n * m)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize % k) as u16
+        })
+        .collect()
+}
+
+/// Builds an index with random codebooks and random codes. Real encoding of
+/// 100k items is out of budget for a benchmark setup phase, and scan
+/// timing only depends on shapes, never on which codewords the encoder
+/// picked.
+fn synth_index(n: usize, m: usize, k: usize, d: usize) -> QuantizedIndex {
+    let mut r = rng(7 + (n + m * 1000 + k) as u64);
+    let codebooks: Vec<Matrix> = (0..m).map(|_| randn(k, d, &mut r).scale(0.3)).collect();
+    let codes = Codes::new(synth_codes(n, m, k, 11), m);
+    let norms = codes
+        .as_slice()
+        .chunks_exact(m)
+        .map(|item| {
+            let mut recon = vec![0.0f32; d];
+            for (level, &id) in item.iter().enumerate() {
+                for (v, &c) in recon.iter_mut().zip(codebooks[level].row(id as usize)) {
+                    *v += c;
+                }
+            }
+            lt_linalg::gemm::dot(&recon, &recon)
+        })
+        .collect();
+    QuantizedIndex::from_parts(codebooks, codes, norms, Metric::NegSquaredL2, d, k)
+}
+
+/// One measured grid point.
+struct AdcResult {
+    n: usize,
+    m: usize,
+    k: usize,
+    lut_build_us: f64,
+    lut_batch_per_query_us: f64,
+    engine_scan_items_per_s: f64,
+    reference_scan_items_per_s: f64,
+    scan_speedup: f64,
+    qps_top10: f64,
+}
+
+fn time_avg_us<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+fn bench_adc_config(n: usize, m: usize, k: usize, d: usize, reps: usize) -> AdcResult {
+    let index = synth_index(n, m, k, d);
+    let queries = randn(32.min(reps.max(4)), d, &mut rng(23)).scale(0.5);
+    let nq = queries.rows();
+
+    let mut scratch = SearchScratch::new();
+    // Warm up allocations + caches once before timing.
+    let _ = adc_search_with(&index, queries.row(0), 10, &mut scratch);
+
+    let mut lut = Vec::new();
+    let lut_build_us = time_avg_us(reps, || {
+        index.build_lut_into(queries.row(0), &mut lut);
+        std::hint::black_box(&lut);
+    });
+
+    let lut_batch_per_query_us = time_avg_us(reps.div_ceil(4).max(1), || {
+        std::hint::black_box(index.build_lut_batch(&queries));
+    }) / nq as f64;
+
+    index.build_lut_into(queries.row(0), &mut lut);
+    let qn = lt_linalg::gemm::dot(queries.row(0), queries.row(0));
+
+    let mut scores = Vec::new();
+    let engine_us = time_avg_us(reps, || {
+        index.scores_with_lut(&lut, qn, &mut scores);
+        std::hint::black_box(&scores);
+    });
+    let engine_scan_items_per_s = n as f64 / (engine_us * 1e-6);
+
+    let reference_us = time_avg_us(reps, || {
+        index.scores_with_lut_reference(&lut, qn, &mut scores);
+        std::hint::black_box(&scores);
+    });
+    let reference_scan_items_per_s = n as f64 / (reference_us * 1e-6);
+
+    let query_us = time_avg_us(reps, || {
+        let qi = 0; // fixed query: steady-state latency, cache-warm LUT row
+        std::hint::black_box(adc_search_with(&index, queries.row(qi), 10, &mut scratch));
+    });
+    let qps_top10 = 1e6 / query_us;
+
+    AdcResult {
+        n,
+        m,
+        k,
+        lut_build_us,
+        lut_batch_per_query_us,
+        engine_scan_items_per_s,
+        reference_scan_items_per_s,
+        scan_speedup: engine_scan_items_per_s / reference_scan_items_per_s,
+        qps_top10,
+    }
+}
+
+/// Hand-formatted JSON: the runner must work even when `serde_json` is
+/// swapped for a typecheck-only stub in offline builds.
+fn render_json(dim: usize, smoke: bool, results: &[AdcResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"adc\",\n");
+    out.push_str(&format!("  \"dim\": {dim},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", lt_runtime::threads()));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"m\": {}, \"k\": {}, \
+             \"lut_build_us\": {:.3}, \"lut_batch_per_query_us\": {:.3}, \
+             \"engine_scan_items_per_s\": {:.0}, \
+             \"reference_scan_items_per_s\": {:.0}, \
+             \"scan_speedup\": {:.3}, \"qps_top10\": {:.1}}}{}\n",
+            r.n,
+            r.m,
+            r.k,
+            r.lut_build_us,
+            r.lut_batch_per_query_us,
+            r.engine_scan_items_per_s,
+            r.reference_scan_items_per_s,
+            r.scan_speedup,
+            r.qps_top10,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_adc(smoke: bool, out_path: &str) {
+    let dim = 64;
+    let (ns, ks, ms, reps): (&[usize], &[usize], &[usize], usize) = if smoke {
+        (&[2_000], &[16], &[4], 3)
+    } else {
+        (&[10_000, 100_000], &[16, 256], &[4, 8], 40)
+    };
+    let mut results = Vec::new();
+    for &n in ns {
+        for &k in ks {
+            for &m in ms {
+                // Fewer reps at the largest size keeps the full grid quick
+                // without losing resolution (each pass already scans 100k
+                // items).
+                let reps = if n >= 100_000 { reps.div_ceil(2) } else { reps };
+                let r = bench_adc_config(n, m, k, dim, reps);
+                eprintln!(
+                    "n={:<7} K={:<4} M={}  engine {:>12.0} items/s  reference {:>12.0} items/s  \
+                     speedup {:.2}x  top-10 {:.0} qps",
+                    r.n,
+                    r.k,
+                    r.m,
+                    r.engine_scan_items_per_s,
+                    r.reference_scan_items_per_s,
+                    r.scan_speedup,
+                    r.qps_top10
+                );
+                results.push(r);
+            }
+        }
+    }
+    let json = render_json(dim, smoke, &results);
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut bench = None;
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(it.next().expect("--out needs a path").clone()),
+            name if bench.is_none() && !name.starts_with('-') => bench = Some(name.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    match bench.as_deref() {
+        Some("adc") => {
+            let out = out.unwrap_or_else(|| "BENCH_adc.json".to_string());
+            run_adc(smoke, &out);
+        }
+        _ => {
+            eprintln!("usage: lt-bench adc [--smoke] [--out PATH]");
+            std::process::exit(2);
+        }
+    }
+}

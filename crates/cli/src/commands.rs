@@ -2,7 +2,7 @@
 
 use lightlt_core::persist::{deserialize_index, serialize_index, ModelBundle};
 use lightlt_core::prelude::*;
-use lightlt_core::search::{adc_rank_all, adc_search, adc_search_rerank};
+use lightlt_core::search::{adc_rank_all_batch, adc_search, adc_search_rerank};
 use lt_data::io::{load_split, save_split};
 use lt_data::DatasetKind;
 use lt_eval::Table;
@@ -226,8 +226,7 @@ pub fn eval(args: &Args) -> Result<(), String> {
     }
 
     let q_emb = model.embed(&store, &split.query.features);
-    let rankings: Vec<Vec<usize>> =
-        (0..q_emb.rows()).map(|i| adc_rank_all(&idx, q_emb.row(i))).collect();
+    let rankings = adc_rank_all_batch(&idx, &q_emb);
     let map = lt_eval::mean_average_precision(
         &rankings,
         &split.query.labels,

@@ -16,15 +16,17 @@ pub fn bits_per_id(num_codewords: usize) -> u32 {
     (num_codewords as f64).log2().ceil() as u32
 }
 
-/// Packs codes at `bits_per_id(num_codewords)` bits per id, little-endian
-/// bit order within the stream.
-pub fn pack_codes(codes: &Codes, num_codewords: usize) -> Vec<u8> {
+/// Packs a flat id stream at `bits_per_id(num_codewords)` bits per id,
+/// little-endian bit order within the stream. Works for any id ordering —
+/// item-major ([`pack_codes`]) and the level-major on-disk layout of
+/// `LTINDEX3` images both route through here.
+pub fn pack_ids(ids: &[u16], num_codewords: usize) -> Vec<u8> {
     let bits = bits_per_id(num_codewords);
-    let total_bits = codes.as_slice().len() as u64 * bits as u64;
+    let total_bits = ids.len() as u64 * bits as u64;
     let mut out = BytesMut::with_capacity(total_bits.div_ceil(8) as usize);
     let mut acc: u64 = 0;
     let mut acc_bits: u32 = 0;
-    for &id in codes.as_slice() {
+    for &id in ids {
         debug_assert!(
             (id as usize) < num_codewords,
             "code {id} out of range for K={num_codewords}"
@@ -43,20 +45,12 @@ pub fn pack_codes(codes: &Codes, num_codewords: usize) -> Vec<u8> {
     out.to_vec()
 }
 
-/// Unpacks a stream produced by [`pack_codes`].
-///
-/// `num_items` and `num_codebooks` determine how many ids to read.
+/// Unpacks `n_ids` ids from a stream produced by [`pack_ids`].
 ///
 /// # Panics
-/// Panics if the buffer is too short for the requested shape.
-pub fn unpack_codes(
-    packed: &[u8],
-    num_items: usize,
-    num_codebooks: usize,
-    num_codewords: usize,
-) -> Codes {
+/// Panics if the buffer is too short for the requested count.
+pub fn unpack_ids(packed: &[u8], n_ids: usize, num_codewords: usize) -> Vec<u16> {
     let bits = bits_per_id(num_codewords);
-    let n_ids = num_items * num_codebooks;
     let needed_bits = n_ids as u64 * bits as u64;
     assert!(
         (packed.len() as u64) * 8 >= needed_bits,
@@ -80,6 +74,28 @@ pub fn unpack_codes(
         acc >>= bits;
         acc_bits -= bits;
     }
+    ids
+}
+
+/// Packs an item-major code table at `bits_per_id(num_codewords)` bits per
+/// id, little-endian bit order within the stream.
+pub fn pack_codes(codes: &Codes, num_codewords: usize) -> Vec<u8> {
+    pack_ids(codes.as_slice(), num_codewords)
+}
+
+/// Unpacks a stream produced by [`pack_codes`].
+///
+/// `num_items` and `num_codebooks` determine how many ids to read.
+///
+/// # Panics
+/// Panics if the buffer is too short for the requested shape.
+pub fn unpack_codes(
+    packed: &[u8],
+    num_items: usize,
+    num_codebooks: usize,
+    num_codewords: usize,
+) -> Codes {
+    let ids = unpack_ids(packed, num_items * num_codebooks, num_codewords);
     Codes::new(ids, num_codebooks)
 }
 

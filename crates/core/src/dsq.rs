@@ -22,6 +22,7 @@ use lt_linalg::distance::similarity;
 use lt_linalg::gemm::matmul;
 use lt_linalg::Matrix;
 use lt_linalg::Metric;
+use lt_linalg::LevelCodes;
 use lt_tensor::{Init, ParamId, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 
@@ -85,10 +86,20 @@ impl Codes {
     }
 
     /// Serialized size in bytes at `ceil(log2 K)` bits per id, i.e. the
-    /// paper's `M·log2(K)/8` bytes per item.
+    /// paper's `M·log2(K)/8` bits per item.
     pub fn packed_bytes(&self, num_codewords: usize) -> usize {
         let bits_per_id = (num_codewords as f64).log2().ceil() as usize;
         (self.len() * self.m * bits_per_id).div_ceil(8)
+    }
+
+    /// Converts to the level-major scan layout (see [`LevelCodes`]).
+    pub fn to_level_codes(&self, num_codewords: usize) -> LevelCodes {
+        LevelCodes::from_item_major(&self.data, self.m, num_codewords)
+    }
+
+    /// Rebuilds an item-major code table from the level-major scan layout.
+    pub fn from_level_codes(codes: &LevelCodes) -> Self {
+        Self::new(codes.to_item_major(), codes.num_codebooks())
     }
 }
 

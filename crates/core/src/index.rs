@@ -4,9 +4,15 @@
 //! squared norm of its reconstruction (`‖Σ_j o_j‖²`, one float — Eqn. 24's
 //! third term). Together with the `M` codebooks this is everything ADC
 //! search needs.
+//!
+//! Codes are held level-major ([`lt_linalg::LevelCodes`]: one contiguous
+//! `u8`/`u16` stream per codebook level) so the `O(nM)` scan phase runs on
+//! the blocked cache-conscious kernels in [`lt_linalg::scan`]. The `M`
+//! codebooks are additionally kept stacked into one `(M·K) × d` matrix so a
+//! batch of queries can build all its lookup tables with a single GEMM.
 
 use lt_linalg::gemm::dot;
-use lt_linalg::{Matrix, Metric};
+use lt_linalg::{LevelCodes, Matrix, Metric};
 use lt_tensor::ParamStore;
 
 use crate::complexity::ComplexityModel;
@@ -16,12 +22,27 @@ use crate::dsq::{Codes, Dsq};
 #[derive(Debug, Clone)]
 pub struct QuantizedIndex {
     codebooks: Vec<Matrix>,
-    codes: Codes,
+    /// Level-major codeword ids (the scan layout).
+    codes: LevelCodes,
+    /// All codebooks stacked into one `(M·K) × d` matrix (row `m·K + j` is
+    /// codebook `m`'s codeword `j`), so batch LUT construction is one GEMM.
+    lut_stack: Matrix,
     /// Per-item `‖o_i‖²` (reconstruction norms; Eqn. 24).
     recon_norms_sq: Vec<f32>,
     metric: Metric,
     dim: usize,
     num_codewords: usize,
+}
+
+/// Stacks `M` `K × d` codebooks into one `(M·K) × d` matrix.
+fn stack_codebooks(codebooks: &[Matrix]) -> Matrix {
+    let k = codebooks[0].rows();
+    let d = codebooks[0].cols();
+    let mut data = Vec::with_capacity(codebooks.len() * k * d);
+    for cb in codebooks {
+        data.extend_from_slice(cb.as_slice());
+    }
+    Matrix::from_vec(codebooks.len() * k, d, data)
 }
 
 impl QuantizedIndex {
@@ -32,14 +53,14 @@ impl QuantizedIndex {
         let codes = dsq.encode_with_codebooks(&codebooks, embeddings);
         let recon = dsq.decode_with_codebooks(&codebooks, &codes);
         let recon_norms_sq = (0..recon.rows()).map(|i| dot(recon.row(i), recon.row(i))).collect();
-        Self {
+        Self::from_parts(
             codebooks,
             codes,
             recon_norms_sq,
-            metric: dsq.metric(),
-            dim: dsq.dim(),
-            num_codewords: dsq.num_codewords(),
-        }
+            dsq.metric(),
+            dsq.dim(),
+            dsq.num_codewords(),
+        )
     }
 
     /// Reassembles an index from stored parts (the persistence path).
@@ -56,9 +77,26 @@ impl QuantizedIndex {
         num_codewords: usize,
     ) -> Self {
         assert_eq!(codes.num_codebooks(), codebooks.len(), "codebook count mismatch");
+        let level_codes = codes.to_level_codes(num_codewords);
+        Self::from_level_parts(codebooks, level_codes, recon_norms_sq, metric, dim, num_codewords)
+    }
+
+    /// Reassembles an index from parts with codes already level-major (the
+    /// native layout — no transpose).
+    pub fn from_level_parts(
+        codebooks: Vec<Matrix>,
+        codes: LevelCodes,
+        recon_norms_sq: Vec<f32>,
+        metric: Metric,
+        dim: usize,
+        num_codewords: usize,
+    ) -> Self {
+        assert_eq!(codes.num_codebooks(), codebooks.len(), "codebook count mismatch");
         assert_eq!(codes.len(), recon_norms_sq.len(), "norm count mismatch");
+        assert_eq!(codes.num_codewords(), num_codewords, "codeword count mismatch");
         assert!(codebooks.iter().all(|c| c.shape() == (num_codewords, dim)));
-        Self { codebooks, codes, recon_norms_sq, metric, dim, num_codewords }
+        let lut_stack = stack_codebooks(&codebooks);
+        Self { codebooks, codes, lut_stack, recon_norms_sq, metric, dim, num_codewords }
     }
 
     /// Number of indexed items.
@@ -91,8 +129,14 @@ impl QuantizedIndex {
         self.metric
     }
 
-    /// The stored codes.
-    pub fn codes(&self) -> &Codes {
+    /// The stored codes in the item-major interchange layout (`O(nM)`
+    /// transpose; diagnostics and the training-side codec path).
+    pub fn codes(&self) -> Codes {
+        Codes::from_level_codes(&self.codes)
+    }
+
+    /// The stored codes in their native level-major scan layout.
+    pub fn level_codes(&self) -> &LevelCodes {
         &self.codes
     }
 
@@ -106,11 +150,17 @@ impl QuantizedIndex {
         self.recon_norms_sq[i]
     }
 
+    /// All stored reconstruction norms (`‖o_i‖²`, one per item).
+    pub fn recon_norms_sq(&self) -> &[f32] {
+        &self.recon_norms_sq
+    }
+
     /// Reconstructs item `i`'s embedding (decode path; test/diagnostic use).
     pub fn reconstruct_item(&self, i: usize) -> Vec<f32> {
         let mut out = vec![0.0f32; self.dim];
-        for (level, &id) in self.codes.item(i).iter().enumerate() {
-            for (v, &c) in out.iter_mut().zip(self.codebooks[level].row(id as usize)) {
+        for (level, cb) in self.codebooks.iter().enumerate() {
+            let id = self.codes.code(i, level) as usize;
+            for (v, &c) in out.iter_mut().zip(cb.row(id)) {
                 *v += c;
             }
         }
@@ -126,7 +176,8 @@ impl QuantizedIndex {
     /// paper's accounting: packed codes + one f32 norm per item + codebooks.
     pub fn storage_bytes(&self) -> usize {
         let codebooks = 4 * self.num_codewords * self.num_codebooks() * self.dim;
-        let codes = self.codes.packed_bytes(self.num_codewords);
+        let bits = crate::codec::bits_per_id(self.num_codewords) as usize;
+        let codes = (self.len() * self.num_codebooks() * bits).div_ceil(8);
         let norms = 4 * self.len();
         codebooks + codes + norms
     }
@@ -135,17 +186,19 @@ impl QuantizedIndex {
     ///
     /// The index owns the effective codebooks, so it can encode new items
     /// itself with the same greedy residual selection the DSQ encoder uses;
-    /// codes and norms of existing items are untouched. Returns the ids
-    /// assigned to the new items.
+    /// codes and norms of existing items are untouched. Each new item costs
+    /// `O(MKd)` to encode plus `O(M)` pushes into the level streams — the
+    /// stored code table is never rebuilt. Returns the ids assigned to the
+    /// new items.
     pub fn append(&mut self, embeddings: &Matrix) -> std::ops::Range<usize> {
         assert_eq!(embeddings.cols(), self.dim, "embedding dimension mismatch");
         let start = self.len();
         let m = self.num_codebooks();
-        let mut new_codes = Vec::with_capacity(embeddings.rows() * m);
+        let mut item = vec![0u16; m];
         for i in 0..embeddings.rows() {
             let mut residual = embeddings.row(i).to_vec();
             let mut recon = vec![0.0f32; self.dim];
-            for cb in &self.codebooks {
+            for (level, cb) in self.codebooks.iter().enumerate() {
                 let mut best = 0usize;
                 let mut best_s = f32::NEG_INFINITY;
                 for j in 0..self.num_codewords {
@@ -155,61 +208,80 @@ impl QuantizedIndex {
                         best = j;
                     }
                 }
-                new_codes.push(best as u16);
+                item[level] = best as u16;
                 for ((r, o), &c) in residual.iter_mut().zip(recon.iter_mut()).zip(cb.row(best)) {
                     *r -= c;
                     *o += c;
                 }
             }
+            self.codes.push_item(&item);
             self.recon_norms_sq.push(dot(&recon, &recon));
         }
-        let mut all = self.codes.as_slice().to_vec();
-        all.extend_from_slice(&new_codes);
-        self.codes = Codes::new(all, m);
         start..self.len()
     }
 
-    /// Removes an item by swapping in the last one (`O(M)`): the returned
-    /// value is the id of the item that moved into `i`'s slot (or `None`
-    /// when `i` was the last item).
+    /// Removes an item by swapping in the last one (`O(M)`: one
+    /// `swap_remove` per level stream): the returned value is the id of the
+    /// item that moved into `i`'s slot (or `None` when `i` was the last
+    /// item).
     ///
     /// # Panics
     /// Panics when `i` is out of bounds.
     pub fn swap_remove(&mut self, i: usize) -> Option<usize> {
         let n = self.len();
         assert!(i < n, "remove index {i} out of bounds ({n} items)");
-        let m = self.num_codebooks();
-        let mut all = self.codes.as_slice().to_vec();
         let last = n - 1;
+        self.codes.swap_remove(i);
         let moved = if i != last {
-            for level in 0..m {
-                all[i * m + level] = all[last * m + level];
-            }
             self.recon_norms_sq[i] = self.recon_norms_sq[last];
             Some(last)
         } else {
             None
         };
-        all.truncate(last * m);
         self.recon_norms_sq.truncate(last);
-        self.codes = Codes::new(all, m);
         moved
     }
 
     /// Builds the query→codeword inner-product lookup table (`M × K`),
     /// the `O(dMK)` phase of Section IV-B.
     pub fn build_lut(&self, query: &[f32]) -> Vec<f32> {
+        let mut lut = Vec::new();
+        self.build_lut_into(query, &mut lut);
+        lut
+    }
+
+    /// Builds the LUT into a caller-provided buffer (no allocation once the
+    /// buffer has grown to `M·K`).
+    ///
+    /// Each entry is `dot(query, codeword)` computed with the same kernel
+    /// as [`QuantizedIndex::build_lut_batch`], so the two construction paths
+    /// are bitwise identical.
+    pub fn build_lut_into(&self, query: &[f32], lut: &mut Vec<f32>) {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let m = self.num_codebooks();
         let k = self.num_codewords;
-        let mut lut = vec![0.0f32; m * k];
+        lut.clear();
+        lut.resize(m * k, 0.0);
         for (level, cb) in self.codebooks.iter().enumerate() {
             let base = level * k;
             for j in 0..k {
                 lut[base + j] = dot(query, cb.row(j));
             }
         }
-        lut
+    }
+
+    /// Builds the LUTs of a whole query batch in one GEMM: row `i` of the
+    /// result is the flattened `M·K` LUT of query `i`.
+    ///
+    /// The codebooks are pre-stacked into one `(M·K) × d` matrix at
+    /// construction time, so the whole batch is a single
+    /// `queries × stackᵀ` multiply on the shared parallel runtime. The
+    /// GEMM kernel computes each entry with the same `dot` used by
+    /// [`QuantizedIndex::build_lut`], so batched LUTs are bitwise identical
+    /// to per-query ones.
+    pub fn build_lut_batch(&self, queries: &Matrix) -> Matrix {
+        assert_eq!(queries.cols(), self.dim, "query dimension mismatch");
+        lt_linalg::gemm::matmul_a_bt(queries, &self.lut_stack)
     }
 
     /// Scores every item against a prebuilt LUT (the `O(nM)` phase).
@@ -217,16 +289,48 @@ impl QuantizedIndex {
     /// For [`Metric::NegSquaredL2`], the score is
     /// `−‖q − o_i‖² = 2·Σ_m LUT[m][code] − ‖o_i‖² − ‖q‖²`; for inner-product
     /// metrics it is `Σ_m LUT[m][code]`. Higher = more similar.
+    ///
+    /// Runs on the cache-blocked level-major scan engine
+    /// ([`lt_linalg::scan`]); per-item sums accumulate level-ascending, so
+    /// scores are bitwise identical to
+    /// [`QuantizedIndex::scores_with_lut_reference`].
     pub fn scores_with_lut(&self, lut: &[f32], query_norm_sq: f32, out: &mut Vec<f32>) {
+        match self.metric {
+            Metric::NegSquaredL2 => {
+                lt_linalg::scan::adc_scores_neg_l2(
+                    &self.codes,
+                    lut,
+                    &self.recon_norms_sq,
+                    query_norm_sq,
+                    out,
+                );
+            }
+            Metric::InnerProduct | Metric::Cosine => {
+                lt_linalg::scan::adc_scores_sum(&self.codes, lut, out);
+            }
+        }
+    }
+
+    /// Scalar item-major reference scorer: walks each item's codes in level
+    /// order through [`LevelCodes::code`]. Kept as the correctness oracle
+    /// (and benchmark baseline) for the blocked scan engine — the two must
+    /// agree bitwise.
+    pub fn scores_with_lut_reference(
+        &self,
+        lut: &[f32],
+        query_norm_sq: f32,
+        out: &mut Vec<f32>,
+    ) {
         let k = self.num_codewords;
+        let m = self.num_codebooks();
         out.clear();
         out.reserve(self.len());
         match self.metric {
             Metric::NegSquaredL2 => {
                 for i in 0..self.len() {
                     let mut ip = 0.0f32;
-                    for (level, &id) in self.codes.item(i).iter().enumerate() {
-                        ip += lut[level * k + id as usize];
+                    for level in 0..m {
+                        ip += lut[level * k + self.codes.code(i, level) as usize];
                     }
                     out.push(2.0 * ip - self.recon_norms_sq[i] - query_norm_sq);
                 }
@@ -234,8 +338,8 @@ impl QuantizedIndex {
             Metric::InnerProduct | Metric::Cosine => {
                 for i in 0..self.len() {
                     let mut ip = 0.0f32;
-                    for (level, &id) in self.codes.item(i).iter().enumerate() {
-                        ip += lut[level * k + id as usize];
+                    for level in 0..m {
+                        ip += lut[level * k + self.codes.code(i, level) as usize];
                     }
                     out.push(ip);
                 }

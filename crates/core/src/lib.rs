@@ -84,7 +84,10 @@ pub mod prelude {
     pub use crate::loss::{class_weights, LossBreakdown};
     pub use crate::model::LightLt;
     pub use crate::persist::{deserialize_index, serialize_index, ModelBundle};
-    pub use crate::search::{adc_search, adc_search_batch, adc_search_rerank, exhaustive_search};
+    pub use crate::search::{
+        adc_rank_all, adc_rank_all_batch, adc_rank_all_with, adc_search, adc_search_batch,
+        adc_search_rerank, adc_search_with, exhaustive_rank_all, exhaustive_search, SearchScratch,
+    };
     // Kept for downstream callers migrating to the runtime-backed batch API.
     #[allow(deprecated)]
     pub use crate::search::adc_search_batch_parallel;

@@ -8,8 +8,12 @@
 //! * **Index images** — a compact binary layout for a [`QuantizedIndex`]:
 //!   fixed little-endian header, raw `f32` codebooks, *bit-packed* codes
 //!   (the paper's `M·log2(K)/8` bytes per item), per-item norms, and a
-//!   trailing CRC32 so on-disk corruption is caught at load time. Images
-//!   written by the pre-checksum `LTINDEX1` format are still readable.
+//!   trailing CRC32 so on-disk corruption is caught at load time. The
+//!   current `LTINDEX3` format stores codes level-major (all of level 0,
+//!   then level 1, …) so a load can feed the scan engine's SoA layout
+//!   without transposing; item-major images written by the older
+//!   `LTINDEX2` (checksummed) and `LTINDEX1` (no checksum) formats are
+//!   still readable.
 
 use bytes::{Buf, BufMut, BytesMut};
 use lt_linalg::{Matrix, Metric};
@@ -17,7 +21,7 @@ use lt_tensor::ParamStore;
 use serde::{Deserialize, Serialize};
 
 use crate::checksum::crc32;
-use crate::codec::{bits_per_id, pack_codes, unpack_codes};
+use crate::codec::{bits_per_id, pack_ids, unpack_codes, unpack_ids};
 use crate::config::LightLtConfig;
 use crate::index::QuantizedIndex;
 use crate::model::LightLt;
@@ -40,10 +44,15 @@ pub struct ModelBundle {
 /// Current bundle format version.
 pub const BUNDLE_VERSION: u32 = 1;
 
-/// Magic bytes of the binary index image (v2: CRC32-checksummed).
-pub const INDEX_MAGIC: &[u8; 8] = b"LTINDEX2";
+/// Magic bytes of the binary index image (v3: level-major codes, CRC32).
+pub const INDEX_MAGIC: &[u8; 8] = b"LTINDEX3";
 
-/// Magic bytes of the legacy v1 index image (no checksum); still readable.
+/// Magic bytes of the legacy v2 index image (item-major codes, CRC32);
+/// still readable.
+pub const INDEX_MAGIC_V2: &[u8; 8] = b"LTINDEX2";
+
+/// Magic bytes of the legacy v1 index image (item-major, no checksum);
+/// still readable.
 pub const INDEX_MAGIC_V1: &[u8; 8] = b"LTINDEX1";
 
 impl ModelBundle {
@@ -123,7 +132,9 @@ pub fn serialize_index(index: &QuantizedIndex) -> Vec<u8> {
             buf.put_f32_le(v);
         }
     }
-    let packed = pack_codes(index.codes(), k);
+    // v3: codes are packed in level-major order so loads feed the scan
+    // engine's SoA layout directly, without an O(nM) transpose.
+    let packed = pack_ids(&index.level_codes().to_level_major(), k);
     buf.put_u64_le(packed.len() as u64);
     buf.put_slice(&packed);
     for i in 0..n {
@@ -134,8 +145,49 @@ pub fn serialize_index(index: &QuantizedIndex) -> Vec<u8> {
     buf.to_vec()
 }
 
-/// Restores a [`QuantizedIndex`] from an index image (current `LTINDEX2`
-/// with checksum verification, or legacy `LTINDEX1` without).
+/// Writes the legacy item-major image formats (`LTINDEX2` with CRC,
+/// `LTINDEX1` without). Kept only so tests can prove the current reader
+/// still understands images produced by earlier releases.
+#[cfg(test)]
+fn serialize_index_legacy(index: &QuantizedIndex, magic: &[u8; 8]) -> Vec<u8> {
+    use crate::codec::pack_codes;
+    let m = index.num_codebooks();
+    let k = index.num_codewords();
+    let d = index.dim();
+    let n = index.len();
+
+    let mut buf = BytesMut::new();
+    buf.put_slice(magic);
+    buf.put_u8(match index.metric() {
+        Metric::NegSquaredL2 => 0,
+        Metric::InnerProduct => 1,
+        Metric::Cosine => 2,
+    });
+    buf.put_u32_le(m as u32);
+    buf.put_u32_le(k as u32);
+    buf.put_u32_le(d as u32);
+    buf.put_u64_le(n as u64);
+    for cb in index.codebooks() {
+        for &v in cb.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    let packed = pack_codes(&index.codes(), k);
+    buf.put_u64_le(packed.len() as u64);
+    buf.put_slice(&packed);
+    for i in 0..n {
+        buf.put_f32_le(index.recon_norm_sq(i));
+    }
+    if magic == INDEX_MAGIC_V2 {
+        let crc = crc32(&buf);
+        buf.put_u32_le(crc);
+    }
+    buf.to_vec()
+}
+
+/// Restores a [`QuantizedIndex`] from an index image (current `LTINDEX3`
+/// with level-major codes and checksum verification, legacy item-major
+/// `LTINDEX2` with checksum, or legacy `LTINDEX1` without).
 ///
 /// # Errors
 /// Returns a message on bad magic, truncation, a checksum mismatch, or
@@ -144,8 +196,10 @@ pub fn deserialize_index(bytes: &[u8]) -> Result<QuantizedIndex, String> {
     if bytes.len() < INDEX_MAGIC.len() {
         return Err("bad index magic".into());
     }
-    let body = if &bytes[..INDEX_MAGIC.len()] == INDEX_MAGIC {
-        // v2: the last four bytes are a little-endian CRC32 of the rest.
+    let magic = &bytes[..INDEX_MAGIC.len()];
+    let level_major = magic == INDEX_MAGIC;
+    let body = if magic == INDEX_MAGIC || magic == INDEX_MAGIC_V2 {
+        // v2+: the last four bytes are a little-endian CRC32 of the rest.
         if bytes.len() < INDEX_MAGIC.len() + 4 {
             return Err("truncated index image".into());
         }
@@ -158,7 +212,7 @@ pub fn deserialize_index(bytes: &[u8]) -> Result<QuantizedIndex, String> {
             ));
         }
         body
-    } else if &bytes[..INDEX_MAGIC.len()] == INDEX_MAGIC_V1 {
+    } else if magic == INDEX_MAGIC_V1 {
         bytes
     } else {
         return Err("bad index magic".into());
@@ -208,7 +262,12 @@ pub fn deserialize_index(bytes: &[u8]) -> Result<QuantizedIndex, String> {
     if buf.remaining() < packed_len {
         return Err("truncated packed codes".into());
     }
-    let codes = unpack_codes(&buf[..packed_len], n, m, k);
+    let level_codes = if level_major {
+        let ids = unpack_ids(&buf[..packed_len], n * m, k);
+        lt_linalg::LevelCodes::from_level_major(&ids, m, n, k)
+    } else {
+        unpack_codes(&buf[..packed_len], n, m, k).to_level_codes(k)
+    };
     buf.advance(packed_len);
 
     if buf.remaining() < n * 4 {
@@ -219,7 +278,7 @@ pub fn deserialize_index(bytes: &[u8]) -> Result<QuantizedIndex, String> {
         norms.push(buf.get_f32_le());
     }
 
-    Ok(QuantizedIndex::from_parts(codebooks, codes, norms, metric, d, k))
+    Ok(QuantizedIndex::from_level_parts(codebooks, level_codes, norms, metric, d, k))
 }
 
 #[cfg(test)]
@@ -359,12 +418,27 @@ mod tests {
     }
 
     #[test]
+    fn index_image_reads_legacy_v2_item_major() {
+        let index = build_index();
+        let bytes = serialize_index_legacy(&index, INDEX_MAGIC_V2);
+        let restored = deserialize_index(&bytes).unwrap();
+        assert_eq!(restored.len(), index.len());
+        // The legacy image stores codes item-major; the restored index must
+        // hold the same codes in the scan layout.
+        assert_eq!(restored.codes(), index.codes());
+        let q = [0.1f32, -0.2, 0.3, 0.0, 0.5, -0.4];
+        let a = adc_search(&index, &q, 5);
+        let b = adc_search(&restored, &q, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
     fn index_image_reads_legacy_v1_without_checksum() {
         let index = build_index();
-        let mut bytes = serialize_index(&index);
-        // Rewrite a v2 image as the v1 format: old magic, no CRC footer.
-        bytes.truncate(bytes.len() - 4);
-        bytes[..8].copy_from_slice(INDEX_MAGIC_V1);
+        let bytes = serialize_index_legacy(&index, INDEX_MAGIC_V1);
         let restored = deserialize_index(&bytes).unwrap();
         assert_eq!(restored.len(), index.len());
         let q = [0.1f32, -0.2, 0.3, 0.0, 0.5, -0.4];

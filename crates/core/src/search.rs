@@ -1,5 +1,13 @@
 //! Search: ADC lookup-table kNN over a [`QuantizedIndex`] and the exhaustive
 //! dense-scan comparator (Section IV-B).
+//!
+//! The ADC paths run on the cache-blocked level-major scan engine
+//! ([`lt_linalg::scan`]) and reuse a per-caller [`SearchScratch`] so the
+//! steady-state query path performs no heap allocation beyond the returned
+//! result list. Batch entry points additionally build all query LUTs in one
+//! GEMM ([`QuantizedIndex::build_lut_batch`]). Every fast path accumulates
+//! per-item sums level-ascending with the same `dot` kernel as the scalar
+//! reference, so results are bitwise identical to the reference scorer.
 
 use lt_linalg::distance::{similarity, Metric};
 use lt_linalg::gemm::dot;
@@ -8,21 +16,89 @@ use lt_linalg::Matrix;
 
 use crate::index::QuantizedIndex;
 
+/// Reusable per-caller scratch for the zero-allocation ADC query path:
+/// the LUT buffer, the score block, and the top-k accumulator all keep
+/// their allocations across queries.
+#[derive(Debug)]
+pub struct SearchScratch {
+    lut: Vec<f32>,
+    scores: Vec<f32>,
+    topk: TopK,
+}
+
+impl SearchScratch {
+    /// Creates an empty scratch; buffers grow to steady-state size on the
+    /// first query and are reused afterwards.
+    pub fn new() -> Self {
+        Self { lut: Vec::new(), scores: Vec::new(), topk: TopK::new(0) }
+    }
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Query-side norm term: `‖q‖²` for the L2 metric, unused otherwise.
+#[inline]
+fn query_norm_sq(index: &QuantizedIndex, query: &[f32]) -> f32 {
+    match index.metric() {
+        Metric::NegSquaredL2 => dot(query, query),
+        Metric::InnerProduct | Metric::Cosine => 0.0,
+    }
+}
+
+/// Core selection over a prebuilt LUT.
+///
+/// `k < n` streams blocks through the reusable [`TopK`] accumulator
+/// (scores never materialize); `k ≥ n` materializes the score list once
+/// and full-sorts it. Both paths push/compare by the shared total order,
+/// so results are identical.
+fn search_with_lut(
+    index: &QuantizedIndex,
+    lut: &[f32],
+    qn: f32,
+    k: usize,
+    scores: &mut Vec<f32>,
+    topk: &mut TopK,
+) -> Vec<Scored> {
+    let n = index.len();
+    if k >= n {
+        index.scores_with_lut(lut, qn, scores);
+        return lt_linalg::topk::top_k_by_sort(scores, k);
+    }
+    let norms = match index.metric() {
+        Metric::NegSquaredL2 => Some((index.recon_norms_sq(), qn)),
+        Metric::InnerProduct | Metric::Cosine => None,
+    };
+    topk.reset(k);
+    lt_linalg::scan::adc_scan_topk(index.level_codes(), lut, norms, topk);
+    topk.drain_sorted()
+}
+
 /// kNN over the quantized index via asymmetric distance computation:
 /// one `O(dMK)` lookup table, then `O(M)` adds per item.
+///
+/// Allocates a fresh [`SearchScratch`] per call; hot loops should hold one
+/// and call [`adc_search_with`] instead.
 pub fn adc_search(index: &QuantizedIndex, query: &[f32], k: usize) -> Vec<Scored> {
-    let lut = index.build_lut(query);
-    let qn = match index.metric() {
-        Metric::NegSquaredL2 => dot(query, query),
-        _ => 0.0,
-    };
-    let mut scores = Vec::new();
-    index.scores_with_lut(&lut, qn, &mut scores);
-    let mut acc = TopK::new(k);
-    for (i, &s) in scores.iter().enumerate() {
-        acc.push(s, i);
-    }
-    acc.into_sorted_vec()
+    let mut scratch = SearchScratch::new();
+    adc_search_with(index, query, k, &mut scratch)
+}
+
+/// [`adc_search`] with caller-provided scratch: no per-query allocation
+/// once the scratch buffers have grown to steady-state size.
+pub fn adc_search_with(
+    index: &QuantizedIndex,
+    query: &[f32],
+    k: usize,
+    scratch: &mut SearchScratch,
+) -> Vec<Scored> {
+    let SearchScratch { lut, scores, topk } = scratch;
+    index.build_lut_into(query, lut);
+    let qn = query_norm_sq(index, query);
+    search_with_lut(index, lut, qn, k, scores, topk)
 }
 
 /// Queries per work item in the batch search paths. Fixed (never derived
@@ -32,14 +108,22 @@ const SEARCH_CHUNK: usize = 8;
 
 /// Batch ADC search: one result list per query row.
 ///
-/// Queries are embarrassingly parallel (the index is read-only), so this
-/// fans out on the [`lt_runtime`] pool and scales close to linearly until
-/// memory bandwidth saturates. Control the width with
-/// [`lt_runtime::set_threads`], [`lt_runtime::scoped_threads`], or the
-/// `LT_THREADS` environment variable; results are identical either way.
+/// All query LUTs are built up front in one GEMM on the shared runtime
+/// (`queries × stacked-codebooksᵀ`), then queries fan out on the
+/// [`lt_runtime`] pool with one [`SearchScratch`] per work chunk. Control
+/// the width with [`lt_runtime::set_threads`], [`lt_runtime::scoped_threads`],
+/// or the `LT_THREADS` environment variable; results are identical either
+/// way, and identical to per-query [`adc_search`].
 pub fn adc_search_batch(index: &QuantizedIndex, queries: &Matrix, k: usize) -> Vec<Vec<Scored>> {
+    let luts = index.build_lut_batch(queries);
     lt_runtime::parallel_map_chunks(queries.rows(), SEARCH_CHUNK, |range| {
-        range.map(|i| adc_search(index, queries.row(i), k)).collect::<Vec<_>>()
+        let mut scratch = SearchScratch::new();
+        range
+            .map(|i| {
+                let qn = query_norm_sq(index, queries.row(i));
+                search_with_lut(index, luts.row(i), qn, k, &mut scratch.scores, &mut scratch.topk)
+            })
+            .collect::<Vec<_>>()
     })
     .into_iter()
     .flatten()
@@ -129,17 +213,57 @@ pub fn adc_search_rerank(
 }
 
 /// Full descending ranking of all indexed items for one query (used by MAP
-/// evaluation, which ranks the entire database).
+/// evaluation, which ranks the entire database). Scores once, then
+/// full-sorts — no top-k heap overhead at `k = n`.
 pub fn adc_rank_all(index: &QuantizedIndex, query: &[f32]) -> Vec<usize> {
-    adc_search(index, query, index.len()).into_iter().map(|s| s.index).collect()
+    let mut scratch = SearchScratch::new();
+    adc_rank_all_with(index, query, &mut scratch)
 }
 
-/// Full descending ranking of a dense database for one query.
+/// [`adc_rank_all`] with caller-provided scratch (zero-allocation scoring;
+/// only the returned ranking allocates).
+pub fn adc_rank_all_with(
+    index: &QuantizedIndex,
+    query: &[f32],
+    scratch: &mut SearchScratch,
+) -> Vec<usize> {
+    let SearchScratch { lut, scores, .. } = scratch;
+    index.build_lut_into(query, lut);
+    index.scores_with_lut(lut, query_norm_sq(index, query), scores);
+    lt_linalg::topk::rank_all(scores)
+}
+
+/// Batch full ranking: one descending permutation per query row.
+///
+/// LUTs come from one batched GEMM, then queries fan out on the runtime
+/// pool with a scratch per work chunk — the MAP-evaluation hot path.
+/// Rankings are identical to per-query [`adc_rank_all`] for any thread
+/// count.
+pub fn adc_rank_all_batch(index: &QuantizedIndex, queries: &Matrix) -> Vec<Vec<usize>> {
+    let luts = index.build_lut_batch(queries);
+    lt_runtime::parallel_map_chunks(queries.rows(), SEARCH_CHUNK, |range| {
+        let mut scores = Vec::new();
+        range
+            .map(|i| {
+                let qn = query_norm_sq(index, queries.row(i));
+                index.scores_with_lut(luts.row(i), qn, &mut scores);
+                lt_linalg::topk::rank_all(&scores)
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Full descending ranking of a dense database for one query (scores once,
+/// then full-sorts by the shared total order).
 pub fn exhaustive_rank_all(database: &Matrix, query: &[f32], metric: Metric) -> Vec<usize> {
-    exhaustive_search(database, query, metric, database.rows())
-        .into_iter()
-        .map(|s| s.index)
-        .collect()
+    let mut scores = Vec::with_capacity(database.rows());
+    for i in 0..database.rows() {
+        scores.push(similarity(metric, query, database.row(i)));
+    }
+    lt_linalg::topk::rank_all(&scores)
 }
 
 #[cfg(test)]

@@ -575,9 +575,7 @@ pub fn tune_alpha(
         let db_emb = model.embed(&store, &fit_set.features);
         let q_emb = model.embed(&store, &holdout.features);
         let index = crate::index::QuantizedIndex::build(&model.dsq, &store, &db_emb);
-        let rankings: Vec<Vec<usize>> = (0..q_emb.rows())
-            .map(|i| crate::search::adc_rank_all(&index, q_emb.row(i)))
-            .collect();
+        let rankings = crate::search::adc_rank_all_batch(&index, &q_emb);
         let map = lt_eval::mean_average_precision(&rankings, &holdout.labels, &fit_set.labels);
         if !map.is_finite() {
             continue;

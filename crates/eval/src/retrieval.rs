@@ -19,9 +19,21 @@ pub trait Ranker {
 
     /// Number of database items this ranker covers.
     fn database_len(&self) -> usize;
+
+    /// Ranks a whole query batch, one ranking per row.
+    ///
+    /// The default is a serial per-row loop (implementations are not
+    /// required to be `Sync`, and parallel methods already fan out inside
+    /// `rank`). Override to amortize per-query work — e.g. batched LUT
+    /// GEMMs or a reusable score buffer — as long as the result equals
+    /// row-by-row [`Ranker::rank`].
+    fn rank_batch(&self, queries: &Matrix) -> Vec<Vec<usize>> {
+        (0..queries.rows()).map(|i| self.rank(queries.row(i))).collect()
+    }
 }
 
-/// Blanket helper: evaluate MAP of a [`Ranker`] over a query set.
+/// Blanket helper: evaluate MAP of a [`Ranker`] over a query set (rankings
+/// come from [`Ranker::rank_batch`], so batch-optimized rankers are used).
 pub fn evaluate_map(
     ranker: &dyn Ranker,
     queries: &Matrix,
@@ -30,8 +42,7 @@ pub fn evaluate_map(
 ) -> f64 {
     assert_eq!(queries.rows(), query_labels.len(), "query label count");
     assert_eq!(ranker.database_len(), db_labels.len(), "db label count");
-    let rankings: Vec<Vec<usize>> =
-        (0..queries.rows()).map(|i| ranker.rank(queries.row(i))).collect();
+    let rankings = ranker.rank_batch(queries);
     mean_average_precision(&rankings, query_labels, db_labels)
 }
 
@@ -72,16 +83,35 @@ impl ExhaustiveRanker {
     }
 }
 
+impl ExhaustiveRanker {
+    fn scores_into(&self, query: &[f32], scores: &mut Vec<f32>) {
+        scores.clear();
+        scores.reserve(self.database.rows());
+        for i in 0..self.database.rows() {
+            scores.push(lt_linalg::distance::similarity(self.metric, query, self.database.row(i)));
+        }
+    }
+}
+
 impl Ranker for ExhaustiveRanker {
     fn rank(&self, query: &[f32]) -> Vec<usize> {
-        let mut acc = lt_linalg::TopK::new(self.database.rows());
-        for i in 0..self.database.rows() {
-            acc.push(
-                lt_linalg::distance::similarity(self.metric, query, self.database.row(i)),
-                i,
-            );
-        }
-        acc.into_sorted_vec().into_iter().map(|s| s.index).collect()
+        // Full ranking: score once and full-sort (the k = n heap bought
+        // nothing); the sort uses the same total order as the heap path.
+        let mut scores = Vec::new();
+        self.scores_into(query, &mut scores);
+        lt_linalg::topk::rank_all(&scores)
+    }
+
+    fn rank_batch(&self, queries: &Matrix) -> Vec<Vec<usize>> {
+        // Same rankings as per-row `rank`, with one score buffer reused
+        // across the whole batch.
+        let mut scores = Vec::new();
+        (0..queries.rows())
+            .map(|i| {
+                self.scores_into(queries.row(i), &mut scores);
+                lt_linalg::topk::rank_all(&scores)
+            })
+            .collect()
     }
 
     fn database_len(&self) -> usize {
@@ -128,6 +158,25 @@ mod tests {
         let qlabels: Vec<usize> = (0..10).map(|i| i % 2).collect();
         let map = evaluate_map(&ranker, &queries, &qlabels, &db_labels);
         assert!(map > 0.3 && map < 0.8, "map {map}");
+    }
+
+    #[test]
+    fn exhaustive_rank_batch_matches_per_query() {
+        let db = Matrix::from_rows(&[
+            &[0.0, 0.1],
+            &[0.1, 0.0],
+            &[5.0, 5.1],
+            &[5.1, 5.0],
+            &[2.0, 2.0],
+        ]);
+        let queries = Matrix::from_rows(&[&[0.05, 0.05], &[5.05, 5.05], &[2.0, 1.9]]);
+        for metric in [Metric::NegSquaredL2, Metric::InnerProduct, Metric::Cosine] {
+            let ranker = ExhaustiveRanker::new(db.clone(), metric);
+            let batch = ranker.rank_batch(&queries);
+            for (i, got) in batch.iter().enumerate() {
+                assert_eq!(got, &ranker.rank(queries.row(i)), "query {i} ({metric:?})");
+            }
+        }
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! * [`gemm`] — blocked matrix multiply and dot-product kernels.
 //! * [`distance`] — L2 / inner-product / cosine / Hamming kernels
 //!   and bulk similarity matrices.
-//! * [`topk`] — heap-based top-k selection for retrieval.
+//! * [`topk`] — heap-based top-k selection for retrieval (with a
+//!   full-sort path when `k ≥ n`).
+//! * [`scan`] — level-major packed codes and blocked ADC lookup-table
+//!   scan kernels shared by every quantized index.
 //! * [`eigen`] / [`svd`] — cyclic-Jacobi eigendecomposition and small SVD
 //!   (ITQ's Procrustes step).
 //! * [`pca`] — principal component analysis (PCAH/ITQ, Fig. 8).
@@ -32,6 +35,7 @@ pub mod kmeans;
 pub mod matrix;
 pub mod pca;
 pub mod random;
+pub mod scan;
 pub mod solve;
 pub mod stats;
 pub mod svd;
@@ -39,4 +43,5 @@ pub mod topk;
 
 pub use distance::Metric;
 pub use matrix::Matrix;
+pub use scan::LevelCodes;
 pub use topk::{Scored, TopK};

@@ -3,6 +3,10 @@
 //! Retrieval returns the `k` database items with the highest similarity
 //! score. A bounded binary min-heap keeps selection `O(n log k)` instead of
 //! sorting the full score list, which matters at Fig.-7 database scales.
+//! When `k ≥ n` (full rankings, e.g. MAP evaluation) the heap buys nothing
+//! and costs per-push branches, so [`top_k`] dispatches to a direct full
+//! sort; both paths order by the same total order (score, then lower
+//! index), so rankings are identical either way.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -117,10 +121,31 @@ impl TopK {
         v.sort_unstable_by(|a, b| b.cmp(a));
         v
     }
+
+    /// Re-arms the accumulator for a new query, keeping the heap's
+    /// allocation. Together with [`TopK::drain_sorted`] this lets batch
+    /// search reuse one accumulator across queries with zero per-query
+    /// heap allocation.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+    }
+
+    /// Drains retained items sorted best-first, leaving the accumulator
+    /// empty (and its allocation intact) for reuse after [`TopK::reset`].
+    pub fn drain_sorted(&mut self) -> Vec<Scored> {
+        let mut v: Vec<Scored> = self.heap.drain().map(|m| m.0).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
 }
 
-/// Convenience: top-k over a score slice, best-first.
+/// Convenience: top-k over a score slice, best-first. Dispatches to a
+/// direct full sort when `k ≥ n` (same total order, no heap overhead).
 pub fn top_k(scores: &[f32], k: usize) -> Vec<Scored> {
+    if k >= scores.len() {
+        return top_k_by_sort(scores, k);
+    }
     let mut acc = TopK::new(k);
     for (i, &s) in scores.iter().enumerate() {
         acc.push(s, i);
@@ -145,7 +170,9 @@ pub fn top_k_batch(scores: &crate::matrix::Matrix, k: usize) -> Vec<Vec<Scored>>
     .collect()
 }
 
-/// Reference implementation used by tests and property checks: full sort.
+/// Full-sort selection: sorts every item by the shared total order and
+/// truncates. The fast path for `k ≥ n` (no heap overhead) and the
+/// reference implementation the heap path is property-checked against.
 pub fn top_k_by_sort(scores: &[f32], k: usize) -> Vec<Scored> {
     let mut v: Vec<Scored> = scores
         .iter()
@@ -228,5 +255,41 @@ mod tests {
     fn rank_all_is_descending() {
         let r = rank_all(&[0.1, 0.9, 0.5]);
         assert_eq!(r, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn full_sort_path_matches_heap_path() {
+        // The k >= n dispatch in top_k must be invisible: compare against
+        // an explicit heap run (reset/drain exercise the reusable API).
+        let scores = [0.3f32, -1.0, 2.5, 2.5, 0.0, 7.1, f32::NAN, 2.5];
+        for k in [scores.len(), scores.len() + 5] {
+            let sorted = top_k(&scores, k);
+            let mut acc = TopK::new(1);
+            acc.reset(k);
+            for (i, &s) in scores.iter().enumerate() {
+                acc.push(s, i);
+            }
+            // Compare indices and score bit patterns: `PartialEq` on a NaN
+            // score is false even for the same NaN.
+            let key = |v: &[Scored]| -> Vec<(usize, u32)> {
+                v.iter().map(|s| (s.index, s.score.to_bits())).collect()
+            };
+            assert_eq!(key(&acc.drain_sorted()), key(&sorted), "k={k}");
+            assert!(acc.is_empty(), "drain must leave the accumulator empty");
+        }
+    }
+
+    #[test]
+    fn reset_reuses_across_queries() {
+        let mut acc = TopK::new(2);
+        acc.push(1.0, 0);
+        acc.push(5.0, 1);
+        assert_eq!(acc.drain_sorted().len(), 2);
+        acc.reset(1);
+        acc.push(3.0, 7);
+        acc.push(9.0, 8);
+        let got = acc.drain_sorted();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].index, 8);
     }
 }

@@ -1,0 +1,166 @@
+//! Integration suite for the cache-conscious ADC scan engine.
+//!
+//! The engine (level-major packed codes, GEMM-batched LUTs, blocked
+//! accumulation) is a pure layout/throughput change: every test here pins
+//! *bitwise* agreement with the retained scalar item-major reference —
+//! across metrics, code widths (u8 for K ≤ 256, u16 above), thread
+//! counts, persistence round-trips (including the legacy item-major image
+//! formats), and incremental index maintenance (which must never trigger
+//! a full code-table rebuild).
+
+use lightlt::prelude::*;
+use lightlt_core::persist::{deserialize_index, serialize_index};
+use lightlt_core::search::{adc_rank_all, adc_rank_all_batch, adc_search, adc_search_batch,
+    adc_search_with, SearchScratch};
+use lt_linalg::random::{randn, rng};
+use lt_linalg::scan::full_rebuild_count;
+use lt_linalg::Matrix;
+
+/// Builds an index with synthetic codebooks/codes at an arbitrary (n, M, K)
+/// — large K exercises the u16 level streams without training a huge model.
+fn synth_index(n: usize, m: usize, k: usize, d: usize, metric: Metric, seed: u64) -> QuantizedIndex {
+    let mut r = rng(seed);
+    let codebooks: Vec<Matrix> = (0..m).map(|_| randn(k, d, &mut r).scale(0.3)).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let ids: Vec<u16> = (0..n * m)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize % k) as u16
+        })
+        .collect();
+    let codes = Codes::new(ids, m);
+    let norms = (0..n)
+        .map(|i| {
+            let mut recon = vec![0.0f32; d];
+            for (level, &id) in codes.item(i).iter().enumerate() {
+                for (v, &c) in recon.iter_mut().zip(codebooks[level].row(id as usize)) {
+                    *v += c;
+                }
+            }
+            lt_linalg::gemm::dot(&recon, &recon)
+        })
+        .collect();
+    QuantizedIndex::from_parts(codebooks, codes, norms, metric, d, k)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn engine_scores_bitwise_match_reference_across_widths_and_metrics() {
+    let d = 16;
+    // (K = 24 → u8 streams, K = 300 → u16 streams); both metrics.
+    for &(k, n) in &[(24usize, 700usize), (300, 450)] {
+        for metric in [Metric::NegSquaredL2, Metric::InnerProduct, Metric::Cosine] {
+            let idx = synth_index(n, 3, k, d, metric, 5);
+            assert_eq!(idx.level_codes().uses_u8(), k <= 256);
+            let q: Vec<f32> = randn(1, d, &mut rng(6)).into_vec();
+            let lut = idx.build_lut(&q);
+            let qn = lt_linalg::gemm::dot(&q, &q);
+            let mut engine = Vec::new();
+            let mut reference = Vec::new();
+            for threads in [1usize, 4] {
+                let _w = lightlt::runtime::scoped_threads(threads);
+                idx.scores_with_lut(&lut, qn, &mut engine);
+                idx.scores_with_lut_reference(&lut, qn, &mut reference);
+                assert_eq!(
+                    bits(&engine),
+                    bits(&reference),
+                    "K={k} {metric:?} threads={threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_gemm_luts_bitwise_match_per_query_luts() {
+    let d = 24;
+    for &k in &[16usize, 300] {
+        let idx = synth_index(120, 4, k, d, Metric::NegSquaredL2, 9);
+        let queries = randn(13, d, &mut rng(10)).scale(0.5);
+        let luts = idx.build_lut_batch(&queries);
+        assert_eq!(luts.rows(), queries.rows());
+        assert_eq!(luts.cols(), 4 * k);
+        for i in 0..queries.rows() {
+            let single = idx.build_lut(queries.row(i));
+            assert_eq!(bits(luts.row(i)), bits(&single), "query {i} K={k}");
+        }
+    }
+}
+
+#[test]
+fn search_paths_agree_bitwise_with_scratch_reuse() {
+    let d = 16;
+    let idx = synth_index(800, 4, 32, d, Metric::NegSquaredL2, 13);
+    let queries = randn(9, d, &mut rng(14)).scale(0.5);
+    let mut scratch = SearchScratch::new();
+    for threads in [1usize, 4] {
+        let _w = lightlt::runtime::scoped_threads(threads);
+        let batch = adc_search_batch(&idx, &queries, 10);
+        let rank_batch = adc_rank_all_batch(&idx, &queries);
+        for i in 0..queries.rows() {
+            let single = adc_search(&idx, queries.row(i), 10);
+            let reused = adc_search_with(&idx, queries.row(i), 10, &mut scratch);
+            for (a, b) in single.iter().zip(&batch[i]) {
+                assert_eq!(a.index, b.index, "threads={threads}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+            for (a, b) in single.iter().zip(&reused) {
+                assert_eq!(a.index, b.index);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+            assert_eq!(rank_batch[i], adc_rank_all(&idx, queries.row(i)), "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn persisted_index_roundtrips_level_major_layout() {
+    for &k in &[16usize, 300] {
+        let idx = synth_index(150, 3, k, 12, Metric::NegSquaredL2, 21);
+        let image = serialize_index(&idx);
+        let restored = deserialize_index(&image).expect("roundtrip");
+        assert_eq!(restored.len(), idx.len());
+        assert_eq!(restored.codes(), idx.codes(), "K={k}");
+        assert_eq!(restored.level_codes().uses_u8(), idx.level_codes().uses_u8());
+        let q: Vec<f32> = randn(1, 12, &mut rng(22)).into_vec();
+        let a = adc_search(&idx, &q, 20);
+        let b = adc_search(&restored, &q, 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+}
+
+#[test]
+fn append_and_swap_remove_never_rebuild_the_code_table() {
+    let d = 10;
+    let idx_template = synth_index(400, 3, 16, d, Metric::NegSquaredL2, 31);
+    // Rebuild through from_parts (counts one conversion), then assert the
+    // incremental ops leave the counter untouched.
+    let mut idx = idx_template;
+    let before = full_rebuild_count();
+    let extra = randn(3, d, &mut rng(32)).scale(0.3);
+    let ids = idx.append(&extra);
+    assert_eq!(ids, 400..403);
+    assert_eq!(idx.len(), 403);
+    let moved = idx.swap_remove(1);
+    assert_eq!(moved, Some(402));
+    assert_eq!(idx.len(), 402);
+    assert_eq!(
+        full_rebuild_count(),
+        before,
+        "append/swap_remove must maintain the level-major table in place"
+    );
+    // The maintained table still scores bitwise like the reference.
+    let q: Vec<f32> = randn(1, d, &mut rng(33)).into_vec();
+    let lut = idx.build_lut(&q);
+    let qn = lt_linalg::gemm::dot(&q, &q);
+    let (mut engine, mut reference) = (Vec::new(), Vec::new());
+    idx.scores_with_lut(&lut, qn, &mut engine);
+    idx.scores_with_lut_reference(&lut, qn, &mut reference);
+    assert_eq!(bits(&engine), bits(&reference));
+}
