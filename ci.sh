@@ -7,7 +7,7 @@
 # between the two runs is a determinism bug, not flakiness.
 set -euo pipefail
 
-cargo build --release
+cargo build --release --workspace
 LT_THREADS=1 cargo test -q
 LT_THREADS=4 cargo test -q
 cargo clippy --all-targets -- -D warnings
@@ -20,3 +20,31 @@ cargo bench --no-run --workspace
 # smoke numbers — regenerate that one deliberately with
 # `cargo run -p lt-bench --release -- adc`.
 cargo run -p lt-bench --release -- adc --smoke --out target/BENCH_adc_smoke.json
+
+# Serving smoke: synthesize a small index image, serve it in the
+# background, run a stats/upsert/search/snapshot round trip over TCP
+# through the CLI client, then stop the server with a shutdown request and
+# wait for a clean exit. (The serve load benchmark below covers batching
+# throughput; this covers the CLI wiring end to end.)
+SMOKE_DIR=target/serve_smoke
+SERVE_ADDR=127.0.0.1:17893
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR"
+cargo run --release --example synth_index -- \
+  --out "$SMOKE_DIR/index.bin" --n 500 --m 3 --k 32 --d 8
+target/release/lightlt serve --index "$SMOKE_DIR/index.bin" \
+  --addr "$SERVE_ADDR" --snapshot "$SMOKE_DIR/live.snap" &
+SERVE_PID=$!
+target/release/lightlt query --addr "$SERVE_ADDR" --op stats
+target/release/lightlt query --addr "$SERVE_ADDR" --op upsert --dim 8 \
+  --vector "0.1,0.2,-0.1,0.3,0.0,-0.2,0.1,0.4"
+target/release/lightlt query --addr "$SERVE_ADDR" --op search --k 5 \
+  --vector "0.1,0.2,-0.1,0.3,0.0,-0.2,0.1,0.4"
+target/release/lightlt query --addr "$SERVE_ADDR" --op snapshot
+target/release/lightlt query --addr "$SERVE_ADDR" --op shutdown
+wait "$SERVE_PID"
+test -f "$SMOKE_DIR/live.snap" # the forced snapshot must exist on disk
+
+# Smoke the serve load benchmark (tracked baseline: BENCH_serve.json via
+# `cargo run -p lt-bench --release -- serve`).
+cargo run -p lt-bench --release -- serve --smoke --out target/BENCH_serve_smoke.json

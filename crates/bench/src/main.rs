@@ -8,6 +8,14 @@
 //! root. The JSON is the tracked baseline: regenerate it after touching
 //! the scan engine and diff the throughput columns.
 //!
+//! `cargo run -p lt-bench --release -- serve` measures the lt-serve
+//! micro-batching executor end to end — concurrent TCP clients issuing
+//! top-10 searches against a loopback server — comparing batch-size-1
+//! execution (`max_batch = 1`: every request is its own batch, its own
+//! LUT build, its own pool hand-off) against micro-batching
+//! (`max_batch = 32`, 1 ms deadline: GEMM-batched LUTs, one hand-off per
+//! batch). Writes `BENCH_serve.json` at the repo root.
+//!
 //! `--smoke` shrinks the grid and repetition counts so CI can exercise the
 //! runner in seconds; pair it with `--out target/BENCH_adc_smoke.json` so
 //! the tracked baseline is not overwritten by smoke numbers.
@@ -199,6 +207,158 @@ fn run_adc(smoke: bool, out_path: &str) {
     eprintln!("wrote {out_path}");
 }
 
+/// One measured serve grid point: the same client load against a
+/// batch-size-1 server and a micro-batching server.
+struct ServeResult {
+    n: usize,
+    m: usize,
+    k: usize,
+    clients: usize,
+    requests: usize,
+    max_batch: usize,
+    qps_batch1: f64,
+    qps_batched: f64,
+    speedup: f64,
+    mean_batch: f64,
+}
+
+/// Drives `clients` concurrent connections, each issuing `reqs` top-10
+/// searches, against a fresh loopback server with the given batch size.
+/// Returns `(qps, mean batch size)`.
+fn run_serve_load(
+    index: &QuantizedIndex,
+    d: usize,
+    max_batch: usize,
+    clients: usize,
+    reqs: usize,
+) -> (f64, f64) {
+    use lt_serve::{ServeClient, ServeConfig, Server};
+    use std::sync::Barrier;
+    use std::time::Duration;
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_batch,
+        // With max_batch sized to the client count, the size trigger fires
+        // as soon as every in-flight client has submitted; the deadline
+        // only pays when a straggler breaks lock-step, so keep it well
+        // under one batch's execution time.
+        max_delay: Duration::from_micros(200),
+        queue_cap: 8192,
+        threads: 0,
+        snapshot_path: None,
+        snapshot_every: None,
+    };
+    let server = Server::start(index.clone(), config).expect("starting bench server");
+    let addr = server.local_addr();
+
+    // Distinct deterministic queries per client keep LUT rows from being
+    // trivially cache-shared across the whole run.
+    let queries = randn(clients, d, &mut rng(41)).scale(0.5);
+    let barrier = Barrier::new(clients + 1);
+    let start = std::thread::scope(|scope| {
+        for c in 0..clients {
+            let query = queries.row(c).to_vec();
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect_with_retry(addr, Duration::from_secs(5))
+                    .expect("connecting bench client");
+                for _ in 0..3 {
+                    client.search(&query, 10).expect("warmup search");
+                }
+                barrier.wait();
+                for _ in 0..reqs {
+                    client.search(&query, 10).expect("bench search");
+                }
+            });
+        }
+        barrier.wait();
+        Instant::now()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut probe =
+        ServeClient::connect_with_retry(addr, Duration::from_secs(5)).expect("stats probe");
+    let stats = probe.stats().expect("stats");
+    server.shutdown();
+    let mean_batch = if stats.batches == 0 {
+        0.0
+    } else {
+        stats.searches as f64 / stats.batches as f64
+    };
+    ((clients * reqs) as f64 / elapsed, mean_batch)
+}
+
+fn render_serve_json(dim: usize, smoke: bool, results: &[ServeResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"dim\": {dim},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", lt_runtime::threads()));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"configs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"m\": {}, \"k\": {}, \
+             \"clients\": {}, \"requests_per_client\": {}, \"max_batch\": {}, \
+             \"qps_batch1\": {:.1}, \"qps_batched\": {:.1}, \
+             \"speedup\": {:.3}, \"mean_batch\": {:.2}}}{}\n",
+            r.n,
+            r.m,
+            r.k,
+            r.clients,
+            r.requests,
+            r.max_batch,
+            r.qps_batch1,
+            r.qps_batched,
+            r.speedup,
+            r.mean_batch,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_serve(smoke: bool, out_path: &str) {
+    let dim = 64;
+    // max_batch equals the client count so the size trigger (not the
+    // deadline) forms batches in steady state; the acceptance floor for
+    // the tracked baseline is max_batch >= 16.
+    let (grid, clients, reqs): (&[(usize, usize, usize)], usize, usize) = if smoke {
+        (&[(2_000, 4, 64)], 16, 25)
+    } else {
+        (&[(10_000, 4, 64), (10_000, 8, 256), (50_000, 4, 64), (50_000, 8, 256)], 32, 125)
+    };
+    let mut results = Vec::new();
+    for &(n, m, k) in grid {
+        let index = synth_index(n, m, k, dim);
+        let (qps_batch1, _) = run_serve_load(&index, dim, 1, clients, reqs);
+        let (qps_batched, mean_batch) = run_serve_load(&index, dim, clients, clients, reqs);
+        let r = ServeResult {
+            n,
+            m,
+            k,
+            clients,
+            requests: reqs,
+            max_batch: clients,
+            qps_batch1,
+            qps_batched,
+            speedup: qps_batched / qps_batch1,
+            mean_batch,
+        };
+        eprintln!(
+            "n={:<7} K={:<4} M={}  batch-1 {:>8.0} qps  batched {:>8.0} qps  \
+             speedup {:.2}x  mean batch {:.1}",
+            r.n, r.k, r.m, r.qps_batch1, r.qps_batched, r.speedup, r.mean_batch
+        );
+        results.push(r);
+    }
+    let json = render_serve_json(dim, smoke, &results);
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut bench = None;
@@ -221,8 +381,12 @@ fn main() {
             let out = out.unwrap_or_else(|| "BENCH_adc.json".to_string());
             run_adc(smoke, &out);
         }
+        Some("serve") => {
+            let out = out.unwrap_or_else(|| "BENCH_serve.json".to_string());
+            run_serve(smoke, &out);
+        }
         _ => {
-            eprintln!("usage: lt-bench adc [--smoke] [--out PATH]");
+            eprintln!("usage: lt-bench <adc|serve> [--smoke] [--out PATH]");
             std::process::exit(2);
         }
     }

@@ -247,6 +247,140 @@ pub fn eval(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `lightlt serve` — serve an index over TCP until a client sends
+/// `shutdown` (or the process is killed; `--snapshot` makes that
+/// survivable).
+pub fn serve(args: &Args) -> Result<(), String> {
+    use std::path::{Path, PathBuf};
+    use std::time::Duration;
+
+    let index_path = args.get("index");
+    let snapshot_path: Option<PathBuf> = args.get("snapshot").map(PathBuf::from);
+    if index_path.is_none() && snapshot_path.is_none() {
+        return Err("serve needs --index and/or --snapshot".into());
+    }
+    let (index, from_snapshot) = lt_serve::load_index_with_snapshot(
+        index_path.map(Path::new),
+        snapshot_path.as_deref(),
+    )?;
+
+    let max_delay_us: u64 = args.get_or("max-delay-us", 500)?;
+    let snapshot_every_ms: u64 = args.get_or("snapshot-every-ms", 0)?;
+    let config = lt_serve::ServeConfig {
+        addr: args.get_or("addr", "127.0.0.1:7878".to_string())?,
+        max_batch: args.get_or("max-batch", 16)?,
+        max_delay: Duration::from_micros(max_delay_us),
+        queue_cap: args.get_or("queue-cap", 1024)?,
+        threads: args.get_or("threads", 0)?,
+        snapshot_path,
+        snapshot_every: match snapshot_every_ms {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+    };
+    if config.max_batch == 0 || config.queue_cap == 0 {
+        return Err("--max-batch and --queue-cap must be positive".into());
+    }
+
+    let source = if from_snapshot { "snapshot" } else { "index image" };
+    let server =
+        lt_serve::Server::start(index, config).map_err(|e| format!("starting server: {e}"))?;
+    println!(
+        "serving {} items (dim {}) on {} (loaded from {source})",
+        server.state().snapshot().len(),
+        server.state().snapshot().dim(),
+        server.local_addr(),
+    );
+    server.wait_for_stop();
+    server.shutdown();
+    println!("server stopped");
+    Ok(())
+}
+
+/// Parses a comma-separated float list (`0.1,-0.2,3e-1`).
+fn parse_vector(s: &str) -> Result<Vec<f32>, String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse::<f32>().map_err(|_| format!("invalid float in --vector: {t}")))
+        .collect()
+}
+
+/// `lightlt query` — one request against a running server.
+pub fn query(args: &Args) -> Result<(), String> {
+    use std::time::Duration;
+
+    let op = args.get("op").unwrap_or("search");
+    if !matches!(op, "search" | "upsert" | "delete" | "stats" | "snapshot" | "shutdown") {
+        return Err(format!(
+            "unknown --op `{op}` (expected search|upsert|delete|stats|snapshot|shutdown)"
+        ));
+    }
+    let addr = args.require("addr")?;
+    let mut client = lt_serve::ServeClient::connect_with_retry(addr, Duration::from_secs(5))
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+
+    match op {
+        "search" => {
+            let vector = parse_vector(args.require("vector")?)?;
+            let k: usize = args.get_or("k", 10)?;
+            let hits = client.search(&vector, k).map_err(|e| e.to_string())?;
+            let mut table = Table::new(format!("top-{k} from {addr}"), &["rank", "id", "score"]);
+            for (rank, (id, score)) in hits.iter().enumerate() {
+                table.row(&[(rank + 1).to_string(), id.to_string(), format!("{score:+.4}")]);
+            }
+            println!("{}", table.render());
+        }
+        "upsert" => {
+            let dim: usize = args.get_or("dim", 0)?;
+            if dim == 0 {
+                return Err("upsert needs --dim".into());
+            }
+            let rows = parse_vector(args.require("vector")?)?;
+            let (start, end) = client.upsert(dim, &rows).map_err(|e| e.to_string())?;
+            println!("upserted ids [{start}, {end})");
+        }
+        "delete" => {
+            let id: u64 = args.get_or("id", u64::MAX)?;
+            if id == u64::MAX {
+                return Err("delete needs --id".into());
+            }
+            let moved = client.delete(id).map_err(|e| e.to_string())?;
+            match moved {
+                Some(m) => println!("deleted {id}; item {m} moved into its slot"),
+                None => println!("deleted {id}"),
+            }
+        }
+        "stats" => {
+            let s = client.stats().map_err(|e| e.to_string())?;
+            let mut table = Table::new(format!("server {addr}"), &["property", "value"]);
+            table.row(&["items".into(), s.items.to_string()]);
+            table.row(&["dim".into(), s.dim.to_string()]);
+            table.row(&["codebooks (M)".into(), s.num_codebooks.to_string()]);
+            table.row(&["codewords (K)".into(), s.num_codewords.to_string()]);
+            table.row(&["epoch".into(), s.epoch.to_string()]);
+            table.row(&["searches".into(), s.searches.to_string()]);
+            table.row(&["batches".into(), s.batches.to_string()]);
+            table.row(&["rejected".into(), s.rejected.to_string()]);
+            table.row(&["upserts".into(), s.upserts.to_string()]);
+            table.row(&["deletes".into(), s.deletes.to_string()]);
+            table.row(&["snapshots".into(), s.snapshots.to_string()]);
+            table.row(&["queue length".into(), s.queue_len.to_string()]);
+            println!("{}", table.render());
+        }
+        "snapshot" => {
+            let epoch = client.snapshot().map_err(|e| e.to_string())?;
+            println!("snapshot written at epoch {epoch}");
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server acknowledged shutdown");
+        }
+        _ => unreachable!("op validated above"),
+    }
+    Ok(())
+}
+
 /// `lightlt info` — index statistics.
 pub fn info(args: &Args) -> Result<(), String> {
     let idx = load_index(args.require("index")?)?;
@@ -263,4 +397,37 @@ pub fn info(args: &Args) -> Result<(), String> {
     table.row(&["theor. speedup".into(), format!("{:.2}x", c.theoretical_speedup())]);
     println!("{}", table.render());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_parsing_accepts_floats_and_rejects_junk() {
+        assert_eq!(parse_vector("0.1,-0.2, 3e-1").unwrap(), vec![0.1, -0.2, 0.3]);
+        assert_eq!(parse_vector("1").unwrap(), vec![1.0]);
+        assert!(parse_vector("0.1,abc").unwrap_err().contains("abc"));
+        // Trailing commas and stray whitespace are tolerated, not panics.
+        assert_eq!(parse_vector("0.5, ,1.5,").unwrap(), vec![0.5, 1.5]);
+    }
+
+    #[test]
+    fn serve_without_index_or_snapshot_is_an_error() {
+        let args = Args::parse(["serve".to_string()]).unwrap();
+        assert!(serve(&args).unwrap_err().contains("--index"));
+    }
+
+    #[test]
+    fn query_validates_op_and_required_options() {
+        // Unknown op is refused before any connection attempt matters;
+        // a missing --addr is the first typed error.
+        let args = Args::parse(["query".to_string()]).unwrap();
+        assert!(query(&args).unwrap_err().contains("--addr"));
+        let args = Args::parse(
+            ["query".to_string(), "--op".to_string(), "explode".to_string()]
+        )
+        .unwrap();
+        assert!(query(&args).unwrap_err().contains("unknown --op"));
+    }
 }

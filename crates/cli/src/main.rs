@@ -40,6 +40,16 @@ COMMANDS:
              --model <model.json>  --index <index.bin>  --data <file.ltd>
   info       print an index's statistics and complexity model
              --index <index.bin>
+  serve      serve an index over TCP with micro-batched search
+             --index <index.bin>  [--addr 127.0.0.1:7878]
+             [--max-batch 16] [--max-delay-us 500] [--queue-cap 1024]
+             [--snapshot <file.snap>] [--snapshot-every-ms 0]
+             (with --snapshot, a valid snapshot file is preferred over
+              --index at startup: crash-safe reload)
+  query      send one request to a running server
+             --addr <host:port>  [--op search|upsert|delete|stats|snapshot|shutdown]
+             search: --vector 0.1,0.2,...  [--k 10]
+             upsert: --vector <floats>  --dim D     delete: --id N
 
 GLOBAL OPTIONS (any command):
   --threads N  worker threads for the parallel kernels (0 = auto from
@@ -83,6 +93,8 @@ fn run(args: &Args) -> Result<(), String> {
         "search" => commands::search(args),
         "eval" => commands::eval(args),
         "info" => commands::info(args),
+        "serve" => commands::serve(args),
+        "query" => commands::query(args),
         "" | "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -86,11 +86,10 @@ pub mod prelude {
     pub use crate::persist::{deserialize_index, serialize_index, ModelBundle};
     pub use crate::search::{
         adc_rank_all, adc_rank_all_batch, adc_rank_all_with, adc_search, adc_search_batch,
-        adc_search_rerank, adc_search_with, exhaustive_rank_all, exhaustive_search, SearchScratch,
+        adc_search_batch_checked, adc_search_checked, adc_search_rerank, adc_search_with,
+        exhaustive_rank_all, exhaustive_search, validate_search_request, SearchError,
+        SearchScratch,
     };
-    // Kept for downstream callers migrating to the runtime-backed batch API.
-    #[allow(deprecated)]
-    pub use crate::search::adc_search_batch_parallel;
     pub use crate::trainer::{
         resume, train, train_base_model, train_resumable, train_with_options, tune_alpha,
         CheckpointSpec, TrainHistory, TrainOptions,

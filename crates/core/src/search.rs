@@ -16,6 +16,64 @@ use lt_linalg::Matrix;
 
 use crate::index::QuantizedIndex;
 
+/// A search request that cannot be executed against the given index.
+///
+/// The unchecked entry points ([`adc_search`] and friends) assert on these
+/// conditions (or silently return an empty result for an empty index);
+/// boundary layers that receive untrusted queries — the serving subsystem,
+/// the CLI — go through [`adc_search_checked`] /
+/// [`adc_search_batch_checked`] instead so a malformed request becomes a
+/// typed error rather than a panic or garbage scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchError {
+    /// The query's dimensionality does not match [`QuantizedIndex::dim`].
+    DimMismatch {
+        /// The index's embedding dimensionality.
+        expected: usize,
+        /// The query's dimensionality.
+        got: usize,
+    },
+    /// `k == 0` requests an empty result set; always a caller bug.
+    ZeroK,
+    /// The index holds no items, so there is nothing to rank.
+    EmptyIndex,
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::DimMismatch { expected, got } => {
+                write!(f, "query dimension {got} does not match index dimension {expected}")
+            }
+            SearchError::ZeroK => write!(f, "k must be at least 1"),
+            SearchError::EmptyIndex => write!(f, "search over an empty index"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+/// Validates one search request (dimension, `k`, non-empty index) against
+/// an index. The boundary check used by [`adc_search_checked`] and by the
+/// serving front end, which must reject a malformed request *before*
+/// admitting it to the batch queue.
+pub fn validate_search_request(
+    index: &QuantizedIndex,
+    query_dim: usize,
+    k: usize,
+) -> Result<(), SearchError> {
+    if query_dim != index.dim() {
+        return Err(SearchError::DimMismatch { expected: index.dim(), got: query_dim });
+    }
+    if k == 0 {
+        return Err(SearchError::ZeroK);
+    }
+    if index.is_empty() {
+        return Err(SearchError::EmptyIndex);
+    }
+    Ok(())
+}
+
 /// Reusable per-caller scratch for the zero-allocation ADC query path:
 /// the LUT buffer, the score block, and the top-k accumulator all keep
 /// their allocations across queries.
@@ -87,6 +145,19 @@ pub fn adc_search(index: &QuantizedIndex, query: &[f32], k: usize) -> Vec<Scored
     adc_search_with(index, query, k, &mut scratch)
 }
 
+/// [`adc_search`] behind input validation: a dimension mismatch, `k == 0`,
+/// or an empty index becomes a typed [`SearchError`] instead of a panic
+/// (or a silently empty result). The validated path is the plain
+/// [`adc_search`], so accepted queries return bitwise-identical results.
+pub fn adc_search_checked(
+    index: &QuantizedIndex,
+    query: &[f32],
+    k: usize,
+) -> Result<Vec<Scored>, SearchError> {
+    validate_search_request(index, query.len(), k)?;
+    Ok(adc_search(index, query, k))
+}
+
 /// [`adc_search`] with caller-provided scratch: no per-query allocation
 /// once the scratch buffers have grown to steady-state size.
 pub fn adc_search_with(
@@ -130,25 +201,16 @@ pub fn adc_search_batch(index: &QuantizedIndex, queries: &Matrix, k: usize) -> V
     .collect()
 }
 
-/// Batch ADC search over an explicit number of worker threads.
-///
-/// `num_threads == 0` is a request for "pick for me": it falls back to the
-/// runtime's resolved default width (it is *not* silently clamped to one
-/// thread). Results are in query order, identical to [`adc_search_batch`]
-/// for every `num_threads` value.
-#[deprecated(
-    note = "use `adc_search_batch`, which runs on the shared lt-runtime pool; \
-            control the width with `lt_runtime::set_threads` or `LT_THREADS`"
-)]
-pub fn adc_search_batch_parallel(
+/// [`adc_search_batch`] behind input validation (see
+/// [`adc_search_checked`]); the whole batch shares one validation pass
+/// since every row of a [`Matrix`] has the same width.
+pub fn adc_search_batch_checked(
     index: &QuantizedIndex,
     queries: &Matrix,
     k: usize,
-    num_threads: usize,
-) -> Vec<Vec<Scored>> {
-    // scoped_threads(0) is a no-op guard, i.e. the runtime default.
-    let _width = lt_runtime::scoped_threads(num_threads.min(lt_runtime::MAX_THREADS));
-    adc_search_batch(index, queries, k)
+) -> Result<Vec<Vec<Scored>>, SearchError> {
+    validate_search_request(index, queries.cols(), k)?;
+    Ok(adc_search_batch(index, queries, k))
 }
 
 /// Exhaustive kNN over dense embeddings (`n × d`), the `O(nd)` baseline.
@@ -401,7 +463,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn parallel_batch_matches_sequential() {
         let (idx, _) = build_index(60);
         let queries = randn(9, 6, &mut rng(61));
@@ -409,15 +470,58 @@ mod tests {
             let _serial = lt_runtime::scoped_threads(1);
             adc_search_batch(&idx, &queries, 7)
         };
-        // 0 exercises the graceful "runtime default" fallback.
-        for threads in [0usize, 1, 2, 4, 16] {
-            let par = adc_search_batch_parallel(&idx, &queries, 7, threads);
+        for threads in [2usize, 4, 16] {
+            let _width = lt_runtime::scoped_threads(threads);
+            let par = adc_search_batch(&idx, &queries, 7);
             assert_eq!(par.len(), seq.len());
             for (a, b) in par.iter().zip(&seq) {
                 let ai: Vec<usize> = a.iter().map(|s| s.index).collect();
                 let bi: Vec<usize> = b.iter().map(|s| s.index).collect();
                 assert_eq!(ai, bi, "threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn checked_search_rejects_malformed_requests() {
+        let (idx, _) = build_index(110);
+        assert_eq!(
+            adc_search_checked(&idx, &[0.0; 4], 3).unwrap_err(),
+            SearchError::DimMismatch { expected: 6, got: 4 }
+        );
+        assert_eq!(adc_search_checked(&idx, &[0.0; 6], 0).unwrap_err(), SearchError::ZeroK);
+        let queries = randn(3, 4, &mut rng(111));
+        assert!(matches!(
+            adc_search_batch_checked(&idx, &queries, 5).unwrap_err(),
+            SearchError::DimMismatch { expected: 6, got: 4 }
+        ));
+    }
+
+    #[test]
+    fn checked_search_rejects_empty_index() {
+        let (idx, _) = build_index(120);
+        let codebooks = idx.codebooks().to_vec();
+        let empty = QuantizedIndex::from_parts(
+            codebooks,
+            crate::dsq::Codes::new(Vec::new(), idx.num_codebooks()),
+            Vec::new(),
+            idx.metric(),
+            idx.dim(),
+            idx.num_codewords(),
+        );
+        assert_eq!(adc_search_checked(&empty, &[0.0; 6], 3).unwrap_err(), SearchError::EmptyIndex);
+    }
+
+    #[test]
+    fn checked_search_matches_unchecked_bitwise() {
+        let (idx, _) = build_index(130);
+        let q = [0.2f32, -0.3, 0.4, 0.1, -0.2, 0.0];
+        let a = adc_search(&idx, &q, 5);
+        let b = adc_search_checked(&idx, &q, 5).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
         }
     }
 

@@ -1,0 +1,384 @@
+//! Micro-batching executor: bounded submission queue + size-or-deadline
+//! batch formation.
+//!
+//! Search requests are decoupled from their connections: connection
+//! handlers enqueue a [`SearchJob`] (query + reply channel) into a bounded
+//! [`SubmitQueue`] and block on the reply. A single executor thread forms
+//! batches with a **size-or-deadline** trigger: it drains the queue only
+//! once `max_batch` jobs are waiting **or** the oldest job has waited
+//! `max_delay`, whichever comes first. Jobs stay in the queue until the
+//! trigger fires, so queue length is exactly "requests admitted but not
+//! yet executing" — which makes admission control (and the overload tests)
+//! deterministic.
+//!
+//! Each drained batch is executed against one immutable index snapshot via
+//! `adc_search_batch`, which the core test-suite pins as bitwise identical
+//! to per-query `adc_search`. Batching therefore changes throughput
+//! (GEMM-amortized LUT construction, one thread-pool hand-off per batch
+//! instead of per request) but never results.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use lightlt_core::search::adc_search_batch;
+use lt_linalg::Matrix;
+
+use crate::protocol::Response;
+use crate::state::IndexState;
+
+/// One admitted search request waiting for execution.
+pub struct SearchJob {
+    pub query: Vec<f32>,
+    pub k: usize,
+    pub enqueued: Instant,
+    pub reply: mpsc::Sender<Response>,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Queue at capacity: the caller should answer `Overloaded`.
+    Overloaded,
+    /// Server shutting down: no new work is accepted.
+    Closed,
+}
+
+struct QueueInner {
+    jobs: VecDeque<SearchJob>,
+    closed: bool,
+}
+
+/// Bounded MPSC queue between connection handlers and the executor.
+pub struct SubmitQueue {
+    inner: Mutex<QueueInner>,
+    nonempty: Condvar,
+    cap: usize,
+}
+
+impl SubmitQueue {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "submission queue capacity must be positive");
+        Self {
+            inner: Mutex::new(QueueInner { jobs: VecDeque::new(), closed: false }),
+            nonempty: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Admission control: enqueues the job or refuses immediately.
+    /// Never blocks, so the accept/reader path cannot stall on a slow
+    /// executor.
+    pub fn try_submit(&self, job: SearchJob) -> Result<(), SubmitError> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(SubmitError::Closed);
+        }
+        if inner.jobs.len() >= self.cap {
+            return Err(SubmitError::Overloaded);
+        }
+        inner.jobs.push_back(job);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Requests admitted but not yet draining into a batch.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stops admission and wakes the executor so it can flush and exit.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        inner.closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+/// Throughput/latency counters shared between the executor and the stats
+/// endpoint.
+#[derive(Debug, Default)]
+pub struct ExecCounters {
+    /// Queries executed.
+    pub searches: AtomicU64,
+    /// Batches formed (drain cycles that executed at least one query).
+    pub batches: AtomicU64,
+}
+
+/// Executor loop. Runs until `stop` is set **and** the queue has been
+/// flushed; on shutdown every admitted job still gets a response (sends to
+/// hung-up clients are ignored).
+pub fn run_executor(
+    queue: &SubmitQueue,
+    state: &IndexState,
+    max_batch: usize,
+    max_delay: Duration,
+    stop: &AtomicBool,
+    counters: &ExecCounters,
+) {
+    let max_batch = max_batch.max(1);
+    loop {
+        let batch = next_batch(queue, max_batch, max_delay, stop);
+        if batch.is_empty() {
+            // Only returned empty when stopping with a flushed queue.
+            debug_assert!(stop.load(Ordering::SeqCst));
+            return;
+        }
+        execute_batch(state, batch, counters);
+    }
+}
+
+/// Blocks until the size-or-deadline trigger fires, then drains at most
+/// `max_batch` jobs. Returns an empty vec only when stopping and flushed.
+fn next_batch(
+    queue: &SubmitQueue,
+    max_batch: usize,
+    max_delay: Duration,
+    stop: &AtomicBool,
+) -> Vec<SearchJob> {
+    let mut inner = queue.inner.lock().expect("queue lock poisoned");
+    loop {
+        let stopping = stop.load(Ordering::SeqCst) || inner.closed;
+        if stopping {
+            // Flush: drain whatever is left, batch by batch.
+            let take = inner.jobs.len().min(max_batch);
+            return inner.jobs.drain(..take).collect();
+        }
+        if inner.jobs.len() >= max_batch {
+            return inner.jobs.drain(..max_batch).collect();
+        }
+        if let Some(oldest) = inner.jobs.front() {
+            let age = oldest.enqueued.elapsed();
+            if age >= max_delay {
+                let take = inner.jobs.len().min(max_batch);
+                return inner.jobs.drain(..take).collect();
+            }
+            // Sleep until the deadline, capped so a set `stop` flag is
+            // noticed promptly even if its notify raced with this wait.
+            let wait = (max_delay - age).min(Duration::from_millis(50));
+            let (guard, _) = queue
+                .nonempty
+                .wait_timeout(inner, wait)
+                .expect("queue lock poisoned");
+            inner = guard;
+        } else {
+            let (guard, _) = queue
+                .nonempty
+                .wait_timeout(inner, Duration::from_millis(50))
+                .expect("queue lock poisoned");
+            inner = guard;
+        }
+    }
+}
+
+/// Executes one drained batch against a single index snapshot and replies
+/// to every job.
+fn execute_batch(state: &IndexState, batch: Vec<SearchJob>, counters: &ExecCounters) {
+    // One snapshot for the whole batch: all queries in it observe the same
+    // epoch, and mutations acknowledged before batch formation are visible.
+    let snapshot = state.snapshot();
+    let dim = snapshot.dim();
+    counters.batches.fetch_add(1, Ordering::Relaxed);
+    counters.searches.fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+    // Jobs may carry different k; adc_search_batch takes one k per call,
+    // so group by k (stable: queue order preserved within each group).
+    let mut groups: Vec<(usize, Vec<SearchJob>)> = Vec::new();
+    for job in batch {
+        match groups.iter_mut().find(|(k, _)| *k == job.k) {
+            Some((_, jobs)) => jobs.push(job),
+            None => groups.push((job.k, vec![job])),
+        }
+    }
+
+    for (k, jobs) in groups {
+        let mut data = Vec::with_capacity(jobs.len() * dim);
+        for job in &jobs {
+            debug_assert_eq!(job.query.len(), dim, "handler must validate dim before submit");
+            data.extend_from_slice(&job.query);
+        }
+        let queries = Matrix::from_vec(jobs.len(), dim, data);
+        let results = adc_search_batch(&snapshot, &queries, k);
+        for (job, scored) in jobs.into_iter().zip(results) {
+            let hits = scored.iter().map(|s| (s.index as u64, s.score)).collect();
+            // A hung-up client just discards its answer.
+            let _ = job.reply.send(Response::Search { hits });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use lightlt_core::config::CodebookTopology;
+    use lightlt_core::dsq::Dsq;
+    use lightlt_core::index::QuantizedIndex;
+    use lightlt_core::search::adc_search;
+    use lt_linalg::random::{randn, rng};
+    use lt_linalg::Metric;
+    use lt_tensor::ParamStore;
+
+    fn build_state(n: usize, seed: u64) -> IndexState {
+        let mut store = ParamStore::new();
+        let mut r = rng(seed);
+        let dsq = Dsq::new(
+            &mut store,
+            3,
+            16,
+            8,
+            12,
+            CodebookTopology::DoubleSkip,
+            0.1,
+            Metric::NegSquaredL2,
+            &mut r,
+        );
+        let db = randn(n, 8, &mut rng(seed + 1)).scale(0.4);
+        IndexState::new(QuantizedIndex::build(&dsq, &store, &db))
+    }
+
+    fn job(query: Vec<f32>, k: usize) -> (SearchJob, mpsc::Receiver<Response>) {
+        let (tx, rx) = mpsc::channel();
+        (SearchJob { query, k, enqueued: Instant::now(), reply: tx }, rx)
+    }
+
+    fn spawn_executor(
+        queue: Arc<SubmitQueue>,
+        state: Arc<IndexState>,
+        max_batch: usize,
+        max_delay: Duration,
+        stop: Arc<AtomicBool>,
+        counters: Arc<ExecCounters>,
+    ) -> std::thread::JoinHandle<()> {
+        std::thread::spawn(move || {
+            run_executor(&queue, &state, max_batch, max_delay, &stop, &counters)
+        })
+    }
+
+    #[test]
+    fn admission_is_bounded_and_closable() {
+        let queue = SubmitQueue::new(2);
+        let (j1, _r1) = job(vec![0.0; 8], 3);
+        let (j2, _r2) = job(vec![0.0; 8], 3);
+        let (j3, _r3) = job(vec![0.0; 8], 3);
+        assert!(queue.try_submit(j1).is_ok());
+        assert!(queue.try_submit(j2).is_ok());
+        assert_eq!(queue.try_submit(j3).unwrap_err(), SubmitError::Overloaded);
+        assert_eq!(queue.len(), 2);
+        queue.close();
+        let (j4, _r4) = job(vec![0.0; 8], 3);
+        assert_eq!(queue.try_submit(j4).unwrap_err(), SubmitError::Closed);
+    }
+
+    #[test]
+    fn batched_execution_is_bitwise_identical_to_adc_search() {
+        let state = Arc::new(build_state(200, 7));
+        let queue = Arc::new(SubmitQueue::new(64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ExecCounters::default());
+        let handle = spawn_executor(
+            queue.clone(),
+            state.clone(),
+            4,
+            Duration::from_millis(5),
+            stop.clone(),
+            counters.clone(),
+        );
+
+        let mut queries = Vec::new();
+        let mut receivers = Vec::new();
+        let qmat = randn(10, 8, &mut rng(99)).scale(0.3);
+        for i in 0..10 {
+            let q = qmat.row(i).to_vec();
+            // Mixed k values exercise the group-by-k path.
+            let k = if i % 3 == 0 { 7 } else { 5 };
+            let (j, rx) = job(q.clone(), k);
+            queries.push((q, k));
+            receivers.push(rx);
+            queue.try_submit(j).unwrap();
+        }
+
+        let snapshot = state.snapshot();
+        for ((q, k), rx) in queries.iter().zip(receivers) {
+            let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            let expected = adc_search(&snapshot, q, *k);
+            match resp {
+                Response::Search { hits } => {
+                    assert_eq!(hits.len(), expected.len());
+                    for (h, e) in hits.iter().zip(&expected) {
+                        assert_eq!(h.0, e.index as u64);
+                        assert_eq!(h.1.to_bits(), e.score.to_bits());
+                    }
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+        assert_eq!(counters.searches.load(Ordering::Relaxed), 10);
+        assert!(counters.batches.load(Ordering::Relaxed) >= 3);
+
+        stop.store(true, Ordering::SeqCst);
+        queue.close();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_trigger_fires_for_partial_batches() {
+        let state = Arc::new(build_state(50, 8));
+        let queue = Arc::new(SubmitQueue::new(16));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ExecCounters::default());
+        // max_batch far above what we submit: only the deadline can fire.
+        let handle = spawn_executor(
+            queue.clone(),
+            state.clone(),
+            1024,
+            Duration::from_millis(10),
+            stop.clone(),
+            counters.clone(),
+        );
+        let (j, rx) = job(vec![0.05; 8], 3);
+        queue.try_submit(j).unwrap();
+        let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(matches!(resp, Response::Search { .. }));
+
+        stop.store(true, Ordering::SeqCst);
+        queue.close();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_flushes_admitted_jobs() {
+        let state = Arc::new(build_state(50, 9));
+        let queue = Arc::new(SubmitQueue::new(16));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ExecCounters::default());
+        // Huge deadline and batch: nothing can trigger except shutdown.
+        let mut receivers = Vec::new();
+        for _ in 0..5 {
+            let (j, rx) = job(vec![0.02; 8], 2);
+            queue.try_submit(j).unwrap();
+            receivers.push(rx);
+        }
+        let handle = spawn_executor(
+            queue.clone(),
+            state,
+            1024,
+            Duration::from_secs(3600),
+            stop.clone(),
+            counters.clone(),
+        );
+        stop.store(true, Ordering::SeqCst);
+        queue.close();
+        handle.join().unwrap();
+        for rx in receivers {
+            assert!(matches!(rx.try_recv().unwrap(), Response::Search { .. }));
+        }
+        assert_eq!(counters.searches.load(Ordering::Relaxed), 5);
+    }
+}

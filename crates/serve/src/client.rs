@@ -1,0 +1,182 @@
+//! Blocking client for the lt-serve wire protocol.
+//!
+//! One [`ServeClient`] owns one TCP connection and reuses it across
+//! requests (requests on a connection are strictly sequential:
+//! write frame → read frame). For concurrent load, open one client per
+//! thread — the server batches across connections.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats};
+
+/// A request that did not produce its expected response.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport or framing failure (includes CRC mismatches).
+    Io(io::Error),
+    /// The server refused the request as malformed.
+    BadRequest(String),
+    /// The server's admission queue was full; retry later.
+    Overloaded,
+    /// The server reported an internal failure.
+    Server(String),
+    /// Protocol violation: a response of the wrong type for the request.
+    UnexpectedResponse(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "transport error: {e}"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Overloaded => write!(f, "server overloaded"),
+            ServeError::Server(m) => write!(f, "server error: {m}"),
+            ServeError::UnexpectedResponse(what) => {
+                write!(f, "protocol violation: unexpected {what} response")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Blocking, connection-reusing client.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a server address.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Like [`ServeClient::connect`] but retries for up to `timeout`,
+    /// for racing a just-spawned server's bind.
+    ///
+    /// # Errors
+    /// Returns the final connect error once the deadline passes.
+    pub fn connect_with_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        timeout: Duration,
+    ) -> io::Result<Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match Self::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// One request/response round trip on the reused connection.
+    ///
+    /// # Errors
+    /// Transport failures only; typed server refusals are returned as `Ok`
+    /// responses for the typed wrappers to interpret.
+    pub fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Response::decode(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed connection mid-request",
+            )),
+        }
+    }
+
+    /// kNN search: `(id, score)` pairs, best first, scores bit-exact.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when admission refused the request;
+    /// [`ServeError::BadRequest`] for malformed queries.
+    pub fn search(&mut self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, ServeError> {
+        let req = Request::Search { k: k as u32, query: query.to_vec() };
+        match self.roundtrip(&req)? {
+            Response::Search { hits } => Ok(hits),
+            other => Err(refusal(other, "search")),
+        }
+    }
+
+    /// Appends rows (row-major, `rows.len() % dim == 0`); returns the
+    /// assigned id range `[start, end)`.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] for shape errors.
+    pub fn upsert(&mut self, dim: usize, rows: &[f32]) -> Result<(u64, u64), ServeError> {
+        let req = Request::Upsert { dim: dim as u32, rows: rows.to_vec() };
+        match self.roundtrip(&req)? {
+            Response::Upsert { start, end } => Ok((start, end)),
+            other => Err(refusal(other, "upsert")),
+        }
+    }
+
+    /// Swap-removes an item; returns the id that moved into its slot.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] for out-of-bounds ids.
+    pub fn delete(&mut self, id: u64) -> Result<Option<u64>, ServeError> {
+        match self.roundtrip(&Request::Delete { id })? {
+            Response::Delete { moved } => Ok(moved),
+            other => Err(refusal(other, "delete")),
+        }
+    }
+
+    /// Server statistics snapshot.
+    ///
+    /// # Errors
+    /// Transport/protocol failures.
+    pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(refusal(other, "stats")),
+        }
+    }
+
+    /// Forces a durable snapshot; returns the epoch it captured.
+    ///
+    /// # Errors
+    /// [`ServeError::BadRequest`] when the server has no snapshot path.
+    pub fn snapshot(&mut self) -> Result<u64, ServeError> {
+        match self.roundtrip(&Request::Snapshot)? {
+            Response::Snapshot { epoch } => Ok(epoch),
+            other => Err(refusal(other, "snapshot")),
+        }
+    }
+
+    /// Asks the server to stop (acknowledged before the server exits).
+    ///
+    /// # Errors
+    /// Transport/protocol failures.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            other => Err(refusal(other, "shutdown")),
+        }
+    }
+}
+
+/// Maps a typed refusal response to the matching [`ServeError`].
+fn refusal(response: Response, expected: &'static str) -> ServeError {
+    match response {
+        Response::BadRequest { message } => ServeError::BadRequest(message),
+        Response::Overloaded => ServeError::Overloaded,
+        Response::ServerError { message } => ServeError::Server(message),
+        _ => ServeError::UnexpectedResponse(expected),
+    }
+}

@@ -1,0 +1,37 @@
+//! lt-serve: concurrent query serving for a [`lightlt_core`] quantized
+//! index — std-only (no async runtime, no external network crates).
+//!
+//! Four layers, one per module:
+//!
+//! - [`protocol`] — length-prefixed binary wire format. Every frame is
+//!   `[len: u32 LE][payload][crc32(payload): u32 LE]`; payloads are tagged
+//!   little-endian encodings of typed [`protocol::Request`] /
+//!   [`protocol::Response`] values. Scores travel as raw `f32` bits, so
+//!   the wire never perturbs the engine's bitwise-deterministic results.
+//! - [`server`] — TCP front end on `std::net`: an accept thread, one
+//!   reader thread per connection, and admission control into a bounded
+//!   submission queue (a full queue answers a typed `Overloaded`, never
+//!   blocks the accept path).
+//! - [`batch`] — the micro-batching executor. Searches wait in the queue
+//!   until `max_batch` of them are ready or the oldest has waited
+//!   `max_delay`, then execute as one `adc_search_batch` call (GEMM-
+//!   batched LUT construction) on the shared [`lt_runtime`] pool. Batched
+//!   results are bitwise identical to per-query `adc_search`.
+//! - [`state`] — epoch/snapshot index management: copy-on-write snapshots
+//!   over online `append`/`swap_remove`, checksummed `LTINDEX3` disk
+//!   snapshots, and a crash-safe startup loader.
+//!
+//! [`client::ServeClient`] is the matching blocking client, used by the
+//! CLI (`lightlt query`), the integration tests, and the `lt-bench serve`
+//! load generator.
+
+pub mod batch;
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use client::{ServeClient, ServeError};
+pub use protocol::{Request, Response, ServeStats};
+pub use server::{ServeConfig, Server};
+pub use state::{load_index_with_snapshot, IndexState};

@@ -1,0 +1,599 @@
+//! Length-prefixed binary wire protocol.
+//!
+//! Every message travels in one frame:
+//!
+//! ```text
+//! ┌──────────────┬───────────────────┬──────────────────────┐
+//! │ len: u32 LE  │ payload: len bytes│ crc32(payload): u32 LE│
+//! └──────────────┴───────────────────┴──────────────────────┘
+//! ```
+//!
+//! `len` counts only the payload. The CRC32 (IEEE, via
+//! [`lightlt_core::checksum`]) is verified on receipt, so a corrupted or
+//! desynchronized stream fails loudly instead of decoding garbage into a
+//! query. Payloads are capped at [`MAX_FRAME_BYTES`] so a malformed length
+//! field cannot drive an allocation of arbitrary size.
+//!
+//! The payload itself is a tagged little-endian encoding of [`Request`] /
+//! [`Response`]; all integers are fixed-width LE, floats are IEEE-754 bit
+//! patterns, strings are length-prefixed UTF-8.
+
+use std::io::{self, Read, Write};
+
+use lightlt_core::checksum::crc32;
+
+/// Hard cap on a frame payload (64 MiB): large enough for any realistic
+/// upsert batch, small enough that a corrupt length field cannot OOM the
+/// server.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Operations a client can request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// kNN search: top-`k` over the current index snapshot.
+    Search {
+        /// Number of results requested (must be ≥ 1).
+        k: u32,
+        /// Query embedding; its length must equal the index dimension.
+        query: Vec<f32>,
+    },
+    /// Append `rows` new embeddings (row-major, `rows.len() = n·dim`);
+    /// the server encodes them online and they become visible to every
+    /// search batch formed after the acknowledgement.
+    Upsert {
+        /// Dimensionality of each row.
+        dim: u32,
+        /// Row-major embedding data.
+        rows: Vec<f32>,
+    },
+    /// Remove item `id` (swap-remove semantics: the last item moves into
+    /// the freed slot; the response names the moved id).
+    Delete {
+        /// Id of the item to remove.
+        id: u64,
+    },
+    /// Server/index statistics.
+    Stats,
+    /// Force a checksummed snapshot to disk now.
+    Snapshot,
+    /// Graceful shutdown: flush pending batches, write a final snapshot.
+    Shutdown,
+}
+
+/// Server/index statistics reported by [`Request::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Items currently indexed.
+    pub items: u64,
+    /// Embedding dimensionality.
+    pub dim: u32,
+    /// Number of codebooks `M`.
+    pub num_codebooks: u32,
+    /// Codewords per codebook `K`.
+    pub num_codewords: u32,
+    /// Mutation epoch (bumps on every upsert/delete).
+    pub epoch: u64,
+    /// Searches admitted into the queue so far.
+    pub searches: u64,
+    /// Batches executed so far.
+    pub batches: u64,
+    /// Searches rejected with `Overloaded`.
+    pub rejected: u64,
+    /// Upserted items so far.
+    pub upserts: u64,
+    /// Deleted items so far.
+    pub deletes: u64,
+    /// Snapshots written so far.
+    pub snapshots: u64,
+    /// Jobs sitting in the submission queue right now.
+    pub queue_len: u64,
+}
+
+/// Server replies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Top-`k` hits, best first: `(item id, score)`.
+    Search {
+        /// `(id, score)` pairs, descending score.
+        hits: Vec<(u64, f32)>,
+    },
+    /// Ids assigned to the upserted rows: `start..end`.
+    Upsert {
+        /// First assigned id.
+        start: u64,
+        /// One past the last assigned id.
+        end: u64,
+    },
+    /// Delete acknowledgement; `moved` is the id that was relocated into
+    /// the freed slot (`None` when the last item was deleted).
+    Delete {
+        /// Id of the item that moved into the freed slot, if any.
+        moved: Option<u64>,
+    },
+    /// Statistics snapshot.
+    Stats(ServeStats),
+    /// Snapshot written; reports the epoch it captured.
+    Snapshot {
+        /// Mutation epoch the snapshot captured.
+        epoch: u64,
+    },
+    /// Shutdown acknowledged; the server stops after this reply.
+    Shutdown,
+    /// The request was structurally valid but semantically rejected
+    /// (dimension mismatch, `k == 0`, unknown id, empty index).
+    BadRequest {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// The submission queue is full; retry later. Admission control
+    /// rejects instead of blocking, so the accept loop never stalls.
+    Overloaded,
+    /// The server failed internally (e.g. snapshot I/O error).
+    ServerError {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+// ---- payload encoding helpers -------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Sequential little-endian reader over a payload slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.data.len() < n {
+            return Err(format!("truncated payload: wanted {n} bytes, have {}", self.data.len()));
+        }
+        let (head, tail) = self.data.split_at(n);
+        self.data = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn f32_vec(&mut self, n: usize) -> Result<Vec<f32>, String> {
+        let bytes = self.take(n.checked_mul(4).ok_or("float count overflow")?)?;
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))).collect())
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string".to_string())
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.data.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes after payload", self.data.len()))
+        }
+    }
+}
+
+// Request opcodes.
+const OP_SEARCH: u8 = 1;
+const OP_UPSERT: u8 = 2;
+const OP_DELETE: u8 = 3;
+const OP_STATS: u8 = 4;
+const OP_SNAPSHOT: u8 = 5;
+const OP_SHUTDOWN: u8 = 6;
+
+// Response opcodes.
+const RE_SEARCH: u8 = 0x81;
+const RE_UPSERT: u8 = 0x82;
+const RE_DELETE: u8 = 0x83;
+const RE_STATS: u8 = 0x84;
+const RE_SNAPSHOT: u8 = 0x85;
+const RE_SHUTDOWN: u8 = 0x86;
+const RE_BAD_REQUEST: u8 = 0xE0;
+const RE_OVERLOADED: u8 = 0xE1;
+const RE_SERVER_ERROR: u8 = 0xE2;
+
+/// Encodes a request payload (without framing).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match req {
+        Request::Search { k, query } => {
+            buf.push(OP_SEARCH);
+            put_u32(&mut buf, *k);
+            put_u32(&mut buf, query.len() as u32);
+            for &v in query {
+                put_f32(&mut buf, v);
+            }
+        }
+        Request::Upsert { dim, rows } => {
+            buf.push(OP_UPSERT);
+            put_u32(&mut buf, *dim);
+            put_u32(&mut buf, rows.len() as u32);
+            for &v in rows {
+                put_f32(&mut buf, v);
+            }
+        }
+        Request::Delete { id } => {
+            buf.push(OP_DELETE);
+            put_u64(&mut buf, *id);
+        }
+        Request::Stats => buf.push(OP_STATS),
+        Request::Snapshot => buf.push(OP_SNAPSHOT),
+        Request::Shutdown => buf.push(OP_SHUTDOWN),
+    }
+    buf
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+/// Returns a message on an unknown opcode, truncation, or trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
+    let mut c = Cursor { data: payload };
+    let req = match c.u8()? {
+        OP_SEARCH => {
+            let k = c.u32()?;
+            let dim = c.u32()? as usize;
+            Request::Search { k, query: c.f32_vec(dim)? }
+        }
+        OP_UPSERT => {
+            let dim = c.u32()?;
+            let count = c.u32()? as usize;
+            Request::Upsert { dim, rows: c.f32_vec(count)? }
+        }
+        OP_DELETE => Request::Delete { id: c.u64()? },
+        OP_STATS => Request::Stats,
+        OP_SNAPSHOT => Request::Snapshot,
+        OP_SHUTDOWN => Request::Shutdown,
+        other => return Err(format!("unknown request opcode {other:#04x}")),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response payload (without framing).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match resp {
+        Response::Search { hits } => {
+            buf.push(RE_SEARCH);
+            put_u32(&mut buf, hits.len() as u32);
+            for &(id, score) in hits {
+                put_u64(&mut buf, id);
+                put_f32(&mut buf, score);
+            }
+        }
+        Response::Upsert { start, end } => {
+            buf.push(RE_UPSERT);
+            put_u64(&mut buf, *start);
+            put_u64(&mut buf, *end);
+        }
+        Response::Delete { moved } => {
+            buf.push(RE_DELETE);
+            match moved {
+                Some(id) => {
+                    buf.push(1);
+                    put_u64(&mut buf, *id);
+                }
+                None => buf.push(0),
+            }
+        }
+        Response::Stats(s) => {
+            buf.push(RE_STATS);
+            put_u64(&mut buf, s.items);
+            put_u32(&mut buf, s.dim);
+            put_u32(&mut buf, s.num_codebooks);
+            put_u32(&mut buf, s.num_codewords);
+            put_u64(&mut buf, s.epoch);
+            put_u64(&mut buf, s.searches);
+            put_u64(&mut buf, s.batches);
+            put_u64(&mut buf, s.rejected);
+            put_u64(&mut buf, s.upserts);
+            put_u64(&mut buf, s.deletes);
+            put_u64(&mut buf, s.snapshots);
+            put_u64(&mut buf, s.queue_len);
+        }
+        Response::Snapshot { epoch } => {
+            buf.push(RE_SNAPSHOT);
+            put_u64(&mut buf, *epoch);
+        }
+        Response::Shutdown => buf.push(RE_SHUTDOWN),
+        Response::BadRequest { message } => {
+            buf.push(RE_BAD_REQUEST);
+            put_str(&mut buf, message);
+        }
+        Response::Overloaded => buf.push(RE_OVERLOADED),
+        Response::ServerError { message } => {
+            buf.push(RE_SERVER_ERROR);
+            put_str(&mut buf, message);
+        }
+    }
+    buf
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+/// Returns a message on an unknown opcode, truncation, or trailing bytes.
+pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
+    let mut c = Cursor { data: payload };
+    let resp = match c.u8()? {
+        RE_SEARCH => {
+            let n = c.u32()? as usize;
+            let mut hits = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let id = c.u64()?;
+                let score = c.f32()?;
+                hits.push((id, score));
+            }
+            Response::Search { hits }
+        }
+        RE_UPSERT => Response::Upsert { start: c.u64()?, end: c.u64()? },
+        RE_DELETE => {
+            let moved = match c.u8()? {
+                0 => None,
+                1 => Some(c.u64()?),
+                other => return Err(format!("bad moved tag {other}")),
+            };
+            Response::Delete { moved }
+        }
+        RE_STATS => Response::Stats(ServeStats {
+            items: c.u64()?,
+            dim: c.u32()?,
+            num_codebooks: c.u32()?,
+            num_codewords: c.u32()?,
+            epoch: c.u64()?,
+            searches: c.u64()?,
+            batches: c.u64()?,
+            rejected: c.u64()?,
+            upserts: c.u64()?,
+            deletes: c.u64()?,
+            snapshots: c.u64()?,
+            queue_len: c.u64()?,
+        }),
+        RE_SNAPSHOT => Response::Snapshot { epoch: c.u64()? },
+        RE_SHUTDOWN => Response::Shutdown,
+        RE_BAD_REQUEST => Response::BadRequest { message: c.str()? },
+        RE_OVERLOADED => Response::Overloaded,
+        RE_SERVER_ERROR => Response::ServerError { message: c.str()? },
+        other => return Err(format!("unknown response opcode {other:#04x}")),
+    };
+    c.finish()?;
+    Ok(resp)
+}
+
+impl Request {
+    /// Method form of [`encode_request`].
+    pub fn encode(&self) -> Vec<u8> {
+        encode_request(self)
+    }
+
+    /// Method form of [`decode_request`].
+    ///
+    /// # Errors
+    /// See [`decode_request`].
+    pub fn decode(payload: &[u8]) -> Result<Request, String> {
+        decode_request(payload)
+    }
+}
+
+impl Response {
+    /// Method form of [`encode_response`].
+    pub fn encode(&self) -> Vec<u8> {
+        encode_response(self)
+    }
+
+    /// Method form of [`decode_response`].
+    ///
+    /// # Errors
+    /// See [`decode_response`].
+    pub fn decode(payload: &[u8]) -> Result<Response, String> {
+        decode_response(payload)
+    }
+}
+
+// ---- framing -------------------------------------------------------------
+
+/// Writes one frame (length prefix + payload + CRC32) and flushes.
+///
+/// # Errors
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME_BYTES`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload {} exceeds cap {MAX_FRAME_BYTES}", payload.len()),
+        ));
+    }
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame, verifying length cap and CRC32. Returns `Ok(None)` on
+/// a clean EOF before the first header byte (peer closed between frames).
+///
+/// # Errors
+/// `InvalidData` on an oversized length field or CRC mismatch;
+/// `UnexpectedEof` on mid-frame truncation; other I/O errors as-is.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    // Distinguish clean EOF (no bytes) from mid-header truncation.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof inside frame header"))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)?;
+    let stored = u32::from_le_bytes(crc_bytes);
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"),
+        ));
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let payload = encode_request(&req);
+        assert_eq!(decode_request(&payload).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let payload = encode_response(&resp);
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::Search { k: 10, query: vec![0.5, -1.25, 3.0] });
+        roundtrip_request(Request::Upsert { dim: 2, rows: vec![1.0, 2.0, 3.0, 4.0] });
+        roundtrip_request(Request::Delete { id: 42 });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Snapshot);
+        roundtrip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Search { hits: vec![(7, 0.5), (3, -0.25)] });
+        roundtrip_response(Response::Upsert { start: 100, end: 104 });
+        roundtrip_response(Response::Delete { moved: Some(9) });
+        roundtrip_response(Response::Delete { moved: None });
+        roundtrip_response(Response::Stats(ServeStats {
+            items: 10,
+            dim: 6,
+            num_codebooks: 3,
+            num_codewords: 16,
+            epoch: 2,
+            searches: 5,
+            batches: 3,
+            rejected: 1,
+            upserts: 4,
+            deletes: 1,
+            snapshots: 2,
+            queue_len: 0,
+        }));
+        roundtrip_response(Response::Snapshot { epoch: 17 });
+        roundtrip_response(Response::Shutdown);
+        roundtrip_response(Response::BadRequest { message: "dim mismatch".into() });
+        roundtrip_response(Response::Overloaded);
+        roundtrip_response(Response::ServerError { message: "disk full".into() });
+    }
+
+    #[test]
+    fn score_bits_survive_the_wire() {
+        // Exact bit patterns matter for the bitwise-identity guarantee.
+        let tricky = [f32::MIN_POSITIVE, -0.0, 1.0 + f32::EPSILON, 1e-38];
+        let resp = Response::Search {
+            hits: tricky.iter().enumerate().map(|(i, &s)| (i as u64, s)).collect(),
+        };
+        let decoded = decode_response(&encode_response(&resp)).unwrap();
+        let Response::Search { hits } = decoded else { panic!("wrong variant") };
+        for ((_, a), &b) in hits.iter().zip(&tricky) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_crc() {
+        let payload = encode_request(&Request::Search { k: 3, query: vec![1.0, 2.0] });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
+        // Clean EOF after a whole frame.
+        assert!(read_frame(&mut r).unwrap().is_none());
+
+        // A flipped payload bit must be caught by the CRC.
+        let mut corrupt = wire.clone();
+        corrupt[6] ^= 0x40;
+        let err = read_frame(&mut &corrupt[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Mid-frame truncation is UnexpectedEof, not a hang or panic.
+        let err = read_frame(&mut &wire[..wire.len() - 2]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_field_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(u32::MAX).to_le_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[0xFF]).is_err());
+        assert!(decode_response(&[0x07]).is_err());
+        // Truncated search request.
+        let mut payload = encode_request(&Request::Search { k: 1, query: vec![1.0, 2.0] });
+        payload.truncate(payload.len() - 3);
+        assert!(decode_request(&payload).is_err());
+        // Trailing garbage.
+        let mut payload = encode_request(&Request::Stats);
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! TCP front end: accept loop, per-connection reader threads, dispatch.
+//!
+//! Thread topology (all `std::thread`, no async runtime):
+//!
+//! - **accept thread** — blocks on `TcpListener::accept`, spawns one
+//!   handler per connection. Never does per-request work, so a slow or
+//!   hostile client cannot stall admission of new connections.
+//! - **handler threads** (one per live connection) — frame decode, request
+//!   validation, dispatch. Searches are enqueued into the shared
+//!   [`SubmitQueue`](crate::batch::SubmitQueue) and the handler blocks on
+//!   the reply channel; a full queue answers `Overloaded` immediately.
+//!   Mutations (`Upsert`/`Delete`) and control ops run inline against the
+//!   [`IndexState`], so their acknowledgement orders them before any
+//!   later-formed batch.
+//! - **executor thread** — the micro-batching loop
+//!   ([`crate::batch::run_executor`]).
+//! - **snapshot thread** (optional) — periodic checksummed snapshots via
+//!   [`IndexState::write_snapshot`].
+//!
+//! Reads use a poll timeout so handler threads notice the stop flag within
+//! ~50 ms even on idle connections. Shutdown order matters and is encoded
+//! in [`Server::shutdown`]: stop flag → close queue (executor flushes and
+//! exits) → self-connect to unblock `accept` → join threads.
+
+use std::io::{self, ErrorKind};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lightlt_core::index::QuantizedIndex;
+use lightlt_core::search::validate_search_request;
+use lt_linalg::Matrix;
+
+use crate::batch::{run_executor, ExecCounters, SearchJob, SubmitError, SubmitQueue};
+use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats};
+use crate::state::IndexState;
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port).
+    pub addr: String,
+    /// Batch-size trigger: drain as soon as this many searches wait.
+    pub max_batch: usize,
+    /// Deadline trigger: drain once the oldest waiting search is this old.
+    pub max_delay: Duration,
+    /// Admission bound on queued-but-not-executing searches.
+    pub queue_cap: usize,
+    /// Runtime width for batch execution (0 = leave the global default).
+    pub threads: usize,
+    /// Where to write periodic snapshots (None disables the snapshotter;
+    /// explicit `Snapshot` requests still need a path).
+    pub snapshot_path: Option<PathBuf>,
+    /// Interval between background snapshots (None = only on request).
+    pub snapshot_every: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            max_batch: 16,
+            max_delay: Duration::from_micros(500),
+            queue_cap: 1024,
+            threads: 0,
+            snapshot_path: None,
+            snapshot_every: None,
+        }
+    }
+}
+
+/// Mutation/traffic counters surfaced by the `Stats` op.
+#[derive(Debug, Default)]
+struct OpCounters {
+    rejected: AtomicU64,
+    upserts: AtomicU64,
+    deletes: AtomicU64,
+    snapshots: AtomicU64,
+}
+
+/// A running serve instance. Dropping without [`Server::shutdown`] aborts
+/// hard (threads are detached at drop); prefer an explicit shutdown.
+pub struct Server {
+    local_addr: SocketAddr,
+    state: Arc<IndexState>,
+    queue: Arc<SubmitQueue>,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+    executor_handle: Option<std::thread::JoinHandle<()>>,
+    snapshot_handle: Option<std::thread::JoinHandle<()>>,
+    handler_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept/executor/snapshot threads, and returns.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn start(index: QuantizedIndex, config: ServeConfig) -> io::Result<Server> {
+        if config.threads > 0 {
+            lt_runtime::set_threads(config.threads);
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(IndexState::new(index));
+        let queue = Arc::new(SubmitQueue::new(config.queue_cap));
+        let stop = Arc::new(AtomicBool::new(false));
+        let exec_counters = Arc::new(ExecCounters::default());
+        let op_counters = Arc::new(OpCounters::default());
+        let handler_handles = Arc::new(Mutex::new(Vec::new()));
+
+        let executor_handle = {
+            let queue = queue.clone();
+            let state = state.clone();
+            let stop = stop.clone();
+            let counters = exec_counters.clone();
+            let (max_batch, max_delay) = (config.max_batch, config.max_delay);
+            std::thread::Builder::new()
+                .name("lt-serve-exec".into())
+                .spawn(move || run_executor(&queue, &state, max_batch, max_delay, &stop, &counters))?
+        };
+
+        let snapshot_handle = match (&config.snapshot_path, config.snapshot_every) {
+            (Some(path), Some(every)) => {
+                let state = state.clone();
+                let stop = stop.clone();
+                let op_counters = op_counters.clone();
+                let path = path.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("lt-serve-snap".into())
+                        .spawn(move || {
+                            let mut last = Instant::now();
+                            let mut last_epoch = state.epoch();
+                            while !stop.load(Ordering::SeqCst) {
+                                std::thread::sleep(Duration::from_millis(25));
+                                if last.elapsed() < every {
+                                    continue;
+                                }
+                                last = Instant::now();
+                                let epoch = state.epoch();
+                                if epoch == last_epoch {
+                                    continue; // nothing changed since the last image
+                                }
+                                match state.write_snapshot(&path) {
+                                    Ok(captured) => {
+                                        last_epoch = captured;
+                                        op_counters.snapshots.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    Err(e) => eprintln!(
+                                        "warning: snapshot to {} failed: {e}",
+                                        path.display()
+                                    ),
+                                }
+                            }
+                        })?,
+                )
+            }
+            _ => None,
+        };
+
+        let accept_handle = {
+            let ctx = HandlerCtx {
+                state: state.clone(),
+                queue: queue.clone(),
+                stop: stop.clone(),
+                exec_counters,
+                op_counters,
+                snapshot_path: config.snapshot_path.clone(),
+            };
+            let handler_handles = handler_handles.clone();
+            let stop = stop.clone();
+            std::thread::Builder::new().name("lt-serve-accept".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let ctx = ctx.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("lt-serve-conn".into())
+                        .spawn(move || handle_connection(stream, &ctx))
+                        .expect("spawning connection handler");
+                    let mut handles = handler_handles.lock().expect("handler list poisoned");
+                    // Opportunistically reap finished handlers so a
+                    // long-lived server doesn't accumulate join handles.
+                    handles.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
+                    handles.push(handle);
+                }
+            })?
+        };
+
+        Ok(Server {
+            local_addr,
+            state,
+            queue,
+            stop,
+            accept_handle: Some(accept_handle),
+            executor_handle: Some(executor_handle),
+            snapshot_handle: Some(snapshot_handle).flatten(),
+            handler_handles,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared index state (for tests and embedding).
+    pub fn state(&self) -> &Arc<IndexState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop admission, flush the batch queue (every
+    /// admitted search still gets its response), join all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Executor: wakes on close, flushes remaining jobs, exits.
+        self.queue.close();
+        if let Some(h) = self.executor_handle.take() {
+            let _ = h.join();
+        }
+        // Accept loop: blocked in accept(); a self-connection unblocks it
+        // and the stop flag makes it exit before handling the connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.snapshot_handle.take() {
+            let _ = h.join();
+        }
+        // Handlers poll the stop flag on their read timeout.
+        let handles = std::mem::take(&mut *self.handler_handles.lock().expect("handler list"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Everything a connection handler needs, cheaply cloneable.
+#[derive(Clone)]
+struct HandlerCtx {
+    state: Arc<IndexState>,
+    queue: Arc<SubmitQueue>,
+    stop: Arc<AtomicBool>,
+    exec_counters: Arc<ExecCounters>,
+    op_counters: Arc<OpCounters>,
+    snapshot_path: Option<PathBuf>,
+}
+
+/// Per-connection loop: read frame → dispatch → write frame, until EOF,
+/// error, `Shutdown`, or the server stop flag.
+fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
+    // Poll-style reads so idle connections notice shutdown promptly.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue; // poll tick; loop re-checks the stop flag
+            }
+            Err(_) => return, // torn frame / hard I/O error: drop the conn
+        };
+        let response = match Request::decode(&payload) {
+            Ok(request) => {
+                let is_shutdown = matches!(request, Request::Shutdown);
+                let resp = dispatch(request, ctx);
+                if write_frame(&mut stream, &resp.encode()).is_err() {
+                    return;
+                }
+                if is_shutdown {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => Response::BadRequest { message: format!("malformed request: {e}") },
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Executes one decoded request. Search blocks on the batch executor; all
+/// other ops run inline.
+fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
+    match request {
+        Request::Search { k, query } => {
+            let snapshot = ctx.state.snapshot();
+            if let Err(e) = validate_search_request(&snapshot, query.len(), k as usize) {
+                ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Response::BadRequest { message: e.to_string() };
+            }
+            drop(snapshot);
+            let (tx, rx) = mpsc::channel();
+            let job = SearchJob { query, k: k as usize, enqueued: Instant::now(), reply: tx };
+            match ctx.queue.try_submit(job) {
+                Ok(()) => match rx.recv() {
+                    Ok(resp) => resp,
+                    Err(_) => Response::ServerError { message: "executor dropped job".into() },
+                },
+                Err(SubmitError::Overloaded) => {
+                    ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    Response::Overloaded
+                }
+                Err(SubmitError::Closed) => {
+                    Response::ServerError { message: "server shutting down".into() }
+                }
+            }
+        }
+        Request::Upsert { dim, rows } => {
+            let dim = dim as usize;
+            if dim == 0 || rows.is_empty() || rows.len() % dim != 0 {
+                ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Response::BadRequest {
+                    message: format!(
+                        "upsert payload of {} floats is not a positive multiple of dim {dim}",
+                        rows.len()
+                    ),
+                };
+            }
+            let matrix = Matrix::from_vec(rows.len() / dim, dim, rows);
+            match ctx.state.upsert(&matrix) {
+                Ok(range) => {
+                    ctx.op_counters.upserts.fetch_add(1, Ordering::Relaxed);
+                    Response::Upsert { start: range.start as u64, end: range.end as u64 }
+                }
+                Err(message) => {
+                    ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    Response::BadRequest { message }
+                }
+            }
+        }
+        Request::Delete { id } => match ctx.state.delete(id as usize) {
+            Ok(moved) => {
+                ctx.op_counters.deletes.fetch_add(1, Ordering::Relaxed);
+                Response::Delete { moved: moved.map(|m| m as u64) }
+            }
+            Err(message) => {
+                ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Response::BadRequest { message }
+            }
+        },
+        Request::Stats => {
+            let (snapshot, epoch) = ctx.state.snapshot_with_epoch();
+            Response::Stats(ServeStats {
+                items: snapshot.len() as u64,
+                dim: snapshot.dim() as u32,
+                num_codebooks: snapshot.num_codebooks() as u32,
+                num_codewords: snapshot.num_codewords() as u32,
+                epoch,
+                searches: ctx.exec_counters.searches.load(Ordering::Relaxed),
+                batches: ctx.exec_counters.batches.load(Ordering::Relaxed),
+                rejected: ctx.op_counters.rejected.load(Ordering::Relaxed),
+                upserts: ctx.op_counters.upserts.load(Ordering::Relaxed),
+                deletes: ctx.op_counters.deletes.load(Ordering::Relaxed),
+                snapshots: ctx.op_counters.snapshots.load(Ordering::Relaxed),
+                queue_len: ctx.queue.len() as u64,
+            })
+        }
+        Request::Snapshot => match &ctx.snapshot_path {
+            Some(path) => match ctx.state.write_snapshot(path) {
+                Ok(epoch) => {
+                    ctx.op_counters.snapshots.fetch_add(1, Ordering::Relaxed);
+                    Response::Snapshot { epoch }
+                }
+                Err(e) => Response::ServerError { message: format!("snapshot failed: {e}") },
+            },
+            None => Response::BadRequest { message: "server has no snapshot path".into() },
+        },
+        Request::Shutdown => {
+            // Flag only; the owner (CLI main / test harness) observes it
+            // via `wait_for_stop` and runs the full join sequence.
+            ctx.stop.store(true, Ordering::SeqCst);
+            ctx.queue.close();
+            Response::Shutdown
+        }
+    }
+}
+
+impl Server {
+    /// Blocks until a client's `Shutdown` request (or [`Server::shutdown`]
+    /// from another thread) sets the stop flag. Returns so the owner can
+    /// call [`Server::shutdown`] for the join sequence.
+    pub fn wait_for_stop(&self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+
+    /// Whether a stop has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}

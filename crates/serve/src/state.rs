@@ -1,0 +1,261 @@
+//! Index-state manager: epoch/snapshot semantics over online mutations.
+//!
+//! Readers never block writers and vice versa beyond an `Arc` clone: the
+//! live index is an `Arc<QuantizedIndex>` behind an `RwLock`. A search
+//! batch grabs the `Arc` (a **snapshot**: immutable for the whole batch,
+//! even while upserts land concurrently) and scans without holding any
+//! lock. A mutation takes the write lock and `Arc::make_mut`s the index —
+//! copy-on-write: the clone happens only when a reader still holds the
+//! previous snapshot, and consecutive mutations between batches mutate in
+//! place. Every mutation bumps the **epoch**; a batch formed after a
+//! mutation's acknowledgement therefore always observes it.
+//!
+//! Durability: [`IndexState::write_snapshot`] serializes the current
+//! snapshot as a checksummed `LTINDEX3` index image to a temp file and
+//! atomically renames it into place, so a crash mid-write leaves the
+//! previous snapshot intact. [`load_index_with_snapshot`] is the startup
+//! path: prefer the newest valid snapshot, fall back to the base image
+//! when the snapshot is missing or fails its checksum.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use lightlt_core::index::QuantizedIndex;
+use lightlt_core::persist::{deserialize_index, serialize_index};
+use lt_linalg::Matrix;
+
+/// Concurrent owner of the live [`QuantizedIndex`].
+#[derive(Debug)]
+pub struct IndexState {
+    current: RwLock<Arc<QuantizedIndex>>,
+    epoch: AtomicU64,
+}
+
+impl IndexState {
+    /// Wraps an index at epoch 0.
+    pub fn new(index: QuantizedIndex) -> Self {
+        Self { current: RwLock::new(Arc::new(index)), epoch: AtomicU64::new(0) }
+    }
+
+    /// An immutable snapshot of the current index. Cheap (`Arc` clone);
+    /// the snapshot stays valid and unchanged for as long as the caller
+    /// holds it, regardless of concurrent mutations.
+    pub fn snapshot(&self) -> Arc<QuantizedIndex> {
+        self.current.read().expect("index lock poisoned").clone()
+    }
+
+    /// The current mutation epoch (bumps on every successful
+    /// upsert/delete).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// A consistent `(snapshot, epoch)` pair (taken under one read lock).
+    pub fn snapshot_with_epoch(&self) -> (Arc<QuantizedIndex>, u64) {
+        let guard = self.current.read().expect("index lock poisoned");
+        (guard.clone(), self.epoch.load(Ordering::SeqCst))
+    }
+
+    /// Appends `rows` (online encode); returns the assigned id range.
+    ///
+    /// # Errors
+    /// Rejects a dimension mismatch with a message (never panics).
+    pub fn upsert(&self, rows: &Matrix) -> Result<std::ops::Range<usize>, String> {
+        let mut guard = self.current.write().expect("index lock poisoned");
+        if rows.cols() != guard.dim() {
+            return Err(format!(
+                "upsert dimension {} does not match index dimension {}",
+                rows.cols(),
+                guard.dim()
+            ));
+        }
+        let assigned = Arc::make_mut(&mut guard).append(rows);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(assigned)
+    }
+
+    /// Swap-removes item `id`; returns the id that moved into its slot.
+    ///
+    /// # Errors
+    /// Rejects an out-of-bounds id with a message (never panics).
+    pub fn delete(&self, id: usize) -> Result<Option<usize>, String> {
+        let mut guard = self.current.write().expect("index lock poisoned");
+        if id >= guard.len() {
+            return Err(format!("delete id {id} out of bounds ({} items)", guard.len()));
+        }
+        let moved = Arc::make_mut(&mut guard).swap_remove(id);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        Ok(moved)
+    }
+
+    /// Writes a checksummed `LTINDEX3` snapshot of the current index to
+    /// `path`, atomically (temp file + rename + fsync). Returns the epoch
+    /// the snapshot captured.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; the previous snapshot file, if any, is left
+    /// untouched on failure.
+    pub fn write_snapshot(&self, path: &Path) -> std::io::Result<u64> {
+        let (snapshot, epoch) = self.snapshot_with_epoch();
+        // Serialize outside any lock: the Arc keeps the image consistent.
+        let image = serialize_index(&snapshot);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, &image)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(epoch)
+    }
+}
+
+/// Startup loader with crash-safe snapshot preference.
+///
+/// Tries `snapshot_path` first (if given): a valid checksummed image there
+/// is the most recent durable state, so it wins. A missing or corrupt
+/// snapshot (e.g. the process died mid-write on a filesystem without
+/// atomic rename, or the file rotted) falls back to `base_path`. Returns
+/// the index and `true` when it came from the snapshot.
+///
+/// # Errors
+/// Returns a message when neither source yields a valid index.
+pub fn load_index_with_snapshot(
+    base_path: Option<&Path>,
+    snapshot_path: Option<&Path>,
+) -> Result<(QuantizedIndex, bool), String> {
+    if let Some(snap) = snapshot_path {
+        if snap.exists() {
+            match std::fs::read(snap) {
+                Ok(bytes) => match deserialize_index(&bytes) {
+                    Ok(index) => return Ok((index, true)),
+                    Err(e) => {
+                        // Corrupt snapshot: fall through to the base image.
+                        eprintln!("warning: snapshot {} rejected ({e}); using base index", snap.display());
+                    }
+                },
+                Err(e) => {
+                    eprintln!("warning: snapshot {} unreadable ({e}); using base index", snap.display());
+                }
+            }
+        }
+    }
+    let base = base_path.ok_or("no valid snapshot and no base index path")?;
+    let bytes =
+        std::fs::read(base).map_err(|e| format!("reading index {}: {e}", base.display()))?;
+    let index = deserialize_index(&bytes).map_err(|e| format!("index {}: {e}", base.display()))?;
+    Ok((index, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightlt_core::config::CodebookTopology;
+    use lightlt_core::dsq::Dsq;
+    use lightlt_core::search::adc_search;
+    use lt_linalg::random::{randn, rng};
+    use lt_linalg::Metric;
+    use lt_tensor::ParamStore;
+
+    fn build_index(n: usize, seed: u64) -> QuantizedIndex {
+        let mut store = ParamStore::new();
+        let mut r = rng(seed);
+        let dsq = Dsq::new(
+            &mut store,
+            3,
+            16,
+            6,
+            12,
+            CodebookTopology::DoubleSkip,
+            0.1,
+            Metric::NegSquaredL2,
+            &mut r,
+        );
+        let db = randn(n, 6, &mut rng(seed + 1)).scale(0.4);
+        QuantizedIndex::build(&dsq, &store, &db)
+    }
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("lt_serve_state_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_mutation() {
+        let state = IndexState::new(build_index(20, 1));
+        let before = state.snapshot();
+        let n0 = before.len();
+        let rows = randn(3, 6, &mut rng(9)).scale(0.4);
+        let assigned = state.upsert(&rows).unwrap();
+        assert_eq!(assigned, n0..n0 + 3);
+        // The old snapshot is frozen; a fresh one sees the mutation.
+        assert_eq!(before.len(), n0);
+        assert_eq!(state.snapshot().len(), n0 + 3);
+        assert_eq!(state.epoch(), 1);
+    }
+
+    #[test]
+    fn mutations_match_direct_index_ops() {
+        let base = build_index(20, 2);
+        let state = IndexState::new(base.clone());
+        let mut mirror = base;
+        let rows = randn(4, 6, &mut rng(10)).scale(0.4);
+        assert_eq!(state.upsert(&rows).unwrap(), mirror.append(&rows));
+        assert_eq!(state.delete(2).unwrap(), mirror.swap_remove(2));
+        let q = [0.1f32, -0.2, 0.3, 0.0, 0.2, -0.1];
+        let a = adc_search(&state.snapshot(), &q, 5);
+        let b = adc_search(&mirror, &q, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_mutations_are_typed_errors() {
+        let state = IndexState::new(build_index(10, 3));
+        let wrong = randn(2, 4, &mut rng(11));
+        assert!(state.upsert(&wrong).unwrap_err().contains("dimension"));
+        assert!(state.delete(100).unwrap_err().contains("out of bounds"));
+        assert_eq!(state.epoch(), 0, "failed mutations must not bump the epoch");
+    }
+
+    #[test]
+    fn snapshot_write_and_preferred_reload() {
+        let dir = tmp("reload");
+        let base_path = dir.join("base.bin");
+        let snap_path = dir.join("live.snap");
+        let base = build_index(15, 4);
+        std::fs::write(&base_path, serialize_index(&base)).unwrap();
+
+        let state = IndexState::new(base);
+        let rows = randn(2, 6, &mut rng(12)).scale(0.4);
+        state.upsert(&rows).unwrap();
+        let epoch = state.write_snapshot(&snap_path).unwrap();
+        assert_eq!(epoch, 1);
+
+        // Reload prefers the snapshot (17 items), not the base (15).
+        let (reloaded, from_snap) =
+            load_index_with_snapshot(Some(&base_path), Some(&snap_path)).unwrap();
+        assert!(from_snap);
+        assert_eq!(reloaded.len(), 17);
+
+        // Corrupt snapshot falls back to the base image.
+        let mut bytes = std::fs::read(&snap_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&snap_path, &bytes).unwrap();
+        let (fallback, from_snap) =
+            load_index_with_snapshot(Some(&base_path), Some(&snap_path)).unwrap();
+        assert!(!from_snap);
+        assert_eq!(fallback.len(), 15);
+
+        // No valid source at all is a typed error.
+        std::fs::remove_file(&base_path).unwrap();
+        assert!(load_index_with_snapshot(Some(&base_path), Some(&snap_path)).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,68 @@
+//! Writes a small synthetic `LTINDEX3` index image — the fastest way to
+//! get a servable index file for the serving quickstart and the CI smoke
+//! test, with no training run required.
+//!
+//! ```text
+//! cargo run --release --example synth_index -- --out index.bin \
+//!     [--n 2000] [--m 4] [--k 64] [--d 32] [--seed 7]
+//! ```
+//!
+//! The codebooks and code assignments are random (scan and serving
+//! behaviour depend only on shapes, never on how codewords were trained),
+//! but the image is a fully valid checksummed index: `lightlt serve`,
+//! `lightlt info`, and `lightlt search` all accept it.
+
+use lightlt::prelude::*;
+use lightlt_core::persist::serialize_index;
+use lt_linalg::random::{randn, rng};
+
+fn parse_flag(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = parse_flag(&args, "--out").unwrap_or_else(|| {
+        eprintln!("usage: synth_index --out PATH [--n 2000] [--m 4] [--k 64] [--d 32] [--seed 7]");
+        std::process::exit(2);
+    });
+    let n: usize = parse_flag(&args, "--n").map_or(2000, |v| v.parse().expect("--n"));
+    let m: usize = parse_flag(&args, "--m").map_or(4, |v| v.parse().expect("--m"));
+    let k: usize = parse_flag(&args, "--k").map_or(64, |v| v.parse().expect("--k"));
+    let d: usize = parse_flag(&args, "--d").map_or(32, |v| v.parse().expect("--d"));
+    let seed: u64 = parse_flag(&args, "--seed").map_or(7, |v| v.parse().expect("--seed"));
+
+    let mut r = rng(seed);
+    let codebooks: Vec<Matrix> = (0..m).map(|_| randn(k, d, &mut r).scale(0.3)).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let ids: Vec<u16> = (0..n * m)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize % k) as u16
+        })
+        .collect();
+    let codes = Codes::new(ids, m);
+    let norms = (0..n)
+        .map(|i| {
+            let mut recon = vec![0.0f32; d];
+            for (level, &id) in codes.item(i).iter().enumerate() {
+                for (v, &c) in recon.iter_mut().zip(codebooks[level].row(id as usize)) {
+                    *v += c;
+                }
+            }
+            lt_linalg::gemm::dot(&recon, &recon)
+        })
+        .collect();
+    let index = QuantizedIndex::from_parts(codebooks, codes, norms, Metric::NegSquaredL2, d, k);
+
+    let image = serialize_index(&index);
+    std::fs::write(&out, &image).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!(
+        "wrote {out}: {} items, M={}, K={}, d={}, {} bytes",
+        index.len(),
+        m,
+        k,
+        d,
+        image.len()
+    );
+}

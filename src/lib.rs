@@ -16,6 +16,8 @@
 //! * [`eval`] ([`lt_eval`]) — MAP, timing, reporting.
 //! * [`runtime`] ([`lt_runtime`]) — the deterministic worker pool every
 //!   hot path fans out on (`LT_THREADS`, bitwise thread-count invariance).
+//! * [`serve`] ([`lt_serve`]) — concurrent query serving: TCP front end,
+//!   micro-batching executor, online upserts, snapshot reload.
 //!
 //! See `examples/quickstart.rs` for the fastest path from data to search.
 
@@ -26,6 +28,7 @@ pub use lt_data as data;
 pub use lt_eval as eval;
 pub use lt_linalg as linalg;
 pub use lt_runtime as runtime;
+pub use lt_serve as serve;
 pub use lt_tensor as tensor;
 pub use lightlt_core as core;
 

@@ -1,0 +1,333 @@
+//! Integration suite for the lt-serve query-serving subsystem.
+//!
+//! The serving layer must be a pure transport: batching, concurrency, and
+//! snapshot reload may change throughput but never results. Every test
+//! here pins *bitwise* agreement between what a client receives over TCP
+//! and what a single-threaded local [`adc_search`] returns — across
+//! concurrent clients, across online mutations (against a locally
+//! maintained mirror index), and across a snapshot-reload restart. The
+//! backpressure test pins the typed `Overloaded` refusal (never a hang),
+//! and the validation test pins typed `BadRequest` refusals for malformed
+//! wire requests.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use lightlt::prelude::*;
+use lightlt::serve::protocol::{read_frame, write_frame, Request, Response};
+use lightlt::serve::{load_index_with_snapshot, ServeClient, ServeConfig, Server};
+use lightlt_core::persist::serialize_index;
+use lightlt_core::search::adc_search;
+use lt_linalg::random::{randn, rng};
+use lt_linalg::Matrix;
+
+/// Synthetic index at an arbitrary (n, M, K): same construction as the
+/// scan-engine suite — serving behaviour does not depend on how codewords
+/// were trained.
+fn synth_index(n: usize, m: usize, k: usize, d: usize, seed: u64) -> QuantizedIndex {
+    let mut r = rng(seed);
+    let codebooks: Vec<Matrix> = (0..m).map(|_| randn(k, d, &mut r).scale(0.3)).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let ids: Vec<u16> = (0..n * m)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize % k) as u16
+        })
+        .collect();
+    let codes = Codes::new(ids, m);
+    let norms = (0..n)
+        .map(|i| {
+            let mut recon = vec![0.0f32; d];
+            for (level, &id) in codes.item(i).iter().enumerate() {
+                for (v, &c) in recon.iter_mut().zip(codebooks[level].row(id as usize)) {
+                    *v += c;
+                }
+            }
+            lt_linalg::gemm::dot(&recon, &recon)
+        })
+        .collect();
+    QuantizedIndex::from_parts(codebooks, codes, norms, Metric::NegSquaredL2, d, k)
+}
+
+fn assert_hits_match(hits: &[(u64, f32)], expected: &[lt_linalg::topk::Scored]) {
+    assert_eq!(hits.len(), expected.len(), "result length differs");
+    for (h, e) in hits.iter().zip(expected) {
+        assert_eq!(h.0, e.index as u64, "hit id differs");
+        assert_eq!(h.1.to_bits(), e.score.to_bits(), "score bits differ");
+    }
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("lt_serve_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_identical_results() {
+    let d = 16;
+    let index = synth_index(400, 3, 24, d, 11);
+    let reference = index.clone();
+    let server = Server::start(
+        index,
+        ServeConfig {
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let clients = 8;
+    let per_client = 10;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client =
+                    ServeClient::connect_with_retry(addr, Duration::from_secs(5)).unwrap();
+                let queries = randn(per_client, d, &mut rng(100 + c as u64)).scale(0.5);
+                for i in 0..per_client {
+                    let q = queries.row(i);
+                    let k = 1 + (i % 7);
+                    let hits = client.search(q, k).unwrap();
+                    // The batch executor must be a pure transport: bitwise
+                    // identical to a local single-threaded search.
+                    assert_hits_match(&hits, &adc_search(reference, q, k));
+                }
+            });
+        }
+    });
+
+    let mut probe = ServeClient::connect(addr).unwrap();
+    let stats = probe.stats().unwrap();
+    assert_eq!(stats.searches, (clients * per_client) as u64);
+    assert!(stats.batches <= stats.searches);
+    server.shutdown();
+}
+
+#[test]
+fn upserts_and_deletes_are_visible_and_match_local_mirror() {
+    let d = 16;
+    let index = synth_index(120, 3, 24, d, 12);
+    let mut mirror = index.clone();
+    let server = Server::start(index, ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect_with_retry(
+        server.local_addr(),
+        Duration::from_secs(5),
+    )
+    .unwrap();
+
+    let q: Vec<f32> = randn(1, d, &mut rng(77)).into_vec();
+
+    // Upsert three rows; the acknowledged id range must match the local
+    // mirror's append, and a search submitted after the ack must see them.
+    let rows = randn(3, d, &mut rng(78)).scale(0.4);
+    let (start, end) = client.upsert(d, rows.as_slice()).unwrap();
+    let local_range = mirror.append(&rows);
+    assert_eq!((start, end), (local_range.start as u64, local_range.end as u64));
+    assert_hits_match(&client.search(&q, 10).unwrap(), &adc_search(&mirror, &q, 10));
+
+    // Swap-remove two items (one from the middle, one freshly upserted);
+    // the moved-id acknowledgements and all later searches must agree with
+    // the mirror.
+    for id in [5u64, start] {
+        let moved = client.delete(id).unwrap();
+        let local_moved = mirror.swap_remove(id as usize);
+        assert_eq!(moved, local_moved.map(|m| m as u64));
+        assert_hits_match(&client.search(&q, 10).unwrap(), &adc_search(&mirror, &q, 10));
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.items, mirror.len() as u64);
+    assert_eq!(stats.upserts, 1);
+    assert_eq!(stats.deletes, 2);
+    assert_eq!(stats.epoch, 3);
+    server.shutdown();
+}
+
+#[test]
+fn restarted_server_reloads_latest_snapshot_and_answers_identically() {
+    let d = 16;
+    let dir = tmp_dir("restart");
+    let base_path = dir.join("base.bin");
+    let snap_path = dir.join("live.snap");
+    let index = synth_index(150, 3, 24, d, 13);
+    std::fs::write(&base_path, serialize_index(&index)).unwrap();
+
+    let q: Vec<f32> = randn(1, d, &mut rng(88)).into_vec();
+
+    // First server life: mutate, snapshot, record answers, then go down.
+    let first_answers = {
+        let server = Server::start(
+            index,
+            ServeConfig {
+                snapshot_path: Some(snap_path.clone()),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client =
+            ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5)).unwrap();
+        let rows = randn(4, d, &mut rng(89)).scale(0.4);
+        client.upsert(d, rows.as_slice()).unwrap();
+        client.delete(3).unwrap();
+        let epoch = client.snapshot().unwrap();
+        assert_eq!(epoch, 2);
+        let answers = client.search(&q, 12).unwrap();
+        server.shutdown(); // the durable state is the snapshot, not RAM
+        answers
+    };
+
+    // Restart from disk: the startup loader must prefer the snapshot over
+    // the stale base image and answer bit-for-bit as before the restart.
+    let (reloaded, from_snapshot) =
+        load_index_with_snapshot(Some(&base_path), Some(&snap_path)).unwrap();
+    assert!(from_snapshot, "restart must load the newer snapshot, not the base image");
+    assert_eq!(reloaded.len(), 153); // 150 + 4 upserted - 1 deleted
+    let server = Server::start(reloaded, ServeConfig::default()).unwrap();
+    let mut client =
+        ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5)).unwrap();
+    let second_answers = client.search(&q, 12).unwrap();
+    assert_eq!(first_answers.len(), second_answers.len());
+    for (a, b) in first_answers.iter().zip(&second_answers) {
+        assert_eq!(a.0, b.0, "hit ids differ across restart");
+        assert_eq!(a.1.to_bits(), b.1.to_bits(), "score bits differ across restart");
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Raw-socket search submission that does not wait for the response, so
+/// the test can hold multiple searches in the server's queue at once.
+fn submit_search_raw(addr: std::net::SocketAddr, query: &[f32], k: u32) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let req = Request::Search { k, query: query.to_vec() };
+    write_frame(&mut stream, &req.encode()).unwrap();
+    stream
+}
+
+fn read_response(stream: &mut TcpStream) -> Response {
+    let payload = read_frame(stream).unwrap().expect("server closed connection");
+    Response::decode(&payload).unwrap()
+}
+
+#[test]
+fn overload_returns_typed_refusal_not_a_hang() {
+    let d = 16;
+    let index = synth_index(100, 3, 24, d, 14);
+    // Trigger thresholds no load here can reach: admitted jobs stay queued
+    // until the deadline, so admission outcomes are fully deterministic.
+    let server = Server::start(
+        index,
+        ServeConfig {
+            queue_cap: 4,
+            max_batch: 64,
+            max_delay: Duration::from_millis(300),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let q: Vec<f32> = randn(1, d, &mut rng(99)).into_vec();
+
+    let mut stats_probe = ServeClient::connect_with_retry(addr, Duration::from_secs(5)).unwrap();
+    // Fill the queue to capacity, confirming occupancy after each submit so
+    // the refusals below cannot race with handler scheduling.
+    let mut queued = Vec::new();
+    for i in 0..4 {
+        queued.push(submit_search_raw(addr, &q, 5));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = stats_probe.stats().unwrap();
+            if stats.queue_len == (i + 1) as u64 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "queue never reached {} jobs", i + 1);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    // Queue full: the next submissions must be refused immediately with the
+    // typed Overloaded response — never block, never drop the connection.
+    for _ in 0..2 {
+        let mut conn = submit_search_raw(addr, &q, 5);
+        assert_eq!(read_response(&mut conn), Response::Overloaded);
+    }
+
+    // The admitted four still complete (deadline drain) with real results.
+    for conn in &mut queued {
+        match read_response(conn) {
+            Response::Search { hits } => assert_eq!(hits.len(), 5),
+            other => panic!("queued search got {other:?}"),
+        }
+    }
+    let stats = stats_probe.stats().unwrap();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.searches, 4);
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_typed_bad_request() {
+    let d = 16;
+    let index = synth_index(80, 3, 24, d, 15);
+    let server = Server::start(index, ServeConfig::default()).unwrap();
+    let mut client =
+        ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5)).unwrap();
+
+    // Wrong query dimensionality.
+    let long = vec![0.1f32; d + 3];
+    match client.search(&long, 5) {
+        Err(lightlt::serve::ServeError::BadRequest(m)) => assert!(m.contains("dimension")),
+        other => panic!("dim mismatch got {other:?}"),
+    }
+    // k == 0.
+    let ok_dim = vec![0.1f32; d];
+    match client.search(&ok_dim, 0) {
+        Err(lightlt::serve::ServeError::BadRequest(m)) => assert!(m.contains("k must be")),
+        other => panic!("k = 0 got {other:?}"),
+    }
+    // Upsert payload not a multiple of dim.
+    let ragged = vec![0.0f32; d + 1];
+    match client.upsert(d, &ragged) {
+        Err(lightlt::serve::ServeError::BadRequest(_)) => {}
+        other => panic!("ragged upsert got {other:?}"),
+    }
+    // Delete out of bounds.
+    match client.delete(10_000) {
+        Err(lightlt::serve::ServeError::BadRequest(m)) => assert!(m.contains("out of bounds")),
+        other => panic!("oob delete got {other:?}"),
+    }
+    // Snapshot without a configured snapshot path.
+    match client.snapshot() {
+        Err(lightlt::serve::ServeError::BadRequest(m)) => assert!(m.contains("snapshot")),
+        other => panic!("pathless snapshot got {other:?}"),
+    }
+    // A typed refusal must not poison the connection: the same client gets
+    // real results afterwards.
+    let q: Vec<f32> = randn(1, d, &mut rng(16)).into_vec();
+    assert_eq!(client.search(&q, 5).unwrap().len(), 5);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.rejected >= 4);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_request_stops_the_server() {
+    let index = synth_index(60, 3, 24, 16, 17);
+    let server = Server::start(index, ServeConfig::default()).unwrap();
+    let mut client =
+        ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5)).unwrap();
+    client.shutdown().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !server.stop_requested() {
+        assert!(Instant::now() < deadline, "shutdown request never observed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    server.shutdown();
+}
