@@ -19,6 +19,7 @@
 //! patterns, strings are length-prefixed UTF-8.
 
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 use lightlt_core::checksum::crc32;
 
@@ -26,6 +27,13 @@ use lightlt_core::checksum::crc32;
 /// upsert batch, small enough that a corrupt length field cannot OOM the
 /// server.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// How long [`read_frame`] tolerates zero progress *inside* a frame before
+/// giving up on the connection. Poll-style read timeouts (50 ms on the
+/// server) are far shorter than this, so transient stalls — a TCP
+/// retransmit, a slow sender mid-upsert — are retried internally instead
+/// of surfacing and desynchronizing the stream.
+pub const MID_FRAME_STALL: Duration = Duration::from_secs(5);
 
 /// Operations a client can request.
 #[derive(Debug, Clone, PartialEq)]
@@ -444,27 +452,79 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
+/// Fills `buf[got..]`, retrying `Interrupted` always and
+/// `WouldBlock`/`TimedOut` until [`MID_FRAME_STALL`] passes with no
+/// progress. Used only once a frame has started: a poll-style read timeout
+/// must never abandon a partially consumed frame (the discarded bytes
+/// would desynchronize the stream), so short stalls retry and only a
+/// persistent one becomes a hard, connection-fatal error.
+fn read_remaining<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    mut got: usize,
+    what: &str,
+) -> io::Result<()> {
+    let mut last_progress = Instant::now();
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("eof inside {what}"),
+                ))
+            }
+            Ok(n) => {
+                got += n;
+                last_progress = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Deliberately NOT TimedOut/WouldBlock: callers treat those
+                // as an idle poll tick, and this stream is no longer
+                // resumable.
+                if last_progress.elapsed() >= MID_FRAME_STALL {
+                    return Err(io::Error::other(format!(
+                        "connection stalled {}s inside {what}",
+                        MID_FRAME_STALL.as_secs()
+                    )));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// Reads one frame, verifying length cap and CRC32. Returns `Ok(None)` on
 /// a clean EOF before the first header byte (peer closed between frames).
 ///
+/// On a stream with a read timeout, `WouldBlock`/`TimedOut` escapes only
+/// while **zero** bytes of the frame have been consumed (an idle poll
+/// tick, safe to retry). Once the first header byte arrives the frame is
+/// read to completion, retrying short stalls internally; a stall longer
+/// than [`MID_FRAME_STALL`] is a hard error (kind `Other`), because the
+/// partially consumed frame makes the stream unrecoverable.
+///
 /// # Errors
 /// `InvalidData` on an oversized length field or CRC mismatch;
-/// `UnexpectedEof` on mid-frame truncation; other I/O errors as-is.
+/// `UnexpectedEof` on mid-frame truncation; `Other` on a mid-frame stall;
+/// other I/O errors as-is.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     let mut header = [0u8; 4];
-    // Distinguish clean EOF (no bytes) from mid-header truncation.
+    // First byte: clean EOF and idle timeouts surface to the caller.
     let mut got = 0;
-    while got < 4 {
-        match r.read(&mut header[got..]) {
-            Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => {
-                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof inside frame header"))
-            }
-            Ok(n) => got += n,
+    while got == 0 {
+        match r.read(&mut header) {
+            Ok(0) => return Ok(None),
+            Ok(n) => got = n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
+    read_remaining(r, &mut header, got, "frame header")?;
     let len = u32::from_le_bytes(header) as usize;
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
@@ -473,9 +533,9 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
         ));
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    read_remaining(r, &mut payload, 0, "frame payload")?;
     let mut crc_bytes = [0u8; 4];
-    r.read_exact(&mut crc_bytes)?;
+    read_remaining(r, &mut crc_bytes, 0, "frame checksum")?;
     let stored = u32::from_le_bytes(crc_bytes);
     let computed = crc32(&payload);
     if stored != computed {
@@ -571,6 +631,57 @@ mod tests {
         // Mid-frame truncation is UnexpectedEof, not a hang or panic.
         let err = read_frame(&mut &wire[..wire.len() - 2]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// Replays a scripted sequence of chunks and error kinds, so tests can
+    /// interleave partial reads with poll timeouts deterministically.
+    struct StutterReader {
+        script: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>>,
+    }
+
+    impl Read for StutterReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop_front() {
+                Some(Ok(chunk)) => {
+                    assert!(chunk.len() <= buf.len(), "script chunk larger than read buffer");
+                    buf[..chunk.len()].copy_from_slice(&chunk);
+                    Ok(chunk.len())
+                }
+                Some(Err(kind)) => Err(io::Error::new(kind, "scripted error")),
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn idle_timeout_surfaces_only_before_the_first_byte() {
+        // A poll timeout with no frame bytes consumed is the caller's idle
+        // tick: it must escape as-is so poll loops can re-check stop flags.
+        let mut r = StutterReader { script: [Err(io::ErrorKind::WouldBlock)].into() };
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn mid_frame_timeouts_are_retried_not_desynchronizing() {
+        // Timeouts after the first byte must be retried internally: the
+        // old behavior (surface, caller discards partial bytes, re-reads a
+        // header) parsed leftover frame bytes as a new header.
+        let payload = encode_request(&Request::Search { k: 3, query: vec![1.0, 2.0] });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut script: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>> =
+            std::collections::VecDeque::new();
+        // One header byte, then stalls sprinkled between single-byte reads.
+        for (i, &b) in wire.iter().enumerate() {
+            if i % 2 == 1 {
+                script.push_back(Err(io::ErrorKind::WouldBlock));
+                script.push_back(Err(io::ErrorKind::TimedOut));
+            }
+            script.push_back(Ok(vec![b]));
+        }
+        let mut r = StutterReader { script };
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
     }
 
     #[test]

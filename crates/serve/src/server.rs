@@ -177,12 +177,38 @@ impl Server {
                     if stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(stream) = conn else { continue };
+                    let stream = match conn {
+                        Ok(stream) => stream,
+                        Err(_) => {
+                            // Persistent accept errors (e.g. EMFILE) yield
+                            // without blocking; back off instead of
+                            // spinning the accept thread at 100% CPU.
+                            std::thread::sleep(Duration::from_millis(25));
+                            continue;
+                        }
+                    };
+                    // Keep a handle for a best-effort Overloaded reply if
+                    // the spawn below fails (the closure consumes `stream`).
+                    let reply_stream = stream.try_clone();
                     let ctx = ctx.clone();
-                    let handle = std::thread::Builder::new()
+                    let spawned = std::thread::Builder::new()
                         .name("lt-serve-conn".into())
-                        .spawn(move || handle_connection(stream, &ctx))
-                        .expect("spawning connection handler");
+                        .spawn(move || handle_connection(stream, &ctx));
+                    let handle = match spawned {
+                        Ok(handle) => handle,
+                        Err(e) => {
+                            // Resource exhaustion: shed this connection and
+                            // keep accepting. Panicking here would kill
+                            // only the accept thread, leaving a server
+                            // that looks healthy but admits no one.
+                            eprintln!("warning: connection handler spawn failed: {e}");
+                            if let Ok(mut s) = reply_stream {
+                                let _ = write_frame(&mut s, &Response::Overloaded.encode());
+                            }
+                            std::thread::sleep(Duration::from_millis(25));
+                            continue;
+                        }
+                    };
                     let mut handles = handler_handles.lock().expect("handler list poisoned");
                     // Opportunistically reap finished handlers so a
                     // long-lived server doesn't accumulate join handles.
@@ -264,8 +290,12 @@ fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
         let payload = match read_frame(&mut stream) {
             Ok(Some(p)) => p,
             Ok(None) => return, // clean EOF
+            // read_frame only surfaces these at a frame boundary (zero
+            // bytes consumed); mid-frame stalls retry internally or come
+            // back as a hard error, so continuing here cannot desync the
+            // stream.
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                continue; // poll tick; loop re-checks the stop flag
+                continue; // idle poll tick; loop re-checks the stop flag
             }
             Err(_) => return, // torn frame / hard I/O error: drop the conn
         };

@@ -19,7 +19,7 @@
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use lightlt_core::index::QuantizedIndex;
 use lightlt_core::persist::{deserialize_index, serialize_index};
@@ -30,12 +30,21 @@ use lt_linalg::Matrix;
 pub struct IndexState {
     current: RwLock<Arc<QuantizedIndex>>,
     epoch: AtomicU64,
+    /// Serializes [`IndexState::write_snapshot`] calls: the background
+    /// snapshotter and inline `Snapshot` requests share one temp path, and
+    /// an unserialized pair can rename a half-written temp file over the
+    /// previous valid snapshot.
+    snapshot_write: Mutex<()>,
 }
 
 impl IndexState {
     /// Wraps an index at epoch 0.
     pub fn new(index: QuantizedIndex) -> Self {
-        Self { current: RwLock::new(Arc::new(index)), epoch: AtomicU64::new(0) }
+        Self {
+            current: RwLock::new(Arc::new(index)),
+            epoch: AtomicU64::new(0),
+            snapshot_write: Mutex::new(()),
+        }
     }
 
     /// An immutable snapshot of the current index. Cheap (`Arc` clone);
@@ -97,6 +106,10 @@ impl IndexState {
     /// Propagates I/O errors; the previous snapshot file, if any, is left
     /// untouched on failure.
     pub fn write_snapshot(&self, path: &Path) -> std::io::Result<u64> {
+        // One writer at a time: concurrent calls share the temp path, and
+        // the snapshot must be taken inside the critical section so the
+        // last rename installs the newest captured epoch.
+        let _writing = self.snapshot_write.lock().expect("snapshot write lock poisoned");
         let (snapshot, epoch) = self.snapshot_with_epoch();
         // Serialize outside any lock: the Arc keeps the image consistent.
         let image = serialize_index(&snapshot);
