@@ -22,10 +22,13 @@ cargo bench --no-run --workspace
 cargo run -p lt-bench --release -- adc --smoke --out target/BENCH_adc_smoke.json
 
 # Serving smoke: synthesize a small index image, serve it in the
-# background, run a stats/upsert/search/snapshot round trip over TCP
-# through the CLI client, then stop the server with a shutdown request and
-# wait for a clean exit. (The serve load benchmark below covers batching
-# throughput; this covers the CLI wiring end to end.)
+# background (with a JSONL event trace), run a
+# stats/upsert/search/metrics/snapshot round trip over TCP through the CLI
+# client, then stop the server with a shutdown request and wait for a
+# clean exit. (The serve load benchmark below covers batching throughput;
+# this covers the CLI wiring end to end.) `query --metrics --check` exits
+# nonzero unless the server recorded at least one search and its
+# service-time quantiles are finite with p50 <= p95 <= p99.
 SMOKE_DIR=target/serve_smoke
 SERVE_ADDR=127.0.0.1:17893
 rm -rf "$SMOKE_DIR"
@@ -33,17 +36,21 @@ mkdir -p "$SMOKE_DIR"
 cargo run --release --example synth_index -- \
   --out "$SMOKE_DIR/index.bin" --n 500 --m 3 --k 32 --d 8
 target/release/lightlt serve --index "$SMOKE_DIR/index.bin" \
-  --addr "$SERVE_ADDR" --snapshot "$SMOKE_DIR/live.snap" &
+  --addr "$SERVE_ADDR" --snapshot "$SMOKE_DIR/live.snap" \
+  --events "$SMOKE_DIR/events.jsonl" &
 SERVE_PID=$!
 target/release/lightlt query --addr "$SERVE_ADDR" --op stats
 target/release/lightlt query --addr "$SERVE_ADDR" --op upsert --dim 8 \
   --vector "0.1,0.2,-0.1,0.3,0.0,-0.2,0.1,0.4"
 target/release/lightlt query --addr "$SERVE_ADDR" --op search --k 5 \
   --vector "0.1,0.2,-0.1,0.3,0.0,-0.2,0.1,0.4"
+target/release/lightlt query --addr "$SERVE_ADDR" --metrics --check
 target/release/lightlt query --addr "$SERVE_ADDR" --op snapshot
 target/release/lightlt query --addr "$SERVE_ADDR" --op shutdown
 wait "$SERVE_PID"
 test -f "$SMOKE_DIR/live.snap" # the forced snapshot must exist on disk
+test -s "$SMOKE_DIR/events.jsonl" # the event trace must be non-empty
+grep -q '"type":"batch_execute"' "$SMOKE_DIR/events.jsonl"
 
 # Smoke the serve load benchmark (tracked baseline: BENCH_serve.json via
 # `cargo run -p lt-bench --release -- serve`).

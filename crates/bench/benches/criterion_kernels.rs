@@ -185,10 +185,46 @@ fn bench_adc_scan(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_serve_metrics(c: &mut Criterion) {
+    // Observability overhead on the scan hot path: the same
+    // `adc_search_batch` call with lt-obs recording enabled vs disabled.
+    // The acceptance bar is that `disabled` stays within noise of the
+    // un-instrumented BENCH_adc.json baseline (the disabled path is one
+    // relaxed load and an untaken branch per call, not per item).
+    let dim = 64;
+    let mut store = ParamStore::new();
+    let dsq = Dsq::new(
+        &mut store,
+        4,
+        256,
+        dim,
+        64,
+        CodebookTopology::DoubleSkip,
+        0.2,
+        Metric::NegSquaredL2,
+        &mut rng(17),
+    );
+    let n = 20_000;
+    let db = randn(n, dim, &mut rng(18)).scale(0.5);
+    let index = QuantizedIndex::build(&dsq, &store, &db);
+    let queries = randn(64, dim, &mut rng(19));
+    let mut group = c.benchmark_group("serve_metrics");
+    group.throughput(Throughput::Elements((queries.rows() * n) as u64));
+    for (label, on) in [("disabled", false), ("instrumented", true)] {
+        group.bench_function(label, |b| {
+            lt_obs::set_enabled(on);
+            b.iter(|| adc_search_batch(&index, &queries, 10));
+            lt_obs::set_enabled(false);
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
     targets = bench_search, bench_gemm, bench_dsq_encode, bench_train_step,
-        bench_gemm_threads, bench_adc_batch_threads, bench_adc_scan
+        bench_gemm_threads, bench_adc_batch_threads, bench_adc_scan,
+        bench_serve_metrics
 }
 criterion_main!(kernels);

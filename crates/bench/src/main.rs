@@ -216,22 +216,40 @@ struct ServeResult {
     clients: usize,
     requests: usize,
     max_batch: usize,
-    qps_batch1: f64,
-    qps_batched: f64,
+    batch1: LoadMeasure,
+    batched: LoadMeasure,
     speedup: f64,
+}
+
+/// One load run's client-side measurements.
+struct LoadMeasure {
+    qps: f64,
     mean_batch: f64,
+    /// Client-observed request latency percentiles in microseconds
+    /// (nearest-rank over every measured request across all clients).
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Drives `clients` concurrent connections, each issuing `reqs` top-10
 /// searches, against a fresh loopback server with the given batch size.
-/// Returns `(qps, mean batch size)`.
 fn run_serve_load(
     index: &QuantizedIndex,
     d: usize,
     max_batch: usize,
     clients: usize,
     reqs: usize,
-) -> (f64, f64) {
+) -> LoadMeasure {
     use lt_serve::{ServeClient, ServeConfig, Server};
     use std::sync::Barrier;
     use std::time::Duration;
@@ -248,6 +266,7 @@ fn run_serve_load(
         threads: 0,
         snapshot_path: None,
         snapshot_every: None,
+        metrics: true,
     };
     let server = Server::start(index.clone(), config).expect("starting bench server");
     let addr = server.local_addr();
@@ -256,26 +275,34 @@ fn run_serve_load(
     // trivially cache-shared across the whole run.
     let queries = randn(clients, d, &mut rng(41)).scale(0.5);
     let barrier = Barrier::new(clients + 1);
-    let start = std::thread::scope(|scope| {
-        for c in 0..clients {
-            let query = queries.row(c).to_vec();
-            let barrier = &barrier;
-            scope.spawn(move || {
-                let mut client = ServeClient::connect_with_retry(addr, Duration::from_secs(5))
-                    .expect("connecting bench client");
-                for _ in 0..3 {
-                    client.search(&query, 10).expect("warmup search");
-                }
-                barrier.wait();
-                for _ in 0..reqs {
-                    client.search(&query, 10).expect("bench search");
-                }
-            });
-        }
+    let (elapsed, mut latencies) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let query = queries.row(c).to_vec();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect_with_retry(addr, Duration::from_secs(5))
+                        .expect("connecting bench client");
+                    for _ in 0..3 {
+                        client.search(&query, 10).expect("warmup search");
+                    }
+                    barrier.wait();
+                    let mut lats = Vec::with_capacity(reqs);
+                    for _ in 0..reqs {
+                        let t0 = Instant::now();
+                        client.search(&query, 10).expect("bench search");
+                        lats.push(t0.elapsed().as_micros() as u64);
+                    }
+                    lats
+                })
+            })
+            .collect();
         barrier.wait();
-        Instant::now()
+        let t0 = Instant::now();
+        let latencies: Vec<u64> =
+            handles.into_iter().flat_map(|h| h.join().expect("bench client")).collect();
+        (t0.elapsed().as_secs_f64(), latencies)
     });
-    let elapsed = start.elapsed().as_secs_f64();
 
     let mut probe =
         ServeClient::connect_with_retry(addr, Duration::from_secs(5)).expect("stats probe");
@@ -286,7 +313,14 @@ fn run_serve_load(
     } else {
         stats.searches as f64 / stats.batches as f64
     };
-    ((clients * reqs) as f64 / elapsed, mean_batch)
+    latencies.sort_unstable();
+    LoadMeasure {
+        qps: (clients * reqs) as f64 / elapsed,
+        mean_batch,
+        p50_us: percentile(&latencies, 50.0),
+        p95_us: percentile(&latencies, 95.0),
+        p99_us: percentile(&latencies, 99.0),
+    }
 }
 
 fn render_serve_json(dim: usize, smoke: bool, results: &[ServeResult]) -> String {
@@ -302,17 +336,25 @@ fn render_serve_json(dim: usize, smoke: bool, results: &[ServeResult]) -> String
             "    {{\"n\": {}, \"m\": {}, \"k\": {}, \
              \"clients\": {}, \"requests_per_client\": {}, \"max_batch\": {}, \
              \"qps_batch1\": {:.1}, \"qps_batched\": {:.1}, \
-             \"speedup\": {:.3}, \"mean_batch\": {:.2}}}{}\n",
+             \"speedup\": {:.3}, \"mean_batch\": {:.2}, \
+             \"p50_batch1_us\": {}, \"p95_batch1_us\": {}, \"p99_batch1_us\": {}, \
+             \"p50_batched_us\": {}, \"p95_batched_us\": {}, \"p99_batched_us\": {}}}{}\n",
             r.n,
             r.m,
             r.k,
             r.clients,
             r.requests,
             r.max_batch,
-            r.qps_batch1,
-            r.qps_batched,
+            r.batch1.qps,
+            r.batched.qps,
             r.speedup,
-            r.mean_batch,
+            r.batched.mean_batch,
+            r.batch1.p50_us,
+            r.batch1.p95_us,
+            r.batch1.p99_us,
+            r.batched.p50_us,
+            r.batched.p95_us,
+            r.batched.p99_us,
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -333,24 +375,23 @@ fn run_serve(smoke: bool, out_path: &str) {
     let mut results = Vec::new();
     for &(n, m, k) in grid {
         let index = synth_index(n, m, k, dim);
-        let (qps_batch1, _) = run_serve_load(&index, dim, 1, clients, reqs);
-        let (qps_batched, mean_batch) = run_serve_load(&index, dim, clients, clients, reqs);
-        let r = ServeResult {
-            n,
-            m,
-            k,
-            clients,
-            requests: reqs,
-            max_batch: clients,
-            qps_batch1,
-            qps_batched,
-            speedup: qps_batched / qps_batch1,
-            mean_batch,
-        };
+        let batch1 = run_serve_load(&index, dim, 1, clients, reqs);
+        let batched = run_serve_load(&index, dim, clients, clients, reqs);
+        let speedup = batched.qps / batch1.qps;
+        let r = ServeResult { n, m, k, clients, requests: reqs, max_batch: clients, batch1, batched, speedup };
         eprintln!(
             "n={:<7} K={:<4} M={}  batch-1 {:>8.0} qps  batched {:>8.0} qps  \
-             speedup {:.2}x  mean batch {:.1}",
-            r.n, r.k, r.m, r.qps_batch1, r.qps_batched, r.speedup, r.mean_batch
+             speedup {:.2}x  mean batch {:.1}  p50/p95/p99 {}/{}/{} us",
+            r.n,
+            r.k,
+            r.m,
+            r.batch1.qps,
+            r.batched.qps,
+            r.speedup,
+            r.batched.mean_batch,
+            r.batched.p50_us,
+            r.batched.p95_us,
+            r.batched.p99_us
         );
         results.push(r);
     }

@@ -277,6 +277,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
             0 => None,
             ms => Some(Duration::from_millis(ms)),
         },
+        metrics: !args.flag("no-metrics"),
     };
     if config.max_batch == 0 || config.queue_cap == 0 {
         return Err("--max-batch and --queue-cap must be positive".into());
@@ -306,14 +307,38 @@ fn parse_vector(s: &str) -> Result<Vec<f32>, String> {
         .collect()
 }
 
+/// `--check` assertions for `lightlt query --metrics`: the server must
+/// have executed at least one search, and the service-time quantiles must
+/// be finite and ordered. Used by the CI serving smoke test.
+fn check_metrics(snapshot: &lt_obs::Snapshot) -> Result<(), String> {
+    let service = snapshot
+        .histogram("serve.service_us")
+        .ok_or("metrics check: serve.service_us histogram missing")?;
+    if service.count == 0 {
+        return Err("metrics check: no searches recorded (serve.service_us count is 0)".into());
+    }
+    let (p50, p95, p99) =
+        (service.quantile(0.50), service.quantile(0.95), service.quantile(0.99));
+    if !(p50.is_finite() && p95.is_finite() && p99.is_finite()) {
+        return Err(format!("metrics check: non-finite quantiles p50={p50} p95={p95} p99={p99}"));
+    }
+    if !(p50 <= p95 && p95 <= p99) {
+        return Err(format!("metrics check: quantiles not ordered p50={p50} p95={p95} p99={p99}"));
+    }
+    println!("# serve.service_us p50={p50:.1}us p95={p95:.1}us p99={p99:.1}us");
+    Ok(())
+}
+
 /// `lightlt query` — one request against a running server.
 pub fn query(args: &Args) -> Result<(), String> {
     use std::time::Duration;
 
-    let op = args.get("op").unwrap_or("search");
-    if !matches!(op, "search" | "upsert" | "delete" | "stats" | "snapshot" | "shutdown") {
+    // `--metrics` is shorthand for `--op metrics`.
+    let op = if args.flag("metrics") { "metrics" } else { args.get("op").unwrap_or("search") };
+    if !matches!(op, "search" | "upsert" | "delete" | "stats" | "metrics" | "snapshot" | "shutdown")
+    {
         return Err(format!(
-            "unknown --op `{op}` (expected search|upsert|delete|stats|snapshot|shutdown)"
+            "unknown --op `{op}` (expected search|upsert|delete|stats|metrics|snapshot|shutdown)"
         ));
     }
     let addr = args.require("addr")?;
@@ -366,7 +391,16 @@ pub fn query(args: &Args) -> Result<(), String> {
             table.row(&["deletes".into(), s.deletes.to_string()]);
             table.row(&["snapshots".into(), s.snapshots.to_string()]);
             table.row(&["queue length".into(), s.queue_len.to_string()]);
+            table.row(&["max queue wait (us)".into(), s.max_queue_wait_us.to_string()]);
             println!("{}", table.render());
+        }
+        "metrics" => {
+            let (version, snapshot) = client.metrics().map_err(|e| e.to_string())?;
+            print!("{}", snapshot.render_prometheus());
+            if args.flag("check") {
+                check_metrics(&snapshot)?;
+                println!("# metrics check passed (payload version {version})");
+            }
         }
         "snapshot" => {
             let epoch = client.snapshot().map_err(|e| e.to_string())?;

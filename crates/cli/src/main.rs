@@ -44,17 +44,25 @@ COMMANDS:
              --index <index.bin>  [--addr 127.0.0.1:7878]
              [--max-batch 16] [--max-delay-us 500] [--queue-cap 1024]
              [--snapshot <file.snap>] [--snapshot-every-ms 0]
+             [--no-metrics]
              (with --snapshot, a valid snapshot file is preferred over
               --index at startup: crash-safe reload)
   query      send one request to a running server
-             --addr <host:port>  [--op search|upsert|delete|stats|snapshot|shutdown]
+             --addr <host:port>
+             [--op search|upsert|delete|stats|metrics|snapshot|shutdown]
              search: --vector 0.1,0.2,...  [--k 10]
              upsert: --vector <floats>  --dim D     delete: --id N
+             metrics: [--check]  (--metrics is shorthand for --op metrics;
+             prints the registry in Prometheus text format; --check exits
+             nonzero unless searches > 0 and p50 <= p95 <= p99 are finite)
 
 GLOBAL OPTIONS (any command):
-  --threads N  worker threads for the parallel kernels (0 = auto from
-               LT_THREADS or the machine). Speed-only: every kernel is
-               bitwise deterministic with respect to the thread count.
+  --threads N      worker threads for the parallel kernels (0 = auto from
+                   LT_THREADS or the machine). Speed-only: every kernel is
+                   bitwise deterministic with respect to the thread count.
+  --events <path>  append structured JSONL events (train steps, fault
+                   retries, checkpoints, snapshots, LUT builds, scan
+                   blocks, batch executions) to <path>.
 ";
 
 fn main() {
@@ -86,6 +94,18 @@ fn run(args: &Args) -> Result<(), String> {
     if threads > 0 {
         lt_runtime::set_threads(threads);
     }
+    if let Some(path) = args.get("events") {
+        lt_obs::init_events(std::path::Path::new(path))
+            .map_err(|e| format!("opening --events {path}: {e}"))?;
+    }
+    let result = dispatch(args);
+    // Flush buffered JSONL events on both success and failure so a failed
+    // run still leaves its trace on disk.
+    lt_obs::flush_events();
+    result
+}
+
+fn dispatch(args: &Args) -> Result<(), String> {
     match args.command.as_str() {
         "generate" => commands::generate(args),
         "train" => commands::train(args),

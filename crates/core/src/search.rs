@@ -9,6 +9,8 @@
 //! per-item sums level-ascending with the same `dot` kernel as the scalar
 //! reference, so results are bitwise identical to the reference scorer.
 
+use std::time::Instant;
+
 use lt_linalg::distance::{similarity, Metric};
 use lt_linalg::gemm::dot;
 use lt_linalg::topk::{Scored, TopK};
@@ -177,6 +179,24 @@ pub fn adc_search_with(
 /// runtime width.
 const SEARCH_CHUNK: usize = 8;
 
+/// Scan-engine instrumentation: the LUT-build vs. scan wall-time split of
+/// [`adc_search_batch`] (global lt-obs registry).
+struct ScanObs {
+    lut_build_us: std::sync::Arc<lt_obs::Histogram>,
+    scan_us: std::sync::Arc<lt_obs::Histogram>,
+}
+
+fn scan_obs() -> &'static ScanObs {
+    static OBS: std::sync::OnceLock<ScanObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = lt_obs::Registry::global();
+        ScanObs {
+            lut_build_us: reg.histogram("scan.lut_build_us"),
+            scan_us: reg.histogram("scan.scan_us"),
+        }
+    })
+}
+
 /// Batch ADC search: one result list per query row.
 ///
 /// All query LUTs are built up front in one GEMM on the shared runtime
@@ -186,8 +206,20 @@ const SEARCH_CHUNK: usize = 8;
 /// or the `LT_THREADS` environment variable; results are identical either
 /// way, and identical to per-query [`adc_search`].
 pub fn adc_search_batch(index: &QuantizedIndex, queries: &Matrix, k: usize) -> Vec<Vec<Scored>> {
+    // LUT-build vs. scan split: the two timed sections cover the whole
+    // call, so `scan.lut_build_us + scan.scan_us` is end-to-end batch
+    // latency. Timing wraps the phases, never the per-item work, so the
+    // enabled-mode overhead is two clock reads per batch.
+    let observe = lt_obs::enabled() || lt_obs::events_enabled();
+    let t0 = observe.then(Instant::now);
     let luts = index.build_lut_batch(queries);
-    lt_runtime::parallel_map_chunks(queries.rows(), SEARCH_CHUNK, |range| {
+    if let Some(t0) = t0 {
+        let micros = lt_obs::micros_since(t0);
+        scan_obs().lut_build_us.record(micros);
+        lt_obs::emit(&lt_obs::Event::LutBuild { queries: queries.rows() as u64, micros });
+    }
+    let t1 = observe.then(Instant::now);
+    let hits = lt_runtime::parallel_map_chunks(queries.rows(), SEARCH_CHUNK, |range| {
         let mut scratch = SearchScratch::new();
         range
             .map(|i| {
@@ -198,7 +230,17 @@ pub fn adc_search_batch(index: &QuantizedIndex, queries: &Matrix, k: usize) -> V
     })
     .into_iter()
     .flatten()
-    .collect()
+    .collect();
+    if let Some(t1) = t1 {
+        let micros = lt_obs::micros_since(t1);
+        scan_obs().scan_us.record(micros);
+        lt_obs::emit(&lt_obs::Event::ScanBlock {
+            queries: queries.rows() as u64,
+            items: index.len() as u64,
+            micros,
+        });
+    }
+    hits
 }
 
 /// [`adc_search_batch`] behind input validation (see

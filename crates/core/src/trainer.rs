@@ -15,6 +15,8 @@
 //! an uninterrupted run (the `kill_and_resume` integration tests pin this).
 
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 use lt_data::{BatchIter, Dataset};
 use lt_tensor::optim::{AdamW, Optimizer};
@@ -27,6 +29,29 @@ use crate::checkpoint::{checkpoint_path, Checkpoint, CheckpointError, CHECKPOINT
 use crate::config::{LightLtConfig, ScheduleKind};
 use crate::fault::{FaultPlan, GuardTrip, TrainError};
 use crate::model::LightLt;
+
+/// Trainer instrumentation handles (global lt-obs registry). Metric
+/// recording is a no-op when observability is disabled; `train_step`
+/// events additionally require an installed event sink.
+struct TrainObs {
+    steps: Arc<lt_obs::Counter>,
+    rollbacks: Arc<lt_obs::Counter>,
+    step_us: Arc<lt_obs::Histogram>,
+    checkpoint_us: Arc<lt_obs::Histogram>,
+}
+
+fn train_obs() -> &'static TrainObs {
+    static OBS: OnceLock<TrainObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = lt_obs::Registry::global();
+        TrainObs {
+            steps: reg.counter("train.steps"),
+            rollbacks: reg.counter("train.rollbacks"),
+            step_us: reg.histogram("train.step_us"),
+            checkpoint_us: reg.histogram("train.checkpoint_us"),
+        }
+    })
+}
 
 /// Per-epoch training statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -348,7 +373,15 @@ pub fn train_with_options(
                     let due = state.next_epoch == epochs
                         || state.next_epoch % spec.every_epochs.max(1) == 0;
                     if due {
+                        let ck_t0 = (lt_obs::enabled() || lt_obs::events_enabled())
+                            .then(Instant::now);
                         write_checkpoint(spec, model, store, &opt, &state, epochs)?;
+                        let micros = ck_t0.map_or(0, lt_obs::micros_since);
+                        train_obs().checkpoint_us.record(micros);
+                        lt_obs::emit(&lt_obs::Event::Checkpoint {
+                            step: state.step as u64,
+                            micros,
+                        });
                     }
                 }
                 if plan.should_kill(epoch) {
@@ -364,6 +397,15 @@ pub fn train_with_options(
                     });
                 }
                 state.retries += 1;
+                train_obs().rollbacks.inc();
+                if lt_obs::events_enabled() {
+                    lt_obs::emit(&lt_obs::Event::FaultRetry {
+                        epoch: epoch as u64,
+                        retry: state.retries as u64,
+                        reason: &trip.to_string(),
+                    });
+                    lt_obs::emit(&lt_obs::Event::Rollback { epoch: epoch as u64 });
+                }
                 // Roll back to the last-good state; the next attempt sees a
                 // reduced LR and a freshly-drawn data order.
                 *store = snap_store;
@@ -397,6 +439,7 @@ fn run_epoch(
     let mut sums = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
     let mut batches = 0usize;
     for batch in BatchIter::new(train_set, config.batch_size, data_rng) {
+        let step_t0 = lt_obs::enabled().then(Instant::now);
         store.zero_grads();
         let (breakdown, _) = model.loss_on_batch(store, &batch.features, &batch.labels);
         if plan.take_nan(*step) {
@@ -427,12 +470,24 @@ fn run_epoch(
         if config.grad_clip > 0.0 && norm > config.grad_clip {
             store.scale_grads(config.grad_clip / norm);
         }
-        opt.set_lr(ctx.schedule.at(*step) * lr_scale);
+        let lr = ctx.schedule.at(*step) * lr_scale;
+        opt.set_lr(lr);
         if *step < ctx.skip_warmup_steps {
             opt.step_subset(store, &ctx.warmup_ids);
         } else {
             opt.step_subset(store, &ctx.all_ids);
         }
+        if let Some(t0) = step_t0 {
+            let o = train_obs();
+            o.steps.inc();
+            o.step_us.record(lt_obs::micros_since(t0));
+        }
+        lt_obs::emit(&lt_obs::Event::TrainStep {
+            step: *step as u64,
+            loss: breakdown.total,
+            grad_norm: norm,
+            lr,
+        });
         *step += 1;
         sums.0 += breakdown.total;
         sums.1 += breakdown.ce;

@@ -1,0 +1,288 @@
+//! Structured JSONL event tracing.
+//!
+//! Events are typed records of the workspace's interesting moments
+//! (train steps, fault retries, checkpoints, snapshot writes, LUT
+//! builds, scan calls, batch executions). When a sink is installed
+//! ([`init_events`], wired to `lightlt --events <path>`) each emitted
+//! event appends one JSON object per line with a monotonic microsecond
+//! timestamp. With no sink installed, [`emit`] is a relaxed load plus an
+//! untaken branch — no allocation, no formatting, no lock.
+
+use std::fmt::Write as _;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Fast gate: true iff a sink is installed.
+static EVENTS_ON: AtomicBool = AtomicBool::new(false);
+
+/// The installed sink (replaceable, so tests and repeated CLI runs in one
+/// process can redirect).
+static SINK: Mutex<Option<BufWriter<std::fs::File>>> = Mutex::new(None);
+
+/// Monotonic epoch: timestamps are microseconds since the first event
+/// call in the process.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed on the monotonic clock since the process's
+/// tracing epoch.
+pub fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// True iff an event sink is installed ([`emit`] will write).
+#[inline]
+pub fn events_enabled() -> bool {
+    EVENTS_ON.load(Ordering::Relaxed)
+}
+
+/// Installs (or replaces) the JSONL event sink at `path`, truncating any
+/// existing file.
+///
+/// # Errors
+/// Propagates the file-creation error; the previous sink (if any) stays
+/// installed on failure.
+pub fn init_events(path: &Path) -> std::io::Result<()> {
+    epoch(); // Pin the timestamp origin no later than sink installation.
+    let file = std::fs::File::create(path)?;
+    let mut sink = SINK.lock().expect("event sink poisoned");
+    if let Some(mut old) = sink.replace(BufWriter::new(file)) {
+        let _ = old.flush();
+    }
+    EVENTS_ON.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flushes the sink's buffer to disk (no-op without a sink). Call once at
+/// process exit; events buffered but not flushed may be lost on abort.
+pub fn flush_events() {
+    if !events_enabled() {
+        return;
+    }
+    if let Some(sink) = self_sink().as_mut() {
+        let _ = sink.flush();
+    }
+}
+
+fn self_sink() -> std::sync::MutexGuard<'static, Option<BufWriter<std::fs::File>>> {
+    SINK.lock().expect("event sink poisoned")
+}
+
+/// A typed trace event. Borrowed strings keep emission allocation-light;
+/// the JSON encoding is stable (fields in declaration order).
+#[derive(Debug, Clone, Copy)]
+pub enum Event<'a> {
+    /// One optimizer step.
+    TrainStep {
+        /// Global step index.
+        step: u64,
+        /// Batch loss.
+        loss: f32,
+        /// Global gradient norm.
+        grad_norm: f32,
+        /// Learning rate applied this step.
+        lr: f32,
+    },
+    /// A fault tripped and the trainer is retrying the epoch.
+    FaultRetry {
+        /// Epoch being retried.
+        epoch: u64,
+        /// Retry ordinal (1-based).
+        retry: u64,
+        /// Human-readable fault description.
+        reason: &'a str,
+    },
+    /// Parameters rolled back to the last epoch snapshot.
+    Rollback {
+        /// Epoch whose snapshot was restored.
+        epoch: u64,
+    },
+    /// A training checkpoint was written.
+    Checkpoint {
+        /// Step the checkpoint captured.
+        step: u64,
+        /// Wall time spent writing, in microseconds.
+        micros: u64,
+    },
+    /// A serving index snapshot was written.
+    SnapshotWrite {
+        /// Index epoch the snapshot captured.
+        epoch: u64,
+        /// Wall time spent writing, in microseconds.
+        micros: u64,
+    },
+    /// A GEMM-batched LUT build completed.
+    LutBuild {
+        /// Number of queries in the batch.
+        queries: u64,
+        /// Wall time, in microseconds.
+        micros: u64,
+    },
+    /// A blocked ADC scan pass completed.
+    ScanBlock {
+        /// Queries scanned.
+        queries: u64,
+        /// Items scanned per query.
+        items: u64,
+        /// Wall time, in microseconds.
+        micros: u64,
+    },
+    /// The serving executor ran one micro-batch.
+    BatchExecute {
+        /// Jobs in the batch.
+        batch: u64,
+        /// Wall time, in microseconds.
+        micros: u64,
+    },
+}
+
+fn push_f32(out: &mut String, v: f32) {
+    // NaN/inf are not valid JSON numbers; encode them as null.
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Event<'_> {
+    /// Appends the event as one JSON object (no trailing newline) to
+    /// `out`.
+    pub fn write_json(&self, out: &mut String, ts_us: u64) {
+        let _ = write!(out, "{{\"ts_us\":{ts_us},\"type\":");
+        match self {
+            Event::TrainStep { step, loss, grad_norm, lr } => {
+                let _ = write!(out, "\"train_step\",\"step\":{step},\"loss\":");
+                push_f32(out, *loss);
+                out.push_str(",\"grad_norm\":");
+                push_f32(out, *grad_norm);
+                out.push_str(",\"lr\":");
+                push_f32(out, *lr);
+            }
+            Event::FaultRetry { epoch, retry, reason } => {
+                let _ = write!(out, "\"fault_retry\",\"epoch\":{epoch},\"retry\":{retry},\"reason\":");
+                push_str(out, reason);
+            }
+            Event::Rollback { epoch } => {
+                let _ = write!(out, "\"rollback\",\"epoch\":{epoch}");
+            }
+            Event::Checkpoint { step, micros } => {
+                let _ = write!(out, "\"checkpoint\",\"step\":{step},\"micros\":{micros}");
+            }
+            Event::SnapshotWrite { epoch, micros } => {
+                let _ = write!(out, "\"snapshot\",\"epoch\":{epoch},\"micros\":{micros}");
+            }
+            Event::LutBuild { queries, micros } => {
+                let _ = write!(out, "\"lut_build\",\"queries\":{queries},\"micros\":{micros}");
+            }
+            Event::ScanBlock { queries, items, micros } => {
+                let _ = write!(
+                    out,
+                    "\"scan_block\",\"queries\":{queries},\"items\":{items},\"micros\":{micros}"
+                );
+            }
+            Event::BatchExecute { batch, micros } => {
+                let _ = write!(out, "\"batch_execute\",\"batch\":{batch},\"micros\":{micros}");
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// Emits one event to the installed sink. Without a sink this is a
+/// relaxed load plus an untaken branch (no allocation, no formatting).
+pub fn emit(event: &Event<'_>) {
+    if !events_enabled() {
+        return;
+    }
+    let ts = now_us();
+    let mut line = String::with_capacity(96);
+    event.write_json(&mut line, ts);
+    line.push('\n');
+    if let Some(sink) = self_sink().as_mut() {
+        let _ = sink.write_all(line.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_encoding_is_stable_and_escaped() {
+        let mut out = String::new();
+        Event::TrainStep { step: 3, loss: 0.5, grad_norm: f32::NAN, lr: 0.01 }
+            .write_json(&mut out, 42);
+        assert_eq!(
+            out,
+            "{\"ts_us\":42,\"type\":\"train_step\",\"step\":3,\"loss\":0.5,\
+             \"grad_norm\":null,\"lr\":0.01}"
+        );
+
+        let mut out = String::new();
+        Event::FaultRetry { epoch: 1, retry: 2, reason: "loss is \"NaN\"\n" }
+            .write_json(&mut out, 7);
+        assert_eq!(
+            out,
+            "{\"ts_us\":7,\"type\":\"fault_retry\",\"epoch\":1,\"retry\":2,\
+             \"reason\":\"loss is \\\"NaN\\\"\\n\"}"
+        );
+    }
+
+    #[test]
+    fn sink_roundtrip_and_disabled_noop() {
+        // No sink installed: emit must be a no-op (this also guards the
+        // ordering of this test vs. sink installation below).
+        let dir = std::env::temp_dir().join(format!("lt_obs_events_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+
+        init_events(&path).unwrap();
+        emit(&Event::Rollback { epoch: 9 });
+        emit(&Event::BatchExecute { batch: 4, micros: 120 });
+        flush_events();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"rollback\""));
+        assert!(lines[0].contains("\"epoch\":9"));
+        assert!(lines[1].contains("\"type\":\"batch_execute\""));
+
+        // Re-init replaces the sink and truncates.
+        init_events(&path).unwrap();
+        flush_events();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,100 @@
+//! `lt-obs`: the zero-cost observability layer of the LightLT workspace.
+//!
+//! Three pieces, all std-only:
+//!
+//! 1. **Metric primitives** ([`metrics`]): sharded atomic [`Counter`]s /
+//!    [`Gauge`]s and fixed log₂-bucket latency [`Histogram`]s. The shard
+//!    count and bucket layout are compile-time constants and shards merge
+//!    with exact integer arithmetic, so a merged [`HistogramSnapshot`] is
+//!    **deterministic at any `LT_THREADS` width**: the same multiset of
+//!    recorded values produces bitwise-identical snapshots no matter how
+//!    the recording threads interleaved.
+//! 2. **Registry** ([`registry`]): dotted-name lookup of shared metric
+//!    handles plus deterministic [`Snapshot`]s and a Prometheus-style
+//!    text exposition. Handle creation is the only locked path; recording
+//!    never touches the registry.
+//! 3. **Event tracing** ([`events`]): a JSONL sink of typed events
+//!    (train-step, fault-retry, rollback, checkpoint, snapshot,
+//!    LUT-build, scan-block, batch-execute) with monotonic microsecond
+//!    timestamps, installed via `lightlt --events <path>`.
+//!
+//! **Overhead model.** Observability is off by default. Every recording
+//! call first checks the global toggle — a single relaxed atomic load and
+//! an untaken branch — and returns immediately when disabled: no
+//! allocation, no lock, no atomic read-modify-write. Event emission is
+//! gated the same way on sink installation. Enabled-mode recording is a
+//! handful of relaxed `fetch_add`s on a thread-striped shard; the
+//! `serve_metrics` criterion group in `lt-bench` tracks both modes
+//! against the un-instrumented baseline.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+pub mod events;
+pub mod metrics;
+pub mod registry;
+
+pub use events::{emit, events_enabled, flush_events, init_events, now_us, Event};
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS,
+    NUM_SHARDS,
+};
+pub use registry::{MetricValue, Registry, Snapshot};
+
+/// Global metrics toggle; off by default.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True iff metric recording is enabled. A relaxed load — this is the
+/// whole disabled-mode cost of every instrumented call site.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns metric recording on or off process-wide. `lightlt serve` enables
+/// it at startup (opt out with `--no-metrics`); libraries never flip it.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Microseconds elapsed since `start`, saturating into `u64` — the
+/// workspace's standard latency unit for histograms and events.
+#[inline]
+pub fn micros_since(start: Instant) -> u64 {
+    start.elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+pub(crate) use test_support::test_toggle;
+
+#[cfg(test)]
+mod test_support {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serializes tests that flip the global toggle (unit tests in this
+    /// crate run in parallel within one process) and restores the
+    /// previous state on drop.
+    pub struct ToggleGuard {
+        prev: bool,
+        _lock: MutexGuard<'static, ()>,
+    }
+
+    impl Drop for ToggleGuard {
+        fn drop(&mut self) {
+            crate::set_enabled(self.prev);
+        }
+    }
+
+    pub fn test_toggle(on: bool) -> ToggleGuard {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let lock = LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let prev = crate::enabled();
+        crate::set_enabled(on);
+        ToggleGuard { prev, _lock: lock }
+    }
+}

@@ -1,0 +1,436 @@
+//! Lock-free metric primitives: sharded counters/gauges and fixed
+//! log₂-bucket latency histograms.
+//!
+//! Every primitive is a fixed array of cache-line-aligned shards of
+//! relaxed atomics. A recording thread picks one shard (a cheap
+//! thread-local assignment) and touches only that shard's cache lines, so
+//! concurrent recorders on different cores do not bounce a shared line.
+//! Reading merges the shards with plain `u64` addition (and `max` for the
+//! histogram maximum) — exact integer arithmetic, so the merged snapshot
+//! is **identical for every thread count and every interleaving** of the
+//! same multiset of recorded values. The shard count and the histogram
+//! bucket layout are compile-time constants; nothing about the merged
+//! result depends on which thread recorded which value.
+//!
+//! When observability is disabled ([`crate::enabled`] is false) every
+//! recording call is a relaxed load plus an untaken branch: no allocation,
+//! no lock, no atomic RMW.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Number of shards per metric. Compile-time constant so the merged
+/// layout (and therefore the snapshot) never depends on the runtime
+/// thread count.
+pub const NUM_SHARDS: usize = 16;
+
+/// Number of log₂ histogram buckets. Bucket `0` holds the value `0`;
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i - 1]`; the last bucket
+/// absorbs everything larger. 64 buckets cover the full `u64` range.
+pub const NUM_BUCKETS: usize = 64;
+
+/// Round-robin shard assignment: each recording thread grabs the next
+/// index once and keeps it for its lifetime.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % NUM_SHARDS;
+}
+
+#[inline]
+fn shard_index() -> usize {
+    MY_SHARD.with(|s| *s)
+}
+
+/// The log₂ bucket index for a recorded value.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (value.ilog2() as usize + 1).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive value range `[lo, hi]` covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        _ if i >= NUM_BUCKETS - 1 => (1 << (NUM_BUCKETS - 2), u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+/// One cache line of counter state (padding defeats false sharing
+/// between neighbouring shards).
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CounterShard {
+    value: AtomicU64,
+}
+
+/// A monotonically increasing sharded counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [CounterShard; NUM_SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`. A relaxed load plus an untaken branch when observability
+    /// is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.shards[shard_index()].value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The merged value (sum over shards).
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.value.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct GaugeShard {
+    /// Stored as the two's-complement bits of an `i64` delta.
+    value: AtomicU64,
+}
+
+/// A sharded up/down gauge (e.g. live connections). Merged value is the
+/// signed sum of per-shard deltas.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    shards: [GaugeShard; NUM_SHARDS],
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a signed delta. No-op when observability is disabled.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.shards[shard_index()].value.fetch_add(delta as u64, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// The merged value (signed sum over shards).
+    pub fn get(&self) -> i64 {
+        self.shards.iter().map(|s| s.value.load(Ordering::Relaxed) as i64).sum()
+    }
+}
+
+/// One histogram shard: buckets plus count/sum/max, cache-line aligned so
+/// shards never share a line.
+#[repr(align(64))]
+#[derive(Debug)]
+struct HistogramShard {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramShard {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-layout log₂ latency histogram.
+///
+/// Values are `u64` (the workspace records microseconds); the bucket
+/// layout is the compile-time constant described at [`NUM_BUCKETS`].
+/// Recording is three relaxed `fetch_add`s and one `fetch_max` on the
+/// caller's shard; merging shards uses exact integer arithmetic, so
+/// [`Histogram::snapshot`] is deterministic for any thread width.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    shards: [HistogramShard; NUM_SHARDS],
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value. A relaxed load plus an untaken branch when
+    /// observability is disabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.record_always(value);
+    }
+
+    /// Records one value regardless of the global toggle (for tests and
+    /// always-on internal accounting).
+    #[inline]
+    pub fn record_always(&self, value: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The merged, deterministic snapshot of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for shard in &self.shards {
+            for (b, a) in buckets.iter_mut().zip(&shard.buckets) {
+                *b += a.load(Ordering::Relaxed);
+            }
+            count += shard.count.load(Ordering::Relaxed);
+            sum += shard.sum.load(Ordering::Relaxed);
+            max = max.max(shard.max.load(Ordering::Relaxed));
+        }
+        HistogramSnapshot { buckets, count, sum, max }
+    }
+}
+
+/// The merged read-side view of a [`Histogram`]: one count per bucket plus
+/// total count, total sum, and the maximum recorded value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, exactly [`NUM_BUCKETS`] long.
+    pub buckets: Vec<u64>,
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping add on overflow is
+    /// acceptable: the workspace records microsecond latencies).
+    pub sum: u64,
+    /// Maximum recorded value.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self { buckets: vec![0; NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// The mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// A deterministic quantile estimate: walk the cumulative bucket
+    /// counts to the target rank and interpolate linearly inside the
+    /// landing bucket. `q` is clamped to `[0, 1]`; an empty histogram
+    /// yields `0.0`. Monotone in `q` by construction, so
+    /// `quantile(0.5) ≤ quantile(0.95) ≤ quantile(0.99)` always holds.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cumulative + n >= target {
+                let (lo, _) = bucket_bounds(i);
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = lo as f64;
+                let hi = lo * 2.0;
+                let fraction = (target - cumulative) as f64 / n as f64;
+                return lo + fraction * (hi - lo);
+            }
+            cumulative += n;
+        }
+        self.max as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_toggle;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        // Every power of two starts a fresh bucket; its predecessor ends
+        // the previous one.
+        for i in 1..63 {
+            let v = 1u64 << i;
+            assert_eq!(bucket_index(v), bucket_index(v - 1) + 1, "boundary at 2^{i}");
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_domain() {
+        let (lo, hi) = bucket_bounds(0);
+        assert_eq!((lo, hi), (0, 0));
+        for i in 1..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            let (_, prev_hi) = bucket_bounds(i - 1);
+            assert_eq!(lo, prev_hi + 1, "bucket {i} starts after bucket {} ends", i - 1);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+        }
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let _on = test_toggle(true);
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 1000, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 2029);
+        assert_eq!(s.max, 1024);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 2); // 1, 1
+        assert_eq!(s.buckets[2], 1); // 3
+        assert_eq!(s.buckets[10], 1); // 1000
+        assert_eq!(s.buckets[11], 1); // 1024
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_finite() {
+        let _on = test_toggle(true);
+        let h = Histogram::new();
+        for v in 0..10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        let p95 = s.quantile(0.95);
+        let p99 = s.quantile(0.99);
+        assert!(p50.is_finite() && p95.is_finite() && p99.is_finite());
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        // Log-bucket estimates land within the bucket of the true value.
+        assert!((4096.0..=8192.0).contains(&p50), "p50={p50}");
+        assert!(s.quantile(1.0) <= 16384.0);
+        assert_eq!(HistogramSnapshot::empty().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn concurrent_records_merge_identically_at_any_width() {
+        let _on = test_toggle(true);
+        // The same multiset of values recorded under different thread
+        // decompositions must produce bitwise-identical snapshots.
+        let values: Vec<u64> = (0..50_000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+        let mut reference: Option<HistogramSnapshot> = None;
+        for width in [1usize, 2, 4, 8] {
+            let h = Histogram::new();
+            let per = values.len().div_ceil(width);
+            std::thread::scope(|scope| {
+                for part in values.chunks(per) {
+                    let h = &h;
+                    scope.spawn(move || {
+                        for &v in part {
+                            h.record(v);
+                        }
+                    });
+                }
+            });
+            let snap = h.snapshot();
+            match &reference {
+                None => reference = Some(snap),
+                Some(r) => assert_eq!(&snap, r, "width={width}"),
+            }
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_merge_across_threads() {
+        let _on = test_toggle(true);
+        let c = Counter::new();
+        let g = Gauge::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (c, g) = (&c, &g);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                        g.inc();
+                    }
+                    for _ in 0..250 {
+                        g.dec();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(g.get(), 6000);
+    }
+
+    #[test]
+    fn disabled_mode_touches_nothing() {
+        let _off = test_toggle(false);
+        let c = Counter::new();
+        let g = Gauge::new();
+        let h = Histogram::new();
+        c.add(100);
+        c.inc();
+        g.add(5);
+        g.dec();
+        h.record(42);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        let s = h.snapshot();
+        assert_eq!(s, HistogramSnapshot::empty());
+    }
+}

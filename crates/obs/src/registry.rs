@@ -1,0 +1,260 @@
+//! Named metric registry and deterministic snapshots.
+//!
+//! A [`Registry`] maps dotted metric names (`serve.queue_wait_us`) to
+//! shared metric handles. Handle creation is the cold path (a mutex over a
+//! `BTreeMap`, hit once per call site via `OnceLock` statics); recording
+//! through a handle never touches the registry. [`Registry::snapshot`]
+//! walks the sorted map and merges every metric's shards, so two
+//! snapshots of the same recorded multiset are equal — field for field —
+//! regardless of thread width or interleaving.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metrics::{bucket_bounds, Counter, Gauge, Histogram, HistogramSnapshot, NUM_BUCKETS};
+
+/// A metric handle stored in the registry.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics.
+///
+/// Most code uses the process-wide [`Registry::global`]; tests that need
+/// isolation construct their own with [`Registry::new`].
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry that instrumented workspace crates
+    /// register into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Gets or creates the counter `name`.
+    ///
+    /// # Panics
+    /// Panics when `name` is already registered as a different kind
+    /// (metric names are a compile-time inventory; a kind clash is a bug).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.metrics.lock().expect("registry poisoned");
+        let metric = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())));
+        match metric {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Gets or creates the gauge `name`.
+    ///
+    /// # Panics
+    /// Panics on a kind clash, as for [`Registry::counter`].
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.metrics.lock().expect("registry poisoned");
+        let metric =
+            map.entry(name.to_string()).or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())));
+        match metric {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Gets or creates the histogram `name`.
+    ///
+    /// # Panics
+    /// Panics on a kind clash, as for [`Registry::counter`].
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.metrics.lock().expect("registry poisoned");
+        let metric = map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())));
+        match metric {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name} is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// A deterministic point-in-time snapshot: metrics in ascending name
+    /// order, each merged across its shards.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.lock().expect("registry poisoned");
+        let metrics = map
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+}
+
+/// One metric's merged value inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Merged counter value.
+    Counter(u64),
+    /// Merged gauge value.
+    Gauge(i64),
+    /// Merged histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time registry snapshot: `(name, value)` pairs sorted by
+/// name. This is the payload of the serve protocol's `Metrics` response.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Metrics in ascending name order.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Looks up a metric by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.metrics[i].1)
+    }
+
+    /// The counter value for `name`, or 0 when absent / not a counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The histogram snapshot for `name`, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Dotted names become underscore-separated (`serve.queue_wait_us` →
+    /// `serve_queue_wait_us`); histograms render cumulative `_bucket`
+    /// series with inclusive `le` bounds plus `_sum`/`_count`/`_max`.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            let flat: String =
+                name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {flat} counter\n{flat} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {flat} gauge\n{flat} {v}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {flat} histogram");
+                    let mut cumulative = 0u64;
+                    for (i, &n) in h.buckets.iter().enumerate() {
+                        cumulative += n;
+                        if n == 0 && i != NUM_BUCKETS - 1 {
+                            continue;
+                        }
+                        if i == NUM_BUCKETS - 1 {
+                            let _ = writeln!(out, "{flat}_bucket{{le=\"+Inf\"}} {cumulative}");
+                        } else {
+                            let (_, hi) = bucket_bounds(i);
+                            let _ = writeln!(out, "{flat}_bucket{{le=\"{hi}\"}} {cumulative}");
+                        }
+                    }
+                    let _ = writeln!(out, "{flat}_sum {}", h.sum);
+                    let _ = writeln!(out, "{flat}_count {}", h.count);
+                    let _ = writeln!(out, "{flat}_max {}", h.max);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_toggle;
+
+    #[test]
+    fn handles_are_shared_and_snapshot_is_sorted() {
+        let _on = test_toggle(true);
+        let reg = Registry::new();
+        let c1 = reg.counter("z.last");
+        let c2 = reg.counter("z.last");
+        c1.inc();
+        c2.add(2);
+        reg.gauge("a.first").add(-3);
+        reg.histogram("m.mid").record(5);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.first", "m.mid", "z.last"]);
+        assert_eq!(snap.counter("z.last"), 3);
+        assert_eq!(snap.get("a.first"), Some(&MetricValue::Gauge(-3)));
+        assert_eq!(snap.histogram("m.mid").unwrap().count, 1);
+        assert_eq!(snap.get("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_clash_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("dual");
+        let _ = reg.gauge("dual");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        let _on = test_toggle(true);
+        let reg = Registry::new();
+        reg.counter("serve.searches").add(7);
+        reg.gauge("serve.connections").add(2);
+        let h = reg.histogram("serve.queue_wait_us");
+        for v in [0u64, 3, 900, 900] {
+            h.record(v);
+        }
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE serve_searches counter"));
+        assert!(text.contains("serve_searches 7"));
+        assert!(text.contains("serve_connections 2"));
+        assert!(text.contains("serve_queue_wait_us_bucket{le=\"0\"} 1"));
+        assert!(text.contains("serve_queue_wait_us_bucket{le=\"3\"} 2"));
+        assert!(text.contains("serve_queue_wait_us_bucket{le=\"1023\"} 4"));
+        assert!(text.contains("serve_queue_wait_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("serve_queue_wait_us_sum 1803"));
+        assert!(text.contains("serve_queue_wait_us_count 4"));
+        assert!(text.contains("serve_queue_wait_us_max 900"));
+    }
+}

@@ -28,6 +28,13 @@
 //! [`std::thread::available_parallelism`]. Nested parallel regions run
 //! serially (workers report one available thread), so kernels parallelized
 //! here compose without oversubscription.
+//!
+//! Pool invocations are instrumented through `lt-obs` (task count, chunk
+//! count, per-chunk wall time in `runtime.pool_tasks` / `runtime.pool_chunks`
+//! / `runtime.chunk_us`); recording is gated once per invocation on
+//! [`lt_obs::enabled`], so the disabled-mode overhead is a single relaxed
+//! atomic load. Timing only observes chunks — it never changes chunk
+//! boundaries or fold order, so determinism is unaffected.
 
 #![warn(missing_docs)]
 
@@ -36,7 +43,8 @@ use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Upper bound on worker threads; a safety clamp against absurd
 /// `LT_THREADS` values, far above any real core count we target.
@@ -155,6 +163,29 @@ pub fn chunk_ranges(n: usize, chunk: usize) -> impl ExactSizeIterator<Item = Ran
     (0..num_chunks).map(move |c| c * chunk..((c + 1) * chunk).min(n))
 }
 
+/// Pool instrumentation handles, registered once in the global lt-obs
+/// registry. `tasks` counts items handed to the pool, `chunks` counts
+/// chunk executions, `chunk_us` is per-chunk wall time. Recording is
+/// gated on [`lt_obs::enabled`] at the pool-invocation level, so the
+/// disabled-mode cost of a parallel region is one relaxed load.
+struct PoolObs {
+    tasks: Arc<lt_obs::Counter>,
+    chunks: Arc<lt_obs::Counter>,
+    chunk_us: Arc<lt_obs::Histogram>,
+}
+
+fn pool_obs() -> &'static PoolObs {
+    static OBS: OnceLock<PoolObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = lt_obs::Registry::global();
+        PoolObs {
+            tasks: reg.counter("runtime.pool_tasks"),
+            chunks: reg.counter("runtime.pool_chunks"),
+            chunk_us: reg.histogram("runtime.chunk_us"),
+        }
+    })
+}
+
 /// Runs `map` over every fixed chunk of `0..n`, capturing worker panics.
 /// Results come back in chunk order.
 fn run_chunks<R, F>(n: usize, chunk: usize, map: F) -> Vec<Result<R, Panicked>>
@@ -165,14 +196,26 @@ where
     let ranges: Vec<Range<usize>> = chunk_ranges(n, chunk).collect();
     let num_chunks = ranges.len();
     let workers = threads().min(num_chunks);
+    // Observability gate, resolved once per pool invocation: `None` means
+    // disabled and every per-chunk site below skips its timing entirely.
+    let obs = lt_obs::enabled().then(pool_obs);
+    if let Some(o) = obs {
+        o.tasks.add(n as u64);
+        o.chunks.add(num_chunks as u64);
+    }
     if workers <= 1 {
         // Serial fallback: same chunks, same order — bitwise identical to
         // every parallel schedule.
         return ranges
             .into_iter()
             .map(|r| {
-                panic::catch_unwind(AssertUnwindSafe(|| map(r)))
-                    .map_err(|p| Panicked { message: payload_message(p.as_ref()) })
+                let t0 = obs.map(|_| Instant::now());
+                let out = panic::catch_unwind(AssertUnwindSafe(|| map(r)))
+                    .map_err(|p| Panicked { message: payload_message(p.as_ref()) });
+                if let (Some(o), Some(t0)) = (obs, t0) {
+                    o.chunk_us.record(lt_obs::micros_since(t0));
+                }
+                out
             })
             .collect();
     }
@@ -197,8 +240,12 @@ where
                         if idx >= ranges.len() {
                             break;
                         }
+                        let t0 = obs.map(|_| Instant::now());
                         let out = panic::catch_unwind(AssertUnwindSafe(|| map(ranges[idx].clone())))
                             .map_err(|p| Panicked { message: payload_message(p.as_ref()) });
+                        if let (Some(o), Some(t0)) = (obs, t0) {
+                            o.chunk_us.record(lt_obs::micros_since(t0));
+                        }
                         local.push((idx, out));
                     }
                     local
@@ -284,11 +331,23 @@ where
     let n = data.len();
     let num_chunks = n.div_ceil(chunk).max(1);
     let workers = threads().min(num_chunks);
+    let obs = lt_obs::enabled().then(pool_obs);
+    if let Some(o) = obs {
+        o.tasks.add(n as u64);
+        o.chunks.add(if data.is_empty() { 0 } else { num_chunks as u64 });
+    }
     if workers <= 1 || data.is_empty() {
         return data
             .chunks_mut(chunk)
             .enumerate()
-            .map(|(c, slice)| body(c * chunk, slice))
+            .map(|(c, slice)| {
+                let t0 = obs.map(|_| Instant::now());
+                let out = body(c * chunk, slice);
+                if let (Some(o), Some(t0)) = (obs, t0) {
+                    o.chunk_us.record(lt_obs::micros_since(t0));
+                }
+                out
+            })
             .collect();
     }
 
@@ -311,9 +370,13 @@ where
                     IN_WORKER.with(|c| c.set(true));
                     mine.into_iter()
                         .map(|(c, slice)| {
+                            let t0 = obs.map(|_| Instant::now());
                             let out =
                                 panic::catch_unwind(AssertUnwindSafe(|| body(c * chunk, slice)))
                                     .map_err(|p| payload_message(p.as_ref()));
+                            if let (Some(o), Some(t0)) = (obs, t0) {
+                                o.chunk_us.record(lt_obs::micros_since(t0));
+                            }
                             (c, out)
                         })
                         .collect::<Vec<_>>()
@@ -467,6 +530,24 @@ mod tests {
         let _g = scoped_threads(4);
         let inner_threads = parallel_map_chunks(2, 1, |_| threads());
         assert_eq!(inner_threads, vec![1, 1], "workers must report 1 thread");
+    }
+
+    #[test]
+    fn pool_records_obs_metrics_when_enabled() {
+        // The only test in this binary that flips the global toggle;
+        // recording is additive, so concurrent tests are unaffected.
+        lt_obs::set_enabled(true);
+        let before = lt_obs::Registry::global().snapshot();
+        let _g = scoped_threads(2);
+        let _ = parallel_map_chunks(64, 8, |r| r.len());
+        let mut data = vec![0u8; 64];
+        parallel_for_each_mut(&mut data, 8, |_, _| {});
+        lt_obs::set_enabled(false);
+        let after = lt_obs::Registry::global().snapshot();
+        assert!(after.counter("runtime.pool_chunks") >= before.counter("runtime.pool_chunks") + 16);
+        assert!(after.counter("runtime.pool_tasks") >= before.counter("runtime.pool_tasks") + 128);
+        let h = after.histogram("runtime.chunk_us").unwrap();
+        assert!(h.count >= 16);
     }
 
     #[test]

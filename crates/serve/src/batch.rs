@@ -19,14 +19,57 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use lightlt_core::search::adc_search_batch;
 use lt_linalg::Matrix;
+use lt_obs::{Counter, Gauge, Histogram};
 
 use crate::protocol::Response;
 use crate::state::IndexState;
+
+/// Serve-side metric handles, resolved once and cached for the process.
+///
+/// Grouped in one struct so hot paths pay a single `OnceLock` load rather
+/// than one registry lookup per metric. All counters/histograms are no-ops
+/// while the global toggle is off, so callers don't need to re-gate simple
+/// `record`/`inc` calls — only wrap the `Instant::now()` timing itself.
+pub(crate) struct ServeObs {
+    /// Age of each job (submit → drain) when its batch is formed.
+    pub queue_wait_us: Arc<Histogram>,
+    /// Jobs per executed batch.
+    pub batch_size: Arc<Histogram>,
+    /// Wall time of one `execute_batch` call (all k-groups).
+    pub batch_exec_us: Arc<Histogram>,
+    /// Per-request submit → reply-sent latency.
+    pub service_us: Arc<Histogram>,
+    /// Wall time of one snapshot write.
+    pub snapshot_us: Arc<Histogram>,
+    /// Searches refused with `Overloaded`.
+    pub refused_overloaded: Arc<Counter>,
+    /// Requests answered with `BadRequest`.
+    pub refused_bad_request: Arc<Counter>,
+    /// Currently open client connections.
+    pub connections: Arc<Gauge>,
+}
+
+pub(crate) fn serve_obs() -> &'static ServeObs {
+    static OBS: OnceLock<ServeObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = lt_obs::Registry::global();
+        ServeObs {
+            queue_wait_us: r.histogram("serve.queue_wait_us"),
+            batch_size: r.histogram("serve.batch_size"),
+            batch_exec_us: r.histogram("serve.batch_exec_us"),
+            service_us: r.histogram("serve.service_us"),
+            snapshot_us: r.histogram("serve.snapshot_us"),
+            refused_overloaded: r.counter("serve.refused_overloaded"),
+            refused_bad_request: r.counter("serve.refused_bad_request"),
+            connections: r.gauge("serve.connections"),
+        }
+    })
+}
 
 /// One admitted search request waiting for execution.
 pub struct SearchJob {
@@ -108,6 +151,10 @@ pub struct ExecCounters {
     pub searches: AtomicU64,
     /// Batches formed (drain cycles that executed at least one query).
     pub batches: AtomicU64,
+    /// Largest observed submit → drain age in microseconds. Maintained
+    /// with `fetch_max` even when lt-obs is disabled, because `Stats`
+    /// reports it unconditionally.
+    pub max_queue_wait_us: AtomicU64,
 }
 
 /// Executor loop. Runs until `stop` is set **and** the queue has been
@@ -186,6 +233,24 @@ fn execute_batch(state: &IndexState, batch: Vec<SearchJob>, counters: &ExecCount
     counters.batches.fetch_add(1, Ordering::Relaxed);
     counters.searches.fetch_add(batch.len() as u64, Ordering::Relaxed);
 
+    // Queue wait is measured at drain time: how long each admitted job sat
+    // in the queue before its batch formed. The `Stats` maximum is tracked
+    // unconditionally; the histogram only when observability is on.
+    let observe = lt_obs::enabled() || lt_obs::events_enabled();
+    let obs = lt_obs::enabled().then(serve_obs);
+    for job in &batch {
+        let waited = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        counters.max_queue_wait_us.fetch_max(waited, Ordering::Relaxed);
+        if let Some(o) = obs {
+            o.queue_wait_us.record(waited);
+        }
+    }
+    if let Some(o) = obs {
+        o.batch_size.record(batch.len() as u64);
+    }
+    let exec_t0 = observe.then(Instant::now);
+    let batch_len = batch.len();
+
     // Jobs may carry different k; adc_search_batch takes one k per call,
     // so group by k (stable: queue order preserved within each group).
     let mut groups: Vec<(usize, Vec<SearchJob>)> = Vec::new();
@@ -208,7 +273,20 @@ fn execute_batch(state: &IndexState, batch: Vec<SearchJob>, counters: &ExecCount
             let hits = scored.iter().map(|s| (s.index as u64, s.score)).collect();
             // A hung-up client just discards its answer.
             let _ = job.reply.send(Response::Search { hits });
+            if let Some(o) = obs {
+                // Submit → reply-sent: queue wait plus execution share.
+                let served = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                o.service_us.record(served);
+            }
         }
+    }
+
+    if let Some(t0) = exec_t0 {
+        let micros = lt_obs::micros_since(t0);
+        if let Some(o) = obs {
+            o.batch_exec_us.record(micros);
+        }
+        lt_obs::emit(&lt_obs::Event::BatchExecute { batch: batch_len as u64, micros });
     }
 }
 

@@ -148,6 +148,19 @@ impl ServeClient {
         }
     }
 
+    /// Full metrics snapshot: `(payload version, registry snapshot)`.
+    /// A server with observability disabled still answers, with zeroed or
+    /// absent series.
+    ///
+    /// # Errors
+    /// Transport/protocol failures.
+    pub fn metrics(&mut self) -> Result<(u32, lt_obs::Snapshot), ServeError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics { version, snapshot } => Ok((version, snapshot)),
+            other => Err(refusal(other, "metrics")),
+        }
+    }
+
     /// Forces a durable snapshot; returns the epoch it captured.
     ///
     /// # Errors

@@ -24,6 +24,13 @@
 //! [`client::ServeClient`] is the matching blocking client, used by the
 //! CLI (`lightlt query`), the integration tests, and the `lt-bench serve`
 //! load generator.
+//!
+//! Serving is instrumented with [`lt_obs`]: queue-wait / batch-size /
+//! service-time histograms, refusal counters, a live-connection gauge, and
+//! snapshot-write timing, all exposed over the wire via the versioned
+//! `Metrics` request ([`protocol::METRICS_VERSION`]). Recording is on by
+//! default ([`ServeConfig::metrics`]) and compiles down to a relaxed load
+//! plus untaken branch when disabled.
 
 pub mod batch;
 pub mod client;
@@ -32,6 +39,6 @@ pub mod server;
 pub mod state;
 
 pub use client::{ServeClient, ServeError};
-pub use protocol::{Request, Response, ServeStats};
+pub use protocol::{Request, Response, ServeStats, METRICS_VERSION};
 pub use server::{ServeConfig, Server};
 pub use state::{load_index_with_snapshot, IndexState};

@@ -22,6 +22,7 @@ use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
 use lightlt_core::checksum::crc32;
+use lt_obs::{HistogramSnapshot, MetricValue, Snapshot};
 
 /// Hard cap on a frame payload (64 MiB): large enough for any realistic
 /// upsert batch, small enough that a corrupt length field cannot OOM the
@@ -62,11 +63,19 @@ pub enum Request {
     },
     /// Server/index statistics.
     Stats,
+    /// Full observability snapshot: every metric in the server's lt-obs
+    /// registry (versioned; see [`METRICS_VERSION`]).
+    Metrics,
     /// Force a checksummed snapshot to disk now.
     Snapshot,
     /// Graceful shutdown: flush pending batches, write a final snapshot.
     Shutdown,
 }
+
+/// Version of the `Metrics` response encoding. Bump when the metric
+/// payload layout changes; clients check this before interpreting the
+/// snapshot.
+pub const METRICS_VERSION: u32 = 1;
 
 /// Server/index statistics reported by [`Request::Stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,6 +104,11 @@ pub struct ServeStats {
     pub snapshots: u64,
     /// Jobs sitting in the submission queue right now.
     pub queue_len: u64,
+    /// Maximum queue wait observed by any drained search job, in
+    /// microseconds. Appended after the twelve legacy fields; the decoder
+    /// tolerates its absence (legacy 12-field payloads decode with 0), so
+    /// the legacy `Stats` prefix stays byte-compatible.
+    pub max_queue_wait_us: u64,
 }
 
 /// Server replies.
@@ -120,6 +134,13 @@ pub enum Response {
     },
     /// Statistics snapshot.
     Stats(ServeStats),
+    /// Observability registry snapshot.
+    Metrics {
+        /// Encoding version ([`METRICS_VERSION`] for this build).
+        version: u32,
+        /// Deterministic merged registry snapshot.
+        snapshot: Snapshot,
+    },
     /// Snapshot written; reports the epoch it captured.
     Snapshot {
         /// Mutation epoch the snapshot captured.
@@ -220,6 +241,7 @@ const OP_DELETE: u8 = 3;
 const OP_STATS: u8 = 4;
 const OP_SNAPSHOT: u8 = 5;
 const OP_SHUTDOWN: u8 = 6;
+const OP_METRICS: u8 = 7;
 
 // Response opcodes.
 const RE_SEARCH: u8 = 0x81;
@@ -228,7 +250,18 @@ const RE_DELETE: u8 = 0x83;
 const RE_STATS: u8 = 0x84;
 const RE_SNAPSHOT: u8 = 0x85;
 const RE_SHUTDOWN: u8 = 0x86;
+const RE_METRICS: u8 = 0x87;
 const RE_BAD_REQUEST: u8 = 0xE0;
+
+// Metric-kind tags inside a `Metrics` payload.
+const MK_COUNTER: u8 = 0;
+const MK_GAUGE: u8 = 1;
+const MK_HISTOGRAM: u8 = 2;
+
+/// Sanity cap on decoded histogram bucket counts (the current layout has
+/// [`lt_obs::NUM_BUCKETS`] = 64; the cap leaves room for future layouts
+/// without letting a corrupt field drive a huge allocation).
+const MAX_DECODED_BUCKETS: usize = 1024;
 const RE_OVERLOADED: u8 = 0xE1;
 const RE_SERVER_ERROR: u8 = 0xE2;
 
@@ -257,6 +290,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_u64(&mut buf, *id);
         }
         Request::Stats => buf.push(OP_STATS),
+        Request::Metrics => buf.push(OP_METRICS),
         Request::Snapshot => buf.push(OP_SNAPSHOT),
         Request::Shutdown => buf.push(OP_SHUTDOWN),
     }
@@ -282,6 +316,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
         }
         OP_DELETE => Request::Delete { id: c.u64()? },
         OP_STATS => Request::Stats,
+        OP_METRICS => Request::Metrics,
         OP_SNAPSHOT => Request::Snapshot,
         OP_SHUTDOWN => Request::Shutdown,
         other => return Err(format!("unknown request opcode {other:#04x}")),
@@ -331,6 +366,35 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u64(&mut buf, s.deletes);
             put_u64(&mut buf, s.snapshots);
             put_u64(&mut buf, s.queue_len);
+            put_u64(&mut buf, s.max_queue_wait_us);
+        }
+        Response::Metrics { version, snapshot } => {
+            buf.push(RE_METRICS);
+            put_u32(&mut buf, *version);
+            put_u32(&mut buf, snapshot.metrics.len() as u32);
+            for (name, value) in &snapshot.metrics {
+                put_str(&mut buf, name);
+                match value {
+                    MetricValue::Counter(v) => {
+                        buf.push(MK_COUNTER);
+                        put_u64(&mut buf, *v);
+                    }
+                    MetricValue::Gauge(v) => {
+                        buf.push(MK_GAUGE);
+                        put_u64(&mut buf, *v as u64);
+                    }
+                    MetricValue::Histogram(h) => {
+                        buf.push(MK_HISTOGRAM);
+                        put_u64(&mut buf, h.count);
+                        put_u64(&mut buf, h.sum);
+                        put_u64(&mut buf, h.max);
+                        put_u32(&mut buf, h.buckets.len() as u32);
+                        for &b in &h.buckets {
+                            put_u64(&mut buf, b);
+                        }
+                    }
+                }
+            }
         }
         Response::Snapshot { epoch } => {
             buf.push(RE_SNAPSHOT);
@@ -376,20 +440,58 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
             };
             Response::Delete { moved }
         }
-        RE_STATS => Response::Stats(ServeStats {
-            items: c.u64()?,
-            dim: c.u32()?,
-            num_codebooks: c.u32()?,
-            num_codewords: c.u32()?,
-            epoch: c.u64()?,
-            searches: c.u64()?,
-            batches: c.u64()?,
-            rejected: c.u64()?,
-            upserts: c.u64()?,
-            deletes: c.u64()?,
-            snapshots: c.u64()?,
-            queue_len: c.u64()?,
-        }),
+        RE_STATS => {
+            let mut stats = ServeStats {
+                items: c.u64()?,
+                dim: c.u32()?,
+                num_codebooks: c.u32()?,
+                num_codewords: c.u32()?,
+                epoch: c.u64()?,
+                searches: c.u64()?,
+                batches: c.u64()?,
+                rejected: c.u64()?,
+                upserts: c.u64()?,
+                deletes: c.u64()?,
+                snapshots: c.u64()?,
+                queue_len: c.u64()?,
+                max_queue_wait_us: 0,
+            };
+            // Trailing field appended after the legacy layout: absent in
+            // frames from pre-metrics servers, so tolerate either form.
+            if !c.data.is_empty() {
+                stats.max_queue_wait_us = c.u64()?;
+            }
+            Response::Stats(stats)
+        }
+        RE_METRICS => {
+            let version = c.u32()?;
+            let count = c.u32()? as usize;
+            let mut metrics = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                let name = c.str()?;
+                let value = match c.u8()? {
+                    MK_COUNTER => MetricValue::Counter(c.u64()?),
+                    MK_GAUGE => MetricValue::Gauge(c.u64()? as i64),
+                    MK_HISTOGRAM => {
+                        let count = c.u64()?;
+                        let sum = c.u64()?;
+                        let max = c.u64()?;
+                        let n = c.u32()? as usize;
+                        if n > MAX_DECODED_BUCKETS {
+                            return Err(format!("histogram bucket count {n} exceeds cap"));
+                        }
+                        let mut buckets = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            buckets.push(c.u64()?);
+                        }
+                        MetricValue::Histogram(HistogramSnapshot { buckets, count, sum, max })
+                    }
+                    other => return Err(format!("unknown metric kind tag {other}")),
+                };
+                metrics.push((name, value));
+            }
+            Response::Metrics { version, snapshot: Snapshot { metrics } }
+        }
         RE_SNAPSHOT => Response::Snapshot { epoch: c.u64()? },
         RE_SHUTDOWN => Response::Shutdown,
         RE_BAD_REQUEST => Response::BadRequest { message: c.str()? },
@@ -590,12 +692,103 @@ mod tests {
             deletes: 1,
             snapshots: 2,
             queue_len: 0,
+            max_queue_wait_us: 1234,
         }));
         roundtrip_response(Response::Snapshot { epoch: 17 });
         roundtrip_response(Response::Shutdown);
         roundtrip_response(Response::BadRequest { message: "dim mismatch".into() });
         roundtrip_response(Response::Overloaded);
         roundtrip_response(Response::ServerError { message: "disk full".into() });
+    }
+
+    #[test]
+    fn metrics_frames_roundtrip() {
+        roundtrip_request(Request::Metrics);
+        roundtrip_response(Response::Metrics { version: METRICS_VERSION, snapshot: Snapshot::default() });
+        let snapshot = Snapshot {
+            metrics: vec![
+                ("serve.connections".into(), MetricValue::Gauge(-2)),
+                (
+                    "serve.queue_wait_us".into(),
+                    MetricValue::Histogram(HistogramSnapshot {
+                        buckets: (0..lt_obs::NUM_BUCKETS as u64).collect(),
+                        count: 2016,
+                        sum: 987654321,
+                        max: u64::MAX,
+                    }),
+                ),
+                ("serve.searches".into(), MetricValue::Counter(u64::MAX)),
+            ],
+        };
+        roundtrip_response(Response::Metrics { version: METRICS_VERSION, snapshot });
+    }
+
+    #[test]
+    fn metrics_encoding_is_deterministic() {
+        // The acceptance bar: identical snapshots encode to identical
+        // bytes, so cross-thread-width determinism is checkable bitwise.
+        let snapshot = Snapshot {
+            metrics: vec![(
+                "scan.scan_us".into(),
+                MetricValue::Histogram(HistogramSnapshot {
+                    buckets: vec![0; lt_obs::NUM_BUCKETS],
+                    count: 0,
+                    sum: 0,
+                    max: 0,
+                }),
+            )],
+        };
+        let a = encode_response(&Response::Metrics { version: 1, snapshot: snapshot.clone() });
+        let b = encode_response(&Response::Metrics { version: 1, snapshot });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn legacy_stats_payload_without_queue_wait_still_decodes() {
+        // A 12-field Stats payload captured from a pre-metrics server:
+        // strip the appended trailing field from a fresh encoding.
+        let stats = ServeStats {
+            items: 10,
+            dim: 6,
+            num_codebooks: 3,
+            num_codewords: 16,
+            epoch: 2,
+            searches: 5,
+            batches: 3,
+            rejected: 1,
+            upserts: 4,
+            deletes: 1,
+            snapshots: 2,
+            queue_len: 0,
+            max_queue_wait_us: 777,
+        };
+        let mut legacy = encode_response(&Response::Stats(stats));
+        legacy.truncate(legacy.len() - 8);
+        let decoded = decode_response(&legacy).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Stats(ServeStats { max_queue_wait_us: 0, ..stats }),
+            "legacy payload must decode with the new field defaulted"
+        );
+        // A partially present trailing field is still a decode error.
+        let mut torn = encode_response(&Response::Stats(stats));
+        torn.truncate(torn.len() - 3);
+        assert!(decode_response(&torn).is_err());
+    }
+
+    #[test]
+    fn malformed_metrics_payloads_rejected() {
+        let snapshot = Snapshot {
+            metrics: vec![("a".into(), MetricValue::Counter(1))],
+        };
+        let good = encode_response(&Response::Metrics { version: 1, snapshot });
+        // Corrupt the metric-kind tag.
+        let mut bad_kind = good.clone();
+        let kind_at = good.len() - 9;
+        bad_kind[kind_at] = 0x7F;
+        assert!(decode_response(&bad_kind).unwrap_err().contains("metric kind"));
+        // Truncated value.
+        assert!(decode_response(&good[..good.len() - 2]).is_err());
     }
 
     #[test]

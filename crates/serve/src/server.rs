@@ -33,8 +33,8 @@ use lightlt_core::index::QuantizedIndex;
 use lightlt_core::search::validate_search_request;
 use lt_linalg::Matrix;
 
-use crate::batch::{run_executor, ExecCounters, SearchJob, SubmitError, SubmitQueue};
-use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats};
+use crate::batch::{run_executor, serve_obs, ExecCounters, SearchJob, SubmitError, SubmitQueue};
+use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats, METRICS_VERSION};
 use crate::state::IndexState;
 
 /// Tunables for [`Server::start`].
@@ -55,6 +55,10 @@ pub struct ServeConfig {
     pub snapshot_path: Option<PathBuf>,
     /// Interval between background snapshots (None = only on request).
     pub snapshot_every: Option<Duration>,
+    /// Turn the lt-obs metrics registry on at startup. The `Metrics` op
+    /// answers either way (with zeroed series when off); disabling skips
+    /// all hot-path recording.
+    pub metrics: bool,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +71,7 @@ impl Default for ServeConfig {
             threads: 0,
             snapshot_path: None,
             snapshot_every: None,
+            metrics: true,
         }
     }
 }
@@ -101,6 +106,9 @@ impl Server {
     pub fn start(index: QuantizedIndex, config: ServeConfig) -> io::Result<Server> {
         if config.threads > 0 {
             lt_runtime::set_threads(config.threads);
+        }
+        if config.metrics {
+            lt_obs::set_enabled(true);
         }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -283,6 +291,21 @@ fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
     // Poll-style reads so idle connections notice shutdown promptly.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let _ = stream.set_nodelay(true);
+    // Live-connection gauge, balanced on every exit path. The handle is
+    // resolved once per connection; when observability is off at accept
+    // time neither side of the pair records.
+    struct ConnGauge(Option<&'static crate::batch::ServeObs>);
+    impl Drop for ConnGauge {
+        fn drop(&mut self) {
+            if let Some(o) = self.0 {
+                o.connections.dec();
+            }
+        }
+    }
+    let gauge = ConnGauge(lt_obs::enabled().then(serve_obs));
+    if let Some(o) = gauge.0 {
+        o.connections.inc();
+    }
     loop {
         if ctx.stop.load(Ordering::SeqCst) {
             return;
@@ -311,11 +334,22 @@ fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
                 }
                 continue;
             }
-            Err(e) => Response::BadRequest { message: format!("malformed request: {e}") },
+            Err(e) => {
+                note_bad_request();
+                Response::BadRequest { message: format!("malformed request: {e}") }
+            }
         };
         if write_frame(&mut stream, &response.encode()).is_err() {
             return;
         }
+    }
+}
+
+/// Bumps `serve.refused_bad_request`, skipping registry access entirely
+/// while observability is off.
+fn note_bad_request() {
+    if lt_obs::enabled() {
+        serve_obs().refused_bad_request.inc();
     }
 }
 
@@ -327,6 +361,7 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
             let snapshot = ctx.state.snapshot();
             if let Err(e) = validate_search_request(&snapshot, query.len(), k as usize) {
                 ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                note_bad_request();
                 return Response::BadRequest { message: e.to_string() };
             }
             drop(snapshot);
@@ -339,6 +374,9 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 },
                 Err(SubmitError::Overloaded) => {
                     ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    if lt_obs::enabled() {
+                        serve_obs().refused_overloaded.inc();
+                    }
                     Response::Overloaded
                 }
                 Err(SubmitError::Closed) => {
@@ -350,6 +388,7 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
             let dim = dim as usize;
             if dim == 0 || rows.is_empty() || rows.len() % dim != 0 {
                 ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                note_bad_request();
                 return Response::BadRequest {
                     message: format!(
                         "upsert payload of {} floats is not a positive multiple of dim {dim}",
@@ -365,6 +404,7 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 }
                 Err(message) => {
                     ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    note_bad_request();
                     Response::BadRequest { message }
                 }
             }
@@ -376,6 +416,7 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
             }
             Err(message) => {
                 ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+                note_bad_request();
                 Response::BadRequest { message }
             }
         },
@@ -394,8 +435,13 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 deletes: ctx.op_counters.deletes.load(Ordering::Relaxed),
                 snapshots: ctx.op_counters.snapshots.load(Ordering::Relaxed),
                 queue_len: ctx.queue.len() as u64,
+                max_queue_wait_us: ctx.exec_counters.max_queue_wait_us.load(Ordering::Relaxed),
             })
         }
+        Request::Metrics => Response::Metrics {
+            version: METRICS_VERSION,
+            snapshot: lt_obs::Registry::global().snapshot(),
+        },
         Request::Snapshot => match &ctx.snapshot_path {
             Some(path) => match ctx.state.write_snapshot(path) {
                 Ok(epoch) => {
@@ -404,7 +450,10 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 }
                 Err(e) => Response::ServerError { message: format!("snapshot failed: {e}") },
             },
-            None => Response::BadRequest { message: "server has no snapshot path".into() },
+            None => {
+                note_bad_request();
+                Response::BadRequest { message: "server has no snapshot path".into() }
+            }
         },
         Request::Shutdown => {
             // Flag only; the owner (CLI main / test harness) observes it

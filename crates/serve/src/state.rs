@@ -106,6 +106,8 @@ impl IndexState {
     /// Propagates I/O errors; the previous snapshot file, if any, is left
     /// untouched on failure.
     pub fn write_snapshot(&self, path: &Path) -> std::io::Result<u64> {
+        let observe = lt_obs::enabled() || lt_obs::events_enabled();
+        let t0 = observe.then(std::time::Instant::now);
         // One writer at a time: concurrent calls share the temp path, and
         // the snapshot must be taken inside the critical section so the
         // last rename installs the newest captured epoch.
@@ -120,6 +122,11 @@ impl IndexState {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
+        if let Some(t0) = t0 {
+            let micros = lt_obs::micros_since(t0);
+            crate::batch::serve_obs().snapshot_us.record(micros);
+            lt_obs::emit(&lt_obs::Event::SnapshotWrite { epoch, micros });
+        }
         Ok(epoch)
     }
 }

@@ -18,6 +18,9 @@
 //!   hot path fans out on (`LT_THREADS`, bitwise thread-count invariance).
 //! * [`serve`] ([`lt_serve`]) — concurrent query serving: TCP front end,
 //!   micro-batching executor, online upserts, snapshot reload.
+//! * [`obs`] ([`lt_obs`]) — zero-cost observability: sharded counters and
+//!   log₂ latency histograms with deterministic merged snapshots, plus a
+//!   structured JSONL event sink.
 //!
 //! See `examples/quickstart.rs` for the fastest path from data to search.
 
@@ -25,6 +28,7 @@
 
 pub use lt_baselines as baselines;
 pub use lt_data as data;
+pub use lt_obs as obs;
 pub use lt_eval as eval;
 pub use lt_linalg as linalg;
 pub use lt_runtime as runtime;

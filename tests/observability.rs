@@ -1,0 +1,255 @@
+//! Integration suite for lt-obs: the observability layer must be
+//! deterministic, genuinely zero-cost when disabled, and faithful over the
+//! wire.
+//!
+//! Three properties are pinned here that the crate-level unit tests
+//! cannot cover alone:
+//!
+//! 1. **Thread-width invariance** — recording the same multiset of values
+//!    through the real `lt_runtime` pool at widths 1/2/4/8 yields metric
+//!    snapshots whose *wire encodings* are bitwise identical.
+//! 2. **Disabled-mode inertness** — with the toggle off, instrumented hot
+//!    paths (runtime pool, ADC scan) leave the global registry untouched
+//!    and write no events.
+//! 3. **End-to-end serving metrics** — a live server answers the
+//!    versioned `Metrics` request with ordered finite quantiles, refusal
+//!    counters, and a queue-wait maximum that agrees with the always-on
+//!    `Stats` field; unknown opcodes get a typed `BadRequest` and leave
+//!    the connection usable (legacy-client safety).
+
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use lightlt::obs::{self as obs, MetricValue, Registry};
+use lightlt::prelude::*;
+use lightlt::serve::protocol::{read_frame, write_frame, Request, Response};
+use lightlt::serve::{ServeClient, ServeConfig, Server, METRICS_VERSION};
+use lightlt_core::search::adc_search_batch;
+use lt_linalg::random::{randn, rng};
+use lt_linalg::Matrix;
+
+/// The lt-obs toggle and event sink are process-global; tests that flip
+/// them are serialized through this lock (poison-tolerant: an earlier
+/// panicking test must not cascade).
+fn toggle_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default).lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Same synthetic-index construction as the serve suite: observability
+/// does not depend on how codewords were trained.
+fn synth_index(n: usize, m: usize, k: usize, d: usize, seed: u64) -> QuantizedIndex {
+    let mut r = rng(seed);
+    let codebooks: Vec<Matrix> = (0..m).map(|_| randn(k, d, &mut r).scale(0.3)).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let ids: Vec<u16> = (0..n * m)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize % k) as u16
+        })
+        .collect();
+    let codes = Codes::new(ids, m);
+    let norms = (0..n)
+        .map(|i| {
+            let mut recon = vec![0.0f32; d];
+            for (level, &id) in codes.item(i).iter().enumerate() {
+                for (v, &c) in recon.iter_mut().zip(codebooks[level].row(id as usize)) {
+                    *v += c;
+                }
+            }
+            lt_linalg::gemm::dot(&recon, &recon)
+        })
+        .collect();
+    QuantizedIndex::from_parts(codebooks, codes, norms, Metric::NegSquaredL2, d, k)
+}
+
+#[test]
+fn merged_snapshots_encode_bitwise_identically_across_thread_widths() {
+    let _guard = toggle_lock();
+    obs::set_enabled(true);
+
+    let mut encodings: Vec<Vec<u8>> = Vec::new();
+    for &width in &[1usize, 2, 4, 8] {
+        let _width = lt_runtime::scoped_threads(width);
+        let reg = Registry::new();
+        let hist = reg.histogram("t.lat_us");
+        let count = reg.counter("t.items");
+        let load = reg.gauge("t.load");
+        // Record a fixed multiset through the real worker pool. The
+        // chunking grid is width-independent, so the recorded values are
+        // the same multiset at every width; only the shard assignment
+        // (and thread interleaving) differs.
+        lt_runtime::parallel_map_chunks(1_000, 64, |range| {
+            for v in range.clone() {
+                hist.record(((v * v) % 4096) as u64);
+                count.inc();
+            }
+            load.add(range.len() as i64);
+            range.len()
+        });
+        let encoded =
+            Response::Metrics { version: METRICS_VERSION, snapshot: reg.snapshot() }.encode();
+        encodings.push(encoded);
+    }
+    obs::set_enabled(false);
+
+    for (i, e) in encodings.iter().enumerate().skip(1) {
+        assert_eq!(
+            e, &encodings[0],
+            "metrics wire encoding differs between width 1 and width {}",
+            [1, 2, 4, 8][i]
+        );
+    }
+}
+
+#[test]
+fn disabled_mode_leaves_the_global_registry_untouched() {
+    let _guard = toggle_lock();
+    obs::set_enabled(false);
+
+    let before = Registry::global().snapshot();
+    // Drive both instrumented hot paths hard enough that any leak would
+    // show: the runtime pool and the LUT-build + scan split.
+    lt_runtime::parallel_map_chunks(512, 32, |range| range.len());
+    let index = synth_index(300, 3, 16, 16, 21);
+    let queries = randn(8, 16, &mut rng(22)).scale(0.5);
+    let _ = adc_search_batch(&index, &queries, 5);
+    let after = Registry::global().snapshot();
+
+    assert_eq!(before, after, "disabled-mode hot paths mutated the registry");
+}
+
+#[test]
+fn serving_metrics_report_activity_with_ordered_finite_quantiles() {
+    let _guard = toggle_lock();
+    let d = 16;
+    let index = synth_index(400, 3, 24, d, 31);
+    let server = Server::start(
+        index,
+        ServeConfig {
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5))
+        .unwrap();
+
+    let searches = 20;
+    let queries = randn(searches, d, &mut rng(32)).scale(0.5);
+    for i in 0..searches {
+        client.search(queries.row(i), 5).unwrap();
+    }
+
+    let (version, snap) = client.metrics().unwrap();
+    assert_eq!(version, METRICS_VERSION);
+
+    let service = snap.histogram("serve.service_us").expect("serve.service_us missing");
+    assert!(service.count >= searches as u64, "service_us count {} < {searches}", service.count);
+    let (p50, p95, p99) =
+        (service.quantile(0.50), service.quantile(0.95), service.quantile(0.99));
+    assert!(p50.is_finite() && p95.is_finite() && p99.is_finite());
+    assert!(p50 <= p95 && p95 <= p99, "quantiles unordered: {p50} {p95} {p99}");
+
+    let queue_wait = snap.histogram("serve.queue_wait_us").expect("serve.queue_wait_us missing");
+    assert!(queue_wait.count >= searches as u64);
+    let batch_size = snap.histogram("serve.batch_size").expect("serve.batch_size missing");
+    assert!(batch_size.count >= 1);
+    match snap.get("serve.connections") {
+        Some(MetricValue::Gauge(v)) => assert!(*v >= 1, "live connection not gauged: {v}"),
+        other => panic!("serve.connections missing or wrong kind: {other:?}"),
+    }
+
+    // The always-on Stats maximum and the histogram maximum observe the
+    // same drain events, so with metrics enabled they must agree.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.max_queue_wait_us, queue_wait.max);
+
+    // The same snapshot renders to Prometheus text with full series.
+    let text = snap.render_prometheus();
+    assert!(text.contains("# TYPE serve_service_us histogram"));
+    assert!(text.contains("serve_service_us_count"));
+
+    server.shutdown();
+    obs::set_enabled(false);
+}
+
+#[test]
+fn unknown_opcode_gets_typed_bad_request_and_keeps_the_connection() {
+    let _guard = toggle_lock();
+    let index = synth_index(200, 3, 16, 16, 41);
+    let server = Server::start(index, ServeConfig::default()).unwrap();
+
+    // A "future" or corrupted client frame: valid framing, unknown opcode.
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_frame(&mut stream, &[0x63, 1, 2, 3]).unwrap();
+    let payload = read_frame(&mut stream).unwrap().expect("server dropped the connection");
+    assert!(
+        matches!(Response::decode(&payload).unwrap(), Response::BadRequest { .. }),
+        "unknown opcode must refuse, not hang or drop"
+    );
+
+    // The same connection still serves well-formed requests afterwards.
+    write_frame(&mut stream, &Request::Stats.encode()).unwrap();
+    let payload = read_frame(&mut stream).unwrap().expect("connection unusable after refusal");
+    assert!(matches!(Response::decode(&payload).unwrap(), Response::Stats(_)));
+
+    // And the refusal was counted.
+    let mut client = ServeClient::connect(server.local_addr()).unwrap();
+    let (_, snap) = client.metrics().unwrap();
+    assert!(snap.counter("serve.refused_bad_request") >= 1);
+
+    server.shutdown();
+    obs::set_enabled(false);
+}
+
+#[test]
+fn event_sink_captures_batch_executions_as_jsonl() {
+    let _guard = toggle_lock();
+    let dir = std::env::temp_dir().join(format!("lt_obs_it_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+    obs::init_events(&path).unwrap();
+
+    let d = 16;
+    let index = synth_index(200, 3, 16, d, 51);
+    let server = Server::start(index, ServeConfig::default()).unwrap();
+    let mut client = ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5))
+        .unwrap();
+    let queries = randn(5, d, &mut rng(52)).scale(0.5);
+    for i in 0..5 {
+        client.search(queries.row(i), 3).unwrap();
+    }
+    server.shutdown();
+    obs::flush_events();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(!text.is_empty(), "no events written");
+    let mut ts_prev = 0u64;
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not JSONL: {line}");
+        assert!(line.contains("\"ts_us\":"), "missing timestamp: {line}");
+        let ts: u64 = line
+            .split("\"ts_us\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| panic!("unparsable ts_us in {line}"));
+        assert!(ts >= ts_prev, "timestamps must be monotonic");
+        ts_prev = ts;
+    }
+    assert!(
+        text.lines().any(|l| l.contains("\"type\":\"batch_execute\"")),
+        "no batch_execute event recorded"
+    );
+    assert!(
+        text.lines().any(|l| l.contains("\"type\":\"scan_block\"")),
+        "no scan_block event recorded"
+    );
+    obs::set_enabled(false);
+    let _ = std::fs::remove_dir_all(&dir);
+}
