@@ -1,0 +1,107 @@
+//! Typecheck-only stub of the `criterion` surface the kernel benches use.
+//! `cargo bench --no-run` compiles against this; each closure is invoked
+//! once if a bench binary is ever actually executed.
+
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _priv: () }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, _name: &str) -> BenchmarkGroup {
+        BenchmarkGroup
+    }
+}
+
+pub struct BenchmarkGroup;
+
+impl BenchmarkGroup {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut f: F) -> &mut Self {
+        f(&mut Bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        f(&mut Bencher, input);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = f();
+    }
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId;
+
+impl BenchmarkId {
+    pub fn new<D: std::fmt::Display>(_name: &str, _param: D) -> Self {
+        BenchmarkId
+    }
+
+    pub fn from_parameter<D: std::fmt::Display>(_param: D) -> Self {
+        BenchmarkId
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,63 @@
+//! Offline functional stub of the `rand_distr` surface this workspace
+//! uses: `Distribution`, Box–Muller `Normal<f32>`, and `StandardNormal`.
+//! `f32` impls only — an `f64` impl makes `Normal::new(0.0, 1.0)` callers
+//! ambiguous.
+
+use rand::RngCore;
+
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+fn unit_open_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    // (0, 1]: never zero, so ln() below is finite.
+    (((rng.next_u64() >> 40) + 1) as f32) / (1u64 << 24) as f32
+}
+
+fn box_muller<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    let u1 = unit_open_f32(rng);
+    let u2 = unit_open_f32(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct StandardNormal;
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        box_muller(rng)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<T> {
+    mean: T,
+    std: T,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Normal<f32> {
+    pub fn new(mean: f32, std: f32) -> Result<Self, Error> {
+        if std.is_finite() && std >= 0.0 && mean.is_finite() {
+            Ok(Normal { mean, std })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f32> for Normal<f32> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        self.mean + self.std * box_muller(rng)
+    }
+}

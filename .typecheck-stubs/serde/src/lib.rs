@@ -1,0 +1,17 @@
+//! Typecheck-only stub of the `serde` surface this workspace uses:
+//! blanket-implemented `Serialize`/`Deserialize` traits plus no-op derive
+//! macros. Serialization itself lives in the `serde_json` stub, which
+//! panics if actually invoked.
+
+pub use serde_derive_stub::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+pub mod de {
+    pub trait DeserializeOwned: Sized {}
+    impl<T> DeserializeOwned for T {}
+}
