@@ -52,6 +52,39 @@ test -f "$SMOKE_DIR/live.snap" # the forced snapshot must exist on disk
 test -s "$SMOKE_DIR/events.jsonl" # the event trace must be non-empty
 grep -q '"type":"batch_execute"' "$SMOKE_DIR/events.jsonl"
 
+# Crash-recovery smoke: serve the same index in WAL mode, acknowledge
+# three upserts over TCP, then kill -9 the server and restart it from the
+# same WAL directory. The restarted server must report the acked WAL seq
+# (wal seq 3) and assign the next upsert the next id — i.e. all 500 base
+# items plus the 3 acknowledged upserts survived the kill. (The in-process
+# crash-point matrix lives in tests/wal_recovery.rs; this covers the CLI
+# flags and a literal SIGKILL end to end.)
+WAL_DIR=$SMOKE_DIR/wal
+WAL_ADDR=127.0.0.1:17894
+WAL_VEC="0.1,0.2,-0.1,0.3,0.0,-0.2,0.1,0.4"
+rm -rf "$WAL_DIR"
+mkdir -p "$WAL_DIR"
+target/release/lightlt serve --index "$SMOKE_DIR/index.bin" \
+  --wal-dir "$WAL_DIR" --fsync-policy always --addr "$WAL_ADDR" &
+WAL_PID=$!
+for _ in 1 2 3; do
+  target/release/lightlt query --addr "$WAL_ADDR" --op upsert --dim 8 \
+    --vector "$WAL_VEC"
+done
+kill -9 "$WAL_PID"
+wait "$WAL_PID" || true # SIGKILL: a non-zero exit is the point
+target/release/lightlt serve --index "$SMOKE_DIR/index.bin" \
+  --wal-dir "$WAL_DIR" --fsync-policy always --addr "$WAL_ADDR" &
+WAL_PID=$!
+target/release/lightlt query --addr "$WAL_ADDR" --op stats \
+  | grep -E 'wal seq +3$' # every acked mutation recovered
+target/release/lightlt query --addr "$WAL_ADDR" --op upsert --dim 8 \
+  --vector "$WAL_VEC" | grep -F 'upserted ids [503, 504)'
+target/release/lightlt query --addr "$WAL_ADDR" --op shutdown
+wait "$WAL_PID"
+
 # Smoke the serve load benchmark (tracked baseline: BENCH_serve.json via
-# `cargo run -p lt-bench --release -- serve`).
-cargo run -p lt-bench --release -- serve --smoke --out target/BENCH_serve_smoke.json
+# `cargo run -p lt-bench --release -- serve --durable`; the --durable
+# fsync-policy grid rides along in the smoke too so its path keeps
+# working).
+cargo run -p lt-bench --release -- serve --smoke --durable --out target/BENCH_serve_smoke.json

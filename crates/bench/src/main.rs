@@ -14,7 +14,10 @@
 //! execution (`max_batch = 1`: every request is its own batch, its own
 //! LUT build, its own pool hand-off) against micro-batching
 //! (`max_batch = 32`, 1 ms deadline: GEMM-batched LUTs, one hand-off per
-//! batch). Writes `BENCH_serve.json` at the repo root.
+//! batch). Writes `BENCH_serve.json` at the repo root. With `--durable`
+//! it additionally measures the fsync-policy grid — acknowledged upsert
+//! throughput against a WAL-mode server under `always`, `group:8:1000`,
+//! and `never` — appended to the same JSON as the `durable` array.
 //!
 //! `--smoke` shrinks the grid and repetition counts so CI can exercise the
 //! runner in seconds; pair it with `--out target/BENCH_adc_smoke.json` so
@@ -266,6 +269,8 @@ fn run_serve_load(
         threads: 0,
         snapshot_path: None,
         snapshot_every: None,
+        wal_dir: None,
+        fsync_policy: lt_serve::FsyncPolicy::Always,
         metrics: true,
     };
     let server = Server::start(index.clone(), config).expect("starting bench server");
@@ -323,7 +328,69 @@ fn run_serve_load(
     }
 }
 
-fn render_serve_json(dim: usize, smoke: bool, results: &[ServeResult]) -> String {
+/// One cell of the fsync-policy durability grid: sustained single-client
+/// upsert throughput against a WAL-mode server.
+struct DurableMeasure {
+    policy: String,
+    upserts_per_s: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+}
+
+/// Drives `ops` acknowledged single-row upserts through a WAL-mode server
+/// with the given fsync policy. Every ack implies the mutation hit the
+/// log (and, per policy, the platter), so the measured rate is the cost
+/// of durability itself — the same request path, state machine, and wire
+/// format across the grid; only the fsync cadence differs.
+fn run_durable_load(index: &QuantizedIndex, d: usize, policy: &str, ops: usize) -> DurableMeasure {
+    use lt_serve::{FsyncPolicy, ServeClient, ServeConfig, Server};
+    use std::time::Duration;
+
+    let wal_dir = std::env::temp_dir().join(format!(
+        "lt_bench_wal_{}_{}",
+        policy.replace(':', "_"),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    std::fs::create_dir_all(&wal_dir).expect("creating bench WAL dir");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        wal_dir: Some(wal_dir.clone()),
+        fsync_policy: FsyncPolicy::parse(policy).expect("bench fsync policy"),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(index.clone(), config).expect("starting durable bench server");
+    let mut client = ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5))
+        .expect("connecting durable bench client");
+
+    let rows = randn(ops, d, &mut rng(43)).scale(0.3);
+    let t0 = Instant::now();
+    let mut latencies = Vec::with_capacity(ops);
+    for i in 0..ops {
+        let t = Instant::now();
+        client.upsert(d, rows.row(i)).expect("bench upsert");
+        latencies.push(t.elapsed().as_micros() as u64);
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    latencies.sort_unstable();
+    DurableMeasure {
+        policy: policy.to_string(),
+        upserts_per_s: ops as f64 / elapsed,
+        p50_us: percentile(&latencies, 50.0),
+        p95_us: percentile(&latencies, 95.0),
+        p99_us: percentile(&latencies, 99.0),
+    }
+}
+
+fn render_serve_json(
+    dim: usize,
+    smoke: bool,
+    results: &[ServeResult],
+    durable: &[DurableMeasure],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"serve\",\n");
@@ -358,11 +425,28 @@ fn render_serve_json(dim: usize, smoke: bool, results: &[ServeResult]) -> String
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !durable.is_empty() {
+        out.push_str(",\n  \"durable\": [\n");
+        for (i, m) in durable.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"fsync_policy\": \"{}\", \"upserts_per_s\": {:.1}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}{}\n",
+                m.policy,
+                m.upserts_per_s,
+                m.p50_us,
+                m.p95_us,
+                m.p99_us,
+                if i + 1 < durable.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
+    out.push_str("\n}\n");
     out
 }
 
-fn run_serve(smoke: bool, out_path: &str) {
+fn run_serve(smoke: bool, durable: bool, out_path: &str) {
     let dim = 64;
     // max_batch equals the client count so the size trigger (not the
     // deadline) forms batches in steady state; the acceptance floor for
@@ -395,7 +479,23 @@ fn run_serve(smoke: bool, out_path: &str) {
         );
         results.push(r);
     }
-    let json = render_serve_json(dim, smoke, &results);
+    // The fsync-policy grid: how much durability costs per policy, on the
+    // smallest index of the grid (the WAL append dominates, not the scan).
+    let mut durable_results = Vec::new();
+    if durable {
+        let (n, m, k) = grid[0];
+        let index = synth_index(n, m, k, dim);
+        let ops = if smoke { 200 } else { 2_000 };
+        for policy in ["always", "group:8:1000", "never"] {
+            let measure = run_durable_load(&index, dim, policy, ops);
+            eprintln!(
+                "fsync {:<12} {:>8.0} upserts/s  p50/p95/p99 {}/{}/{} us",
+                measure.policy, measure.upserts_per_s, measure.p50_us, measure.p95_us, measure.p99_us
+            );
+            durable_results.push(measure);
+        }
+    }
+    let json = render_serve_json(dim, smoke, &results, &durable_results);
     std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 }
@@ -404,11 +504,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut bench = None;
     let mut smoke = false;
+    let mut durable = false;
     let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
+            "--durable" => durable = true,
             "--out" => out = Some(it.next().expect("--out needs a path").clone()),
             name if bench.is_none() && !name.starts_with('-') => bench = Some(name.to_string()),
             other => {
@@ -424,10 +526,10 @@ fn main() {
         }
         Some("serve") => {
             let out = out.unwrap_or_else(|| "BENCH_serve.json".to_string());
-            run_serve(smoke, &out);
+            run_serve(smoke, durable, &out);
         }
         _ => {
-            eprintln!("usage: lt-bench <adc|serve> [--smoke] [--out PATH]");
+            eprintln!("usage: lt-bench <adc|serve> [--smoke] [--durable] [--out PATH]");
             std::process::exit(2);
         }
     }

@@ -248,21 +248,45 @@ pub fn eval(args: &Args) -> Result<(), String> {
 }
 
 /// `lightlt serve` — serve an index over TCP until a client sends
-/// `shutdown` (or the process is killed; `--snapshot` makes that
-/// survivable).
+/// `shutdown` (or the process is killed; `--snapshot` or `--wal-dir`
+/// makes that survivable).
 pub fn serve(args: &Args) -> Result<(), String> {
     use std::path::{Path, PathBuf};
     use std::time::Duration;
 
     let index_path = args.get("index");
     let snapshot_path: Option<PathBuf> = args.get("snapshot").map(PathBuf::from);
-    if index_path.is_none() && snapshot_path.is_none() {
-        return Err("serve needs --index and/or --snapshot".into());
+    let wal_dir: Option<PathBuf> = args.get("wal-dir").map(PathBuf::from);
+    if wal_dir.is_some() && snapshot_path.is_some() {
+        return Err(
+            "--wal-dir and --snapshot are mutually exclusive (WAL-mode snapshots \
+             live inside the WAL directory)"
+                .into(),
+        );
     }
-    let (index, from_snapshot) = lt_serve::load_index_with_snapshot(
-        index_path.map(Path::new),
-        snapshot_path.as_deref(),
-    )?;
+    if index_path.is_none() && snapshot_path.is_none() && wal_dir.is_none() {
+        return Err("serve needs --index, --snapshot, and/or --wal-dir".into());
+    }
+    let fsync_policy = match args.get("fsync-policy") {
+        Some(s) => {
+            if wal_dir.is_none() {
+                return Err("--fsync-policy requires --wal-dir".into());
+            }
+            lt_serve::FsyncPolicy::parse(s)?
+        }
+        None => lt_serve::FsyncPolicy::Always,
+    };
+    // In WAL mode the base image is optional: recovery can start from a
+    // snapshot already inside the WAL directory.
+    let (index, source) = if index_path.is_none() && wal_dir.is_some() {
+        (None, "WAL directory")
+    } else {
+        let (index, from_snapshot) = lt_serve::load_index_with_snapshot(
+            index_path.map(Path::new),
+            snapshot_path.as_deref(),
+        )?;
+        (Some(index), if from_snapshot { "snapshot" } else { "index image" })
+    };
 
     let max_delay_us: u64 = args.get_or("max-delay-us", 500)?;
     let snapshot_every_ms: u64 = args.get_or("snapshot-every-ms", 0)?;
@@ -277,15 +301,19 @@ pub fn serve(args: &Args) -> Result<(), String> {
             0 => None,
             ms => Some(Duration::from_millis(ms)),
         },
+        wal_dir,
+        fsync_policy,
         metrics: !args.flag("no-metrics"),
     };
     if config.max_batch == 0 || config.queue_cap == 0 {
         return Err("--max-batch and --queue-cap must be positive".into());
     }
 
-    let source = if from_snapshot { "snapshot" } else { "index image" };
-    let server =
-        lt_serve::Server::start(index, config).map_err(|e| format!("starting server: {e}"))?;
+    let server = match index {
+        Some(index) => lt_serve::Server::start(index, config),
+        None => lt_serve::Server::start_recovered(config),
+    }
+    .map_err(|e| format!("starting server: {e}"))?;
     println!(
         "serving {} items (dim {}) on {} (loaded from {source})",
         server.state().snapshot().len(),
@@ -392,6 +420,7 @@ pub fn query(args: &Args) -> Result<(), String> {
             table.row(&["snapshots".into(), s.snapshots.to_string()]);
             table.row(&["queue length".into(), s.queue_len.to_string()]);
             table.row(&["max queue wait (us)".into(), s.max_queue_wait_us.to_string()]);
+            table.row(&["wal seq".into(), s.wal_last_seq.to_string()]);
             println!("{}", table.render());
         }
         "metrics" => {

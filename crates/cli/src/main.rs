@@ -44,9 +44,13 @@ COMMANDS:
              --index <index.bin>  [--addr 127.0.0.1:7878]
              [--max-batch 16] [--max-delay-us 500] [--queue-cap 1024]
              [--snapshot <file.snap>] [--snapshot-every-ms 0]
+             [--wal-dir <dir>] [--fsync-policy always|group[:N[:US]]|never]
              [--no-metrics]
              (with --snapshot, a valid snapshot file is preferred over
-              --index at startup: crash-safe reload)
+              --index at startup: crash-safe reload. With --wal-dir, every
+              upsert/delete is written ahead to a CRC-framed log before
+              acknowledgement and startup replays the newest snapshot +
+              WAL suffix: acknowledged mutations survive kill -9)
   query      send one request to a running server
              --addr <host:port>
              [--op search|upsert|delete|stats|metrics|snapshot|shutdown]

@@ -139,6 +139,23 @@ pub enum Event<'a> {
         /// Wall time, in microseconds.
         micros: u64,
     },
+    /// Startup replayed the write-ahead log.
+    WalReplay {
+        /// Records applied.
+        records: u64,
+        /// Bytes truncated off a torn or corrupt tail.
+        truncated: u64,
+        /// Wall time of the whole recovery, in microseconds.
+        micros: u64,
+    },
+    /// A corrupt artifact was rejected and a fallback was taken
+    /// (snapshot → older snapshot/base, WAL tail → truncated prefix).
+    CorruptFallback {
+        /// What was rejected (e.g. "wal", "MANIFEST", a snapshot name).
+        what: &'a str,
+        /// Why it was rejected.
+        detail: &'a str,
+    },
 }
 
 fn push_f32(out: &mut String, v: f32) {
@@ -207,6 +224,19 @@ impl Event<'_> {
             Event::BatchExecute { batch, micros } => {
                 let _ = write!(out, "\"batch_execute\",\"batch\":{batch},\"micros\":{micros}");
             }
+            Event::WalReplay { records, truncated, micros } => {
+                let _ = write!(
+                    out,
+                    "\"wal_replay\",\"records\":{records},\"truncated\":{truncated},\
+                     \"micros\":{micros}"
+                );
+            }
+            Event::CorruptFallback { what, detail } => {
+                out.push_str("\"corrupt_fallback\",\"what\":");
+                push_str(out, what);
+                out.push_str(",\"detail\":");
+                push_str(out, detail);
+            }
         }
         out.push('}');
     }
@@ -249,6 +279,22 @@ mod tests {
             out,
             "{\"ts_us\":7,\"type\":\"fault_retry\",\"epoch\":1,\"retry\":2,\
              \"reason\":\"loss is \\\"NaN\\\"\\n\"}"
+        );
+
+        let mut out = String::new();
+        Event::WalReplay { records: 12, truncated: 34, micros: 56 }.write_json(&mut out, 1);
+        assert_eq!(
+            out,
+            "{\"ts_us\":1,\"type\":\"wal_replay\",\"records\":12,\"truncated\":34,\
+             \"micros\":56}"
+        );
+
+        let mut out = String::new();
+        Event::CorruptFallback { what: "MANIFEST", detail: "crc \"bad\"" }.write_json(&mut out, 2);
+        assert_eq!(
+            out,
+            "{\"ts_us\":2,\"type\":\"corrupt_fallback\",\"what\":\"MANIFEST\",\
+             \"detail\":\"crc \\\"bad\\\"\"}"
         );
     }
 

@@ -114,7 +114,7 @@ impl SubmitQueue {
     /// Never blocks, so the accept/reader path cannot stall on a slow
     /// executor.
     pub fn try_submit(&self, job: SearchJob) -> Result<(), SubmitError> {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         if inner.closed {
             return Err(SubmitError::Closed);
         }
@@ -128,7 +128,7 @@ impl SubmitQueue {
 
     /// Requests admitted but not yet draining into a batch.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock poisoned").jobs.len()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).jobs.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -137,7 +137,7 @@ impl SubmitQueue {
 
     /// Stops admission and wakes the executor so it can flush and exit.
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         inner.closed = true;
         self.nonempty.notify_all();
     }
@@ -188,7 +188,7 @@ fn next_batch(
     max_delay: Duration,
     stop: &AtomicBool,
 ) -> Vec<SearchJob> {
-    let mut inner = queue.inner.lock().expect("queue lock poisoned");
+    let mut inner = queue.inner.lock().unwrap_or_else(|e| e.into_inner());
     loop {
         let stopping = stop.load(Ordering::SeqCst) || inner.closed;
         if stopping {
@@ -211,13 +211,13 @@ fn next_batch(
             let (guard, _) = queue
                 .nonempty
                 .wait_timeout(inner, wait)
-                .expect("queue lock poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             inner = guard;
         } else {
             let (guard, _) = queue
                 .nonempty
                 .wait_timeout(inner, Duration::from_millis(50))
-                .expect("queue lock poisoned");
+                .unwrap_or_else(|e| e.into_inner());
             inner = guard;
         }
     }

@@ -193,3 +193,211 @@ fn refusal(response: Response, expected: &'static str) -> ServeError {
         _ => ServeError::UnexpectedResponse(expected),
     }
 }
+
+/// Bounded retry-with-backoff settings for [`RetryClient`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per call (connect + request each count one).
+    pub max_attempts: u32,
+    /// Sleep before the second attempt; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Total wall-clock budget per call; no retry starts past it.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (1-based): exponential,
+    /// capped at `max_backoff`.
+    fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        self.initial_backoff.saturating_mul(factor).min(self.max_backoff)
+    }
+}
+
+/// A [`ServeClient`] wrapper that rides out transient refusals: connect
+/// failures (`ECONNREFUSED` while the server restarts) and `Overloaded`
+/// responses are retried with exponential backoff under a total deadline,
+/// reconnecting as needed.
+///
+/// Retry is idempotency-aware. `Overloaded` and connect-phase failures
+/// always retry — the server guarantees the request was not applied.
+/// A transport error *mid-request* retries only idempotent operations
+/// (search, stats, metrics, snapshot): a mutation whose connection died
+/// after the frame was sent may already be applied and acknowledged into
+/// the WAL, and blindly retrying would apply it twice.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    conn: Option<ServeClient>,
+}
+
+impl RetryClient {
+    /// Creates a lazily-connecting client for `addr` (e.g.
+    /// `"127.0.0.1:7878"`). No I/O happens until the first call.
+    pub fn new(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        Self { addr: addr.into(), policy, conn: None }
+    }
+
+    /// Runs one operation with retries per the policy.
+    fn call<T>(
+        &mut self,
+        idempotent: bool,
+        mut op: impl FnMut(&mut ServeClient) -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        let started = std::time::Instant::now();
+        let mut retry = 0u32;
+        loop {
+            let result = match &mut self.conn {
+                Some(conn) => op(conn),
+                None => match ServeClient::connect(self.addr.as_str()) {
+                    Ok(mut conn) => {
+                        let r = op(&mut conn);
+                        self.conn = Some(conn);
+                        r
+                    }
+                    // Connect-phase failure: nothing reached the server,
+                    // so even mutations are safe to retry.
+                    Err(e) => {
+                        retry += 1;
+                        if retry >= self.policy.max_attempts
+                            || started.elapsed() >= self.policy.deadline
+                        {
+                            return Err(ServeError::Io(e));
+                        }
+                        std::thread::sleep(self.policy.backoff(retry));
+                        continue;
+                    }
+                },
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let retryable = match &err {
+                ServeError::Overloaded => true,
+                ServeError::Io(_) => {
+                    // The connection is in an unknown state; drop it so
+                    // the next attempt reconnects.
+                    self.conn = None;
+                    idempotent
+                }
+                // Typed refusals are deterministic; retrying is pointless.
+                _ => false,
+            };
+            retry += 1;
+            if !retryable
+                || retry >= self.policy.max_attempts
+                || started.elapsed() >= self.policy.deadline
+            {
+                return Err(err);
+            }
+            std::thread::sleep(self.policy.backoff(retry));
+        }
+    }
+
+    /// [`ServeClient::search`] with retries (idempotent).
+    ///
+    /// # Errors
+    /// The final error once attempts or the deadline are exhausted.
+    pub fn search(&mut self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, ServeError> {
+        self.call(true, |c| c.search(query, k))
+    }
+
+    /// [`ServeClient::stats`] with retries (idempotent).
+    ///
+    /// # Errors
+    /// The final error once attempts or the deadline are exhausted.
+    pub fn stats(&mut self) -> Result<ServeStats, ServeError> {
+        self.call(true, |c| c.stats())
+    }
+
+    /// [`ServeClient::metrics`] with retries (idempotent).
+    ///
+    /// # Errors
+    /// The final error once attempts or the deadline are exhausted.
+    pub fn metrics(&mut self) -> Result<(u32, lt_obs::Snapshot), ServeError> {
+        self.call(true, |c| c.metrics())
+    }
+
+    /// [`ServeClient::snapshot`] with retries (idempotent: re-snapshotting
+    /// the same state rewrites the same image).
+    ///
+    /// # Errors
+    /// The final error once attempts or the deadline are exhausted.
+    pub fn snapshot(&mut self) -> Result<u64, ServeError> {
+        self.call(true, |c| c.snapshot())
+    }
+
+    /// [`ServeClient::upsert`] with retries on `Overloaded` and
+    /// connect-phase failures only (not idempotent: a mid-request
+    /// transport error surfaces, since the rows may already be applied).
+    ///
+    /// # Errors
+    /// The final error once attempts or the deadline are exhausted, or
+    /// the first mid-request transport error.
+    pub fn upsert(&mut self, dim: usize, rows: &[f32]) -> Result<(u64, u64), ServeError> {
+        self.call(false, |c| c.upsert(dim, rows))
+    }
+
+    /// [`ServeClient::delete`] with retries on `Overloaded` and
+    /// connect-phase failures only (not idempotent: swap-remove moves a
+    /// different id once applied).
+    ///
+    /// # Errors
+    /// The final error once attempts or the deadline are exhausted, or
+    /// the first mid-request transport error.
+    pub fn delete(&mut self, id: u64) -> Result<Option<u64>, ServeError> {
+        self.call(false, |c| c.delete(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(45),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert_eq!(p.backoff(3), Duration::from_millis(40));
+        assert_eq!(p.backoff(4), Duration::from_millis(45), "capped");
+        assert_eq!(p.backoff(40), Duration::from_millis(45), "shift stays bounded");
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_the_connect_error() {
+        // Nothing listens on a freshly bound-then-dropped port; the retry
+        // loop must give up by attempt count, quickly.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            deadline: Duration::from_secs(5),
+        };
+        let mut client = RetryClient::new(format!("127.0.0.1:{port}"), policy);
+        let err = client.stats().unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "got {err:?}");
+    }
+}

@@ -20,10 +20,17 @@
 //! - [`state`] — epoch/snapshot index management: copy-on-write snapshots
 //!   over online `append`/`swap_remove`, checksummed `LTINDEX3` disk
 //!   snapshots, and a crash-safe startup loader.
+//! - [`wal`] — durable online mutations: a CRC32-framed, sequence-
+//!   numbered write-ahead log with configurable fsync policies, torn-tail
+//!   truncation, manifest-committed snapshot rotation, and deterministic
+//!   crash injection ([`wal::CrashPoint`]).
+//! - [`recovery`] — the WAL startup path: newest valid snapshot +
+//!   WAL-suffix replay, bitwise-identical to the pre-crash state.
 //!
-//! [`client::ServeClient`] is the matching blocking client, used by the
-//! CLI (`lightlt query`), the integration tests, and the `lt-bench serve`
-//! load generator.
+//! [`client::ServeClient`] is the matching blocking client
+//! ([`client::RetryClient`] adds bounded retry-with-backoff across
+//! restarts), used by the CLI (`lightlt query`), the integration tests,
+//! and the `lt-bench serve` load generator.
 //!
 //! Serving is instrumented with [`lt_obs`]: queue-wait / batch-size /
 //! service-time histograms, refusal counters, a live-connection gauge, and
@@ -35,10 +42,14 @@
 pub mod batch;
 pub mod client;
 pub mod protocol;
+pub mod recovery;
 pub mod server;
 pub mod state;
+pub mod wal;
 
-pub use client::{ServeClient, ServeError};
+pub use client::{RetryClient, RetryPolicy, ServeClient, ServeError};
 pub use protocol::{Request, Response, ServeStats, METRICS_VERSION};
+pub use recovery::{recover, RecoveryReport, RecoverySource};
 pub use server::{ServeConfig, Server};
-pub use state::{load_index_with_snapshot, IndexState};
+pub use state::{load_index_with_snapshot, IndexState, MutationError};
+pub use wal::{CrashPlan, CrashPoint, FsyncPolicy, Manifest, ReplayReport, WalRecord, WalWriter};

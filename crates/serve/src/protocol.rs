@@ -109,6 +109,10 @@ pub struct ServeStats {
     /// tolerates its absence (legacy 12-field payloads decode with 0), so
     /// the legacy `Stats` prefix stays byte-compatible.
     pub max_queue_wait_us: u64,
+    /// Sequence number of the last WAL-logged mutation (0 when the server
+    /// runs without a WAL). Appended after `max_queue_wait_us` with the
+    /// same trailing-field tolerance: older payloads decode with 0.
+    pub wal_last_seq: u64,
 }
 
 /// Server replies.
@@ -367,6 +371,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u64(&mut buf, s.snapshots);
             put_u64(&mut buf, s.queue_len);
             put_u64(&mut buf, s.max_queue_wait_us);
+            put_u64(&mut buf, s.wal_last_seq);
         }
         Response::Metrics { version, snapshot } => {
             buf.push(RE_METRICS);
@@ -455,11 +460,15 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
                 snapshots: c.u64()?,
                 queue_len: c.u64()?,
                 max_queue_wait_us: 0,
+                wal_last_seq: 0,
             };
-            // Trailing field appended after the legacy layout: absent in
-            // frames from pre-metrics servers, so tolerate either form.
+            // Trailing fields appended after the legacy layout: absent in
+            // frames from older servers, so tolerate every prefix.
             if !c.data.is_empty() {
                 stats.max_queue_wait_us = c.u64()?;
+            }
+            if !c.data.is_empty() {
+                stats.wal_last_seq = c.u64()?;
             }
             Response::Stats(stats)
         }
@@ -693,6 +702,7 @@ mod tests {
             snapshots: 2,
             queue_len: 0,
             max_queue_wait_us: 1234,
+            wal_last_seq: 9001,
         }));
         roundtrip_response(Response::Snapshot { epoch: 17 });
         roundtrip_response(Response::Shutdown);
@@ -745,8 +755,8 @@ mod tests {
 
     #[test]
     fn legacy_stats_payload_without_queue_wait_still_decodes() {
-        // A 12-field Stats payload captured from a pre-metrics server:
-        // strip the appended trailing field from a fresh encoding.
+        // Stats payloads from older servers lack one or both appended
+        // trailing fields: strip them from a fresh encoding.
         let stats = ServeStats {
             items: 10,
             dim: 6,
@@ -761,14 +771,21 @@ mod tests {
             snapshots: 2,
             queue_len: 0,
             max_queue_wait_us: 777,
+            wal_last_seq: 55,
         };
+        // 13-field payload (pre-WAL server): wal_last_seq defaults to 0.
         let mut legacy = encode_response(&Response::Stats(stats));
         legacy.truncate(legacy.len() - 8);
         let decoded = decode_response(&legacy).unwrap();
+        assert_eq!(decoded, Response::Stats(ServeStats { wal_last_seq: 0, ..stats }));
+        // 12-field payload (pre-metrics server): both default to 0.
+        let mut oldest = encode_response(&Response::Stats(stats));
+        oldest.truncate(oldest.len() - 16);
+        let decoded = decode_response(&oldest).unwrap();
         assert_eq!(
             decoded,
-            Response::Stats(ServeStats { max_queue_wait_us: 0, ..stats }),
-            "legacy payload must decode with the new field defaulted"
+            Response::Stats(ServeStats { max_queue_wait_us: 0, wal_last_seq: 0, ..stats }),
+            "legacy payload must decode with the new fields defaulted"
         );
         // A partially present trailing field is still a decode error.
         let mut torn = encode_response(&Response::Stats(stats));

@@ -1,0 +1,193 @@
+//! Startup recovery: newest valid snapshot + WAL-suffix replay.
+//!
+//! The recovered state is **bitwise-identical** to the pre-crash state at
+//! the last durable mutation: snapshots are exact `LTINDEX3` images, and
+//! `QuantizedIndex::append` online-encodes deterministically, so replaying
+//! the WAL suffix reproduces the same codes, norms, and ids the live
+//! process computed before dying.
+//!
+//! Candidate order (first valid wins, every fallback is counted on the
+//! `wal.fallbacks` metric and logged as a `corrupt_fallback` event):
+//!
+//! 1. The snapshot named by a valid `MANIFEST` — the committed state.
+//! 2. Any other `snap-*.ltidx` in the WAL directory, newest first — the
+//!    manifest was corrupt or lost, but the images are self-checksummed
+//!    and their names record the seq they cover.
+//! 3. The base index (if any) at seq 0 — replay the whole log.
+//!
+//! Replay stops cleanly at the first torn/corrupt frame or seq gap (see
+//! [`replay_wal`]); in WAL mode the mutation epoch **is** the WAL
+//! sequence number, so the recovered epoch is `covered_seq + replayed`.
+
+use std::path::Path;
+use std::time::Instant;
+
+use lightlt_core::index::QuantizedIndex;
+use lightlt_core::persist::deserialize_index;
+use lt_linalg::Matrix;
+
+use crate::state::IndexState;
+use crate::wal::{
+    parse_snapshot_name, replay_wal, wal_obs, FsyncPolicy, Manifest, ReplayReport, WalRecord,
+    WalWriter,
+};
+
+/// Where the recovered base image came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverySource {
+    /// The snapshot the manifest committed (the normal path).
+    Manifest(String),
+    /// A snapshot found by name after the manifest failed validation.
+    SnapshotFile(String),
+    /// The base index image; the whole WAL was replayed.
+    Base,
+}
+
+/// What [`recover`] reconstructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Which image seeded the index.
+    pub source: RecoverySource,
+    /// WAL seq the seed image covered (replay started after it).
+    pub covered_seq: u64,
+    /// Mutation epoch after replay.
+    pub epoch: u64,
+    /// What replay did (records applied, bytes truncated, stop reason).
+    pub replay: ReplayReport,
+    /// Candidates that failed validation before the winning one.
+    pub fallbacks: Vec<String>,
+}
+
+/// Recovers the serving state from `wal_dir`: newest valid snapshot (or
+/// `base`) plus WAL-suffix replay, then opens a fresh writer segment so
+/// the returned [`IndexState`] continues the sequence.
+///
+/// # Errors
+/// Returns a message when no candidate image is valid, or on real I/O
+/// failures opening the directory or the new segment.
+pub fn recover(
+    base: Option<QuantizedIndex>,
+    wal_dir: &Path,
+    policy: FsyncPolicy,
+) -> Result<(IndexState, RecoveryReport), String> {
+    let observe = lt_obs::enabled() || lt_obs::events_enabled();
+    let t0 = observe.then(Instant::now);
+    let mut fallbacks = Vec::new();
+
+    // 1. Manifest-committed snapshot.
+    let mut seed: Option<(QuantizedIndex, u64, RecoverySource)> = None;
+    if wal_dir.join(crate::wal::MANIFEST_NAME).exists() {
+        match Manifest::read(wal_dir) {
+            Ok(m) => match load_image(&wal_dir.join(&m.snapshot_file)) {
+                Ok(index) => {
+                    seed = Some((index, m.covered_seq, RecoverySource::Manifest(m.snapshot_file)));
+                }
+                Err(e) => fall_back(&mut fallbacks, &m.snapshot_file, &e),
+            },
+            Err(e) => fall_back(&mut fallbacks, crate::wal::MANIFEST_NAME, &e),
+        }
+    }
+
+    // 2. Orphan snapshots, newest first.
+    if seed.is_none() {
+        let mut snaps: Vec<u64> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(wal_dir) {
+            for entry in entries.flatten() {
+                if let Some(seq) = entry.file_name().to_str().and_then(parse_snapshot_name) {
+                    snaps.push(seq);
+                }
+            }
+        }
+        snaps.sort_unstable_by(|a, b| b.cmp(a));
+        for seq in snaps {
+            let name = crate::wal::snapshot_name(seq);
+            match load_image(&wal_dir.join(&name)) {
+                Ok(index) => {
+                    seed = Some((index, seq, RecoverySource::SnapshotFile(name)));
+                    break;
+                }
+                Err(e) => fall_back(&mut fallbacks, &name, &e),
+            }
+        }
+    }
+
+    // 3. The base image at seq 0.
+    let (index, covered_seq, source) = match seed {
+        Some(s) => s,
+        None => {
+            let base = base.ok_or_else(|| {
+                format!(
+                    "no valid snapshot in {} and no base index to recover from",
+                    wal_dir.display()
+                )
+            })?;
+            (base, 0, RecoverySource::Base)
+        }
+    };
+
+    // Replay the WAL suffix. A record the index rejects (wrong dimension,
+    // out-of-bounds delete) can only mean corruption — the live process
+    // validated before appending — so replay stops and truncates there.
+    let mut index = index;
+    let replay = replay_wal(wal_dir, covered_seq, |seq, record| {
+        apply_record(&mut index, seq, record)
+    })
+    .map_err(|e| format!("replaying WAL in {}: {e}", wal_dir.display()))?;
+    if let Some(why) = &replay.stopped {
+        lt_obs::emit(&lt_obs::Event::CorruptFallback { what: "wal", detail: why });
+    }
+
+    let epoch = covered_seq + replay.replayed;
+    let writer = WalWriter::create(wal_dir, policy, epoch + 1)
+        .map_err(|e| format!("opening WAL segment in {}: {e}", wal_dir.display()))?;
+    let state = IndexState::with_wal(index, epoch, writer, wal_dir.to_path_buf());
+
+    if let Some(t0) = t0 {
+        lt_obs::emit(&lt_obs::Event::WalReplay {
+            records: replay.replayed,
+            truncated: replay.truncated_bytes,
+            micros: lt_obs::micros_since(t0),
+        });
+    }
+    let report = RecoveryReport { source, covered_seq, epoch, replay, fallbacks };
+    Ok((state, report))
+}
+
+/// Applies one replayed record, re-validating exactly as the live
+/// mutation path did before appending it.
+fn apply_record(index: &mut QuantizedIndex, seq: u64, record: WalRecord) -> Result<(), String> {
+    match record {
+        WalRecord::Upsert { dim, rows } => {
+            let dim = dim as usize;
+            if dim == 0 || dim != index.dim() {
+                return Err(format!("seq {seq}: upsert dim {dim} != index dim {}", index.dim()));
+            }
+            if rows.is_empty() || rows.len() % dim != 0 {
+                return Err(format!("seq {seq}: {} floats not a multiple of dim {dim}", rows.len()));
+            }
+            let n = rows.len() / dim;
+            index.append(&Matrix::from_vec(n, dim, rows));
+            Ok(())
+        }
+        WalRecord::Delete { id } => {
+            let id = usize::try_from(id).map_err(|_| format!("seq {seq}: delete id overflow"))?;
+            if id >= index.len() {
+                return Err(format!("seq {seq}: delete id {id} out of bounds ({})", index.len()));
+            }
+            index.swap_remove(id);
+            Ok(())
+        }
+    }
+}
+
+fn load_image(path: &Path) -> Result<QuantizedIndex, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    deserialize_index(&bytes)
+}
+
+fn fall_back(fallbacks: &mut Vec<String>, what: &str, why: &str) {
+    wal_obs().fallbacks.inc();
+    lt_obs::emit(&lt_obs::Event::CorruptFallback { what, detail: why });
+    eprintln!("warning: {what} rejected ({why}); trying next recovery candidate");
+    fallbacks.push(format!("{what}: {why}"));
+}

@@ -35,7 +35,8 @@ use lt_linalg::Matrix;
 
 use crate::batch::{run_executor, serve_obs, ExecCounters, SearchJob, SubmitError, SubmitQueue};
 use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats, METRICS_VERSION};
-use crate::state::IndexState;
+use crate::state::{IndexState, MutationError};
+use crate::wal::FsyncPolicy;
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -51,10 +52,17 @@ pub struct ServeConfig {
     /// Runtime width for batch execution (0 = leave the global default).
     pub threads: usize,
     /// Where to write periodic snapshots (None disables the snapshotter;
-    /// explicit `Snapshot` requests still need a path).
+    /// explicit `Snapshot` requests still need a path). Ignored in WAL
+    /// mode, where snapshots live inside the WAL directory.
     pub snapshot_path: Option<PathBuf>,
     /// Interval between background snapshots (None = only on request).
     pub snapshot_every: Option<Duration>,
+    /// Directory for the write-ahead log. When set, every mutation is
+    /// logged (and fsynced per `fsync_policy`) before acknowledgement,
+    /// and startup recovers from the newest valid snapshot + WAL replay.
+    pub wal_dir: Option<PathBuf>,
+    /// When WAL appends are fsynced relative to acknowledgement.
+    pub fsync_policy: FsyncPolicy,
     /// Turn the lt-obs metrics registry on at startup. The `Metrics` op
     /// answers either way (with zeroed series when off); disabling skips
     /// all hot-path recording.
@@ -71,6 +79,8 @@ impl Default for ServeConfig {
             threads: 0,
             snapshot_path: None,
             snapshot_every: None,
+            wal_dir: None,
+            fsync_policy: FsyncPolicy::Always,
             metrics: true,
         }
     }
@@ -104,6 +114,25 @@ impl Server {
     /// # Errors
     /// Propagates bind failures.
     pub fn start(index: QuantizedIndex, config: ServeConfig) -> io::Result<Server> {
+        Server::start_inner(Some(index), config)
+    }
+
+    /// Like [`Server::start`] but with no base index: the whole state
+    /// comes from the WAL directory (newest valid snapshot + replay).
+    ///
+    /// # Errors
+    /// Refuses when `config.wal_dir` is unset or holds no valid snapshot.
+    pub fn start_recovered(config: ServeConfig) -> io::Result<Server> {
+        if config.wal_dir.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "starting without a base index requires a WAL directory",
+            ));
+        }
+        Server::start_inner(None, config)
+    }
+
+    fn start_inner(index: Option<QuantizedIndex>, config: ServeConfig) -> io::Result<Server> {
         if config.threads > 0 {
             lt_runtime::set_threads(config.threads);
         }
@@ -112,7 +141,34 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let state = Arc::new(IndexState::new(index));
+        let state = match &config.wal_dir {
+            Some(dir) => {
+                // Recover: newest valid snapshot in the WAL dir (or the
+                // given index as the base) plus WAL-suffix replay.
+                let (state, report) = crate::recovery::recover(index, dir, config.fsync_policy)
+                    .map_err(io::Error::other)?;
+                if report.replay.replayed > 0 || report.replay.stopped.is_some() {
+                    eprintln!(
+                        "wal: recovered epoch {} ({} replayed{})",
+                        report.epoch,
+                        report.replay.replayed,
+                        report
+                            .replay
+                            .stopped
+                            .as_deref()
+                            .map(|s| format!("; stopped: {s}"))
+                            .unwrap_or_default()
+                    );
+                }
+                Arc::new(state)
+            }
+            None => {
+                let index = index.ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "no index and no WAL directory")
+                })?;
+                Arc::new(IndexState::new(index))
+            }
+        };
         let queue = Arc::new(SubmitQueue::new(config.queue_cap));
         let stop = Arc::new(AtomicBool::new(false));
         let exec_counters = Arc::new(ExecCounters::default());
@@ -130,12 +186,18 @@ impl Server {
                 .spawn(move || run_executor(&queue, &state, max_batch, max_delay, &stop, &counters))?
         };
 
-        let snapshot_handle = match (&config.snapshot_path, config.snapshot_every) {
+        // Periodic snapshotter: in WAL mode images go into the WAL
+        // directory (manifest-committed); otherwise to `snapshot_path`.
+        let snapshot_target = match (state.wal_enabled(), &config.snapshot_path) {
+            (true, _) => Some(None),
+            (false, Some(path)) => Some(Some(path.clone())),
+            (false, None) => None,
+        };
+        let snapshot_handle = match (snapshot_target, config.snapshot_every) {
             (Some(path), Some(every)) => {
                 let state = state.clone();
                 let stop = stop.clone();
                 let op_counters = op_counters.clone();
-                let path = path.clone();
                 Some(
                     std::thread::Builder::new()
                         .name("lt-serve-snap".into())
@@ -152,15 +214,16 @@ impl Server {
                                 if epoch == last_epoch {
                                     continue; // nothing changed since the last image
                                 }
-                                match state.write_snapshot(&path) {
+                                let written = match &path {
+                                    Some(path) => state.write_snapshot(path),
+                                    None => state.write_durable_snapshot(),
+                                };
+                                match written {
                                     Ok(captured) => {
                                         last_epoch = captured;
                                         op_counters.snapshots.fetch_add(1, Ordering::Relaxed);
                                     }
-                                    Err(e) => eprintln!(
-                                        "warning: snapshot to {} failed: {e}",
-                                        path.display()
-                                    ),
+                                    Err(e) => eprintln!("warning: snapshot failed: {e}"),
                                 }
                             }
                         })?,
@@ -217,7 +280,8 @@ impl Server {
                             continue;
                         }
                     };
-                    let mut handles = handler_handles.lock().expect("handler list poisoned");
+                    let mut handles =
+                        handler_handles.lock().unwrap_or_else(|e| e.into_inner());
                     // Opportunistically reap finished handlers so a
                     // long-lived server doesn't accumulate join handles.
                     handles.retain(|h: &std::thread::JoinHandle<()>| !h.is_finished());
@@ -267,9 +331,15 @@ impl Server {
             let _ = h.join();
         }
         // Handlers poll the stop flag on their read timeout.
-        let handles = std::mem::take(&mut *self.handler_handles.lock().expect("handler list"));
+        let handles =
+            std::mem::take(&mut *self.handler_handles.lock().unwrap_or_else(|e| e.into_inner()));
         for h in handles {
             let _ = h.join();
+        }
+        // Group/never fsync policies may hold an unsynced tail; make the
+        // acknowledged suffix durable before the process exits.
+        if let Err(e) = self.state.sync_wal() {
+            eprintln!("warning: final WAL sync failed: {e}");
         }
     }
 }
@@ -353,6 +423,21 @@ fn note_bad_request() {
     }
 }
 
+/// Maps a refused mutation to the wire: an invalid request is the
+/// client's fault (`BadRequest`), a durability failure is the server's
+/// (`ServerError` — the mutation was *not* applied, so the client must
+/// not assume it took effect).
+fn mutation_refusal(e: MutationError, ctx: &HandlerCtx) -> Response {
+    ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
+    match e {
+        MutationError::Rejected(message) => {
+            note_bad_request();
+            Response::BadRequest { message }
+        }
+        MutationError::Durability(message) => Response::ServerError { message },
+    }
+}
+
 /// Executes one decoded request. Search blocks on the batch executor; all
 /// other ops run inline.
 fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
@@ -402,11 +487,7 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                     ctx.op_counters.upserts.fetch_add(1, Ordering::Relaxed);
                     Response::Upsert { start: range.start as u64, end: range.end as u64 }
                 }
-                Err(message) => {
-                    ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
-                    note_bad_request();
-                    Response::BadRequest { message }
-                }
+                Err(e) => mutation_refusal(e, ctx),
             }
         }
         Request::Delete { id } => match ctx.state.delete(id as usize) {
@@ -414,11 +495,7 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 ctx.op_counters.deletes.fetch_add(1, Ordering::Relaxed);
                 Response::Delete { moved: moved.map(|m| m as u64) }
             }
-            Err(message) => {
-                ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
-                note_bad_request();
-                Response::BadRequest { message }
-            }
+            Err(e) => mutation_refusal(e, ctx),
         },
         Request::Stats => {
             let (snapshot, epoch) = ctx.state.snapshot_with_epoch();
@@ -436,25 +513,35 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 snapshots: ctx.op_counters.snapshots.load(Ordering::Relaxed),
                 queue_len: ctx.queue.len() as u64,
                 max_queue_wait_us: ctx.exec_counters.max_queue_wait_us.load(Ordering::Relaxed),
+                // In WAL mode the epoch is the seq of the last durable
+                // mutation; without a WAL there is no sequence to report.
+                wal_last_seq: if ctx.state.wal_enabled() { epoch } else { 0 },
             })
         }
         Request::Metrics => Response::Metrics {
             version: METRICS_VERSION,
             snapshot: lt_obs::Registry::global().snapshot(),
         },
-        Request::Snapshot => match &ctx.snapshot_path {
-            Some(path) => match ctx.state.write_snapshot(path) {
-                Ok(epoch) => {
+        Request::Snapshot => {
+            let written = if ctx.state.wal_enabled() {
+                Some(ctx.state.write_durable_snapshot())
+            } else {
+                ctx.snapshot_path.as_ref().map(|path| ctx.state.write_snapshot(path))
+            };
+            match written {
+                Some(Ok(epoch)) => {
                     ctx.op_counters.snapshots.fetch_add(1, Ordering::Relaxed);
                     Response::Snapshot { epoch }
                 }
-                Err(e) => Response::ServerError { message: format!("snapshot failed: {e}") },
-            },
-            None => {
-                note_bad_request();
-                Response::BadRequest { message: "server has no snapshot path".into() }
+                Some(Err(e)) => {
+                    Response::ServerError { message: format!("snapshot failed: {e}") }
+                }
+                None => {
+                    note_bad_request();
+                    Response::BadRequest { message: "server has no snapshot path".into() }
+                }
             }
-        },
+        }
         Request::Shutdown => {
             // Flag only; the owner (CLI main / test harness) observes it
             // via `wait_for_stop` and runs the full join sequence.

@@ -10,20 +10,69 @@
 //! place. Every mutation bumps the **epoch**; a batch formed after a
 //! mutation's acknowledgement therefore always observes it.
 //!
-//! Durability: [`IndexState::write_snapshot`] serializes the current
-//! snapshot as a checksummed `LTINDEX3` index image to a temp file and
-//! atomically renames it into place, so a crash mid-write leaves the
-//! previous snapshot intact. [`load_index_with_snapshot`] is the startup
-//! path: prefer the newest valid snapshot, fall back to the base image
-//! when the snapshot is missing or fails its checksum.
+//! Durability has two modes:
+//!
+//! * **Snapshot-only** ([`IndexState::new`]): [`IndexState::write_snapshot`]
+//!   serializes the current snapshot as a checksummed `LTINDEX3` image to a
+//!   temp file and atomically renames it into place (fsyncing the parent
+//!   directory so the rename itself survives power loss).
+//!   [`load_index_with_snapshot`] is the startup path: prefer the newest
+//!   valid snapshot, fall back to the base image.
+//! * **WAL** ([`IndexState::with_wal`], built by [`crate::recovery::recover`]):
+//!   every mutation is appended to a CRC-framed write-ahead log **before**
+//!   it is applied or acknowledged, per the configured
+//!   [`crate::wal::FsyncPolicy`]. A WAL I/O failure refuses the mutation
+//!   with [`MutationError::Durability`] — the server never acknowledges
+//!   state it cannot recover. In this mode the epoch **is** the WAL
+//!   sequence number, and [`IndexState::write_durable_snapshot`] commits
+//!   `snap-<seq>.ltidx` images through the manifest (see [`crate::wal`]).
+//!
+//! Lock poisoning is recovered, not propagated: a panicking writer thread
+//! leaves the index in whatever consistent state its last completed
+//! mutation produced (mutations validate before touching the index), so
+//! later requests proceed instead of cascading panics.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use lightlt_core::index::QuantizedIndex;
 use lightlt_core::persist::{deserialize_index, serialize_index};
 use lt_linalg::Matrix;
+
+use crate::wal::{
+    crash_point, snapshot_name, sync_dir, wal_obs, CrashPoint, Manifest, WalRecord, WalWriter,
+};
+
+/// Why a mutation was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// The request itself is invalid (dimension mismatch, id out of
+    /// bounds). Nothing was logged or applied; retrying is pointless.
+    Rejected(String),
+    /// The request is valid but could not be made durable (WAL I/O
+    /// failure). Nothing was applied or acknowledged; retrying may
+    /// succeed once the disk recovers.
+    Durability(String),
+}
+
+impl std::fmt::Display for MutationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MutationError::Rejected(m) => write!(f, "{m}"),
+            MutationError::Durability(m) => write!(f, "durability failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// Recovers a possibly-poisoned `Mutex` guard: the protected state is
+/// kept consistent by construction (see module docs), so a panicking
+/// previous holder must not wedge every later request into a panic.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Concurrent owner of the live [`QuantizedIndex`].
 #[derive(Debug)]
@@ -35,72 +84,154 @@ pub struct IndexState {
     /// an unserialized pair can rename a half-written temp file over the
     /// previous valid snapshot.
     snapshot_write: Mutex<()>,
+    /// Write-ahead log (WAL mode only). Locked after the index write lock
+    /// and never the other way, so log order equals apply order.
+    wal: Option<Mutex<WalWriter>>,
+    /// Directory holding WAL segments, `snap-*.ltidx` images, and the
+    /// manifest (WAL mode only).
+    wal_dir: Option<PathBuf>,
 }
 
 impl IndexState {
-    /// Wraps an index at epoch 0.
+    /// Wraps an index at epoch 0 with no write-ahead log (snapshot-only
+    /// durability).
     pub fn new(index: QuantizedIndex) -> Self {
         Self {
             current: RwLock::new(Arc::new(index)),
             epoch: AtomicU64::new(0),
             snapshot_write: Mutex::new(()),
+            wal: None,
+            wal_dir: None,
         }
+    }
+
+    /// Wraps a recovered index at `epoch` with a live WAL writer whose
+    /// next seq must be `epoch + 1` (in WAL mode the epoch is the seq of
+    /// the last logged mutation). Built by [`crate::recovery::recover`].
+    pub fn with_wal(
+        index: QuantizedIndex,
+        epoch: u64,
+        writer: WalWriter,
+        wal_dir: PathBuf,
+    ) -> Self {
+        debug_assert_eq!(writer.next_seq(), epoch + 1, "WAL seq must continue the epoch");
+        Self {
+            current: RwLock::new(Arc::new(index)),
+            epoch: AtomicU64::new(epoch),
+            snapshot_write: Mutex::new(()),
+            wal: Some(Mutex::new(writer)),
+            wal_dir: Some(wal_dir),
+        }
+    }
+
+    /// True when mutations are logged to a WAL before acknowledgement.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// An immutable snapshot of the current index. Cheap (`Arc` clone);
     /// the snapshot stays valid and unchanged for as long as the caller
     /// holds it, regardless of concurrent mutations.
     pub fn snapshot(&self) -> Arc<QuantizedIndex> {
-        self.current.read().expect("index lock poisoned").clone()
+        self.current.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// The current mutation epoch (bumps on every successful
-    /// upsert/delete).
+    /// upsert/delete; in WAL mode it equals the last logged seq).
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
     }
 
     /// A consistent `(snapshot, epoch)` pair (taken under one read lock).
     pub fn snapshot_with_epoch(&self) -> (Arc<QuantizedIndex>, u64) {
-        let guard = self.current.read().expect("index lock poisoned");
+        let guard = self.current.read().unwrap_or_else(|e| e.into_inner());
         (guard.clone(), self.epoch.load(Ordering::SeqCst))
     }
 
-    /// Appends `rows` (online encode); returns the assigned id range.
+    /// Test hook: make the next WAL append fail with an injected I/O
+    /// error (no-op without a WAL), exercising the typed durability
+    /// refusal without real disk faults.
+    pub fn fail_next_wal_append(&self) {
+        if let Some(wal) = &self.wal {
+            lock_unpoisoned(wal).fail_next_append();
+        }
+    }
+
+    /// Forces an fsync of the WAL (no-op without one). Used at graceful
+    /// shutdown so a `never`/group tail is not left to the OS.
     ///
     /// # Errors
-    /// Rejects a dimension mismatch with a message (never panics).
-    pub fn upsert(&self, rows: &Matrix) -> Result<std::ops::Range<usize>, String> {
-        let mut guard = self.current.write().expect("index lock poisoned");
+    /// Propagates the fsync failure.
+    pub fn sync_wal(&self) -> std::io::Result<()> {
+        match &self.wal {
+            Some(wal) => lock_unpoisoned(wal).sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Logs `record` ahead of applying it. Must be called with the index
+    /// write lock held so log order equals apply order.
+    fn wal_append(&self, record: &WalRecord) -> Result<(), MutationError> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        lock_unpoisoned(wal)
+            .append(record)
+            .map(|_seq| ())
+            .map_err(|e| MutationError::Durability(format!("WAL append failed: {e}")))
+    }
+
+    /// Appends `rows` (online encode); returns the assigned id range. In
+    /// WAL mode the mutation is logged (and fsynced per policy) before it
+    /// is applied, so acknowledgement implies durability.
+    ///
+    /// # Errors
+    /// [`MutationError::Rejected`] on a dimension mismatch,
+    /// [`MutationError::Durability`] when the WAL refuses the append
+    /// (nothing is applied in either case; never panics).
+    pub fn upsert(&self, rows: &Matrix) -> Result<std::ops::Range<usize>, MutationError> {
+        let mut guard = self.current.write().unwrap_or_else(|e| e.into_inner());
         if rows.cols() != guard.dim() {
-            return Err(format!(
+            return Err(MutationError::Rejected(format!(
                 "upsert dimension {} does not match index dimension {}",
                 rows.cols(),
                 guard.dim()
-            ));
+            )));
         }
+        if rows.rows() == 0 {
+            return Err(MutationError::Rejected("upsert of zero rows".into()));
+        }
+        self.wal_append(&WalRecord::Upsert {
+            dim: rows.cols() as u32,
+            rows: rows.as_slice().to_vec(),
+        })?;
         let assigned = Arc::make_mut(&mut guard).append(rows);
         self.epoch.fetch_add(1, Ordering::SeqCst);
         Ok(assigned)
     }
 
     /// Swap-removes item `id`; returns the id that moved into its slot.
+    /// In WAL mode the mutation is logged before it is applied.
     ///
     /// # Errors
-    /// Rejects an out-of-bounds id with a message (never panics).
-    pub fn delete(&self, id: usize) -> Result<Option<usize>, String> {
-        let mut guard = self.current.write().expect("index lock poisoned");
+    /// [`MutationError::Rejected`] on an out-of-bounds id,
+    /// [`MutationError::Durability`] when the WAL refuses the append
+    /// (nothing is applied in either case; never panics).
+    pub fn delete(&self, id: usize) -> Result<Option<usize>, MutationError> {
+        let mut guard = self.current.write().unwrap_or_else(|e| e.into_inner());
         if id >= guard.len() {
-            return Err(format!("delete id {id} out of bounds ({} items)", guard.len()));
+            return Err(MutationError::Rejected(format!(
+                "delete id {id} out of bounds ({} items)",
+                guard.len()
+            )));
         }
+        self.wal_append(&WalRecord::Delete { id: id as u64 })?;
         let moved = Arc::make_mut(&mut guard).swap_remove(id);
         self.epoch.fetch_add(1, Ordering::SeqCst);
         Ok(moved)
     }
 
     /// Writes a checksummed `LTINDEX3` snapshot of the current index to
-    /// `path`, atomically (temp file + rename + fsync). Returns the epoch
-    /// the snapshot captured.
+    /// `path`, atomically (temp file + fsync + rename + parent-dir
+    /// fsync). Returns the epoch the snapshot captured.
     ///
     /// # Errors
     /// Propagates I/O errors; the previous snapshot file, if any, is left
@@ -111,7 +242,7 @@ impl IndexState {
         // One writer at a time: concurrent calls share the temp path, and
         // the snapshot must be taken inside the critical section so the
         // last rename installs the newest captured epoch.
-        let _writing = self.snapshot_write.lock().expect("snapshot write lock poisoned");
+        let _writing = lock_unpoisoned(&self.snapshot_write);
         let (snapshot, epoch) = self.snapshot_with_epoch();
         // Serialize outside any lock: the Arc keeps the image consistent.
         let image = serialize_index(&snapshot);
@@ -122,12 +253,64 @@ impl IndexState {
             f.sync_all()?;
         }
         std::fs::rename(&tmp, path)?;
+        // The rename is only durable once the directory entry is synced.
+        if let Some(parent) = path.parent() {
+            sync_dir(parent);
+        }
         if let Some(t0) = t0 {
             let micros = lt_obs::micros_since(t0);
             crate::batch::serve_obs().snapshot_us.record(micros);
             lt_obs::emit(&lt_obs::Event::SnapshotWrite { epoch, micros });
         }
         Ok(epoch)
+    }
+
+    /// Writes a durable snapshot into the WAL directory and commits it
+    /// through the manifest: `snap-<seq>.ltidx` temp + fsync + rename +
+    /// dir fsync, then the manifest (the atomic commit point), then WAL
+    /// rotation and pruning. A crash anywhere in between recovers to a
+    /// consistent state: before the manifest commit the previous
+    /// snapshot's WAL suffix is still intact. Returns the covered seq.
+    ///
+    /// # Errors
+    /// Propagates I/O errors, and refuses with `InvalidInput` when the
+    /// state has no WAL.
+    pub fn write_durable_snapshot(&self) -> std::io::Result<u64> {
+        let (Some(wal), Some(dir)) = (&self.wal, &self.wal_dir) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "durable snapshots require a WAL directory",
+            ));
+        };
+        let observe = lt_obs::enabled() || lt_obs::events_enabled();
+        let t0 = observe.then(std::time::Instant::now);
+        let _writing = lock_unpoisoned(&self.snapshot_write);
+        // The epoch is the seq of the last logged mutation: everything
+        // the image contains is covered by seqs `..= epoch`.
+        let (snapshot, covered_seq) = self.snapshot_with_epoch();
+        let image = serialize_index(&snapshot);
+        let name = snapshot_name(covered_seq);
+        let path = dir.join(&name);
+        let tmp = dir.join(format!("{name}.tmp"));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, &image)?;
+            f.sync_all()?;
+        }
+        crash_point(CrashPoint::MidRename);
+        std::fs::rename(&tmp, &path)?;
+        sync_dir(dir);
+        crash_point(CrashPoint::PostSnapshotPreManifest);
+        Manifest { covered_seq, epoch: covered_seq, snapshot_file: name }.write(dir)?;
+        // Committed: rotate to a fresh segment and prune what the
+        // retained snapshots fully cover.
+        lock_unpoisoned(wal).rotate_and_prune()?;
+        if let Some(t0) = t0 {
+            let micros = lt_obs::micros_since(t0);
+            crate::batch::serve_obs().snapshot_us.record(micros);
+            lt_obs::emit(&lt_obs::Event::SnapshotWrite { epoch: covered_seq, micros });
+        }
+        Ok(covered_seq)
     }
 }
 
@@ -136,8 +319,9 @@ impl IndexState {
 /// Tries `snapshot_path` first (if given): a valid checksummed image there
 /// is the most recent durable state, so it wins. A missing or corrupt
 /// snapshot (e.g. the process died mid-write on a filesystem without
-/// atomic rename, or the file rotted) falls back to `base_path`. Returns
-/// the index and `true` when it came from the snapshot.
+/// atomic rename, or the file rotted) falls back to `base_path`, counting
+/// the `wal.fallbacks` metric and logging a `corrupt_fallback` event.
+/// Returns the index and `true` when it came from the snapshot.
 ///
 /// # Errors
 /// Returns a message when neither source yields a valid index.
@@ -147,17 +331,21 @@ pub fn load_index_with_snapshot(
 ) -> Result<(QuantizedIndex, bool), String> {
     if let Some(snap) = snapshot_path {
         if snap.exists() {
+            let rejected = |e: &str| {
+                wal_obs().fallbacks.inc();
+                lt_obs::emit(&lt_obs::Event::CorruptFallback { what: "snapshot", detail: e });
+                eprintln!(
+                    "warning: snapshot {} rejected ({e}); using base index",
+                    snap.display()
+                );
+            };
             match std::fs::read(snap) {
                 Ok(bytes) => match deserialize_index(&bytes) {
                     Ok(index) => return Ok((index, true)),
-                    Err(e) => {
-                        // Corrupt snapshot: fall through to the base image.
-                        eprintln!("warning: snapshot {} rejected ({e}); using base index", snap.display());
-                    }
+                    // Corrupt snapshot: fall through to the base image.
+                    Err(e) => rejected(&e),
                 },
-                Err(e) => {
-                    eprintln!("warning: snapshot {} unreadable ({e}); using base index", snap.display());
-                }
+                Err(e) => rejected(&e.to_string()),
             }
         }
     }
@@ -238,8 +426,14 @@ mod tests {
     fn bad_mutations_are_typed_errors() {
         let state = IndexState::new(build_index(10, 3));
         let wrong = randn(2, 4, &mut rng(11));
-        assert!(state.upsert(&wrong).unwrap_err().contains("dimension"));
-        assert!(state.delete(100).unwrap_err().contains("out of bounds"));
+        assert!(matches!(
+            state.upsert(&wrong),
+            Err(MutationError::Rejected(ref m)) if m.contains("dimension")
+        ));
+        assert!(matches!(
+            state.delete(100),
+            Err(MutationError::Rejected(ref m)) if m.contains("out of bounds")
+        ));
         assert_eq!(state.epoch(), 0, "failed mutations must not bump the epoch");
     }
 
@@ -276,6 +470,74 @@ mod tests {
         // No valid source at all is a typed error.
         std::fs::remove_file(&base_path).unwrap();
         assert!(load_index_with_snapshot(Some(&base_path), Some(&snap_path)).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_mode_logs_before_apply_and_refuses_on_failure() {
+        use crate::wal::FsyncPolicy;
+        let dir = tmp("wal_mode");
+        let writer = WalWriter::create(&dir, FsyncPolicy::Always, 1).unwrap();
+        let state = IndexState::with_wal(build_index(10, 5), 0, writer, dir.clone());
+        assert!(state.wal_enabled());
+
+        let rows = randn(2, 6, &mut rng(13)).scale(0.4);
+        state.upsert(&rows).unwrap();
+        state.delete(0).unwrap();
+        assert_eq!(state.epoch(), 2, "epoch tracks the WAL seq");
+
+        // An injected WAL failure refuses the mutation without applying
+        // it or bumping the epoch — durability is never silently dropped.
+        let len_before = state.snapshot().len();
+        state.fail_next_wal_append();
+        let err = state.upsert(&rows).unwrap_err();
+        assert!(matches!(err, MutationError::Durability(_)), "got {err:?}");
+        assert_eq!(state.snapshot().len(), len_before);
+        assert_eq!(state.epoch(), 2);
+
+        // The writer recovers: the next mutation succeeds and replays.
+        state.upsert(&rows).unwrap();
+        assert_eq!(state.epoch(), 3);
+        let mut count = 0;
+        crate::wal::replay_wal(&dir, 0, |_seq, _rec| {
+            count += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(count, 3, "exactly the acknowledged mutations are logged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_snapshot_commits_manifest_and_rotates() {
+        use crate::wal::FsyncPolicy;
+        let dir = tmp("durable_snap");
+        let writer = WalWriter::create(&dir, FsyncPolicy::Always, 1).unwrap();
+        let state = IndexState::with_wal(build_index(12, 6), 0, writer, dir.clone());
+        let rows = randn(3, 6, &mut rng(14)).scale(0.4);
+        state.upsert(&rows).unwrap();
+        state.delete(1).unwrap();
+
+        let covered = state.write_durable_snapshot().unwrap();
+        assert_eq!(covered, 2);
+        let manifest = Manifest::read(&dir).unwrap();
+        assert_eq!(manifest.covered_seq, 2);
+        assert_eq!(manifest.snapshot_file, snapshot_name(2));
+        let image = std::fs::read(dir.join(&manifest.snapshot_file)).unwrap();
+        let reloaded = deserialize_index(&image).unwrap();
+        assert_eq!(serialize_index(&reloaded), serialize_index(&state.snapshot()));
+
+        // Mutations after the snapshot land in the rotated segment and
+        // replay on top of it.
+        state.upsert(&rows).unwrap();
+        let mut replayed = 0;
+        crate::wal::replay_wal(&dir, covered, |seq, _rec| {
+            assert_eq!(seq, 3);
+            replayed += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(replayed, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,1177 @@
+//! CRC-framed, sequence-numbered write-ahead log for online mutations.
+//!
+//! Durability in lt-serve used to be "whatever the last snapshot saw": an
+//! acknowledged upsert landing between background snapshots was silently
+//! lost on crash. The WAL closes that window — every `Upsert`/`Delete` is
+//! appended (and, per [`FsyncPolicy`], fsynced) **before** the mutation is
+//! applied and acknowledged, so startup = newest valid snapshot + replay
+//! of the WAL suffix reconstructs the pre-crash state exactly.
+//!
+//! ## On-disk layout (inside the WAL directory)
+//!
+//! - `wal-<firstseq:020>.log` — log **segments**. Each starts with the
+//!   magic `LTWAL001` and then holds back-to-back frames:
+//!
+//!   ```text
+//!   ┌─────────────┬─────────────┬────────────────────┬─────────────────────────────┐
+//!   │ len: u32 LE │ seq: u64 LE │ payload: len bytes │ crc32(seq ∥ payload): u32 LE│
+//!   └─────────────┴─────────────┴────────────────────┴─────────────────────────────┘
+//!   ```
+//!
+//!   `seq` numbers are contiguous across segments (the filename records
+//!   the first seq a segment holds). The CRC covers the seq bytes too, so
+//!   a frame pasted at the wrong position fails loudly.
+//! - `snap-<coveredseq:020>.ltidx` — checksummed `LTINDEX3` index images;
+//!   the name records the last WAL seq the image includes.
+//! - `MANIFEST` — the atomic commit pointer: which snapshot file is
+//!   current, the seq it covers, and the epoch it captured, CRC-framed
+//!   and written temp + fsync + rename + directory fsync. A crash after
+//!   the snapshot rename but **before** the manifest write leaves the
+//!   manifest pointing at the previous snapshot, whose WAL suffix is
+//!   still intact — replay just covers more records. Snapshots are never
+//!   installed by renaming over a live file, so there is no window where
+//!   half-committed state can be preferred.
+//!
+//! ## Torn writes
+//!
+//! [`replay_wal`] stops cleanly at the first frame that is truncated,
+//! fails its CRC, or breaks the seq chain: the valid prefix is applied,
+//! the torn tail is truncated off the segment, and any later segments are
+//! removed (their seqs are unreachable once the chain broke). Replay
+//! never panics on corrupt bytes.
+//!
+//! ## Crash injection
+//!
+//! [`CrashPoint`]s name the interesting instants (pre-append,
+//! post-append-pre-fsync, torn tail, post-snapshot-pre-manifest,
+//! mid-rename). A child process armed via the `LT_CRASH_POINT`
+//! environment variable (`point` or `point:n` for the n-th hit) aborts at
+//! that instant, so `tests/wal_recovery.rs` and the ci.sh smoke can prove
+//! every acknowledged mutation survives a kill at every point.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use lightlt_core::checksum::crc32;
+use lt_obs::{Counter, Histogram};
+
+/// Magic bytes opening every WAL segment file.
+pub const WAL_MAGIC: &[u8; 8] = b"LTWAL001";
+
+/// Magic bytes opening the manifest file.
+pub const MANIFEST_MAGIC: &[u8; 8] = b"LTMANIF1";
+
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Name of the manifest file inside a WAL directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Hard cap on one WAL frame payload (matches the wire-protocol cap): a
+/// corrupt length field must not drive an arbitrary allocation.
+pub const MAX_WAL_FRAME_BYTES: usize = 64 << 20;
+
+/// How many durable snapshots (and the WAL segments reaching back to the
+/// older of them) are retained for corrupt-snapshot fallback.
+pub const SNAPSHOT_RETAIN: usize = 2;
+
+// ---- observability -------------------------------------------------------
+
+/// WAL metric handles, resolved once per process. Counter/histogram calls
+/// are no-ops while the global lt-obs toggle is off, so these are safe to
+/// bump ungated; only `Instant::now()` timing is wrapped.
+pub(crate) struct WalObs {
+    /// Records appended (acknowledged into the log).
+    pub append_records: Arc<Counter>,
+    /// Frame bytes appended.
+    pub append_bytes: Arc<Counter>,
+    /// Appends refused because of an I/O failure (each one surfaced as a
+    /// typed `ServerError`, never a silent ack).
+    pub append_errors: Arc<Counter>,
+    /// Wall time of one WAL fsync.
+    pub fsync_us: Arc<Histogram>,
+    /// Records replayed at startup.
+    pub replay_records: Arc<Counter>,
+    /// Bytes truncated off torn / corrupt WAL tails.
+    pub truncated_bytes: Arc<Counter>,
+    /// Startup fallbacks past a corrupt snapshot or manifest.
+    pub fallbacks: Arc<Counter>,
+}
+
+pub(crate) fn wal_obs() -> &'static WalObs {
+    static OBS: OnceLock<WalObs> = OnceLock::new();
+    OBS.get_or_init(|| {
+        let r = lt_obs::Registry::global();
+        WalObs {
+            append_records: r.counter("wal.append_records"),
+            append_bytes: r.counter("wal.append_bytes"),
+            append_errors: r.counter("wal.append_errors"),
+            fsync_us: r.histogram("wal.fsync_us"),
+            replay_records: r.counter("wal.replay_records"),
+            truncated_bytes: r.counter("wal.truncated_bytes"),
+            fallbacks: r.counter("wal.fallbacks"),
+        }
+    })
+}
+
+// ---- crash injection -----------------------------------------------------
+
+/// Named instants where a crash is interesting for durability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Before the mutation's frame is written: the mutation was never
+    /// logged and never acknowledged.
+    PreAppend,
+    /// After the frame bytes reached the file, before any fsync.
+    PostAppendPreFsync,
+    /// Mid-frame: only a prefix of the frame's bytes reach the file,
+    /// leaving a torn tail for replay to truncate.
+    TornTail,
+    /// After the snapshot image is renamed into place, before the
+    /// manifest commits it — the manifest must still point at the old
+    /// snapshot.
+    PostSnapshotPreManifest,
+    /// After the snapshot temp file is written and fsynced, before the
+    /// rename — the temp file must be ignored at startup.
+    MidRename,
+}
+
+impl CrashPoint {
+    /// All points, in the order tests iterate them.
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::PreAppend,
+        CrashPoint::PostAppendPreFsync,
+        CrashPoint::TornTail,
+        CrashPoint::PostSnapshotPreManifest,
+        CrashPoint::MidRename,
+    ];
+
+    /// The `LT_CRASH_POINT` name of this point.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::PreAppend => "pre_append",
+            CrashPoint::PostAppendPreFsync => "post_append_pre_fsync",
+            CrashPoint::TornTail => "torn_tail",
+            CrashPoint::PostSnapshotPreManifest => "post_snapshot_pre_manifest",
+            CrashPoint::MidRename => "mid_rename",
+        }
+    }
+
+    fn parse(s: &str) -> Option<CrashPoint> {
+        CrashPoint::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+/// A deterministic crash plan, armed from the `LT_CRASH_POINT`
+/// environment variable (`<point>` or `<point>:<n>` to fire on the n-th
+/// hit, 1-based). In the spirit of core's `FaultPlan`, but for whole-
+/// process kills: when the armed point is hit the process **aborts**, so
+/// only a child process spawned by a test (or the ci.sh smoke) should
+/// ever run with the variable set.
+#[derive(Debug)]
+pub struct CrashPlan {
+    point: Option<CrashPoint>,
+    fire_on_hit: u32,
+    hits: AtomicU32,
+}
+
+impl CrashPlan {
+    /// Parses the plan from `LT_CRASH_POINT` (unarmed when unset or
+    /// malformed — a typo must not make production code abort).
+    pub fn from_env() -> CrashPlan {
+        let spec = std::env::var("LT_CRASH_POINT").unwrap_or_default();
+        let (name, nth) = match spec.split_once(':') {
+            Some((name, n)) => (name, n.parse().unwrap_or(1)),
+            None => (spec.as_str(), 1),
+        };
+        CrashPlan {
+            point: CrashPoint::parse(name),
+            fire_on_hit: nth,
+            hits: AtomicU32::new(0),
+        }
+    }
+
+    /// True when this hit of `point` is the armed one (consumes a hit).
+    fn triggered(&self, point: CrashPoint) -> bool {
+        if self.point != Some(point) {
+            return false;
+        }
+        self.hits.fetch_add(1, Ordering::SeqCst) + 1 == self.fire_on_hit
+    }
+}
+
+fn global_plan() -> &'static CrashPlan {
+    static PLAN: OnceLock<CrashPlan> = OnceLock::new();
+    PLAN.get_or_init(CrashPlan::from_env)
+}
+
+/// Aborts the process if the environment-armed [`CrashPlan`] fires at
+/// `point`. A no-op in any process without `LT_CRASH_POINT` set.
+pub fn crash_point(point: CrashPoint) {
+    if global_plan().triggered(point) {
+        eprintln!("LT_CRASH_POINT: aborting at {}", point.name());
+        let _ = io::stderr().flush();
+        std::process::abort();
+    }
+}
+
+/// True when the environment-armed plan fires at `point` on this hit,
+/// without aborting — for points that need bespoke behaviour first (the
+/// torn-tail point writes half a frame before dying).
+fn crash_armed_now(point: CrashPoint) -> bool {
+    global_plan().triggered(point)
+}
+
+// ---- records -------------------------------------------------------------
+
+/// One logged mutation. The payload encoding is tagged little-endian,
+/// mirroring the wire protocol's `Upsert`/`Delete` requests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Append `rows.len() / dim` embeddings of dimensionality `dim`.
+    Upsert {
+        /// Dimensionality of each row.
+        dim: u32,
+        /// Row-major embedding data (`n · dim` floats).
+        rows: Vec<f32>,
+    },
+    /// Swap-remove item `id`.
+    Delete {
+        /// Id of the removed item.
+        id: u64,
+    },
+}
+
+const REC_UPSERT: u8 = 1;
+const REC_DELETE: u8 = 2;
+
+impl WalRecord {
+    /// Encodes the record payload (without framing).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            WalRecord::Upsert { dim, rows } => {
+                buf.push(REC_UPSERT);
+                buf.extend_from_slice(&dim.to_le_bytes());
+                buf.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for &v in rows {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            WalRecord::Delete { id } => {
+                buf.push(REC_DELETE);
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Decodes a record payload.
+    ///
+    /// # Errors
+    /// Returns a message on an unknown tag, truncation, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<WalRecord, String> {
+        let take = |data: &mut &[u8], n: usize| -> Result<Vec<u8>, String> {
+            if data.len() < n {
+                return Err(format!("truncated record: wanted {n} bytes, have {}", data.len()));
+            }
+            let (head, tail) = data.split_at(n);
+            *data = tail;
+            Ok(head.to_vec())
+        };
+        let mut data = payload;
+        let tag = take(&mut data, 1)?[0];
+        let rec = match tag {
+            REC_UPSERT => {
+                let dim =
+                    u32::from_le_bytes(take(&mut data, 4)?.try_into().expect("4 bytes"));
+                let count =
+                    u32::from_le_bytes(take(&mut data, 4)?.try_into().expect("4 bytes")) as usize;
+                let bytes = take(&mut data, count.checked_mul(4).ok_or("float count overflow")?)?;
+                let rows = bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect();
+                WalRecord::Upsert { dim, rows }
+            }
+            REC_DELETE => WalRecord::Delete {
+                id: u64::from_le_bytes(take(&mut data, 8)?.try_into().expect("8 bytes")),
+            },
+            other => return Err(format!("unknown WAL record tag {other}")),
+        };
+        if !data.is_empty() {
+            return Err(format!("{} trailing bytes after WAL record", data.len()));
+        }
+        Ok(rec)
+    }
+}
+
+/// Builds one framed record: `len | seq | payload | crc32(seq ∥ payload)`.
+fn encode_frame(seq: u64, payload: &[u8]) -> Vec<u8> {
+    let mut crc_input = Vec::with_capacity(8 + payload.len());
+    crc_input.extend_from_slice(&seq.to_le_bytes());
+    crc_input.extend_from_slice(payload);
+    let mut frame = Vec::with_capacity(4 + 8 + payload.len() + 4);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc_input);
+    frame.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    frame
+}
+
+// ---- fsync policy --------------------------------------------------------
+
+/// When WAL appends are fsynced relative to acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync before every acknowledgement: a `kill -9` after the ack can
+    /// never lose the mutation.
+    Always,
+    /// Group commit: fsync once at least `records` appends or `micros`
+    /// microseconds have accumulated since the last sync. Acks between
+    /// syncs are durable against process kills (the bytes reached the
+    /// kernel) but not against power loss.
+    Group {
+        /// Records per sync.
+        records: u64,
+        /// Microseconds between syncs.
+        micros: u64,
+    },
+    /// Never fsync: the OS flushes on its own schedule. Cheapest; a
+    /// power failure may lose an acknowledged tail, but replay still
+    /// recovers the longest valid prefix.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always`, `never`, `group`, `group:<records>`, or
+    /// `group:<records>:<micros>`.
+    ///
+    /// # Errors
+    /// Returns a message for anything else.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        let mut parts = s.split(':');
+        match parts.next() {
+            Some("always") => Ok(FsyncPolicy::Always),
+            Some("never") => Ok(FsyncPolicy::Never),
+            Some("group") => {
+                let records = match parts.next() {
+                    None | Some("") => 8,
+                    Some(n) => n.parse().map_err(|_| format!("bad group record count in {s:?}"))?,
+                };
+                let micros = match parts.next() {
+                    None | Some("") => 1_000,
+                    Some(n) => n.parse().map_err(|_| format!("bad group interval in {s:?}"))?,
+                };
+                Ok(FsyncPolicy::Group { records: records.max(1), micros })
+            }
+            _ => Err(format!(
+                "unknown fsync policy {s:?} (expected always | group[:N[:MICROS]] | never)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsyncPolicy::Always => write!(f, "always"),
+            FsyncPolicy::Group { records, micros } => write!(f, "group:{records}:{micros}"),
+            FsyncPolicy::Never => write!(f, "never"),
+        }
+    }
+}
+
+// ---- writer --------------------------------------------------------------
+
+fn segment_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.log")
+}
+
+/// The seq a segment file name claims to start at, if it is one.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?.strip_suffix(".log")?.parse().ok()
+}
+
+/// Canonical name of the snapshot image covering WAL seqs `..= seq`.
+pub fn snapshot_name(covered_seq: u64) -> String {
+    format!("snap-{covered_seq:020}.ltidx")
+}
+
+/// The covered seq a snapshot file name claims, if it is one.
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("snap-")?.strip_suffix(".ltidx")?.parse().ok()
+}
+
+/// Opens `dir` itself and fsyncs it, making renames/creates in it
+/// durable. Best-effort on platforms where directories cannot be synced.
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Appender over the current WAL segment.
+///
+/// Not internally synchronized: callers (the `IndexState` mutation path)
+/// wrap it in a mutex and hold the index write lock across append +
+/// apply, so log order always equals apply order.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    file: File,
+    next_seq: u64,
+    segment_first: u64,
+    /// Bytes of the current segment known good (for truncate-repair
+    /// after a failed write).
+    offset: u64,
+    policy: FsyncPolicy,
+    pending_records: u64,
+    last_sync: Instant,
+    /// Set after an unrepairable I/O failure: every later append is
+    /// refused rather than risking an inconsistent log.
+    broken: Option<String>,
+    /// Test hook: fail the next append with an injected I/O error.
+    fail_next_append: bool,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the segment starting at `next_seq` and
+    /// returns a writer positioned to append it. Truncation is safe:
+    /// recovery has already replayed everything durable, so a pre-existing
+    /// file of this name can only hold an empty or torn tail.
+    ///
+    /// # Errors
+    /// Propagates file-creation failures.
+    pub fn create(dir: &Path, policy: FsyncPolicy, next_seq: u64) -> io::Result<WalWriter> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(segment_name(next_seq));
+        let mut file = OpenOptions::new().write(true).create(true).truncate(true).open(&path)?;
+        file.write_all(WAL_MAGIC)?;
+        if policy != FsyncPolicy::Never {
+            file.sync_data()?;
+            sync_dir(dir);
+        }
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            file,
+            next_seq,
+            segment_first: next_seq,
+            offset: WAL_MAGIC.len() as u64,
+            policy,
+            pending_records: 0,
+            last_sync: Instant::now(),
+            broken: None,
+            fail_next_append: false,
+        })
+    }
+
+    /// The seq the next append will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The configured fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Test hook: make the next [`WalWriter::append`] fail with an
+    /// injected I/O error (exercises the typed-refusal degradation path
+    /// without real disk faults).
+    pub fn fail_next_append(&mut self) {
+        self.fail_next_append = true;
+    }
+
+    /// Appends one record, fsyncing per the policy, and returns the seq
+    /// it was assigned. Must complete before the mutation is applied or
+    /// acknowledged.
+    ///
+    /// # Errors
+    /// Propagates I/O failures. A failed write is repaired by truncating
+    /// back to the last good frame; if even that fails the writer is
+    /// permanently broken and refuses all later appends.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
+        if let Some(why) = &self.broken {
+            wal_obs().append_errors.inc();
+            return Err(io::Error::other(format!("WAL writer is broken: {why}")));
+        }
+        crash_point(CrashPoint::PreAppend);
+        let seq = self.next_seq;
+        let payload = record.encode();
+        let frame = encode_frame(seq, &payload);
+        if crash_armed_now(CrashPoint::TornTail) {
+            // Write only half the frame, push it to the kernel so the
+            // torn bytes actually land in the file, then die.
+            let half = &frame[..frame.len() / 2];
+            let _ = self.file.write_all(half);
+            let _ = self.file.sync_data();
+            eprintln!("LT_CRASH_POINT: aborting at torn_tail");
+            let _ = io::stderr().flush();
+            std::process::abort();
+        }
+        let write_result = if self.fail_next_append {
+            self.fail_next_append = false;
+            Err(io::Error::other("injected WAL append failure"))
+        } else {
+            self.file.write_all(&frame)
+        };
+        if let Err(e) = write_result {
+            wal_obs().append_errors.inc();
+            self.repair_after_failed_write();
+            return Err(e);
+        }
+        self.offset += frame.len() as u64;
+        crash_point(CrashPoint::PostAppendPreFsync);
+        self.pending_records += 1;
+        if let Err(e) = self.maybe_sync() {
+            wal_obs().append_errors.inc();
+            // The frame bytes are written but not durable; the log is
+            // still structurally valid, so later appends may proceed.
+            return Err(e);
+        }
+        self.next_seq += 1;
+        wal_obs().append_records.inc();
+        wal_obs().append_bytes.add(frame.len() as u64);
+        Ok(seq)
+    }
+
+    /// Truncates the segment back to the last fully-written frame after a
+    /// failed append, so a partial frame cannot linger in the middle of
+    /// the live log. Marks the writer broken when the repair itself fails.
+    fn repair_after_failed_write(&mut self) {
+        let repaired = self
+            .file
+            .set_len(self.offset)
+            .and_then(|()| self.file.seek(SeekFrom::Start(self.offset)).map(|_| ()));
+        if let Err(e) = repaired {
+            self.broken = Some(format!("truncate-repair after failed append failed: {e}"));
+        }
+    }
+
+    fn maybe_sync(&mut self) -> io::Result<()> {
+        let due = match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::Group { records, micros } => {
+                self.pending_records >= records
+                    || self.last_sync.elapsed().as_micros() as u64 >= micros
+            }
+            FsyncPolicy::Never => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces an fsync of the current segment.
+    ///
+    /// # Errors
+    /// Propagates the fsync failure.
+    pub fn sync(&mut self) -> io::Result<()> {
+        let observe = lt_obs::enabled();
+        let t0 = observe.then(Instant::now);
+        self.file.sync_data()?;
+        self.pending_records = 0;
+        self.last_sync = Instant::now();
+        if let Some(t0) = t0 {
+            wal_obs().fsync_us.record(lt_obs::micros_since(t0));
+        }
+        Ok(())
+    }
+
+    /// Rotates to a fresh segment (named for the next seq) after a
+    /// durable snapshot, then prunes snapshots beyond the retention count
+    /// and every WAL segment fully covered by the oldest retained one.
+    ///
+    /// # Errors
+    /// Propagates segment-creation failures; pruning is best-effort.
+    pub fn rotate_and_prune(&mut self) -> io::Result<()> {
+        self.sync()?;
+        let fresh = WalWriter::create(&self.dir, self.policy, self.next_seq)?;
+        let old_first = self.segment_first;
+        let broken = self.broken.take();
+        *self = fresh;
+        self.broken = broken;
+        let _ = old_first; // previous segment stays until pruned below
+        prune(&self.dir);
+        Ok(())
+    }
+}
+
+/// Deletes snapshots beyond [`SNAPSHOT_RETAIN`] and WAL segments whose
+/// every record is covered by the oldest retained snapshot. Best-effort:
+/// pruning failures cost disk, never correctness.
+fn prune(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut snaps: Vec<u64> = Vec::new();
+    let mut segments: Vec<u64> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = parse_snapshot_name(name) {
+            snaps.push(seq);
+        } else if let Some(first) = parse_segment_name(name) {
+            segments.push(first);
+        }
+    }
+    snaps.sort_unstable();
+    segments.sort_unstable();
+    if snaps.len() > SNAPSHOT_RETAIN {
+        for &seq in &snaps[..snaps.len() - SNAPSHOT_RETAIN] {
+            let _ = fs::remove_file(dir.join(snapshot_name(seq)));
+        }
+        snaps.drain(..snaps.len() - SNAPSHOT_RETAIN);
+    }
+    let Some(&keep_from) = snaps.first() else { return };
+    // Segment i holds seqs [first_i, first_{i+1}); it is deletable when
+    // everything it holds is <= keep_from, i.e. first_{i+1} <= keep_from+1.
+    // The newest segment is never deleted.
+    for w in segments.windows(2) {
+        if w[1] <= keep_from + 1 {
+            let _ = fs::remove_file(dir.join(segment_name(w[0])));
+        }
+    }
+}
+
+// ---- manifest ------------------------------------------------------------
+
+/// The atomic commit record: which snapshot is current and what it covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Last WAL seq the snapshot includes (0 = none).
+    pub covered_seq: u64,
+    /// Mutation epoch the snapshot captured.
+    pub epoch: u64,
+    /// File name (inside the WAL dir) of the snapshot image.
+    pub snapshot_file: String,
+}
+
+impl Manifest {
+    /// Encodes the manifest with magic, version, and CRC32 footer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.covered_seq.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.snapshot_file.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.snapshot_file.as_bytes());
+        out.extend_from_slice(&crc32(&out).to_le_bytes());
+        out
+    }
+
+    /// Decodes and integrity-checks a manifest.
+    ///
+    /// # Errors
+    /// Rejects bad magic, truncation, version or checksum mismatches.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest, String> {
+        const HEADER: usize = 8 + 4 + 8 + 8 + 4;
+        if bytes.len() < HEADER + 4 {
+            return Err("manifest truncated".into());
+        }
+        if &bytes[..8] != MANIFEST_MAGIC {
+            return Err("bad manifest magic".into());
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != MANIFEST_VERSION {
+            return Err(format!("unsupported manifest version {version}"));
+        }
+        let covered_seq = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let epoch = u64::from_le_bytes(bytes[20..28].try_into().expect("8 bytes"));
+        let name_len = u32::from_le_bytes(bytes[28..32].try_into().expect("4 bytes")) as usize;
+        let Some(total) = HEADER.checked_add(name_len).and_then(|n| n.checked_add(4)) else {
+            return Err("manifest name length overflow".into());
+        };
+        if bytes.len() != total {
+            return Err(format!("manifest length {} != expected {total}", bytes.len()));
+        }
+        let body_end = HEADER + name_len;
+        let stored = u32::from_le_bytes(bytes[body_end..body_end + 4].try_into().expect("4 bytes"));
+        let computed = crc32(&bytes[..body_end]);
+        if stored != computed {
+            return Err(format!(
+                "manifest checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ));
+        }
+        let snapshot_file = String::from_utf8(bytes[HEADER..body_end].to_vec())
+            .map_err(|_| "manifest snapshot name is not UTF-8".to_string())?;
+        Ok(Manifest { covered_seq, epoch, snapshot_file })
+    }
+
+    /// Writes the manifest atomically (temp + fsync + rename + dir fsync).
+    ///
+    /// # Errors
+    /// Propagates I/O failures; an existing manifest is untouched on
+    /// failure.
+    pub fn write(&self, dir: &Path) -> io::Result<()> {
+        let path = dir.join(MANIFEST_NAME);
+        let tmp = dir.join(format!("{MANIFEST_NAME}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&self.encode())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        sync_dir(dir);
+        Ok(())
+    }
+
+    /// Reads and validates the manifest of a WAL directory.
+    ///
+    /// # Errors
+    /// Returns a message when the file is missing, unreadable, or fails
+    /// validation.
+    pub fn read(dir: &Path) -> Result<Manifest, String> {
+        let path = dir.join(MANIFEST_NAME);
+        let bytes = fs::read(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Manifest::decode(&bytes)
+    }
+}
+
+// ---- replay --------------------------------------------------------------
+
+/// What [`replay_wal`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records applied (seq > the replay floor).
+    pub replayed: u64,
+    /// Seq the writer should continue from.
+    pub next_seq: u64,
+    /// Bytes truncated off a torn or corrupt tail.
+    pub truncated_bytes: u64,
+    /// Whole segments removed because the seq chain broke before them.
+    pub removed_segments: usize,
+    /// Why replay stopped early, if it did (torn frame, checksum, gap).
+    pub stopped: Option<String>,
+}
+
+/// Replays every record with seq > `from_seq` from the segments in `dir`,
+/// in seq order, calling `apply` for each.
+///
+/// Stops cleanly — never panics — at the first torn frame, checksum
+/// failure, seq-chain break, or `apply` rejection; the offending tail is
+/// truncated off its segment and all later segments are removed, so the
+/// log on disk afterwards is exactly the applied prefix and the writer
+/// can continue from `next_seq`.
+///
+/// # Errors
+/// Propagates only real I/O failures (unreadable directory/file);
+/// corruption is reported in the `ReplayReport`, not as an error.
+pub fn replay_wal(
+    dir: &Path,
+    from_seq: u64,
+    mut apply: impl FnMut(u64, WalRecord) -> Result<(), String>,
+) -> io::Result<ReplayReport> {
+    let mut report = ReplayReport { next_seq: from_seq + 1, ..ReplayReport::default() };
+    let mut segments: Vec<u64> = Vec::new();
+    if dir.exists() {
+        for entry in fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            if let Some(first) = name.to_str().and_then(parse_segment_name) {
+                segments.push(first);
+            }
+        }
+    }
+    segments.sort_unstable();
+
+    let mut expected = from_seq + 1;
+    // (segment index we stopped in, byte offset of the valid prefix)
+    let mut stop: Option<(usize, u64, String)> = None;
+
+    'segments: for (si, &first) in segments.iter().enumerate() {
+        if si + 1 < segments.len() && segments[si + 1] <= expected {
+            // The next segment starts at or before what we still need:
+            // everything here is covered by the snapshot. Skip the bytes
+            // entirely — they may even have been half-pruned.
+            continue;
+        }
+        if first > expected {
+            stop = Some((si, 0, format!("seq gap: segment starts at {first}, expected {expected}")));
+            break;
+        }
+        let path = dir.join(segment_name(first));
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < WAL_MAGIC.len() || bytes[..WAL_MAGIC.len()] != *WAL_MAGIC {
+            stop = Some((si, 0, format!("bad segment magic in {}", path.display())));
+            break;
+        }
+        let mut off = WAL_MAGIC.len();
+        let mut seg_expected = first;
+        loop {
+            if off == bytes.len() {
+                break; // clean end of segment
+            }
+            let Some(frame_end) = frame_end_at(&bytes, off) else {
+                stop = Some((si, off as u64, "torn frame (truncated)".into()));
+                break 'segments;
+            };
+            let len =
+                u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let seq = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().expect("8 bytes"));
+            let body = &bytes[off + 4..off + 12 + len];
+            let stored =
+                u32::from_le_bytes(bytes[frame_end - 4..frame_end].try_into().expect("4 bytes"));
+            if crc32(body) != stored {
+                stop = Some((si, off as u64, format!("frame checksum mismatch at seq {seq}")));
+                break 'segments;
+            }
+            if seq != seg_expected {
+                stop = Some((
+                    si,
+                    off as u64,
+                    format!("seq chain broken: frame {seq}, expected {seg_expected}"),
+                ));
+                break 'segments;
+            }
+            if seq >= expected {
+                let record = match WalRecord::decode(&body[8..]) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        stop = Some((si, off as u64, format!("bad record at seq {seq}: {e}")));
+                        break 'segments;
+                    }
+                };
+                if let Err(e) = apply(seq, record) {
+                    stop = Some((si, off as u64, format!("replay of seq {seq} rejected: {e}")));
+                    break 'segments;
+                }
+                report.replayed += 1;
+                expected = seq + 1;
+            }
+            seg_expected = seq + 1;
+            off = frame_end;
+        }
+    }
+
+    if let Some((si, valid_prefix, why)) = stop {
+        // Truncate the offending segment back to its valid prefix (or
+        // remove it outright when nothing valid is left) and remove every
+        // later segment: their seqs are unreachable past the break.
+        let path = dir.join(segment_name(segments[si]));
+        if let Ok(meta) = fs::metadata(&path) {
+            let keep = if valid_prefix == 0 { 0 } else { valid_prefix.max(WAL_MAGIC.len() as u64) };
+            if keep == 0 {
+                report.truncated_bytes += meta.len();
+                let _ = fs::remove_file(&path);
+                report.removed_segments += 1;
+            } else if meta.len() > keep {
+                report.truncated_bytes += meta.len() - keep;
+                if let Ok(f) = OpenOptions::new().write(true).open(&path) {
+                    let _ = f.set_len(keep);
+                    let _ = f.sync_all();
+                }
+            }
+        }
+        for &later in &segments[si + 1..] {
+            let _ = fs::remove_file(dir.join(segment_name(later)));
+            report.removed_segments += 1;
+        }
+        sync_dir(dir);
+        report.stopped = Some(why);
+    }
+
+    report.next_seq = expected;
+    wal_obs().replay_records.add(report.replayed);
+    wal_obs().truncated_bytes.add(report.truncated_bytes);
+    Ok(report)
+}
+
+/// End offset of the frame starting at `off`, or `None` if it overruns
+/// the buffer (torn) or claims an absurd length.
+fn frame_end_at(bytes: &[u8], off: usize) -> Option<usize> {
+    let header_end = off.checked_add(4)?;
+    if bytes.len() < header_end {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[off..header_end].try_into().expect("4 bytes")) as usize;
+    if len > MAX_WAL_FRAME_BYTES {
+        return None;
+    }
+    let end = header_end.checked_add(8)?.checked_add(len)?.checked_add(4)?;
+    (bytes.len() >= end).then_some(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lt_wal_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn collect(dir: &Path, from: u64) -> (Vec<(u64, WalRecord)>, ReplayReport) {
+        let mut got = Vec::new();
+        let report = replay_wal(dir, from, |seq, rec| {
+            got.push((seq, rec));
+            Ok(())
+        })
+        .unwrap();
+        (got, report)
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Upsert { dim: 3, rows: vec![1.0, -2.5, 0.0, 4.0, 5.0, -6.0] },
+            WalRecord::Delete { id: 7 },
+            WalRecord::Upsert { dim: 3, rows: vec![0.25, 0.5, 0.75] },
+        ]
+    }
+
+    #[test]
+    fn record_encoding_roundtrips() {
+        for rec in sample_records() {
+            assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+        assert!(WalRecord::decode(&[]).is_err());
+        assert!(WalRecord::decode(&[9]).is_err());
+        let mut torn = sample_records()[0].encode();
+        torn.truncate(torn.len() - 2);
+        assert!(WalRecord::decode(&torn).is_err());
+        let mut trailing = sample_records()[1].encode();
+        trailing.push(0);
+        assert!(WalRecord::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let dir = tmp("roundtrip");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Always, 1).unwrap();
+        for (i, rec) in sample_records().iter().enumerate() {
+            assert_eq!(w.append(rec).unwrap(), 1 + i as u64);
+        }
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.next_seq, 4);
+        assert!(report.stopped.is_none());
+        assert_eq!(got.len(), 3);
+        for ((seq, rec), (i, expected)) in got.iter().zip(sample_records().iter().enumerate()) {
+            assert_eq!(*seq, 1 + i as u64);
+            assert_eq!(rec, expected);
+        }
+        // Replay from a floor skips covered records.
+        let (tail, report) = collect(&dir, 2);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(tail[0].0, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_writer_continues() {
+        let dir = tmp("torn");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Always, 1).unwrap();
+        for rec in sample_records() {
+            w.append(&rec).unwrap();
+        }
+        drop(w);
+        // Tear the last frame: chop a few bytes off the segment.
+        let path = dir.join(segment_name(1));
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 3).unwrap();
+
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(report.replayed, 2, "valid prefix only");
+        assert_eq!(report.next_seq, 3);
+        assert!(report.stopped.is_some());
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(got.len(), 2);
+
+        // The tail is gone from disk: a second replay is clean.
+        let (_, again) = collect(&dir, 0);
+        assert_eq!(again.replayed, 2);
+        assert!(again.stopped.is_none());
+
+        // And a writer opened at next_seq continues the chain.
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Always, report.next_seq).unwrap();
+        w.append(&WalRecord::Delete { id: 99 }).unwrap();
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(report.replayed, 3);
+        assert_eq!(got.last().unwrap().0, 3);
+        assert!(report.stopped.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_frame_regions_stop_replay_without_panic() {
+        // Flip one byte in each structural region of the middle frame and
+        // make sure replay stops at (not before) it, cleanly, every time.
+        let base = tmp("flipbase");
+        let mut w = WalWriter::create(&base, FsyncPolicy::Always, 1).unwrap();
+        for rec in sample_records() {
+            w.append(&rec).unwrap();
+        }
+        drop(w);
+        let pristine = fs::read(base.join(segment_name(1))).unwrap();
+        let frame1_start = WAL_MAGIC.len();
+        let frame1_end = frame_end_at(&pristine, frame1_start).unwrap();
+        // Regions of frame 2: length field, seq field, payload, crc.
+        let offsets = [
+            frame1_end,      // length
+            frame1_end + 5,  // seq
+            frame1_end + 13, // payload
+            frame_end_at(&pristine, frame1_end).unwrap() - 1, // crc
+        ];
+        for (i, &flip) in offsets.iter().enumerate() {
+            let dir = tmp(&format!("flip{i}"));
+            let mut bytes = pristine.clone();
+            bytes[flip] ^= 0x5A;
+            fs::write(dir.join(segment_name(1)), &bytes).unwrap();
+            let (got, report) = collect(&dir, 0);
+            assert_eq!(got.len(), 1, "region {i}: only the frame before the flip survives");
+            assert!(report.stopped.is_some(), "region {i}: corruption must be reported");
+            // Post-truncation replay is clean and idempotent.
+            let (again, rep2) = collect(&dir, 0);
+            assert_eq!(again.len(), 1);
+            assert!(rep2.stopped.is_none(), "region {i}: tail must be truncated away");
+            let _ = fs::remove_dir_all(&dir);
+        }
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn rotation_spans_segments_and_prunes_covered_ones() {
+        let dir = tmp("rotate");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Never, 1).unwrap();
+        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        w.append(&WalRecord::Delete { id: 2 }).unwrap();
+        w.rotate_and_prune().unwrap();
+        w.append(&WalRecord::Delete { id: 3 }).unwrap();
+        w.rotate_and_prune().unwrap();
+        w.append(&WalRecord::Delete { id: 4 }).unwrap();
+        drop(w);
+        // No snapshots exist, so nothing is pruned and replay sees all 4.
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(report.replayed, 4);
+        assert!(report.stopped.is_none());
+        assert_eq!(got.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+
+        // Two snapshot markers covering seq 2 and 3: the first segment
+        // (seqs 1-2, fully below the older snapshot) becomes prunable.
+        fs::write(dir.join(snapshot_name(2)), b"x").unwrap();
+        fs::write(dir.join(snapshot_name(3)), b"x").unwrap();
+        prune(&dir);
+        assert!(!dir.join(segment_name(1)).exists(), "covered segment must be pruned");
+        let (got, report) = collect(&dir, 2);
+        assert_eq!(report.replayed, 2);
+        assert!(report.stopped.is_none());
+        assert_eq!(got.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![3, 4]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seq_gap_between_segments_stops_and_removes_unreachable() {
+        let dir = tmp("gap");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Never, 1).unwrap();
+        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        drop(w);
+        // Fabricate a segment claiming to start at 5: seqs 2-4 are missing.
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Never, 5).unwrap();
+        w.append(&WalRecord::Delete { id: 5 }).unwrap();
+        drop(w);
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(got.len(), 1);
+        assert_eq!(report.next_seq, 2);
+        assert!(report.stopped.unwrap().contains("gap"));
+        assert!(!dir.join(segment_name(5)).exists(), "unreachable segment removed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_append_failure_is_typed_and_recoverable() {
+        let dir = tmp("inject");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Always, 1).unwrap();
+        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        w.fail_next_append();
+        let err = w.append(&WalRecord::Delete { id: 2 }).unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        // The failed append must not consume a seq or corrupt the log.
+        assert_eq!(w.append(&WalRecord::Delete { id: 3 }).unwrap(), 2);
+        drop(w);
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(report.replayed, 2);
+        assert!(report.stopped.is_none());
+        assert_eq!(got[1].1, WalRecord::Delete { id: 3 });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_corruption() {
+        let dir = tmp("manifest");
+        let m = Manifest { covered_seq: 42, epoch: 42, snapshot_file: snapshot_name(42) };
+        m.write(&dir).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), m);
+        // Bit-flips anywhere are caught.
+        let path = dir.join(MANIFEST_NAME);
+        let pristine = fs::read(&path).unwrap();
+        for flip in [0, 9, 14, 25, 30, pristine.len() - 2] {
+            let mut bytes = pristine.clone();
+            bytes[flip] ^= 0xFF;
+            fs::write(&path, &bytes).unwrap();
+            assert!(Manifest::decode(&bytes).is_err(), "flip at {flip} accepted");
+            assert!(Manifest::read(&dir).is_err());
+        }
+        // Truncations too.
+        for cut in [0, 7, 19, pristine.len() - 1] {
+            assert!(Manifest::decode(&pristine[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policy_parsing() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(
+            FsyncPolicy::parse("group").unwrap(),
+            FsyncPolicy::Group { records: 8, micros: 1_000 }
+        );
+        assert_eq!(
+            FsyncPolicy::parse("group:32").unwrap(),
+            FsyncPolicy::Group { records: 32, micros: 1_000 }
+        );
+        assert_eq!(
+            FsyncPolicy::parse("group:4:250").unwrap(),
+            FsyncPolicy::Group { records: 4, micros: 250 }
+        );
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+        assert!(FsyncPolicy::parse("group:x").is_err());
+        for p in ["always", "never", "group:4:250"] {
+            assert_eq!(FsyncPolicy::parse(p).unwrap().to_string(), p);
+        }
+    }
+
+    #[test]
+    fn group_policy_syncs_on_record_threshold() {
+        let dir = tmp("group");
+        let mut w =
+            WalWriter::create(&dir, FsyncPolicy::Group { records: 2, micros: u64::MAX }, 1)
+                .unwrap();
+        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        assert_eq!(w.pending_records, 1, "below threshold: no sync yet");
+        w.append(&WalRecord::Delete { id: 2 }).unwrap();
+        assert_eq!(w.pending_records, 0, "threshold reached: synced");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_plan_parses_env_forms() {
+        // from_env reads the real environment; exercise the parser pieces.
+        assert_eq!(CrashPoint::parse("torn_tail"), Some(CrashPoint::TornTail));
+        assert_eq!(CrashPoint::parse("bogus"), None);
+        for p in CrashPoint::ALL {
+            assert_eq!(CrashPoint::parse(p.name()), Some(p));
+        }
+        let plan = CrashPlan { point: Some(CrashPoint::PreAppend), fire_on_hit: 2, hits: AtomicU32::new(0) };
+        assert!(!plan.triggered(CrashPoint::PostAppendPreFsync));
+        assert!(!plan.triggered(CrashPoint::PreAppend), "first hit: not yet");
+        assert!(plan.triggered(CrashPoint::PreAppend), "second hit fires");
+        assert!(!plan.triggered(CrashPoint::PreAppend), "fires exactly once");
+    }
+}

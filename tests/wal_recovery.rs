@@ -1,0 +1,576 @@
+//! Crash-recovery integration suite for the lt-serve write-ahead log.
+//!
+//! The durability contract under test: **an acknowledged mutation is never
+//! lost**. Each crash test re-executes this test binary as a child process
+//! (the [`crash_child`] workload, gated on `LT_WAL_CHILD_DIR`) with
+//! `LT_CRASH_POINT` armed, lets the child abort mid-operation, then
+//! recovers the WAL directory in the parent and checks three things:
+//!
+//! 1. every mutation the child acknowledged (printed `ACK <seq>` before
+//!    the crash) is present in the recovered state — acked ⊆ recovered;
+//! 2. the recovered index is **bitwise identical** (`serialize_index`
+//!    byte equality, plus a search probe on score bits) to a mirror built
+//!    by applying the same deterministic schedule up to the recovered
+//!    epoch — snapshot + WAL-suffix replay reconstructs the pre-crash
+//!    state exactly, never a plausible approximation;
+//! 3. the recovered state keeps working: the writer continues the seq
+//!    chain and the next mutation is accepted.
+//!
+//! The corrupt-artifact matrix flips bytes in the newest WAL segment, the
+//! newest snapshot image, and the manifest, pinning truncate-and-continue
+//! (recover the longest valid prefix, fall back a candidate, never panic).
+//! The fsync-policy grid pins that every policy recovers all acked
+//! mutations across a *clean* process exit (policies only differ in what
+//! power loss — not `kill -9` — may take).
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use lightlt::prelude::*;
+use lightlt::serve::{
+    recover, FsyncPolicy, IndexState, MutationError, RecoverySource, RetryClient, RetryPolicy,
+    ServeClient, ServeConfig, Server,
+};
+use lightlt_core::persist::serialize_index;
+use lightlt_core::search::adc_search;
+use lt_linalg::random::{randn, rng};
+use lt_linalg::Matrix;
+
+const DIM: usize = 12;
+const BASE_N: usize = 60;
+const BASE_SEED: u64 = 41;
+
+/// Synthetic base index — same construction as the serve suite; recovery
+/// behaviour does not depend on how codewords were trained. Deterministic:
+/// the child process and the parent's mirror build the identical index.
+fn base_index() -> QuantizedIndex {
+    let (n, m, k, d) = (BASE_N, 3, 16, DIM);
+    let mut r = rng(BASE_SEED);
+    let codebooks: Vec<Matrix> = (0..m).map(|_| randn(k, d, &mut r).scale(0.3)).collect();
+    let mut state = BASE_SEED.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let ids: Vec<u16> = (0..n * m)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize % k) as u16
+        })
+        .collect();
+    let codes = Codes::new(ids, m);
+    let norms = (0..n)
+        .map(|i| {
+            let mut recon = vec![0.0f32; d];
+            for (level, &id) in codes.item(i).iter().enumerate() {
+                for (v, &c) in recon.iter_mut().zip(codebooks[level].row(id as usize)) {
+                    *v += c;
+                }
+            }
+            lt_linalg::gemm::dot(&recon, &recon)
+        })
+        .collect();
+    QuantizedIndex::from_parts(codebooks, codes, norms, Metric::NegSquaredL2, d, k)
+}
+
+/// One step of the deterministic mutation schedule. The op for step `i`
+/// depends only on `i` and the index length after steps `1..i`, so the
+/// child, a restarted child, and the parent's mirror all derive the same
+/// sequence — WAL seq `i` always carries the same mutation.
+enum Op {
+    Upsert(Matrix),
+    Delete(usize),
+}
+
+fn op_for(step: u64, len: usize) -> Op {
+    if step % 4 == 3 && len > 8 {
+        Op::Delete((step as usize).wrapping_mul(7) % len)
+    } else {
+        let rows = 1 + (step as usize % 2);
+        Op::Upsert(randn(rows, DIM, &mut rng(1_000 + step)).scale(0.3))
+    }
+}
+
+fn apply_to_state(state: &IndexState, step: u64) -> Result<(), MutationError> {
+    match op_for(step, state.snapshot().len()) {
+        Op::Upsert(rows) => state.upsert(&rows).map(|_| ()),
+        Op::Delete(id) => state.delete(id).map(|_| ()),
+    }
+}
+
+/// The index the schedule produces after steps `1..=epoch` — ground truth
+/// for bitwise comparison against a recovered state.
+fn mirror_after(epoch: u64) -> QuantizedIndex {
+    let mut index = base_index();
+    for step in 1..=epoch {
+        match op_for(step, index.len()) {
+            Op::Upsert(rows) => {
+                index.append(&rows);
+            }
+            Op::Delete(id) => {
+                index.swap_remove(id);
+            }
+        }
+    }
+    index
+}
+
+fn assert_bitwise_identical(state: &IndexState, epoch: u64, context: &str) {
+    let mirror = mirror_after(epoch);
+    assert_eq!(
+        serialize_index(&state.snapshot()),
+        serialize_index(&mirror),
+        "recovered state not bitwise-identical to the pre-crash state ({context})"
+    );
+    // Belt and braces: the property users observe is search results.
+    let q = randn(1, DIM, &mut rng(7)).scale(0.5);
+    let a = adc_search(&state.snapshot(), q.row(0), 5);
+    let b = adc_search(&mirror, q.row(0), 5);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.index, y.index, "hit id diverged ({context})");
+        assert_eq!(x.score.to_bits(), y.score.to_bits(), "score bits diverged ({context})");
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lt_wal_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// ---- the child workload --------------------------------------------------
+
+/// Child-process workload for the crash tests. A no-op (instantly passing
+/// test) unless `LT_WAL_CHILD_DIR` is set; the crash tests spawn this test
+/// binary filtered down to exactly this test, with `LT_CRASH_POINT` armed,
+/// and read the `ACK <seq>` lines the child manages to print before the
+/// armed point aborts it. Protocol on stdout, one line each, flushed
+/// before the next fallible step:
+///
+/// - `RECOVERED <epoch>` — recovery finished, continuing from `epoch + 1`
+/// - `ACK <seq>`         — mutation `seq` was acknowledged (durable)
+/// - `SNAP <seq>`        — a durable snapshot covering `seq` committed
+/// - `DONE`              — the whole schedule completed without crashing
+#[test]
+fn crash_child() {
+    let Ok(dir) = std::env::var("LT_WAL_CHILD_DIR") else { return };
+    let dir = PathBuf::from(dir);
+    let total: u64 = std::env::var("LT_WAL_CHILD_OPS").unwrap().parse().unwrap();
+    let snap_at: u64 =
+        std::env::var("LT_WAL_CHILD_SNAP_AT").unwrap_or_default().parse().unwrap_or(0);
+
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+    emit(&format!("RECOVERED {}", report.epoch));
+    for step in report.epoch + 1..=total {
+        apply_to_state(&state, step).unwrap();
+        emit(&format!("ACK {step}"));
+        if step == snap_at {
+            state.write_durable_snapshot().unwrap();
+            emit(&format!("SNAP {step}"));
+        }
+    }
+    emit("DONE");
+}
+
+fn emit(line: &str) {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    writeln!(out, "{line}").unwrap();
+    out.flush().unwrap();
+}
+
+struct ChildRun {
+    recovered: u64,
+    acked: Vec<u64>,
+    snapped: Vec<u64>,
+    done: bool,
+    clean_exit: bool,
+}
+
+impl ChildRun {
+    fn max_acked(&self) -> u64 {
+        self.acked.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Runs [`crash_child`] in a fresh process against `dir`, optionally with
+/// an armed crash point (`"<point>"` or `"<point>:<nth>"`).
+fn run_child(dir: &Path, total: u64, snap_at: u64, crash: Option<&str>) -> ChildRun {
+    let exe = std::env::current_exe().unwrap();
+    let mut cmd = Command::new(exe);
+    cmd.args(["crash_child", "--exact", "--nocapture", "--test-threads=1"])
+        .env("LT_WAL_CHILD_DIR", dir)
+        .env("LT_WAL_CHILD_OPS", total.to_string())
+        .env("LT_WAL_CHILD_SNAP_AT", snap_at.to_string())
+        .env_remove("LT_CRASH_POINT")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(spec) = crash {
+        cmd.env("LT_CRASH_POINT", spec);
+    }
+    let mut child = cmd.spawn().unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut run =
+        ChildRun { recovered: 0, acked: Vec::new(), snapped: Vec::new(), done: false, clean_exit: false };
+    for line in std::io::BufReader::new(stdout).lines() {
+        // Token-wise scan: with `--nocapture` the libtest harness prints
+        // `test crash_child ... ` with no newline, so the child's first
+        // line arrives glued to that prefix.
+        let line = line.unwrap();
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        for w in tokens.windows(2) {
+            match (w[0], w[1].parse::<u64>()) {
+                ("ACK", Ok(n)) => run.acked.push(n),
+                ("SNAP", Ok(n)) => run.snapped.push(n),
+                ("RECOVERED", Ok(n)) => run.recovered = n,
+                _ => {}
+            }
+        }
+        if tokens.contains(&"DONE") {
+            run.done = true;
+        }
+    }
+    run.clean_exit = child.wait().unwrap().success();
+    run
+}
+
+// ---- crash-point matrix --------------------------------------------------
+
+/// The headline acceptance test: a kill at every append-path crash point
+/// loses zero acknowledged mutations under `fsync = always`, and restart
+/// reconstructs a bitwise-identical index.
+#[test]
+fn kill_at_every_append_crash_point_loses_no_acked_mutations() {
+    for point in ["pre_append", "post_append_pre_fsync", "torn_tail"] {
+        let dir = tmp_dir(&format!("kill_{point}"));
+        let run = run_child(&dir, 40, 0, Some(&format!("{point}:7")));
+        assert!(!run.clean_exit, "{point}: the armed child must die, not finish");
+        assert!(!run.done);
+        let max_acked = run.max_acked();
+        assert!(max_acked >= 1, "{point}: some mutations must be acked before the crash");
+        assert!(max_acked < 40, "{point}: the crash must interrupt the schedule");
+
+        let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+        // acked ⊆ recovered: an ack the client saw can never be rolled
+        // back. (The other direction is legitimately loose — a process
+        // kill preserves page-cache writes, so a logged-but-unacked
+        // mutation may survive.)
+        assert!(
+            report.epoch >= max_acked,
+            "{point}: acked seq {max_acked} lost — recovered only to epoch {}",
+            report.epoch
+        );
+        assert!(report.epoch <= 40);
+        assert_eq!(state.epoch(), report.epoch);
+        assert_bitwise_identical(&state, report.epoch, point);
+
+        // The recovered writer continues the seq chain.
+        apply_to_state(&state, report.epoch + 1).unwrap();
+        assert_eq!(state.epoch(), report.epoch + 1, "{point}: writer must continue after recovery");
+        drop(state);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A kill inside the durable-snapshot commit sequence (before the rename,
+/// or after the rename but before the manifest) preserves every acked
+/// mutation: the manifest is the commit point, so the previous snapshot's
+/// WAL suffix is still intact and nothing replays twice.
+#[test]
+fn kill_during_durable_snapshot_preserves_every_acked_mutation() {
+    for point in ["mid_rename", "post_snapshot_pre_manifest"] {
+        let dir = tmp_dir(&format!("snapkill_{point}"));
+        let run = run_child(&dir, 40, 12, Some(point));
+        assert!(!run.clean_exit, "{point}: the armed child must die inside the snapshot");
+        assert_eq!(run.max_acked(), 12, "{point}: ops up to the snapshot trigger are acked");
+        assert!(run.snapped.is_empty(), "{point}: the snapshot must not have committed");
+
+        let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(report.epoch, 12, "{point}: every acked mutation must survive");
+        match point {
+            // Nothing was renamed into place: recovery seeds from the
+            // base image and replays the whole log.
+            "mid_rename" => assert_eq!(report.source, RecoverySource::Base),
+            // The image landed but the manifest did not: the orphan
+            // snapshot seeds recovery, and replay starts after its
+            // covered seq — the double-replay hazard this design avoids.
+            _ => assert!(
+                matches!(report.source, RecoverySource::SnapshotFile(_)),
+                "{point}: expected the orphan snapshot to seed recovery, got {:?}",
+                report.source
+            ),
+        }
+        assert_bitwise_identical(&state, 12, point);
+        apply_to_state(&state, 13).unwrap();
+        assert_eq!(state.epoch(), 13);
+        drop(state);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Crash, restart the server process, let it finish the schedule, then
+/// recover a third time: the full snapshot + rotated-segment + replay
+/// composition converges to the complete deterministic state.
+#[test]
+fn restart_after_crash_resumes_and_completes_the_schedule() {
+    let dir = tmp_dir("restart_resume");
+    // Run 1: snapshot (and rotate) at 20, die mid-append on op 30.
+    let run1 = run_child(&dir, 40, 20, Some("post_append_pre_fsync:30"));
+    assert!(!run1.clean_exit);
+    assert!(run1.snapped.contains(&20), "the durable snapshot at 20 must commit before the crash");
+    assert_eq!(run1.max_acked(), 29);
+
+    // Run 2: no crash armed — recovers (snapshot 20 + suffix) and finishes.
+    let run2 = run_child(&dir, 40, 0, None);
+    assert!(run2.clean_exit && run2.done, "the restarted child must complete the schedule");
+    assert!(
+        (29..=30).contains(&run2.recovered),
+        "restart must resume at the crash frontier, got epoch {}",
+        run2.recovered
+    );
+
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+    assert_eq!(report.epoch, 40);
+    assert!(
+        matches!(report.source, RecoverySource::Manifest(_)),
+        "the committed snapshot must seed recovery, got {:?}",
+        report.source
+    );
+    assert_bitwise_identical(&state, 40, "restart_resume");
+    drop(state);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- corrupt-artifact matrix ---------------------------------------------
+
+/// Builds a WAL directory with two committed snapshots (covering 6 and
+/// 12) and a replay suffix 13..=15, then returns it.
+fn durable_setup(dir: &Path) {
+    let (state, _) = recover(Some(base_index()), dir, FsyncPolicy::Always).unwrap();
+    for step in 1..=6 {
+        apply_to_state(&state, step).unwrap();
+    }
+    state.write_durable_snapshot().unwrap();
+    for step in 7..=12 {
+        apply_to_state(&state, step).unwrap();
+    }
+    state.write_durable_snapshot().unwrap();
+    for step in 13..=15 {
+        apply_to_state(&state, step).unwrap();
+    }
+}
+
+fn flip_byte_mid(path: &Path) {
+    let mut bytes = std::fs::read(path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(path, &bytes).unwrap();
+}
+
+fn newest_file_with(dir: &Path, prefix: &str, suffix: &str) -> PathBuf {
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.unwrap().file_name().into_string().ok())
+        .filter(|n| n.starts_with(prefix) && n.ends_with(suffix))
+        .collect();
+    names.sort();
+    dir.join(names.last().expect("no matching file"))
+}
+
+/// A flipped byte in the newest WAL segment stops replay at that frame:
+/// the longest valid prefix is recovered bitwise-exactly, the torn tail
+/// is truncated off, and the writer continues — never a panic, never a
+/// half-applied record.
+#[test]
+fn bit_flip_in_wal_segment_recovers_the_valid_prefix() {
+    let dir = tmp_dir("flip_wal");
+    durable_setup(&dir);
+    flip_byte_mid(&newest_file_with(&dir, "wal-", ".log"));
+
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+    assert!(
+        report.replay.stopped.is_some(),
+        "replay must report the corruption, got {:?}",
+        report.replay
+    );
+    assert!(
+        (12..15).contains(&report.epoch),
+        "the valid prefix ends at the flipped frame, got epoch {}",
+        report.epoch
+    );
+    assert_bitwise_identical(&state, report.epoch, "flip_wal");
+    apply_to_state(&state, report.epoch + 1).unwrap();
+    drop(state);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt newest snapshot falls back to the previous retained snapshot
+/// and replays its longer WAL suffix — full recovery, one candidate back.
+#[test]
+fn bit_flip_in_snapshot_falls_back_to_older_snapshot() {
+    let dir = tmp_dir("flip_snap");
+    durable_setup(&dir);
+    flip_byte_mid(&newest_file_with(&dir, "snap-", ".ltidx"));
+
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+    assert!(!report.fallbacks.is_empty(), "the corrupt image must be counted as a fallback");
+    assert!(
+        matches!(report.source, RecoverySource::SnapshotFile(_)),
+        "expected the older retained snapshot, got {:?}",
+        report.source
+    );
+    assert_eq!(report.covered_seq, 6);
+    assert_eq!(report.epoch, 15, "the longer WAL suffix rebuilds everything");
+    assert_bitwise_identical(&state, 15, "flip_snap");
+    drop(state);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupt manifest falls back to the newest orphan snapshot by name;
+/// its seq-encoded file name still tells replay where to start.
+#[test]
+fn bit_flip_in_manifest_falls_back_to_orphan_snapshot() {
+    let dir = tmp_dir("flip_manifest");
+    durable_setup(&dir);
+    flip_byte_mid(&dir.join("MANIFEST"));
+
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+    assert!(!report.fallbacks.is_empty());
+    assert!(
+        matches!(report.source, RecoverySource::SnapshotFile(_)),
+        "expected the orphan snapshot, got {:?}",
+        report.source
+    );
+    assert_eq!(report.covered_seq, 12);
+    assert_eq!(report.epoch, 15);
+    assert_bitwise_identical(&state, 15, "flip_manifest");
+    drop(state);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- fsync-policy grid ---------------------------------------------------
+
+/// Every fsync policy recovers every acknowledged mutation across a clean
+/// process exit: the policies trade off what a *power loss* may take, but
+/// bytes handed to the kernel survive the process, so the recovered state
+/// is identical across the grid.
+#[test]
+fn fsync_policy_grid_recovers_all_acked_mutations() {
+    let policies = [
+        ("always", FsyncPolicy::Always),
+        ("group", FsyncPolicy::Group { records: 3, micros: 0 }),
+        ("never", FsyncPolicy::Never),
+    ];
+    for (tag, policy) in policies {
+        let dir = tmp_dir(&format!("grid_{tag}"));
+        {
+            let (state, _) = recover(Some(base_index()), &dir, policy).unwrap();
+            for step in 1..=9 {
+                apply_to_state(&state, step).unwrap();
+            }
+            state.write_durable_snapshot().unwrap();
+            for step in 10..=15 {
+                apply_to_state(&state, step).unwrap();
+            }
+        }
+        let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(report.epoch, 15, "{tag}: all acked mutations must recover");
+        assert_eq!(report.covered_seq, 9, "{tag}: the snapshot covers the pre-rotation prefix");
+        assert_bitwise_identical(&state, 15, tag);
+        drop(state);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---- server-level durability ---------------------------------------------
+
+/// End-to-end over TCP: a WAL-mode server acknowledges mutations, commits
+/// a durable snapshot on request, and a restarted server recovered purely
+/// from the WAL directory serves bitwise-identical results and continues
+/// the epoch/seq chain (visible as `wal_last_seq` in stats).
+#[test]
+fn wal_mode_server_recovers_over_restart() {
+    let dir = tmp_dir("server_wal");
+    let index = base_index();
+    let n0 = index.len();
+    let config = || ServeConfig {
+        wal_dir: Some(dir.clone()),
+        fsync_policy: FsyncPolicy::Always,
+        max_batch: 4,
+        max_delay: Duration::from_millis(1),
+        ..ServeConfig::default()
+    };
+
+    let server = Server::start(index, config()).unwrap();
+    let mut client = ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5))
+        .unwrap();
+    let rows = randn(2, DIM, &mut rng(77)).scale(0.4);
+    let (start, end) = client.upsert(DIM, rows.as_slice()).unwrap();
+    assert_eq!((start, end), (n0 as u64, n0 as u64 + 2));
+    client.delete(0).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.wal_last_seq, 2, "the stats report the last durable seq");
+    // Commit a durable snapshot so the restart can recover with no base
+    // index at all — the WAL directory alone carries the state.
+    assert_eq!(client.snapshot().unwrap(), 2);
+    let q = randn(1, DIM, &mut rng(78)).scale(0.5);
+    let expected = client.search(q.row(0), 6).unwrap();
+    server.shutdown();
+
+    let server2 = Server::start_recovered(config()).unwrap();
+    let mut client2 =
+        ServeClient::connect_with_retry(server2.local_addr(), Duration::from_secs(5)).unwrap();
+    let hits = client2.search(q.row(0), 6).unwrap();
+    assert_eq!(hits.len(), expected.len());
+    for (h, e) in hits.iter().zip(&expected) {
+        assert_eq!(h.0, e.0, "hit ids must survive the restart");
+        assert_eq!(h.1.to_bits(), e.1.to_bits(), "score bits must survive the restart");
+    }
+    let stats2 = client2.stats().unwrap();
+    assert_eq!(stats2.wal_last_seq, 2, "the recovered server continues the seq chain");
+    // And keeps going: the next mutation gets seq 3.
+    client2.upsert(DIM, rows.as_slice()).unwrap();
+    assert_eq!(client2.stats().unwrap().wal_last_seq, 3);
+    server2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `RetryClient` rides out a full server restart on the same address:
+/// connect-phase failures are retried with backoff until the new process
+/// is listening, and the answer is bitwise-identical to before.
+#[test]
+fn retry_client_survives_server_restart() {
+    let index = base_index();
+    let server = Server::start(
+        index.clone(),
+        ServeConfig { max_batch: 4, max_delay: Duration::from_millis(1), ..ServeConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut client = RetryClient::new(
+        addr.to_string(),
+        RetryPolicy {
+            max_attempts: 60,
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            deadline: Duration::from_secs(30),
+        },
+    );
+    let q = randn(1, DIM, &mut rng(79)).scale(0.5);
+    let before = client.search(q.row(0), 5).unwrap();
+    server.shutdown();
+
+    // Bring a new server up on the same port after a gap the client must
+    // bridge with connect retries.
+    let addr_str = addr.to_string();
+    let restarted = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        Server::start(index, ServeConfig { addr: addr_str, ..ServeConfig::default() }).unwrap()
+    });
+    let after = client.search(q.row(0), 5).unwrap();
+    assert_eq!(before.len(), after.len());
+    for (b, a) in before.iter().zip(&after) {
+        assert_eq!(b.0, a.0, "hit ids must match across the restart");
+        assert_eq!(b.1.to_bits(), a.1.to_bits(), "score bits must match across the restart");
+    }
+    restarted.join().unwrap().shutdown();
+}
