@@ -74,6 +74,11 @@ pub fn recover(
     let t0 = observe.then(Instant::now);
     let mut fallbacks = Vec::new();
 
+    // Sweep temp files a crash may have left between write and rename
+    // (`snap-*.ltidx.tmp`, `MANIFEST.tmp`): never committed, and nothing
+    // else ever deletes them.
+    crate::wal::sweep_tmp(wal_dir);
+
     // 1. Manifest-committed snapshot.
     let mut seed: Option<(QuantizedIndex, u64, RecoverySource)> = None;
     if wal_dir.join(crate::wal::MANIFEST_NAME).exists() {

@@ -105,6 +105,7 @@ pub struct Server {
     accept_handle: Option<std::thread::JoinHandle<()>>,
     executor_handle: Option<std::thread::JoinHandle<()>>,
     snapshot_handle: Option<std::thread::JoinHandle<()>>,
+    flusher_handle: Option<std::thread::JoinHandle<()>>,
     handler_handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
 }
 
@@ -232,6 +233,31 @@ impl Server {
             _ => None,
         };
 
+        // Group-commit flusher: the group policy's time threshold is only
+        // evaluated at append time, so after a burst followed by idle
+        // traffic the acknowledged tail would otherwise stay unsynced
+        // until shutdown. This bounds the idle-tail window to ~10ms past
+        // the policy's interval.
+        let flusher_handle = match state.wal_policy() {
+            Some(FsyncPolicy::Group { .. }) => {
+                let state = state.clone();
+                let stop = stop.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("lt-serve-wal-flush".into())
+                        .spawn(move || {
+                            while !stop.load(Ordering::SeqCst) {
+                                std::thread::sleep(Duration::from_millis(10));
+                                if let Err(e) = state.sync_wal_if_due() {
+                                    eprintln!("warning: WAL group flush failed: {e}");
+                                }
+                            }
+                        })?,
+                )
+            }
+            _ => None,
+        };
+
         let accept_handle = {
             let ctx = HandlerCtx {
                 state: state.clone(),
@@ -298,6 +324,7 @@ impl Server {
             accept_handle: Some(accept_handle),
             executor_handle: Some(executor_handle),
             snapshot_handle: Some(snapshot_handle).flatten(),
+            flusher_handle,
             handler_handles,
         })
     }
@@ -328,6 +355,9 @@ impl Server {
             let _ = h.join();
         }
         if let Some(h) = self.snapshot_handle.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.flusher_handle.take() {
             let _ = h.join();
         }
         // Handlers poll the stop flag on their read timeout.
@@ -513,8 +543,10 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 snapshots: ctx.op_counters.snapshots.load(Ordering::Relaxed),
                 queue_len: ctx.queue.len() as u64,
                 max_queue_wait_us: ctx.exec_counters.max_queue_wait_us.load(Ordering::Relaxed),
-                // In WAL mode the epoch is the seq of the last durable
-                // mutation; without a WAL there is no sequence to report.
+                // In WAL mode the epoch is the seq of the last *logged*
+                // mutation — durable under fsync=always, possibly still
+                // unsynced under group/never; without a WAL there is no
+                // sequence to report.
                 wal_last_seq: if ctx.state.wal_enabled() { epoch } else { 0 },
             })
         }

@@ -169,6 +169,27 @@ impl IndexState {
         }
     }
 
+    /// The WAL's fsync policy, when one is configured.
+    pub fn wal_policy(&self) -> Option<crate::wal::FsyncPolicy> {
+        self.wal.as_ref().map(|w| lock_unpoisoned(w).policy())
+    }
+
+    /// Flushes an overdue group-commit tail (no-op without a WAL, under
+    /// `always`/`never`, or with nothing pending). The group policy's
+    /// time threshold is only evaluated at append time, so the server's
+    /// flusher thread calls this periodically — otherwise a burst
+    /// followed by idle traffic would leave the tail unsynced until
+    /// shutdown.
+    ///
+    /// # Errors
+    /// Propagates the fsync failure.
+    pub fn sync_wal_if_due(&self) -> std::io::Result<()> {
+        match &self.wal {
+            Some(wal) => lock_unpoisoned(wal).sync_if_due(),
+            None => Ok(()),
+        }
+    }
+
     /// Logs `record` ahead of applying it. Must be called with the index
     /// write lock held so log order equals apply order.
     fn wal_append(&self, record: &WalRecord) -> Result<(), MutationError> {

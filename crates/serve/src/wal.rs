@@ -35,10 +35,14 @@
 //! ## Torn writes
 //!
 //! [`replay_wal`] stops cleanly at the first frame that is truncated,
-//! fails its CRC, or breaks the seq chain: the valid prefix is applied,
-//! the torn tail is truncated off the segment, and any later segments are
-//! removed (their seqs are unreachable once the chain broke). Replay
-//! never panics on corrupt bytes.
+//! fails its CRC, or breaks the seq chain: the valid prefix is applied
+//! and the torn tail is truncated off the segment. Segments that become
+//! unreachable past the break — and whole segments skipped by a seq gap,
+//! e.g. after every retained snapshot failed validation and recovery had
+//! to fall back to the base image — are moved aside as `*.orphan` files,
+//! never deleted: their frames may hold acknowledged mutations a manual
+//! snapshot repair could still recover. Replay never panics on corrupt
+//! bytes.
 //!
 //! ## Crash injection
 //!
@@ -333,7 +337,11 @@ pub enum FsyncPolicy {
     /// Group commit: fsync once at least `records` appends or `micros`
     /// microseconds have accumulated since the last sync. Acks between
     /// syncs are durable against process kills (the bytes reached the
-    /// kernel) but not against power loss.
+    /// kernel) but not against power loss. Both thresholds are evaluated
+    /// at append time — after a burst followed by idle traffic the tail
+    /// stays unsynced until something calls [`WalWriter::sync_if_due`]
+    /// (lt-serve runs a background flusher for exactly this) or
+    /// [`WalWriter::sync`] at shutdown.
     Group {
         /// Records per sync.
         records: u64,
@@ -436,6 +444,8 @@ pub struct WalWriter {
     broken: Option<String>,
     /// Test hook: fail the next append with an injected I/O error.
     fail_next_append: bool,
+    /// Test hook: fail the next fsync with an injected I/O error.
+    fail_next_sync: bool,
 }
 
 impl WalWriter {
@@ -466,6 +476,7 @@ impl WalWriter {
             last_sync: Instant::now(),
             broken: None,
             fail_next_append: false,
+            fail_next_sync: false,
         })
     }
 
@@ -484,6 +495,12 @@ impl WalWriter {
     /// without real disk faults).
     pub fn fail_next_append(&mut self) {
         self.fail_next_append = true;
+    }
+
+    /// Test hook: make the next fsync fail with an injected I/O error
+    /// (exercises the sync-failure rollback in [`WalWriter::append`]).
+    pub fn fail_next_sync(&mut self) {
+        self.fail_next_sync = true;
     }
 
     /// Appends one record, fsyncing per the policy, and returns the seq
@@ -529,8 +546,16 @@ impl WalWriter {
         self.pending_records += 1;
         if let Err(e) = self.maybe_sync() {
             wal_obs().append_errors.inc();
-            // The frame bytes are written but not durable; the log is
-            // still structurally valid, so later appends may proceed.
+            // The frame reached the file but could not be made durable,
+            // and the caller will refuse the mutation — leaving the frame
+            // in place would replay a refused mutation at recovery, and
+            // the next append would reuse its seq (two frames, one seq:
+            // replay stops and drops the later, acknowledged one). Roll
+            // the frame back so the log holds exactly the acknowledged
+            // prefix; if even the rollback fails the writer is broken.
+            self.offset -= frame.len() as u64;
+            self.pending_records -= 1;
+            self.repair_after_failed_write();
             return Err(e);
         }
         self.next_seq += 1;
@@ -567,11 +592,33 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Syncs only when a [`FsyncPolicy::Group`] interval has elapsed with
+    /// records still pending — the time threshold in [`WalWriter::append`]
+    /// is evaluated at the *next* append, so without a periodic caller an
+    /// idle tail would stay unsynced indefinitely. A no-op under
+    /// `always`/`never` or with nothing pending, so it is safe to call on
+    /// a timer regardless of policy (lt-serve's flusher thread does).
+    ///
+    /// # Errors
+    /// Propagates the fsync failure.
+    pub fn sync_if_due(&mut self) -> io::Result<()> {
+        if let FsyncPolicy::Group { micros, .. } = self.policy {
+            if self.pending_records > 0 && self.last_sync.elapsed().as_micros() as u64 >= micros {
+                self.sync()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Forces an fsync of the current segment.
     ///
     /// # Errors
     /// Propagates the fsync failure.
     pub fn sync(&mut self) -> io::Result<()> {
+        if self.fail_next_sync {
+            self.fail_next_sync = false;
+            return Err(io::Error::other("injected WAL fsync failure"));
+        }
         let observe = lt_obs::enabled();
         let t0 = observe.then(Instant::now);
         self.file.sync_data()?;
@@ -602,10 +649,36 @@ impl WalWriter {
     }
 }
 
+/// Moves a WAL segment aside as `<name>.orphan` instead of deleting it:
+/// its frames may hold acknowledged mutations that a manual snapshot
+/// repair could still recover. Orphans are invisible to replay, pruning,
+/// and the writer (their names no longer parse as segments). Best-effort.
+fn orphan_segment(dir: &Path, first_seq: u64, report: &mut ReplayReport) {
+    let name = segment_name(first_seq);
+    let _ = fs::rename(dir.join(&name), dir.join(format!("{name}.orphan")));
+    report.orphaned_segments += 1;
+}
+
+/// Removes stale `*.tmp` files (snapshot or manifest temps left behind by
+/// a crash between write and rename). Safe wherever snapshot writes are
+/// serialized: at startup recovery (single-threaded) and inside the
+/// snapshot-write critical section, where any live temp has already been
+/// renamed into place. Best-effort.
+pub(crate) fn sweep_tmp(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        if entry.file_name().to_str().is_some_and(|n| n.ends_with(".tmp")) {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
 /// Deletes snapshots beyond [`SNAPSHOT_RETAIN`] and WAL segments whose
-/// every record is covered by the oldest retained snapshot. Best-effort:
-/// pruning failures cost disk, never correctness.
+/// every record is covered by the oldest retained snapshot, and sweeps
+/// stale temp files. Best-effort: pruning failures cost disk, never
+/// correctness.
 fn prune(dir: &Path) {
+    sweep_tmp(dir);
     let Ok(entries) = fs::read_dir(dir) else { return };
     let mut snaps: Vec<u64> = Vec::new();
     let mut segments: Vec<u64> = Vec::new();
@@ -743,8 +816,10 @@ pub struct ReplayReport {
     pub next_seq: u64,
     /// Bytes truncated off a torn or corrupt tail.
     pub truncated_bytes: u64,
-    /// Whole segments removed because the seq chain broke before them.
-    pub removed_segments: usize,
+    /// Whole segments moved aside as `*.orphan` because the seq chain
+    /// broke (or gapped) before them — preserved for manual repair,
+    /// never deleted.
+    pub orphaned_segments: usize,
     /// Why replay stopped early, if it did (torn frame, checksum, gap).
     pub stopped: Option<String>,
 }
@@ -753,10 +828,13 @@ pub struct ReplayReport {
 /// in seq order, calling `apply` for each.
 ///
 /// Stops cleanly — never panics — at the first torn frame, checksum
-/// failure, seq-chain break, or `apply` rejection; the offending tail is
-/// truncated off its segment and all later segments are removed, so the
-/// log on disk afterwards is exactly the applied prefix and the writer
-/// can continue from `next_seq`.
+/// failure, seq gap, seq-chain break, or `apply` rejection; the offending
+/// tail is truncated off its segment and unreachable segments are moved
+/// aside as `*.orphan` (never deleted — a seq gap can mean the segment is
+/// intact but the snapshot bridging to it was lost, and its acknowledged
+/// frames may still matter to a manual repair). The live log afterwards
+/// is exactly the applied prefix and the writer can continue from
+/// `next_seq`.
 ///
 /// # Errors
 /// Propagates only real I/O failures (unreadable directory/file);
@@ -779,8 +857,9 @@ pub fn replay_wal(
     segments.sort_unstable();
 
     let mut expected = from_seq + 1;
-    // (segment index we stopped in, byte offset of the valid prefix)
-    let mut stop: Option<(usize, u64, String)> = None;
+    // (segment index we stopped in, byte offset of the valid prefix,
+    //  gap: the segment is intact but unreachable, not corrupt)
+    let mut stop: Option<(usize, u64, bool, String)> = None;
 
     'segments: for (si, &first) in segments.iter().enumerate() {
         if si + 1 < segments.len() && segments[si + 1] <= expected {
@@ -790,14 +869,19 @@ pub fn replay_wal(
             continue;
         }
         if first > expected {
-            stop = Some((si, 0, format!("seq gap: segment starts at {first}, expected {expected}")));
+            stop = Some((
+                si,
+                0,
+                true,
+                format!("seq gap: segment starts at {first}, expected {expected}"),
+            ));
             break;
         }
         let path = dir.join(segment_name(first));
         let mut bytes = Vec::new();
         File::open(&path)?.read_to_end(&mut bytes)?;
         if bytes.len() < WAL_MAGIC.len() || bytes[..WAL_MAGIC.len()] != *WAL_MAGIC {
-            stop = Some((si, 0, format!("bad segment magic in {}", path.display())));
+            stop = Some((si, 0, false, format!("bad segment magic in {}", path.display())));
             break;
         }
         let mut off = WAL_MAGIC.len();
@@ -807,7 +891,7 @@ pub fn replay_wal(
                 break; // clean end of segment
             }
             let Some(frame_end) = frame_end_at(&bytes, off) else {
-                stop = Some((si, off as u64, "torn frame (truncated)".into()));
+                stop = Some((si, off as u64, false, "torn frame (truncated)".into()));
                 break 'segments;
             };
             let len =
@@ -817,13 +901,14 @@ pub fn replay_wal(
             let stored =
                 u32::from_le_bytes(bytes[frame_end - 4..frame_end].try_into().expect("4 bytes"));
             if crc32(body) != stored {
-                stop = Some((si, off as u64, format!("frame checksum mismatch at seq {seq}")));
+                stop = Some((si, off as u64, false, format!("frame checksum mismatch at seq {seq}")));
                 break 'segments;
             }
             if seq != seg_expected {
                 stop = Some((
                     si,
                     off as u64,
+                    false,
                     format!("seq chain broken: frame {seq}, expected {seg_expected}"),
                 ));
                 break 'segments;
@@ -832,12 +917,12 @@ pub fn replay_wal(
                 let record = match WalRecord::decode(&body[8..]) {
                     Ok(r) => r,
                     Err(e) => {
-                        stop = Some((si, off as u64, format!("bad record at seq {seq}: {e}")));
+                        stop = Some((si, off as u64, false, format!("bad record at seq {seq}: {e}")));
                         break 'segments;
                     }
                 };
                 if let Err(e) = apply(seq, record) {
-                    stop = Some((si, off as u64, format!("replay of seq {seq} rejected: {e}")));
+                    stop = Some((si, off as u64, false, format!("replay of seq {seq} rejected: {e}")));
                     break 'segments;
                 }
                 report.replayed += 1;
@@ -848,17 +933,21 @@ pub fn replay_wal(
         }
     }
 
-    if let Some((si, valid_prefix, why)) = stop {
-        // Truncate the offending segment back to its valid prefix (or
-        // remove it outright when nothing valid is left) and remove every
-        // later segment: their seqs are unreachable past the break.
+    if let Some((si, valid_prefix, gap, why)) = stop {
+        // The offending segment: a seq gap means it is intact but
+        // unreachable (e.g. every snapshot bridging to it was lost), so
+        // it is moved aside whole; a torn/corrupt stop truncates it back
+        // to its valid prefix, orphaning it when nothing valid is left.
+        // Later segments are unreachable past the break either way, and
+        // are orphaned too — never deleted, so acknowledged frames stay
+        // available to a manual snapshot repair.
         let path = dir.join(segment_name(segments[si]));
-        if let Ok(meta) = fs::metadata(&path) {
+        if gap {
+            orphan_segment(dir, segments[si], &mut report);
+        } else if let Ok(meta) = fs::metadata(&path) {
             let keep = if valid_prefix == 0 { 0 } else { valid_prefix.max(WAL_MAGIC.len() as u64) };
             if keep == 0 {
-                report.truncated_bytes += meta.len();
-                let _ = fs::remove_file(&path);
-                report.removed_segments += 1;
+                orphan_segment(dir, segments[si], &mut report);
             } else if meta.len() > keep {
                 report.truncated_bytes += meta.len() - keep;
                 if let Ok(f) = OpenOptions::new().write(true).open(&path) {
@@ -868,8 +957,7 @@ pub fn replay_wal(
             }
         }
         for &later in &segments[si + 1..] {
-            let _ = fs::remove_file(dir.join(segment_name(later)));
-            report.removed_segments += 1;
+            orphan_segment(dir, later, &mut report);
         }
         sync_dir(dir);
         report.stopped = Some(why);
@@ -1066,7 +1154,7 @@ mod tests {
     }
 
     #[test]
-    fn seq_gap_between_segments_stops_and_removes_unreachable() {
+    fn seq_gap_between_segments_stops_and_orphans_unreachable() {
         let dir = tmp("gap");
         let mut w = WalWriter::create(&dir, FsyncPolicy::Never, 1).unwrap();
         w.append(&WalRecord::Delete { id: 1 }).unwrap();
@@ -1075,11 +1163,21 @@ mod tests {
         let mut w = WalWriter::create(&dir, FsyncPolicy::Never, 5).unwrap();
         w.append(&WalRecord::Delete { id: 5 }).unwrap();
         drop(w);
+        let gapped = fs::read(dir.join(segment_name(5))).unwrap();
         let (got, report) = collect(&dir, 0);
         assert_eq!(got.len(), 1);
         assert_eq!(report.next_seq, 2);
         assert!(report.stopped.unwrap().contains("gap"));
-        assert!(!dir.join(segment_name(5)).exists(), "unreachable segment removed");
+        assert_eq!(report.orphaned_segments, 1);
+        // The unreachable segment leaves the live log but is preserved
+        // byte-for-byte for manual repair, never deleted.
+        assert!(!dir.join(segment_name(5)).exists(), "unreachable segment left the live log");
+        let orphan = dir.join(format!("{}.orphan", segment_name(5)));
+        assert_eq!(fs::read(&orphan).unwrap(), gapped, "orphan preserves the segment bytes");
+        // A second replay no longer sees the orphan: clean and idempotent.
+        let (again, rep2) = collect(&dir, 0);
+        assert_eq!(again.len(), 1);
+        assert!(rep2.stopped.is_none());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1098,6 +1196,57 @@ mod tests {
         assert_eq!(report.replayed, 2);
         assert!(report.stopped.is_none());
         assert_eq!(got[1].1, WalRecord::Delete { id: 3 });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_failure_rolls_back_the_frame() {
+        let dir = tmp("syncfail");
+        let mut w = WalWriter::create(&dir, FsyncPolicy::Always, 1).unwrap();
+        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        w.fail_next_sync();
+        let err = w.append(&WalRecord::Delete { id: 2 }).unwrap_err();
+        assert!(err.to_string().contains("fsync"));
+        // The refused mutation's frame must not linger in the log: its
+        // seq is reused by the next successful append, and replay must
+        // see neither a phantom of the refused record nor a duplicate
+        // seq that would truncate off the acknowledged one.
+        assert_eq!(w.append(&WalRecord::Delete { id: 3 }).unwrap(), 2);
+        drop(w);
+        let (got, report) = collect(&dir, 0);
+        assert!(report.stopped.is_none(), "no duplicate-seq chain break: {:?}", report.stopped);
+        assert_eq!(report.replayed, 2);
+        assert_eq!(got[1], (2, WalRecord::Delete { id: 3 }), "refused mutation must not replay");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_if_due_flushes_idle_group_tail() {
+        let dir = tmp("syncdue");
+        let mut w =
+            WalWriter::create(&dir, FsyncPolicy::Group { records: 100, micros: 20_000 }, 1)
+                .unwrap();
+        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        w.sync_if_due().unwrap();
+        assert_eq!(w.pending_records, 1, "interval not elapsed: tail still pending");
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        w.sync_if_due().unwrap();
+        assert_eq!(w.pending_records, 0, "idle tail flushed once the interval elapsed");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_sweeps_stale_tmp_files() {
+        let dir = tmp("sweep");
+        let stale_snap = dir.join(format!("{}.tmp", snapshot_name(7)));
+        let stale_manifest = dir.join(format!("{MANIFEST_NAME}.tmp"));
+        fs::write(&stale_snap, b"half-written").unwrap();
+        fs::write(&stale_manifest, b"half-written").unwrap();
+        fs::write(dir.join(snapshot_name(7)), b"committed").unwrap();
+        prune(&dir);
+        assert!(!stale_snap.exists(), "stale snapshot temp swept");
+        assert!(!stale_manifest.exists(), "stale manifest temp swept");
+        assert!(dir.join(snapshot_name(7)).exists(), "committed files untouched");
         let _ = fs::remove_dir_all(&dir);
     }
 

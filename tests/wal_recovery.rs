@@ -508,7 +508,7 @@ fn wal_mode_server_recovers_over_restart() {
     assert_eq!((start, end), (n0 as u64, n0 as u64 + 2));
     client.delete(0).unwrap();
     let stats = client.stats().unwrap();
-    assert_eq!(stats.wal_last_seq, 2, "the stats report the last durable seq");
+    assert_eq!(stats.wal_last_seq, 2, "the stats report the last logged seq");
     // Commit a durable snapshot so the restart can recover with no base
     // index at all — the WAL directory alone carries the state.
     assert_eq!(client.snapshot().unwrap(), 2);
