@@ -83,6 +83,38 @@ target/release/lightlt query --addr "$WAL_ADDR" --op upsert --dim 8 \
 target/release/lightlt query --addr "$WAL_ADDR" --op shutdown
 wait "$WAL_PID"
 
+# Sharded smoke: the same kill -9 drill with the index split into 4
+# modulo-routed shards. Sharding is semantically invisible (results are
+# bitwise-identical at any shard count), so what this pins is the CLI
+# flag, sharded recovery, and the stats rows: the restarted server must
+# report 4 shards whose item counts partition the recovered total
+# (503 items -> 126/126/126/125 under the modulo routing rule).
+SHARD_DIR=$SMOKE_DIR/wal_sharded
+SHARD_ADDR=127.0.0.1:17895
+rm -rf "$SHARD_DIR"
+mkdir -p "$SHARD_DIR"
+target/release/lightlt serve --index "$SMOKE_DIR/index.bin" \
+  --wal-dir "$SHARD_DIR" --fsync-policy always --shards 4 --addr "$SHARD_ADDR" &
+SHARD_PID=$!
+for _ in 1 2 3; do
+  target/release/lightlt query --addr "$SHARD_ADDR" --op upsert --dim 8 \
+    --vector "$WAL_VEC"
+done
+target/release/lightlt query --addr "$SHARD_ADDR" --op search --k 5 \
+  --vector "$WAL_VEC"
+kill -9 "$SHARD_PID"
+wait "$SHARD_PID" || true
+target/release/lightlt serve --index "$SMOKE_DIR/index.bin" \
+  --wal-dir "$SHARD_DIR" --fsync-policy always --shards 4 --addr "$SHARD_ADDR" &
+SHARD_PID=$!
+SHARD_STATS=$(target/release/lightlt query --addr "$SHARD_ADDR" --op stats)
+echo "$SHARD_STATS" | grep -E 'wal seq +3$'       # every acked mutation recovered
+echo "$SHARD_STATS" | grep -E 'shards +4$'
+echo "$SHARD_STATS" | grep -E 'shard 0 items +126$'
+echo "$SHARD_STATS" | grep -E 'shard 3 items +125$'
+target/release/lightlt query --addr "$SHARD_ADDR" --op shutdown
+wait "$SHARD_PID"
+
 # Smoke the serve load benchmark (tracked baseline: BENCH_serve.json via
 # `cargo run -p lt-bench --release -- serve --durable`; the --durable
 # fsync-policy grid rides along in the smoke too so its path keeps

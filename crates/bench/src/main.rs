@@ -14,7 +14,12 @@
 //! execution (`max_batch = 1`: every request is its own batch, its own
 //! LUT build, its own pool hand-off) against micro-batching
 //! (`max_batch = 32`, 1 ms deadline: GEMM-batched LUTs, one hand-off per
-//! batch). Writes `BENCH_serve.json` at the repo root. With `--durable`
+//! batch). It also sweeps a `threads × shards` scaling grid at the
+//! largest index size (the sharded executor fans per-shard scans across
+//! the worker pool; results stay bitwise-identical at every cell) and a
+//! client ramp that locates the saturation point, both appended to the
+//! same JSON as the `scaling` and `ramp` arrays.
+//! Writes `BENCH_serve.json` at the repo root. With `--durable`
 //! it additionally measures the fsync-policy grid — acknowledged upsert
 //! throughput against a WAL-mode server under `always`, `group:8:1000`,
 //! and `never` — appended to the same JSON as the `durable` array.
@@ -252,6 +257,8 @@ fn run_serve_load(
     max_batch: usize,
     clients: usize,
     reqs: usize,
+    threads: usize,
+    shards: usize,
 ) -> LoadMeasure {
     use lt_serve::{ServeClient, ServeConfig, Server};
     use std::sync::Barrier;
@@ -266,7 +273,8 @@ fn run_serve_load(
         // under one batch's execution time.
         max_delay: Duration::from_micros(200),
         queue_cap: 8192,
-        threads: 0,
+        threads,
+        shards,
         snapshot_path: None,
         snapshot_every: None,
         wal_dir: None,
@@ -326,6 +334,23 @@ fn run_serve_load(
         p95_us: percentile(&latencies, 95.0),
         p99_us: percentile(&latencies, 99.0),
     }
+}
+
+/// One cell of the `threads × shards` scaling grid: micro-batched search
+/// throughput with the executor pool pinned to `threads` workers and the
+/// index split into `shards` modulo-routed shards.
+struct ScalingResult {
+    n: usize,
+    threads: usize,
+    shards: usize,
+    load: LoadMeasure,
+}
+
+/// One step of the client ramp: the same server, more concurrent clients.
+/// The saturation point is where qps stops growing with the client count.
+struct RampResult {
+    clients: usize,
+    load: LoadMeasure,
 }
 
 /// One cell of the fsync-policy durability grid: sustained single-client
@@ -389,6 +414,8 @@ fn render_serve_json(
     dim: usize,
     smoke: bool,
     results: &[ServeResult],
+    scaling: &[ScalingResult],
+    ramp: &[RampResult],
     durable: &[DurableMeasure],
 ) -> String {
     let mut out = String::new();
@@ -426,6 +453,42 @@ fn render_serve_json(
         ));
     }
     out.push_str("  ]");
+    if !scaling.is_empty() {
+        out.push_str(",\n  \"scaling\": [\n");
+        for (i, s) in scaling.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"n\": {}, \"threads\": {}, \"shards\": {}, \
+                 \"qps_batched\": {:.1}, \"mean_batch\": {:.2}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}{}\n",
+                s.n,
+                s.threads,
+                s.shards,
+                s.load.qps,
+                s.load.mean_batch,
+                s.load.p50_us,
+                s.load.p95_us,
+                s.load.p99_us,
+                if i + 1 < scaling.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
+    if !ramp.is_empty() {
+        out.push_str(",\n  \"ramp\": [\n");
+        for (i, r) in ramp.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"clients\": {}, \"qps\": {:.1}, \
+                 \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}}}{}\n",
+                r.clients,
+                r.load.qps,
+                r.load.p50_us,
+                r.load.p95_us,
+                r.load.p99_us,
+                if i + 1 < ramp.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
     if !durable.is_empty() {
         out.push_str(",\n  \"durable\": [\n");
         for (i, m) in durable.iter().enumerate() {
@@ -459,8 +522,8 @@ fn run_serve(smoke: bool, durable: bool, out_path: &str) {
     let mut results = Vec::new();
     for &(n, m, k) in grid {
         let index = synth_index(n, m, k, dim);
-        let batch1 = run_serve_load(&index, dim, 1, clients, reqs);
-        let batched = run_serve_load(&index, dim, clients, clients, reqs);
+        let batch1 = run_serve_load(&index, dim, 1, clients, reqs, 0, 1);
+        let batched = run_serve_load(&index, dim, clients, clients, reqs, 0, 1);
         let speedup = batched.qps / batch1.qps;
         let r = ServeResult { n, m, k, clients, requests: reqs, max_batch: clients, batch1, batched, speedup };
         eprintln!(
@@ -479,6 +542,42 @@ fn run_serve(smoke: bool, durable: bool, out_path: &str) {
         );
         results.push(r);
     }
+    // The threads × shards scaling grid at the largest size: how the
+    // sharded executor spends extra cores. Every cell serves bitwise-
+    // identical results; only throughput and latency may differ.
+    let (scale_n, scale_m, scale_k) = grid[grid.len() - 1];
+    let (thread_grid, shard_grid, scale_reqs): (&[usize], &[usize], usize) = if smoke {
+        (&[1, 2], &[1, 2], 16)
+    } else {
+        (&[1, 4, 8], &[1, 4, 8], 64)
+    };
+    let scale_index = synth_index(scale_n, scale_m, scale_k, dim);
+    let mut scaling = Vec::new();
+    for &threads in thread_grid {
+        for &shards in shard_grid {
+            let load =
+                run_serve_load(&scale_index, dim, clients, clients, scale_reqs, threads, shards);
+            eprintln!(
+                "scaling n={scale_n} threads={threads} shards={shards}  {:>8.0} qps  \
+                 mean batch {:.1}  p50/p95/p99 {}/{}/{} us",
+                load.qps, load.mean_batch, load.p50_us, load.p95_us, load.p99_us
+            );
+            scaling.push(ScalingResult { n: scale_n, threads, shards, load });
+        }
+    }
+    // Client ramp at auto threads, sharded: where does the server
+    // saturate as concurrency grows?
+    let ramp_clients: &[usize] = if smoke { &[4, 8] } else { &[8, 16, 32, 64] };
+    let ramp_shards = if smoke { 2 } else { 4 };
+    let mut ramp = Vec::new();
+    for &c in ramp_clients {
+        let load = run_serve_load(&scale_index, dim, c, c, scale_reqs, 0, ramp_shards);
+        eprintln!(
+            "ramp clients={c:<3} shards={ramp_shards}  {:>8.0} qps  p50/p95/p99 {}/{}/{} us",
+            load.qps, load.p50_us, load.p95_us, load.p99_us
+        );
+        ramp.push(RampResult { clients: c, load });
+    }
     // The fsync-policy grid: how much durability costs per policy, on the
     // smallest index of the grid (the WAL append dominates, not the scan).
     let mut durable_results = Vec::new();
@@ -495,7 +594,7 @@ fn run_serve(smoke: bool, durable: bool, out_path: &str) {
             durable_results.push(measure);
         }
     }
-    let json = render_serve_json(dim, smoke, &results, &durable_results);
+    let json = render_serve_json(dim, smoke, &results, &scaling, &ramp, &durable_results);
     std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 }

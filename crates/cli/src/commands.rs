@@ -296,6 +296,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         max_delay: Duration::from_micros(max_delay_us),
         queue_cap: args.get_or("queue-cap", 1024)?,
         threads: args.get_or("threads", 0)?,
+        shards: args.get_or("shards", 1)?,
         snapshot_path,
         snapshot_every: match snapshot_every_ms {
             0 => None,
@@ -308,6 +309,9 @@ pub fn serve(args: &Args) -> Result<(), String> {
     if config.max_batch == 0 || config.queue_cap == 0 {
         return Err("--max-batch and --queue-cap must be positive".into());
     }
+    if config.shards == 0 {
+        return Err("--shards must be positive".into());
+    }
 
     let server = match index {
         Some(index) => lt_serve::Server::start(index, config),
@@ -315,9 +319,10 @@ pub fn serve(args: &Args) -> Result<(), String> {
     }
     .map_err(|e| format!("starting server: {e}"))?;
     println!(
-        "serving {} items (dim {}) on {} (loaded from {source})",
-        server.state().snapshot().len(),
-        server.state().snapshot().dim(),
+        "serving {} items (dim {}) across {} shard(s) on {} (loaded from {source})",
+        server.state().items(),
+        server.state().dim(),
+        server.state().num_shards(),
         server.local_addr(),
     );
     server.wait_for_stop();
@@ -421,6 +426,13 @@ pub fn query(args: &Args) -> Result<(), String> {
             table.row(&["queue length".into(), s.queue_len.to_string()]);
             table.row(&["max queue wait (us)".into(), s.max_queue_wait_us.to_string()]);
             table.row(&["wal seq".into(), s.wal_last_seq.to_string()]);
+            // 0 means a pre-sharding server whose payload lacks the field.
+            if s.shards > 0 {
+                table.row(&["shards".into(), s.shards.to_string()]);
+                for (i, n) in s.shard_items.iter().enumerate() {
+                    table.row(&[format!("shard {i} items"), n.to_string()]);
+                }
+            }
             println!("{}", table.render());
         }
         "metrics" => {

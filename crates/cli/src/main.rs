@@ -43,14 +43,17 @@ COMMANDS:
   serve      serve an index over TCP with micro-batched search
              --index <index.bin>  [--addr 127.0.0.1:7878]
              [--max-batch 16] [--max-delay-us 500] [--queue-cap 1024]
-             [--snapshot <file.snap>] [--snapshot-every-ms 0]
+             [--shards 1] [--snapshot <file.snap>] [--snapshot-every-ms 0]
              [--wal-dir <dir>] [--fsync-policy always|group[:N[:US]]|never]
              [--no-metrics]
              (with --snapshot, a valid snapshot file is preferred over
               --index at startup: crash-safe reload. With --wal-dir, every
               upsert/delete is written ahead to a CRC-framed log before
               acknowledgement and startup replays the newest snapshot +
-              WAL suffix: acknowledged mutations survive kill -9)
+              WAL suffix: acknowledged mutations survive kill -9.
+              --shards N splits the index into N modulo-routed shards
+              scanned in parallel; results are bitwise-identical at any
+              shard count, and snapshots/WALs reload at any other count)
   query      send one request to a running server
              --addr <host:port>
              [--op search|upsert|delete|stats|metrics|snapshot|shutdown]

@@ -145,6 +145,18 @@ impl QuantizedIndex {
         &self.codebooks
     }
 
+    /// The codebooks stacked into one `(M·K) × d` matrix (row `m·K + j` is
+    /// codebook `m`'s codeword `j`) — the layout
+    /// [`lt_linalg::ScanBackend`] LUT builds run against.
+    pub fn lut_stack(&self) -> &Matrix {
+        &self.lut_stack
+    }
+
+    /// Item `i`'s codeword ids in item-major order (`M` entries; `O(M)`).
+    pub fn item_codes(&self, i: usize) -> Vec<u16> {
+        (0..self.num_codebooks()).map(|level| self.codes.code(i, level)).collect()
+    }
+
     /// Stored reconstruction norm of item `i`.
     pub fn recon_norm_sq(&self, i: usize) -> f32 {
         self.recon_norms_sq[i]
@@ -193,31 +205,81 @@ impl QuantizedIndex {
     pub fn append(&mut self, embeddings: &Matrix) -> std::ops::Range<usize> {
         assert_eq!(embeddings.cols(), self.dim, "embedding dimension mismatch");
         let start = self.len();
-        let m = self.num_codebooks();
-        let mut item = vec![0u16; m];
         for i in 0..embeddings.rows() {
-            let mut residual = embeddings.row(i).to_vec();
-            let mut recon = vec![0.0f32; self.dim];
-            for (level, cb) in self.codebooks.iter().enumerate() {
-                let mut best = 0usize;
-                let mut best_s = f32::NEG_INFINITY;
-                for j in 0..self.num_codewords {
-                    let s = lt_linalg::distance::similarity(self.metric, &residual, cb.row(j));
-                    if s > best_s {
-                        best_s = s;
-                        best = j;
-                    }
-                }
-                item[level] = best as u16;
-                for ((r, o), &c) in residual.iter_mut().zip(recon.iter_mut()).zip(cb.row(best)) {
-                    *r -= c;
-                    *o += c;
-                }
-            }
+            let (item, norm_sq) = self.encode_item(embeddings.row(i));
             self.codes.push_item(&item);
-            self.recon_norms_sq.push(dot(&recon, &recon));
+            self.recon_norms_sq.push(norm_sq);
         }
         start..self.len()
+    }
+
+    /// Encodes one embedding row with the same greedy residual selection
+    /// [`QuantizedIndex::append`] uses, without storing it: returns the
+    /// item-major codes and the reconstruction norm `‖o‖²`.
+    ///
+    /// The result depends only on the row, the codebooks, and the metric —
+    /// never on the items already stored — so any index sharing these
+    /// codebooks (e.g. the shards of a partitioned index) encodes a row
+    /// bit-for-bit identically.
+    pub fn encode_item(&self, row: &[f32]) -> (Vec<u16>, f32) {
+        assert_eq!(row.len(), self.dim, "embedding dimension mismatch");
+        let mut item = vec![0u16; self.num_codebooks()];
+        let mut residual = row.to_vec();
+        let mut recon = vec![0.0f32; self.dim];
+        for (level, cb) in self.codebooks.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_s = f32::NEG_INFINITY;
+            for j in 0..self.num_codewords {
+                let s = lt_linalg::distance::similarity(self.metric, &residual, cb.row(j));
+                if s > best_s {
+                    best_s = s;
+                    best = j;
+                }
+            }
+            item[level] = best as u16;
+            for ((r, o), &c) in residual.iter_mut().zip(recon.iter_mut()).zip(cb.row(best)) {
+                *r -= c;
+                *o += c;
+            }
+        }
+        (item, dot(&recon, &recon))
+    }
+
+    /// Appends an item that is already encoded (codes + reconstruction
+    /// norm) without re-encoding it — `O(M)`. Returns the assigned id.
+    /// Used when items move between partitions of a sharded index: copying
+    /// codes verbatim keeps every score bit-for-bit stable.
+    ///
+    /// # Panics
+    /// Panics if `codes` has the wrong length or an out-of-range id.
+    pub fn push_encoded(&mut self, codes: &[u16], norm_sq: f32) -> usize {
+        self.codes.push_item(codes);
+        self.recon_norms_sq.push(norm_sq);
+        self.len() - 1
+    }
+
+    /// Overwrites slot `i` with an already-encoded item in place (`O(M)`).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds, `codes` has the wrong length, or an
+    /// id is out of range.
+    pub fn set_encoded(&mut self, i: usize, codes: &[u16], norm_sq: f32) {
+        self.codes.set_item(i, codes);
+        self.recon_norms_sq[i] = norm_sq;
+    }
+
+    /// An empty index sharing this one's codebooks, metric, and shape —
+    /// the seed for one shard of a partitioned index.
+    pub fn empty_like(&self) -> Self {
+        Self {
+            codebooks: self.codebooks.clone(),
+            codes: LevelCodes::new(self.num_codebooks(), self.num_codewords),
+            lut_stack: self.lut_stack.clone(),
+            recon_norms_sq: Vec::new(),
+            metric: self.metric,
+            dim: self.dim,
+            num_codewords: self.num_codewords,
+        }
     }
 
     /// Removes an item by swapping in the last one (`O(M)`: one
@@ -346,6 +408,60 @@ impl QuantizedIndex {
             }
         }
     }
+}
+
+/// Partitions an index into `num_shards` shard indexes under the modulo
+/// routing rule: global id `g` goes to shard `g % S` at local slot
+/// `g / S`. Shards share the codebooks, and codes/norms are copied
+/// verbatim (never re-encoded), so every per-item score computed against
+/// a shard is bit-for-bit the score the source index would compute.
+///
+/// # Panics
+/// Panics when `num_shards == 0`.
+pub fn split_modulo(index: &QuantizedIndex, num_shards: usize) -> Vec<QuantizedIndex> {
+    assert!(num_shards > 0, "need at least one shard");
+    if num_shards == 1 {
+        return vec![index.clone()];
+    }
+    let mut shards: Vec<QuantizedIndex> =
+        (0..num_shards).map(|_| index.empty_like()).collect();
+    for g in 0..index.len() {
+        shards[g % num_shards].push_encoded(&index.item_codes(g), index.recon_norm_sq(g));
+    }
+    shards
+}
+
+/// Reassembles the unsharded index from modulo-routed shards — the exact
+/// inverse of [`split_modulo`]: global id `g` is shard `g % S`'s local
+/// item `g / S`.
+///
+/// # Panics
+/// Panics when `shards` is empty or the per-shard item counts do not
+/// form a valid round-robin partition (shard `i` must hold exactly the
+/// ids congruent to `i` below the total).
+pub fn merge_modulo(shards: &[&QuantizedIndex]) -> QuantizedIndex {
+    assert!(!shards.is_empty(), "need at least one shard");
+    if shards.len() == 1 {
+        return shards[0].clone();
+    }
+    let s = shards.len();
+    let total: usize = shards.iter().map(|x| x.len()).sum();
+    for (i, shard) in shards.iter().enumerate() {
+        // Ids in [0, total) congruent to i mod s.
+        let expect = (total + s - 1 - i) / s;
+        assert_eq!(
+            shard.len(),
+            expect,
+            "shard {i} holds {} items where the routing rule expects {expect}",
+            shard.len()
+        );
+    }
+    let mut out = shards[0].empty_like();
+    for g in 0..total {
+        let shard = &shards[g % s];
+        out.push_encoded(&shard.item_codes(g / s), shard.recon_norm_sq(g / s));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -480,6 +596,53 @@ mod tests {
     }
 
     #[test]
+    fn encoded_transplant_preserves_scores_bitwise() {
+        // Moving items between indexes that share codebooks (shard
+        // maintenance) copies codes verbatim, so scores never change bits.
+        let (dsq, store, db) = setup();
+        let idx = QuantizedIndex::build(&dsq, &store, &db);
+        let picks = [3usize, 17, 39];
+        let mut shard = idx.empty_like();
+        assert!(shard.is_empty());
+        assert_eq!(shard.dim(), idx.dim());
+        for (slot, &i) in picks.iter().enumerate() {
+            assert_eq!(shard.push_encoded(&idx.item_codes(i), idx.recon_norm_sq(i)), slot);
+        }
+        let q: Vec<f32> = (0..6).map(|i| (i as f32 - 2.5) * 0.3).collect();
+        let qn = dot(&q, &q);
+        let mut full = Vec::new();
+        idx.scores_with_lut(&idx.build_lut(&q), qn, &mut full);
+        let mut local = Vec::new();
+        shard.scores_with_lut(&shard.build_lut(&q), qn, &mut local);
+        for (s, &i) in local.iter().zip(&picks) {
+            assert_eq!(s.to_bits(), full[i].to_bits(), "item {i}");
+        }
+    }
+
+    #[test]
+    fn set_encoded_overwrites_slot_in_place() {
+        let (dsq, store, db) = setup();
+        let mut idx = QuantizedIndex::build(&dsq, &store, &db);
+        let codes = idx.item_codes(7);
+        let norm = idx.recon_norm_sq(7);
+        idx.set_encoded(2, &codes, norm);
+        assert_eq!(idx.item_codes(2), codes);
+        assert_eq!(idx.recon_norm_sq(2).to_bits(), norm.to_bits());
+        assert_eq!(idx.len(), 40);
+    }
+
+    #[test]
+    fn encode_item_matches_append() {
+        let (dsq, store, db) = setup();
+        let head: Vec<usize> = (0..39).collect();
+        let mut grown = QuantizedIndex::build(&dsq, &store, &db.select_rows(&head));
+        let (codes, norm) = grown.encode_item(db.row(39));
+        grown.append(&db.select_rows(&[39]));
+        assert_eq!(grown.item_codes(39), codes);
+        assert_eq!(grown.recon_norm_sq(39).to_bits(), norm.to_bits());
+    }
+
+    #[test]
     fn swap_remove_keeps_search_consistent() {
         let (dsq, store, db) = setup();
         let mut idx = QuantizedIndex::build(&dsq, &store, &db);
@@ -493,6 +656,48 @@ mod tests {
         let last = idx.len() - 1;
         assert_eq!(idx.swap_remove(last), None);
         assert_eq!(idx.len(), 38);
+    }
+
+    #[test]
+    fn split_merge_modulo_roundtrips() {
+        let (dsq, store, db) = setup();
+        let idx = QuantizedIndex::build(&dsq, &store, &db);
+        for s in [1usize, 2, 3, 8] {
+            let shards = split_modulo(&idx, s);
+            assert_eq!(shards.len(), s);
+            assert_eq!(shards.iter().map(|x| x.len()).sum::<usize>(), idx.len());
+            // Shard i's local j is global j*s + i, codes copied verbatim.
+            for (i, shard) in shards.iter().enumerate() {
+                for j in 0..shard.len() {
+                    let g = j * s + i;
+                    assert_eq!(shard.item_codes(j), idx.item_codes(g), "s={s} g={g}");
+                    assert_eq!(
+                        shard.recon_norm_sq(j).to_bits(),
+                        idx.recon_norm_sq(g).to_bits()
+                    );
+                }
+            }
+            let shard_refs: Vec<&QuantizedIndex> = shards.iter().collect();
+            let merged = merge_modulo(&shard_refs);
+            assert_eq!(merged.len(), idx.len());
+            for g in 0..idx.len() {
+                assert_eq!(merged.item_codes(g), idx.item_codes(g), "s={s} g={g}");
+                assert_eq!(merged.recon_norm_sq(g).to_bits(), idx.recon_norm_sq(g).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "routing rule expects")]
+    fn merge_modulo_rejects_unbalanced_shards() {
+        let (dsq, store, db) = setup();
+        let idx = QuantizedIndex::build(&dsq, &store, &db);
+        // Removing from shard 0 leaves sizes (9,10,10,10); 39 items
+        // round-robin would need (10,10,10,9).
+        let mut shards = split_modulo(&idx, 4);
+        shards[0].swap_remove(0);
+        let shard_refs: Vec<&QuantizedIndex> = shards.iter().collect();
+        let _ = merge_modulo(&shard_refs);
     }
 
     #[test]

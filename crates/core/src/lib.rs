@@ -80,15 +80,17 @@ pub mod prelude {
     pub use crate::dsq::{Codes, Dsq};
     pub use crate::ensemble::{train_ensemble, train_ensemble_resumable, EnsembleResult};
     pub use crate::fault::{FaultPlan, GuardTrip, TrainError};
-    pub use crate::index::QuantizedIndex;
+    pub use crate::index::{merge_modulo, split_modulo, QuantizedIndex};
     pub use crate::loss::{class_weights, LossBreakdown};
     pub use crate::model::LightLt;
     pub use crate::persist::{deserialize_index, serialize_index, ModelBundle};
     pub use crate::search::{
-        adc_rank_all, adc_rank_all_batch, adc_rank_all_with, adc_search, adc_search_batch,
-        adc_search_batch_checked, adc_search_checked, adc_search_rerank, adc_search_with,
-        exhaustive_rank_all, exhaustive_search, validate_search_request, SearchError,
-        SearchScratch,
+        adc_rank_all, adc_rank_all_batch, adc_rank_all_with, adc_scan_shards_topk, adc_search,
+        adc_search_batch, adc_search_batch_checked, adc_search_batch_sharded,
+        adc_search_batch_sharded_with_backend, adc_search_batch_with_backend,
+        adc_search_checked, adc_search_rerank, adc_search_with, adc_search_with_backend,
+        exhaustive_rank_all, exhaustive_search, merge_shard_topk, validate_search_request,
+        SearchError, SearchScratch,
     };
     pub use crate::trainer::{
         resume, train, train_base_model, train_resumable, train_with_options, tune_alpha,

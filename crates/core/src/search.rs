@@ -13,8 +13,9 @@ use std::time::Instant;
 
 use lt_linalg::distance::{similarity, Metric};
 use lt_linalg::gemm::dot;
+use lt_linalg::scan::F32_BACKEND;
 use lt_linalg::topk::{Scored, TopK};
-use lt_linalg::Matrix;
+use lt_linalg::{Matrix, ScanBackend};
 
 use crate::index::QuantizedIndex;
 
@@ -109,7 +110,7 @@ fn query_norm_sq(index: &QuantizedIndex, query: &[f32]) -> f32 {
     }
 }
 
-/// Core selection over a prebuilt LUT.
+/// Core selection over a prebuilt LUT, executed by a [`ScanBackend`].
 ///
 /// `k < n` streams blocks through the reusable [`TopK`] accumulator
 /// (scores never materialize); `k ≥ n` materializes the score list once
@@ -117,6 +118,7 @@ fn query_norm_sq(index: &QuantizedIndex, query: &[f32]) -> f32 {
 /// so results are identical.
 fn search_with_lut(
     index: &QuantizedIndex,
+    backend: &dyn ScanBackend,
     lut: &[f32],
     qn: f32,
     k: usize,
@@ -124,16 +126,16 @@ fn search_with_lut(
     topk: &mut TopK,
 ) -> Vec<Scored> {
     let n = index.len();
-    if k >= n {
-        index.scores_with_lut(lut, qn, scores);
-        return lt_linalg::topk::top_k_by_sort(scores, k);
-    }
     let norms = match index.metric() {
         Metric::NegSquaredL2 => Some((index.recon_norms_sq(), qn)),
         Metric::InnerProduct | Metric::Cosine => None,
     };
+    if k >= n {
+        backend.scores(index.level_codes(), lut, norms, scores);
+        return lt_linalg::topk::top_k_by_sort(scores, k);
+    }
     topk.reset(k);
-    lt_linalg::scan::adc_scan_topk(index.level_codes(), lut, norms, topk);
+    backend.scan_topk(index.level_codes(), lut, norms, topk);
     topk.drain_sorted()
 }
 
@@ -161,17 +163,32 @@ pub fn adc_search_checked(
 }
 
 /// [`adc_search`] with caller-provided scratch: no per-query allocation
-/// once the scratch buffers have grown to steady-state size.
+/// once the scratch buffers have grown to steady-state size. Runs on the
+/// default [`lt_linalg::F32ScanBackend`].
 pub fn adc_search_with(
     index: &QuantizedIndex,
     query: &[f32],
     k: usize,
     scratch: &mut SearchScratch,
 ) -> Vec<Scored> {
+    adc_search_with_backend(index, &F32_BACKEND, query, k, scratch)
+}
+
+/// [`adc_search_with`] on an explicit [`ScanBackend`]: LUT construction
+/// and the blocked scan both go through the engine, so alternative
+/// implementations (quantized LUTs, routed scans) slot in here.
+pub fn adc_search_with_backend(
+    index: &QuantizedIndex,
+    backend: &dyn ScanBackend,
+    query: &[f32],
+    k: usize,
+    scratch: &mut SearchScratch,
+) -> Vec<Scored> {
+    assert_eq!(query.len(), index.dim(), "query dimension mismatch");
     let SearchScratch { lut, scores, topk } = scratch;
-    index.build_lut_into(query, lut);
+    backend.build_lut(index.lut_stack(), query, lut);
     let qn = query_norm_sq(index, query);
-    search_with_lut(index, lut, qn, k, scores, topk)
+    search_with_lut(index, backend, lut, qn, k, scores, topk)
 }
 
 /// Queries per work item in the batch search paths. Fixed (never derived
@@ -206,13 +223,24 @@ fn scan_obs() -> &'static ScanObs {
 /// or the `LT_THREADS` environment variable; results are identical either
 /// way, and identical to per-query [`adc_search`].
 pub fn adc_search_batch(index: &QuantizedIndex, queries: &Matrix, k: usize) -> Vec<Vec<Scored>> {
+    adc_search_batch_with_backend(index, &F32_BACKEND, queries, k)
+}
+
+/// [`adc_search_batch`] on an explicit [`ScanBackend`].
+pub fn adc_search_batch_with_backend(
+    index: &QuantizedIndex,
+    backend: &dyn ScanBackend,
+    queries: &Matrix,
+    k: usize,
+) -> Vec<Vec<Scored>> {
+    assert_eq!(queries.cols(), index.dim(), "query dimension mismatch");
     // LUT-build vs. scan split: the two timed sections cover the whole
     // call, so `scan.lut_build_us + scan.scan_us` is end-to-end batch
     // latency. Timing wraps the phases, never the per-item work, so the
     // enabled-mode overhead is two clock reads per batch.
     let observe = lt_obs::enabled() || lt_obs::events_enabled();
     let t0 = observe.then(Instant::now);
-    let luts = index.build_lut_batch(queries);
+    let luts = backend.build_lut_batch(index.lut_stack(), queries);
     if let Some(t0) = t0 {
         let micros = lt_obs::micros_since(t0);
         scan_obs().lut_build_us.record(micros);
@@ -224,7 +252,15 @@ pub fn adc_search_batch(index: &QuantizedIndex, queries: &Matrix, k: usize) -> V
         range
             .map(|i| {
                 let qn = query_norm_sq(index, queries.row(i));
-                search_with_lut(index, luts.row(i), qn, k, &mut scratch.scores, &mut scratch.topk)
+                search_with_lut(
+                    index,
+                    backend,
+                    luts.row(i),
+                    qn,
+                    k,
+                    &mut scratch.scores,
+                    &mut scratch.topk,
+                )
             })
             .collect::<Vec<_>>()
     })
@@ -241,6 +277,162 @@ pub fn adc_search_batch(index: &QuantizedIndex, queries: &Matrix, k: usize) -> V
         });
     }
     hits
+}
+
+/// Batch ADC search over an index partitioned into shards by the modulo
+/// routing rule: global id `g` lives in shard `g % S` at local slot
+/// `g / S`. Returns per-query result lists with **global** ids, bitwise
+/// identical to [`adc_search_batch`] over the unsharded whole at any
+/// shard count and any [`lt_runtime`] thread width.
+///
+/// Why the bits cannot move: each item's score depends only on its own
+/// codes and the query LUT (level-ascending accumulation, no
+/// cross-item state), shards share one set of codebooks so one GEMM
+/// builds every LUT, and per-shard top-k lists are folded in ascending
+/// shard order through the same [`TopK`] total order (score, then lower
+/// global id) an unsharded scan pushes through. An item outside its
+/// shard's top-k can never be in the global top-k, so folding the
+/// per-shard winners loses nothing.
+///
+/// # Panics
+/// Panics if `shards` is empty, the shards disagree on shape/metric, or
+/// the query width does not match.
+pub fn adc_search_batch_sharded(
+    shards: &[&QuantizedIndex],
+    queries: &Matrix,
+    k: usize,
+) -> Vec<Vec<Scored>> {
+    adc_search_batch_sharded_with_backend(shards, &F32_BACKEND, queries, k)
+}
+
+/// [`adc_search_batch_sharded`] on an explicit [`ScanBackend`].
+pub fn adc_search_batch_sharded_with_backend(
+    shards: &[&QuantizedIndex],
+    backend: &dyn ScanBackend,
+    queries: &Matrix,
+    k: usize,
+) -> Vec<Vec<Scored>> {
+    assert!(!shards.is_empty(), "need at least one shard");
+    if shards.len() == 1 {
+        return adc_search_batch_with_backend(shards[0], backend, queries, k);
+    }
+    let per_shard = adc_scan_shards_topk(shards, backend, queries, k);
+    merge_shard_topk(&per_shard, queries.rows(), k)
+}
+
+/// Scan phase of a sharded batch search: every shard's top-k candidates
+/// for every query, with shard-local slots already remapped to global ids
+/// (`local · S + shard`). Shards fan out on the worker pool — one chunk
+/// per shard, so the decomposition never depends on the thread count and
+/// every scan is bitwise reproducible. Returned as `[shard][query]`; feed
+/// to [`merge_shard_topk`] (lt-serve calls the phases separately to time
+/// the merge on its own histogram).
+///
+/// # Panics
+/// Panics when `shards` is empty, the shards disagree on shape/metric, or
+/// the query width does not match.
+pub fn adc_scan_shards_topk(
+    shards: &[&QuantizedIndex],
+    backend: &dyn ScanBackend,
+    queries: &Matrix,
+    k: usize,
+) -> Vec<Vec<Vec<Scored>>> {
+    assert!(!shards.is_empty(), "need at least one shard");
+    let s = shards.len();
+    let proto = shards[0];
+    for shard in shards {
+        assert_eq!(shard.dim(), proto.dim(), "shard dimension mismatch");
+        assert_eq!(shard.num_codebooks(), proto.num_codebooks(), "shard codebook count mismatch");
+        assert_eq!(shard.num_codewords(), proto.num_codewords(), "shard codeword count mismatch");
+        assert_eq!(shard.metric(), proto.metric(), "shard metric mismatch");
+    }
+    assert_eq!(queries.cols(), proto.dim(), "query dimension mismatch");
+    let observe = lt_obs::enabled() || lt_obs::events_enabled();
+    let t0 = observe.then(Instant::now);
+    // Shards share one set of codebooks, so a single GEMM builds every
+    // query's LUT for all of them.
+    let luts = backend.build_lut_batch(proto.lut_stack(), queries);
+    if let Some(t0) = t0 {
+        let micros = lt_obs::micros_since(t0);
+        scan_obs().lut_build_us.record(micros);
+        lt_obs::emit(&lt_obs::Event::LutBuild { queries: queries.rows() as u64, micros });
+    }
+    let t1 = observe.then(Instant::now);
+    // Outer parallelism over shards (one chunk per shard); inside a pool
+    // worker nested regions run serial, so chunking never depends on the
+    // thread count and every scan is bitwise reproducible.
+    let per_shard: Vec<Vec<Vec<Scored>>> =
+        lt_runtime::parallel_map_chunks(s, 1, |range| {
+            range
+                .map(|shard_idx| {
+                    let shard = shards[shard_idx];
+                    let mut scratch = SearchScratch::new();
+                    (0..queries.rows())
+                        .map(|i| {
+                            let qn = query_norm_sq(shard, queries.row(i));
+                            let mut local = search_with_lut(
+                                shard,
+                                backend,
+                                luts.row(i),
+                                qn,
+                                k,
+                                &mut scratch.scores,
+                                &mut scratch.topk,
+                            );
+                            // Local slot -> global id under modulo routing.
+                            for h in &mut local {
+                                h.index = h.index * s + shard_idx;
+                            }
+                            local
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+    if let Some(t1) = t1 {
+        let micros = lt_obs::micros_since(t1);
+        scan_obs().scan_us.record(micros);
+        let items: usize = shards.iter().map(|s| s.len()).sum();
+        lt_obs::emit(&lt_obs::Event::ScanBlock {
+            queries: queries.rows() as u64,
+            items: items as u64,
+            micros,
+        });
+    }
+    per_shard
+}
+
+/// Merge phase of a sharded batch search: folds the `[shard][query]`
+/// candidates from [`adc_scan_shards_topk`] into one global top-k per
+/// query. The fold runs in fixed ascending shard order and the heap's
+/// total order (score, then lower global id) resolves every cross-shard
+/// tie exactly as one global scan would — so the merged results are
+/// bitwise identical to an unsharded scan at any shard count.
+///
+/// # Panics
+/// Panics when `per_shard` is empty or a shard's result set does not
+/// cover `num_queries` queries.
+pub fn merge_shard_topk(
+    per_shard: &[Vec<Vec<Scored>>],
+    num_queries: usize,
+    k: usize,
+) -> Vec<Vec<Scored>> {
+    assert!(!per_shard.is_empty(), "need at least one shard's results");
+    let mut merged = Vec::with_capacity(num_queries);
+    let mut topk = TopK::new(k);
+    for q in 0..num_queries {
+        topk.reset(k);
+        for shard_hits in per_shard {
+            for h in &shard_hits[q] {
+                topk.push(h.score, h.index);
+            }
+        }
+        merged.push(topk.drain_sorted());
+    }
+    merged
 }
 
 /// [`adc_search_batch`] behind input validation (see
@@ -521,6 +713,81 @@ mod tests {
                 let bi: Vec<usize> = b.iter().map(|s| s.index).collect();
                 assert_eq!(ai, bi, "threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_matches_unsharded_bitwise() {
+        // The tentpole invariant: shard count and thread width never move
+        // a bit. 60 items over up to 8 shards with k=9 also exercises the
+        // per-shard k >= n full-sort path.
+        let (idx, _) = build_index(140);
+        let queries = randn(6, 6, &mut rng(141)).scale(0.4);
+        let expect = {
+            let _serial = lt_runtime::scoped_threads(1);
+            adc_search_batch(&idx, &queries, 9)
+        };
+        for s in [1usize, 2, 4, 8] {
+            let shards = crate::index::split_modulo(&idx, s);
+            let refs: Vec<&QuantizedIndex> = shards.iter().collect();
+            for threads in [1usize, 4] {
+                let _width = lt_runtime::scoped_threads(threads);
+                let got = adc_search_batch_sharded(&refs, &queries, 9);
+                assert_eq!(got.len(), expect.len());
+                for (a, b) in got.iter().zip(&expect) {
+                    assert_eq!(a.len(), b.len(), "shards={s} threads={threads}");
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.index, y.index, "shards={s} threads={threads}");
+                        assert_eq!(
+                            x.score.to_bits(),
+                            y.score.to_bits(),
+                            "shards={s} threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_handles_k_past_total_and_empty_shards() {
+        let (idx, _) = build_index(150);
+        let queries = randn(3, 6, &mut rng(151)).scale(0.4);
+        // More shards than items leaves some shards empty.
+        let head: Vec<usize> = (0..5).collect();
+        let small = {
+            let shards = crate::index::split_modulo(&idx, 1);
+            let mut tiny = shards[0].empty_like();
+            for &g in &head {
+                tiny.push_encoded(&idx.item_codes(g), idx.recon_norm_sq(g));
+            }
+            tiny
+        };
+        let expect = adc_search_batch(&small, &queries, 1000);
+        let shards = crate::index::split_modulo(&small, 8);
+        let refs: Vec<&QuantizedIndex> = shards.iter().collect();
+        let got = adc_search_batch_sharded(&refs, &queries, 1000);
+        for (a, b) in got.iter().zip(&expect) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.index, y.index);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn backend_entry_points_match_default_bitwise() {
+        let (idx, _) = build_index(160);
+        let q = [0.1f32, -0.2, 0.3, 0.0, 0.2, -0.1];
+        let via_default = adc_search(&idx, &q, 5);
+        let mut scratch = SearchScratch::new();
+        let via_backend =
+            adc_search_with_backend(&idx, &lt_linalg::scan::F32ScanBackend, &q, 5, &mut scratch);
+        assert_eq!(via_default.len(), via_backend.len());
+        for (a, b) in via_default.iter().zip(&via_backend) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
         }
     }
 

@@ -43,5 +43,5 @@ pub mod topk;
 
 pub use distance::Metric;
 pub use matrix::Matrix;
-pub use scan::LevelCodes;
+pub use scan::{F32ScanBackend, LevelCodes, ScanBackend};
 pub use topk::{Scored, TopK};

@@ -27,6 +27,8 @@
 //! independent, so the parallel variants are also bitwise identical for
 //! any [`lt_runtime`] thread count.
 
+use crate::gemm::{dot, matmul_a_bt};
+use crate::matrix::Matrix;
 use crate::topk::TopK;
 
 /// Items per scan block: the `f32` accumulator block (16 KiB) stays in L1
@@ -192,6 +194,37 @@ impl LevelCodes {
             }
         }
         self.n += 1;
+    }
+
+    /// Overwrites item `i`'s codes in place (length `M`, item-major order).
+    /// `O(M)`: one store per level stream. Used by sharded maintenance to
+    /// move an item between slots without re-encoding it.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds, `item` has the wrong length, or an
+    /// id is out of range.
+    pub fn set_item(&mut self, i: usize, item: &[u16]) {
+        assert!(i < self.n, "set index {i} out of bounds ({} items)", self.n);
+        assert_eq!(item.len(), self.num_codebooks(), "item code count mismatch");
+        for &id in item {
+            assert!(
+                (id as usize) < self.num_codewords,
+                "code {id} out of range for K={}",
+                self.num_codewords
+            );
+        }
+        match &mut self.store {
+            LevelStore::U8(levels) => {
+                for (stream, &id) in levels.iter_mut().zip(item) {
+                    stream[i] = id as u8;
+                }
+            }
+            LevelStore::U16(levels) => {
+                for (stream, &id) in levels.iter_mut().zip(item) {
+                    stream[i] = id;
+                }
+            }
+        }
     }
 
     /// Removes item `i` by swapping in the last item. `O(M)`: one
@@ -388,6 +421,108 @@ pub fn adc_scan_topk(
     }
 }
 
+/// A pluggable ADC scan engine: how a query becomes a lookup table and how
+/// a [`LevelCodes`] segment is scored against it.
+///
+/// The search layer (`lightlt-core::search`, `lt-serve`) is written against
+/// this trait so alternative engines — u8-quantized LUTs à la Bolt, or
+/// IVF-routed scans that only visit a subset of items — drop in without
+/// touching callers. Implementations must preserve two contracts:
+///
+/// 1. **Determinism** — results are bitwise identical at every
+///    [`lt_runtime`] thread count (fixed chunking, item-independent
+///    accumulation).
+/// 2. **Segment locality** — [`ScanBackend::scan_topk`] pushes
+///    *segment-local* indices in ascending order; callers owning several
+///    segments (shards) remap to global ids when folding.
+pub trait ScanBackend: Send + Sync {
+    /// Short engine identifier for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Fills `lut` with the flattened `M × K` lookup table for `query`:
+    /// `lut[level·K + j] = ⟨query, codeword j of level⟩`, computed against
+    /// the pre-stacked `(M·K) × d` codebook matrix.
+    fn build_lut(&self, lut_stack: &Matrix, query: &[f32], lut: &mut Vec<f32>);
+
+    /// Batched LUT build: one `(M·K)`-entry row per query row. Must be
+    /// bitwise identical to [`ScanBackend::build_lut`] per row.
+    fn build_lut_batch(&self, lut_stack: &Matrix, queries: &Matrix) -> Matrix;
+
+    /// Materializes every item's score into `out` (the `k ≥ n` full-sort
+    /// path). `norms_sq` selects the metric: `Some((norms, ‖q‖²))` scores
+    /// negative squared L2, `None` the plain LUT sum.
+    fn scores(
+        &self,
+        codes: &LevelCodes,
+        lut: &[f32],
+        norms_sq: Option<(&[f32], f32)>,
+        out: &mut Vec<f32>,
+    );
+
+    /// Streaming blocked top-k scan over a [`LevelCodes`] segment: pushes
+    /// `(score, segment-local index)` pairs into `topk` in ascending index
+    /// order on the calling thread.
+    fn scan_topk(
+        &self,
+        codes: &LevelCodes,
+        lut: &[f32],
+        norms_sq: Option<(&[f32], f32)>,
+        topk: &mut TopK,
+    );
+}
+
+/// The default engine: exact `f32` LUTs built by dot products (GEMM-batched
+/// for query batches) and the blocked level-ascending accumulation kernels
+/// above. Every score is bitwise identical to the scalar item-major
+/// reference loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct F32ScanBackend;
+
+/// The process-wide [`F32ScanBackend`] instance, for callers that take a
+/// `&dyn ScanBackend`.
+pub static F32_BACKEND: F32ScanBackend = F32ScanBackend;
+
+impl ScanBackend for F32ScanBackend {
+    fn name(&self) -> &'static str {
+        "f32"
+    }
+
+    fn build_lut(&self, lut_stack: &Matrix, query: &[f32], lut: &mut Vec<f32>) {
+        lut.clear();
+        lut.reserve(lut_stack.rows());
+        for codeword in lut_stack.rows_iter() {
+            lut.push(dot(query, codeword));
+        }
+    }
+
+    fn build_lut_batch(&self, lut_stack: &Matrix, queries: &Matrix) -> Matrix {
+        matmul_a_bt(queries, lut_stack)
+    }
+
+    fn scores(
+        &self,
+        codes: &LevelCodes,
+        lut: &[f32],
+        norms_sq: Option<(&[f32], f32)>,
+        out: &mut Vec<f32>,
+    ) {
+        match norms_sq {
+            Some((norms, qn)) => adc_scores_neg_l2(codes, lut, norms, qn, out),
+            None => adc_scores_sum(codes, lut, out),
+        }
+    }
+
+    fn scan_topk(
+        &self,
+        codes: &LevelCodes,
+        lut: &[f32],
+        norms_sq: Option<(&[f32], f32)>,
+        topk: &mut TopK,
+    ) {
+        adc_scan_topk(codes, lut, norms_sq, topk);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,6 +608,74 @@ mod tests {
             lc.swap_remove(5);
             let expect: Vec<u16> = items.into_iter().flatten().collect();
             assert_eq!(lc.to_item_major(), expect, "K={k}");
+        }
+    }
+
+    #[test]
+    fn set_item_overwrites_in_place_both_widths() {
+        for &k in &[64usize, 512] {
+            let raw = ids(12, 3, k, 9);
+            let mut lc = LevelCodes::from_item_major(&raw, 3, k);
+            let replacement = [1u16, 0, (k - 1) as u16];
+            lc.set_item(4, &replacement);
+            let mut expect = raw.clone();
+            expect[4 * 3..5 * 3].copy_from_slice(&replacement);
+            assert_eq!(lc.to_item_major(), expect, "K={k}");
+            assert_eq!(lc.len(), 12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn set_item_rejects_out_of_bounds_index() {
+        let mut lc = LevelCodes::new(2, 16);
+        lc.push_item(&[1, 2]);
+        lc.set_item(1, &[0, 0]);
+    }
+
+    #[test]
+    fn f32_backend_matches_free_kernels_bitwise() {
+        let (n, m, k) = (700usize, 4usize, 16usize);
+        let raw = ids(n, m, k, 11);
+        let lc = LevelCodes::from_item_major(&raw, m, k);
+        let t = lut(m, k, 12);
+        let backend = F32ScanBackend;
+
+        let mut via_backend = Vec::new();
+        backend.scores(&lc, &t, None, &mut via_backend);
+        let mut direct = Vec::new();
+        adc_scores_sum(&lc, &t, &mut direct);
+        assert_eq!(via_backend.len(), direct.len());
+        for (a, b) in via_backend.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let mut tk_backend = TopK::new(7);
+        backend.scan_topk(&lc, &t, None, &mut tk_backend);
+        let mut tk_direct = TopK::new(7);
+        adc_scan_topk(&lc, &t, None, &mut tk_direct);
+        assert_eq!(tk_backend.into_sorted_vec(), tk_direct.into_sorted_vec());
+    }
+
+    #[test]
+    fn f32_backend_lut_build_matches_batch_build() {
+        // One codeword row per (level, j): a 6×3 stack, two 3-d queries.
+        let stack = Matrix::from_vec(
+            6,
+            3,
+            (0..18).map(|v| (v as f32 * 0.37).sin()).collect(),
+        );
+        let queries =
+            Matrix::from_vec(2, 3, vec![0.5, -1.0, 0.25, 0.0, 2.0, -0.75]);
+        let backend = F32ScanBackend;
+        let batch = backend.build_lut_batch(&stack, &queries);
+        assert_eq!((batch.rows(), batch.cols()), (2, 6));
+        let mut single = Vec::new();
+        for q in 0..2 {
+            backend.build_lut(&stack, queries.row(q), &mut single);
+            for (a, b) in single.iter().zip(batch.row(q)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

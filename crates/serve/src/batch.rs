@@ -22,7 +22,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use lightlt_core::search::adc_search_batch;
+use lightlt_core::index::QuantizedIndex;
+use lightlt_core::search::{adc_scan_shards_topk, adc_search_batch, merge_shard_topk};
+use lt_linalg::scan::F32_BACKEND;
 use lt_linalg::Matrix;
 use lt_obs::{Counter, Gauge, Histogram};
 
@@ -46,6 +48,9 @@ pub(crate) struct ServeObs {
     pub service_us: Arc<Histogram>,
     /// Wall time of one snapshot write.
     pub snapshot_us: Arc<Histogram>,
+    /// Wall time folding per-shard top-k candidates into the global
+    /// answer (sharded executor only; one record per k-group).
+    pub shard_merge_us: Arc<Histogram>,
     /// Searches refused with `Overloaded`.
     pub refused_overloaded: Arc<Counter>,
     /// Requests answered with `BadRequest`.
@@ -64,6 +69,7 @@ pub(crate) fn serve_obs() -> &'static ServeObs {
             batch_exec_us: r.histogram("serve.batch_exec_us"),
             service_us: r.histogram("serve.service_us"),
             snapshot_us: r.histogram("serve.snapshot_us"),
+            shard_merge_us: r.histogram("serve.shard_merge_us"),
             refused_overloaded: r.counter("serve.refused_overloaded"),
             refused_bad_request: r.counter("serve.refused_bad_request"),
             connections: r.gauge("serve.connections"),
@@ -157,6 +163,26 @@ pub struct ExecCounters {
     pub max_queue_wait_us: AtomicU64,
 }
 
+/// Per-shard executor metric handles, resolved once per executor (the
+/// shard count is fixed for the process lifetime). Counter bumps are
+/// internally gated on the global toggle, so with observability off each
+/// one collapses to a single relaxed load.
+pub(crate) struct ShardObs {
+    /// `serve.shard_scans.<i>` — queries scanned against shard `i`.
+    scans: Vec<Arc<Counter>>,
+}
+
+impl ShardObs {
+    pub(crate) fn new(num_shards: usize) -> Self {
+        let r = lt_obs::Registry::global();
+        Self {
+            scans: (0..num_shards)
+                .map(|i| r.counter(&format!("serve.shard_scans.{i}")))
+                .collect(),
+        }
+    }
+}
+
 /// Executor loop. Runs until `stop` is set **and** the queue has been
 /// flushed; on shutdown every admitted job still gets a response (sends to
 /// hung-up clients are ignored).
@@ -169,6 +195,7 @@ pub fn run_executor(
     counters: &ExecCounters,
 ) {
     let max_batch = max_batch.max(1);
+    let shard_obs = ShardObs::new(state.num_shards());
     loop {
         let batch = next_batch(queue, max_batch, max_delay, stop);
         if batch.is_empty() {
@@ -176,7 +203,7 @@ pub fn run_executor(
             debug_assert!(stop.load(Ordering::SeqCst));
             return;
         }
-        execute_batch(state, batch, counters);
+        execute_batch(state, batch, counters, &shard_obs);
     }
 }
 
@@ -223,13 +250,20 @@ fn next_batch(
     }
 }
 
-/// Executes one drained batch against a single index snapshot and replies
+/// Executes one drained batch against a single snapshot set and replies
 /// to every job.
-fn execute_batch(state: &IndexState, batch: Vec<SearchJob>, counters: &ExecCounters) {
-    // One snapshot for the whole batch: all queries in it observe the same
-    // epoch, and mutations acknowledged before batch formation are visible.
-    let snapshot = state.snapshot();
-    let dim = snapshot.dim();
+fn execute_batch(
+    state: &IndexState,
+    batch: Vec<SearchJob>,
+    counters: &ExecCounters,
+    shard_obs: &ShardObs,
+) {
+    // One snapshot set for the whole batch: all queries in it observe the
+    // same cross-shard-consistent epoch, and mutations acknowledged before
+    // batch formation are visible. With one shard this is a plain Arc
+    // clone of the unsharded index.
+    let shards = state.shard_snapshots();
+    let dim = state.dim();
     counters.batches.fetch_add(1, Ordering::Relaxed);
     counters.searches.fetch_add(batch.len() as u64, Ordering::Relaxed);
 
@@ -268,7 +302,26 @@ fn execute_batch(state: &IndexState, batch: Vec<SearchJob>, counters: &ExecCount
             data.extend_from_slice(&job.query);
         }
         let queries = Matrix::from_vec(jobs.len(), dim, data);
-        let results = adc_search_batch(&snapshot, &queries, k);
+        for scans in &shard_obs.scans {
+            scans.add(queries.rows() as u64);
+        }
+        let results = if shards.len() == 1 {
+            // Single shard: the exact unsharded path (same calls, same
+            // bits) — sharding must never perturb the degenerate case.
+            adc_search_batch(&shards[0], &queries, k)
+        } else {
+            // Scan each shard on the pool, then fold per query in fixed
+            // shard order; the core suite pins the merged results bitwise
+            // identical to an unsharded scan at any shard/thread count.
+            let refs: Vec<&QuantizedIndex> = shards.iter().map(|a| a.as_ref()).collect();
+            let parts = adc_scan_shards_topk(&refs, &F32_BACKEND, &queries, k);
+            let merge_t0 = observe.then(Instant::now);
+            let merged = merge_shard_topk(&parts, queries.rows(), k);
+            if let (Some(t0), Some(o)) = (merge_t0, obs) {
+                o.shard_merge_us.record(lt_obs::micros_since(t0));
+            }
+            merged
+        };
         for (job, scored) in jobs.into_iter().zip(results) {
             let hits = scored.iter().map(|s| (s.index as u64, s.score)).collect();
             // A hung-up client just discards its answer.
@@ -303,7 +356,7 @@ mod tests {
     use lt_linalg::Metric;
     use lt_tensor::ParamStore;
 
-    fn build_state(n: usize, seed: u64) -> IndexState {
+    fn build_index(n: usize, seed: u64) -> QuantizedIndex {
         let mut store = ParamStore::new();
         let mut r = rng(seed);
         let dsq = Dsq::new(
@@ -318,7 +371,11 @@ mod tests {
             &mut r,
         );
         let db = randn(n, 8, &mut rng(seed + 1)).scale(0.4);
-        IndexState::new(QuantizedIndex::build(&dsq, &store, &db))
+        QuantizedIndex::build(&dsq, &store, &db)
+    }
+
+    fn build_state(n: usize, seed: u64) -> IndexState {
+        IndexState::new(build_index(n, seed))
     }
 
     fn job(query: Vec<f32>, k: usize) -> (SearchJob, mpsc::Receiver<Response>) {
@@ -399,6 +456,62 @@ mod tests {
         }
         assert_eq!(counters.searches.load(Ordering::Relaxed), 10);
         assert!(counters.batches.load(Ordering::Relaxed) >= 3);
+
+        stop.store(true, Ordering::SeqCst);
+        queue.close();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn sharded_execution_is_bitwise_identical_to_unsharded() {
+        // The same queries through a 4-shard executor must reproduce the
+        // unsharded per-query search bit for bit, including after online
+        // mutations.
+        let index = build_index(120, 11);
+        let state = Arc::new(IndexState::new_sharded(index.clone(), 4));
+        let mut mirror = index;
+        let rows = randn(5, 8, &mut rng(111)).scale(0.4);
+        state.upsert(&rows).unwrap();
+        mirror.append(&rows);
+        state.delete(7).unwrap();
+        mirror.swap_remove(7);
+
+        let queue = Arc::new(SubmitQueue::new(64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ExecCounters::default());
+        let handle = spawn_executor(
+            queue.clone(),
+            state.clone(),
+            4,
+            Duration::from_millis(5),
+            stop.clone(),
+            counters.clone(),
+        );
+
+        let qmat = randn(9, 8, &mut rng(112)).scale(0.3);
+        let mut expectations = Vec::new();
+        for i in 0..9 {
+            let q = qmat.row(i).to_vec();
+            // Mixed k, including k past the index size.
+            let k = [5, 9, 1000][i % 3];
+            let (j, rx) = job(q.clone(), k);
+            expectations.push((q, k, rx));
+            queue.try_submit(j).unwrap();
+        }
+        for (q, k, rx) in expectations {
+            let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+            let expected = adc_search(&mirror, &q, k);
+            match resp {
+                Response::Search { hits } => {
+                    assert_eq!(hits.len(), expected.len());
+                    for (h, e) in hits.iter().zip(&expected) {
+                        assert_eq!(h.0, e.index as u64, "k={k}");
+                        assert_eq!(h.1.to_bits(), e.score.to_bits(), "k={k}");
+                    }
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
 
         stop.store(true, Ordering::SeqCst);
         queue.close();

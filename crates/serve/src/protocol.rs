@@ -78,7 +78,7 @@ pub enum Request {
 pub const METRICS_VERSION: u32 = 1;
 
 /// Server/index statistics reported by [`Request::Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ServeStats {
     /// Items currently indexed.
     pub items: u64,
@@ -113,6 +113,15 @@ pub struct ServeStats {
     /// runs without a WAL). Appended after `max_queue_wait_us` with the
     /// same trailing-field tolerance: older payloads decode with 0.
     pub wal_last_seq: u64,
+    /// Number of modulo-routed index shards serving searches (≥ 1 on any
+    /// sharding-aware server). Appended after `wal_last_seq` with the same
+    /// trailing-field tolerance: payloads from pre-sharding servers decode
+    /// with 0, which clients read as "unknown / unsharded".
+    pub shards: u64,
+    /// Per-shard item counts, `shard_items.len() == shards` and summing to
+    /// `items`. Encoded together with `shards` as one trailing unit; legacy
+    /// payloads decode with an empty vector.
+    pub shard_items: Vec<u64>,
 }
 
 /// Server replies.
@@ -266,6 +275,10 @@ const MK_HISTOGRAM: u8 = 2;
 /// [`lt_obs::NUM_BUCKETS`] = 64; the cap leaves room for future layouts
 /// without letting a corrupt field drive a huge allocation).
 const MAX_DECODED_BUCKETS: usize = 1024;
+
+/// Sanity cap on the decoded per-shard item list (servers run a handful
+/// of shards; the cap only guards against a corrupt count field).
+const MAX_DECODED_SHARDS: usize = 1 << 16;
 const RE_OVERLOADED: u8 = 0xE1;
 const RE_SERVER_ERROR: u8 = 0xE2;
 
@@ -372,6 +385,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             put_u64(&mut buf, s.queue_len);
             put_u64(&mut buf, s.max_queue_wait_us);
             put_u64(&mut buf, s.wal_last_seq);
+            put_u64(&mut buf, s.shards);
+            put_u32(&mut buf, s.shard_items.len() as u32);
+            for &n in &s.shard_items {
+                put_u64(&mut buf, n);
+            }
         }
         Response::Metrics { version, snapshot } => {
             buf.push(RE_METRICS);
@@ -461,6 +479,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
                 queue_len: c.u64()?,
                 max_queue_wait_us: 0,
                 wal_last_seq: 0,
+                shards: 0,
+                shard_items: Vec::new(),
             };
             // Trailing fields appended after the legacy layout: absent in
             // frames from older servers, so tolerate every prefix.
@@ -469,6 +489,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
             }
             if !c.data.is_empty() {
                 stats.wal_last_seq = c.u64()?;
+            }
+            if !c.data.is_empty() {
+                stats.shards = c.u64()?;
+                let n = c.u32()? as usize;
+                if n > MAX_DECODED_SHARDS {
+                    return Err(format!("shard count {n} exceeds cap"));
+                }
+                let mut shard_items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    shard_items.push(c.u64()?);
+                }
+                stats.shard_items = shard_items;
             }
             Response::Stats(stats)
         }
@@ -703,6 +735,8 @@ mod tests {
             queue_len: 0,
             max_queue_wait_us: 1234,
             wal_last_seq: 9001,
+            shards: 4,
+            shard_items: vec![3, 3, 2, 2],
         }));
         roundtrip_response(Response::Snapshot { epoch: 17 });
         roundtrip_response(Response::Shutdown);
@@ -755,7 +789,7 @@ mod tests {
 
     #[test]
     fn legacy_stats_payload_without_queue_wait_still_decodes() {
-        // Stats payloads from older servers lack one or both appended
+        // Stats payloads from older servers lack one or more appended
         // trailing fields: strip them from a fresh encoding.
         let stats = ServeStats {
             items: 10,
@@ -772,25 +806,58 @@ mod tests {
             queue_len: 0,
             max_queue_wait_us: 777,
             wal_last_seq: 55,
+            shards: 2,
+            shard_items: vec![6, 4],
         };
-        // 13-field payload (pre-WAL server): wal_last_seq defaults to 0.
-        let mut legacy = encode_response(&Response::Stats(stats));
-        legacy.truncate(legacy.len() - 8);
+        let full = encode_response(&Response::Stats(stats.clone()));
+        // The sharding unit: shards (u64) + count (u32) + two u64 items.
+        let shard_tail = 8 + 4 + 16;
+        // 14-field payload (pre-sharding server): shards/shard_items
+        // default to 0/empty.
+        let mut legacy = full.clone();
+        legacy.truncate(full.len() - shard_tail);
         let decoded = decode_response(&legacy).unwrap();
-        assert_eq!(decoded, Response::Stats(ServeStats { wal_last_seq: 0, ..stats }));
-        // 12-field payload (pre-metrics server): both default to 0.
-        let mut oldest = encode_response(&Response::Stats(stats));
-        oldest.truncate(oldest.len() - 16);
+        assert_eq!(
+            decoded,
+            Response::Stats(ServeStats { shards: 0, shard_items: Vec::new(), ..stats.clone() })
+        );
+        // 13-field payload (pre-WAL server): wal_last_seq also defaults.
+        let mut legacy = full.clone();
+        legacy.truncate(full.len() - shard_tail - 8);
+        let decoded = decode_response(&legacy).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Stats(ServeStats {
+                wal_last_seq: 0,
+                shards: 0,
+                shard_items: Vec::new(),
+                ..stats.clone()
+            })
+        );
+        // 12-field payload (pre-metrics server): every trailing field
+        // defaults.
+        let mut oldest = full.clone();
+        oldest.truncate(full.len() - shard_tail - 16);
         let decoded = decode_response(&oldest).unwrap();
         assert_eq!(
             decoded,
-            Response::Stats(ServeStats { max_queue_wait_us: 0, wal_last_seq: 0, ..stats }),
+            Response::Stats(ServeStats {
+                max_queue_wait_us: 0,
+                wal_last_seq: 0,
+                shards: 0,
+                shard_items: Vec::new(),
+                ..stats.clone()
+            }),
             "legacy payload must decode with the new fields defaulted"
         );
         // A partially present trailing field is still a decode error.
-        let mut torn = encode_response(&Response::Stats(stats));
-        torn.truncate(torn.len() - 3);
+        let mut torn = full.clone();
+        torn.truncate(full.len() - 3);
         assert!(decode_response(&torn).is_err());
+        // So is a torn shard-items list (count says 2, only 1 present).
+        let mut torn_items = full;
+        torn_items.truncate(torn_items.len() - 8);
+        assert!(decode_response(&torn_items).is_err());
     }
 
     #[test]

@@ -62,6 +62,13 @@ pub struct RecoveryReport {
 /// `base`) plus WAL-suffix replay, then opens a fresh writer segment so
 /// the returned [`IndexState`] continues the sequence.
 ///
+/// The state is partitioned into `shards` modulo-routed shards (0 is
+/// treated as 1). Replay always reconstructs the **global** index — shard
+/// content is a pure function of global ids and the shard count, so a log
+/// written at any shard count replays into any other — and each shard's
+/// epoch is seeded to the seq of the last replayed record that touched
+/// it (or the covered seq), keeping epoch ≡ seq per shard.
+///
 /// # Errors
 /// Returns a message when no candidate image is valid, or on real I/O
 /// failures opening the directory or the new segment.
@@ -69,6 +76,7 @@ pub fn recover(
     base: Option<QuantizedIndex>,
     wal_dir: &Path,
     policy: FsyncPolicy,
+    shards: usize,
 ) -> Result<(IndexState, RecoveryReport), String> {
     let observe = lt_obs::enabled() || lt_obs::events_enabled();
     let t0 = observe.then(Instant::now);
@@ -133,9 +141,19 @@ pub fn recover(
     // Replay the WAL suffix. A record the index rejects (wrong dimension,
     // out-of-bounds delete) can only mean corruption — the live process
     // validated before appending — so replay stops and truncates there.
+    // Which shards a record touches is derived from the running item
+    // count (the record's own tag is diagnostic only), so the per-shard
+    // epochs are right even when the shard count changed since logging.
+    let shards = shards.max(1);
     let mut index = index;
+    let mut shard_epochs = vec![covered_seq; shards];
     let replay = replay_wal(wal_dir, covered_seq, |seq, record| {
-        apply_record(&mut index, seq, record)
+        let touched = touched_shards(&record, index.len(), shards);
+        apply_record(&mut index, seq, record)?;
+        for t in touched {
+            shard_epochs[t] = seq;
+        }
+        Ok(())
     })
     .map_err(|e| format!("replaying WAL in {}: {e}", wal_dir.display()))?;
     if let Some(why) = &replay.stopped {
@@ -145,7 +163,8 @@ pub fn recover(
     let epoch = covered_seq + replay.replayed;
     let writer = WalWriter::create(wal_dir, policy, epoch + 1)
         .map_err(|e| format!("opening WAL segment in {}: {e}", wal_dir.display()))?;
-    let state = IndexState::with_wal(index, epoch, writer, wal_dir.to_path_buf());
+    let state = IndexState::with_wal_sharded(index, shards, epoch, writer, wal_dir.to_path_buf());
+    state.set_shard_epochs(&shard_epochs);
 
     if let Some(t0) = t0 {
         lt_obs::emit(&lt_obs::Event::WalReplay {
@@ -158,11 +177,35 @@ pub fn recover(
     Ok((state, report))
 }
 
+/// Shards a record touches under the modulo routing rule, given the item
+/// count `items` before it applies (upsert appends from `items`; delete
+/// moves the last item into the deleted slot).
+fn touched_shards(record: &WalRecord, items: usize, shards: usize) -> Vec<usize> {
+    match record {
+        WalRecord::Upsert { dim, rows, .. } => {
+            let count = rows.len().checked_div(*dim as usize).unwrap_or(0);
+            (0..count.min(shards)).map(|r| (items + r) % shards).collect()
+        }
+        WalRecord::Delete { id, .. } => {
+            if items == 0 {
+                return Vec::new();
+            }
+            let dst = (*id as usize) % shards;
+            let src = (items - 1) % shards;
+            if dst == src {
+                vec![dst]
+            } else {
+                vec![dst, src]
+            }
+        }
+    }
+}
+
 /// Applies one replayed record, re-validating exactly as the live
 /// mutation path did before appending it.
 fn apply_record(index: &mut QuantizedIndex, seq: u64, record: WalRecord) -> Result<(), String> {
     match record {
-        WalRecord::Upsert { dim, rows } => {
+        WalRecord::Upsert { dim, rows, .. } => {
             let dim = dim as usize;
             if dim == 0 || dim != index.dim() {
                 return Err(format!("seq {seq}: upsert dim {dim} != index dim {}", index.dim()));
@@ -174,7 +217,7 @@ fn apply_record(index: &mut QuantizedIndex, seq: u64, record: WalRecord) -> Resu
             index.append(&Matrix::from_vec(n, dim, rows));
             Ok(())
         }
-        WalRecord::Delete { id } => {
+        WalRecord::Delete { id, .. } => {
             let id = usize::try_from(id).map_err(|_| format!("seq {seq}: delete id overflow"))?;
             if id >= index.len() {
                 return Err(format!("seq {seq}: delete id {id} out of bounds ({})", index.len()));

@@ -30,7 +30,6 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lightlt_core::index::QuantizedIndex;
-use lightlt_core::search::validate_search_request;
 use lt_linalg::Matrix;
 
 use crate::batch::{run_executor, serve_obs, ExecCounters, SearchJob, SubmitError, SubmitQueue};
@@ -51,6 +50,11 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Runtime width for batch execution (0 = leave the global default).
     pub threads: usize,
+    /// Shards the index is partitioned into (modulo-routed by id; 0 is
+    /// treated as 1). Sharded search merges in fixed shard order, so any
+    /// value returns bitwise-identical results; more shards let batch
+    /// scans fan out across the worker pool.
+    pub shards: usize,
     /// Where to write periodic snapshots (None disables the snapshotter;
     /// explicit `Snapshot` requests still need a path). Ignored in WAL
     /// mode, where snapshots live inside the WAL directory.
@@ -77,6 +81,7 @@ impl Default for ServeConfig {
             max_delay: Duration::from_micros(500),
             queue_cap: 1024,
             threads: 0,
+            shards: 1,
             snapshot_path: None,
             snapshot_every: None,
             wal_dir: None,
@@ -146,8 +151,9 @@ impl Server {
             Some(dir) => {
                 // Recover: newest valid snapshot in the WAL dir (or the
                 // given index as the base) plus WAL-suffix replay.
-                let (state, report) = crate::recovery::recover(index, dir, config.fsync_policy)
-                    .map_err(io::Error::other)?;
+                let (state, report) =
+                    crate::recovery::recover(index, dir, config.fsync_policy, config.shards)
+                        .map_err(io::Error::other)?;
                 if report.replay.replayed > 0 || report.replay.stopped.is_some() {
                     eprintln!(
                         "wal: recovered epoch {} ({} replayed{})",
@@ -167,7 +173,7 @@ impl Server {
                 let index = index.ok_or_else(|| {
                     io::Error::new(io::ErrorKind::InvalidInput, "no index and no WAL directory")
                 })?;
-                Arc::new(IndexState::new(index))
+                Arc::new(IndexState::new_sharded(index, config.shards.max(1)))
             }
         };
         let queue = Arc::new(SubmitQueue::new(config.queue_cap));
@@ -473,13 +479,14 @@ fn mutation_refusal(e: MutationError, ctx: &HandlerCtx) -> Response {
 fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
     match request {
         Request::Search { k, query } => {
-            let snapshot = ctx.state.snapshot();
-            if let Err(e) = validate_search_request(&snapshot, query.len(), k as usize) {
+            // Admission checks run against the state's immutable shape
+            // metadata — no shard lock, and no merged snapshot just to
+            // read dimensions.
+            if let Err(e) = ctx.state.validate_search(query.len(), k as usize) {
                 ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
                 note_bad_request();
                 return Response::BadRequest { message: e.to_string() };
             }
-            drop(snapshot);
             let (tx, rx) = mpsc::channel();
             let job = SearchJob { query, k: k as usize, enqueued: Instant::now(), reply: tx };
             match ctx.queue.try_submit(job) {
@@ -528,12 +535,14 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
             Err(e) => mutation_refusal(e, ctx),
         },
         Request::Stats => {
-            let (snapshot, epoch) = ctx.state.snapshot_with_epoch();
+            // All served from metadata and lock-free mirrors: Stats never
+            // merges a snapshot or takes a shard lock.
+            let epoch = ctx.state.epoch();
             Response::Stats(ServeStats {
-                items: snapshot.len() as u64,
-                dim: snapshot.dim() as u32,
-                num_codebooks: snapshot.num_codebooks() as u32,
-                num_codewords: snapshot.num_codewords() as u32,
+                items: ctx.state.items(),
+                dim: ctx.state.dim() as u32,
+                num_codebooks: ctx.state.num_codebooks() as u32,
+                num_codewords: ctx.state.num_codewords() as u32,
                 epoch,
                 searches: ctx.exec_counters.searches.load(Ordering::Relaxed),
                 batches: ctx.exec_counters.batches.load(Ordering::Relaxed),
@@ -548,6 +557,8 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 // unsynced under group/never; without a WAL there is no
                 // sequence to report.
                 wal_last_seq: if ctx.state.wal_enabled() { epoch } else { 0 },
+                shards: ctx.state.num_shards() as u64,
+                shard_items: ctx.state.shard_items(),
             })
         }
         Request::Metrics => Response::Metrics {

@@ -1,19 +1,36 @@
-//! Index-state manager: epoch/snapshot semantics over online mutations.
+//! Index-state manager: sharded epoch/snapshot semantics over online
+//! mutations.
 //!
-//! Readers never block writers and vice versa beyond an `Arc` clone: the
-//! live index is an `Arc<QuantizedIndex>` behind an `RwLock`. A search
-//! batch grabs the `Arc` (a **snapshot**: immutable for the whole batch,
+//! The live index is partitioned into `num_shards` **shards** under the
+//! modulo routing rule (global id `g` lives in shard `g % S` at local slot
+//! `g / S`; `S = 1` is the unsharded special case). Each shard is an
+//! independently locked epoch-versioned COW cell: an `Arc<QuantizedIndex>`
+//! behind its own `RwLock` plus an atomic epoch recording the last mutation
+//! that touched it. A search batch grabs every shard's `Arc` under the read
+//! locks (a consistent **snapshot set**: immutable for the whole batch,
 //! even while upserts land concurrently) and scans without holding any
-//! lock. A mutation takes the write lock and `Arc::make_mut`s the index —
-//! copy-on-write: the clone happens only when a reader still holds the
-//! previous snapshot, and consecutive mutations between batches mutate in
-//! place. Every mutation bumps the **epoch**; a batch formed after a
-//! mutation's acknowledgement therefore always observes it.
+//! lock. A mutation serializes behind the mutation mutex, acquires the
+//! shard write locks in ascending order, and `Arc::make_mut`s only the
+//! shards it touches — copy-on-write: the clone happens only when a reader
+//! still holds the previous snapshot, and consecutive mutations between
+//! batches mutate in place. Every mutation bumps the global **epoch** (and
+//! stamps it onto the touched shards); a batch formed after a mutation's
+//! acknowledgement therefore always observes it.
 //!
-//! Durability has two modes:
+//! Ordered lock acquisition (mutations and snapshot sets both walk shards
+//! ascending, writers holding the mutation mutex) makes the cross-shard
+//! view atomic: a snapshot set always reflects a whole number of
+//! mutations, so the round-robin partition invariant — shard `i` holds
+//! exactly the global ids congruent to `i` — holds in every snapshot.
+//! That invariant is what lets the executor map a shard-local hit back to
+//! its global id as `local · S + shard` with no id table.
+//!
+//! Durability has two modes, both speaking **unsharded** artifacts (a
+//! snapshot image is one global `LTINDEX3` index, split back into shards
+//! on load, so legacy single-shard images serve sharded and vice versa):
 //!
 //! * **Snapshot-only** ([`IndexState::new`]): [`IndexState::write_snapshot`]
-//!   serializes the current snapshot as a checksummed `LTINDEX3` image to a
+//!   serializes the merged index as a checksummed `LTINDEX3` image to a
 //!   temp file and atomically renames it into place (fsyncing the parent
 //!   directory so the rename itself survives power loss).
 //!   [`load_index_with_snapshot`] is the startup path: prefer the newest
@@ -24,21 +41,23 @@
 //!   [`crate::wal::FsyncPolicy`]. A WAL I/O failure refuses the mutation
 //!   with [`MutationError::Durability`] — the server never acknowledges
 //!   state it cannot recover. In this mode the epoch **is** the WAL
-//!   sequence number, and [`IndexState::write_durable_snapshot`] commits
+//!   sequence number (per shard: the seq of the last record that touched
+//!   it), and [`IndexState::write_durable_snapshot`] commits
 //!   `snap-<seq>.ltidx` images through the manifest (see [`crate::wal`]).
 //!
 //! Lock poisoning is recovered, not propagated: a panicking writer thread
-//! leaves the index in whatever consistent state its last completed
-//! mutation produced (mutations validate before touching the index), so
+//! leaves the shards in whatever consistent state its last completed
+//! mutation produced (mutations validate before touching any shard), so
 //! later requests proceed instead of cascading panics.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockWriteGuard};
 
-use lightlt_core::index::QuantizedIndex;
+use lightlt_core::index::{merge_modulo, split_modulo, QuantizedIndex};
 use lightlt_core::persist::{deserialize_index, serialize_index};
-use lt_linalg::Matrix;
+use lightlt_core::search::SearchError;
+use lt_linalg::{Matrix, Metric};
 
 use crate::wal::{
     crash_point, snapshot_name, sync_dir, wal_obs, CrashPoint, Manifest, WalRecord, WalWriter,
@@ -74,17 +93,63 @@ fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Concurrent owner of the live [`QuantizedIndex`].
+/// One shard: an independently locked epoch-versioned COW cell plus its
+/// lock-free stats mirrors and per-shard obs handles.
+#[derive(Debug)]
+struct ShardCell {
+    cell: RwLock<Arc<QuantizedIndex>>,
+    /// Epoch of the last mutation that touched this shard (WAL mode: the
+    /// seq of that record).
+    epoch: AtomicU64,
+    /// Lock-free mirror of the shard's item count, maintained under the
+    /// mutation mutex; serves `Stats` and the items gauge without taking
+    /// shard locks.
+    items: AtomicU64,
+    /// `serve.shard_items.<i>` — live item count (delta-maintained: the
+    /// gauge API is add/sub only).
+    items_gauge: Arc<lt_obs::Gauge>,
+    /// `serve.shard_mutations.<i>` — mutations that touched this shard.
+    mutations: Arc<lt_obs::Counter>,
+}
+
+impl ShardCell {
+    fn new(index: QuantizedIndex, shard_idx: usize) -> Self {
+        let reg = lt_obs::Registry::global();
+        let items = index.len() as u64;
+        Self {
+            cell: RwLock::new(Arc::new(index)),
+            epoch: AtomicU64::new(0),
+            items: AtomicU64::new(items),
+            items_gauge: reg.gauge(&format!("serve.shard_items.{shard_idx}")),
+            mutations: reg.counter(&format!("serve.shard_mutations.{shard_idx}")),
+        }
+    }
+}
+
+/// Concurrent owner of the live, possibly sharded [`QuantizedIndex`].
 #[derive(Debug)]
 pub struct IndexState {
-    current: RwLock<Arc<QuantizedIndex>>,
+    shards: Vec<ShardCell>,
     epoch: AtomicU64,
+    /// Lock-free mirror of the total item count (sum of shard counts),
+    /// maintained under the mutation mutex.
+    total_items: AtomicU64,
+    // Immutable shape metadata, so admission checks and `Stats` never
+    // need a merged snapshot.
+    dim: usize,
+    num_codebooks: usize,
+    num_codewords: usize,
+    metric: Metric,
+    /// Serializes mutations: WAL log order equals apply order, and the
+    /// per-shard write locks are always taken in ascending order under
+    /// this mutex, so snapshot sets are cross-shard consistent.
+    mutation: Mutex<()>,
     /// Serializes [`IndexState::write_snapshot`] calls: the background
     /// snapshotter and inline `Snapshot` requests share one temp path, and
     /// an unserialized pair can rename a half-written temp file over the
     /// previous valid snapshot.
     snapshot_write: Mutex<()>,
-    /// Write-ahead log (WAL mode only). Locked after the index write lock
+    /// Write-ahead log (WAL mode only). Locked under the mutation mutex
     /// and never the other way, so log order equals apply order.
     wal: Option<Mutex<WalWriter>>,
     /// Directory holding WAL segments, `snap-*.ltidx` images, and the
@@ -94,15 +159,18 @@ pub struct IndexState {
 
 impl IndexState {
     /// Wraps an index at epoch 0 with no write-ahead log (snapshot-only
-    /// durability).
+    /// durability), unsharded.
     pub fn new(index: QuantizedIndex) -> Self {
-        Self {
-            current: RwLock::new(Arc::new(index)),
-            epoch: AtomicU64::new(0),
-            snapshot_write: Mutex::new(()),
-            wal: None,
-            wal_dir: None,
-        }
+        Self::new_sharded(index, 1)
+    }
+
+    /// Wraps an index at epoch 0 partitioned into `num_shards` modulo-routed
+    /// shards (snapshot-only durability).
+    ///
+    /// # Panics
+    /// Panics when `num_shards == 0`.
+    pub fn new_sharded(index: QuantizedIndex, num_shards: usize) -> Self {
+        Self::build(index, num_shards, 0, None, None)
     }
 
     /// Wraps a recovered index at `epoch` with a live WAL writer whose
@@ -114,13 +182,69 @@ impl IndexState {
         writer: WalWriter,
         wal_dir: PathBuf,
     ) -> Self {
+        Self::with_wal_sharded(index, 1, epoch, writer, wal_dir)
+    }
+
+    /// [`IndexState::with_wal`] partitioned into `num_shards` shards.
+    /// Every shard's epoch seeds to `epoch`; recovery refines them to the
+    /// actual last-touch seqs via [`IndexState::set_shard_epochs`].
+    pub fn with_wal_sharded(
+        index: QuantizedIndex,
+        num_shards: usize,
+        epoch: u64,
+        writer: WalWriter,
+        wal_dir: PathBuf,
+    ) -> Self {
         debug_assert_eq!(writer.next_seq(), epoch + 1, "WAL seq must continue the epoch");
+        Self::build(index, num_shards, epoch, Some(writer), Some(wal_dir))
+    }
+
+    fn build(
+        index: QuantizedIndex,
+        num_shards: usize,
+        epoch: u64,
+        writer: Option<WalWriter>,
+        wal_dir: Option<PathBuf>,
+    ) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        let dim = index.dim();
+        let num_codebooks = index.num_codebooks();
+        let num_codewords = index.num_codewords();
+        let metric = index.metric();
+        let total_items = index.len() as u64;
+        let shards: Vec<ShardCell> = split_modulo(&index, num_shards)
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let cell = ShardCell::new(shard, i);
+                cell.epoch.store(epoch, Ordering::SeqCst);
+                cell.items_gauge.add(cell.items.load(Ordering::Relaxed) as i64);
+                cell
+            })
+            .collect();
         Self {
-            current: RwLock::new(Arc::new(index)),
+            shards,
             epoch: AtomicU64::new(epoch),
+            total_items: AtomicU64::new(total_items),
+            dim,
+            num_codebooks,
+            num_codewords,
+            metric,
+            mutation: Mutex::new(()),
             snapshot_write: Mutex::new(()),
-            wal: Some(Mutex::new(writer)),
-            wal_dir: Some(wal_dir),
+            wal: writer.map(Mutex::new),
+            wal_dir,
+        }
+    }
+
+    /// Seeds the per-shard epochs (recovery: the seq of the last replayed
+    /// record that touched each shard). Must be called before the state is
+    /// shared; values above the global epoch are a caller bug.
+    pub(crate) fn set_shard_epochs(&self, epochs: &[u64]) {
+        debug_assert_eq!(epochs.len(), self.shards.len());
+        for (shard, &e) in self.shards.iter().zip(epochs) {
+            debug_assert!(e <= self.epoch.load(Ordering::SeqCst));
+            shard.epoch.store(e, Ordering::SeqCst);
         }
     }
 
@@ -129,11 +253,81 @@ impl IndexState {
         self.wal.is_some()
     }
 
-    /// An immutable snapshot of the current index. Cheap (`Arc` clone);
-    /// the snapshot stays valid and unchanged for as long as the caller
-    /// holds it, regardless of concurrent mutations.
+    /// Number of shards the index is partitioned into (≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total live item count across shards (lock-free mirror).
+    pub fn items(&self) -> u64 {
+        self.total_items.load(Ordering::SeqCst)
+    }
+
+    /// Per-shard live item counts (lock-free mirrors), in shard order.
+    pub fn shard_items(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.items.load(Ordering::SeqCst)).collect()
+    }
+
+    /// Per-shard epochs: the global epoch (WAL mode: seq) of the last
+    /// mutation that touched each shard.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.epoch.load(Ordering::SeqCst)).collect()
+    }
+
+    /// Embedding dimensionality of the index.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of codebooks `M`.
+    pub fn num_codebooks(&self) -> usize {
+        self.num_codebooks
+    }
+
+    /// Codewords per codebook `K`.
+    pub fn num_codewords(&self) -> usize {
+        self.num_codewords
+    }
+
+    /// Validates a search request against the index shape without taking
+    /// any shard lock (admission control: reject before enqueueing).
+    ///
+    /// # Errors
+    /// The same typed [`SearchError`]s
+    /// [`lightlt_core::search::validate_search_request`] returns.
+    pub fn validate_search(&self, query_dim: usize, k: usize) -> Result<(), SearchError> {
+        if query_dim != self.dim {
+            return Err(SearchError::DimMismatch { expected: self.dim, got: query_dim });
+        }
+        if k == 0 {
+            return Err(SearchError::ZeroK);
+        }
+        if self.items() == 0 {
+            return Err(SearchError::EmptyIndex);
+        }
+        Ok(())
+    }
+
+    /// All shard `Arc`s, captured under the read locks in ascending shard
+    /// order: a cross-shard-consistent snapshot set (every mutation is
+    /// either fully visible or not at all — see the module docs). The
+    /// executor scans these without holding any lock.
+    pub fn shard_snapshots(&self) -> Vec<Arc<QuantizedIndex>> {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.cell.read().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        guards.iter().map(|g| (*g).clone()).collect()
+    }
+
+    /// An immutable snapshot of the current index **merged into the
+    /// unsharded global layout**. Cheap for one shard (`Arc` clone);
+    /// `O(n·M)` for more — use [`IndexState::shard_snapshots`] on hot
+    /// paths. The snapshot stays valid and unchanged for as long as the
+    /// caller holds it, regardless of concurrent mutations.
     pub fn snapshot(&self) -> Arc<QuantizedIndex> {
-        self.current.read().unwrap_or_else(|e| e.into_inner()).clone()
+        self.snapshot_with_epoch().0
     }
 
     /// The current mutation epoch (bumps on every successful
@@ -142,10 +336,24 @@ impl IndexState {
         self.epoch.load(Ordering::SeqCst)
     }
 
-    /// A consistent `(snapshot, epoch)` pair (taken under one read lock).
+    /// A consistent `(merged snapshot, epoch)` pair (captured under the
+    /// shard read locks; the merge itself runs outside them).
     pub fn snapshot_with_epoch(&self) -> (Arc<QuantizedIndex>, u64) {
-        let guard = self.current.read().unwrap_or_else(|e| e.into_inner());
-        (guard.clone(), self.epoch.load(Ordering::SeqCst))
+        let (arcs, epoch) = {
+            let guards: Vec<_> = self
+                .shards
+                .iter()
+                .map(|s| s.cell.read().unwrap_or_else(|e| e.into_inner()))
+                .collect();
+            let arcs: Vec<Arc<QuantizedIndex>> = guards.iter().map(|g| (*g).clone()).collect();
+            (arcs, self.epoch.load(Ordering::SeqCst))
+        };
+        if arcs.len() == 1 {
+            let mut arcs = arcs;
+            return (arcs.pop().expect("one shard"), epoch);
+        }
+        let refs: Vec<&QuantizedIndex> = arcs.iter().map(|a| a.as_ref()).collect();
+        (Arc::new(merge_modulo(&refs)), epoch)
     }
 
     /// Test hook: make the next WAL append fail with an injected I/O
@@ -190,8 +398,8 @@ impl IndexState {
         }
     }
 
-    /// Logs `record` ahead of applying it. Must be called with the index
-    /// write lock held so log order equals apply order.
+    /// Logs `record` ahead of applying it. Must be called with the
+    /// mutation mutex held so log order equals apply order.
     fn wal_append(&self, record: &WalRecord) -> Result<(), MutationError> {
         let Some(wal) = &self.wal else { return Ok(()) };
         lock_unpoisoned(wal)
@@ -200,59 +408,129 @@ impl IndexState {
             .map_err(|e| MutationError::Durability(format!("WAL append failed: {e}")))
     }
 
+    /// Every shard's write guard, acquired in ascending shard order (the
+    /// same order readers use, so the cross-shard view stays atomic).
+    fn write_all(&self) -> Vec<RwLockWriteGuard<'_, Arc<QuantizedIndex>>> {
+        self.shards
+            .iter()
+            .map(|s| s.cell.write().unwrap_or_else(|e| e.into_inner()))
+            .collect()
+    }
+
+    /// Bumps the global epoch and stamps it (plus the obs counters) onto
+    /// the touched shards. Call with the mutation mutex and write guards
+    /// held.
+    fn commit_mutation(&self, touched: &[usize]) -> u64 {
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        for &i in touched {
+            self.shards[i].epoch.store(epoch, Ordering::SeqCst);
+            self.shards[i].mutations.inc();
+        }
+        epoch
+    }
+
     /// Appends `rows` (online encode); returns the assigned id range. In
     /// WAL mode the mutation is logged (and fsynced per policy) before it
-    /// is applied, so acknowledgement implies durability.
+    /// is applied, so acknowledgement implies durability. New ids route
+    /// round-robin: id `g` lands in shard `g % S`, so the encode cost
+    /// spreads and the partition stays balanced.
     ///
     /// # Errors
     /// [`MutationError::Rejected`] on a dimension mismatch,
     /// [`MutationError::Durability`] when the WAL refuses the append
     /// (nothing is applied in either case; never panics).
     pub fn upsert(&self, rows: &Matrix) -> Result<std::ops::Range<usize>, MutationError> {
-        let mut guard = self.current.write().unwrap_or_else(|e| e.into_inner());
-        if rows.cols() != guard.dim() {
+        let _order = lock_unpoisoned(&self.mutation);
+        if rows.cols() != self.dim {
             return Err(MutationError::Rejected(format!(
                 "upsert dimension {} does not match index dimension {}",
                 rows.cols(),
-                guard.dim()
+                self.dim
             )));
         }
         if rows.rows() == 0 {
             return Err(MutationError::Rejected("upsert of zero rows".into()));
         }
+        let s = self.shards.len();
+        let start = self.total_items.load(Ordering::SeqCst) as usize;
         self.wal_append(&WalRecord::Upsert {
             dim: rows.cols() as u32,
             rows: rows.as_slice().to_vec(),
+            shard: Some((start % s) as u32),
         })?;
-        let assigned = Arc::make_mut(&mut guard).append(rows);
-        self.epoch.fetch_add(1, Ordering::SeqCst);
-        Ok(assigned)
+        let mut guards = self.write_all();
+        let mut touched = Vec::with_capacity(rows.rows().min(s));
+        for r in 0..rows.rows() {
+            let target = (start + r) % s;
+            // Shards share one set of codebooks, so which one encodes is
+            // immaterial: the greedy residual encode depends only on the
+            // row and the codebooks.
+            let (codes, norm_sq) = guards[target].encode_item(rows.row(r));
+            Arc::make_mut(&mut guards[target]).push_encoded(&codes, norm_sq);
+            self.shards[target].items.fetch_add(1, Ordering::SeqCst);
+            self.shards[target].items_gauge.inc();
+            if !touched.contains(&target) {
+                touched.push(target);
+            }
+        }
+        self.total_items.fetch_add(rows.rows() as u64, Ordering::SeqCst);
+        self.commit_mutation(&touched);
+        Ok(start..start + rows.rows())
     }
 
-    /// Swap-removes item `id`; returns the id that moved into its slot.
-    /// In WAL mode the mutation is logged before it is applied.
+    /// Swap-removes item `id` (global slot semantics: the last global id
+    /// moves into `id`'s slot); returns the id that moved. Across shards
+    /// that is one `O(M)` code move — the last item's codes are copied
+    /// verbatim into the target slot, never re-encoded, so scores cannot
+    /// change bits. In WAL mode the mutation is logged before it is
+    /// applied.
     ///
     /// # Errors
     /// [`MutationError::Rejected`] on an out-of-bounds id,
     /// [`MutationError::Durability`] when the WAL refuses the append
     /// (nothing is applied in either case; never panics).
     pub fn delete(&self, id: usize) -> Result<Option<usize>, MutationError> {
-        let mut guard = self.current.write().unwrap_or_else(|e| e.into_inner());
-        if id >= guard.len() {
+        let _order = lock_unpoisoned(&self.mutation);
+        let n = self.total_items.load(Ordering::SeqCst) as usize;
+        if id >= n {
             return Err(MutationError::Rejected(format!(
-                "delete id {id} out of bounds ({} items)",
-                guard.len()
+                "delete id {id} out of bounds ({n} items)"
             )));
         }
-        self.wal_append(&WalRecord::Delete { id: id as u64 })?;
-        let moved = Arc::make_mut(&mut guard).swap_remove(id);
-        self.epoch.fetch_add(1, Ordering::SeqCst);
+        let s = self.shards.len();
+        self.wal_append(&WalRecord::Delete { id: id as u64, shard: Some((id % s) as u32) })?;
+        let mut guards = self.write_all();
+        let last = n - 1;
+        let (dst_shard, dst_local) = (id % s, id / s);
+        // The last global id is always the last local item of its shard.
+        let (src_shard, src_local) = (last % s, last / s);
+        let moved = if id == last {
+            Arc::make_mut(&mut guards[dst_shard]).swap_remove(dst_local);
+            None
+        } else {
+            let codes = guards[src_shard].item_codes(src_local);
+            let norm_sq = guards[src_shard].recon_norm_sq(src_local);
+            Arc::make_mut(&mut guards[src_shard]).swap_remove(src_local);
+            Arc::make_mut(&mut guards[dst_shard]).set_encoded(dst_local, &codes, norm_sq);
+            Some(last)
+        };
+        self.shards[src_shard].items.fetch_sub(1, Ordering::SeqCst);
+        self.shards[src_shard].items_gauge.dec();
+        self.total_items.fetch_sub(1, Ordering::SeqCst);
+        let touched: Vec<usize> = if dst_shard == src_shard {
+            vec![dst_shard]
+        } else {
+            vec![dst_shard.min(src_shard), dst_shard.max(src_shard)]
+        };
+        self.commit_mutation(&touched);
         Ok(moved)
     }
 
     /// Writes a checksummed `LTINDEX3` snapshot of the current index to
     /// `path`, atomically (temp file + fsync + rename + parent-dir
-    /// fsync). Returns the epoch the snapshot captured.
+    /// fsync). Sharded state serializes as one merged global image, so
+    /// snapshots written at any shard count load at any other. Returns
+    /// the epoch the snapshot captured.
     ///
     /// # Errors
     /// Propagates I/O errors; the previous snapshot file, if any, is left
@@ -291,7 +569,8 @@ impl IndexState {
     /// dir fsync, then the manifest (the atomic commit point), then WAL
     /// rotation and pruning. A crash anywhere in between recovers to a
     /// consistent state: before the manifest commit the previous
-    /// snapshot's WAL suffix is still intact. Returns the covered seq.
+    /// snapshot's WAL suffix is still intact. The image is the merged
+    /// global index regardless of shard count. Returns the covered seq.
     ///
     /// # Errors
     /// Propagates I/O errors, and refuses with `InvalidInput` when the
@@ -332,6 +611,11 @@ impl IndexState {
             lt_obs::emit(&lt_obs::Event::SnapshotWrite { epoch: covered_seq, micros });
         }
         Ok(covered_seq)
+    }
+
+    /// Metric the index ranks by (shared by every shard).
+    pub fn metric(&self) -> Metric {
+        self.metric
     }
 }
 
@@ -444,6 +728,87 @@ mod tests {
     }
 
     #[test]
+    fn sharded_mutations_mirror_unsharded_bitwise() {
+        // The same mutation schedule against 1-shard and 4-shard states
+        // must produce byte-identical merged images at every step.
+        let base = build_index(21, 7);
+        let state = IndexState::new_sharded(base.clone(), 4);
+        let mut mirror = base;
+        assert_eq!(state.num_shards(), 4);
+        assert_eq!(state.items(), 21);
+        assert_eq!(state.shard_items(), vec![6, 5, 5, 5]);
+
+        let rows = randn(5, 6, &mut rng(71)).scale(0.4);
+        assert_eq!(state.upsert(&rows).unwrap(), mirror.append(&rows));
+        assert_eq!(
+            serialize_index(&state.snapshot()),
+            serialize_index(&mirror),
+            "after upsert"
+        );
+
+        // Delete from the middle (cross-shard move), the very last id
+        // (local pop: 26 items before the first delete, so 24 is last
+        // after it), and id 0.
+        for id in [9usize, 24, 0] {
+            assert_eq!(state.delete(id).unwrap(), mirror.swap_remove(id), "delete {id}");
+            assert_eq!(
+                serialize_index(&state.snapshot()),
+                serialize_index(&mirror),
+                "after delete {id}"
+            );
+        }
+        assert_eq!(state.items(), mirror.len() as u64);
+        assert_eq!(
+            state.shard_items().iter().sum::<u64>(),
+            mirror.len() as u64,
+            "shard counts stay a partition"
+        );
+        // Epochs: 4 mutations total, every touched shard stamped.
+        assert_eq!(state.epoch(), 4);
+        assert!(state.shard_epochs().iter().all(|&e| e <= 4));
+    }
+
+    #[test]
+    fn sharded_routing_places_ids_round_robin() {
+        let state = IndexState::new_sharded(build_index(10, 8), 3);
+        let rows = randn(4, 6, &mut rng(81)).scale(0.4);
+        // Ids 10..14 route to shards 1, 2, 0, 1.
+        let before = state.shard_items();
+        state.upsert(&rows).unwrap();
+        let after = state.shard_items();
+        assert_eq!(after[0] - before[0], 1);
+        assert_eq!(after[1] - before[1], 2);
+        assert_eq!(after[2] - before[2], 1);
+        // The shard snapshots themselves hold the routed codes verbatim.
+        let shards = state.shard_snapshots();
+        let merged = state.snapshot();
+        for g in [10usize, 11, 12, 13] {
+            assert_eq!(
+                shards[g % 3].item_codes(g / 3),
+                merged.item_codes(g),
+                "id {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_search_checks_shape_without_locks() {
+        use lightlt_core::search::SearchError;
+        let state = IndexState::new_sharded(build_index(12, 9), 2);
+        assert!(state.validate_search(6, 3).is_ok());
+        assert_eq!(
+            state.validate_search(4, 3).unwrap_err(),
+            SearchError::DimMismatch { expected: 6, got: 4 }
+        );
+        assert_eq!(state.validate_search(6, 0).unwrap_err(), SearchError::ZeroK);
+        // Drain the index: empty becomes a typed error.
+        for _ in 0..12 {
+            state.delete(0).unwrap();
+        }
+        assert_eq!(state.validate_search(6, 3).unwrap_err(), SearchError::EmptyIndex);
+    }
+
+    #[test]
     fn bad_mutations_are_typed_errors() {
         let state = IndexState::new(build_index(10, 3));
         let wrong = randn(2, 4, &mut rng(11));
@@ -495,6 +860,27 @@ mod tests {
     }
 
     #[test]
+    fn sharded_snapshot_reloads_at_any_shard_count() {
+        // A snapshot written by a 4-shard state is one global image: it
+        // must reload byte-identically into 1-, 2-, and 8-shard states.
+        let dir = tmp("shard_reload");
+        let snap_path = dir.join("live.snap");
+        let state = IndexState::new_sharded(build_index(19, 13), 4);
+        let rows = randn(3, 6, &mut rng(14)).scale(0.4);
+        state.upsert(&rows).unwrap();
+        state.write_snapshot(&snap_path).unwrap();
+        let expect = serialize_index(&state.snapshot());
+        for s in [1usize, 2, 8] {
+            let (reloaded, from_snap) =
+                load_index_with_snapshot(None, Some(&snap_path)).unwrap();
+            assert!(from_snap);
+            let restate = IndexState::new_sharded(reloaded, s);
+            assert_eq!(serialize_index(&restate.snapshot()), expect, "shards={s}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn wal_mode_logs_before_apply_and_refuses_on_failure() {
         use crate::wal::FsyncPolicy;
         let dir = tmp("wal_mode");
@@ -526,6 +912,37 @@ mod tests {
         })
         .unwrap();
         assert_eq!(count, 3, "exactly the acknowledged mutations are logged");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_wal_mode_tags_records_and_stamps_shard_epochs() {
+        use crate::wal::FsyncPolicy;
+        let dir = tmp("wal_sharded");
+        let writer = WalWriter::create(&dir, FsyncPolicy::Always, 1).unwrap();
+        let state =
+            IndexState::with_wal_sharded(build_index(8, 15), 4, 0, writer, dir.clone());
+        let rows = randn(1, 6, &mut rng(16)).scale(0.4);
+        state.upsert(&rows).unwrap(); // seq 1: id 8 -> shard 0
+        state.delete(3).unwrap(); // seq 2: slot 3 -> shard 3 (last id 8 -> shard 0)
+        assert_eq!(state.epoch(), 2);
+        let epochs = state.shard_epochs();
+        assert_eq!(epochs[0], 2, "shard 0 last touched by the delete's source move");
+        assert_eq!(epochs[3], 2, "shard 3 holds the deleted slot");
+        assert_eq!(epochs[1], 0);
+        assert_eq!(epochs[2], 0);
+
+        // The logged records carry their shard tags.
+        let mut tags = Vec::new();
+        crate::wal::replay_wal(&dir, 0, |_seq, rec| {
+            tags.push(match rec {
+                WalRecord::Upsert { shard, .. } => shard,
+                WalRecord::Delete { shard, .. } => shard,
+            });
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(tags, vec![Some(0), Some(3)]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

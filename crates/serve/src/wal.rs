@@ -234,6 +234,14 @@ fn crash_armed_now(point: CrashPoint) -> bool {
 
 /// One logged mutation. The payload encoding is tagged little-endian,
 /// mirroring the wire protocol's `Upsert`/`Delete` requests.
+///
+/// The optional `shard` tag is a trailing field (same evolution trick as
+/// the wire protocol's `Stats` reply): a tagged record grows 4 extra
+/// bytes, an untagged record decodes as `shard: None`, so logs written
+/// before sharding replay unchanged. The tag is **diagnostic only** — it
+/// names the shard the mutation first touched at log time, but replay
+/// routing is always re-derived from the running item count, so a log can
+/// legally be replayed into a different shard count.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
     /// Append `rows.len() / dim` embeddings of dimensionality `dim`.
@@ -242,11 +250,15 @@ pub enum WalRecord {
         dim: u32,
         /// Row-major embedding data (`n · dim` floats).
         rows: Vec<f32>,
+        /// Shard the first appended id routed to at log time (diagnostic).
+        shard: Option<u32>,
     },
     /// Swap-remove item `id`.
     Delete {
         /// Id of the removed item.
         id: u64,
+        /// Shard the deleted slot lived in at log time (diagnostic).
+        shard: Option<u32>,
     },
 }
 
@@ -257,19 +269,24 @@ impl WalRecord {
     /// Encodes the record payload (without framing).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
-        match self {
-            WalRecord::Upsert { dim, rows } => {
+        let shard = match self {
+            WalRecord::Upsert { dim, rows, shard } => {
                 buf.push(REC_UPSERT);
                 buf.extend_from_slice(&dim.to_le_bytes());
                 buf.extend_from_slice(&(rows.len() as u32).to_le_bytes());
                 for &v in rows {
                     buf.extend_from_slice(&v.to_le_bytes());
                 }
+                shard
             }
-            WalRecord::Delete { id } => {
+            WalRecord::Delete { id, shard } => {
                 buf.push(REC_DELETE);
                 buf.extend_from_slice(&id.to_le_bytes());
+                shard
             }
+        };
+        if let Some(shard) = shard {
+            buf.extend_from_slice(&shard.to_le_bytes());
         }
         buf
     }
@@ -289,7 +306,7 @@ impl WalRecord {
         };
         let mut data = payload;
         let tag = take(&mut data, 1)?[0];
-        let rec = match tag {
+        let mut rec = match tag {
             REC_UPSERT => {
                 let dim =
                     u32::from_le_bytes(take(&mut data, 4)?.try_into().expect("4 bytes"));
@@ -300,13 +317,24 @@ impl WalRecord {
                     .chunks_exact(4)
                     .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
                     .collect();
-                WalRecord::Upsert { dim, rows }
+                WalRecord::Upsert { dim, rows, shard: None }
             }
             REC_DELETE => WalRecord::Delete {
                 id: u64::from_le_bytes(take(&mut data, 8)?.try_into().expect("8 bytes")),
+                shard: None,
             },
             other => return Err(format!("unknown WAL record tag {other}")),
         };
+        // Optional trailing shard tag (records logged before sharding end
+        // here and stay `shard: None`).
+        if data.len() == 4 {
+            let tag = u32::from_le_bytes(take(&mut data, 4)?.try_into().expect("4 bytes"));
+            match &mut rec {
+                WalRecord::Upsert { shard, .. } | WalRecord::Delete { shard, .. } => {
+                    *shard = Some(tag);
+                }
+            }
+        }
         if !data.is_empty() {
             return Err(format!("{} trailing bytes after WAL record", data.len()));
         }
@@ -1007,9 +1035,9 @@ mod tests {
 
     fn sample_records() -> Vec<WalRecord> {
         vec![
-            WalRecord::Upsert { dim: 3, rows: vec![1.0, -2.5, 0.0, 4.0, 5.0, -6.0] },
-            WalRecord::Delete { id: 7 },
-            WalRecord::Upsert { dim: 3, rows: vec![0.25, 0.5, 0.75] },
+            WalRecord::Upsert { dim: 3, rows: vec![1.0, -2.5, 0.0, 4.0, 5.0, -6.0], shard: None },
+            WalRecord::Delete { id: 7, shard: Some(3) },
+            WalRecord::Upsert { dim: 3, rows: vec![0.25, 0.5, 0.75], shard: Some(1) },
         ]
     }
 
@@ -1018,6 +1046,16 @@ mod tests {
         for rec in sample_records() {
             assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
         }
+        // The shard tag is a strict trailing extension of the legacy
+        // layout: pre-sharding logs decode unchanged as `shard: None`.
+        let legacy = WalRecord::Delete { id: 7, shard: None }.encode();
+        let tagged = WalRecord::Delete { id: 7, shard: Some(3) }.encode();
+        assert_eq!(&tagged[..legacy.len()], &legacy[..]);
+        assert_eq!(tagged.len(), legacy.len() + 4);
+        assert_eq!(
+            WalRecord::decode(&legacy).unwrap(),
+            WalRecord::Delete { id: 7, shard: None }
+        );
         assert!(WalRecord::decode(&[]).is_err());
         assert!(WalRecord::decode(&[9]).is_err());
         let mut torn = sample_records()[0].encode();
@@ -1078,7 +1116,7 @@ mod tests {
 
         // And a writer opened at next_seq continues the chain.
         let mut w = WalWriter::create(&dir, FsyncPolicy::Always, report.next_seq).unwrap();
-        w.append(&WalRecord::Delete { id: 99 }).unwrap();
+        w.append(&WalRecord::Delete { id: 99, shard: None }).unwrap();
         let (got, report) = collect(&dir, 0);
         assert_eq!(report.replayed, 3);
         assert_eq!(got.last().unwrap().0, 3);
@@ -1127,12 +1165,12 @@ mod tests {
     fn rotation_spans_segments_and_prunes_covered_ones() {
         let dir = tmp("rotate");
         let mut w = WalWriter::create(&dir, FsyncPolicy::Never, 1).unwrap();
-        w.append(&WalRecord::Delete { id: 1 }).unwrap();
-        w.append(&WalRecord::Delete { id: 2 }).unwrap();
+        w.append(&WalRecord::Delete { id: 1, shard: None }).unwrap();
+        w.append(&WalRecord::Delete { id: 2, shard: None }).unwrap();
         w.rotate_and_prune().unwrap();
-        w.append(&WalRecord::Delete { id: 3 }).unwrap();
+        w.append(&WalRecord::Delete { id: 3, shard: None }).unwrap();
         w.rotate_and_prune().unwrap();
-        w.append(&WalRecord::Delete { id: 4 }).unwrap();
+        w.append(&WalRecord::Delete { id: 4, shard: None }).unwrap();
         drop(w);
         // No snapshots exist, so nothing is pruned and replay sees all 4.
         let (got, report) = collect(&dir, 0);
@@ -1157,11 +1195,11 @@ mod tests {
     fn seq_gap_between_segments_stops_and_orphans_unreachable() {
         let dir = tmp("gap");
         let mut w = WalWriter::create(&dir, FsyncPolicy::Never, 1).unwrap();
-        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        w.append(&WalRecord::Delete { id: 1, shard: None }).unwrap();
         drop(w);
         // Fabricate a segment claiming to start at 5: seqs 2-4 are missing.
         let mut w = WalWriter::create(&dir, FsyncPolicy::Never, 5).unwrap();
-        w.append(&WalRecord::Delete { id: 5 }).unwrap();
+        w.append(&WalRecord::Delete { id: 5, shard: None }).unwrap();
         drop(w);
         let gapped = fs::read(dir.join(segment_name(5))).unwrap();
         let (got, report) = collect(&dir, 0);
@@ -1185,17 +1223,17 @@ mod tests {
     fn injected_append_failure_is_typed_and_recoverable() {
         let dir = tmp("inject");
         let mut w = WalWriter::create(&dir, FsyncPolicy::Always, 1).unwrap();
-        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        w.append(&WalRecord::Delete { id: 1, shard: None }).unwrap();
         w.fail_next_append();
-        let err = w.append(&WalRecord::Delete { id: 2 }).unwrap_err();
+        let err = w.append(&WalRecord::Delete { id: 2, shard: None }).unwrap_err();
         assert!(err.to_string().contains("injected"));
         // The failed append must not consume a seq or corrupt the log.
-        assert_eq!(w.append(&WalRecord::Delete { id: 3 }).unwrap(), 2);
+        assert_eq!(w.append(&WalRecord::Delete { id: 3, shard: None }).unwrap(), 2);
         drop(w);
         let (got, report) = collect(&dir, 0);
         assert_eq!(report.replayed, 2);
         assert!(report.stopped.is_none());
-        assert_eq!(got[1].1, WalRecord::Delete { id: 3 });
+        assert_eq!(got[1].1, WalRecord::Delete { id: 3, shard: None });
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1203,20 +1241,20 @@ mod tests {
     fn sync_failure_rolls_back_the_frame() {
         let dir = tmp("syncfail");
         let mut w = WalWriter::create(&dir, FsyncPolicy::Always, 1).unwrap();
-        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        w.append(&WalRecord::Delete { id: 1, shard: None }).unwrap();
         w.fail_next_sync();
-        let err = w.append(&WalRecord::Delete { id: 2 }).unwrap_err();
+        let err = w.append(&WalRecord::Delete { id: 2, shard: None }).unwrap_err();
         assert!(err.to_string().contains("fsync"));
         // The refused mutation's frame must not linger in the log: its
         // seq is reused by the next successful append, and replay must
         // see neither a phantom of the refused record nor a duplicate
         // seq that would truncate off the acknowledged one.
-        assert_eq!(w.append(&WalRecord::Delete { id: 3 }).unwrap(), 2);
+        assert_eq!(w.append(&WalRecord::Delete { id: 3, shard: None }).unwrap(), 2);
         drop(w);
         let (got, report) = collect(&dir, 0);
         assert!(report.stopped.is_none(), "no duplicate-seq chain break: {:?}", report.stopped);
         assert_eq!(report.replayed, 2);
-        assert_eq!(got[1], (2, WalRecord::Delete { id: 3 }), "refused mutation must not replay");
+        assert_eq!(got[1], (2, WalRecord::Delete { id: 3, shard: None }), "refused mutation must not replay");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1226,7 +1264,7 @@ mod tests {
         let mut w =
             WalWriter::create(&dir, FsyncPolicy::Group { records: 100, micros: 20_000 }, 1)
                 .unwrap();
-        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        w.append(&WalRecord::Delete { id: 1, shard: None }).unwrap();
         w.sync_if_due().unwrap();
         assert_eq!(w.pending_records, 1, "interval not elapsed: tail still pending");
         std::thread::sleep(std::time::Duration::from_millis(25));
@@ -1302,9 +1340,9 @@ mod tests {
         let mut w =
             WalWriter::create(&dir, FsyncPolicy::Group { records: 2, micros: u64::MAX }, 1)
                 .unwrap();
-        w.append(&WalRecord::Delete { id: 1 }).unwrap();
+        w.append(&WalRecord::Delete { id: 1, shard: None }).unwrap();
         assert_eq!(w.pending_records, 1, "below threshold: no sync yet");
-        w.append(&WalRecord::Delete { id: 2 }).unwrap();
+        w.append(&WalRecord::Delete { id: 2, shard: None }).unwrap();
         assert_eq!(w.pending_records, 0, "threshold reached: synced");
         let _ = fs::remove_dir_all(&dir);
     }

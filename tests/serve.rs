@@ -109,6 +109,56 @@ fn concurrent_clients_get_bitwise_identical_results() {
 }
 
 #[test]
+fn sharded_servers_answer_bitwise_identically_at_any_shard_count() {
+    // The shard count (and executor width) is a deployment knob, never a
+    // semantic one: the same mutation schedule + query set against 1-, 2-,
+    // 4-, and 8-shard servers must return byte-identical hits, all equal
+    // to a local unsharded mirror.
+    let d = 16;
+    let base = synth_index(300, 3, 24, d, 21);
+    let mut mirror = base.clone();
+    let rows = randn(5, d, &mut rng(210)).scale(0.4);
+    mirror.append(&rows);
+    mirror.swap_remove(7);
+    let total = mirror.len() as u64;
+
+    let queries = randn(6, d, &mut rng(211)).scale(0.5);
+    for (shards, threads) in [(1usize, 1usize), (2, 4), (4, 1), (8, 4)] {
+        let server = Server::start(
+            base.clone(),
+            ServeConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                shards,
+                threads,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client =
+            ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5)).unwrap();
+        client.upsert(d, rows.as_slice()).unwrap();
+        client.delete(7).unwrap();
+        for i in 0..queries.rows() {
+            let q = queries.row(i);
+            let k = 1 + i * 3;
+            assert_hits_match(&client.search(q, k).unwrap(), &adc_search(&mirror, q, k));
+        }
+        // The Stats reply exposes the shard layout: counts must partition
+        // the id space under the modulo routing rule.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.shards, shards as u64, "shards={shards}");
+        assert_eq!(stats.shard_items.len(), shards);
+        assert_eq!(stats.shard_items.iter().sum::<u64>(), total);
+        for (i, &got) in stats.shard_items.iter().enumerate() {
+            let expect = (total as usize + shards - 1 - i) / shards;
+            assert_eq!(got, expect as u64, "shard {i} of {shards}");
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
 fn upserts_and_deletes_are_visible_and_match_local_mirror() {
     let d = 16;
     let index = synth_index(120, 3, 24, d, 12);

@@ -158,7 +158,9 @@ fn crash_child() {
     let snap_at: u64 =
         std::env::var("LT_WAL_CHILD_SNAP_AT").unwrap_or_default().parse().unwrap_or(0);
 
-    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+    let shards: usize =
+        std::env::var("LT_WAL_CHILD_SHARDS").unwrap_or_default().parse().unwrap_or(1);
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, shards).unwrap();
     emit(&format!("RECOVERED {}", report.epoch));
     for step in report.epoch + 1..=total {
         apply_to_state(&state, step).unwrap();
@@ -195,12 +197,24 @@ impl ChildRun {
 /// Runs [`crash_child`] in a fresh process against `dir`, optionally with
 /// an armed crash point (`"<point>"` or `"<point>:<nth>"`).
 fn run_child(dir: &Path, total: u64, snap_at: u64, crash: Option<&str>) -> ChildRun {
+    run_child_sharded(dir, total, snap_at, crash, 1)
+}
+
+/// [`run_child`] with the child's state split into `shards` shards.
+fn run_child_sharded(
+    dir: &Path,
+    total: u64,
+    snap_at: u64,
+    crash: Option<&str>,
+    shards: usize,
+) -> ChildRun {
     let exe = std::env::current_exe().unwrap();
     let mut cmd = Command::new(exe);
     cmd.args(["crash_child", "--exact", "--nocapture", "--test-threads=1"])
         .env("LT_WAL_CHILD_DIR", dir)
         .env("LT_WAL_CHILD_OPS", total.to_string())
         .env("LT_WAL_CHILD_SNAP_AT", snap_at.to_string())
+        .env("LT_WAL_CHILD_SHARDS", shards.to_string())
         .env_remove("LT_CRASH_POINT")
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
@@ -249,7 +263,7 @@ fn kill_at_every_append_crash_point_loses_no_acked_mutations() {
         assert!(max_acked >= 1, "{point}: some mutations must be acked before the crash");
         assert!(max_acked < 40, "{point}: the crash must interrupt the schedule");
 
-        let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+        let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, 1).unwrap();
         // acked ⊆ recovered: an ack the client saw can never be rolled
         // back. (The other direction is legitimately loose — a process
         // kill preserves page-cache writes, so a logged-but-unacked
@@ -271,6 +285,54 @@ fn kill_at_every_append_crash_point_loses_no_acked_mutations() {
     }
 }
 
+/// A sharded child killed mid-schedule recovers into ANY shard count:
+/// the WAL is logically global (shard tags are diagnostic), so a log
+/// written by a 4-shard server replays bitwise-identically into 1, 2, or
+/// 4 shards, with each shard's epoch equal to the seq of the last record
+/// that touched it.
+#[test]
+fn sharded_state_survives_kill_and_recovers_at_any_shard_count() {
+    let dir = tmp_dir("kill_sharded");
+    // Arm the 20th append-path crash so the durable snapshot at seq 12
+    // commits first: recovery then seeds from the snapshot and replays
+    // the WAL suffix into the sharded layout.
+    let run = run_child_sharded(&dir, 40, 12, Some("post_append_pre_fsync:20"), 4);
+    assert!(!run.clean_exit, "the armed child must die, not finish");
+    assert!(!run.done);
+    let max_acked = run.max_acked();
+    assert!(max_acked >= 12, "the snapshot step must be reached before the crash");
+    assert!(max_acked < 40, "the crash must interrupt the schedule");
+    assert_eq!(run.snapped, vec![12]);
+
+    for shards in [4usize, 1, 2] {
+        let (state, report) =
+            recover(Some(base_index()), &dir, FsyncPolicy::Always, shards).unwrap();
+        assert!(
+            report.epoch >= max_acked,
+            "shards={shards}: acked seq {max_acked} lost — recovered only to epoch {}",
+            report.epoch
+        );
+        assert_eq!(state.num_shards(), shards);
+        assert_bitwise_identical(&state, report.epoch, &format!("shards={shards}"));
+        // epoch ≡ seq per shard: the newest shard epoch is the last
+        // replayed seq, and none runs ahead of the global epoch.
+        let epochs = state.shard_epochs();
+        assert_eq!(epochs.len(), shards);
+        assert_eq!(epochs.iter().copied().max().unwrap(), report.epoch);
+        assert!(epochs.iter().all(|&e| e <= report.epoch));
+        drop(state);
+    }
+
+    // The recovered sharded writer continues the seq chain and stamps the
+    // shards the next mutation touches.
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, 4).unwrap();
+    apply_to_state(&state, report.epoch + 1).unwrap();
+    assert_eq!(state.epoch(), report.epoch + 1);
+    assert_eq!(state.shard_epochs().into_iter().max().unwrap(), report.epoch + 1);
+    drop(state);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A kill inside the durable-snapshot commit sequence (before the rename,
 /// or after the rename but before the manifest) preserves every acked
 /// mutation: the manifest is the commit point, so the previous snapshot's
@@ -284,7 +346,7 @@ fn kill_during_durable_snapshot_preserves_every_acked_mutation() {
         assert_eq!(run.max_acked(), 12, "{point}: ops up to the snapshot trigger are acked");
         assert!(run.snapped.is_empty(), "{point}: the snapshot must not have committed");
 
-        let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+        let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, 1).unwrap();
         assert_eq!(report.epoch, 12, "{point}: every acked mutation must survive");
         match point {
             // Nothing was renamed into place: recovery seeds from the
@@ -328,7 +390,7 @@ fn restart_after_crash_resumes_and_completes_the_schedule() {
         run2.recovered
     );
 
-    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, 1).unwrap();
     assert_eq!(report.epoch, 40);
     assert!(
         matches!(report.source, RecoverySource::Manifest(_)),
@@ -345,7 +407,7 @@ fn restart_after_crash_resumes_and_completes_the_schedule() {
 /// Builds a WAL directory with two committed snapshots (covering 6 and
 /// 12) and a replay suffix 13..=15, then returns it.
 fn durable_setup(dir: &Path) {
-    let (state, _) = recover(Some(base_index()), dir, FsyncPolicy::Always).unwrap();
+    let (state, _) = recover(Some(base_index()), dir, FsyncPolicy::Always, 1).unwrap();
     for step in 1..=6 {
         apply_to_state(&state, step).unwrap();
     }
@@ -386,7 +448,7 @@ fn bit_flip_in_wal_segment_recovers_the_valid_prefix() {
     durable_setup(&dir);
     flip_byte_mid(&newest_file_with(&dir, "wal-", ".log"));
 
-    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, 1).unwrap();
     assert!(
         report.replay.stopped.is_some(),
         "replay must report the corruption, got {:?}",
@@ -411,7 +473,7 @@ fn bit_flip_in_snapshot_falls_back_to_older_snapshot() {
     durable_setup(&dir);
     flip_byte_mid(&newest_file_with(&dir, "snap-", ".ltidx"));
 
-    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, 1).unwrap();
     assert!(!report.fallbacks.is_empty(), "the corrupt image must be counted as a fallback");
     assert!(
         matches!(report.source, RecoverySource::SnapshotFile(_)),
@@ -433,7 +495,7 @@ fn bit_flip_in_manifest_falls_back_to_orphan_snapshot() {
     durable_setup(&dir);
     flip_byte_mid(&dir.join("MANIFEST"));
 
-    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, 1).unwrap();
     assert!(!report.fallbacks.is_empty());
     assert!(
         matches!(report.source, RecoverySource::SnapshotFile(_)),
@@ -463,7 +525,7 @@ fn fsync_policy_grid_recovers_all_acked_mutations() {
     for (tag, policy) in policies {
         let dir = tmp_dir(&format!("grid_{tag}"));
         {
-            let (state, _) = recover(Some(base_index()), &dir, policy).unwrap();
+            let (state, _) = recover(Some(base_index()), &dir, policy, 1).unwrap();
             for step in 1..=9 {
                 apply_to_state(&state, step).unwrap();
             }
@@ -472,7 +534,7 @@ fn fsync_policy_grid_recovers_all_acked_mutations() {
                 apply_to_state(&state, step).unwrap();
             }
         }
-        let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always).unwrap();
+        let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, 1).unwrap();
         assert_eq!(report.epoch, 15, "{tag}: all acked mutations must recover");
         assert_eq!(report.covered_seq, 9, "{tag}: the snapshot covers the pre-rotation prefix");
         assert_bitwise_identical(&state, 15, tag);
