@@ -4,7 +4,10 @@
 # The test suite runs twice — serial (LT_THREADS=1) and parallel
 # (LT_THREADS=4) — because every lt-runtime kernel must be bitwise
 # deterministic with respect to the thread count; a result that differs
-# between the two runs is a determinism bug, not flakiness.
+# between the two runs is a determinism bug, not flakiness. The two runs
+# double as the scan-backend matrix: tests/scan_engine.rs pins the u8
+# backend (full-rerank bitwise identity, recall@10, shard x thread
+# invariance) at both widths.
 set -euo pipefail
 
 cargo build --release --workspace
@@ -20,6 +23,9 @@ cargo bench --no-run --workspace
 # smoke numbers — regenerate that one deliberately with
 # `cargo run -p lt-bench --release -- adc`.
 cargo run -p lt-bench --release -- adc --smoke --out target/BENCH_adc_smoke.json
+# The smoke grid must measure the quantized engine alongside f32.
+grep -q '"engine_u8_scan_items_per_s"' target/BENCH_adc_smoke.json
+grep -q '"u8_recall_at_10"' target/BENCH_adc_smoke.json
 
 # Serving smoke: synthesize a small index image, serve it in the
 # background (with a JSONL event trace), run a
@@ -114,6 +120,23 @@ echo "$SHARD_STATS" | grep -E 'shard 0 items +126$'
 echo "$SHARD_STATS" | grep -E 'shard 3 items +125$'
 target/release/lightlt query --addr "$SHARD_ADDR" --op shutdown
 wait "$SHARD_PID"
+
+# Quantized-backend smoke: serve the same index through the u8 scan
+# backend (train-free synth_index image -> serve -> query). The u8 engine
+# must answer searches, pass the metrics self-check, and show its own
+# scan counters in the Prometheus dump — proof the low-precision path is
+# actually the one serving.
+U8_ADDR=127.0.0.1:17896
+target/release/lightlt serve --index "$SMOKE_DIR/index.bin" \
+  --backend u8:16 --addr "$U8_ADDR" &
+U8_PID=$!
+target/release/lightlt query --addr "$U8_ADDR" --op search --k 5 \
+  --vector "$WAL_VEC"
+target/release/lightlt query --addr "$U8_ADDR" --metrics --check
+target/release/lightlt query --addr "$U8_ADDR" --metrics \
+  | grep -q 'scan_u8_scans'
+target/release/lightlt query --addr "$U8_ADDR" --op shutdown
+wait "$U8_PID"
 
 # Smoke the serve load benchmark (tracked baseline: BENCH_serve.json via
 # `cargo run -p lt-bench --release -- serve --durable`; the --durable

@@ -2,7 +2,10 @@
 
 use lightlt_core::persist::{deserialize_index, serialize_index, ModelBundle};
 use lightlt_core::prelude::*;
-use lightlt_core::search::{adc_rank_all_batch, adc_search, adc_search_rerank};
+use lightlt_core::search::{
+    adc_rank_all_batch, adc_search, adc_search_batch_with_backend, adc_search_rerank,
+    adc_search_with_backend, SearchScratch,
+};
 use lt_data::io::{load_split, save_split};
 use lt_data::DatasetKind;
 use lt_eval::Table;
@@ -169,6 +172,15 @@ fn load_index(path: &str) -> Result<QuantizedIndex, String> {
     deserialize_index(&bytes)
 }
 
+/// Parses `--backend {f32,u8[:rerank]}` (defaults to the exact f32 engine),
+/// surfacing the parser's own error message on bad input.
+fn parse_backend(args: &Args) -> Result<lt_linalg::scan::BackendKind, String> {
+    match args.get("backend") {
+        None => Ok(lt_linalg::scan::BackendKind::F32),
+        Some(s) => s.parse(),
+    }
+}
+
 /// `lightlt search` — run one query against an index.
 pub fn search(args: &Args) -> Result<(), String> {
     let (model, store) = load_model(args.require("model")?)?;
@@ -184,15 +196,30 @@ pub fn search(args: &Args) -> Result<(), String> {
         ));
     }
 
+    let backend = parse_backend(args)?;
     let q_emb = model.embed(&store, &split.query.features.select_rows(&[query_row]));
     let hits = match args.get("rerank") {
         Some(shortlist) => {
+            if backend != lt_linalg::scan::BackendKind::F32 {
+                return Err(
+                    "--rerank (dense re-scoring) and --backend are mutually exclusive; \
+                     use --backend u8:<depth> for the LUT-space re-rank"
+                        .into(),
+                );
+            }
             let shortlist: usize =
                 shortlist.parse().map_err(|_| "invalid --rerank value".to_string())?;
             let db_emb = model.embed(&store, &split.database.features);
             adc_search_rerank(&idx, &db_emb, q_emb.row(0), k, shortlist)
         }
-        None => adc_search(&idx, q_emb.row(0), k),
+        None => match backend {
+            lt_linalg::scan::BackendKind::F32 => adc_search(&idx, q_emb.row(0), k),
+            other => {
+                let engine = other.create();
+                let mut scratch = SearchScratch::new();
+                adc_search_with_backend(&idx, engine.as_ref(), q_emb.row(0), k, &mut scratch)
+            }
+        },
     };
 
     let mut table = Table::new(
@@ -212,10 +239,16 @@ pub fn search(args: &Args) -> Result<(), String> {
 }
 
 /// `lightlt eval` — MAP over the split's query set.
+///
+/// With `--backend u8[:rerank]`, the rankings come from the quantized scan
+/// engine and the report additionally includes recall@k against the exact
+/// f32 rankings (overall plus per-class tail breakdown), quantifying what
+/// the low-precision LUT costs on long-tail classes.
 pub fn eval(args: &Args) -> Result<(), String> {
     let (model, store) = load_model(args.require("model")?)?;
     let idx = load_index(args.require("index")?)?;
     let data = args.require("data")?;
+    let backend = parse_backend(args)?;
     let split = load_split(data).map_err(|e| format!("reading {data}: {e}"))?;
     if idx.len() != split.database.len() {
         return Err(format!(
@@ -226,7 +259,17 @@ pub fn eval(args: &Args) -> Result<(), String> {
     }
 
     let q_emb = model.embed(&store, &split.query.features);
-    let rankings = adc_rank_all_batch(&idx, &q_emb);
+    let f32_rankings = adc_rank_all_batch(&idx, &q_emb);
+    let rankings = match backend {
+        lt_linalg::scan::BackendKind::F32 => f32_rankings.clone(),
+        other => {
+            let engine = other.create();
+            adc_search_batch_with_backend(&idx, engine.as_ref(), &q_emb, idx.len())
+                .into_iter()
+                .map(|hits| hits.into_iter().map(|s| s.index).collect())
+                .collect()
+        }
+    };
     let map = lt_eval::mean_average_precision(
         &rankings,
         &split.query.labels,
@@ -238,12 +281,36 @@ pub fn eval(args: &Args) -> Result<(), String> {
         &split.database.labels,
         split.train.num_classes,
     );
-    println!("MAP over {} queries: {map:.4}", split.query.len());
+    println!(
+        "MAP over {} queries ({backend} scan backend): {map:.4}",
+        split.query.len()
+    );
     let c = split.train.num_classes;
     let head_n = (c / 4).max(1);
     let head: f64 = pcm[..head_n].iter().sum::<f64>() / head_n as f64;
     let tail: f64 = pcm[c - head_n..].iter().sum::<f64>() / head_n as f64;
     println!("head-{head_n} classes: {head:.4}   tail-{head_n} classes: {tail:.4}");
+
+    if backend != lt_linalg::scan::BackendKind::F32 {
+        let k = args
+            .get("recall-k")
+            .map(|s| {
+                s.parse::<usize>()
+                    .ok()
+                    .filter(|&k| k > 0)
+                    .ok_or_else(|| format!("invalid value for --recall-k: `{s}`"))
+            })
+            .transpose()?
+            .unwrap_or(10);
+        let report = lt_eval::quant_recall_report(
+            &f32_rankings,
+            &rankings,
+            &split.query.labels,
+            split.train.num_classes,
+            k,
+        );
+        println!("{}", report.render());
+    }
     Ok(())
 }
 
@@ -290,6 +357,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
 
     let max_delay_us: u64 = args.get_or("max-delay-us", 500)?;
     let snapshot_every_ms: u64 = args.get_or("snapshot-every-ms", 0)?;
+    let backend = parse_backend(args)?;
     let config = lt_serve::ServeConfig {
         addr: args.get_or("addr", "127.0.0.1:7878".to_string())?,
         max_batch: args.get_or("max-batch", 16)?,
@@ -305,6 +373,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         wal_dir,
         fsync_policy,
         metrics: !args.flag("no-metrics"),
+        backend,
     };
     if config.max_batch == 0 || config.queue_cap == 0 {
         return Err("--max-batch and --queue-cap must be positive".into());
@@ -319,7 +388,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
     }
     .map_err(|e| format!("starting server: {e}"))?;
     println!(
-        "serving {} items (dim {}) across {} shard(s) on {} (loaded from {source})",
+        "serving {} items (dim {}) across {} shard(s) on {} (loaded from {source}, {backend} scan backend)",
         server.state().items(),
         server.state().dim(),
         server.state().num_shards(),
@@ -491,6 +560,31 @@ mod tests {
     fn serve_without_index_or_snapshot_is_an_error() {
         let args = Args::parse(["serve".to_string()]).unwrap();
         assert!(serve(&args).unwrap_err().contains("--index"));
+    }
+
+    #[test]
+    fn backend_flag_parses_all_engine_spellings() {
+        use lt_linalg::scan::BackendKind;
+        let parse = |argv: &[&str]| {
+            let args =
+                Args::parse(argv.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap();
+            parse_backend(&args)
+        };
+        assert_eq!(parse(&["search"]).unwrap(), BackendKind::F32);
+        assert_eq!(parse(&["search", "--backend", "f32"]).unwrap(), BackendKind::F32);
+        assert_eq!(
+            parse(&["search", "--backend", "u8"]).unwrap(),
+            BackendKind::U8 { rerank: None }
+        );
+        assert_eq!(
+            parse(&["search", "--backend", "u8:32"]).unwrap(),
+            BackendKind::U8 { rerank: Some(32) }
+        );
+        // The FromStr error message passes through verbatim.
+        assert!(parse(&["search", "--backend", "i4"])
+            .unwrap_err()
+            .contains("unknown scan backend"));
+        assert!(parse(&["search", "--backend", "u8:0"]).is_err());
     }
 
     #[test]

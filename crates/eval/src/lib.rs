@@ -8,15 +8,19 @@
 //!   (Fig. 7).
 //! * [`report`] — aligned text tables matching the paper's layout and JSON
 //!   artifact writing for EXPERIMENTS.md.
+//! * [`quantization`] — recall@k of the u8 LUT-quantized scan backend
+//!   against the exact f32 engine, with per-class tail breakdown.
 
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod quantization;
 pub mod report;
 pub mod retrieval;
 pub mod timing;
 
 pub use metrics::{average_precision, mean_average_precision, per_class_map};
+pub use quantization::{quant_recall_report, recall_vs_reference, QuantRecallReport};
 pub use report::{fmt_map, fmt_ratio, Table};
 pub use retrieval::{evaluate_map, ExhaustiveRanker, FnRanker, Ranker};
 pub use timing::{speedup_ratio, time_best_of, Timing};

@@ -1,0 +1,250 @@
+//! LUT-quantization recall accounting (PR 8).
+//!
+//! The u8 scan backend trades exact f32 LUT accumulation for a quantized
+//! integer pipeline. This module measures what that trade costs in retrieval
+//! quality: recall@k of the quantized engine's rankings against the exact
+//! engine's rankings on the same queries, overall and per class so the
+//! long-tail impact (the paper's central concern) is visible.
+
+use crate::report::Table;
+
+/// Mean recall@k of `candidate` rankings against `reference` rankings.
+///
+/// For each query, recall is `|top-k(candidate) ∩ top-k(reference)| / k'`
+/// where `k' = min(k, reference-list length)`. Queries whose reference list
+/// is empty are skipped; returns 0.0 when every query is skipped.
+pub fn recall_vs_reference(reference: &[Vec<usize>], candidate: &[Vec<usize>], k: usize) -> f64 {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "reference/candidate query counts differ"
+    );
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (refs, cands) in reference.iter().zip(candidate) {
+        let kr = k.min(refs.len());
+        if kr == 0 {
+            continue;
+        }
+        let truth: Vec<usize> = refs[..kr].to_vec();
+        let hits = cands
+            .iter()
+            .take(k)
+            .filter(|id| truth.contains(id))
+            .count();
+        total += hits as f64 / kr as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Recall@k of a quantized backend against the exact f32 reference,
+/// broken down per class so tail degradation is visible.
+#[derive(Debug, Clone)]
+pub struct QuantRecallReport {
+    /// Cutoff the recall is computed at.
+    pub k: usize,
+    /// Mean recall@k over all queries.
+    pub recall: f64,
+    /// Per class: (query count, mean recall@k). Classes with no queries
+    /// report 0.0, mirroring [`crate::per_class_map`].
+    pub per_class: Vec<(usize, f64)>,
+    /// Unweighted mean over the head quartile of classes (first `C/4`).
+    pub head_recall: f64,
+    /// Unweighted mean over the tail quartile of classes (last `C/4`).
+    pub tail_recall: f64,
+}
+
+/// Builds a [`QuantRecallReport`] from exact-reference and candidate
+/// rankings plus query class labels.
+///
+/// Classes are assumed ordered head-first (most frequent = class 0), the
+/// convention used throughout the repo; head/tail quartiles are the first
+/// and last `max(1, num_classes/4)` classes.
+pub fn quant_recall_report(
+    reference: &[Vec<usize>],
+    candidate: &[Vec<usize>],
+    query_labels: &[usize],
+    num_classes: usize,
+    k: usize,
+) -> QuantRecallReport {
+    assert_eq!(
+        reference.len(),
+        query_labels.len(),
+        "rankings/labels query counts differ"
+    );
+    let recall = recall_vs_reference(reference, candidate, k);
+
+    let mut sums = vec![0.0f64; num_classes];
+    let mut counts = vec![0usize; num_classes];
+    for ((refs, cands), &label) in reference.iter().zip(candidate).zip(query_labels) {
+        let kr = k.min(refs.len());
+        if kr == 0 || label >= num_classes {
+            continue;
+        }
+        let truth = &refs[..kr];
+        let hits = cands
+            .iter()
+            .take(k)
+            .filter(|id| truth.contains(id))
+            .count();
+        sums[label] += hits as f64 / kr as f64;
+        counts[label] += 1;
+    }
+    let per_class: Vec<(usize, f64)> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(&s, &c)| (c, if c == 0 { 0.0 } else { s / c as f64 }))
+        .collect();
+
+    let quart = (num_classes / 4).max(1).min(num_classes.max(1));
+    let mean_over = |slice: &[(usize, f64)]| -> f64 {
+        if slice.is_empty() {
+            0.0
+        } else {
+            slice.iter().map(|&(_, r)| r).sum::<f64>() / slice.len() as f64
+        }
+    };
+    let head_recall = mean_over(&per_class[..quart.min(per_class.len())]);
+    let tail_recall = if per_class.len() >= quart {
+        mean_over(&per_class[per_class.len() - quart..])
+    } else {
+        0.0
+    };
+
+    QuantRecallReport {
+        k,
+        recall,
+        per_class,
+        head_recall,
+        tail_recall,
+    }
+}
+
+impl QuantRecallReport {
+    /// Renders the report: a summary table (overall / head quartile /
+    /// tail quartile) followed by per-class rows for the tail quartile,
+    /// where quantization damage concentrates.
+    pub fn render(&self) -> String {
+        let mut summary = Table::new(
+            format!("LUT-quantization recall@{} vs exact f32", self.k),
+            &["slice", "classes", "queries", "recall"],
+        );
+        let total_queries: usize = self.per_class.iter().map(|&(c, _)| c).sum();
+        summary.row(&[
+            "all".to_string(),
+            self.per_class.len().to_string(),
+            total_queries.to_string(),
+            format!("{:.4}", self.recall),
+        ]);
+        let quart = (self.per_class.len() / 4).max(1).min(self.per_class.len());
+        if !self.per_class.is_empty() {
+            let head = &self.per_class[..quart];
+            let tail = &self.per_class[self.per_class.len() - quart..];
+            summary.row(&[
+                "head quartile".to_string(),
+                quart.to_string(),
+                head.iter().map(|&(c, _)| c).sum::<usize>().to_string(),
+                format!("{:.4}", self.head_recall),
+            ]);
+            summary.row(&[
+                "tail quartile".to_string(),
+                quart.to_string(),
+                tail.iter().map(|&(c, _)| c).sum::<usize>().to_string(),
+                format!("{:.4}", self.tail_recall),
+            ]);
+        }
+        let mut out = summary.render();
+
+        if !self.per_class.is_empty() {
+            let first_tail = self.per_class.len() - quart;
+            let mut detail = Table::new(
+                "tail-quartile per-class recall",
+                &["class", "queries", "recall"],
+            );
+            for (offset, &(count, r)) in self.per_class[first_tail..].iter().enumerate() {
+                detail.row(&[
+                    (first_tail + offset).to_string(),
+                    count.to_string(),
+                    format!("{:.4}", r),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&detail.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_have_perfect_recall() {
+        let r = vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]];
+        assert_eq!(recall_vs_reference(&r, &r, 3), 1.0);
+        assert_eq!(recall_vs_reference(&r, &r, 10), 1.0);
+    }
+
+    #[test]
+    fn disjoint_rankings_have_zero_recall() {
+        let r = vec![vec![0, 1, 2]];
+        let c = vec![vec![7, 8, 9]];
+        assert_eq!(recall_vs_reference(&r, &c, 3), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_and_order_invariance() {
+        // Top-3 of candidate holds 2 of reference's top-3, order ignored.
+        let r = vec![vec![0, 1, 2, 3]];
+        let c = vec![vec![2, 9, 0, 1]];
+        let got = recall_vs_reference(&r, &c, 3);
+        assert!((got - 2.0 / 3.0).abs() < 1e-12, "got {got}");
+    }
+
+    #[test]
+    fn short_reference_lists_rescale_the_denominator() {
+        // Reference only has 2 items; candidate finds both within its top-5.
+        let r = vec![vec![4, 7]];
+        let c = vec![vec![1, 4, 2, 7, 0]];
+        assert_eq!(recall_vs_reference(&r, &c, 5), 1.0);
+        // Empty reference queries are skipped, not counted as zero.
+        let r2 = vec![vec![], vec![0]];
+        let c2 = vec![vec![5], vec![0]];
+        assert_eq!(recall_vs_reference(&r2, &c2, 1), 1.0);
+    }
+
+    #[test]
+    fn report_slices_head_and_tail_quartiles() {
+        // 4 classes, one query each; class 0 and 1 perfect, class 3 misses.
+        let reference = vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]];
+        let candidate = vec![vec![0, 1], vec![3, 2], vec![4, 5], vec![8, 9]];
+        let labels = vec![0, 1, 2, 3];
+        let rep = quant_recall_report(&reference, &candidate, &labels, 4, 2);
+        assert_eq!(rep.per_class.len(), 4);
+        assert_eq!(rep.per_class[0], (1, 1.0));
+        assert_eq!(rep.per_class[3], (1, 0.0));
+        assert!((rep.recall - 0.75).abs() < 1e-12);
+        // Quartile width max(1, 4/4) = 1: head = class 0, tail = class 3.
+        assert_eq!(rep.head_recall, 1.0);
+        assert_eq!(rep.tail_recall, 0.0);
+        let text = rep.render();
+        assert!(text.contains("tail quartile"), "{text}");
+        assert!(text.contains("recall"), "{text}");
+    }
+
+    #[test]
+    fn classes_without_queries_report_zero() {
+        let reference = vec![vec![0]];
+        let candidate = vec![vec![0]];
+        let rep = quant_recall_report(&reference, &candidate, &[0], 3, 1);
+        assert_eq!(rep.per_class[0], (1, 1.0));
+        assert_eq!(rep.per_class[1], (0, 0.0));
+        assert_eq!(rep.per_class[2], (0, 0.0));
+    }
+}

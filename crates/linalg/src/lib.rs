@@ -43,5 +43,5 @@ pub mod topk;
 
 pub use distance::Metric;
 pub use matrix::Matrix;
-pub use scan::{F32ScanBackend, LevelCodes, ScanBackend};
+pub use scan::{BackendKind, F32ScanBackend, LevelCodes, ScanBackend, U8Lut, U8ScanBackend};
 pub use topk::{Scored, TopK};

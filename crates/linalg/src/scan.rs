@@ -26,6 +26,13 @@
 //! identical** to the reference path. Blocks are fixed-size and items are
 //! independent, so the parallel variants are also bitwise identical for
 //! any [`lt_runtime`] thread count.
+//!
+//! On top of the exact `f32` kernels sits a low-precision engine
+//! ([`U8ScanBackend`]): the per-query LUT is quantized to `u8` with
+//! per-level biases and a shared scale ([`U8Lut`]), scanned with saturating
+//! `u16`/`u32` integer lanes (`adc_scores_sum_u8` / `adc_scan_topk_u8`),
+//! and optionally finished with an exact f32 re-rank of the top candidates.
+//! See the [`U8Lut`] docs for the quantization math.
 
 use crate::gemm::{dot, matmul_a_bt};
 use crate::matrix::Matrix;
@@ -523,6 +530,681 @@ impl ScanBackend for F32ScanBackend {
     }
 }
 
+/// A per-query lookup table quantized from `f32` to `u8` (cf. Bolt): each
+/// level gets a learned bias (its minimum entry) and all levels share one
+/// scale (the widest per-level range divided by 255), so a whole-item score
+/// reconstructs from a single integer sum:
+///
+/// ```text
+/// q[level][j] = round((lut[level][j] − bias[level]) / scale)   ∈ [0, 255]
+/// score(i)    ≈ scale · Σ_level q[level][code] + Σ_level bias[level]
+/// ```
+///
+/// The scale must be shared across levels — a per-level scale cannot be
+/// folded out of a single integer accumulator — which is why the bias is
+/// the per-level learned parameter and the scale is the max-range
+/// compromise. Entries are clamped to `[0, 255]`, so quantization error is
+/// at most `scale / 2` per level.
+///
+/// Layout: levels are padded to a fixed 256-entry stride when `K ≤ 256`, so
+/// kernels can take `&[u8; 256]` table views and a `u8` code provably never
+/// escapes the table — the bounds check vanishes from the hot loop. For
+/// `K ≤ 16` an additional fused table per level *pair* is precomputed
+/// (`fused[pair][(hi << 4) | lo] = q[2·pair][lo] + q[2·pair+1][hi]`, a
+/// 512-byte `u16` table), halving lookups per item: the nibble-packed
+/// two-codes-per-byte scan variant.
+#[derive(Debug, Clone)]
+pub struct U8Lut {
+    /// `m` levels × `stride` entries; entries past `k` are zero padding.
+    table: Vec<u8>,
+    /// `K ≤ 16` only: one 256-entry `u16` table per level pair.
+    fused: Vec<u16>,
+    /// Shared dequantization scale (`> 0`; `1.0` for a constant LUT).
+    scale: f32,
+    /// Σ of per-level biases, applied once at dequantization.
+    bias_sum: f32,
+    m: usize,
+    k: usize,
+    stride: usize,
+}
+
+impl U8Lut {
+    /// Quantizes the flattened `m × k` table `lut[level·k + j]`.
+    ///
+    /// # Panics
+    /// Panics if `lut` holds fewer than `m · k` entries or `m == 0`.
+    pub fn quantize(lut: &[f32], m: usize, k: usize) -> Self {
+        assert!(m > 0 && k > 0, "need at least one level and codeword");
+        assert!(lut.len() >= m * k, "LUT shorter than m*k");
+        let mut biases = Vec::with_capacity(m);
+        let mut max_range = 0.0f32;
+        for level in 0..m {
+            let entries = &lut[level * k..(level + 1) * k];
+            // 8-lane min/max reduction: per-lane folds have no cross-lane
+            // dependence, so this vectorizes where a scalar running
+            // min/max does not. min/max are order-insensitive, so the
+            // result matches the sequential fold.
+            let mut lo8 = [f32::INFINITY; 8];
+            let mut hi8 = [f32::NEG_INFINITY; 8];
+            let mut chunks = entries.chunks_exact(8);
+            for chunk in &mut chunks {
+                for j in 0..8 {
+                    lo8[j] = lo8[j].min(chunk[j]);
+                    hi8[j] = hi8[j].max(chunk[j]);
+                }
+            }
+            let mut lo = chunks.remainder().iter().copied().fold(f32::INFINITY, f32::min);
+            let mut hi = chunks.remainder().iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            for j in 0..8 {
+                lo = lo.min(lo8[j]);
+                hi = hi.max(hi8[j]);
+            }
+            biases.push(lo);
+            max_range = max_range.max(hi - lo);
+        }
+        // A constant (or degenerate) LUT has zero range: any positive scale
+        // reconstructs it exactly through the biases alone.
+        let scale = if max_range > 0.0 { max_range / 255.0 } else { 1.0 };
+        let inv = 1.0 / scale;
+        let stride = if k <= 256 { 256 } else { k };
+        let mut table = vec![0u8; m * stride];
+        for level in 0..m {
+            let bias = biases[level];
+            let src = &lut[level * k..(level + 1) * k];
+            let dst = &mut table[level * stride..level * stride + k];
+            for (q, &v) in dst.iter_mut().zip(src) {
+                // `v ≥ bias`, so `+ 0.5` then truncate is round-half-up ==
+                // round-half-away-from-zero, and the float→int `as` cast
+                // saturates to [0, 255] — no `round()` libcall, no clamp;
+                // the loop autovectorizes.
+                *q = ((v - bias) * inv + 0.5) as u8;
+            }
+        }
+        let mut fused = Vec::new();
+        if k <= 16 {
+            let pairs = m / 2;
+            fused.resize(pairs * 256, 0u16);
+            for p in 0..pairs {
+                let lo_t = &table[2 * p * stride..2 * p * stride + 16];
+                let hi_t = &table[(2 * p + 1) * stride..(2 * p + 1) * stride + 16];
+                let dst = &mut fused[p * 256..(p + 1) * 256];
+                for (hi, &hv) in hi_t.iter().enumerate() {
+                    for (lo, &lv) in lo_t.iter().enumerate() {
+                        dst[(hi << 4) | lo] = lv as u16 + hv as u16;
+                    }
+                }
+            }
+        }
+        let bias_sum = biases.iter().sum();
+        Self { table, fused, scale, bias_sum, m, k, stride }
+    }
+
+    /// Number of levels `M`.
+    pub fn levels(&self) -> usize {
+        self.m
+    }
+
+    /// Codewords per level `K`.
+    pub fn codewords(&self) -> usize {
+        self.k
+    }
+
+    /// The shared dequantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Sum of the per-level biases.
+    pub fn bias_sum(&self) -> f32 {
+        self.bias_sum
+    }
+
+    /// Quantized entry for codeword `j` of `level`.
+    pub fn entry(&self, level: usize, j: usize) -> u8 {
+        assert!(level < self.m && j < self.k, "entry index out of range");
+        self.table[level * self.stride + j]
+    }
+
+    /// Reconstructs an f32 score from an integer LUT sum.
+    #[inline]
+    pub fn dequantize(&self, sum: u32) -> f32 {
+        self.scale * sum as f32 + self.bias_sum
+    }
+
+    /// True when a `u16` accumulator lane cannot saturate for this table
+    /// (`255 · M ≤ 65535`, i.e. `M ≤ 257`); otherwise scans use `u32`
+    /// lanes.
+    pub fn fits_u16_lanes(&self) -> bool {
+        self.m * u8::MAX as usize <= u16::MAX as usize
+    }
+
+    /// 256-entry level table view; only valid for `K ≤ 256` (u8 stores).
+    #[inline]
+    fn level_table256(&self, level: usize) -> &[u8; 256] {
+        debug_assert_eq!(self.stride, 256);
+        self.table[level * 256..(level + 1) * 256].try_into().unwrap()
+    }
+
+    /// Unpadded entries of one level (the `K > 256` path).
+    #[inline]
+    fn level_entries(&self, level: usize) -> &[u8] {
+        &self.table[level * self.stride..level * self.stride + self.k]
+    }
+
+    /// 256-entry fused table for level pair `p` (`K ≤ 16` only).
+    #[inline]
+    fn pair_table(&self, p: usize) -> &[u16; 256] {
+        self.fused[p * 256..(p + 1) * 256].try_into().unwrap()
+    }
+}
+
+/// A saturating integer accumulator lane for the quantized scan: `u16` when
+/// `255 · M` fits (no overflow possible), `u32` above. Group partial sums
+/// (≤ 4 · 255 = 1020) are always exact; only the running lane saturates.
+trait U8Acc: Copy + Send + Sync {
+    /// The additive identity.
+    const ZERO: Self;
+    /// Saturating add of a group partial sum.
+    fn sat_add(self, delta: u16) -> Self;
+    /// The lane value as `u32` for dequantization.
+    fn widen(self) -> u32;
+}
+
+impl U8Acc for u16 {
+    const ZERO: Self = 0;
+    #[inline]
+    fn sat_add(self, delta: u16) -> Self {
+        self.saturating_add(delta)
+    }
+    #[inline]
+    fn widen(self) -> u32 {
+        self as u32
+    }
+}
+
+impl U8Acc for u32 {
+    const ZERO: Self = 0;
+    #[inline]
+    fn sat_add(self, delta: u16) -> Self {
+        self.saturating_add(delta as u32)
+    }
+    #[inline]
+    fn widen(self) -> u32 {
+        self
+    }
+}
+
+/// One fused level pair over two `u8` code streams: a single 256-entry
+/// lookup covers both levels. The `& 0x0f` masks are semantically no-ops
+/// (codes are `< K ≤ 16`) but make the index provably in-bounds, so the
+/// lookup compiles without a bounds check.
+#[inline]
+fn acc_q_pair<A: U8Acc>(acc: &mut [A], lo: &[u8], hi: &[u8], table: &[u16; 256]) {
+    for ((a, &l), &h) in acc.iter_mut().zip(lo).zip(hi) {
+        let idx = (((h & 0x0f) as usize) << 4) | ((l & 0x0f) as usize);
+        *a = a.sat_add(table[idx]);
+    }
+}
+
+/// Two fused pairs (four levels) per pass: the pair partials (each ≤ 510,
+/// summed ≤ 1020 — exact in `u16`) combine in a register, so the
+/// accumulator lane is loaded and stored once per four levels. Saturating
+/// addition of non-negative terms is grouping-invariant, so this is
+/// bitwise identical to two [`acc_q_pair`] passes.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn acc_q_pair2<A: U8Acc>(
+    acc: &mut [A],
+    lo0: &[u8],
+    hi0: &[u8],
+    lo1: &[u8],
+    hi1: &[u8],
+    t0: &[u16; 256],
+    t1: &[u16; 256],
+) {
+    for ((((a, &l0), &h0), &l1), &h1) in
+        acc.iter_mut().zip(lo0).zip(hi0).zip(lo1).zip(hi1)
+    {
+        let i0 = (((h0 & 0x0f) as usize) << 4) | ((l0 & 0x0f) as usize);
+        let i1 = (((h1 & 0x0f) as usize) << 4) | ((l1 & 0x0f) as usize);
+        *a = a.sat_add(t0[i0] + t1[i1]);
+    }
+}
+
+/// Four levels per pass: the group sum (≤ 1020) lives in a register and the
+/// accumulator lane is touched once per four lookups.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn acc_q4<A: U8Acc>(
+    acc: &mut [A],
+    c0: &[u8],
+    c1: &[u8],
+    c2: &[u8],
+    c3: &[u8],
+    t0: &[u8; 256],
+    t1: &[u8; 256],
+    t2: &[u8; 256],
+    t3: &[u8; 256],
+) {
+    for ((((a, &x0), &x1), &x2), &x3) in acc.iter_mut().zip(c0).zip(c1).zip(c2).zip(c3) {
+        let s = t0[x0 as usize] as u16
+            + t1[x1 as usize] as u16
+            + t2[x2 as usize] as u16
+            + t3[x3 as usize] as u16;
+        *a = a.sat_add(s);
+    }
+}
+
+/// Single-level tail of the grouped scan.
+#[inline]
+fn acc_q1<A: U8Acc>(acc: &mut [A], codes: &[u8], table: &[u8; 256]) {
+    for (a, &c) in acc.iter_mut().zip(codes) {
+        *a = a.sat_add(table[c as usize] as u16);
+    }
+}
+
+impl LevelCodes {
+    /// Quantized analogue of [`LevelCodes::accumulate_block`]: integer LUT
+    /// sums for `[start, start + acc.len())` with saturating lanes.
+    fn accumulate_block_q<A: U8Acc>(&self, qlut: &U8Lut, start: usize, acc: &mut [A]) {
+        let end = start + acc.len();
+        debug_assert!(end <= self.n);
+        debug_assert_eq!(qlut.levels(), self.num_codebooks());
+        debug_assert_eq!(qlut.codewords(), self.num_codewords);
+        match &self.store {
+            LevelStore::U8(levels) => {
+                let mut level = 0;
+                if !qlut.fused.is_empty() {
+                    let pairs = levels.len() / 2;
+                    let mut p = 0;
+                    while p + 2 <= pairs {
+                        acc_q_pair2(
+                            acc,
+                            &levels[2 * p][start..end],
+                            &levels[2 * p + 1][start..end],
+                            &levels[2 * p + 2][start..end],
+                            &levels[2 * p + 3][start..end],
+                            qlut.pair_table(p),
+                            qlut.pair_table(p + 1),
+                        );
+                        p += 2;
+                    }
+                    if p < pairs {
+                        acc_q_pair(
+                            acc,
+                            &levels[2 * p][start..end],
+                            &levels[2 * p + 1][start..end],
+                            qlut.pair_table(p),
+                        );
+                    }
+                    level = levels.len() & !1;
+                }
+                while level + 4 <= levels.len() {
+                    acc_q4(
+                        acc,
+                        &levels[level][start..end],
+                        &levels[level + 1][start..end],
+                        &levels[level + 2][start..end],
+                        &levels[level + 3][start..end],
+                        qlut.level_table256(level),
+                        qlut.level_table256(level + 1),
+                        qlut.level_table256(level + 2),
+                        qlut.level_table256(level + 3),
+                    );
+                    level += 4;
+                }
+                while level < levels.len() {
+                    acc_q1(acc, &levels[level][start..end], qlut.level_table256(level));
+                    level += 1;
+                }
+            }
+            LevelStore::U16(levels) => {
+                for (level, stream) in levels.iter().enumerate() {
+                    let t = qlut.level_entries(level);
+                    for (a, &c) in acc.iter_mut().zip(&stream[start..end]) {
+                        *a = a.sat_add(t[c as usize] as u16);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Shared blocked driver for the materializing u8 score kernels.
+fn u8_scores_impl<A: U8Acc>(
+    codes: &LevelCodes,
+    qlut: &U8Lut,
+    norms_sq: Option<(&[f32], f32)>,
+    out: &mut Vec<f32>,
+) {
+    let n = codes.len();
+    out.clear();
+    out.resize(n, 0.0);
+    let _serial =
+        (n * codes.num_codebooks() < SCAN_PAR_MIN).then(|| lt_runtime::scoped_threads(1));
+    lt_runtime::parallel_for_each_mut(out, SCAN_BLOCK, |start, block| {
+        let len = block.len();
+        let mut lanes = [A::ZERO; SCAN_BLOCK];
+        let lanes = &mut lanes[..len];
+        codes.accumulate_block_q(qlut, start, lanes);
+        match norms_sq {
+            Some((norms, qn)) => {
+                for ((o, a), &norm) in block.iter_mut().zip(lanes.iter()).zip(&norms[start..start + len])
+                {
+                    *o = 2.0 * qlut.dequantize(a.widen()) - norm - qn;
+                }
+            }
+            None => {
+                for (o, a) in block.iter_mut().zip(lanes.iter()) {
+                    *o = qlut.dequantize(a.widen());
+                }
+            }
+        }
+    });
+}
+
+/// Quantized LUT-sum scores: `out[i] = scale · Σ_level q[level][code] +
+/// bias_sum`, the u8 approximation of [`adc_scores_sum`]. Same blocking and
+/// parallelism contract — bitwise identical at any thread count.
+pub fn adc_scores_sum_u8(codes: &LevelCodes, qlut: &U8Lut, out: &mut Vec<f32>) {
+    if qlut.fits_u16_lanes() {
+        u8_scores_impl::<u16>(codes, qlut, None, out);
+    } else {
+        u8_scores_impl::<u32>(codes, qlut, None, out);
+    }
+}
+
+/// Quantized negative-squared-L2 scores:
+/// `out[i] = 2 · dequant(sum_i) − norms_sq[i] − query_norm_sq`.
+///
+/// # Panics
+/// Panics if `norms_sq.len()` differs from the item count.
+pub fn adc_scores_neg_l2_u8(
+    codes: &LevelCodes,
+    qlut: &U8Lut,
+    norms_sq: &[f32],
+    query_norm_sq: f32,
+    out: &mut Vec<f32>,
+) {
+    assert_eq!(norms_sq.len(), codes.len(), "norm count mismatch");
+    if qlut.fits_u16_lanes() {
+        u8_scores_impl::<u16>(codes, qlut, Some((norms_sq, query_norm_sq)), out);
+    } else {
+        u8_scores_impl::<u32>(codes, qlut, Some((norms_sq, query_norm_sq)), out);
+    }
+}
+
+fn u8_scan_topk_impl<A: U8Acc>(
+    codes: &LevelCodes,
+    qlut: &U8Lut,
+    norms_sq: Option<(&[f32], f32)>,
+    topk: &mut TopK,
+) {
+    let mut lanes = [A::ZERO; SCAN_BLOCK];
+    let n = codes.len();
+    let mut start = 0;
+    while start < n {
+        let len = SCAN_BLOCK.min(n - start);
+        let acc = &mut lanes[..len];
+        acc.fill(A::ZERO);
+        codes.accumulate_block_q(qlut, start, acc);
+        match norms_sq {
+            Some((norms, qn)) => {
+                for (i, (a, &norm)) in acc.iter().zip(&norms[start..start + len]).enumerate() {
+                    topk.push(2.0 * qlut.dequantize(a.widen()) - norm - qn, start + i);
+                }
+            }
+            None => {
+                for (i, a) in acc.iter().enumerate() {
+                    topk.push(qlut.dequantize(a.widen()), start + i);
+                }
+            }
+        }
+        start += len;
+    }
+}
+
+/// Streaming quantized top-k scan, the u8 analogue of [`adc_scan_topk`]:
+/// blocked on the calling thread, items pushed in ascending index order.
+pub fn adc_scan_topk_u8(
+    codes: &LevelCodes,
+    qlut: &U8Lut,
+    norms_sq: Option<(&[f32], f32)>,
+    topk: &mut TopK,
+) {
+    if qlut.fits_u16_lanes() {
+        u8_scan_topk_impl::<u16>(codes, qlut, norms_sq, topk);
+    } else {
+        u8_scan_topk_impl::<u32>(codes, qlut, norms_sq, topk);
+    }
+}
+
+/// Cached handles for the `scan.u8_*` metrics (name lookup once per
+/// process; recording is lock-free).
+struct U8ScanObs {
+    scans: std::sync::Arc<lt_obs::Counter>,
+    items: std::sync::Arc<lt_obs::Counter>,
+    reranked: std::sync::Arc<lt_obs::Counter>,
+    rerank_depth: std::sync::Arc<lt_obs::Histogram>,
+}
+
+fn u8_scan_obs() -> &'static U8ScanObs {
+    static OBS: std::sync::OnceLock<U8ScanObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = lt_obs::Registry::global();
+        U8ScanObs {
+            scans: reg.counter("scan.u8_scans"),
+            items: reg.counter("scan.u8_items"),
+            reranked: reg.counter("scan.u8_reranked"),
+            rerank_depth: reg.histogram("scan.rerank_depth"),
+        }
+    })
+}
+
+/// The Bolt-style low-precision engine: LUTs are built exactly like
+/// [`F32ScanBackend`] (bitwise-identical tables), quantized to [`U8Lut`]
+/// per scan call, and scanned with saturating integer lanes; returned
+/// scores are dequantized back to `f32`.
+///
+/// `rerank: Some(R)` adds an exact re-rank stage to
+/// [`ScanBackend::scan_topk`]: the quantized scan collects the top
+/// `max(R, k)` candidates per segment, which are then re-scored with the
+/// exact f32 LUT (level-ascending, the reference summation order) before
+/// entering the caller's accumulator. With `R ≥ n` the result is bitwise
+/// identical to [`F32ScanBackend`]; the depth applies **per segment**, so
+/// partially-reranked results depend on the shard layout (un-reranked and
+/// fully-reranked results do not). On the materializing
+/// [`ScanBackend::scores`] path a rerank depth covers every returned item
+/// by definition, so `rerank: Some(_)` delegates straight to the exact f32
+/// kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct U8ScanBackend {
+    /// Exact-re-rank depth per segment; `None` scans purely quantized.
+    pub rerank: Option<usize>,
+}
+
+/// The process-wide un-reranked [`U8ScanBackend`], for callers that take a
+/// `&dyn ScanBackend`.
+pub static U8_BACKEND: U8ScanBackend = U8ScanBackend { rerank: None };
+
+impl U8ScanBackend {
+    /// A purely quantized backend (no re-rank stage).
+    pub const fn new() -> Self {
+        Self { rerank: None }
+    }
+
+    /// A backend that re-scores the top `depth` candidates per segment with
+    /// the exact f32 LUT.
+    pub const fn with_rerank(depth: usize) -> Self {
+        Self { rerank: Some(depth) }
+    }
+}
+
+impl ScanBackend for U8ScanBackend {
+    fn name(&self) -> &'static str {
+        if self.rerank.is_some() {
+            "u8+rerank"
+        } else {
+            "u8"
+        }
+    }
+
+    fn build_lut(&self, lut_stack: &Matrix, query: &[f32], lut: &mut Vec<f32>) {
+        // Same exact f32 LUT as the default engine: quantization happens at
+        // scan time, so rerank and recall comparisons share one table.
+        F32ScanBackend.build_lut(lut_stack, query, lut);
+    }
+
+    fn build_lut_batch(&self, lut_stack: &Matrix, queries: &Matrix) -> Matrix {
+        F32ScanBackend.build_lut_batch(lut_stack, queries)
+    }
+
+    fn scores(
+        &self,
+        codes: &LevelCodes,
+        lut: &[f32],
+        norms_sq: Option<(&[f32], f32)>,
+        out: &mut Vec<f32>,
+    ) {
+        if codes.is_empty() {
+            out.clear();
+            return;
+        }
+        if self.rerank.is_some() {
+            // Materializing every score with a rerank stage re-scores
+            // everything exactly — skip the quantized pass entirely.
+            if lt_obs::enabled() {
+                let obs = u8_scan_obs();
+                obs.reranked.add(codes.len() as u64);
+                obs.rerank_depth.record(codes.len() as u64);
+            }
+            F32ScanBackend.scores(codes, lut, norms_sq, out);
+            return;
+        }
+        let qlut = U8Lut::quantize(lut, codes.num_codebooks(), codes.num_codewords());
+        match norms_sq {
+            Some((norms, qn)) => adc_scores_neg_l2_u8(codes, &qlut, norms, qn, out),
+            None => adc_scores_sum_u8(codes, &qlut, out),
+        }
+        if lt_obs::enabled() {
+            let obs = u8_scan_obs();
+            obs.scans.inc();
+            obs.items.add(codes.len() as u64);
+        }
+    }
+
+    fn scan_topk(
+        &self,
+        codes: &LevelCodes,
+        lut: &[f32],
+        norms_sq: Option<(&[f32], f32)>,
+        topk: &mut TopK,
+    ) {
+        let n = codes.len();
+        if n == 0 {
+            return;
+        }
+        let qlut = U8Lut::quantize(lut, codes.num_codebooks(), codes.num_codewords());
+        if lt_obs::enabled() {
+            let obs = u8_scan_obs();
+            obs.scans.inc();
+            obs.items.add(n as u64);
+        }
+        match self.rerank {
+            None => adc_scan_topk_u8(codes, &qlut, norms_sq, topk),
+            Some(depth) => {
+                let depth = depth.max(topk.capacity()).min(n);
+                let mut shortlist = TopK::new(depth);
+                adc_scan_topk_u8(codes, &qlut, norms_sq, &mut shortlist);
+                let mut candidates: Vec<usize> =
+                    shortlist.into_sorted_vec().iter().map(|s| s.index).collect();
+                // Ascending index order: with depth = n this is exactly the
+                // f32 scan's push sequence, making full rerank bitwise
+                // identical to F32ScanBackend.
+                candidates.sort_unstable();
+                if lt_obs::enabled() {
+                    let obs = u8_scan_obs();
+                    obs.reranked.add(candidates.len() as u64);
+                    obs.rerank_depth.record(depth as u64);
+                }
+                let k = codes.num_codewords();
+                let m = codes.num_codebooks();
+                for i in candidates {
+                    let mut v = 0.0f32;
+                    for level in 0..m {
+                        v += lut[level * k + codes.code(i, level) as usize];
+                    }
+                    let score = match norms_sq {
+                        Some((norms, qn)) => 2.0 * v - norms[i] - qn,
+                        None => v,
+                    };
+                    topk.push(score, i);
+                }
+            }
+        }
+    }
+}
+
+/// A `Copy` description of a scan engine for config structs and `--backend`
+/// CLI flags; [`BackendKind::create`] instantiates the described
+/// [`ScanBackend`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The exact f32 engine ([`F32ScanBackend`]).
+    #[default]
+    F32,
+    /// The quantized engine ([`U8ScanBackend`]), optionally with an exact
+    /// re-rank depth.
+    U8 {
+        /// Per-segment exact re-rank depth (`u8:R` on the command line).
+        rerank: Option<usize>,
+    },
+}
+
+impl BackendKind {
+    /// Instantiates the described backend.
+    pub fn create(self) -> Box<dyn ScanBackend> {
+        match self {
+            BackendKind::F32 => Box::new(F32ScanBackend),
+            BackendKind::U8 { rerank } => Box::new(U8ScanBackend { rerank }),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::F32 => f.write_str("f32"),
+            BackendKind::U8 { rerank: None } => f.write_str("u8"),
+            BackendKind::U8 { rerank: Some(r) } => write!(f, "u8:{r}"),
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    /// Parses `f32`, `u8`, or `u8:<rerank-depth>` (depth ≥ 1).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "f32" => Ok(BackendKind::F32),
+            "u8" => Ok(BackendKind::U8 { rerank: None }),
+            _ => {
+                let depth = s
+                    .strip_prefix("u8:")
+                    .and_then(|d| d.parse::<usize>().ok())
+                    .filter(|&d| d > 0);
+                match depth {
+                    Some(d) => Ok(BackendKind::U8 { rerank: Some(d) }),
+                    None => Err(format!(
+                        "unknown scan backend `{s}` (expected `f32`, `u8`, or `u8:<rerank-depth>`)"
+                    )),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -760,5 +1442,230 @@ mod tests {
     fn push_rejects_out_of_range_ids() {
         let mut lc = LevelCodes::new(2, 16);
         lc.push_item(&[3, 16]);
+    }
+
+    /// Scalar integer reference for the quantized sum: per-item
+    /// level-ascending entry sum in u32 (exact — m is small here).
+    fn reference_q_sums(ids: &[u16], m: usize, qlut: &U8Lut) -> Vec<u32> {
+        ids.chunks_exact(m)
+            .map(|item| {
+                item.iter()
+                    .enumerate()
+                    .map(|(level, &id)| qlut.entry(level, id as usize) as u32)
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn u8_quantize_per_entry_error_within_half_scale() {
+        for &(m, k) in &[(4usize, 16usize), (8, 256), (3, 700)] {
+            let t = lut(m, k, 21);
+            let q = U8Lut::quantize(&t, m, k);
+            assert!(q.scale() > 0.0);
+            for level in 0..m {
+                let entries = &t[level * k..(level + 1) * k];
+                let bias = entries.iter().copied().fold(f32::INFINITY, f32::min);
+                for (j, &v) in entries.iter().enumerate() {
+                    let recon = q.scale() * q.entry(level, j) as f32 + bias;
+                    assert!(
+                        (recon - v).abs() <= q.scale() * 0.5001,
+                        "m={m} k={k} level={level} j={j}: {recon} vs {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn u8_scores_match_scalar_quantized_reference_bitwise() {
+        // k=16 exercises the fused-pair kernel (m=5: two pairs + odd
+        // tail), k=256 the 4-level-grouped kernel, k=700 the u16-stream
+        // fallback.
+        for &(n, m, k) in &[(700usize, 5usize, 16usize), (5000, 8, 256), (300, 3, 700)] {
+            let raw = ids(n, m, k, 42);
+            let lc = LevelCodes::from_item_major(&raw, m, k);
+            let t = lut(m, k, 9);
+            let qlut = U8Lut::quantize(&t, m, k);
+            let mut got = Vec::new();
+            adc_scores_sum_u8(&lc, &qlut, &mut got);
+            let expect: Vec<f32> =
+                reference_q_sums(&raw, m, &qlut).iter().map(|&s| qlut.dequantize(s)).collect();
+            assert_eq!(got.len(), expect.len());
+            for (a, b) in got.iter().zip(&expect) {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n} m={m} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn u8_neg_l2_matches_scalar_quantized_reference_bitwise() {
+        let (n, m, k) = (4097usize, 4usize, 256usize);
+        let raw = ids(n, m, k, 1);
+        let lc = LevelCodes::from_item_major(&raw, m, k);
+        let t = lut(m, k, 2);
+        let qlut = U8Lut::quantize(&t, m, k);
+        let norms: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
+        let qn = 1.25f32;
+        let mut got = Vec::new();
+        adc_scores_neg_l2_u8(&lc, &qlut, &norms, qn, &mut got);
+        let expect: Vec<f32> = reference_q_sums(&raw, m, &qlut)
+            .iter()
+            .zip(&norms)
+            .map(|(&s, &norm)| 2.0 * qlut.dequantize(s) - norm - qn)
+            .collect();
+        for (a, b) in got.iter().zip(&expect) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn u8_scan_topk_matches_full_sort_across_block_boundaries() {
+        let (n, m, k) = (SCAN_BLOCK * 2 + 37, 5usize, 16usize);
+        let raw = ids(n, m, k, 5);
+        let lc = LevelCodes::from_item_major(&raw, m, k);
+        let t = lut(m, k, 6);
+        let qlut = U8Lut::quantize(&t, m, k);
+        let mut scores = Vec::new();
+        adc_scores_sum_u8(&lc, &qlut, &mut scores);
+        let mut acc = TopK::new(10);
+        adc_scan_topk_u8(&lc, &qlut, None, &mut acc);
+        assert_eq!(acc.into_sorted_vec(), top_k_by_sort(&scores, 10));
+    }
+
+    #[test]
+    fn u8_constant_lut_reconstructs_exactly() {
+        // Zero range per level: the scale guard (1.0) must reproduce the
+        // f32 sum bit for bit through the biases alone.
+        let (n, m, k) = (50usize, 4usize, 16usize);
+        let raw = ids(n, m, k, 3);
+        let lc = LevelCodes::from_item_major(&raw, m, k);
+        let t = vec![0.75f32; m * k];
+        let qlut = U8Lut::quantize(&t, m, k);
+        assert_eq!(qlut.scale(), 1.0);
+        let mut got = Vec::new();
+        adc_scores_sum_u8(&lc, &qlut, &mut got);
+        let expect = reference_sums(&raw, m, k, &t);
+        for (a, b) in got.iter().zip(&expect) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn u16_lanes_saturate_and_u32_lanes_stay_exact() {
+        // 300 levels of all-255 entries: the exact sum (76500) overflows a
+        // u16 lane, which must clamp at 65535 instead of wrapping.
+        let (n, m, k) = (10usize, 300usize, 4usize);
+        let mut lc = LevelCodes::new(m, k);
+        let zeros = vec![0u16; m];
+        for _ in 0..n {
+            lc.push_item(&zeros);
+        }
+        let mut t = vec![0.0f32; m * k];
+        for level in 0..m {
+            t[level * k] = 1.0; // bias 0, range 1 → entry(level, 0) = 255
+        }
+        let qlut = U8Lut::quantize(&t, m, k);
+        assert!(!qlut.fits_u16_lanes());
+        assert_eq!(qlut.entry(0, 0), 255);
+
+        let mut lanes16 = [0u16; 10];
+        lc.accumulate_block_q(&qlut, 0, &mut lanes16);
+        assert!(lanes16.iter().all(|&v| v == u16::MAX), "u16 lanes must saturate: {lanes16:?}");
+
+        let mut lanes32 = [0u32; 10];
+        lc.accumulate_block_q(&qlut, 0, &mut lanes32);
+        assert!(lanes32.iter().all(|&v| v == 300 * 255), "u32 lanes stay exact: {lanes32:?}");
+
+        // The public entry point picks the u32 lane for m = 300.
+        let mut scores = Vec::new();
+        adc_scores_sum_u8(&lc, &qlut, &mut scores);
+        for s in scores {
+            assert_eq!(s.to_bits(), qlut.dequantize(300 * 255).to_bits());
+        }
+    }
+
+    #[test]
+    fn u8_backend_full_rerank_is_bitwise_identical_to_f32() {
+        let (n, m, k) = (900usize, 4usize, 16usize);
+        let raw = ids(n, m, k, 17);
+        let lc = LevelCodes::from_item_major(&raw, m, k);
+        let t = lut(m, k, 18);
+        let norms: Vec<f32> = (0..n).map(|i| (i as f32 * 0.02).cos()).collect();
+        let u8full = U8ScanBackend::with_rerank(n);
+        for norms_sq in [None, Some((norms.as_slice(), 0.8f32))] {
+            let mut tk_f32 = TopK::new(9);
+            F32ScanBackend.scan_topk(&lc, &t, norms_sq, &mut tk_f32);
+            let mut tk_u8 = TopK::new(9);
+            u8full.scan_topk(&lc, &t, norms_sq, &mut tk_u8);
+            let a = tk_f32.into_sorted_vec();
+            let b = tk_u8.into_sorted_vec();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.index, y.index);
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+
+            let mut s_f32 = Vec::new();
+            F32ScanBackend.scores(&lc, &t, norms_sq, &mut s_f32);
+            let mut s_u8 = Vec::new();
+            u8full.scores(&lc, &t, norms_sq, &mut s_u8);
+            for (x, y) in s_f32.iter().zip(&s_u8) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn u8_backend_lut_build_matches_f32_bitwise() {
+        let stack =
+            Matrix::from_vec(6, 3, (0..18).map(|v| (v as f32 * 0.37).sin()).collect());
+        let queries = Matrix::from_vec(2, 3, vec![0.5, -1.0, 0.25, 0.0, 2.0, -0.75]);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        F32ScanBackend.build_lut(&stack, queries.row(0), &mut a);
+        U8_BACKEND.build_lut(&stack, queries.row(0), &mut b);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let ba = F32ScanBackend.build_lut_batch(&stack, &queries);
+        let bb = U8_BACKEND.build_lut_batch(&stack, &queries);
+        assert_eq!(ba.as_slice(), bb.as_slice());
+    }
+
+    #[test]
+    fn backend_kind_parses_and_displays() {
+        assert_eq!("f32".parse::<BackendKind>().unwrap(), BackendKind::F32);
+        assert_eq!("u8".parse::<BackendKind>().unwrap(), BackendKind::U8 { rerank: None });
+        assert_eq!(
+            "u8:64".parse::<BackendKind>().unwrap(),
+            BackendKind::U8 { rerank: Some(64) }
+        );
+        assert!("u8:".parse::<BackendKind>().is_err());
+        assert!("u8:0".parse::<BackendKind>().is_err());
+        assert!("f64".parse::<BackendKind>().is_err());
+        for kind in [
+            BackendKind::F32,
+            BackendKind::U8 { rerank: None },
+            BackendKind::U8 { rerank: Some(32) },
+        ] {
+            assert_eq!(kind.to_string().parse::<BackendKind>().unwrap(), kind);
+            assert_eq!(kind.create().name().starts_with("u8"), kind != BackendKind::F32);
+        }
+        assert_eq!(BackendKind::default(), BackendKind::F32);
+    }
+
+    #[test]
+    fn u8_empty_codes_scan_cleanly() {
+        let lc = LevelCodes::new(2, 16);
+        let t = lut(2, 16, 1);
+        let qlut = U8Lut::quantize(&t, 2, 16);
+        let mut out = vec![1.0f32; 3];
+        adc_scores_sum_u8(&lc, &qlut, &mut out);
+        assert!(out.is_empty());
+        let mut acc = TopK::new(5);
+        U8_BACKEND.scan_topk(&lc, &t, None, &mut acc);
+        assert!(acc.is_empty());
     }
 }

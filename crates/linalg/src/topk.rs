@@ -101,6 +101,11 @@ impl TopK {
         self.heap.len()
     }
 
+    /// The `k` this accumulator retains (its construction/reset argument).
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
     /// True when nothing has been retained.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()

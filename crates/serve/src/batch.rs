@@ -23,8 +23,8 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use lightlt_core::index::QuantizedIndex;
-use lightlt_core::search::{adc_scan_shards_topk, adc_search_batch, merge_shard_topk};
-use lt_linalg::scan::F32_BACKEND;
+use lightlt_core::search::{adc_scan_shards_topk, adc_search_batch_with_backend, merge_shard_topk};
+use lt_linalg::scan::ScanBackend;
 use lt_linalg::Matrix;
 use lt_obs::{Counter, Gauge, Histogram};
 
@@ -189,6 +189,7 @@ impl ShardObs {
 pub fn run_executor(
     queue: &SubmitQueue,
     state: &IndexState,
+    backend: &dyn ScanBackend,
     max_batch: usize,
     max_delay: Duration,
     stop: &AtomicBool,
@@ -203,7 +204,7 @@ pub fn run_executor(
             debug_assert!(stop.load(Ordering::SeqCst));
             return;
         }
-        execute_batch(state, batch, counters, &shard_obs);
+        execute_batch(state, backend, batch, counters, &shard_obs);
     }
 }
 
@@ -254,6 +255,7 @@ fn next_batch(
 /// to every job.
 fn execute_batch(
     state: &IndexState,
+    backend: &dyn ScanBackend,
     batch: Vec<SearchJob>,
     counters: &ExecCounters,
     shard_obs: &ShardObs,
@@ -308,13 +310,13 @@ fn execute_batch(
         let results = if shards.len() == 1 {
             // Single shard: the exact unsharded path (same calls, same
             // bits) — sharding must never perturb the degenerate case.
-            adc_search_batch(&shards[0], &queries, k)
+            adc_search_batch_with_backend(&shards[0], backend, &queries, k)
         } else {
             // Scan each shard on the pool, then fold per query in fixed
             // shard order; the core suite pins the merged results bitwise
             // identical to an unsharded scan at any shard/thread count.
             let refs: Vec<&QuantizedIndex> = shards.iter().map(|a| a.as_ref()).collect();
-            let parts = adc_scan_shards_topk(&refs, &F32_BACKEND, &queries, k);
+            let parts = adc_scan_shards_topk(&refs, backend, &queries, k);
             let merge_t0 = observe.then(Instant::now);
             let merged = merge_shard_topk(&parts, queries.rows(), k);
             if let (Some(t0), Some(o)) = (merge_t0, obs) {
@@ -353,6 +355,7 @@ mod tests {
     use lightlt_core::index::QuantizedIndex;
     use lightlt_core::search::adc_search;
     use lt_linalg::random::{randn, rng};
+    use lt_linalg::scan::BackendKind;
     use lt_linalg::Metric;
     use lt_tensor::ParamStore;
 
@@ -391,8 +394,21 @@ mod tests {
         stop: Arc<AtomicBool>,
         counters: Arc<ExecCounters>,
     ) -> std::thread::JoinHandle<()> {
+        spawn_executor_with(queue, state, BackendKind::F32, max_batch, max_delay, stop, counters)
+    }
+
+    fn spawn_executor_with(
+        queue: Arc<SubmitQueue>,
+        state: Arc<IndexState>,
+        backend: BackendKind,
+        max_batch: usize,
+        max_delay: Duration,
+        stop: Arc<AtomicBool>,
+        counters: Arc<ExecCounters>,
+    ) -> std::thread::JoinHandle<()> {
         std::thread::spawn(move || {
-            run_executor(&queue, &state, max_batch, max_delay, &stop, &counters)
+            let backend = backend.create();
+            run_executor(&queue, &state, backend.as_ref(), max_batch, max_delay, &stop, &counters)
         })
     }
 
@@ -571,5 +587,105 @@ mod tests {
             assert!(matches!(rx.try_recv().unwrap(), Response::Search { .. }));
         }
         assert_eq!(counters.searches.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn u8_backend_with_full_rerank_matches_f32_executor_bitwise() {
+        // A u8 executor whose rerank depth covers the whole index must
+        // reproduce the exact f32 search bit for bit — sharded included.
+        for shards in [1usize, 4] {
+            let index = build_index(150, 21);
+            let state = Arc::new(IndexState::new_sharded(index.clone(), shards));
+            let queue = Arc::new(SubmitQueue::new(64));
+            let stop = Arc::new(AtomicBool::new(false));
+            let counters = Arc::new(ExecCounters::default());
+            let handle = spawn_executor_with(
+                queue.clone(),
+                state.clone(),
+                BackendKind::U8 { rerank: Some(usize::MAX) },
+                4,
+                Duration::from_millis(5),
+                stop.clone(),
+                counters.clone(),
+            );
+
+            let qmat = randn(6, 8, &mut rng(213)).scale(0.3);
+            let mut expectations = Vec::new();
+            for i in 0..6 {
+                let q = qmat.row(i).to_vec();
+                let k = [5, 9, 1000][i % 3];
+                let (j, rx) = job(q.clone(), k);
+                expectations.push((q, k, rx));
+                queue.try_submit(j).unwrap();
+            }
+            for (q, k, rx) in expectations {
+                let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+                let expected = adc_search(&index, &q, k);
+                match resp {
+                    Response::Search { hits } => {
+                        assert_eq!(hits.len(), expected.len());
+                        for (h, e) in hits.iter().zip(&expected) {
+                            assert_eq!(h.0, e.index as u64, "shards={shards} k={k}");
+                            assert_eq!(h.1.to_bits(), e.score.to_bits(), "shards={shards} k={k}");
+                        }
+                    }
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+
+            stop.store(true, Ordering::SeqCst);
+            queue.close();
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn pure_u8_backend_serves_k_results_shard_invariantly() {
+        // Un-reranked u8 is approximate but shard-invariant: the same
+        // quantized table yields the same integer sums whether the items
+        // are scanned in one segment or four.
+        let index = build_index(130, 31);
+        let qmat = randn(5, 8, &mut rng(313)).scale(0.3);
+        let mut reference: Option<Vec<Vec<(u64, u32)>>> = None;
+        for shards in [1usize, 4] {
+            let state = Arc::new(IndexState::new_sharded(index.clone(), shards));
+            let queue = Arc::new(SubmitQueue::new(64));
+            let stop = Arc::new(AtomicBool::new(false));
+            let counters = Arc::new(ExecCounters::default());
+            let handle = spawn_executor_with(
+                queue.clone(),
+                state.clone(),
+                BackendKind::U8 { rerank: None },
+                4,
+                Duration::from_millis(5),
+                stop.clone(),
+                counters.clone(),
+            );
+            let mut receivers = Vec::new();
+            for i in 0..5 {
+                let (j, rx) = job(qmat.row(i).to_vec(), 7);
+                receivers.push(rx);
+                queue.try_submit(j).unwrap();
+            }
+            let mut got = Vec::new();
+            for rx in receivers {
+                match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+                    Response::Search { hits } => {
+                        assert_eq!(hits.len(), 7);
+                        got.push(
+                            hits.iter().map(|&(id, s)| (id, s.to_bits())).collect::<Vec<_>>(),
+                        );
+                    }
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+            match &reference {
+                None => reference = Some(got),
+                Some(r) => assert_eq!(r, &got, "u8 results changed with shard count"),
+            }
+            stop.store(true, Ordering::SeqCst);
+            queue.close();
+            handle.join().unwrap();
+        }
     }
 }

@@ -30,6 +30,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lightlt_core::index::QuantizedIndex;
+use lt_linalg::scan::BackendKind;
 use lt_linalg::Matrix;
 
 use crate::batch::{run_executor, serve_obs, ExecCounters, SearchJob, SubmitError, SubmitQueue};
@@ -71,6 +72,11 @@ pub struct ServeConfig {
     /// answers either way (with zeroed series when off); disabling skips
     /// all hot-path recording.
     pub metrics: bool,
+    /// Scan engine for batch execution: exact f32 (the default) or the
+    /// Bolt-style u8 quantized engine, optionally with an exact re-rank
+    /// depth (`u8:R`). With full re-rank (or f32) results are exact;
+    /// un-reranked u8 trades a little recall for scan throughput.
+    pub backend: BackendKind,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +93,7 @@ impl Default for ServeConfig {
             wal_dir: None,
             fsync_policy: FsyncPolicy::Always,
             metrics: true,
+            backend: BackendKind::F32,
         }
     }
 }
@@ -188,9 +195,21 @@ impl Server {
             let stop = stop.clone();
             let counters = exec_counters.clone();
             let (max_batch, max_delay) = (config.max_batch, config.max_delay);
+            let backend_kind = config.backend;
             std::thread::Builder::new()
                 .name("lt-serve-exec".into())
-                .spawn(move || run_executor(&queue, &state, max_batch, max_delay, &stop, &counters))?
+                .spawn(move || {
+                    let backend = backend_kind.create();
+                    run_executor(
+                        &queue,
+                        &state,
+                        backend.as_ref(),
+                        max_batch,
+                        max_delay,
+                        &stop,
+                        &counters,
+                    )
+                })?
         };
 
         // Periodic snapshotter: in WAL mode images go into the WAL

@@ -164,3 +164,161 @@ fn append_and_swap_remove_never_rebuild_the_code_table() {
     idx.scores_with_lut_reference(&lut, qn, &mut reference);
     assert_eq!(bits(&engine), bits(&reference));
 }
+
+// ---------------------------------------------------------------------------
+// Low-precision (u8) scan backend matrix — PR 8.
+//
+// The u8 backend quantizes the per-query LUT to 8 bits and accumulates in
+// saturating integer lanes; these tests pin its contract at the public API:
+// full re-rank restores bitwise identity with the exact engine, the
+// un-reranked scan keeps recall@10 high, and neither shard count nor
+// thread width moves a result.
+// ---------------------------------------------------------------------------
+
+use lightlt_core::index::split_modulo;
+use lightlt_core::search::{adc_search_batch_sharded_with_backend, adc_search_batch_with_backend};
+use lt_linalg::scan::{BackendKind, U8ScanBackend};
+
+/// `(index, score bits)` pairs — the bitwise identity a backend result
+/// either matches or does not.
+fn hit_bits(hits: &[Vec<lt_linalg::Scored>]) -> Vec<Vec<(usize, u32)>> {
+    hits.iter()
+        .map(|q| q.iter().map(|s| (s.index, s.score.to_bits())).collect())
+        .collect()
+}
+
+#[test]
+fn u8_full_rerank_is_bitwise_identical_to_f32_across_metrics_and_k() {
+    let d = 16;
+    for &(k, n) in &[(16usize, 900usize), (300, 500)] {
+        for metric in [Metric::NegSquaredL2, Metric::InnerProduct, Metric::Cosine] {
+            let idx = synth_index(n, 3, k, d, metric, 77);
+            let queries = randn(5, d, &mut rng(78)).scale(0.5);
+            for topk in [7usize, 2 * n] {
+                let expect = adc_search_batch(&idx, &queries, topk);
+                let rerank = U8ScanBackend::with_rerank(usize::MAX);
+                let got = adc_search_batch_with_backend(&idx, &rerank, &queries, topk);
+                assert_eq!(
+                    hit_bits(&got),
+                    hit_bits(&expect),
+                    "K={k} {metric:?} topk={topk}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn u8_unreranked_recall_at_10_stays_above_095() {
+    let d = 24;
+    for metric in [Metric::NegSquaredL2, Metric::InnerProduct] {
+        let idx = synth_index(4_000, 4, 16, d, metric, 90);
+        let queries = randn(24, d, &mut rng(91)).scale(0.5);
+        let to_ids = |hits: Vec<Vec<lt_linalg::Scored>>| -> Vec<Vec<usize>> {
+            hits.into_iter()
+                .map(|q| q.into_iter().map(|s| s.index).collect())
+                .collect()
+        };
+        let f32_top = to_ids(adc_search_batch(&idx, &queries, 10));
+        let u8_top = to_ids(adc_search_batch_with_backend(
+            &idx,
+            &U8ScanBackend::new(),
+            &queries,
+            10,
+        ));
+        let recall = lt_eval::recall_vs_reference(&f32_top, &u8_top, 10);
+        assert!(recall >= 0.95, "{metric:?}: u8 recall@10 = {recall}");
+    }
+}
+
+#[test]
+fn u8_results_are_invariant_across_shards_and_threads() {
+    let d = 12;
+    let idx = synth_index(800, 3, 16, d, Metric::NegSquaredL2, 101);
+    let queries = randn(6, d, &mut rng(102)).scale(0.4);
+    for backend in [
+        BackendKind::U8 { rerank: None },
+        BackendKind::U8 { rerank: Some(usize::MAX) },
+    ] {
+        let engine = backend.create();
+        let baseline = {
+            let _serial = lightlt::runtime::scoped_threads(1);
+            hit_bits(&adc_search_batch_with_backend(&idx, engine.as_ref(), &queries, 9))
+        };
+        for shards in [1usize, 4] {
+            let split = split_modulo(&idx, shards);
+            let refs: Vec<&QuantizedIndex> = split.iter().collect();
+            for threads in [1usize, 4] {
+                let _width = lightlt::runtime::scoped_threads(threads);
+                let got = hit_bits(&adc_search_batch_sharded_with_backend(
+                    &refs,
+                    engine.as_ref(),
+                    &queries,
+                    9,
+                ));
+                assert_eq!(got, baseline, "{backend} shards={shards} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn u8_survives_adversarial_lut_ranges() {
+    let d = 8;
+    // All-max: identical codebook rows collapse every LUT entry to one
+    // value; the zero-range guard must reconstruct it exactly, so even the
+    // un-reranked u8 scan is bitwise identical to f32.
+    let mut r = rng(111);
+    let row = randn(1, d, &mut r).scale(40.0).into_vec();
+    let m = 3;
+    let k = 16;
+    let n = 600;
+    let codebooks: Vec<Matrix> = (0..m)
+        .map(|_| {
+            let mut flat = Vec::with_capacity(k * d);
+            for _ in 0..k {
+                flat.extend_from_slice(&row);
+            }
+            Matrix::from_vec(k, d, flat)
+        })
+        .collect();
+    let ids: Vec<u16> = (0..n * m).map(|i| (i % k) as u16).collect();
+    let codes = Codes::new(ids, m);
+    let norm = {
+        let recon: Vec<f32> = row.iter().map(|&v| v * m as f32).collect();
+        lt_linalg::gemm::dot(&recon, &recon)
+    };
+    let idx = QuantizedIndex::from_parts(
+        codebooks,
+        codes,
+        vec![norm; n],
+        Metric::NegSquaredL2,
+        d,
+        k,
+    );
+    let queries = randn(3, d, &mut rng(112)).scale(30.0);
+    let expect = hit_bits(&adc_search_batch(&idx, &queries, 8));
+    let got = hit_bits(&adc_search_batch_with_backend(
+        &idx,
+        &U8ScanBackend::new(),
+        &queries,
+        8,
+    ));
+    assert_eq!(got, expect, "constant (zero-range) LUT must be exact");
+
+    // Negative-heavy neg-L2 at large magnitudes: huge norms push every
+    // score far negative and stretch the LUT range. Scores must stay
+    // finite and full re-rank must still restore bitwise identity.
+    let wild = synth_index(700, 4, 16, d, Metric::NegSquaredL2, 113);
+    let hot = randn(4, d, &mut rng(114)).scale(60.0);
+    let exact = adc_search_batch(&wild, &hot, 9);
+    let quant = adc_search_batch_with_backend(&wild, &U8ScanBackend::new(), &hot, 9);
+    for q in &quant {
+        for s in q {
+            assert!(s.score.is_finite(), "saturation must not produce non-finite scores");
+        }
+    }
+    let reranked =
+        adc_search_batch_with_backend(&wild, &U8ScanBackend::with_rerank(usize::MAX), &hot, 9);
+    assert_eq!(hit_bits(&reranked), hit_bits(&exact));
+}
