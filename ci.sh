@@ -26,6 +26,11 @@ cargo run -p lt-bench --release -- adc --smoke --out target/BENCH_adc_smoke.json
 # The smoke grid must measure the quantized engine alongside f32.
 grep -q '"engine_u8_scan_items_per_s"' target/BENCH_adc_smoke.json
 grep -q '"u8_recall_at_10"' target/BENCH_adc_smoke.json
+# ... and trace the coarse-routing frontier (nprobe sweep) with its
+# throughput and tail-recall columns.
+grep -q '"routed_scan_items_per_s"' target/BENCH_adc_smoke.json
+grep -q '"routed_recall_at_10"' target/BENCH_adc_smoke.json
+grep -q '"routed_tail_recall_at_10"' target/BENCH_adc_smoke.json
 
 # Serving smoke: synthesize a small index image, serve it in the
 # background (with a JSONL event trace), run a
@@ -137,6 +142,44 @@ target/release/lightlt query --addr "$U8_ADDR" --metrics \
   | grep -q 'scan_u8_scans'
 target/release/lightlt query --addr "$U8_ADDR" --op shutdown
 wait "$U8_PID"
+
+# Routed serving smoke: the same synth image served non-exhaustively — a
+# 16-partition coarse quantizer trained at startup, 4 partitions probed
+# per query — composed with the u8 scan backend. Stats must report the
+# routing parameters, the metrics self-check must pass, and the
+# Prometheus dump must show the routing counters (probes recorded means
+# the routed path, not the exhaustive one, answered the searches).
+ROUTE_ADDR=127.0.0.1:17897
+target/release/lightlt serve --index "$SMOKE_DIR/index.bin" \
+  --route 16:4 --backend u8:16 --addr "$ROUTE_ADDR" &
+ROUTE_PID=$!
+ROUTE_STATS=$(target/release/lightlt query --addr "$ROUTE_ADDR" --op stats)
+echo "$ROUTE_STATS" | grep -E 'route nlist +16$'
+echo "$ROUTE_STATS" | grep -E 'route nprobe +4$'
+target/release/lightlt query --addr "$ROUTE_ADDR" --op search --k 5 \
+  --vector "$WAL_VEC"
+target/release/lightlt query --addr "$ROUTE_ADDR" --metrics --check
+target/release/lightlt query --addr "$ROUTE_ADDR" --metrics \
+  | grep -q 'route_probes'
+target/release/lightlt query --addr "$ROUTE_ADDR" --op shutdown
+wait "$ROUTE_PID"
+
+# Routed eval smoke: train a tiny model on a scaled-down Table-I split,
+# bake a routed index image (LTINDEX4), and check that `eval --route`
+# reports the tail-quartile recall of the non-exhaustive search against
+# the exhaustive reference — the guarantee this subsystem is named for.
+EVAL_DIR=target/route_eval_smoke
+rm -rf "$EVAL_DIR"
+mkdir -p "$EVAL_DIR"
+target/release/lightlt generate --dataset cifar100 --if 50 --dim 16 \
+  --scale 0.05 --out "$EVAL_DIR/split.ltd"
+target/release/lightlt train --data "$EVAL_DIR/split.ltd" --epochs 2 \
+  --codebooks 2 --codewords 16 --embed-dim 8 --out "$EVAL_DIR/model.json"
+target/release/lightlt index --model "$EVAL_DIR/model.json" \
+  --data "$EVAL_DIR/split.ltd" --route 8 --out "$EVAL_DIR/index.bin"
+target/release/lightlt eval --model "$EVAL_DIR/model.json" \
+  --index "$EVAL_DIR/index.bin" --data "$EVAL_DIR/split.ltd" \
+  --route 8:2 | grep -E 'routed recall@10 .* tail-quartile'
 
 # Smoke the serve load benchmark (tracked baseline: BENCH_serve.json via
 # `cargo run -p lt-bench --release -- serve --durable`; the --durable

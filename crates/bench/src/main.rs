@@ -6,7 +6,11 @@
 //! end-to-end top-10 QPS — over the grid `n ∈ {10k, 100k} × K ∈ {16, 256}
 //! × M ∈ {4, 8}` at `d = 64`, and writes `BENCH_adc.json` at the repo
 //! root. The JSON is the tracked baseline: regenerate it after touching
-//! the scan engine and diff the throughput columns.
+//! the scan engine and diff the throughput columns. The same run also
+//! traces the coarse-routing frontier — an `nprobe` sweep at fixed
+//! `nlist` over a clustered corpus — appended as the `routed` array
+//! (corpus-normalized throughput, recall@10 overall and tail-quartile vs
+//! the exhaustive scan).
 //!
 //! `cargo run -p lt-bench --release -- serve` measures the lt-serve
 //! micro-batching executor end to end — concurrent TCP clients issuing
@@ -30,6 +34,7 @@
 
 use std::time::Instant;
 
+use lightlt_core::route::RoutedIndex;
 use lightlt_core::search::{
     adc_search_batch, adc_search_batch_with_backend, adc_search_with, SearchScratch,
 };
@@ -72,6 +77,186 @@ fn synth_index(n: usize, m: usize, k: usize, d: usize) -> QuantizedIndex {
         })
         .collect();
     QuantizedIndex::from_parts(codebooks, codes, norms, Metric::NegSquaredL2, d, k)
+}
+
+/// Clustered synthetic corpus for the routing frontier. The uniform-code
+/// corpus from [`synth_index`] is the right fixture for scan timing but the
+/// wrong one for routing quality: with no cluster structure every partition
+/// holds near-neighbours of every query and non-exhaustive recall is
+/// meaningless. Here level-0 codewords are `classes` well-separated centers,
+/// each item's level-0 code IS its class, and class sizes follow a
+/// head-heavy Zipf profile (class 0 largest — the repo's head-first label
+/// convention). Higher levels add small residual noise, so reconstructions
+/// form `classes` tight clusters: the regime coarse routing exists for.
+///
+/// Returns the index, the per-item class labels, and the class centers
+/// (for sampling labelled queries near them).
+fn synth_clustered_index(
+    n: usize,
+    m: usize,
+    k: usize,
+    d: usize,
+    classes: usize,
+) -> (QuantizedIndex, Vec<usize>, Matrix) {
+    assert!(classes <= k, "class centers live in the level-0 codebook");
+    let mut r = rng(17 + (n + m * 1000 + k + classes) as u64);
+    let mut codebooks: Vec<Matrix> = Vec::with_capacity(m);
+    // Unit-scale centers with ~0.3-scale residual levels: clusters are
+    // distinct but their boundaries are fuzzy, so low nprobe genuinely
+    // loses recall and the sweep traces a real frontier instead of a
+    // flat line at 1.0.
+    codebooks.push(randn(k, d, &mut r));
+    for _ in 1..m {
+        codebooks.push(randn(k, d, &mut r).scale(0.3));
+    }
+    let weights: Vec<f64> = (0..classes).map(|c| 1.0 / (c + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .map(|w| (((w / total) * n as f64).round() as usize).max(1))
+        .collect();
+    // Rounding drift lands on the head class, which dwarfs it.
+    let assigned: usize = counts.iter().sum();
+    counts[0] = (counts[0] as i64 + n as i64 - assigned as i64).max(1) as usize;
+    let labels: Vec<usize> = counts
+        .iter()
+        .enumerate()
+        .flat_map(|(c, &cnt)| std::iter::repeat(c).take(cnt))
+        .collect();
+    debug_assert_eq!(labels.len(), n);
+    let residual = synth_codes(n, m, k, 13);
+    let codes_flat: Vec<u16> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &class)| {
+            let mut item = residual[i * m..(i + 1) * m].to_vec();
+            item[0] = class as u16;
+            item
+        })
+        .collect();
+    let codes = Codes::new(codes_flat, m);
+    let norms = codes
+        .as_slice()
+        .chunks_exact(m)
+        .map(|item| {
+            let mut recon = vec![0.0f32; d];
+            for (level, &id) in item.iter().enumerate() {
+                for (v, &c) in recon.iter_mut().zip(codebooks[level].row(id as usize)) {
+                    *v += c;
+                }
+            }
+            lt_linalg::gemm::dot(&recon, &recon)
+        })
+        .collect();
+    let centers = Matrix::from_vec(
+        classes,
+        d,
+        (0..classes).flat_map(|c| codebooks[0].row(c).to_vec()).collect(),
+    );
+    (QuantizedIndex::from_parts(codebooks, codes, norms, Metric::NegSquaredL2, d, k), labels, centers)
+}
+
+/// Labelled queries for the routing frontier: `per_class` queries per
+/// class, each a small perturbation of its class center. Every class —
+/// head and tail alike — gets the same query count, so the tail-quartile
+/// recall is estimated from as many queries as the head's.
+fn clustered_queries(centers: &Matrix, per_class: usize, d: usize) -> (Matrix, Vec<usize>) {
+    let classes = centers.rows();
+    let noise = randn(classes * per_class, d, &mut rng(29)).scale(0.35);
+    let mut data = vec![0.0f32; classes * per_class * d];
+    let mut labels = Vec::with_capacity(classes * per_class);
+    for class in 0..classes {
+        for q in 0..per_class {
+            let row = class * per_class + q;
+            for (j, v) in data[row * d..(row + 1) * d].iter_mut().enumerate() {
+                *v = centers.row(class)[j] + noise.row(row)[j];
+            }
+            labels.push(class);
+        }
+    }
+    (Matrix::from_vec(classes * per_class, d, data), labels)
+}
+
+/// One point on the routed recall-vs-throughput frontier: a fixed coarse
+/// quantizer probed at a given `nprobe`.
+struct RoutedResult {
+    nlist: usize,
+    nprobe: usize,
+    /// Corpus-normalized throughput, `n * queries / elapsed`: what the
+    /// routed search achieves *per corpus item it could have scanned*, so
+    /// it divides directly against the exhaustive column. The routed scan
+    /// touches only a fraction of those items — that skipping is the
+    /// speedup being measured, not an accounting artifact.
+    routed_scan_items_per_s: f64,
+    exhaustive_scan_items_per_s: f64,
+    routed_speedup: f64,
+    routed_recall_at_10: f64,
+    routed_tail_recall_at_10: f64,
+}
+
+/// The routed frontier: train one coarse quantizer at `nlist`, sweep
+/// `nprobe`, and measure throughput + recall@10 (overall and tail
+/// quartile) against the exhaustive f32 scan of the same corpus.
+fn run_routed(smoke: bool) -> Vec<RoutedResult> {
+    let d = 64;
+    let (n, m, classes, nlist, per_class, sweep, reps): (
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        &[usize],
+        usize,
+    ) = if smoke {
+        (2_000, 4, 16, 16, 2, &[1, 2, 4, 16], 3)
+    } else {
+        (100_000, 4, 64, 64, 2, &[1, 2, 4, 8, 16, 32, 64], 10)
+    };
+    let (index, _labels, centers) = synth_clustered_index(n, m, 64, d, classes);
+    let (queries, query_labels) = clustered_queries(&centers, per_class, d);
+    let nq = queries.rows();
+    let routed = RoutedIndex::from_index(&index, nlist, lightlt_core::route::DEFAULT_TRAIN_SEED);
+    let backend = lt_linalg::scan::BackendKind::F32.create();
+
+    let exhaustive_us = time_best_us(1, reps, || {
+        std::hint::black_box(adc_search_batch(&index, &queries, 10));
+    });
+    let exhaustive_scan_items_per_s = (n * nq) as f64 / (exhaustive_us * 1e-6);
+    let reference: Vec<Vec<usize>> = adc_search_batch(&index, &queries, 10)
+        .into_iter()
+        .map(|hits| hits.into_iter().map(|s| s.index).collect())
+        .collect();
+
+    let mut results = Vec::new();
+    for &nprobe in sweep {
+        let routed_us = time_best_us(1, reps, || {
+            std::hint::black_box(routed.search_batch(backend.as_ref(), &queries, 10, nprobe));
+        });
+        let routed_scan_items_per_s = (n * nq) as f64 / (routed_us * 1e-6);
+        let rankings: Vec<Vec<usize>> = routed
+            .search_batch(backend.as_ref(), &queries, 10, nprobe)
+            .into_iter()
+            .map(|hits| hits.into_iter().map(|s| s.index).collect())
+            .collect();
+        let report =
+            lt_eval::quant_recall_report(&reference, &rankings, &query_labels, classes, 10);
+        let r = RoutedResult {
+            nlist,
+            nprobe,
+            routed_scan_items_per_s,
+            exhaustive_scan_items_per_s,
+            routed_speedup: routed_scan_items_per_s / exhaustive_scan_items_per_s,
+            routed_recall_at_10: report.recall,
+            routed_tail_recall_at_10: report.tail_recall,
+        };
+        eprintln!(
+            "routed n={n:<7} nlist={nlist:<3} nprobe={nprobe:<3} \
+             {:>12.0} items/s  speedup {:>6.2}x  r@10 {:.4}  tail r@10 {:.4}",
+            r.routed_scan_items_per_s, r.routed_speedup, r.routed_recall_at_10, r.routed_tail_recall_at_10
+        );
+        results.push(r);
+    }
+    results
 }
 
 /// One measured grid point.
@@ -189,7 +374,7 @@ fn bench_adc_config(n: usize, m: usize, k: usize, d: usize, reps: usize) -> AdcR
 
 /// Hand-formatted JSON: the runner must work even when `serde_json` is
 /// swapped for a typecheck-only stub in offline builds.
-fn render_json(dim: usize, smoke: bool, results: &[AdcResult]) -> String {
+fn render_json(dim: usize, smoke: bool, results: &[AdcResult], routed: &[RoutedResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"adc\",\n");
@@ -221,7 +406,30 @@ fn render_json(dim: usize, smoke: bool, results: &[AdcResult]) -> String {
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if !routed.is_empty() {
+        out.push_str(",\n  \"routed\": [\n");
+        for (i, r) in routed.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"nlist\": {}, \"nprobe\": {}, \
+                 \"routed_scan_items_per_s\": {:.0}, \
+                 \"exhaustive_scan_items_per_s\": {:.0}, \
+                 \"routed_speedup\": {:.3}, \
+                 \"routed_recall_at_10\": {:.4}, \
+                 \"routed_tail_recall_at_10\": {:.4}}}{}\n",
+                r.nlist,
+                r.nprobe,
+                r.routed_scan_items_per_s,
+                r.exhaustive_scan_items_per_s,
+                r.routed_speedup,
+                r.routed_recall_at_10,
+                r.routed_tail_recall_at_10,
+                if i + 1 < routed.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]");
+    }
+    out.push_str("\n}\n");
     out
 }
 
@@ -260,7 +468,8 @@ fn run_adc(smoke: bool, out_path: &str) {
             }
         }
     }
-    let json = render_json(dim, smoke, &results);
+    let routed = run_routed(smoke);
+    let json = render_json(dim, smoke, &results, &routed);
     std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 }
@@ -333,6 +542,7 @@ fn run_serve_load(
         wal_dir: None,
         fsync_policy: lt_serve::FsyncPolicy::Always,
         metrics: true,
+        route: None,
     };
     let server = Server::start(index.clone(), config).expect("starting bench server");
     let addr = server.local_addr();

@@ -155,11 +155,21 @@ pub fn index(args: &Args) -> Result<(), String> {
 
     let db_emb = model.embed(&store, &split.database.features);
     let idx = QuantizedIndex::build(&model.dsq, &store, &db_emb);
-    let image = serialize_index(&idx);
+    // `--route nlist` bakes a coarse quantizer into the image (LTINDEX4):
+    // consumers read the stored centroids/assignments instead of
+    // retraining, and legacy readers still see the flat v3-shaped body.
+    let (image, routed_note) = match parse_route(args)? {
+        Some(spec) => {
+            let routed =
+                RoutedIndex::from_index(&idx, spec.nlist, lightlt_core::route::DEFAULT_TRAIN_SEED);
+            (serialize_routed_index(&routed), format!(", {} route partitions", routed.nlist()))
+        }
+        None => (serialize_index(&idx), String::new()),
+    };
     std::fs::write(out, &image).map_err(|e| format!("writing {out}: {e}"))?;
     let c = idx.complexity();
     println!(
-        "wrote {out}: {} items, {} bytes ({:.1}x compression vs dense f32)",
+        "wrote {out}: {} items, {} bytes ({:.1}x compression vs dense f32{routed_note})",
         idx.len(),
         image.len(),
         c.compression_ratio(),
@@ -181,10 +191,34 @@ fn parse_backend(args: &Args) -> Result<lt_linalg::scan::BackendKind, String> {
     }
 }
 
+/// Parses `--route nlist[:nprobe]` (None when absent: exhaustive scans).
+fn parse_route(args: &Args) -> Result<Option<RouteSpec>, String> {
+    args.get("route").map(RouteSpec::parse).transpose()
+}
+
+/// Loads a routed view of the index at `path`: an `LTINDEX4` image whose
+/// stored partition count matches `nlist` is used as-is (its centroids and
+/// assignments are authoritative); anything else — a legacy flat image, or
+/// a routed one built at a different nlist — retrains the coarse quantizer
+/// deterministically at the default seed.
+fn load_routed_index(path: &str, nlist: usize) -> Result<RoutedIndex, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let routed = deserialize_routed_index(&bytes)?;
+    if routed.nlist() == nlist {
+        Ok(routed)
+    } else {
+        Ok(RoutedIndex::from_index(
+            &routed.flatten(),
+            nlist,
+            lightlt_core::route::DEFAULT_TRAIN_SEED,
+        ))
+    }
+}
+
 /// `lightlt search` — run one query against an index.
 pub fn search(args: &Args) -> Result<(), String> {
     let (model, store) = load_model(args.require("model")?)?;
-    let idx = load_index(args.require("index")?)?;
+    let index_path = args.require("index")?;
     let data = args.require("data")?;
     let split = load_split(data).map_err(|e| format!("reading {data}: {e}"))?;
     let query_row: usize = args.get_or("query", 0)?;
@@ -197,29 +231,41 @@ pub fn search(args: &Args) -> Result<(), String> {
     }
 
     let backend = parse_backend(args)?;
+    let route = parse_route(args)?;
+    if route.is_some() && args.get("rerank").is_some() {
+        return Err("--route and --rerank are mutually exclusive".into());
+    }
     let q_emb = model.embed(&store, &split.query.features.select_rows(&[query_row]));
-    let hits = match args.get("rerank") {
-        Some(shortlist) => {
-            if backend != lt_linalg::scan::BackendKind::F32 {
-                return Err(
-                    "--rerank (dense re-scoring) and --backend are mutually exclusive; \
-                     use --backend u8:<depth> for the LUT-space re-rank"
-                        .into(),
-                );
+    let hits = if let Some(spec) = route {
+        let routed = load_routed_index(index_path, spec.nlist)?;
+        let engine = backend.create();
+        let mut results = routed.search_batch(engine.as_ref(), &q_emb, k, spec.nprobe);
+        results.pop().expect("one query row")
+    } else {
+        let idx = load_index(index_path)?;
+        match args.get("rerank") {
+            Some(shortlist) => {
+                if backend != lt_linalg::scan::BackendKind::F32 {
+                    return Err(
+                        "--rerank (dense re-scoring) and --backend are mutually exclusive; \
+                         use --backend u8:<depth> for the LUT-space re-rank"
+                            .into(),
+                    );
+                }
+                let shortlist: usize =
+                    shortlist.parse().map_err(|_| "invalid --rerank value".to_string())?;
+                let db_emb = model.embed(&store, &split.database.features);
+                adc_search_rerank(&idx, &db_emb, q_emb.row(0), k, shortlist)
             }
-            let shortlist: usize =
-                shortlist.parse().map_err(|_| "invalid --rerank value".to_string())?;
-            let db_emb = model.embed(&store, &split.database.features);
-            adc_search_rerank(&idx, &db_emb, q_emb.row(0), k, shortlist)
+            None => match backend {
+                lt_linalg::scan::BackendKind::F32 => adc_search(&idx, q_emb.row(0), k),
+                other => {
+                    let engine = other.create();
+                    let mut scratch = SearchScratch::new();
+                    adc_search_with_backend(&idx, engine.as_ref(), q_emb.row(0), k, &mut scratch)
+                }
+            },
         }
-        None => match backend {
-            lt_linalg::scan::BackendKind::F32 => adc_search(&idx, q_emb.row(0), k),
-            other => {
-                let engine = other.create();
-                let mut scratch = SearchScratch::new();
-                adc_search_with_backend(&idx, engine.as_ref(), q_emb.row(0), k, &mut scratch)
-            }
-        },
     };
 
     let mut table = Table::new(
@@ -246,9 +292,11 @@ pub fn search(args: &Args) -> Result<(), String> {
 /// the low-precision LUT costs on long-tail classes.
 pub fn eval(args: &Args) -> Result<(), String> {
     let (model, store) = load_model(args.require("model")?)?;
-    let idx = load_index(args.require("index")?)?;
+    let index_path = args.require("index")?;
+    let idx = load_index(index_path)?;
     let data = args.require("data")?;
     let backend = parse_backend(args)?;
+    let route = parse_route(args)?;
     let split = load_split(data).map_err(|e| format!("reading {data}: {e}"))?;
     if idx.len() != split.database.len() {
         return Err(format!(
@@ -291,23 +339,49 @@ pub fn eval(args: &Args) -> Result<(), String> {
     let tail: f64 = pcm[c - head_n..].iter().sum::<f64>() / head_n as f64;
     println!("head-{head_n} classes: {head:.4}   tail-{head_n} classes: {tail:.4}");
 
+    let recall_k = args
+        .get("recall-k")
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&k| k > 0)
+                .ok_or_else(|| format!("invalid value for --recall-k: `{s}`"))
+        })
+        .transpose()?
+        .unwrap_or(10);
     if backend != lt_linalg::scan::BackendKind::F32 {
-        let k = args
-            .get("recall-k")
-            .map(|s| {
-                s.parse::<usize>()
-                    .ok()
-                    .filter(|&k| k > 0)
-                    .ok_or_else(|| format!("invalid value for --recall-k: `{s}`"))
-            })
-            .transpose()?
-            .unwrap_or(10);
         let report = lt_eval::quant_recall_report(
             &f32_rankings,
             &rankings,
             &split.query.labels,
             split.train.num_classes,
-            k,
+            recall_k,
+        );
+        println!("{}", report.render());
+    }
+
+    if let Some(spec) = route {
+        // Routed-search recall vs the exhaustive reference: what nprobe
+        // costs, overall and on the tail quartile where dropped
+        // partitions would hurt the paper's long-tail claim.
+        let routed = load_routed_index(index_path, spec.nlist)?;
+        let engine = backend.create();
+        let routed_rankings: Vec<Vec<usize>> = routed
+            .search_batch(engine.as_ref(), &q_emb, recall_k, spec.nprobe)
+            .into_iter()
+            .map(|hits| hits.into_iter().map(|s| s.index).collect())
+            .collect();
+        let report = lt_eval::quant_recall_report(
+            &f32_rankings,
+            &routed_rankings,
+            &split.query.labels,
+            split.train.num_classes,
+            recall_k,
+        );
+        println!(
+            "routed recall@{recall_k} vs exhaustive (nlist={} nprobe={}): \
+             overall {:.4}  head-quartile {:.4}  tail-quartile {:.4}",
+            spec.nlist, spec.nprobe, report.recall, report.head_recall, report.tail_recall,
         );
         println!("{}", report.render());
     }
@@ -374,6 +448,7 @@ pub fn serve(args: &Args) -> Result<(), String> {
         fsync_policy,
         metrics: !args.flag("no-metrics"),
         backend,
+        route: parse_route(args)?,
     };
     if config.max_batch == 0 || config.queue_cap == 0 {
         return Err("--max-batch and --queue-cap must be positive".into());
@@ -382,13 +457,17 @@ pub fn serve(args: &Args) -> Result<(), String> {
         return Err("--shards must be positive".into());
     }
 
+    let route_note = config
+        .route
+        .map(|spec| format!(", routed {spec}"))
+        .unwrap_or_default();
     let server = match index {
         Some(index) => lt_serve::Server::start(index, config),
         None => lt_serve::Server::start_recovered(config),
     }
     .map_err(|e| format!("starting server: {e}"))?;
     println!(
-        "serving {} items (dim {}) across {} shard(s) on {} (loaded from {source}, {backend} scan backend)",
+        "serving {} items (dim {}) across {} shard(s) on {} (loaded from {source}, {backend} scan backend{route_note})",
         server.state().items(),
         server.state().dim(),
         server.state().num_shards(),
@@ -501,6 +580,11 @@ pub fn query(args: &Args) -> Result<(), String> {
                 for (i, n) in s.shard_items.iter().enumerate() {
                     table.row(&[format!("shard {i} items"), n.to_string()]);
                 }
+            }
+            // 0 means routing disabled (or a pre-routing server).
+            if s.route_nlist > 0 {
+                table.row(&["route nlist".into(), s.route_nlist.to_string()]);
+                table.row(&["route nprobe".into(), s.route_nprobe.to_string()]);
             }
             println!("{}", table.render());
         }

@@ -33,11 +33,17 @@ COMMANDS:
              [--max-retries 3] [--lr-backoff 0.5]
   index      encode a split's database into a binary ADC index
              --model <model.json>  --data <file.ltd>  --out <index.bin>
+             [--route <nlist>]  (bake a coarse quantizer into the image:
+             writes LTINDEX4 with stored centroids + partition assignments)
   search     run one query against an index
              --model <model.json>  --index <index.bin>  --data <file.ltd>
              [--query 0] [--k 10] [--rerank <shortlist>]
+             [--route nlist[:nprobe]]  (non-exhaustive: scan only the
+             nprobe partitions nearest the query; default nprobe nlist/8)
   eval       MAP of the indexed database over the split's query set
              --model <model.json>  --index <index.bin>  --data <file.ltd>
+             [--route nlist[:nprobe]] [--recall-k 10]  (adds routed
+             recall@k vs the exhaustive reference, head/tail quartiles)
   info       print an index's statistics and complexity model
              --index <index.bin>
   serve      serve an index over TCP with micro-batched search
@@ -45,7 +51,7 @@ COMMANDS:
              [--max-batch 16] [--max-delay-us 500] [--queue-cap 1024]
              [--shards 1] [--snapshot <file.snap>] [--snapshot-every-ms 0]
              [--wal-dir <dir>] [--fsync-policy always|group[:N[:US]]|never]
-             [--no-metrics]
+             [--no-metrics] [--route nlist[:nprobe]]
              (with --snapshot, a valid snapshot file is preferred over
               --index at startup: crash-safe reload. With --wal-dir, every
               upsert/delete is written ahead to a CRC-framed log before

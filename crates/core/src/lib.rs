@@ -69,6 +69,7 @@ pub mod index;
 pub mod loss;
 pub mod model;
 pub mod persist;
+pub mod route;
 pub mod search;
 pub mod trainer;
 
@@ -83,7 +84,11 @@ pub mod prelude {
     pub use crate::index::{merge_modulo, split_modulo, QuantizedIndex};
     pub use crate::loss::{class_weights, LossBreakdown};
     pub use crate::model::LightLt;
-    pub use crate::persist::{deserialize_index, serialize_index, ModelBundle};
+    pub use crate::persist::{
+        deserialize_index, deserialize_routed_index, serialize_index, serialize_routed_index,
+        ModelBundle,
+    };
+    pub use crate::route::{RouteSpec, RoutedIndex};
     pub use crate::search::{
         adc_rank_all, adc_rank_all_batch, adc_rank_all_with, adc_scan_shards_topk, adc_search,
         adc_search_batch, adc_search_batch_checked, adc_search_batch_sharded,

@@ -14,6 +14,14 @@
 //!   without transposing; item-major images written by the older
 //!   `LTINDEX2` (checksummed) and `LTINDEX1` (no checksum) formats are
 //!   still readable.
+//! * **Routed index images** — `LTINDEX4`: a v3-shaped body (flat index in
+//!   global-id order) followed by the coarse-routing tail (`nlist`,
+//!   centroids, per-item partition assignments) and the same trailing
+//!   CRC32. A v4 image loads as a flat [`QuantizedIndex`] through
+//!   [`deserialize_index`] (the routing tail is ignored) and as a
+//!   [`RoutedIndex`] through [`deserialize_routed_index`]; legacy
+//!   v3/v2/v1 images load as a routed index with one partition scanned
+//!   exhaustively.
 
 use bytes::{Buf, BufMut, BytesMut};
 use lt_linalg::{Matrix, Metric};
@@ -25,6 +33,7 @@ use crate::codec::{bits_per_id, pack_ids, unpack_codes, unpack_ids};
 use crate::config::LightLtConfig;
 use crate::index::QuantizedIndex;
 use crate::model::LightLt;
+use crate::route::RoutedIndex;
 
 /// Serializable model bundle: everything needed to reconstruct a trained
 /// LightLT model.
@@ -46,6 +55,10 @@ pub const BUNDLE_VERSION: u32 = 1;
 
 /// Magic bytes of the binary index image (v3: level-major codes, CRC32).
 pub const INDEX_MAGIC: &[u8; 8] = b"LTINDEX3";
+
+/// Magic bytes of the routed index image (v4: a v3-shaped body followed by
+/// the coarse-routing tail — `nlist`, centroids, assignments — and CRC32).
+pub const INDEX_MAGIC_V4: &[u8; 8] = b"LTINDEX4";
 
 /// Magic bytes of the legacy v2 index image (item-major codes, CRC32);
 /// still readable.
@@ -108,15 +121,17 @@ impl ModelBundle {
     }
 }
 
-/// Serializes a [`QuantizedIndex`] to the binary index-image format.
-pub fn serialize_index(index: &QuantizedIndex) -> Vec<u8> {
+/// Writes the v3-shaped image body (header, codebooks, packed level-major
+/// codes, norms) under the given magic. The caller appends any
+/// format-specific tail and the CRC32 footer.
+fn write_index_body(index: &QuantizedIndex, magic: &[u8; 8]) -> BytesMut {
     let m = index.num_codebooks();
     let k = index.num_codewords();
     let d = index.dim();
     let n = index.len();
 
     let mut buf = BytesMut::new();
-    buf.put_slice(INDEX_MAGIC);
+    buf.put_slice(magic);
     buf.put_u8(match index.metric() {
         Metric::NegSquaredL2 => 0,
         Metric::InnerProduct => 1,
@@ -132,13 +147,38 @@ pub fn serialize_index(index: &QuantizedIndex) -> Vec<u8> {
             buf.put_f32_le(v);
         }
     }
-    // v3: codes are packed in level-major order so loads feed the scan
+    // v3+: codes are packed in level-major order so loads feed the scan
     // engine's SoA layout directly, without an O(nM) transpose.
     let packed = pack_ids(&index.level_codes().to_level_major(), k);
     buf.put_u64_le(packed.len() as u64);
     buf.put_slice(&packed);
     for i in 0..n {
         buf.put_f32_le(index.recon_norm_sq(i));
+    }
+    buf
+}
+
+/// Serializes a [`QuantizedIndex`] to the binary index-image format.
+pub fn serialize_index(index: &QuantizedIndex) -> Vec<u8> {
+    let mut buf = write_index_body(index, INDEX_MAGIC);
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.to_vec()
+}
+
+/// Serializes a [`RoutedIndex`] to the `LTINDEX4` image: the flattened
+/// corpus in global-id order as a v3-shaped body, then the routing tail
+/// (`nlist` as u32, the `nlist × d` centroid floats, one u32 partition
+/// assignment per item), then the CRC32 footer over everything before it.
+pub fn serialize_routed_index(routed: &RoutedIndex) -> Vec<u8> {
+    let flat = routed.flatten();
+    let mut buf = write_index_body(&flat, INDEX_MAGIC_V4);
+    buf.put_u32_le(routed.nlist() as u32);
+    for &v in routed.centroids().as_slice() {
+        buf.put_f32_le(v);
+    }
+    for a in routed.assignments() {
+        buf.put_u32_le(a);
     }
     let crc = crc32(&buf);
     buf.put_u32_le(crc);
@@ -186,19 +226,27 @@ fn serialize_index_legacy(index: &QuantizedIndex, magic: &[u8; 8]) -> Vec<u8> {
 }
 
 /// Restores a [`QuantizedIndex`] from an index image (current `LTINDEX3`
-/// with level-major codes and checksum verification, legacy item-major
-/// `LTINDEX2` with checksum, or legacy `LTINDEX1` without).
+/// with level-major codes and checksum verification, routed `LTINDEX4` —
+/// whose routing tail is ignored — legacy item-major `LTINDEX2` with
+/// checksum, or legacy `LTINDEX1` without).
 ///
 /// # Errors
 /// Returns a message on bad magic, truncation, a checksum mismatch, or
 /// inconsistent sizes.
 pub fn deserialize_index(bytes: &[u8]) -> Result<QuantizedIndex, String> {
+    deserialize_index_with_tail(bytes).map(|(index, _)| index)
+}
+
+/// Parses the flat-index body and returns it together with whatever bytes
+/// follow it inside the checksummed region (the routing tail for v4;
+/// empty for v3 and earlier).
+fn deserialize_index_with_tail(bytes: &[u8]) -> Result<(QuantizedIndex, &[u8]), String> {
     if bytes.len() < INDEX_MAGIC.len() {
         return Err("bad index magic".into());
     }
     let magic = &bytes[..INDEX_MAGIC.len()];
-    let level_major = magic == INDEX_MAGIC;
-    let body = if magic == INDEX_MAGIC || magic == INDEX_MAGIC_V2 {
+    let level_major = magic == INDEX_MAGIC || magic == INDEX_MAGIC_V4;
+    let body = if level_major || magic == INDEX_MAGIC_V2 {
         // v2+: the last four bytes are a little-endian CRC32 of the rest.
         if bytes.len() < INDEX_MAGIC.len() + 4 {
             return Err("truncated index image".into());
@@ -278,7 +326,54 @@ pub fn deserialize_index(bytes: &[u8]) -> Result<QuantizedIndex, String> {
         norms.push(buf.get_f32_le());
     }
 
-    Ok(QuantizedIndex::from_level_parts(codebooks, level_codes, norms, metric, d, k))
+    Ok((QuantizedIndex::from_level_parts(codebooks, level_codes, norms, metric, d, k), buf))
+}
+
+/// Restores a [`RoutedIndex`] from an index image. An `LTINDEX4` image
+/// rebuilds the stored partitioning (centroids + assignments) exactly; a
+/// legacy flat image (v3/v2/v1) loads as **one partition scanned
+/// exhaustively** — routed search over it is plain exhaustive ADC.
+///
+/// # Errors
+/// Returns a message on bad magic, truncation, a checksum mismatch, or an
+/// inconsistent routing tail.
+pub fn deserialize_routed_index(bytes: &[u8]) -> Result<RoutedIndex, String> {
+    if bytes.len() >= INDEX_MAGIC_V4.len() && &bytes[..INDEX_MAGIC_V4.len()] == INDEX_MAGIC_V4 {
+        let (flat, mut tail) = deserialize_index_with_tail(bytes)?;
+        if tail.remaining() < 4 {
+            return Err("truncated routing header".into());
+        }
+        let nlist = tail.get_u32_le() as usize;
+        if nlist == 0 {
+            return Err("routed image with zero partitions".into());
+        }
+        let d = flat.dim();
+        if (tail.remaining() as u64) < nlist as u64 * d as u64 * 4 {
+            return Err("truncated centroids".into());
+        }
+        let mut data = Vec::with_capacity(nlist * d);
+        for _ in 0..nlist * d {
+            data.push(tail.get_f32_le());
+        }
+        let centroids = Matrix::from_vec(nlist, d, data);
+        if (tail.remaining() as u64) < flat.len() as u64 * 4 {
+            return Err("truncated assignments".into());
+        }
+        let mut assignments = Vec::with_capacity(flat.len());
+        for _ in 0..flat.len() {
+            let a = tail.get_u32_le();
+            if a as usize >= nlist {
+                return Err(format!("assignment {a} out of range for nlist {nlist}"));
+            }
+            assignments.push(a);
+        }
+        Ok(RoutedIndex::from_parts(&flat, centroids, &assignments))
+    } else {
+        let flat = deserialize_index(bytes)?;
+        let centroids = Matrix::zeros(1, flat.dim());
+        let assignments = vec![0u32; flat.len()];
+        Ok(RoutedIndex::from_parts(&flat, centroids, &assignments))
+    }
 }
 
 #[cfg(test)]
@@ -446,6 +541,80 @@ mod tests {
         let b = adc_search(&restored, &q, 5);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.index, y.index);
+        }
+    }
+
+    #[test]
+    fn routed_image_roundtrip_preserves_partitioning_and_search() {
+        let index = build_index();
+        let routed = RoutedIndex::from_index(&index, 4, 7);
+        let bytes = serialize_routed_index(&routed);
+        let restored = deserialize_routed_index(&bytes).unwrap();
+        assert_eq!(restored.len(), routed.len());
+        assert_eq!(restored.nlist(), 4);
+        assert_eq!(restored.centroids().as_slice(), routed.centroids().as_slice());
+        assert_eq!(restored.assignments(), routed.assignments());
+        // Routed search over the restored image is bitwise identical.
+        let queries = randn(3, 6, &mut rng(4)).scale(0.3);
+        let a = routed.search_batch(&lt_linalg::scan::F32_BACKEND, &queries, 5, 2);
+        let b = restored.search_batch(&lt_linalg::scan::F32_BACKEND, &queries, 5, 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.len(), y.len());
+            for (h, g) in x.iter().zip(y) {
+                assert_eq!(h.index, g.index);
+                assert_eq!(h.score.to_bits(), g.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn routed_image_reads_as_flat_index() {
+        // deserialize_index must accept a v4 image, ignore the routing
+        // tail, and reproduce the flattened corpus exactly.
+        let index = build_index();
+        let routed = RoutedIndex::from_index(&index, 4, 7);
+        let bytes = serialize_routed_index(&routed);
+        let flat = deserialize_index(&bytes).unwrap();
+        assert_eq!(serialize_index(&flat), serialize_index(&routed.flatten()));
+    }
+
+    #[test]
+    fn legacy_flat_image_reads_as_single_partition_routed() {
+        let index = build_index();
+        let bytes = serialize_index(&index);
+        let routed = deserialize_routed_index(&bytes).unwrap();
+        assert_eq!(routed.nlist(), 1);
+        assert_eq!(routed.len(), index.len());
+        // One partition scanned exhaustively == plain exhaustive search.
+        let q = [0.1f32, -0.2, 0.3, 0.0, 0.5, -0.4];
+        let queries = Matrix::from_vec(1, 6, q.to_vec());
+        let got = routed.search_batch(&lt_linalg::scan::F32_BACKEND, &queries, 5, 1);
+        let expected = adc_search(&index, &q, 5);
+        assert_eq!(got[0].len(), expected.len());
+        for (h, e) in got[0].iter().zip(&expected) {
+            assert_eq!(h.index, e.index);
+            assert_eq!(h.score.to_bits(), e.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn routed_image_detects_corruption() {
+        let index = build_index();
+        let routed = RoutedIndex::from_index(&index, 3, 7);
+        let clean = serialize_routed_index(&routed);
+        // Bit flips anywhere — including inside the routing tail — must be
+        // caught by the CRC.
+        for pos in [9usize, clean.len() / 2, clean.len() - 6] {
+            let mut corrupted = clean.clone();
+            corrupted[pos] ^= 0x01;
+            let err = deserialize_routed_index(&corrupted).unwrap_err();
+            assert!(
+                err.contains("checksum") || err.contains("magic"),
+                "bit flip at {pos} gave unexpected error: {err}"
+            );
+        }
+        for cut in [4usize, 30, clean.len() - 3] {
+            assert!(deserialize_routed_index(&clean[..cut]).is_err());
         }
     }
 

@@ -1,0 +1,578 @@
+//! Coarse routing: IVF-style non-exhaustive search over k-means partitions.
+//!
+//! Exhaustive ADC scans every item for every query, so QPS degrades
+//! linearly with corpus size. Routing breaks that coupling: a k-means
+//! coarse quantizer over the corpus's *reconstructions* partitions the
+//! items into `nlist` inverted lists, each stored as an independent
+//! level-major [`LevelCodes`] segment; a query ranks the `nlist` centroids
+//! (`O(nlist·d)`), scans only the top-`nprobe` partitions with the
+//! existing [`ScanBackend`] engines, and folds the per-partition
+//! candidates through the same total order the sharded merge uses.
+//!
+//! Determinism contract (same shape as sharded search, see
+//! [`crate::search::merge_shard_topk`]): per-item ADC scores depend only
+//! on the item's own codes and the query LUT — never on where the item is
+//! stored — and candidates fold in **fixed ascending partition order**
+//! under the `(score desc, lower id first)` total order. Two consequences:
+//!
+//! * for a given (centroids, nprobe) the results are bitwise reproducible
+//!   at any `LT_THREADS` width, and
+//! * at `nprobe == nlist` the probed partitions cover the corpus, so the
+//!   routed result is **bitwise identical** to the exhaustive
+//!   [`crate::search::adc_search`] — routing degrades gracefully into a
+//!   correctness oracle for itself.
+//!
+//! Partition assignment is a pure function of `(item codes, centroids)`:
+//! the item's reconstruction is decoded from its codes and assigned to the
+//! nearest centroid by squared L2 (ties to the lower centroid id). Online
+//! upserts and WAL replay therefore land every item in exactly the
+//! partition a from-scratch rebuild would choose — recovery needs no
+//! routing state beyond the training seed.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use lt_linalg::distance::{squared_l2, Metric};
+use lt_linalg::gemm::dot;
+use lt_linalg::kmeans::{kmeans, KMeansConfig};
+use lt_linalg::random::rng;
+use lt_linalg::scan::LevelCodes;
+use lt_linalg::topk::{Scored, TopK};
+use lt_linalg::{Matrix, ScanBackend};
+
+use crate::index::QuantizedIndex;
+
+/// Default deterministic seed for coarse-quantizer training; every layer
+/// that trains a router implicitly (serve startup, `search`/`eval
+/// --route` on a legacy image) uses this, so they all agree on the
+/// partitioning for a given corpus.
+pub const DEFAULT_TRAIN_SEED: u64 = 0x11F5;
+
+/// Lloyd iterations for router training: coarse centroids only steer the
+/// probe order, so a short fit is enough and keeps startup bounded.
+const TRAIN_MAX_ITERS: usize = 10;
+
+/// Queries per parallel work chunk in [`RoutedIndex::search_batch`]
+/// (mirrors the batch-search chunking in [`crate::search`]).
+const ROUTE_SEARCH_CHUNK: usize = 8;
+
+/// A parsed `--route nlist[:nprobe]` specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteSpec {
+    /// Number of coarse partitions (k-means centroids).
+    pub nlist: usize,
+    /// Partitions scanned per query (clamped to `nlist` at search time).
+    pub nprobe: usize,
+}
+
+impl RouteSpec {
+    /// Default probe width for a given `nlist`: an eighth of the
+    /// partitions, at least one.
+    pub fn default_nprobe(nlist: usize) -> usize {
+        (nlist / 8).max(1)
+    }
+
+    /// Parses `"nlist"` or `"nlist:nprobe"`. Both values must be positive;
+    /// `nprobe` defaults to [`RouteSpec::default_nprobe`].
+    ///
+    /// # Errors
+    /// Returns a description of the malformed field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (nlist_s, nprobe_s) = match s.split_once(':') {
+            Some((a, b)) => (a, Some(b)),
+            None => (s, None),
+        };
+        let nlist: usize = nlist_s
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid route nlist {nlist_s:?} (want nlist[:nprobe])"))?;
+        if nlist == 0 {
+            return Err("route nlist must be positive".to_string());
+        }
+        let nprobe = match nprobe_s {
+            Some(p) => {
+                let nprobe: usize = p
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("invalid route nprobe {p:?} (want nlist[:nprobe])"))?;
+                if nprobe == 0 {
+                    return Err("route nprobe must be positive".to_string());
+                }
+                nprobe
+            }
+            None => Self::default_nprobe(nlist),
+        };
+        Ok(Self { nlist, nprobe })
+    }
+}
+
+impl fmt::Display for RouteSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.nlist, self.nprobe)
+    }
+}
+
+/// Routing instrumentation (global lt-obs registry). Counters are bumped
+/// per executed query; the histogram times the centroid-ranking phase.
+struct RouteObs {
+    probes: Arc<lt_obs::Counter>,
+    partitions_scanned: Arc<lt_obs::Counter>,
+    items_scanned: Arc<lt_obs::Counter>,
+    skipped_items: Arc<lt_obs::Counter>,
+    centroid_rank_us: Arc<lt_obs::Histogram>,
+}
+
+fn route_obs() -> &'static RouteObs {
+    static OBS: std::sync::OnceLock<RouteObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let reg = lt_obs::Registry::global();
+        RouteObs {
+            probes: reg.counter("route.probes"),
+            partitions_scanned: reg.counter("route.partitions_scanned"),
+            items_scanned: reg.counter("route.items_scanned"),
+            skipped_items: reg.counter("route.skipped_items"),
+            centroid_rank_us: reg.histogram("route.centroid_rank_us"),
+        }
+    })
+}
+
+/// One inverted list: a [`LevelCodes`] segment plus the per-slot
+/// reconstruction norms the L2 scan kernels need and the global id each
+/// slot holds. Scanned verbatim by any [`ScanBackend`].
+#[derive(Debug, Clone)]
+pub struct RoutePartition {
+    codes: LevelCodes,
+    norms_sq: Vec<f32>,
+    ids: Vec<u32>,
+}
+
+impl RoutePartition {
+    fn new(m: usize, num_codewords: usize) -> Self {
+        Self { codes: LevelCodes::new(m, num_codewords), norms_sq: Vec::new(), ids: Vec::new() }
+    }
+
+    /// Items stored in this partition.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the partition holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Global id stored at `slot`.
+    pub fn id_at(&self, slot: usize) -> usize {
+        self.ids[slot] as usize
+    }
+}
+
+/// A quantized corpus partitioned behind a k-means coarse quantizer.
+///
+/// Keeps the flat index's quantizer context (codebooks, LUT stack, metric)
+/// plus `nlist` independent [`RoutePartition`] segments and a global-id →
+/// `(partition, slot)` locator. Mutations mirror the flat index's
+/// swap-remove id relabelling exactly, so a routed overlay tracks a flat
+/// mirror id-for-id.
+#[derive(Debug, Clone)]
+pub struct RoutedIndex {
+    /// Empty quantizer context: codebooks / LUT stack / metric / dim.
+    context: QuantizedIndex,
+    /// `nlist × d` coarse centroids (over reconstruction space).
+    centroids: Matrix,
+    /// Inverted lists, `Arc`-wrapped for copy-on-write serving overlays.
+    partitions: Vec<Arc<RoutePartition>>,
+    /// Global id → (partition, slot).
+    loc: Vec<(u32, u32)>,
+}
+
+impl RoutedIndex {
+    /// Trains a coarse quantizer on `index`'s reconstructions and routes
+    /// every item to its nearest centroid. Deterministic for a given
+    /// `(index, nlist, seed)` at any thread count: k-means assignment is
+    /// chunk-deterministic and the routing rule is a pure per-item
+    /// function.
+    ///
+    /// # Panics
+    /// Panics when `nlist == 0`.
+    pub fn from_index(index: &QuantizedIndex, nlist: usize, seed: u64) -> Self {
+        assert!(nlist > 0, "route nlist must be positive");
+        let d = index.dim();
+        let centroids = if index.is_empty() {
+            // Nothing to train on: all-zero centroids; upserts still route
+            // deterministically (everything ties to centroid 0).
+            Matrix::zeros(nlist, d)
+        } else {
+            let n = index.len();
+            let mut recon = Matrix::zeros(n, d);
+            for i in 0..n {
+                recon.row_mut(i).copy_from_slice(&index.reconstruct_item(i));
+            }
+            let config = KMeansConfig { k: nlist, max_iters: TRAIN_MAX_ITERS, tol: 1e-3 };
+            kmeans(&recon, config, &mut rng(seed)).centroids
+        };
+        Self::from_assignable(index, centroids)
+    }
+
+    /// Builds the partition layout for `index` under the given centroids
+    /// (the deserialization and deterministic-mirror path).
+    ///
+    /// # Panics
+    /// Panics when the centroid width does not match `index.dim()`.
+    pub fn from_assignable(index: &QuantizedIndex, centroids: Matrix) -> Self {
+        assert_eq!(centroids.cols(), index.dim(), "centroid dimension mismatch");
+        assert!(centroids.rows() > 0, "route nlist must be positive");
+        let assignments: Vec<u32> = lt_runtime::parallel_map_chunks(index.len(), 256, |range| {
+            range
+                .map(|i| assign_centroid(&centroids, &index.reconstruct_item(i)) as u32)
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        Self::from_parts(index, centroids, &assignments)
+    }
+
+    /// Assembles partitions from precomputed assignments (items enter
+    /// their partition in ascending global-id order, so the layout is a
+    /// pure function of `(index, centroids, assignments)`).
+    ///
+    /// # Panics
+    /// Panics on a length mismatch or an out-of-range assignment.
+    pub fn from_parts(index: &QuantizedIndex, centroids: Matrix, assignments: &[u32]) -> Self {
+        assert_eq!(assignments.len(), index.len(), "one assignment per item");
+        let nlist = centroids.rows();
+        let m = index.num_codebooks();
+        let k = index.num_codewords();
+        let mut partitions: Vec<RoutePartition> =
+            (0..nlist).map(|_| RoutePartition::new(m, k)).collect();
+        let mut loc = Vec::with_capacity(index.len());
+        for (i, &a) in assignments.iter().enumerate() {
+            let a = a as usize;
+            assert!(a < nlist, "assignment {a} out of range for nlist {nlist}");
+            let part = &mut partitions[a];
+            part.codes.push_item(&index.item_codes(i));
+            part.norms_sq.push(index.recon_norm_sq(i));
+            part.ids.push(i as u32);
+            loc.push((a as u32, (part.ids.len() - 1) as u32));
+        }
+        Self {
+            context: index.empty_like(),
+            centroids,
+            partitions: partitions.into_iter().map(Arc::new).collect(),
+            loc,
+        }
+    }
+
+    /// Items across all partitions.
+    pub fn len(&self) -> usize {
+        self.loc.len()
+    }
+
+    /// True when no items are stored.
+    pub fn is_empty(&self) -> bool {
+        self.loc.is_empty()
+    }
+
+    /// Number of partitions (`nlist`).
+    pub fn nlist(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.context.dim()
+    }
+
+    /// Ranking metric.
+    pub fn metric(&self) -> Metric {
+        self.context.metric()
+    }
+
+    /// The trained coarse centroids (`nlist × d`).
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// The inverted lists, in partition order.
+    pub fn partitions(&self) -> &[Arc<RoutePartition>] {
+        &self.partitions
+    }
+
+    /// The owning partition of each global id, in id order.
+    pub fn assignments(&self) -> Vec<u32> {
+        self.loc.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// The quantizer context (empty flat index sharing this corpus's
+    /// codebooks and metric).
+    pub fn context(&self) -> &QuantizedIndex {
+        &self.context
+    }
+
+    /// Encodes a raw embedding with the shared codebooks and appends it
+    /// (see [`RoutedIndex::push_encoded`]).
+    pub fn encode_and_push(&mut self, row: &[f32]) -> usize {
+        let (codes, norm_sq) = self.context.encode_item(row);
+        self.push_encoded(&codes, norm_sq)
+    }
+
+    /// Appends an already-encoded item, routing it to the partition its
+    /// reconstruction is nearest to. Returns the new global id (`len-1`,
+    /// matching the flat index's append contract).
+    pub fn push_encoded(&mut self, codes: &[u16], norm_sq: f32) -> usize {
+        let recon = self.reconstruct_codes(codes);
+        let a = assign_centroid(&self.centroids, &recon);
+        let part = Arc::make_mut(&mut self.partitions[a]);
+        let id = self.loc.len();
+        assert!(id < u32::MAX as usize, "routed index id space exhausted");
+        part.codes.push_item(codes);
+        part.norms_sq.push(norm_sq);
+        part.ids.push(id as u32);
+        self.loc.push((a as u32, (part.ids.len() - 1) as u32));
+        id
+    }
+
+    /// Removes global id `id` with the flat index's swap-remove
+    /// relabelling: the highest id (`len-1`) takes over `id`. Returns the
+    /// relabelled id (`Some(last)`) or `None` when `id` was the last item
+    /// — byte-for-byte the same contract as
+    /// [`QuantizedIndex::swap_remove`], so a routed overlay and a flat
+    /// mirror stay id-aligned under any mutation schedule.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of bounds.
+    pub fn swap_remove(&mut self, id: usize) -> Option<usize> {
+        let n = self.len();
+        assert!(id < n, "remove id {id} out of bounds ({n} items)");
+        let last = n - 1;
+        let (p, s) = self.loc[id];
+        let (p, s) = (p as usize, s as usize);
+        // Remove the victim from its partition (intra-partition
+        // swap-remove); if another item slid into slot `s`, re-point its
+        // locator.
+        let part = Arc::make_mut(&mut self.partitions[p]);
+        part.codes.swap_remove(s);
+        part.norms_sq.swap_remove(s);
+        part.ids.swap_remove(s);
+        if s < part.ids.len() {
+            let slid = part.ids[s] as usize;
+            self.loc[slid] = (p as u32, s as u32);
+        }
+        if id == last {
+            self.loc.pop();
+            return None;
+        }
+        // Relabel global id `last` as `id` (its partition slot is
+        // unchanged unless it was the item that just slid).
+        let (lp, ls) = self.loc[last];
+        Arc::make_mut(&mut self.partitions[lp as usize]).ids[ls as usize] = id as u32;
+        self.loc[id] = (lp, ls);
+        self.loc.pop();
+        Some(last)
+    }
+
+    /// Rebuilds the flat index in global-id order (persistence and
+    /// verification path; `O(nM)`).
+    pub fn flatten(&self) -> QuantizedIndex {
+        let mut flat = self.context.clone();
+        let m = self.context.num_codebooks();
+        let mut codes = vec![0u16; m];
+        for &(p, s) in &self.loc {
+            let part = &self.partitions[p as usize];
+            for (level, slot) in codes.iter_mut().enumerate() {
+                *slot = part.codes.code(s as usize, level);
+            }
+            flat.push_encoded(&codes, part.norms_sq[s as usize]);
+        }
+        flat
+    }
+
+    /// Decodes an item's reconstruction from its codes (level-ascending
+    /// accumulation, bitwise identical to
+    /// [`QuantizedIndex::reconstruct_item`]).
+    fn reconstruct_codes(&self, codes: &[u16]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.context.dim()];
+        for (level, cb) in self.context.codebooks().iter().enumerate() {
+            for (v, &c) in out.iter_mut().zip(cb.row(codes[level] as usize)) {
+                *v += c;
+            }
+        }
+        out
+    }
+
+    /// Ranks the centroids for `query` and fills `out` with the top
+    /// `nprobe` partition ids in **ascending id order** (the fixed scan
+    /// order the determinism contract requires). Centroids score by the
+    /// index metric — negative squared L2 or dot product — with ties going
+    /// to the lower partition id.
+    pub fn rank_partitions(&self, query: &[f32], nprobe: usize, out: &mut Vec<usize>) {
+        let nprobe = nprobe.clamp(1, self.nlist());
+        let mut topk = TopK::new(nprobe);
+        for c in 0..self.centroids.rows() {
+            let row = self.centroids.row(c);
+            let score = match self.metric() {
+                Metric::NegSquaredL2 => -squared_l2(query, row),
+                Metric::InnerProduct | Metric::Cosine => dot(query, row),
+            };
+            topk.push(score, c);
+        }
+        out.clear();
+        out.extend(topk.drain_sorted().into_iter().map(|h| h.index));
+        out.sort_unstable();
+    }
+
+    /// Routed batch search: one GEMM builds every query's LUT, then each
+    /// query ranks centroids, scans its top-`nprobe` partitions with
+    /// `backend`, and folds candidates in ascending partition order under
+    /// the shared `(score desc, lower id first)` total order.
+    ///
+    /// With `nprobe >= nlist` every partition is scanned, which reproduces
+    /// the exhaustive [`crate::search::adc_search_batch_with_backend`]
+    /// bitwise (same per-item scores, same total order — the sharded-merge
+    /// argument verbatim).
+    ///
+    /// # Panics
+    /// Panics on a query-width mismatch.
+    pub fn search_batch(
+        &self,
+        backend: &dyn ScanBackend,
+        queries: &Matrix,
+        k: usize,
+        nprobe: usize,
+    ) -> Vec<Vec<Scored>> {
+        assert_eq!(queries.cols(), self.dim(), "query dimension mismatch");
+        let luts = backend.build_lut_batch(self.context.lut_stack(), queries);
+        let obs = lt_obs::enabled().then(route_obs);
+        let total = self.len() as u64;
+        lt_runtime::parallel_map_chunks(queries.rows(), ROUTE_SEARCH_CHUNK, |range| {
+            let mut probes = Vec::new();
+            let mut scores = Vec::new();
+            let mut topk = TopK::new(0);
+            let mut merged = TopK::new(0);
+            range
+                .map(|i| {
+                    let query = queries.row(i);
+                    let qn = match self.metric() {
+                        Metric::NegSquaredL2 => dot(query, query),
+                        Metric::InnerProduct | Metric::Cosine => 0.0,
+                    };
+                    let t0 = obs.is_some().then(Instant::now);
+                    self.rank_partitions(query, nprobe, &mut probes);
+                    if let (Some(t0), Some(o)) = (t0, obs) {
+                        o.centroid_rank_us.record(lt_obs::micros_since(t0));
+                    }
+                    merged.reset(k);
+                    let mut scanned = 0u64;
+                    let mut nonempty = 0u64;
+                    for &p in &probes {
+                        let part = self.partitions[p].as_ref();
+                        if part.is_empty() {
+                            continue;
+                        }
+                        nonempty += 1;
+                        scanned += part.len() as u64;
+                        scan_partition(
+                            part,
+                            backend,
+                            self.metric(),
+                            luts.row(i),
+                            qn,
+                            k,
+                            &mut scores,
+                            &mut topk,
+                            &mut merged,
+                        );
+                    }
+                    if let Some(o) = obs {
+                        o.probes.add(probes.len() as u64);
+                        o.partitions_scanned.add(nonempty);
+                        o.items_scanned.add(scanned);
+                        o.skipped_items.add(total - scanned);
+                    }
+                    merged.drain_sorted()
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+/// Nearest centroid by squared L2, ties to the lower id. The single
+/// routing rule shared by build, upsert, and WAL replay — a pure function
+/// of `(centroids, reconstruction)`.
+pub fn assign_centroid(centroids: &Matrix, recon: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for c in 0..centroids.rows() {
+        let d2 = squared_l2(recon, centroids.row(c));
+        if d2 < best_d {
+            best_d = d2;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Scans one partition and pushes its candidates (with **global** ids)
+/// into `merged`. Mirrors the exhaustive selection exactly: `k ≥ len`
+/// materializes every score, otherwise the blocked [`TopK`] scan streams —
+/// both feed the same total order, so folding partitions loses nothing the
+/// exhaustive path would have kept.
+#[allow(clippy::too_many_arguments)]
+fn scan_partition(
+    part: &RoutePartition,
+    backend: &dyn ScanBackend,
+    metric: Metric,
+    lut: &[f32],
+    qn: f32,
+    k: usize,
+    scores: &mut Vec<f32>,
+    topk: &mut TopK,
+    merged: &mut TopK,
+) {
+    let n = part.len();
+    let norms = match metric {
+        Metric::NegSquaredL2 => Some((part.norms_sq.as_slice(), qn)),
+        Metric::InnerProduct | Metric::Cosine => None,
+    };
+    if k >= n {
+        backend.scores(&part.codes, lut, norms, scores);
+        for (slot, &score) in scores.iter().enumerate() {
+            merged.push(score, part.ids[slot] as usize);
+        }
+    } else {
+        topk.reset(k);
+        backend.scan_topk(&part.codes, lut, norms, topk);
+        for h in topk.drain_sorted() {
+            merged.push(h.score, part.ids[h.index] as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_spec_parses_and_defaults() {
+        assert_eq!(RouteSpec::parse("64").unwrap(), RouteSpec { nlist: 64, nprobe: 8 });
+        assert_eq!(RouteSpec::parse("16:4").unwrap(), RouteSpec { nlist: 16, nprobe: 4 });
+        assert_eq!(RouteSpec::parse("4").unwrap(), RouteSpec { nlist: 4, nprobe: 1 });
+        assert!(RouteSpec::parse("0").is_err());
+        assert!(RouteSpec::parse("8:0").is_err());
+        assert!(RouteSpec::parse("x").is_err());
+        assert!(RouteSpec::parse("8:y").is_err());
+        assert_eq!(RouteSpec::parse("16:4").unwrap().to_string(), "16:4");
+    }
+
+    #[test]
+    fn assign_centroid_breaks_ties_toward_lower_id() {
+        let centroids = Matrix::from_rows(&[&[1.0f32, 0.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(assign_centroid(&centroids, &[1.0, 0.0]), 0);
+        assert_eq!(assign_centroid(&centroids, &[0.0, 1.0]), 2);
+    }
+}

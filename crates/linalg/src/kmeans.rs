@@ -5,10 +5,11 @@
 //! diagnostics also use it.
 
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::distance::squared_l2;
 use crate::matrix::Matrix;
+use crate::random::derive_seed;
 
 /// Result of a k-means fit.
 #[derive(Debug, Clone)]
@@ -116,8 +117,13 @@ fn assign(data: &Matrix, centroids: &Matrix, assignments: &mut [usize]) -> f32 {
 
 /// Runs Lloyd's algorithm with k-means++ seeding.
 ///
-/// Empty clusters are re-seeded from the point farthest from its centroid,
-/// so the fit always returns exactly `k` centroids.
+/// Empty clusters are re-seeded at a data point drawn from a derived RNG
+/// stream (`derive_seed(base, event)` where `event` counts re-seed events
+/// in loop order), so the fit always returns exactly `k` centroids, never
+/// leaves a dead partition behind permanently, and reproduces bitwise for
+/// a given seed at any thread count — the assignment step is already
+/// chunk-deterministic, so the empty/non-empty pattern (and with it the
+/// event counter) is identical across runs.
 ///
 /// # Panics
 /// Panics if `k == 0` or the dataset is empty.
@@ -129,6 +135,10 @@ pub fn kmeans(data: &Matrix, config: KMeansConfig, rng: &mut StdRng) -> KMeans {
     let d = data.cols();
 
     let mut centroids = seed_plus_plus(data, k, rng);
+    // Base for the re-seed stream, drawn after seeding so the k-means++
+    // choices for a given seed are unchanged by re-seed behaviour.
+    let reseed_base: u64 = rng.next_u64();
+    let mut reseeds: u64 = 0;
     let mut assignments = vec![0usize; n];
     let mut inertia = assign(data, &centroids, &mut assignments);
     let mut iterations = 0;
@@ -148,15 +158,16 @@ pub fn kmeans(data: &Matrix, config: KMeansConfig, rng: &mut StdRng) -> KMeans {
         }
         for (c, &count) in counts.iter().enumerate() {
             if count == 0 {
-                // Re-seed empty cluster at the worst-fit point.
-                let far = (0..n)
-                    .max_by(|&a, &b| {
-                        let da = squared_l2(data.row(a), centroids.row(assignments[a]));
-                        let db = squared_l2(data.row(b), centroids.row(assignments[b]));
-                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .unwrap_or(0);
-                centroids.row_mut(c).copy_from_slice(data.row(far));
+                // Re-seed the empty cluster at a data point drawn from the
+                // derived stream. Each event consumes a fresh stream index,
+                // so repeated re-seeds of the same degenerate data (e.g.
+                // all-duplicate points) explore different points instead of
+                // pinning one, and the choice sequence is a pure function
+                // of (seed, empty-cluster pattern).
+                let mut r = crate::random::rng(derive_seed(reseed_base, reseeds));
+                reseeds += 1;
+                let pick = r.gen_range(0..n);
+                centroids.row_mut(c).copy_from_slice(data.row(pick));
             } else {
                 let inv = 1.0 / count as f32;
                 let srow = sums.row(c).to_vec();
@@ -252,5 +263,67 @@ mod tests {
         let fit = kmeans(&data, KMeansConfig { k: 2, max_iters: 10, tol: 1e-6 }, &mut rng(9));
         assert!(fit.inertia < 1e-8);
         assert_eq!(fit.centroids.row(0), &[2.0, 2.0, 2.0]);
+    }
+
+    /// Adversarial duplicate-point data: 100 copies of A and 100 of B with
+    /// k=3 forces an empty cluster on every iteration (two distinct points
+    /// can fill at most two clusters). The re-seed path must keep every
+    /// centroid a data point, converge to zero inertia, and reproduce
+    /// bitwise for a given seed at any thread count.
+    #[test]
+    fn empty_cluster_reseed_is_deterministic_on_duplicate_points() {
+        let a = [1.0f32, -2.0, 3.0];
+        let b = [-4.0f32, 0.5, 2.0];
+        let rows: Vec<&[f32]> =
+            (0..200).map(|i| if i < 100 { &a[..] } else { &b[..] }).collect();
+        let data = Matrix::from_rows(&rows);
+        let config = KMeansConfig { k: 3, max_iters: 20, tol: 0.0 };
+
+        let fit = kmeans(&data, config, &mut rng(42));
+        assert!(fit.inertia < 1e-8, "duplicates must fit exactly, got {}", fit.inertia);
+        assert_eq!(fit.centroids.rows(), 3);
+        for c in 0..3 {
+            let row = fit.centroids.row(c);
+            assert!(
+                row == &a[..] || row == &b[..],
+                "re-seeded centroid {c} must be a data point, got {row:?}"
+            );
+        }
+
+        // Bitwise determinism across repeat runs and thread widths.
+        let again = kmeans(&data, config, &mut rng(42));
+        assert_eq!(fit.centroids, again.centroids);
+        assert_eq!(fit.assignments, again.assignments);
+        let wide = {
+            let _guard = lt_runtime::scoped_threads(4);
+            kmeans(&data, config, &mut rng(42))
+        };
+        assert_eq!(fit.centroids, wide.centroids);
+        assert_eq!(fit.assignments, wide.assignments);
+    }
+
+    /// Distinct duplicate groups >= k: every cluster must end non-empty
+    /// (no dead partitions) once re-seeding has had iterations to work.
+    #[test]
+    fn reseeding_leaves_no_dead_partitions_when_data_supports_k() {
+        // Three well-separated duplicate groups, k=3. A bad seeding can
+        // start two centroids in one group; re-seeding must recover all
+        // three groups.
+        let pts = [[0.0f32, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        let rows: Vec<&[f32]> = (0..90).map(|i| &pts[i % 3][..]).collect();
+        let data = Matrix::from_rows(&rows);
+        for seed in 0..8u64 {
+            let fit =
+                kmeans(&data, KMeansConfig { k: 3, max_iters: 30, tol: 0.0 }, &mut rng(seed));
+            let mut counts = [0usize; 3];
+            for &a in &fit.assignments {
+                counts[a] += 1;
+            }
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "seed {seed} left a dead partition: {counts:?}"
+            );
+            assert!(fit.inertia < 1e-6, "seed {seed} inertia {}", fit.inertia);
+        }
     }
 }

@@ -263,8 +263,11 @@ fn execute_batch(
     // One snapshot set for the whole batch: all queries in it observe the
     // same cross-shard-consistent epoch, and mutations acknowledged before
     // batch formation are visible. With one shard this is a plain Arc
-    // clone of the unsharded index.
-    let shards = state.shard_snapshots();
+    // clone of the unsharded index. With routing enabled the routed
+    // overlay (its own COW cell, mutated in lockstep under the same
+    // mutation mutex) replaces the shard scan entirely.
+    let route = state.route_view();
+    let shards = if route.is_some() { Vec::new() } else { state.shard_snapshots() };
     let dim = state.dim();
     counters.batches.fetch_add(1, Ordering::Relaxed);
     counters.searches.fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -304,10 +307,17 @@ fn execute_batch(
             data.extend_from_slice(&job.query);
         }
         let queries = Matrix::from_vec(jobs.len(), dim, data);
-        for scans in &shard_obs.scans {
-            scans.add(queries.rows() as u64);
+        if route.is_none() {
+            for scans in &shard_obs.scans {
+                scans.add(queries.rows() as u64);
+            }
         }
-        let results = if shards.len() == 1 {
+        let results = if let Some((routed, nprobe)) = &route {
+            // Non-exhaustive: rank centroids, scan the top-nprobe
+            // partitions through the same backend. At nprobe == nlist
+            // this is pinned bitwise identical to the exhaustive scan.
+            routed.search_batch(backend, &queries, k, *nprobe)
+        } else if shards.len() == 1 {
             // Single shard: the exact unsharded path (same calls, same
             // bits) — sharding must never perturb the degenerate case.
             adc_search_batch_with_backend(&shards[0], backend, &queries, k)
@@ -621,6 +631,64 @@ mod tests {
             for (q, k, rx) in expectations {
                 let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
                 let expected = adc_search(&index, &q, k);
+                match resp {
+                    Response::Search { hits } => {
+                        assert_eq!(hits.len(), expected.len());
+                        for (h, e) in hits.iter().zip(&expected) {
+                            assert_eq!(h.0, e.index as u64, "shards={shards} k={k}");
+                            assert_eq!(h.1.to_bits(), e.score.to_bits(), "shards={shards} k={k}");
+                        }
+                    }
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+
+            stop.store(true, Ordering::SeqCst);
+            queue.close();
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn routed_executor_with_full_probe_matches_adc_search_bitwise() {
+        // nprobe == nlist routed serving must reproduce the exhaustive
+        // per-query search bit for bit, at any shard count, including
+        // after online mutations (the overlay mutates in lockstep).
+        for shards in [1usize, 4] {
+            let index = build_index(140, 41);
+            let mut state = IndexState::new_sharded(index.clone(), shards);
+            state.enable_routing(4, 4, lightlt_core::route::DEFAULT_TRAIN_SEED);
+            let state = Arc::new(state);
+            let mut mirror = index;
+            let rows = randn(5, 8, &mut rng(411)).scale(0.4);
+            state.upsert(&rows).unwrap();
+            mirror.append(&rows);
+            assert_eq!(state.delete(3).unwrap(), mirror.swap_remove(3));
+
+            let queue = Arc::new(SubmitQueue::new(64));
+            let stop = Arc::new(AtomicBool::new(false));
+            let counters = Arc::new(ExecCounters::default());
+            let handle = spawn_executor(
+                queue.clone(),
+                state.clone(),
+                4,
+                Duration::from_millis(5),
+                stop.clone(),
+                counters.clone(),
+            );
+
+            let qmat = randn(8, 8, &mut rng(412)).scale(0.3);
+            let mut expectations = Vec::new();
+            for i in 0..8 {
+                let q = qmat.row(i).to_vec();
+                let k = [5, 9, 1000][i % 3];
+                let (j, rx) = job(q.clone(), k);
+                expectations.push((q, k, rx));
+                queue.try_submit(j).unwrap();
+            }
+            for (q, k, rx) in expectations {
+                let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+                let expected = adc_search(&mirror, &q, k);
                 match resp {
                     Response::Search { hits } => {
                         assert_eq!(hits.len(), expected.len());

@@ -122,6 +122,12 @@ pub struct ServeStats {
     /// `items`. Encoded together with `shards` as one trailing unit; legacy
     /// payloads decode with an empty vector.
     pub shard_items: Vec<u64>,
+    /// Coarse-routing partition count (0 = routing disabled / unknown).
+    /// Encoded together with `route_nprobe` as one trailing unit after the
+    /// sharding unit; legacy payloads decode with 0.
+    pub route_nlist: u64,
+    /// Partitions scanned per query when routing is enabled (0 otherwise).
+    pub route_nprobe: u64,
 }
 
 /// Server replies.
@@ -390,6 +396,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             for &n in &s.shard_items {
                 put_u64(&mut buf, n);
             }
+            put_u64(&mut buf, s.route_nlist);
+            put_u64(&mut buf, s.route_nprobe);
         }
         Response::Metrics { version, snapshot } => {
             buf.push(RE_METRICS);
@@ -481,6 +489,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
                 wal_last_seq: 0,
                 shards: 0,
                 shard_items: Vec::new(),
+                route_nlist: 0,
+                route_nprobe: 0,
             };
             // Trailing fields appended after the legacy layout: absent in
             // frames from older servers, so tolerate every prefix.
@@ -501,6 +511,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
                     shard_items.push(c.u64()?);
                 }
                 stats.shard_items = shard_items;
+            }
+            if !c.data.is_empty() {
+                stats.route_nlist = c.u64()?;
+                stats.route_nprobe = c.u64()?;
             }
             Response::Stats(stats)
         }
@@ -737,6 +751,8 @@ mod tests {
             wal_last_seq: 9001,
             shards: 4,
             shard_items: vec![3, 3, 2, 2],
+            route_nlist: 64,
+            route_nprobe: 8,
         }));
         roundtrip_response(Response::Snapshot { epoch: 17 });
         roundtrip_response(Response::Shutdown);
@@ -808,22 +824,40 @@ mod tests {
             wal_last_seq: 55,
             shards: 2,
             shard_items: vec![6, 4],
+            route_nlist: 16,
+            route_nprobe: 4,
         };
         let full = encode_response(&Response::Stats(stats.clone()));
+        // The routing unit: route_nlist + route_nprobe (two u64s).
+        let route_tail = 16;
         // The sharding unit: shards (u64) + count (u32) + two u64 items.
         let shard_tail = 8 + 4 + 16;
-        // 14-field payload (pre-sharding server): shards/shard_items
-        // default to 0/empty.
+        // Pre-routing server: route_nlist/route_nprobe default to 0.
         let mut legacy = full.clone();
-        legacy.truncate(full.len() - shard_tail);
+        legacy.truncate(full.len() - route_tail);
         let decoded = decode_response(&legacy).unwrap();
         assert_eq!(
             decoded,
-            Response::Stats(ServeStats { shards: 0, shard_items: Vec::new(), ..stats.clone() })
+            Response::Stats(ServeStats { route_nlist: 0, route_nprobe: 0, ..stats.clone() })
+        );
+        // 14-field payload (pre-sharding server): shards/shard_items
+        // default to 0/empty.
+        let mut legacy = full.clone();
+        legacy.truncate(full.len() - route_tail - shard_tail);
+        let decoded = decode_response(&legacy).unwrap();
+        assert_eq!(
+            decoded,
+            Response::Stats(ServeStats {
+                shards: 0,
+                shard_items: Vec::new(),
+                route_nlist: 0,
+                route_nprobe: 0,
+                ..stats.clone()
+            })
         );
         // 13-field payload (pre-WAL server): wal_last_seq also defaults.
         let mut legacy = full.clone();
-        legacy.truncate(full.len() - shard_tail - 8);
+        legacy.truncate(full.len() - route_tail - shard_tail - 8);
         let decoded = decode_response(&legacy).unwrap();
         assert_eq!(
             decoded,
@@ -831,13 +865,15 @@ mod tests {
                 wal_last_seq: 0,
                 shards: 0,
                 shard_items: Vec::new(),
+                route_nlist: 0,
+                route_nprobe: 0,
                 ..stats.clone()
             })
         );
         // 12-field payload (pre-metrics server): every trailing field
         // defaults.
         let mut oldest = full.clone();
-        oldest.truncate(full.len() - shard_tail - 16);
+        oldest.truncate(full.len() - route_tail - shard_tail - 16);
         let decoded = decode_response(&oldest).unwrap();
         assert_eq!(
             decoded,
@@ -846,6 +882,8 @@ mod tests {
                 wal_last_seq: 0,
                 shards: 0,
                 shard_items: Vec::new(),
+                route_nlist: 0,
+                route_nprobe: 0,
                 ..stats.clone()
             }),
             "legacy payload must decode with the new fields defaulted"

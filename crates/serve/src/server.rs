@@ -30,6 +30,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lightlt_core::index::QuantizedIndex;
+use lightlt_core::route::RouteSpec;
 use lt_linalg::scan::BackendKind;
 use lt_linalg::Matrix;
 
@@ -77,6 +78,13 @@ pub struct ServeConfig {
     /// depth (`u8:R`). With full re-rank (or f32) results are exact;
     /// un-reranked u8 trades a little recall for scan throughput.
     pub backend: BackendKind,
+    /// Coarse routing (`nlist[:nprobe]`): train a deterministic k-means
+    /// coarse quantizer over the corpus at startup and scan only the
+    /// top-`nprobe` partitions per query. None = exhaustive scans.
+    /// Composes with `shards` (routing replaces the shard scan on the
+    /// search path; mutations still land in the shard cells) and with
+    /// `backend` (each probed partition scans through the same engine).
+    pub route: Option<RouteSpec>,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +102,7 @@ impl Default for ServeConfig {
             fsync_policy: FsyncPolicy::Always,
             metrics: true,
             backend: BackendKind::F32,
+            route: None,
         }
     }
 }
@@ -154,7 +163,7 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let state = match &config.wal_dir {
+        let mut state = match &config.wal_dir {
             Some(dir) => {
                 // Recover: newest valid snapshot in the WAL dir (or the
                 // given index as the base) plus WAL-suffix replay.
@@ -174,15 +183,27 @@ impl Server {
                             .unwrap_or_default()
                     );
                 }
-                Arc::new(state)
+                state
             }
             None => {
                 let index = index.ok_or_else(|| {
                     io::Error::new(io::ErrorKind::InvalidInput, "no index and no WAL directory")
                 })?;
-                Arc::new(IndexState::new_sharded(index, config.shards.max(1)))
+                IndexState::new_sharded(index, config.shards.max(1))
             }
         };
+        if let Some(spec) = config.route {
+            // Routing is an overlay over whatever state we just built or
+            // recovered: the centroids retrain deterministically on the
+            // current corpus, so a restart after WAL replay lands on the
+            // same partitioning a fresh build of that corpus would.
+            state.enable_routing(
+                spec.nlist,
+                spec.nprobe,
+                lightlt_core::route::DEFAULT_TRAIN_SEED,
+            );
+        }
+        let state = Arc::new(state);
         let queue = Arc::new(SubmitQueue::new(config.queue_cap));
         let stop = Arc::new(AtomicBool::new(false));
         let exec_counters = Arc::new(ExecCounters::default());
@@ -557,6 +578,7 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
             // All served from metadata and lock-free mirrors: Stats never
             // merges a snapshot or takes a shard lock.
             let epoch = ctx.state.epoch();
+            let route = ctx.state.route_params();
             Response::Stats(ServeStats {
                 items: ctx.state.items(),
                 dim: ctx.state.dim() as u32,
@@ -578,6 +600,8 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 wal_last_seq: if ctx.state.wal_enabled() { epoch } else { 0 },
                 shards: ctx.state.num_shards() as u64,
                 shard_items: ctx.state.shard_items(),
+                route_nlist: route.map_or(0, |(nlist, _)| nlist as u64),
+                route_nprobe: route.map_or(0, |(_, nprobe)| nprobe as u64),
             })
         }
         Request::Metrics => Response::Metrics {

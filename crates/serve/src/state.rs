@@ -56,6 +56,7 @@ use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockWriteGuard};
 
 use lightlt_core::index::{merge_modulo, split_modulo, QuantizedIndex};
 use lightlt_core::persist::{deserialize_index, serialize_index};
+use lightlt_core::route::RoutedIndex;
 use lightlt_core::search::SearchError;
 use lt_linalg::{Matrix, Metric};
 
@@ -126,6 +127,16 @@ impl ShardCell {
     }
 }
 
+/// Coarse-routing overlay: a partitioned view of the same corpus, kept in
+/// lockstep with the shard cells under the mutation mutex. Searches grab
+/// the `Arc` under the read lock and scan without holding it (COW, same
+/// discipline as the shard cells); `nprobe` is fixed at enablement.
+#[derive(Debug)]
+struct RouteCell {
+    view: RwLock<Arc<RoutedIndex>>,
+    nprobe: usize,
+}
+
 /// Concurrent owner of the live, possibly sharded [`QuantizedIndex`].
 #[derive(Debug)]
 pub struct IndexState {
@@ -155,6 +166,9 @@ pub struct IndexState {
     /// Directory holding WAL segments, `snap-*.ltidx` images, and the
     /// manifest (WAL mode only).
     wal_dir: Option<PathBuf>,
+    /// Coarse-routing overlay (None = exhaustive scans). Enabled before
+    /// the state is shared; mutations keep it in lockstep afterwards.
+    route: Option<RouteCell>,
 }
 
 impl IndexState {
@@ -234,7 +248,52 @@ impl IndexState {
             snapshot_write: Mutex::new(()),
             wal: writer.map(Mutex::new),
             wal_dir,
+            route: None,
         }
+    }
+
+    /// Enables coarse routing: trains `nlist` centroids (seeded by `seed`,
+    /// bitwise-reproducible at any thread count) over the current corpus
+    /// and installs the routed overlay. Takes `&mut self`, so it must run
+    /// before the state is shared; online mutations keep the overlay in
+    /// lockstep with the shard cells afterwards.
+    pub fn enable_routing(&mut self, nlist: usize, nprobe: usize, seed: u64) {
+        let routed = RoutedIndex::from_index(&self.snapshot(), nlist, seed);
+        self.install_routing(routed, nprobe);
+    }
+
+    /// Installs a pre-built routing overlay (e.g. loaded from an
+    /// `LTINDEX4` image), clamping `nprobe` into `1..=nlist`.
+    ///
+    /// # Panics
+    /// Panics when the overlay's item count does not match the corpus —
+    /// an overlay describing different items would return wrong ids.
+    pub fn install_routing(&mut self, routed: RoutedIndex, nprobe: usize) {
+        assert_eq!(
+            routed.len() as u64,
+            self.total_items.load(Ordering::SeqCst),
+            "routing overlay must cover exactly the live corpus"
+        );
+        let nprobe = nprobe.clamp(1, routed.nlist().max(1));
+        self.route = Some(RouteCell { view: RwLock::new(Arc::new(routed)), nprobe });
+    }
+
+    /// The routed overlay and its `nprobe`, when routing is enabled. The
+    /// `Arc` is an immutable snapshot: mutations copy-on-write, so the
+    /// executor scans it without holding any lock.
+    pub fn route_view(&self) -> Option<(Arc<RoutedIndex>, usize)> {
+        self.route.as_ref().map(|r| {
+            let guard = r.view.read().unwrap_or_else(|e| e.into_inner());
+            ((*guard).clone(), r.nprobe)
+        })
+    }
+
+    /// `(nlist, nprobe)` when routing is enabled (for `Stats`).
+    pub fn route_params(&self) -> Option<(usize, usize)> {
+        self.route.as_ref().map(|r| {
+            let guard = r.view.read().unwrap_or_else(|e| e.into_inner());
+            (guard.nlist(), r.nprobe)
+        })
     }
 
     /// Seeds the per-shard epochs (recovery: the seq of the last replayed
@@ -460,6 +519,7 @@ impl IndexState {
         })?;
         let mut guards = self.write_all();
         let mut touched = Vec::with_capacity(rows.rows().min(s));
+        let mut encoded: Vec<(Vec<u16>, f32)> = Vec::new();
         for r in 0..rows.rows() {
             let target = (start + r) % s;
             // Shards share one set of codebooks, so which one encodes is
@@ -471,6 +531,20 @@ impl IndexState {
             self.shards[target].items_gauge.inc();
             if !touched.contains(&target) {
                 touched.push(target);
+            }
+            if self.route.is_some() {
+                encoded.push((codes, norm_sq));
+            }
+        }
+        if let Some(route) = &self.route {
+            // Same codes, same global ids: the overlay assigns each item
+            // to its partition as a pure function of (codes, centroids),
+            // so it stays a relabeling of the shard cells.
+            let mut view = route.view.write().unwrap_or_else(|e| e.into_inner());
+            let routed = Arc::make_mut(&mut view);
+            for (r, (codes, norm_sq)) in encoded.into_iter().enumerate() {
+                let id = routed.push_encoded(&codes, norm_sq);
+                debug_assert_eq!(id, start + r);
             }
         }
         self.total_items.fetch_add(rows.rows() as u64, Ordering::SeqCst);
@@ -514,6 +588,14 @@ impl IndexState {
             Arc::make_mut(&mut guards[dst_shard]).set_encoded(dst_local, &codes, norm_sq);
             Some(last)
         };
+        if let Some(route) = &self.route {
+            // The overlay mirrors the flat swap-remove relabeling (the
+            // last global id takes the deleted slot), so both views keep
+            // agreeing on what every id means.
+            let mut view = route.view.write().unwrap_or_else(|e| e.into_inner());
+            let routed_moved = Arc::make_mut(&mut view).swap_remove(id);
+            debug_assert_eq!(routed_moved, moved);
+        }
         self.shards[src_shard].items.fetch_sub(1, Ordering::SeqCst);
         self.shards[src_shard].items_gauge.dec();
         self.total_items.fetch_sub(1, Ordering::SeqCst);

@@ -1,0 +1,145 @@
+//! Integration suite for lt-route, the IVF-style coarse routing layer.
+//!
+//! The contract mirrors the sharding one: routing is a *deployment* knob
+//! until `nprobe` drops below `nlist` — at full probe depth the routed
+//! search must be bitwise identical to the exhaustive scan, at any thread
+//! count, through any scan backend. Training and online maintenance must
+//! both be pure functions of the corpus, so a crashed server (or a second
+//! machine) re-derives the exact same partitioning.
+
+use lightlt::prelude::*;
+use lightlt_core::persist::{deserialize_routed_index, serialize_index, serialize_routed_index};
+use lightlt_core::route::{RoutedIndex, DEFAULT_TRAIN_SEED};
+use lightlt_core::search::adc_search_batch_with_backend;
+use lt_linalg::random::{randn, rng};
+use lt_linalg::scan::BackendKind;
+use lt_linalg::Matrix;
+
+/// Synthetic index at an arbitrary (n, M, K) — same fixture as the scan
+/// engine suite.
+fn synth_index(n: usize, m: usize, k: usize, d: usize, metric: Metric, seed: u64) -> QuantizedIndex {
+    let mut r = rng(seed);
+    let codebooks: Vec<Matrix> = (0..m).map(|_| randn(k, d, &mut r).scale(0.3)).collect();
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let ids: Vec<u16> = (0..n * m)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize % k) as u16
+        })
+        .collect();
+    let codes = Codes::new(ids, m);
+    let norms = (0..n)
+        .map(|i| {
+            let mut recon = vec![0.0f32; d];
+            for (level, &id) in codes.item(i).iter().enumerate() {
+                for (v, &c) in recon.iter_mut().zip(codebooks[level].row(id as usize)) {
+                    *v += c;
+                }
+            }
+            lt_linalg::gemm::dot(&recon, &recon)
+        })
+        .collect();
+    QuantizedIndex::from_parts(codebooks, codes, norms, metric, d, k)
+}
+
+fn hit_bits(hits: &[Vec<lt_linalg::Scored>]) -> Vec<Vec<(usize, u32)>> {
+    hits.iter()
+        .map(|q| q.iter().map(|s| (s.index, s.score.to_bits())).collect())
+        .collect()
+}
+
+#[test]
+fn full_probe_routed_search_is_bitwise_identical_to_exhaustive() {
+    let d = 12;
+    for metric in [Metric::NegSquaredL2, Metric::InnerProduct] {
+        let idx = synth_index(900, 3, 24, d, metric, 31);
+        let routed = RoutedIndex::from_index(&idx, 7, DEFAULT_TRAIN_SEED);
+        let queries = randn(6, d, &mut rng(32)).scale(0.4);
+        for backend in [BackendKind::F32, BackendKind::U8 { rerank: Some(usize::MAX) }] {
+            let engine = backend.create();
+            let baseline = {
+                let _serial = lightlt::runtime::scoped_threads(1);
+                hit_bits(&adc_search_batch_with_backend(&idx, engine.as_ref(), &queries, 10))
+            };
+            for threads in [1usize, 4] {
+                let _width = lightlt::runtime::scoped_threads(threads);
+                // nprobe == nlist (and anything above, which clamps) scans
+                // every partition: the sharded-merge argument makes the
+                // fold byte-equal to the flat scan.
+                let got = hit_bits(&routed.search_batch(engine.as_ref(), &queries, 10, 7));
+                assert_eq!(got, baseline, "{metric:?} {backend} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn training_is_deterministic_across_thread_counts() {
+    let idx = synth_index(600, 3, 16, 10, Metric::NegSquaredL2, 33);
+    let baseline = {
+        let _serial = lightlt::runtime::scoped_threads(1);
+        RoutedIndex::from_index(&idx, 5, DEFAULT_TRAIN_SEED)
+    };
+    for threads in [2usize, 4] {
+        let _width = lightlt::runtime::scoped_threads(threads);
+        let again = RoutedIndex::from_index(&idx, 5, DEFAULT_TRAIN_SEED);
+        let a: Vec<u32> = baseline.centroids().as_slice().iter().map(|x| x.to_bits()).collect();
+        let b: Vec<u32> = again.centroids().as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a, b, "centroid bits diverged at threads={threads}");
+        assert_eq!(baseline.assignments(), again.assignments(), "threads={threads}");
+    }
+}
+
+#[test]
+fn online_mutations_match_deterministic_rebuild() {
+    let d = 10;
+    let idx = synth_index(300, 3, 16, d, Metric::NegSquaredL2, 34);
+    let mut routed = RoutedIndex::from_index(&idx, 6, DEFAULT_TRAIN_SEED);
+    let mut mirror = idx.clone();
+
+    // Interleave appends and swap-removes, keeping a flat mirror under the
+    // exact same schedule. The routed overlay must report the same ids and
+    // relabellings as the flat contract at every step.
+    let fresh = randn(20, d, &mut rng(35)).scale(0.4);
+    for i in 0..fresh.rows() {
+        let (codes, norm_sq) = mirror.encode_item(fresh.row(i));
+        let flat_id = mirror.push_encoded(&codes, norm_sq);
+        let routed_id = routed.push_encoded(&codes, norm_sq);
+        assert_eq!(routed_id, flat_id);
+        if i % 3 == 2 {
+            let victim = (i * 37) % mirror.len();
+            assert_eq!(routed.swap_remove(victim), mirror.swap_remove(victim));
+        }
+    }
+    assert_eq!(routed.len(), mirror.len());
+
+    // A deterministic mirror that never saw the mutation stream — rebuilt
+    // from the final flat corpus under the same centroids — lands on the
+    // identical partitioning and the identical serialized image. This is
+    // the recovery contract: restart-time retraining on recovered state
+    // reproduces what incremental maintenance built.
+    let rebuilt = RoutedIndex::from_assignable(&mirror, routed.centroids().clone());
+    assert_eq!(routed.assignments(), rebuilt.assignments());
+    assert_eq!(serialize_index(&routed.flatten()), serialize_index(&mirror));
+    assert_eq!(serialize_routed_index(&routed), serialize_routed_index(&rebuilt));
+}
+
+#[test]
+fn routed_image_roundtrips_with_identical_search_results() {
+    let d = 8;
+    let idx = synth_index(400, 3, 16, d, Metric::NegSquaredL2, 36);
+    let routed = RoutedIndex::from_index(&idx, 5, DEFAULT_TRAIN_SEED);
+    let reloaded = deserialize_routed_index(&serialize_routed_index(&routed))
+        .expect("routed image roundtrip");
+    assert_eq!(reloaded.nlist(), routed.nlist());
+    assert_eq!(reloaded.assignments(), routed.assignments());
+    let queries = randn(4, d, &mut rng(37)).scale(0.4);
+    let engine = BackendKind::F32.create();
+    for nprobe in [1usize, 2, 5] {
+        assert_eq!(
+            hit_bits(&routed.search_batch(engine.as_ref(), &queries, 9, nprobe)),
+            hit_bits(&reloaded.search_batch(engine.as_ref(), &queries, 9, nprobe)),
+            "nprobe={nprobe}"
+        );
+    }
+}

@@ -33,7 +33,8 @@ use lightlt::serve::{
     recover, FsyncPolicy, IndexState, MutationError, RecoverySource, RetryClient, RetryPolicy,
     ServeClient, ServeConfig, Server,
 };
-use lightlt_core::persist::serialize_index;
+use lightlt_core::persist::{serialize_index, serialize_routed_index};
+use lightlt_core::route::{RoutedIndex, DEFAULT_TRAIN_SEED};
 use lightlt_core::search::adc_search;
 use lt_linalg::random::{randn, rng};
 use lt_linalg::Matrix;
@@ -160,7 +161,13 @@ fn crash_child() {
 
     let shards: usize =
         std::env::var("LT_WAL_CHILD_SHARDS").unwrap_or_default().parse().unwrap_or(1);
-    let (state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, shards).unwrap();
+    let (mut state, report) =
+        recover(Some(base_index()), &dir, FsyncPolicy::Always, shards).unwrap();
+    // With routing enabled, every mutation below also maintains the routed
+    // overlay — the crash can land mid-schedule with the overlay live.
+    if std::env::var("LT_WAL_CHILD_ROUTE").is_ok() {
+        state.enable_routing(6, 2, DEFAULT_TRAIN_SEED);
+    }
     emit(&format!("RECOVERED {}", report.epoch));
     for step in report.epoch + 1..=total {
         apply_to_state(&state, step).unwrap();
@@ -208,6 +215,24 @@ fn run_child_sharded(
     crash: Option<&str>,
     shards: usize,
 ) -> ChildRun {
+    run_child_inner(dir, total, snap_at, crash, shards, false)
+}
+
+/// [`run_child`] with a 6-partition routing overlay enabled in the child,
+/// so every mutation exercises the routed maintenance path before the
+/// crash lands.
+fn run_child_routed(dir: &Path, total: u64, snap_at: u64, crash: Option<&str>) -> ChildRun {
+    run_child_inner(dir, total, snap_at, crash, 1, true)
+}
+
+fn run_child_inner(
+    dir: &Path,
+    total: u64,
+    snap_at: u64,
+    crash: Option<&str>,
+    shards: usize,
+    routed: bool,
+) -> ChildRun {
     let exe = std::env::current_exe().unwrap();
     let mut cmd = Command::new(exe);
     cmd.args(["crash_child", "--exact", "--nocapture", "--test-threads=1"])
@@ -215,9 +240,13 @@ fn run_child_sharded(
         .env("LT_WAL_CHILD_OPS", total.to_string())
         .env("LT_WAL_CHILD_SNAP_AT", snap_at.to_string())
         .env("LT_WAL_CHILD_SHARDS", shards.to_string())
+        .env_remove("LT_WAL_CHILD_ROUTE")
         .env_remove("LT_CRASH_POINT")
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
+    if routed {
+        cmd.env("LT_WAL_CHILD_ROUTE", "1");
+    }
     if let Some(spec) = crash {
         cmd.env("LT_CRASH_POINT", spec);
     }
@@ -329,6 +358,56 @@ fn sharded_state_survives_kill_and_recovers_at_any_shard_count() {
     apply_to_state(&state, report.epoch + 1).unwrap();
     assert_eq!(state.epoch(), report.epoch + 1);
     assert_eq!(state.shard_epochs().into_iter().max().unwrap(), report.epoch + 1);
+    drop(state);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The routed acceptance drill: kill -9 a child whose mutations flow
+/// through a live routing overlay, recover, and check (1) acked ⊆
+/// recovered with the flat state bitwise-identical to the mirror, and
+/// (2) restart-time centroid retraining on the recovered corpus lands on
+/// the **identical partitioning** a deterministic mirror derives — same
+/// assignments, byte-equal `LTINDEX4` image. Routing adds no recovery
+/// machinery of its own: the overlay is a pure function of recovered
+/// state, so determinism of recovery + determinism of training is the
+/// whole proof.
+#[test]
+fn routed_state_survives_kill_and_retrains_the_mirror_partitioning() {
+    let dir = tmp_dir("kill_routed");
+    let run = run_child_routed(&dir, 40, 12, Some("post_append_pre_fsync:20"));
+    assert!(!run.clean_exit, "the armed child must die, not finish");
+    assert!(!run.done);
+    let max_acked = run.max_acked();
+    assert!(max_acked >= 12, "the snapshot step must be reached before the crash");
+    assert!(max_acked < 40, "the crash must interrupt the schedule");
+
+    let (mut state, report) = recover(Some(base_index()), &dir, FsyncPolicy::Always, 1).unwrap();
+    assert!(
+        report.epoch >= max_acked,
+        "acked seq {max_acked} lost — recovered only to epoch {}",
+        report.epoch
+    );
+    assert_bitwise_identical(&state, report.epoch, "routed kill");
+
+    let mirror = mirror_after(report.epoch);
+    let recovered_route = RoutedIndex::from_index(&state.snapshot(), 6, DEFAULT_TRAIN_SEED);
+    let mirror_route = RoutedIndex::from_index(&mirror, 6, DEFAULT_TRAIN_SEED);
+    assert_eq!(
+        recovered_route.assignments(),
+        mirror_route.assignments(),
+        "recovered partitioning diverged from the deterministic mirror"
+    );
+    assert_eq!(
+        serialize_routed_index(&recovered_route),
+        serialize_routed_index(&mirror_route),
+        "routed images diverged"
+    );
+
+    // The recovered server re-enables routing and keeps serving the
+    // schedule: the overlay accepts the next mutation in lockstep.
+    state.enable_routing(6, 2, DEFAULT_TRAIN_SEED);
+    apply_to_state(&state, report.epoch + 1).unwrap();
+    assert_eq!(state.epoch(), report.epoch + 1);
     drop(state);
     let _ = std::fs::remove_dir_all(&dir);
 }
