@@ -130,10 +130,13 @@ wait "$SHARD_PID"
 # backend (train-free synth_index image -> serve -> query). The u8 engine
 # must answer searches, pass the metrics self-check, and show its own
 # scan counters in the Prometheus dump — proof the low-precision path is
-# actually the one serving.
+# actually the one serving. The server also mirrors every completed trace
+# to a Chrome trace_event file (--trace-out): after shutdown the file
+# must be valid JSON and contain at least one shard-scan and one rerank
+# span — the u8 backend's re-rank pass showing up in the waterfall.
 U8_ADDR=127.0.0.1:17896
 target/release/lightlt serve --index "$SMOKE_DIR/index.bin" \
-  --backend u8:16 --addr "$U8_ADDR" &
+  --backend u8:16 --addr "$U8_ADDR" --trace-out "$SMOKE_DIR/trace.json" &
 U8_PID=$!
 target/release/lightlt query --addr "$U8_ADDR" --op search --k 5 \
   --vector "$WAL_VEC"
@@ -142,6 +145,9 @@ target/release/lightlt query --addr "$U8_ADDR" --metrics \
   | grep -q 'scan_u8_scans'
 target/release/lightlt query --addr "$U8_ADDR" --op shutdown
 wait "$U8_PID"
+python3 -c "import json; json.load(open('$SMOKE_DIR/trace.json'))"
+grep -q '"name":"shard-scan"' "$SMOKE_DIR/trace.json"
+grep -q '"name":"rerank"' "$SMOKE_DIR/trace.json"
 
 # Routed serving smoke: the same synth image served non-exhaustively — a
 # 16-partition coarse quantizer trained at startup, 4 partitions probed
@@ -161,6 +167,10 @@ target/release/lightlt query --addr "$ROUTE_ADDR" --op search --k 5 \
 target/release/lightlt query --addr "$ROUTE_ADDR" --metrics --check
 target/release/lightlt query --addr "$ROUTE_ADDR" --metrics \
   | grep -q 'route_probes'
+# Routed searches tag their trace with the head/tail quartile of the
+# top-1 result's partition; the traces waterfall must show the tag.
+target/release/lightlt query --addr "$ROUTE_ADDR" --op traces \
+  | grep -Eq 'tail_q [0-3]'
 target/release/lightlt query --addr "$ROUTE_ADDR" --op shutdown
 wait "$ROUTE_PID"
 
@@ -186,3 +196,5 @@ target/release/lightlt eval --model "$EVAL_DIR/model.json" \
 # fsync-policy grid rides along in the smoke too so its path keeps
 # working).
 cargo run -p lt-bench --release -- serve --smoke --durable --out target/BENCH_serve_smoke.json
+# The tracing-overhead comparison cell must ride along.
+grep -q '"trace_overhead"' target/BENCH_serve_smoke.json

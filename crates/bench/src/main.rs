@@ -520,6 +520,7 @@ fn run_serve_load(
     threads: usize,
     shards: usize,
     backend: lt_linalg::scan::BackendKind,
+    trace: bool,
 ) -> LoadMeasure {
     use lt_serve::{ServeClient, ServeConfig, Server};
     use std::sync::Barrier;
@@ -543,6 +544,8 @@ fn run_serve_load(
         fsync_policy: lt_serve::FsyncPolicy::Always,
         metrics: true,
         route: None,
+        trace,
+        trace_out: None,
     };
     let server = Server::start(index.clone(), config).expect("starting bench server");
     let addr = server.local_addr();
@@ -616,6 +619,17 @@ struct RampResult {
     load: LoadMeasure,
 }
 
+/// The tracing-overhead comparison: the best sharded scaling-grid cell
+/// replayed with per-request span tracing off and on. The acceptance bar
+/// is `overhead_pct <= 3.0` on an otherwise idle machine.
+struct TraceOverhead {
+    threads: usize,
+    shards: usize,
+    trace_off: LoadMeasure,
+    trace_on: LoadMeasure,
+    overhead_pct: f64,
+}
+
 /// One cell of the fsync-policy durability grid: sustained single-client
 /// upsert throughput against a WAL-mode server.
 struct DurableMeasure {
@@ -678,6 +692,7 @@ fn render_serve_json(
     smoke: bool,
     results: &[ServeResult],
     scaling: &[ScalingResult],
+    trace_overhead: Option<&TraceOverhead>,
     ramp: &[RampResult],
     durable: &[DurableMeasure],
 ) -> String {
@@ -736,6 +751,21 @@ fn render_serve_json(
         }
         out.push_str("  ]");
     }
+    if let Some(t) = trace_overhead {
+        out.push_str(&format!(
+            ",\n  \"trace_overhead\": {{\"threads\": {}, \"shards\": {}, \
+             \"qps_trace_off\": {:.1}, \"qps_trace_on\": {:.1}, \
+             \"overhead_pct\": {:.2}, \
+             \"p99_trace_off_us\": {}, \"p99_trace_on_us\": {}}}",
+            t.threads,
+            t.shards,
+            t.trace_off.qps,
+            t.trace_on.qps,
+            t.overhead_pct,
+            t.trace_off.p99_us,
+            t.trace_on.p99_us,
+        ));
+    }
     if !ramp.is_empty() {
         out.push_str(",\n  \"ramp\": [\n");
         for (i, r) in ramp.iter().enumerate() {
@@ -785,8 +815,8 @@ fn run_serve(smoke: bool, durable: bool, backend: lt_linalg::scan::BackendKind, 
     let mut results = Vec::new();
     for &(n, m, k) in grid {
         let index = synth_index(n, m, k, dim);
-        let batch1 = run_serve_load(&index, dim, 1, clients, reqs, 0, 1, backend);
-        let batched = run_serve_load(&index, dim, clients, clients, reqs, 0, 1, backend);
+        let batch1 = run_serve_load(&index, dim, 1, clients, reqs, 0, 1, backend, true);
+        let batched = run_serve_load(&index, dim, clients, clients, reqs, 0, 1, backend, true);
         let speedup = batched.qps / batch1.qps;
         let r = ServeResult { n, m, k, clients, requests: reqs, max_batch: clients, batch1, batched, speedup };
         eprintln!(
@@ -827,6 +857,7 @@ fn run_serve(smoke: bool, durable: bool, backend: lt_linalg::scan::BackendKind, 
                 threads,
                 shards,
                 backend,
+                true,
             );
             eprintln!(
                 "scaling n={scale_n} threads={threads} shards={shards}  {:>8.0} qps  \
@@ -836,13 +867,55 @@ fn run_serve(smoke: bool, durable: bool, backend: lt_linalg::scan::BackendKind, 
             scaling.push(ScalingResult { n: scale_n, threads, shards, load });
         }
     }
+    // The tracing-overhead cell: replay the best sharded grid point with
+    // span tracing off, then on. Tracing is zero-cost when disabled and
+    // an arena push + reservoir offer per request when enabled, so the
+    // on/off gap bounds what `--no-trace` would buy in production.
+    let best = scaling
+        .iter()
+        .filter(|s| s.shards > 1)
+        .max_by(|a, b| a.load.qps.total_cmp(&b.load.qps))
+        .or_else(|| scaling.last())
+        .map(|s| (s.threads, s.shards));
+    let trace_overhead = best.map(|(threads, shards)| {
+        // Interleaved best-of-3 per side: a single short run swings with
+        // scheduler luck, and taking the best of alternating runs cancels
+        // drift that would otherwise masquerade as tracing cost.
+        let overhead_reqs = scale_reqs.max(64);
+        let run = |trace: bool| {
+            run_serve_load(
+                &scale_index,
+                dim,
+                clients,
+                clients,
+                overhead_reqs,
+                threads,
+                shards,
+                backend,
+                trace,
+            )
+        };
+        let best_of = |a: LoadMeasure, b: LoadMeasure| if a.qps >= b.qps { a } else { b };
+        let (mut trace_off, mut trace_on) = (run(false), run(true));
+        for _ in 0..2 {
+            trace_off = best_of(trace_off, run(false));
+            trace_on = best_of(trace_on, run(true));
+        }
+        let overhead_pct = (trace_off.qps / trace_on.qps - 1.0) * 100.0;
+        eprintln!(
+            "trace overhead threads={threads} shards={shards}  \
+             off {:>8.0} qps  on {:>8.0} qps  overhead {overhead_pct:.2}%",
+            trace_off.qps, trace_on.qps
+        );
+        TraceOverhead { threads, shards, trace_off, trace_on, overhead_pct }
+    });
     // Client ramp at auto threads, sharded: where does the server
     // saturate as concurrency grows?
     let ramp_clients: &[usize] = if smoke { &[4, 8] } else { &[8, 16, 32, 64] };
     let ramp_shards = if smoke { 2 } else { 4 };
     let mut ramp = Vec::new();
     for &c in ramp_clients {
-        let load = run_serve_load(&scale_index, dim, c, c, scale_reqs, 0, ramp_shards, backend);
+        let load = run_serve_load(&scale_index, dim, c, c, scale_reqs, 0, ramp_shards, backend, true);
         eprintln!(
             "ramp clients={c:<3} shards={ramp_shards}  {:>8.0} qps  p50/p95/p99 {}/{}/{} us",
             load.qps, load.p50_us, load.p95_us, load.p99_us
@@ -865,7 +938,15 @@ fn run_serve(smoke: bool, durable: bool, backend: lt_linalg::scan::BackendKind, 
             durable_results.push(measure);
         }
     }
-    let json = render_serve_json(dim, smoke, &results, &scaling, &ramp, &durable_results);
+    let json = render_serve_json(
+        dim,
+        smoke,
+        &results,
+        &scaling,
+        trace_overhead.as_ref(),
+        &ramp,
+        &durable_results,
+    );
     std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 }

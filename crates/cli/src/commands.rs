@@ -449,6 +449,8 @@ pub fn serve(args: &Args) -> Result<(), String> {
         metrics: !args.flag("no-metrics"),
         backend,
         route: parse_route(args)?,
+        trace: !args.flag("no-trace"),
+        trace_out: args.get("trace-out").map(PathBuf::from),
     };
     if config.max_batch == 0 || config.queue_cap == 0 {
         return Err("--max-batch and --queue-cap must be positive".into());
@@ -506,8 +508,61 @@ fn check_metrics(snapshot: &lt_obs::Snapshot) -> Result<(), String> {
     if !(p50 <= p95 && p95 <= p99) {
         return Err(format!("metrics check: quantiles not ordered p50={p50} p95={p95} p99={p99}"));
     }
+    // The queue-wait and batch-exec histograms must have recorded too: a
+    // search that bypassed the batch executor (or an executor that stopped
+    // recording) is a pipeline regression even when service_us looks fine.
+    for name in ["serve.queue_wait_us", "serve.batch_exec_us"] {
+        let h = snapshot
+            .histogram(name)
+            .ok_or_else(|| format!("metrics check: {name} histogram missing"))?;
+        if h.count == 0 {
+            return Err(format!("metrics check: {name} is empty after a search"));
+        }
+    }
     println!("# serve.service_us p50={p50:.1}us p95={p95:.1}us p99={p99:.1}us");
     Ok(())
+}
+
+/// Renders one trace as a per-stage waterfall: each span's bar is placed
+/// proportionally inside the request's total duration.
+fn render_trace(t: &lt_obs::trace::Trace) -> String {
+    use std::fmt::Write as _;
+    const WIDTH: u64 = 40;
+    let mut out = String::new();
+    let tq = t.tail_q.map(|q| q.to_string()).unwrap_or_else(|| "-".into());
+    let _ = writeln!(
+        out,
+        "trace {}  total {}us  tail_q {}  spans {}",
+        t.id,
+        t.total_us,
+        tq,
+        t.spans.len()
+    );
+    let total = t.total_us.max(1);
+    for s in &t.spans {
+        let name = lt_obs::trace::stage_name(s.stage);
+        let label = if s.shard == u32::MAX {
+            name.to_string()
+        } else {
+            format!("{name}[{}]", s.shard)
+        };
+        let offset = s.start_us.saturating_sub(t.start_us);
+        let lo = (offset.min(total) * WIDTH / total) as usize;
+        let hi = ((offset.saturating_add(s.dur_us).min(total) * WIDTH / total) as usize)
+            .clamp(lo + 1, WIDTH as usize)
+            .max(lo + 1);
+        let mut bar: Vec<char> = vec![' '; WIDTH as usize];
+        for c in bar.iter_mut().take(hi.min(WIDTH as usize)).skip(lo.min(WIDTH as usize - 1)) {
+            *c = '#';
+        }
+        let bar: String = bar.into_iter().collect();
+        let _ = writeln!(
+            out,
+            "  {label:<16} |{bar}| {:>8}us @+{}us items={} reranked={}",
+            s.dur_us, offset, s.items, s.reranked
+        );
+    }
+    out
 }
 
 /// `lightlt query` — one request against a running server.
@@ -516,10 +571,13 @@ pub fn query(args: &Args) -> Result<(), String> {
 
     // `--metrics` is shorthand for `--op metrics`.
     let op = if args.flag("metrics") { "metrics" } else { args.get("op").unwrap_or("search") };
-    if !matches!(op, "search" | "upsert" | "delete" | "stats" | "metrics" | "snapshot" | "shutdown")
-    {
+    if !matches!(
+        op,
+        "search" | "upsert" | "delete" | "stats" | "metrics" | "snapshot" | "traces" | "shutdown"
+    ) {
         return Err(format!(
-            "unknown --op `{op}` (expected search|upsert|delete|stats|metrics|snapshot|shutdown)"
+            "unknown --op `{op}` (expected \
+             search|upsert|delete|stats|metrics|snapshot|traces|shutdown)"
         ));
     }
     let addr = args.require("addr")?;
@@ -599,6 +657,15 @@ pub fn query(args: &Args) -> Result<(), String> {
         "snapshot" => {
             let epoch = client.snapshot().map_err(|e| e.to_string())?;
             println!("snapshot written at epoch {epoch}");
+        }
+        "traces" => {
+            let traces = client.traces().map_err(|e| e.to_string())?;
+            if traces.is_empty() {
+                println!("no traces sampled yet (is tracing enabled on the server?)");
+            }
+            for t in &traces {
+                print!("{}", render_trace(t));
+            }
         }
         "shutdown" => {
             client.shutdown().map_err(|e| e.to_string())?;

@@ -52,6 +52,10 @@ COMMANDS:
              [--shards 1] [--snapshot <file.snap>] [--snapshot-every-ms 0]
              [--wal-dir <dir>] [--fsync-policy always|group[:N[:US]]|never]
              [--no-metrics] [--route nlist[:nprobe]]
+             [--no-trace] [--trace-out <file.json>]
+             (per-request span tracing is on by default; --trace-out
+              mirrors every completed trace to a Chrome trace_event JSON
+              loadable in Perfetto / chrome://tracing)
              (with --snapshot, a valid snapshot file is preferred over
               --index at startup: crash-safe reload. With --wal-dir, every
               upsert/delete is written ahead to a CRC-framed log before
@@ -62,12 +66,16 @@ COMMANDS:
               shard count, and snapshots/WALs reload at any other count)
   query      send one request to a running server
              --addr <host:port>
-             [--op search|upsert|delete|stats|metrics|snapshot|shutdown]
+             [--op search|upsert|delete|stats|metrics|snapshot|traces|shutdown]
              search: --vector 0.1,0.2,...  [--k 10]
              upsert: --vector <floats>  --dim D     delete: --id N
              metrics: [--check]  (--metrics is shorthand for --op metrics;
              prints the registry in Prometheus text format; --check exits
-             nonzero unless searches > 0 and p50 <= p95 <= p99 are finite)
+             nonzero unless searches > 0, p50 <= p95 <= p99 are finite,
+             and the queue-wait/batch-exec histograms are non-empty)
+             traces: print the server's tail-sampled traces as per-stage
+             waterfalls (slowest-of-window + uniform sample), each tagged
+             with the head/tail quartile (tail_q) of its top-1 result
 
 GLOBAL OPTIONS (any command):
   --threads N      worker threads for the parallel kernels (0 = auto from

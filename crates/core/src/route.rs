@@ -442,8 +442,41 @@ impl RoutedIndex {
         k: usize,
         nprobe: usize,
     ) -> Vec<Vec<Scored>> {
+        self.search_batch_traced(backend, queries, k, nprobe, None)
+    }
+
+    /// [`RoutedIndex::search_batch`] with an optional span sink: when
+    /// `sink` is given, each query records a `route-probe` span around
+    /// centroid ranking and one `shard-scan` span **per probed non-empty
+    /// partition** (the routed analogue of a shard: `shard` carries the
+    /// partition id), and the sink is the ambient trace target so
+    /// backend-internal stages (the u8 re-rank) attribute to the right
+    /// query and partition. `None` is exactly the untraced path.
+    pub fn search_batch_traced(
+        &self,
+        backend: &dyn ScanBackend,
+        queries: &Matrix,
+        k: usize,
+        nprobe: usize,
+        sink: Option<&lt_obs::trace::SpanSink>,
+    ) -> Vec<Vec<Scored>> {
+        use lt_obs::trace::{stage, Span, ALL_QUERIES, NO_SHARD};
         assert_eq!(queries.cols(), self.dim(), "query dimension mismatch");
+        let lut_t0 = sink.map(|_| lt_obs::now_us());
         let luts = backend.build_lut_batch(self.context.lut_stack(), queries);
+        if let (Some(sink), Some(start_us)) = (sink, lut_t0) {
+            sink.push(
+                ALL_QUERIES,
+                Span {
+                    stage: stage::LUT_BUILD,
+                    shard: NO_SHARD,
+                    start_us,
+                    dur_us: lt_obs::now_us().saturating_sub(start_us),
+                    items: queries.rows() as u64,
+                    reranked: 0,
+                },
+            );
+        }
         let obs = lt_obs::enabled().then(route_obs);
         let total = self.len() as u64;
         lt_runtime::parallel_map_chunks(queries.rows(), ROUTE_SEARCH_CHUNK, |range| {
@@ -453,15 +486,30 @@ impl RoutedIndex {
             let mut merged = TopK::new(0);
             range
                 .map(|i| {
+                    let _ambient = sink.map(|s| lt_obs::trace::ambient_sink(s, i as u32, NO_SHARD));
                     let query = queries.row(i);
                     let qn = match self.metric() {
                         Metric::NegSquaredL2 => dot(query, query),
                         Metric::InnerProduct | Metric::Cosine => 0.0,
                     };
                     let t0 = obs.is_some().then(Instant::now);
+                    let probe_t0 = sink.map(|_| lt_obs::now_us());
                     self.rank_partitions(query, nprobe, &mut probes);
                     if let (Some(t0), Some(o)) = (t0, obs) {
                         o.centroid_rank_us.record(lt_obs::micros_since(t0));
+                    }
+                    if let (Some(sink), Some(start_us)) = (sink, probe_t0) {
+                        sink.push(
+                            i as u32,
+                            Span {
+                                stage: stage::ROUTE_PROBE,
+                                shard: NO_SHARD,
+                                start_us,
+                                dur_us: lt_obs::now_us().saturating_sub(start_us),
+                                items: self.nlist() as u64,
+                                reranked: 0,
+                            },
+                        );
                     }
                     merged.reset(k);
                     let mut scanned = 0u64;
@@ -473,6 +521,10 @@ impl RoutedIndex {
                         }
                         nonempty += 1;
                         scanned += part.len() as u64;
+                        let part_t0 = sink.map(|_| {
+                            lt_obs::trace::ambient_retag(i as u32, p as u32);
+                            lt_obs::now_us()
+                        });
                         scan_partition(
                             part,
                             backend,
@@ -484,6 +536,19 @@ impl RoutedIndex {
                             &mut topk,
                             &mut merged,
                         );
+                        if let (Some(sink), Some(start_us)) = (sink, part_t0) {
+                            sink.push(
+                                i as u32,
+                                Span {
+                                    stage: stage::SHARD_SCAN,
+                                    shard: p as u32,
+                                    start_us,
+                                    dur_us: lt_obs::now_us().saturating_sub(start_us),
+                                    items: part.len() as u64,
+                                    reranked: 0,
+                                },
+                            );
+                        }
                     }
                     if let Some(o) = obs {
                         o.probes.add(probes.len() as u64);
@@ -498,6 +563,32 @@ impl RoutedIndex {
         .into_iter()
         .flatten()
         .collect()
+    }
+
+    /// The partition holding global id `id` (tail-class attribution for
+    /// traces: a hit's partition indexes into
+    /// [`RoutedIndex::partition_quartiles`]).
+    ///
+    /// # Panics
+    /// Panics when `id` is out of bounds.
+    pub fn partition_of(&self, id: usize) -> usize {
+        self.loc[id].0 as usize
+    }
+
+    /// Head/tail quartile of every partition, indexed by partition id:
+    /// partitions ranked by **descending** item count (ties to the lower
+    /// partition id), quartile `rank·4 / nlist` — 0 is the head (largest)
+    /// quarter of partitions, 3 the tail. A pure function of the current
+    /// partition sizes, so it tracks online mutations.
+    pub fn partition_quartiles(&self) -> Vec<u8> {
+        let nlist = self.nlist();
+        let mut by_size: Vec<usize> = (0..nlist).collect();
+        by_size.sort_by_key(|&p| (std::cmp::Reverse(self.partitions[p].len()), p));
+        let mut quartiles = vec![0u8; nlist];
+        for (rank, &p) in by_size.iter().enumerate() {
+            quartiles[p] = (rank * 4 / nlist) as u8;
+        }
+        quartiles
     }
 }
 

@@ -233,24 +233,57 @@ pub fn adc_search_batch_with_backend(
     queries: &Matrix,
     k: usize,
 ) -> Vec<Vec<Scored>> {
+    adc_search_batch_with_backend_traced(index, backend, queries, k, None)
+}
+
+/// [`adc_search_batch_with_backend`] with an optional span sink: when
+/// `sink` is given, a `lut-build` span and one `shard-scan` span (shard 0
+/// — the unsharded scan is one segment) covering the parallel section are
+/// recorded, and the sink is installed as the ambient trace target inside
+/// the pool workers so backend-internal stages (the u8 re-rank) attribute
+/// to the right query. `None` is exactly the untraced path.
+pub fn adc_search_batch_with_backend_traced(
+    index: &QuantizedIndex,
+    backend: &dyn ScanBackend,
+    queries: &Matrix,
+    k: usize,
+    sink: Option<&lt_obs::trace::SpanSink>,
+) -> Vec<Vec<Scored>> {
+    use lt_obs::trace::{stage, Span, ALL_QUERIES};
     assert_eq!(queries.cols(), index.dim(), "query dimension mismatch");
     // LUT-build vs. scan split: the two timed sections cover the whole
     // call, so `scan.lut_build_us + scan.scan_us` is end-to-end batch
     // latency. Timing wraps the phases, never the per-item work, so the
     // enabled-mode overhead is two clock reads per batch.
-    let observe = lt_obs::enabled() || lt_obs::events_enabled();
+    let observe = lt_obs::enabled() || lt_obs::events_enabled() || sink.is_some();
     let t0 = observe.then(Instant::now);
+    let span_t0 = sink.map(|_| lt_obs::now_us());
     let luts = backend.build_lut_batch(index.lut_stack(), queries);
     if let Some(t0) = t0 {
         let micros = lt_obs::micros_since(t0);
         scan_obs().lut_build_us.record(micros);
         lt_obs::emit(&lt_obs::Event::LutBuild { queries: queries.rows() as u64, micros });
+        if let (Some(sink), Some(start_us)) = (sink, span_t0) {
+            sink.push(
+                ALL_QUERIES,
+                Span {
+                    stage: stage::LUT_BUILD,
+                    shard: lt_obs::trace::NO_SHARD,
+                    start_us,
+                    dur_us: micros,
+                    items: queries.rows() as u64,
+                    reranked: 0,
+                },
+            );
+        }
     }
     let t1 = observe.then(Instant::now);
+    let span_t1 = sink.map(|_| lt_obs::now_us());
     let hits = lt_runtime::parallel_map_chunks(queries.rows(), SEARCH_CHUNK, |range| {
         let mut scratch = SearchScratch::new();
         range
             .map(|i| {
+                let _ambient = sink.map(|s| lt_obs::trace::ambient_sink(s, i as u32, 0));
                 let qn = query_norm_sq(index, queries.row(i));
                 search_with_lut(
                     index,
@@ -275,6 +308,19 @@ pub fn adc_search_batch_with_backend(
             items: index.len() as u64,
             micros,
         });
+        if let (Some(sink), Some(start_us)) = (sink, span_t1) {
+            sink.push(
+                ALL_QUERIES,
+                Span {
+                    stage: stage::SHARD_SCAN,
+                    shard: 0,
+                    start_us,
+                    dur_us: micros,
+                    items: (queries.rows() * index.len()) as u64,
+                    reranked: 0,
+                },
+            );
+        }
     }
     hits
 }
@@ -337,6 +383,23 @@ pub fn adc_scan_shards_topk(
     queries: &Matrix,
     k: usize,
 ) -> Vec<Vec<Vec<Scored>>> {
+    adc_scan_shards_topk_traced(shards, backend, queries, k, None)
+}
+
+/// [`adc_scan_shards_topk`] with an optional span sink: when `sink` is
+/// given, a `lut-build` span plus one `shard-scan` span **per shard**
+/// (timed inside the pool worker that scanned it) are recorded, and the
+/// sink is installed as the ambient trace target with a per-query retag so
+/// backend-internal stages attribute correctly. `None` is exactly the
+/// untraced path.
+pub fn adc_scan_shards_topk_traced(
+    shards: &[&QuantizedIndex],
+    backend: &dyn ScanBackend,
+    queries: &Matrix,
+    k: usize,
+    sink: Option<&lt_obs::trace::SpanSink>,
+) -> Vec<Vec<Vec<Scored>>> {
+    use lt_obs::trace::{stage, Span, ALL_QUERIES};
     assert!(!shards.is_empty(), "need at least one shard");
     let s = shards.len();
     let proto = shards[0];
@@ -347,8 +410,9 @@ pub fn adc_scan_shards_topk(
         assert_eq!(shard.metric(), proto.metric(), "shard metric mismatch");
     }
     assert_eq!(queries.cols(), proto.dim(), "query dimension mismatch");
-    let observe = lt_obs::enabled() || lt_obs::events_enabled();
+    let observe = lt_obs::enabled() || lt_obs::events_enabled() || sink.is_some();
     let t0 = observe.then(Instant::now);
+    let span_t0 = sink.map(|_| lt_obs::now_us());
     // Shards share one set of codebooks, so a single GEMM builds every
     // query's LUT for all of them.
     let luts = backend.build_lut_batch(proto.lut_stack(), queries);
@@ -356,6 +420,19 @@ pub fn adc_scan_shards_topk(
         let micros = lt_obs::micros_since(t0);
         scan_obs().lut_build_us.record(micros);
         lt_obs::emit(&lt_obs::Event::LutBuild { queries: queries.rows() as u64, micros });
+        if let (Some(sink), Some(start_us)) = (sink, span_t0) {
+            sink.push(
+                ALL_QUERIES,
+                Span {
+                    stage: stage::LUT_BUILD,
+                    shard: lt_obs::trace::NO_SHARD,
+                    start_us,
+                    dur_us: micros,
+                    items: queries.rows() as u64,
+                    reranked: 0,
+                },
+            );
+        }
     }
     let t1 = observe.then(Instant::now);
     // Outer parallelism over shards (one chunk per shard); inside a pool
@@ -366,9 +443,12 @@ pub fn adc_scan_shards_topk(
             range
                 .map(|shard_idx| {
                     let shard = shards[shard_idx];
+                    let shard_t0 = sink.map(|_| lt_obs::now_us());
                     let mut scratch = SearchScratch::new();
-                    (0..queries.rows())
+                    let hits = (0..queries.rows())
                         .map(|i| {
+                            let _ambient = sink
+                                .map(|s| lt_obs::trace::ambient_sink(s, i as u32, shard_idx as u32));
                             let qn = query_norm_sq(shard, queries.row(i));
                             let mut local = search_with_lut(
                                 shard,
@@ -385,7 +465,21 @@ pub fn adc_scan_shards_topk(
                             }
                             local
                         })
-                        .collect::<Vec<_>>()
+                        .collect::<Vec<_>>();
+                    if let (Some(sink), Some(start_us)) = (sink, shard_t0) {
+                        sink.push(
+                            ALL_QUERIES,
+                            Span {
+                                stage: stage::SHARD_SCAN,
+                                shard: shard_idx as u32,
+                                start_us,
+                                dur_us: lt_obs::now_us().saturating_sub(start_us),
+                                items: (queries.rows() * shard.len()) as u64,
+                                reranked: 0,
+                            },
+                        );
+                    }
+                    hits
                 })
                 .collect::<Vec<_>>()
         })

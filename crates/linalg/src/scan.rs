@@ -1127,6 +1127,8 @@ impl ScanBackend for U8ScanBackend {
                     obs.reranked.add(candidates.len() as u64);
                     obs.rerank_depth.record(depth as u64);
                 }
+                let rerank_t0 = lt_obs::trace::ambient_active().then(lt_obs::now_us);
+                let reranked = candidates.len() as u64;
                 let k = codes.num_codewords();
                 let m = codes.num_codebooks();
                 for i in candidates {
@@ -1139,6 +1141,15 @@ impl ScanBackend for U8ScanBackend {
                         None => v,
                     };
                     topk.push(score, i);
+                }
+                if let Some(start_us) = rerank_t0 {
+                    lt_obs::trace::ambient_record(
+                        lt_obs::trace::stage::RERANK,
+                        start_us,
+                        lt_obs::now_us().saturating_sub(start_us),
+                        depth as u64,
+                        reranked,
+                    );
                 }
             }
         }

@@ -17,6 +17,12 @@
 //!    (train-step, fault-retry, rollback, checkpoint, snapshot,
 //!    LUT-build, scan-block, batch-execute) with monotonic microsecond
 //!    timestamps, installed via `lightlt --events <path>`.
+//! 4. **Request tracing** ([`trace`]): per-request pipeline spans from a
+//!    lock-free arena, an always-on tail reservoir (slowest traces plus
+//!    a uniform sample, served over the `Traces` wire opcode), and an
+//!    opt-in Chrome `trace_event` export (`serve --trace-out`). Gated by
+//!    its own toggle ([`set_trace_enabled`]) with the same
+//!    single-relaxed-load disabled cost.
 //!
 //! **Overhead model.** Observability is off by default. Every recording
 //! call first checks the global toggle — a single relaxed atomic load and
@@ -35,6 +41,7 @@ use std::time::Instant;
 pub mod events;
 pub mod metrics;
 pub mod registry;
+pub mod trace;
 
 pub use events::{emit, events_enabled, flush_events, init_events, now_us, Event};
 pub use metrics::{
@@ -42,6 +49,10 @@ pub use metrics::{
     NUM_SHARDS,
 };
 pub use registry::{MetricValue, Registry, Snapshot};
+pub use trace::{
+    begin_trace, finish_trace, flush_trace_out, init_trace_out, sampled_traces, set_trace_enabled,
+    trace_enabled, trace_out_enabled, Span, SpanSink, Trace, TraceCtx,
+};
 
 /// Global metrics toggle; off by default.
 static ENABLED: AtomicBool = AtomicBool::new(false);

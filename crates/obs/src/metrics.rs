@@ -41,6 +41,14 @@ fn shard_index() -> usize {
     MY_SHARD.with(|s| *s)
 }
 
+/// This thread's recorder shard (`0..NUM_SHARDS`). The trace arena
+/// starts its claim probe here so concurrent requests spread across the
+/// arena exactly as concurrent recorders spread across metric shards.
+#[inline]
+pub(crate) fn recorder_shard() -> usize {
+    shard_index()
+}
+
 /// The log₂ bucket index for a recorded value.
 #[inline]
 pub fn bucket_index(value: u64) -> usize {
@@ -275,12 +283,16 @@ impl HistogramSnapshot {
                 continue;
             }
             if cumulative + n >= target {
-                let (lo, _) = bucket_bounds(i);
+                let (lo, hi) = bucket_bounds(i);
                 if i == 0 {
                     return 0.0;
                 }
+                // Interpolate within the bucket's *inclusive* value range,
+                // clamped to the maximum actually recorded: a bucket whose
+                // sole occupant is `v` reports exactly `v`, never the
+                // bucket's upper bound (which overstated p50 by up to 2×).
                 let lo = lo as f64;
-                let hi = lo * 2.0;
+                let hi = hi.min(self.max) as f64;
                 let fraction = (target - cumulative) as f64 / n as f64;
                 return lo + fraction * (hi - lo);
             }
@@ -364,6 +376,38 @@ mod tests {
         assert!((4096.0..=8192.0).contains(&p50), "p50={p50}");
         assert!(s.quantile(1.0) <= 16384.0);
         assert_eq!(HistogramSnapshot::empty().quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_winning_bucket() {
+        let _on = test_toggle(true);
+        // A single recorded value must be reported exactly: the old
+        // behaviour returned the winning bucket's exclusive upper bound
+        // (1024 for 513), overstating p50 by up to 2×.
+        let h = Histogram::new();
+        h.record(513);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.50), 513.0);
+        assert_eq!(s.quantile(0.99), 513.0);
+
+        // Repeated single value anywhere in a bucket: still exact.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(512);
+        }
+        assert_eq!(h.snapshot().quantile(0.5), 512.0);
+
+        // Two buckets: the p50 estimate stays inside the lower bucket's
+        // inclusive range instead of escaping to its upper bound.
+        let h = Histogram::new();
+        for v in [600u64, 600, 600, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        assert!((512.0..=1023.0).contains(&p50), "p50={p50}");
+        // The top quantile is capped by the recorded maximum.
+        assert!(s.quantile(1.0) <= 5000.0);
     }
 
     #[test]

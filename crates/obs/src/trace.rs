@@ -1,0 +1,930 @@
+//! lt-trace: per-request span tracing across the serve pipeline.
+//!
+//! A request that opts in (the global toggle, [`set_trace_enabled`], is
+//! on) acquires a [`TraceCtx`] from a fixed lock-free arena and collects
+//! fixed-capacity [`Span`] records — `{stage, start_us, dur_us, shard,
+//! items, reranked}` — as it moves through
+//! accept → decode → admission → queue → batch-form → lut-build →
+//! route-probe → shard-scan(i) → merge → rerank → encode → reply (and
+//! wal-append → fsync → apply for mutations). On completion the trace is
+//! offered to an always-on tail reservoir (the N slowest per window plus
+//! a uniform 1-in-K sample, served over the `Traces` wire opcode) and,
+//! when `serve --trace-out` installed a sink, appended to a Chrome
+//! `trace_event` JSON array loadable in Perfetto / `chrome://tracing`.
+//!
+//! **Cost model.** The disabled path is one relaxed atomic load per call
+//! site — identical to the metric primitives in [`crate::metrics`]. The
+//! enabled path takes no locks: span slots are per-field relaxed atomics
+//! published with a release store on a `committed` flag, the arena is
+//! claimed by a single CAS probed from the caller's metrics shard (same
+//! sharding discipline as the counters), and the reservoir uses
+//! `try_lock` (a contended offer is dropped, never waited on). Only the
+//! opt-in Chrome sink takes a real lock on the completion path.
+//!
+//! **Determinism.** Span *structure* — the sorted `(stage, shard)`
+//! sequence and the item counts — is a pure function of the request and
+//! the serving topology (shard count, routing parameters), never of the
+//! thread width: spans sort by `(stage, shard, start_us)` and stage ids
+//! are declared in pipeline order, so the canonical order is the
+//! pipeline order. Durations are wall-clock and vary run to run.
+
+use std::cell::RefCell;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Pipeline stage ids, declared in pipeline order so that sorting spans
+/// by `(stage, shard, start_us)` yields the pipeline order. Mutation
+/// stages (`WAL_APPEND`/`FSYNC`/`APPLY`) slot between admission and
+/// queue: a mutation never reaches the batch queue.
+pub mod stage {
+    /// Connection read: last idle poll tick → frame fully read. Includes
+    /// client think time, so it is excluded from span-sum accounting.
+    pub const ACCEPT: u8 = 0;
+    /// Wire frame → typed `Request`.
+    pub const DECODE: u8 = 1;
+    /// Validation + submission-queue admission.
+    pub const ADMISSION: u8 = 2;
+    /// Mutation record appended to the write-ahead log.
+    pub const WAL_APPEND: u8 = 3;
+    /// WAL `sync_data` forced by the fsync policy.
+    pub const FSYNC: u8 = 4;
+    /// Mutation applied to the copy-on-write index state.
+    pub const APPLY: u8 = 5;
+    /// Time waited in the submission queue before the executor drained
+    /// the job.
+    pub const QUEUE: u8 = 6;
+    /// Micro-batch assembly (k-grouping, query matrix construction).
+    pub const BATCH_FORM: u8 = 7;
+    /// GEMM-batched LUT construction for the whole group.
+    pub const LUT_BUILD: u8 = 8;
+    /// Coarse-router centroid ranking (routed searches only).
+    pub const ROUTE_PROBE: u8 = 9;
+    /// One scan of one shard (exhaustive) or one probed partition
+    /// (routed); `shard` carries the shard / partition id.
+    pub const SHARD_SCAN: u8 = 10;
+    /// Cross-shard top-k fold.
+    pub const MERGE: u8 = 11;
+    /// Exact re-scoring of the u8 backend's shortlist.
+    pub const RERANK: u8 = 12;
+    /// Typed `Response` → wire payload.
+    pub const ENCODE: u8 = 13;
+    /// Reply frame written to the socket.
+    pub const REPLY: u8 = 14;
+}
+
+/// Stage names, indexed by stage id (the wire and JSON vocabulary).
+pub const STAGE_NAMES: [&str; 15] = [
+    "accept",
+    "decode",
+    "admission",
+    "wal-append",
+    "fsync",
+    "apply",
+    "queue",
+    "batch-form",
+    "lut-build",
+    "route-probe",
+    "shard-scan",
+    "merge",
+    "rerank",
+    "encode",
+    "reply",
+];
+
+/// The display name of a stage id (out-of-range ids render as `"?"`,
+/// so a forward-version wire payload still prints).
+pub fn stage_name(stage: u8) -> &'static str {
+    STAGE_NAMES.get(stage as usize).copied().unwrap_or("?")
+}
+
+/// `shard` value for spans not attributed to a particular shard.
+pub const NO_SHARD: u32 = u32::MAX;
+
+/// Query tag addressing every query of a batch (see [`SpanSink`]).
+pub const ALL_QUERIES: u32 = u32::MAX;
+
+/// Global tracing toggle, independent of the metrics toggle; off by
+/// default. `lightlt serve` turns it on at startup (opt out with
+/// `--no-trace`).
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+/// True iff request tracing is enabled — a single relaxed load, the
+/// whole disabled-mode cost of every trace call site.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Turns request tracing on or off process-wide.
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ON.store(on, Ordering::Relaxed);
+}
+
+/// One recorded pipeline span. `start_us` is absolute on the process's
+/// monotonic tracing epoch ([`crate::now_us`]), so spans from different
+/// threads share one timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Stage id (see [`stage`]).
+    pub stage: u8,
+    /// Shard or routed-partition id; [`NO_SHARD`] when not applicable.
+    pub shard: u32,
+    /// Start, microseconds on the tracing epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Items scanned (shard-scan: segment length × queries; rerank:
+    /// shortlist depth).
+    pub items: u64,
+    /// Candidates exactly re-scored (u8 re-rank path only).
+    pub reranked: u64,
+}
+
+/// One lock-free span slot: per-field relaxed atomics published by a
+/// release store on `committed` (readers pair it with an acquire load).
+#[derive(Debug, Default)]
+struct Slot {
+    stage: AtomicU32,
+    shard: AtomicU32,
+    query: AtomicU32,
+    start_us: AtomicU64,
+    dur_us: AtomicU64,
+    items: AtomicU64,
+    reranked: AtomicU64,
+    committed: AtomicBool,
+}
+
+/// A fixed-capacity, lock-free multi-producer span buffer. Pushes past
+/// capacity are silently dropped (documented overflow policy: a trace is
+/// a sample, not an audit log). `collect` returns only committed slots,
+/// so a reader racing a writer sees each span entirely or not at all.
+#[derive(Debug)]
+struct SpanArray {
+    cursor: AtomicUsize,
+    slots: Box<[Slot]>,
+}
+
+impl SpanArray {
+    fn new(capacity: usize) -> Self {
+        Self {
+            cursor: AtomicUsize::new(0),
+            slots: (0..capacity).map(|_| Slot::default()).collect(),
+        }
+    }
+
+    /// Claims the next slot and publishes `span` tagged with `query`.
+    fn push(&self, query: u32, span: Span) {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let Some(slot) = self.slots.get(i) else {
+            return; // Capacity exhausted: drop silently.
+        };
+        slot.stage.store(span.stage as u32, Ordering::Relaxed);
+        slot.shard.store(span.shard, Ordering::Relaxed);
+        slot.query.store(query, Ordering::Relaxed);
+        slot.start_us.store(span.start_us, Ordering::Relaxed);
+        slot.dur_us.store(span.dur_us, Ordering::Relaxed);
+        slot.items.store(span.items, Ordering::Relaxed);
+        slot.reranked.store(span.reranked, Ordering::Relaxed);
+        slot.committed.store(true, Ordering::Release);
+    }
+
+    /// Snapshots every committed `(query, span)` pair.
+    fn collect(&self) -> Vec<(u32, Span)> {
+        let used = self.cursor.load(Ordering::Relaxed).min(self.slots.len());
+        let mut out = Vec::with_capacity(used);
+        for slot in &self.slots[..used] {
+            if !slot.committed.load(Ordering::Acquire) {
+                continue;
+            }
+            out.push((
+                slot.query.load(Ordering::Relaxed),
+                Span {
+                    stage: slot.stage.load(Ordering::Relaxed) as u8,
+                    shard: slot.shard.load(Ordering::Relaxed),
+                    start_us: slot.start_us.load(Ordering::Relaxed),
+                    dur_us: slot.dur_us.load(Ordering::Relaxed),
+                    items: slot.items.load(Ordering::Relaxed),
+                    reranked: slot.reranked.load(Ordering::Relaxed),
+                },
+            ));
+        }
+        out
+    }
+
+    /// Rewinds the buffer for reuse (single-owner phase only).
+    fn reset(&self) {
+        let used = self.cursor.swap(0, Ordering::Relaxed).min(self.slots.len());
+        for slot in &self.slots[..used] {
+            slot.committed.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A cloneable, thread-safe collector the batch executor hands to the
+/// core search entry points. Spans are tagged with a query row index (or
+/// [`ALL_QUERIES`] for batch-wide work like the LUT GEMM); the executor
+/// fans collected spans out to the per-request traces afterwards.
+#[derive(Debug, Clone)]
+pub struct SpanSink(Arc<SpanArray>);
+
+impl SpanSink {
+    /// A sink holding up to `capacity` spans (overflow drops silently).
+    pub fn new(capacity: usize) -> Self {
+        Self(Arc::new(SpanArray::new(capacity)))
+    }
+
+    /// Records one span attributed to query row `query` of the batch
+    /// ([`ALL_QUERIES`] = every query).
+    pub fn push(&self, query: u32, span: Span) {
+        self.0.push(query, span);
+    }
+
+    /// Drains every committed `(query, span)` pair for fan-out.
+    pub fn collect(&self) -> Vec<(u32, Span)> {
+        self.0.collect()
+    }
+}
+
+/// Arena slot states.
+const FREE: u8 = 0;
+const ACTIVE: u8 = 1;
+
+/// Arena capacity: comfortably above any realistic number of in-flight
+/// requests (connections × pipelining); exhaustion drops the trace, not
+/// the request.
+const ARENA_SLOTS: usize = 512;
+
+/// Span capacity per request: the deepest pipeline (routed search at
+/// nprobe = 8: probe + 8 scans + 8 re-ranks + the serial stages) fits
+/// with headroom.
+const SPANS_PER_TRACE: usize = 40;
+
+/// One arena entry: an atomic claim state plus the request's span buffer.
+#[derive(Debug)]
+struct RequestTrace {
+    state: AtomicU8,
+    id: AtomicU64,
+    start_us: AtomicU64,
+    /// Head/tail quartile of the top-1 result's routed partition
+    /// (`u32::MAX` = untagged).
+    tail_q: AtomicU32,
+    spans: SpanArray,
+}
+
+/// The per-process trace arena. Allocated once, on the first traced
+/// request — the disabled path never touches it.
+struct Arena {
+    slots: Box<[RequestTrace]>,
+}
+
+impl Arena {
+    fn new() -> Self {
+        Self {
+            slots: (0..ARENA_SLOTS)
+                .map(|_| RequestTrace {
+                    state: AtomicU8::new(FREE),
+                    id: AtomicU64::new(0),
+                    start_us: AtomicU64::new(0),
+                    tail_q: AtomicU32::new(u32::MAX),
+                    spans: SpanArray::new(SPANS_PER_TRACE),
+                })
+                .collect(),
+        }
+    }
+}
+
+static ARENA: OnceLock<Arena> = OnceLock::new();
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+static TRACES_STARTED: AtomicU64 = AtomicU64::new(0);
+static TRACES_DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Total traces ever begun in this process (the zero-cost tests assert
+/// this does not move while tracing is disabled).
+pub fn traces_started() -> u64 {
+    TRACES_STARTED.load(Ordering::Relaxed)
+}
+
+/// Traces dropped because the arena was exhausted.
+pub fn traces_dropped() -> u64 {
+    TRACES_DROPPED.load(Ordering::Relaxed)
+}
+
+/// A live handle on an in-flight request trace. `Copy`, so the serving
+/// layer threads it through job structs by value. Pushes through a stale
+/// handle (after [`finish_trace`] released the slot to another request)
+/// are detected by the embedded id and dropped.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCtx {
+    buf: &'static RequestTrace,
+    id: u64,
+}
+
+impl TraceCtx {
+    /// The server-assigned trace id (echoed in the wire reply).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Records one span on this request.
+    pub fn push(&self, span: Span) {
+        if self.buf.id.load(Ordering::Relaxed) != self.id {
+            return; // Stale handle: the slot moved on.
+        }
+        self.buf.spans.push(ALL_QUERIES, span);
+    }
+
+    /// Tags the trace with the head/tail quartile (0 = head … 3 = tail)
+    /// of its top-1 result's routed partition.
+    pub fn set_tail_q(&self, q: u8) {
+        if self.buf.id.load(Ordering::Relaxed) != self.id {
+            return;
+        }
+        self.buf.tail_q.store(q as u32, Ordering::Relaxed);
+    }
+}
+
+/// Begins a trace for one request: claims an arena slot (CAS probe
+/// starting at the caller's metrics shard, same discipline as the
+/// counters) and stamps the start time. Returns `None` when tracing is
+/// disabled (one relaxed load, nothing else) or the arena is exhausted
+/// (counted in [`traces_dropped`]).
+pub fn begin_trace() -> Option<TraceCtx> {
+    if !trace_enabled() {
+        return None;
+    }
+    let arena = ARENA.get_or_init(Arena::new);
+    let start = crate::metrics::recorder_shard() * (ARENA_SLOTS / crate::metrics::NUM_SHARDS);
+    for probe in 0..ARENA_SLOTS {
+        let slot = &arena.slots[(start + probe) % ARENA_SLOTS];
+        if slot
+            .state
+            .compare_exchange(FREE, ACTIVE, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            let id = NEXT_ID.fetch_add(1, Ordering::Relaxed) + 1;
+            slot.spans.reset();
+            slot.id.store(id, Ordering::Relaxed);
+            slot.start_us.store(crate::now_us(), Ordering::Relaxed);
+            slot.tail_q.store(u32::MAX, Ordering::Relaxed);
+            TRACES_STARTED.fetch_add(1, Ordering::Relaxed);
+            return Some(TraceCtx { buf: slot, id });
+        }
+    }
+    TRACES_DROPPED.fetch_add(1, Ordering::Relaxed);
+    None
+}
+
+/// A complete request trace: the reservoir / wire / Chrome-export value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Server-assigned id (monotonic per process).
+    pub id: u64,
+    /// Trace begin, microseconds on the tracing epoch.
+    pub start_us: u64,
+    /// End-to-end duration in microseconds (begin → finish).
+    pub total_us: u64,
+    /// Head/tail quartile of the top-1 result's routed partition
+    /// (0 = head … 3 = tail); `None` for unrouted or non-search requests.
+    pub tail_q: Option<u8>,
+    /// Spans in canonical `(stage, shard, start_us)` order — pipeline
+    /// order, since stage ids are declared in pipeline order.
+    pub spans: Vec<Span>,
+}
+
+/// Finishes a trace: snapshots the committed spans in canonical order,
+/// releases the arena slot, and offers the completed [`Trace`] to the
+/// tail reservoir and the Chrome sink. Callers must have stopped pushing
+/// (the serving layer finishes only after the reply frame is written and
+/// the executor pushes only before sending the reply).
+pub fn finish_trace(ctx: TraceCtx) -> Option<Trace> {
+    let buf = ctx.buf;
+    if buf.id.load(Ordering::Relaxed) != ctx.id {
+        return None;
+    }
+    let start_us = buf.start_us.load(Ordering::Relaxed);
+    let total_us = crate::now_us().saturating_sub(start_us);
+    let mut spans: Vec<Span> = buf.spans.collect().into_iter().map(|(_, s)| s).collect();
+    spans.sort_by_key(|s| (s.stage, s.shard, s.start_us));
+    let tq = buf.tail_q.load(Ordering::Relaxed);
+    let trace = Trace {
+        id: ctx.id,
+        start_us,
+        total_us,
+        tail_q: (tq != u32::MAX).then_some(tq as u8),
+        spans,
+    };
+    // Invalidate the id before releasing so the now-stale handle (and any
+    // copy of it) fails the id check on a late push or double finish.
+    buf.id.store(u64::MAX, Ordering::Relaxed);
+    buf.state.store(FREE, Ordering::Release);
+    RESERVOIR.offer(&trace);
+    write_chrome(&trace);
+    Some(trace)
+}
+
+// ---------------------------------------------------------------------
+// Ambient span target: a thread-local the serving layer installs so that
+// deeply nested code (the u8 re-rank inside the scan kernels, the WAL
+// fsync inside the mutation path) can record spans without threading a
+// handle through every signature.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum AmbientTarget {
+    Sink(SpanSink),
+    Trace(TraceCtx),
+}
+
+#[derive(Debug, Clone)]
+struct Ambient {
+    target: AmbientTarget,
+    query: u32,
+    shard: u32,
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Option<Ambient>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed ambient target on drop, so nested
+/// scopes (a routed scan inside a batch) compose.
+#[derive(Debug)]
+pub struct AmbientGuard {
+    prev: Option<Ambient>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|a| *a.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `sink` as this thread's ambient span target, attributing
+/// recorded spans to `(query, shard)` until retagged or dropped.
+pub fn ambient_sink(sink: &SpanSink, query: u32, shard: u32) -> AmbientGuard {
+    AMBIENT.with(|a| AmbientGuard {
+        prev: a
+            .borrow_mut()
+            .replace(Ambient { target: AmbientTarget::Sink(sink.clone()), query, shard }),
+    })
+}
+
+/// Installs a request trace as this thread's ambient span target (the
+/// mutation path: WAL append / fsync / apply spans).
+pub fn ambient_trace(ctx: TraceCtx) -> AmbientGuard {
+    AMBIENT.with(|a| AmbientGuard {
+        prev: a
+            .borrow_mut()
+            .replace(Ambient {
+                target: AmbientTarget::Trace(ctx),
+                query: ALL_QUERIES,
+                shard: NO_SHARD,
+            }),
+    })
+}
+
+/// Re-attributes this thread's ambient target to `(query, shard)` — the
+/// per-query / per-partition loops retag instead of reinstalling.
+pub fn ambient_retag(query: u32, shard: u32) {
+    AMBIENT.with(|a| {
+        if let Some(amb) = a.borrow_mut().as_mut() {
+            amb.query = query;
+            amb.shard = shard;
+        }
+    });
+}
+
+/// True iff tracing is enabled *and* this thread has an ambient target —
+/// the gate nested recorders check before reading the clock.
+#[inline]
+pub fn ambient_active() -> bool {
+    trace_enabled() && AMBIENT.with(|a| a.borrow().is_some())
+}
+
+/// Records one span on this thread's ambient target (no-op without one).
+/// The span inherits the ambient `(query, shard)` attribution.
+pub fn ambient_record(stage: u8, start_us: u64, dur_us: u64, items: u64, reranked: u64) {
+    if !trace_enabled() {
+        return;
+    }
+    AMBIENT.with(|a| {
+        if let Some(amb) = a.borrow().as_ref() {
+            let span = Span { stage, shard: amb.shard, start_us, dur_us, items, reranked };
+            match &amb.target {
+                AmbientTarget::Sink(sink) => sink.push(amb.query, span),
+                AmbientTarget::Trace(ctx) => ctx.push(span),
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Tail reservoir: the N slowest complete traces per window plus a
+// uniform 1-in-K sample, always on while tracing is enabled.
+// ---------------------------------------------------------------------
+
+/// Slowest traces kept per window.
+const SLOW_KEEP: usize = 8;
+/// Uniform samples kept (ring).
+const SAMPLE_KEEP: usize = 8;
+/// Every K-th completion is sampled uniformly.
+const SAMPLE_EVERY: u64 = 64;
+/// Completions per slowest-window (the slow set resets so a one-off
+/// startup stall does not pin the reservoir forever).
+const WINDOW: u64 = 4096;
+
+struct ReservoirState {
+    completions: u64,
+    slowest: Vec<Trace>,
+    samples: Vec<Trace>,
+    sample_pos: usize,
+}
+
+struct Reservoir {
+    state: Mutex<ReservoirState>,
+}
+
+impl Reservoir {
+    const fn new() -> Self {
+        Self {
+            state: Mutex::new(ReservoirState {
+                completions: 0,
+                slowest: Vec::new(),
+                samples: Vec::new(),
+                sample_pos: 0,
+            }),
+        }
+    }
+
+    /// Offers one completed trace. Uses `try_lock`: a contended offer is
+    /// dropped so the completion path never blocks on the reservoir.
+    fn offer(&self, trace: &Trace) {
+        let Ok(mut r) = self.state.try_lock() else {
+            return;
+        };
+        r.completions += 1;
+        if r.completions % WINDOW == 0 {
+            r.slowest.clear();
+        }
+        if r.slowest.len() < SLOW_KEEP {
+            r.slowest.push(trace.clone());
+        } else {
+            let (mi, m_total) = r
+                .slowest
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i, t.total_us))
+                .min_by_key(|&(_, t)| t)
+                .expect("SLOW_KEEP > 0");
+            if trace.total_us > m_total {
+                r.slowest[mi] = trace.clone();
+            }
+        }
+        if r.completions % SAMPLE_EVERY == 0 {
+            if r.samples.len() < SAMPLE_KEEP {
+                r.samples.push(trace.clone());
+            } else {
+                let pos = r.sample_pos % SAMPLE_KEEP;
+                r.samples[pos] = trace.clone();
+            }
+            r.sample_pos += 1;
+        }
+    }
+
+    /// The current reservoir contents: slowest first (descending
+    /// total), then the uniform samples not already present.
+    fn snapshot(&self) -> Vec<Trace> {
+        let r = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out = r.slowest.clone();
+        out.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.id.cmp(&b.id)));
+        for s in &r.samples {
+            if !out.iter().any(|t| t.id == s.id) {
+                out.push(s.clone());
+            }
+        }
+        out
+    }
+}
+
+static RESERVOIR: Reservoir = Reservoir::new();
+
+/// The tail reservoir's current contents: the slowest complete traces of
+/// the current window (descending total time) followed by the uniform
+/// 1-in-K samples. The payload of the `Traces` wire request.
+pub fn sampled_traces() -> Vec<Trace> {
+    RESERVOIR.snapshot()
+}
+
+/// Test support: empties the tail reservoir so a test can assert on
+/// exactly the traces it produced. Not part of the public API.
+#[doc(hidden)]
+pub fn reset_reservoir() {
+    let mut r = RESERVOIR.state.lock().unwrap_or_else(|p| p.into_inner());
+    r.completions = 0;
+    r.slowest.clear();
+    r.samples.clear();
+    r.sample_pos = 0;
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace_event export (`serve --trace-out`): a hand-rolled JSON
+// array of complete ("ph":"X") events, loadable in Perfetto or
+// chrome://tracing. Mirrors the events sink: an atomic gate plus a
+// mutexed writer, installed once at startup.
+// ---------------------------------------------------------------------
+
+static TRACE_OUT_ON: AtomicBool = AtomicBool::new(false);
+
+struct ChromeSink {
+    writer: BufWriter<std::fs::File>,
+    first: bool,
+}
+
+static TRACE_OUT: Mutex<Option<ChromeSink>> = Mutex::new(None);
+
+/// True iff a Chrome-trace sink is installed.
+#[inline]
+pub fn trace_out_enabled() -> bool {
+    TRACE_OUT_ON.load(Ordering::Relaxed)
+}
+
+/// Installs (or replaces) the Chrome-trace sink at `path`, truncating
+/// any existing file and writing the opening of the JSON array.
+///
+/// # Errors
+/// Propagates file creation / write errors; the previous sink (if any)
+/// stays installed on failure.
+pub fn init_trace_out(path: &Path) -> std::io::Result<()> {
+    crate::now_us(); // Pin the timestamp origin no later than sink installation.
+    let mut writer = BufWriter::new(std::fs::File::create(path)?);
+    writer.write_all(b"[\n")?;
+    let mut sink = TRACE_OUT.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(mut old) = sink.replace(ChromeSink { writer, first: true }) {
+        let _ = old.writer.flush();
+    }
+    TRACE_OUT_ON.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Closes the JSON array and flushes the Chrome-trace sink (no-op
+/// without one). Call once at process exit; traces written after this
+/// are dropped until a sink is reinstalled.
+pub fn flush_trace_out() {
+    if !trace_out_enabled() {
+        return;
+    }
+    TRACE_OUT_ON.store(false, Ordering::Relaxed);
+    let mut sink = TRACE_OUT.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(mut s) = sink.take() {
+        let _ = s.writer.write_all(b"\n]\n");
+        let _ = s.writer.flush();
+    }
+}
+
+/// Appends one trace's events to `out` as comma-separated Chrome
+/// `trace_event` objects (no leading/trailing comma).
+fn chrome_events(trace: &Trace, out: &mut String) {
+    use std::fmt::Write as _;
+    for (i, s) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        // Lane 0 carries the serial pipeline; shard-attributed spans get
+        // lane shard+1 so parallel scans stack visually.
+        let tid = if s.shard == NO_SHARD { 0 } else { s.shard as u64 + 1 };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"trace_id\":{},\"items\":{},\"reranked\":{}}}}}",
+            stage_name(s.stage),
+            s.start_us,
+            s.dur_us,
+            tid,
+            trace.id,
+            s.items,
+            s.reranked,
+        );
+    }
+}
+
+/// Writes one completed trace to the Chrome sink (no-op without one).
+/// This is the only completion-path operation that takes a real lock —
+/// acceptable because the sink is opt-in diagnostics.
+fn write_chrome(trace: &Trace) {
+    if !trace_out_enabled() || trace.spans.is_empty() {
+        return;
+    }
+    let mut body = String::with_capacity(trace.spans.len() * 144);
+    chrome_events(trace, &mut body);
+    let mut sink = TRACE_OUT.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(s) = sink.as_mut() {
+        if !s.first {
+            let _ = s.writer.write_all(b",\n");
+        }
+        s.first = false;
+        let _ = s.writer.write_all(body.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that flip the global trace toggle and restores
+    /// the previous state on drop (mirrors `crate::test_toggle`).
+    struct TraceToggle {
+        prev: bool,
+        _lock: std::sync::MutexGuard<'static, ()>,
+    }
+
+    impl Drop for TraceToggle {
+        fn drop(&mut self) {
+            set_trace_enabled(self.prev);
+        }
+    }
+
+    fn trace_toggle(on: bool) -> TraceToggle {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let lock = LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let prev = trace_enabled();
+        set_trace_enabled(on);
+        TraceToggle { prev, _lock: lock }
+    }
+
+    fn span(stage: u8, shard: u32, start: u64) -> Span {
+        Span { stage, shard, start_us: start, dur_us: 5, items: 10, reranked: 0 }
+    }
+
+    #[test]
+    fn span_array_pushes_collects_and_drops_overflow() {
+        let arr = SpanArray::new(2);
+        arr.push(0, span(stage::DECODE, NO_SHARD, 1));
+        arr.push(1, span(stage::SHARD_SCAN, 3, 2));
+        arr.push(2, span(stage::MERGE, NO_SHARD, 3)); // dropped
+        let got = arr.collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 0);
+        assert_eq!(got[0].1.stage, stage::DECODE);
+        assert_eq!(got[1].1.shard, 3);
+        arr.reset();
+        assert!(arr.collect().is_empty());
+        arr.push(7, span(stage::RERANK, 1, 9));
+        assert_eq!(arr.collect().len(), 1);
+    }
+
+    #[test]
+    fn disabled_begin_trace_is_inert() {
+        let _off = trace_toggle(false);
+        let before = traces_started();
+        assert!(begin_trace().is_none());
+        assert!(begin_trace().is_none());
+        assert_eq!(traces_started(), before);
+    }
+
+    #[test]
+    fn trace_roundtrip_sorts_canonically_and_releases_the_slot() {
+        let _on = trace_toggle(true);
+        let ctx = begin_trace().expect("tracing enabled");
+        // Push out of pipeline order; shard-scans out of shard order.
+        ctx.push(span(stage::MERGE, NO_SHARD, 50));
+        ctx.push(span(stage::SHARD_SCAN, 2, 30));
+        ctx.push(span(stage::SHARD_SCAN, 0, 31));
+        ctx.push(span(stage::DECODE, NO_SHARD, 1));
+        ctx.set_tail_q(3);
+        let trace = finish_trace(ctx).expect("live handle");
+        let order: Vec<(u8, u32)> = trace.spans.iter().map(|s| (s.stage, s.shard)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (stage::DECODE, NO_SHARD),
+                (stage::SHARD_SCAN, 0),
+                (stage::SHARD_SCAN, 2),
+                (stage::MERGE, NO_SHARD),
+            ]
+        );
+        assert_eq!(trace.tail_q, Some(3));
+        // The slot is free again and the stale handle is inert.
+        ctx.push(span(stage::REPLY, NO_SHARD, 99));
+        assert!(finish_trace(ctx).is_none());
+        let again = begin_trace().expect("slot released");
+        assert!(again.id() > trace.id);
+        let empty = finish_trace(again).expect("live handle");
+        assert!(empty.spans.is_empty(), "reset cleared prior spans");
+        assert_eq!(empty.tail_q, None);
+    }
+
+    #[test]
+    fn ambient_sink_attributes_and_retags() {
+        let _on = trace_toggle(true);
+        let sink = SpanSink::new(8);
+        {
+            let _g = ambient_sink(&sink, 4, 1);
+            assert!(ambient_active());
+            ambient_record(stage::RERANK, 10, 2, 32, 5);
+            ambient_retag(5, 2);
+            ambient_record(stage::RERANK, 20, 2, 32, 6);
+        }
+        assert!(!ambient_active());
+        ambient_record(stage::RERANK, 30, 2, 32, 7); // no target: dropped
+        let got = sink.collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!((got[0].0, got[0].1.shard, got[0].1.reranked), (4, 1, 5));
+        assert_eq!((got[1].0, got[1].1.shard, got[1].1.reranked), (5, 2, 6));
+    }
+
+    #[test]
+    fn ambient_guards_nest_and_restore() {
+        let _on = trace_toggle(true);
+        let outer = SpanSink::new(4);
+        let inner = SpanSink::new(4);
+        let _a = ambient_sink(&outer, 0, 0);
+        {
+            let _b = ambient_sink(&inner, 1, 1);
+            ambient_record(stage::FSYNC, 1, 1, 0, 0);
+        }
+        ambient_record(stage::FSYNC, 2, 1, 0, 0);
+        assert_eq!(inner.collect().len(), 1);
+        assert_eq!(outer.collect().len(), 1);
+        assert_eq!(outer.collect()[0].0, 0);
+    }
+
+    #[test]
+    fn reservoir_keeps_slowest_and_uniform_samples() {
+        let r = Reservoir::new();
+        let mk = |id: u64, total: u64| Trace {
+            id,
+            start_us: 0,
+            total_us: total,
+            tail_q: None,
+            spans: Vec::new(),
+        };
+        // 100 completions with increasing latency: the slow set must hold
+        // the last SLOW_KEEP, and completions 64 (and only multiples of
+        // 64) land in the uniform ring.
+        for i in 1..=100u64 {
+            r.offer(&mk(i, i * 10));
+        }
+        let snap = r.snapshot();
+        let slow_ids: Vec<u64> = snap.iter().take(SLOW_KEEP).map(|t| t.id).collect();
+        assert_eq!(slow_ids, vec![100, 99, 98, 97, 96, 95, 94, 93]);
+        assert!(snap.iter().any(|t| t.id == 64), "1-in-64 uniform sample present");
+    }
+
+    #[test]
+    fn reservoir_window_reset_forgets_old_stalls() {
+        let r = Reservoir::new();
+        let mk = |id: u64, total: u64| Trace {
+            id,
+            start_us: 0,
+            total_us: total,
+            tail_q: None,
+            spans: Vec::new(),
+        };
+        r.offer(&mk(1, 1_000_000)); // startup stall
+        for i in 2..=(WINDOW + 4) {
+            r.offer(&mk(i, 10));
+        }
+        let snap = r.snapshot();
+        assert!(
+            !snap.iter().take(SLOW_KEEP).any(|t| t.id == 1),
+            "the window reset must evict the pre-window stall"
+        );
+    }
+
+    #[test]
+    fn chrome_events_render_wellformed_json() {
+        let trace = Trace {
+            id: 7,
+            start_us: 100,
+            total_us: 60,
+            tail_q: Some(2),
+            spans: vec![
+                span(stage::LUT_BUILD, NO_SHARD, 100),
+                span(stage::SHARD_SCAN, 2, 110),
+            ],
+        };
+        let mut out = String::new();
+        chrome_events(&trace, &mut out);
+        assert_eq!(
+            out,
+            "{\"name\":\"lut-build\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":100,\"dur\":5,\
+             \"pid\":1,\"tid\":0,\"args\":{\"trace_id\":7,\"items\":10,\"reranked\":0}},\n\
+             {\"name\":\"shard-scan\",\"cat\":\"serve\",\"ph\":\"X\",\"ts\":110,\"dur\":5,\
+             \"pid\":1,\"tid\":3,\"args\":{\"trace_id\":7,\"items\":10,\"reranked\":0}}"
+        );
+    }
+
+    #[test]
+    fn stage_names_cover_every_id() {
+        assert_eq!(stage_name(stage::ACCEPT), "accept");
+        assert_eq!(stage_name(stage::SHARD_SCAN), "shard-scan");
+        assert_eq!(stage_name(stage::REPLY), "reply");
+        assert_eq!(stage_name(200), "?");
+        assert_eq!(STAGE_NAMES.len(), stage::REPLY as usize + 1);
+    }
+}

@@ -23,9 +23,12 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use lightlt_core::index::QuantizedIndex;
-use lightlt_core::search::{adc_scan_shards_topk, adc_search_batch_with_backend, merge_shard_topk};
+use lightlt_core::search::{
+    adc_scan_shards_topk_traced, adc_search_batch_with_backend_traced, merge_shard_topk,
+};
 use lt_linalg::scan::ScanBackend;
 use lt_linalg::Matrix;
+use lt_obs::trace::{stage, Span, SpanSink, TraceCtx, ALL_QUERIES, NO_SHARD};
 use lt_obs::{Counter, Gauge, Histogram};
 
 use crate::protocol::Response;
@@ -46,6 +49,10 @@ pub(crate) struct ServeObs {
     pub batch_exec_us: Arc<Histogram>,
     /// Per-request submit → reply-sent latency.
     pub service_us: Arc<Histogram>,
+    /// `service_us` split by the head/tail quartile of the request's
+    /// top-1 result partition (routed executors only): `q0` is the head
+    /// (largest) quarter of partitions, `q3` the tail.
+    pub service_us_q: [Arc<Histogram>; 4],
     /// Wall time of one snapshot write.
     pub snapshot_us: Arc<Histogram>,
     /// Wall time folding per-shard top-k candidates into the global
@@ -68,6 +75,7 @@ pub(crate) fn serve_obs() -> &'static ServeObs {
             batch_size: r.histogram("serve.batch_size"),
             batch_exec_us: r.histogram("serve.batch_exec_us"),
             service_us: r.histogram("serve.service_us"),
+            service_us_q: std::array::from_fn(|q| r.histogram(&format!("serve.service_us_q{q}"))),
             snapshot_us: r.histogram("serve.snapshot_us"),
             shard_merge_us: r.histogram("serve.shard_merge_us"),
             refused_overloaded: r.counter("serve.refused_overloaded"),
@@ -83,6 +91,11 @@ pub struct SearchJob {
     pub k: usize,
     pub enqueued: Instant,
     pub reply: mpsc::Sender<Response>,
+    /// Trace handle when the request is being traced. The executor pushes
+    /// every span **before** sending the reply — the connection handler
+    /// finishes the trace after writing the wire frame, and late pushes
+    /// against a finished trace are dropped by the arena's id guard.
+    pub trace: Option<TraceCtx>,
 }
 
 /// Why a submission was refused.
@@ -277,11 +290,26 @@ fn execute_batch(
     // unconditionally; the histogram only when observability is on.
     let observe = lt_obs::enabled() || lt_obs::events_enabled();
     let obs = lt_obs::enabled().then(serve_obs);
+    let any_traced = batch.iter().any(|j| j.trace.is_some());
+    let form_t0 = any_traced.then(lt_obs::now_us);
     for job in &batch {
         let waited = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
         counters.max_queue_wait_us.fetch_max(waited, Ordering::Relaxed);
         if let Some(o) = obs {
             o.queue_wait_us.record(waited);
+        }
+        // Queue span: reconstructed backwards from the drain instant so no
+        // clock read is needed at submit time.
+        if let Some(ctx) = &job.trace {
+            let now = lt_obs::now_us();
+            ctx.push(Span {
+                stage: stage::QUEUE,
+                shard: NO_SHARD,
+                start_us: now.saturating_sub(waited),
+                dur_us: waited,
+                items: 1,
+                reranked: 0,
+            });
         }
     }
     if let Some(o) = obs {
@@ -299,6 +327,24 @@ fn execute_batch(
             None => groups.push((job.k, vec![job])),
         }
     }
+    if let Some(start_us) = form_t0 {
+        let dur_us = lt_obs::now_us().saturating_sub(start_us);
+        let span = Span {
+            stage: stage::BATCH_FORM,
+            shard: NO_SHARD,
+            start_us,
+            dur_us,
+            items: batch_len as u64,
+            reranked: 0,
+        };
+        for (_, jobs) in &groups {
+            for job in jobs {
+                if let Some(ctx) = &job.trace {
+                    ctx.push(span);
+                }
+            }
+        }
+    }
 
     for (k, jobs) in groups {
         let mut data = Vec::with_capacity(jobs.len() * dim);
@@ -312,36 +358,93 @@ fn execute_batch(
                 scans.add(queries.rows() as u64);
             }
         }
+        // One span sink per k-group: core/backend stages tag spans with the
+        // query's row index (or ALL_QUERIES for batch-wide work such as LUT
+        // construction), and the fan-out below routes each span to the
+        // owning job's trace. Sized for the worst case (lut-build + spans
+        // per query) so pushes never drop under normal probe counts.
+        let group_traced = jobs.iter().any(|j| j.trace.is_some());
+        let sink = group_traced.then(|| SpanSink::new(64 + 24 * jobs.len()));
         let results = if let Some((routed, nprobe)) = &route {
             // Non-exhaustive: rank centroids, scan the top-nprobe
             // partitions through the same backend. At nprobe == nlist
             // this is pinned bitwise identical to the exhaustive scan.
-            routed.search_batch(backend, &queries, k, *nprobe)
+            routed.search_batch_traced(backend, &queries, k, *nprobe, sink.as_ref())
         } else if shards.len() == 1 {
             // Single shard: the exact unsharded path (same calls, same
             // bits) — sharding must never perturb the degenerate case.
-            adc_search_batch_with_backend(&shards[0], backend, &queries, k)
+            adc_search_batch_with_backend_traced(&shards[0], backend, &queries, k, sink.as_ref())
         } else {
             // Scan each shard on the pool, then fold per query in fixed
             // shard order; the core suite pins the merged results bitwise
             // identical to an unsharded scan at any shard/thread count.
             let refs: Vec<&QuantizedIndex> = shards.iter().map(|a| a.as_ref()).collect();
-            let parts = adc_scan_shards_topk(&refs, backend, &queries, k);
+            let parts = adc_scan_shards_topk_traced(&refs, backend, &queries, k, sink.as_ref());
             let merge_t0 = observe.then(Instant::now);
+            let merge_us0 = sink.is_some().then(lt_obs::now_us);
             let merged = merge_shard_topk(&parts, queries.rows(), k);
             if let (Some(t0), Some(o)) = (merge_t0, obs) {
                 o.shard_merge_us.record(lt_obs::micros_since(t0));
             }
+            if let (Some(sink), Some(start_us)) = (sink.as_ref(), merge_us0) {
+                sink.push(
+                    ALL_QUERIES,
+                    Span {
+                        stage: stage::MERGE,
+                        shard: NO_SHARD,
+                        start_us,
+                        dur_us: lt_obs::now_us().saturating_sub(start_us),
+                        items: (shards.len() * queries.rows() * k) as u64,
+                        reranked: 0,
+                    },
+                );
+            }
             merged
         };
+        // Fan the collected spans out to the owning traces: batch-wide
+        // spans (ALL_QUERIES) go to every traced job in the group,
+        // query-tagged spans to that row's job.
+        if let Some(sink) = &sink {
+            for (q, span) in sink.collect() {
+                if q == ALL_QUERIES {
+                    for job in &jobs {
+                        if let Some(ctx) = &job.trace {
+                            ctx.push(span);
+                        }
+                    }
+                } else if let Some(ctx) = jobs.get(q as usize).and_then(|j| j.trace.as_ref()) {
+                    ctx.push(span);
+                }
+            }
+        }
+        // Tail-class attribution (routed only): tag each traced request
+        // with the head/tail quartile of its top-1 result's partition.
+        let quartiles = match (&route, group_traced) {
+            (Some((routed, _)), true) => Some(routed.partition_quartiles()),
+            _ => None,
+        };
         for (job, scored) in jobs.into_iter().zip(results) {
+            let served_quartile = match (&job.trace, &route, &quartiles) {
+                (Some(ctx), Some((routed, _)), Some(quartiles)) => {
+                    scored.first().map(|top| {
+                        let q = quartiles[routed.partition_of(top.index)];
+                        ctx.set_tail_q(q);
+                        q
+                    })
+                }
+                _ => None,
+            };
             let hits = scored.iter().map(|s| (s.index as u64, s.score)).collect();
+            let trace_id = job.trace.as_ref().map(|t| t.id());
             // A hung-up client just discards its answer.
-            let _ = job.reply.send(Response::Search { hits });
+            let _ = job.reply.send(Response::Search { hits, trace_id });
             if let Some(o) = obs {
                 // Submit → reply-sent: queue wait plus execution share.
                 let served = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
                 o.service_us.record(served);
+                if let Some(q) = served_quartile {
+                    o.service_us_q[q as usize].record(served);
+                }
             }
         }
     }
@@ -393,7 +496,7 @@ mod tests {
 
     fn job(query: Vec<f32>, k: usize) -> (SearchJob, mpsc::Receiver<Response>) {
         let (tx, rx) = mpsc::channel();
-        (SearchJob { query, k, enqueued: Instant::now(), reply: tx }, rx)
+        (SearchJob { query, k, enqueued: Instant::now(), reply: tx, trace: None }, rx)
     }
 
     fn spawn_executor(
@@ -470,7 +573,7 @@ mod tests {
             let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
             let expected = adc_search(&snapshot, q, *k);
             match resp {
-                Response::Search { hits } => {
+                Response::Search { hits, .. } => {
                     assert_eq!(hits.len(), expected.len());
                     for (h, e) in hits.iter().zip(&expected) {
                         assert_eq!(h.0, e.index as u64);
@@ -528,7 +631,7 @@ mod tests {
             let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
             let expected = adc_search(&mirror, &q, k);
             match resp {
-                Response::Search { hits } => {
+                Response::Search { hits, .. } => {
                     assert_eq!(hits.len(), expected.len());
                     for (h, e) in hits.iter().zip(&expected) {
                         assert_eq!(h.0, e.index as u64, "k={k}");
@@ -632,7 +735,7 @@ mod tests {
                 let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
                 let expected = adc_search(&index, &q, k);
                 match resp {
-                    Response::Search { hits } => {
+                    Response::Search { hits, .. } => {
                         assert_eq!(hits.len(), expected.len());
                         for (h, e) in hits.iter().zip(&expected) {
                             assert_eq!(h.0, e.index as u64, "shards={shards} k={k}");
@@ -690,7 +793,7 @@ mod tests {
                 let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
                 let expected = adc_search(&mirror, &q, k);
                 match resp {
-                    Response::Search { hits } => {
+                    Response::Search { hits, .. } => {
                         assert_eq!(hits.len(), expected.len());
                         for (h, e) in hits.iter().zip(&expected) {
                             assert_eq!(h.0, e.index as u64, "shards={shards} k={k}");
@@ -738,7 +841,7 @@ mod tests {
             let mut got = Vec::new();
             for rx in receivers {
                 match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
-                    Response::Search { hits } => {
+                    Response::Search { hits, .. } => {
                         assert_eq!(hits.len(), 7);
                         got.push(
                             hits.iter().map(|&(id, s)| (id, s.to_bits())).collect::<Vec<_>>(),

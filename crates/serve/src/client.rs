@@ -11,6 +11,10 @@ use std::time::Duration;
 
 use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats};
 
+/// A search result list plus the server-assigned trace id (`None` from
+/// older or tracing-disabled servers).
+pub type TracedHits = (Vec<(u64, f32)>, Option<u64>);
+
 /// A request that did not produce its expected response.
 #[derive(Debug)]
 pub enum ServeError {
@@ -106,10 +110,32 @@ impl ServeClient {
     /// [`ServeError::Overloaded`] when admission refused the request;
     /// [`ServeError::BadRequest`] for malformed queries.
     pub fn search(&mut self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, ServeError> {
+        self.search_traced(query, k).map(|(hits, _)| hits)
+    }
+
+    /// [`ServeClient::search`] plus the server-assigned trace id, when the
+    /// server traced the request (`None` from older or tracing-disabled
+    /// servers).
+    ///
+    /// # Errors
+    /// Same as [`ServeClient::search`].
+    pub fn search_traced(&mut self, query: &[f32], k: usize) -> Result<TracedHits, ServeError> {
         let req = Request::Search { k: k as u32, query: query.to_vec() };
         match self.roundtrip(&req)? {
-            Response::Search { hits } => Ok(hits),
+            Response::Search { hits, trace_id } => Ok((hits, trace_id)),
             other => Err(refusal(other, "search")),
+        }
+    }
+
+    /// Tail-sampled traces from the server's reservoir: the slowest
+    /// traces of the current window plus a uniform sample.
+    ///
+    /// # Errors
+    /// Transport/protocol failures.
+    pub fn traces(&mut self) -> Result<Vec<lt_obs::trace::Trace>, ServeError> {
+        match self.roundtrip(&Request::Traces)? {
+            Response::Traces { traces } => Ok(traces),
+            other => Err(refusal(other, "traces")),
         }
     }
 

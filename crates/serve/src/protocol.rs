@@ -22,6 +22,7 @@ use std::io::{self, Read, Write};
 use std::time::{Duration, Instant};
 
 use lightlt_core::checksum::crc32;
+use lt_obs::trace::{Span, Trace};
 use lt_obs::{HistogramSnapshot, MetricValue, Snapshot};
 
 /// Hard cap on a frame payload (64 MiB): large enough for any realistic
@@ -66,6 +67,10 @@ pub enum Request {
     /// Full observability snapshot: every metric in the server's lt-obs
     /// registry (versioned; see [`METRICS_VERSION`]).
     Metrics,
+    /// Sampled request traces from the server's tail reservoir: the
+    /// slowest complete traces of the current window plus a uniform
+    /// sample, each with per-stage spans.
+    Traces,
     /// Force a checksummed snapshot to disk now.
     Snapshot,
     /// Graceful shutdown: flush pending batches, write a final snapshot.
@@ -137,6 +142,12 @@ pub enum Response {
     Search {
         /// `(id, score)` pairs, descending score.
         hits: Vec<(u64, f32)>,
+        /// Server-assigned trace id for this request, present when request
+        /// tracing is enabled. Encoded as a trailing field after the hit
+        /// list: absent on the wire when `None`, so tracing-off payloads
+        /// are byte-identical to the legacy layout and legacy payloads
+        /// decode with `None`.
+        trace_id: Option<u64>,
     },
     /// Ids assigned to the upserted rows: `start..end`.
     Upsert {
@@ -159,6 +170,11 @@ pub enum Response {
         version: u32,
         /// Deterministic merged registry snapshot.
         snapshot: Snapshot,
+    },
+    /// Sampled request traces (slowest-of-window plus uniform sample).
+    Traces {
+        /// Complete traces, slowest first, then uniform samples.
+        traces: Vec<Trace>,
     },
     /// Snapshot written; reports the epoch it captured.
     Snapshot {
@@ -261,6 +277,7 @@ const OP_STATS: u8 = 4;
 const OP_SNAPSHOT: u8 = 5;
 const OP_SHUTDOWN: u8 = 6;
 const OP_METRICS: u8 = 7;
+const OP_TRACES: u8 = 8;
 
 // Response opcodes.
 const RE_SEARCH: u8 = 0x81;
@@ -270,6 +287,7 @@ const RE_STATS: u8 = 0x84;
 const RE_SNAPSHOT: u8 = 0x85;
 const RE_SHUTDOWN: u8 = 0x86;
 const RE_METRICS: u8 = 0x87;
+const RE_TRACES: u8 = 0x88;
 const RE_BAD_REQUEST: u8 = 0xE0;
 
 // Metric-kind tags inside a `Metrics` payload.
@@ -285,6 +303,14 @@ const MAX_DECODED_BUCKETS: usize = 1024;
 /// Sanity cap on the decoded per-shard item list (servers run a handful
 /// of shards; the cap only guards against a corrupt count field).
 const MAX_DECODED_SHARDS: usize = 1 << 16;
+
+/// Sanity cap on decoded traces (the server reservoir holds ≤ 16; the cap
+/// only guards against a corrupt count field).
+const MAX_DECODED_TRACES: usize = 256;
+
+/// Sanity cap on decoded spans per trace (the span arena holds ≤ 40 per
+/// request; the cap only guards against a corrupt count field).
+const MAX_DECODED_SPANS: usize = 4096;
 const RE_OVERLOADED: u8 = 0xE1;
 const RE_SERVER_ERROR: u8 = 0xE2;
 
@@ -314,6 +340,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Stats => buf.push(OP_STATS),
         Request::Metrics => buf.push(OP_METRICS),
+        Request::Traces => buf.push(OP_TRACES),
         Request::Snapshot => buf.push(OP_SNAPSHOT),
         Request::Shutdown => buf.push(OP_SHUTDOWN),
     }
@@ -340,6 +367,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
         OP_DELETE => Request::Delete { id: c.u64()? },
         OP_STATS => Request::Stats,
         OP_METRICS => Request::Metrics,
+        OP_TRACES => Request::Traces,
         OP_SNAPSHOT => Request::Snapshot,
         OP_SHUTDOWN => Request::Shutdown,
         other => return Err(format!("unknown request opcode {other:#04x}")),
@@ -352,12 +380,17 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut buf = Vec::new();
     match resp {
-        Response::Search { hits } => {
+        Response::Search { hits, trace_id } => {
             buf.push(RE_SEARCH);
             put_u32(&mut buf, hits.len() as u32);
             for &(id, score) in hits {
                 put_u64(&mut buf, id);
                 put_f32(&mut buf, score);
+            }
+            // Trailing field: omitted entirely when tracing is off, so the
+            // payload stays byte-identical to the pre-tracing layout.
+            if let Some(id) = trace_id {
+                put_u64(&mut buf, *id);
             }
         }
         Response::Upsert { start, end } => {
@@ -427,6 +460,34 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 }
             }
         }
+        Response::Traces { traces } => {
+            buf.push(RE_TRACES);
+            put_u32(&mut buf, traces.len() as u32);
+            for t in traces {
+                put_u64(&mut buf, t.id);
+                put_u64(&mut buf, t.start_us);
+                put_u64(&mut buf, t.total_us);
+                match t.tail_q {
+                    Some(q) => {
+                        buf.push(1);
+                        buf.push(q);
+                    }
+                    None => {
+                        buf.push(0);
+                        buf.push(0);
+                    }
+                }
+                put_u32(&mut buf, t.spans.len() as u32);
+                for s in &t.spans {
+                    buf.push(s.stage);
+                    put_u32(&mut buf, s.shard);
+                    put_u64(&mut buf, s.start_us);
+                    put_u64(&mut buf, s.dur_us);
+                    put_u64(&mut buf, s.items);
+                    put_u64(&mut buf, s.reranked);
+                }
+            }
+        }
         Response::Snapshot { epoch } => {
             buf.push(RE_SNAPSHOT);
             put_u64(&mut buf, *epoch);
@@ -460,7 +521,10 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
                 let score = c.f32()?;
                 hits.push((id, score));
             }
-            Response::Search { hits }
+            // Trailing trace id: absent in payloads from tracing-off or
+            // pre-tracing servers.
+            let trace_id = if c.data.is_empty() { None } else { Some(c.u64()?) };
+            Response::Search { hits, trace_id }
         }
         RE_UPSERT => Response::Upsert { start: c.u64()?, end: c.u64()? },
         RE_DELETE => {
@@ -546,6 +610,42 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
                 metrics.push((name, value));
             }
             Response::Metrics { version, snapshot: Snapshot { metrics } }
+        }
+        RE_TRACES => {
+            let n = c.u32()? as usize;
+            if n > MAX_DECODED_TRACES {
+                return Err(format!("trace count {n} exceeds cap"));
+            }
+            let mut traces = Vec::with_capacity(n);
+            for _ in 0..n {
+                let id = c.u64()?;
+                let start_us = c.u64()?;
+                let total_us = c.u64()?;
+                let has_tail_q = c.u8()?;
+                let tail_q_raw = c.u8()?;
+                let tail_q = match has_tail_q {
+                    0 => None,
+                    1 => Some(tail_q_raw),
+                    other => return Err(format!("bad tail_q tag {other}")),
+                };
+                let nspans = c.u32()? as usize;
+                if nspans > MAX_DECODED_SPANS {
+                    return Err(format!("span count {nspans} exceeds cap"));
+                }
+                let mut spans = Vec::with_capacity(nspans);
+                for _ in 0..nspans {
+                    spans.push(Span {
+                        stage: c.u8()?,
+                        shard: c.u32()?,
+                        start_us: c.u64()?,
+                        dur_us: c.u64()?,
+                        items: c.u64()?,
+                        reranked: c.u64()?,
+                    });
+                }
+                traces.push(Trace { id, start_us, total_us, tail_q, spans });
+            }
+            Response::Traces { traces }
         }
         RE_SNAPSHOT => Response::Snapshot { epoch: c.u64()? },
         RE_SHUTDOWN => Response::Shutdown,
@@ -730,7 +830,8 @@ mod tests {
 
     #[test]
     fn response_roundtrips() {
-        roundtrip_response(Response::Search { hits: vec![(7, 0.5), (3, -0.25)] });
+        roundtrip_response(Response::Search { hits: vec![(7, 0.5), (3, -0.25)], trace_id: None });
+        roundtrip_response(Response::Search { hits: vec![(7, 0.5)], trace_id: Some(42) });
         roundtrip_response(Response::Upsert { start: 100, end: 104 });
         roundtrip_response(Response::Delete { moved: Some(9) });
         roundtrip_response(Response::Delete { moved: None });
@@ -899,6 +1000,73 @@ mod tests {
     }
 
     #[test]
+    fn search_trace_id_is_a_trailing_compatible_field() {
+        // Tracing-off payloads are byte-identical to the pre-tracing
+        // layout: `None` encodes to exactly the legacy bytes, and the
+        // legacy bytes decode back to `None`.
+        let hits = vec![(7u64, 0.5f32), (3, -0.25)];
+        let off = encode_response(&Response::Search { hits: hits.clone(), trace_id: None });
+        let on = encode_response(&Response::Search { hits: hits.clone(), trace_id: Some(99) });
+        assert_eq!(on.len(), off.len() + 8, "trace id is one trailing u64");
+        assert_eq!(&on[..off.len()], &off[..], "prefix identical to legacy layout");
+        assert_eq!(
+            decode_response(&off).unwrap(),
+            Response::Search { hits: hits.clone(), trace_id: None }
+        );
+        assert_eq!(
+            decode_response(&on).unwrap(),
+            Response::Search { hits, trace_id: Some(99) }
+        );
+        // A torn trailing field is still a decode error.
+        let mut torn = on;
+        torn.truncate(torn.len() - 3);
+        assert!(decode_response(&torn).is_err());
+    }
+
+    #[test]
+    fn traces_frames_roundtrip() {
+        roundtrip_request(Request::Traces);
+        roundtrip_response(Response::Traces { traces: Vec::new() });
+        let span = |stage, shard, start_us, dur_us| Span {
+            stage,
+            shard,
+            start_us,
+            dur_us,
+            items: 1000,
+            reranked: 32,
+        };
+        roundtrip_response(Response::Traces {
+            traces: vec![
+                Trace {
+                    id: 7,
+                    start_us: 100,
+                    total_us: 250,
+                    tail_q: Some(3),
+                    spans: vec![span(1, u32::MAX, 100, 5), span(10, 0, 110, 80), span(10, 1, 111, 90)],
+                },
+                Trace { id: 9, start_us: 400, total_us: 30, tail_q: None, spans: Vec::new() },
+            ],
+        });
+    }
+
+    #[test]
+    fn malformed_traces_payloads_rejected() {
+        let good = encode_response(&Response::Traces {
+            traces: vec![Trace { id: 1, start_us: 0, total_us: 5, tail_q: Some(0), spans: Vec::new() }],
+        });
+        // Truncated trace.
+        assert!(decode_response(&good[..good.len() - 2]).is_err());
+        // Corrupt tail_q tag.
+        let mut bad_tag = good.clone();
+        bad_tag[1 + 4 + 24] = 7;
+        assert!(decode_response(&bad_tag).unwrap_err().contains("tail_q"));
+        // Corrupt trace count drives the cap, not an allocation.
+        let mut bad_count = good;
+        bad_count[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_response(&bad_count).unwrap_err().contains("cap"));
+    }
+
+    #[test]
     fn malformed_metrics_payloads_rejected() {
         let snapshot = Snapshot {
             metrics: vec![("a".into(), MetricValue::Counter(1))],
@@ -919,9 +1087,10 @@ mod tests {
         let tricky = [f32::MIN_POSITIVE, -0.0, 1.0 + f32::EPSILON, 1e-38];
         let resp = Response::Search {
             hits: tricky.iter().enumerate().map(|(i, &s)| (i as u64, s)).collect(),
+            trace_id: None,
         };
         let decoded = decode_response(&encode_response(&resp)).unwrap();
-        let Response::Search { hits } = decoded else { panic!("wrong variant") };
+        let Response::Search { hits, .. } = decoded else { panic!("wrong variant") };
         for ((_, a), &b) in hits.iter().zip(&tricky) {
             assert_eq!(a.to_bits(), b.to_bits());
         }

@@ -33,6 +33,7 @@ use lightlt_core::index::QuantizedIndex;
 use lightlt_core::route::RouteSpec;
 use lt_linalg::scan::BackendKind;
 use lt_linalg::Matrix;
+use lt_obs::trace::{stage, Span, TraceCtx, NO_SHARD};
 
 use crate::batch::{run_executor, serve_obs, ExecCounters, SearchJob, SubmitError, SubmitQueue};
 use crate::protocol::{read_frame, write_frame, Request, Response, ServeStats, METRICS_VERSION};
@@ -85,6 +86,17 @@ pub struct ServeConfig {
     /// search path; mutations still land in the shard cells) and with
     /// `backend` (each probed partition scans through the same engine).
     pub route: Option<RouteSpec>,
+    /// Turn per-request span tracing on at startup. Independent of
+    /// `metrics`: traces flow into the tail-sampling reservoir (the
+    /// `Traces` op) whether or not the metric registry records. When off,
+    /// the trace arena is never touched and the wire replies carry no
+    /// trace id.
+    pub trace: bool,
+    /// Mirror every completed trace to a Chrome `trace_event` JSON file
+    /// (open in Perfetto / `chrome://tracing`). Implies nothing about
+    /// `trace`: the sink only sees traces, so with tracing off the file
+    /// stays an empty event array.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +115,8 @@ impl Default for ServeConfig {
             metrics: true,
             backend: BackendKind::F32,
             route: None,
+            trace: true,
+            trace_out: None,
         }
     }
 }
@@ -160,6 +174,10 @@ impl Server {
         }
         if config.metrics {
             lt_obs::set_enabled(true);
+        }
+        lt_obs::set_trace_enabled(config.trace);
+        if let Some(path) = &config.trace_out {
+            lt_obs::init_trace_out(path)?;
         }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -417,6 +435,8 @@ impl Server {
         if let Err(e) = self.state.sync_wal() {
             eprintln!("warning: final WAL sync failed: {e}");
         }
+        // Close the Chrome-trace event array (no-op without --trace-out).
+        lt_obs::flush_trace_out();
     }
 }
 
@@ -456,6 +476,9 @@ fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
         if ctx.stop.load(Ordering::SeqCst) {
             return;
         }
+        // One clock read per poll tick, only while tracing: the accept
+        // span covers the read attempt that completed the frame.
+        let read_t0 = lt_obs::trace_enabled().then(lt_obs::now_us);
         let payload = match read_frame(&mut stream) {
             Ok(Some(p)) => p,
             Ok(None) => return, // clean EOF
@@ -468,14 +491,76 @@ fn handle_connection(mut stream: TcpStream, ctx: &HandlerCtx) {
             }
             Err(_) => return, // torn frame / hard I/O error: drop the conn
         };
+        let decode_t0 = read_t0.map(|_| lt_obs::now_us());
         let response = match Request::decode(&payload) {
             Ok(request) => {
+                // Decode end is stamped before begin_trace so the arena's
+                // one-time lazy init never inflates the decode span.
+                let decode_end = decode_t0.map(|_| lt_obs::now_us());
                 let is_shutdown = matches!(request, Request::Shutdown);
-                let resp = dispatch(request, ctx);
-                if write_frame(&mut stream, &resp.encode()).is_err() {
-                    return;
+                // Trace the data-path ops only; control ops (stats,
+                // metrics, snapshot, shutdown, trace retrieval itself)
+                // would crowd the tail reservoir with trivia.
+                let trace = match &request {
+                    Request::Search { .. } | Request::Upsert { .. } | Request::Delete { .. } => {
+                        lt_obs::begin_trace()
+                    }
+                    _ => None,
+                };
+                // Accept + decode spans are pushed retroactively: the
+                // trace id only exists once the op kind is known.
+                if let (Some(t), Some(read_t0), Some(decode_t0), Some(decode_end)) =
+                    (&trace, read_t0, decode_t0, decode_end)
+                {
+                    t.push(Span {
+                        stage: stage::ACCEPT,
+                        shard: NO_SHARD,
+                        start_us: read_t0,
+                        dur_us: decode_t0.saturating_sub(read_t0),
+                        items: payload.len() as u64,
+                        reranked: 0,
+                    });
+                    t.push(Span {
+                        stage: stage::DECODE,
+                        shard: NO_SHARD,
+                        start_us: decode_t0,
+                        dur_us: decode_end.saturating_sub(decode_t0),
+                        items: payload.len() as u64,
+                        reranked: 0,
+                    });
                 }
-                if is_shutdown {
+                let resp = dispatch(request, ctx, trace);
+                let encode_t0 = trace.map(|_| lt_obs::now_us());
+                let encoded = resp.encode();
+                if let (Some(t), Some(start_us)) = (&trace, encode_t0) {
+                    t.push(Span {
+                        stage: stage::ENCODE,
+                        shard: NO_SHARD,
+                        start_us,
+                        dur_us: lt_obs::now_us().saturating_sub(start_us),
+                        items: encoded.len() as u64,
+                        reranked: 0,
+                    });
+                }
+                let reply_t0 = trace.map(|_| lt_obs::now_us());
+                let write_ok = write_frame(&mut stream, &encoded).is_ok();
+                if let (Some(t), Some(start_us)) = (&trace, reply_t0) {
+                    t.push(Span {
+                        stage: stage::REPLY,
+                        shard: NO_SHARD,
+                        start_us,
+                        dur_us: lt_obs::now_us().saturating_sub(start_us),
+                        items: encoded.len() as u64,
+                        reranked: 0,
+                    });
+                }
+                // Completion point: total_us covers everything through the
+                // reply write. Executor-side spans all landed before the
+                // reply channel send, so none are lost to this finish.
+                if let Some(t) = trace {
+                    lt_obs::finish_trace(t);
+                }
+                if !write_ok || is_shutdown {
                     return;
                 }
                 continue;
@@ -515,20 +600,35 @@ fn mutation_refusal(e: MutationError, ctx: &HandlerCtx) -> Response {
 }
 
 /// Executes one decoded request. Search blocks on the batch executor; all
-/// other ops run inline.
-fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
+/// other ops run inline. `trace` is the request's span target when the
+/// handler opened one (data-path ops while tracing is on).
+fn dispatch(request: Request, ctx: &HandlerCtx, trace: Option<TraceCtx>) -> Response {
     match request {
         Request::Search { k, query } => {
             // Admission checks run against the state's immutable shape
             // metadata — no shard lock, and no merged snapshot just to
             // read dimensions.
+            let admission_t0 = trace.map(|_| lt_obs::now_us());
             if let Err(e) = ctx.state.validate_search(query.len(), k as usize) {
                 ctx.op_counters.rejected.fetch_add(1, Ordering::Relaxed);
                 note_bad_request();
                 return Response::BadRequest { message: e.to_string() };
             }
+            if let (Some(t), Some(start_us)) = (&trace, admission_t0) {
+                // Pushed before submit so every handler-side push strictly
+                // precedes any executor-side push for this trace.
+                t.push(Span {
+                    stage: stage::ADMISSION,
+                    shard: NO_SHARD,
+                    start_us,
+                    dur_us: lt_obs::now_us().saturating_sub(start_us),
+                    items: 1,
+                    reranked: 0,
+                });
+            }
             let (tx, rx) = mpsc::channel();
-            let job = SearchJob { query, k: k as usize, enqueued: Instant::now(), reply: tx };
+            let job =
+                SearchJob { query, k: k as usize, enqueued: Instant::now(), reply: tx, trace };
             match ctx.queue.try_submit(job) {
                 Ok(()) => match rx.recv() {
                     Ok(resp) => resp,
@@ -559,6 +659,9 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 };
             }
             let matrix = Matrix::from_vec(rows.len() / dim, dim, rows);
+            // Ambient trace target: state/WAL internals record
+            // wal-append / fsync / apply spans against this request.
+            let _guard = trace.map(lt_obs::trace::ambient_trace);
             match ctx.state.upsert(&matrix) {
                 Ok(range) => {
                     ctx.op_counters.upserts.fetch_add(1, Ordering::Relaxed);
@@ -567,13 +670,16 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
                 Err(e) => mutation_refusal(e, ctx),
             }
         }
-        Request::Delete { id } => match ctx.state.delete(id as usize) {
-            Ok(moved) => {
-                ctx.op_counters.deletes.fetch_add(1, Ordering::Relaxed);
-                Response::Delete { moved: moved.map(|m| m as u64) }
+        Request::Delete { id } => {
+            let _guard = trace.map(lt_obs::trace::ambient_trace);
+            match ctx.state.delete(id as usize) {
+                Ok(moved) => {
+                    ctx.op_counters.deletes.fetch_add(1, Ordering::Relaxed);
+                    Response::Delete { moved: moved.map(|m| m as u64) }
+                }
+                Err(e) => mutation_refusal(e, ctx),
             }
-            Err(e) => mutation_refusal(e, ctx),
-        },
+        }
         Request::Stats => {
             // All served from metadata and lock-free mirrors: Stats never
             // merges a snapshot or takes a shard lock.
@@ -608,6 +714,9 @@ fn dispatch(request: Request, ctx: &HandlerCtx) -> Response {
             version: METRICS_VERSION,
             snapshot: lt_obs::Registry::global().snapshot(),
         },
+        // Tail-sampled traces: the slowest-of-window reservoir plus the
+        // uniform 1-in-K sample, already finished and sorted.
+        Request::Traces => Response::Traces { traces: lt_obs::sampled_traces() },
         Request::Snapshot => {
             let written = if ctx.state.wal_enabled() {
                 Some(ctx.state.write_durable_snapshot())

@@ -512,11 +512,25 @@ impl IndexState {
         }
         let s = self.shards.len();
         let start = self.total_items.load(Ordering::SeqCst) as usize;
+        // Mutation spans land on the connection's ambient trace; the two
+        // clock reads per phase only happen while a trace is active.
+        let traced = lt_obs::trace::ambient_active();
+        let wal_t0 = (traced && self.wal.is_some()).then(lt_obs::now_us);
         self.wal_append(&WalRecord::Upsert {
             dim: rows.cols() as u32,
             rows: rows.as_slice().to_vec(),
             shard: Some((start % s) as u32),
         })?;
+        if let Some(start_us) = wal_t0 {
+            lt_obs::trace::ambient_record(
+                lt_obs::trace::stage::WAL_APPEND,
+                start_us,
+                lt_obs::now_us().saturating_sub(start_us),
+                rows.rows() as u64,
+                0,
+            );
+        }
+        let apply_t0 = traced.then(lt_obs::now_us);
         let mut guards = self.write_all();
         let mut touched = Vec::with_capacity(rows.rows().min(s));
         let mut encoded: Vec<(Vec<u16>, f32)> = Vec::new();
@@ -549,6 +563,15 @@ impl IndexState {
         }
         self.total_items.fetch_add(rows.rows() as u64, Ordering::SeqCst);
         self.commit_mutation(&touched);
+        if let Some(start_us) = apply_t0 {
+            lt_obs::trace::ambient_record(
+                lt_obs::trace::stage::APPLY,
+                start_us,
+                lt_obs::now_us().saturating_sub(start_us),
+                rows.rows() as u64,
+                0,
+            );
+        }
         Ok(start..start + rows.rows())
     }
 
@@ -572,7 +595,19 @@ impl IndexState {
             )));
         }
         let s = self.shards.len();
+        let traced = lt_obs::trace::ambient_active();
+        let wal_t0 = (traced && self.wal.is_some()).then(lt_obs::now_us);
         self.wal_append(&WalRecord::Delete { id: id as u64, shard: Some((id % s) as u32) })?;
+        if let Some(start_us) = wal_t0 {
+            lt_obs::trace::ambient_record(
+                lt_obs::trace::stage::WAL_APPEND,
+                start_us,
+                lt_obs::now_us().saturating_sub(start_us),
+                1,
+                0,
+            );
+        }
+        let apply_t0 = traced.then(lt_obs::now_us);
         let mut guards = self.write_all();
         let last = n - 1;
         let (dst_shard, dst_local) = (id % s, id / s);
@@ -605,6 +640,15 @@ impl IndexState {
             vec![dst_shard.min(src_shard), dst_shard.max(src_shard)]
         };
         self.commit_mutation(&touched);
+        if let Some(start_us) = apply_t0 {
+            lt_obs::trace::ambient_record(
+                lt_obs::trace::stage::APPLY,
+                start_us,
+                lt_obs::now_us().saturating_sub(start_us),
+                1,
+                0,
+            );
+        }
         Ok(moved)
     }
 

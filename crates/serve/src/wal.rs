@@ -647,12 +647,27 @@ impl WalWriter {
             self.fail_next_sync = false;
             return Err(io::Error::other("injected WAL fsync failure"));
         }
-        let observe = lt_obs::enabled();
+        let traced = lt_obs::trace::ambient_active();
+        let observe = lt_obs::enabled() || traced;
         let t0 = observe.then(Instant::now);
+        let span_t0 = traced.then(lt_obs::now_us);
         self.file.sync_data()?;
         self.pending_records = 0;
         self.last_sync = Instant::now();
+        if let Some(start_us) = span_t0 {
+            // Nested inside the request's wal-append span when the sync
+            // happens at append time (fsync=always / group threshold).
+            lt_obs::trace::ambient_record(
+                lt_obs::trace::stage::FSYNC,
+                start_us,
+                lt_obs::now_us().saturating_sub(start_us),
+                1,
+                0,
+            );
+        }
         if let Some(t0) = t0 {
+            // Internally a no-op when the metrics toggle is off (the timing
+            // may have been taken for the trace span alone).
             wal_obs().fsync_us.record(lt_obs::micros_since(t0));
         }
         Ok(())

@@ -207,6 +207,111 @@ fn unknown_opcode_gets_typed_bad_request_and_keeps_the_connection() {
 }
 
 #[test]
+fn trace_span_structure_is_invariant_across_threads_and_shards() {
+    // The same request through the traced serve pipeline must produce the
+    // same multiset of (stage, shard, items, reranked) spans at any
+    // runtime width, with exactly one shard-scan span per shard. Only the
+    // timings may differ. (Within one (stage, shard) pair span order is
+    // timing-dependent, hence the sorted-multiset comparison.)
+    let _guard = toggle_lock();
+    use lightlt::obs::trace;
+    for &shards in &[1usize, 4] {
+        let mut reference: Option<Vec<(u8, u32, u64, u64)>> = None;
+        for &width in &[1usize, 4] {
+            let _w = lt_runtime::scoped_threads(width);
+            trace::reset_reservoir();
+            let d = 16;
+            let index = synth_index(240, 3, 16, d, 61);
+            let server = Server::start(
+                index,
+                ServeConfig {
+                    shards,
+                    max_batch: 4,
+                    max_delay: Duration::from_millis(1),
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+            let mut client =
+                ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5))
+                    .unwrap();
+            let queries = randn(1, d, &mut rng(62)).scale(0.5);
+            let (hits, trace_id) = client.search_traced(queries.row(0), 5).unwrap();
+            assert_eq!(hits.len(), 5);
+            let trace_id = trace_id.expect("tracing is on by default: reply must carry an id");
+            let traces = client.traces().unwrap();
+            let t = traces
+                .iter()
+                .find(|t| t.id == trace_id)
+                .unwrap_or_else(|| panic!("trace {trace_id} not in the reservoir"));
+            assert!(t.total_us > 0);
+            let scans =
+                t.spans.iter().filter(|s| s.stage == trace::stage::SHARD_SCAN).count();
+            assert_eq!(scans, shards, "one shard-scan span per shard (shards={shards})");
+            let mut structure: Vec<(u8, u32, u64, u64)> =
+                t.spans.iter().map(|s| (s.stage, s.shard, s.items, s.reranked)).collect();
+            structure.sort_unstable();
+            match &reference {
+                None => reference = Some(structure),
+                Some(r) => assert_eq!(
+                    r, &structure,
+                    "span structure differs at shards={shards} width={width}"
+                ),
+            }
+            server.shutdown();
+        }
+    }
+    obs::set_trace_enabled(false);
+    obs::set_enabled(false);
+}
+
+#[test]
+fn disabled_tracing_is_inert() {
+    // With metrics and tracing both off, a served search must not touch
+    // the trace arena (no trace started), must not assign a wire trace
+    // id, and must leave the Metrics response bytes identical to the
+    // pre-traffic encoding.
+    let _guard = toggle_lock();
+    use lightlt::obs::trace;
+    obs::set_enabled(false);
+    let d = 16;
+    let index = synth_index(200, 3, 16, d, 71);
+    let server = Server::start(
+        index,
+        ServeConfig { metrics: false, trace: false, ..ServeConfig::default() },
+    )
+    .unwrap();
+
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write_frame(&mut stream, &Request::Metrics.encode()).unwrap();
+    let metrics_before = read_frame(&mut stream).unwrap().expect("metrics reply");
+    let started_before = trace::traces_started();
+
+    let mut client =
+        ServeClient::connect_with_retry(server.local_addr(), Duration::from_secs(5)).unwrap();
+    let queries = randn(6, d, &mut rng(72)).scale(0.5);
+    for i in 0..6 {
+        let (hits, trace_id) = client.search_traced(queries.row(i), 3).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert!(trace_id.is_none(), "tracing-off reply must carry no trace id");
+    }
+
+    assert_eq!(
+        trace::traces_started(),
+        started_before,
+        "tracing-off searches must never touch the trace arena"
+    );
+    write_frame(&mut stream, &Request::Metrics.encode()).unwrap();
+    let metrics_after = read_frame(&mut stream).unwrap().expect("metrics reply");
+    assert_eq!(
+        metrics_before, metrics_after,
+        "disabled-mode serving mutated the metrics registry"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn event_sink_captures_batch_executions_as_jsonl() {
     let _guard = toggle_lock();
     let dir = std::env::temp_dir().join(format!("lt_obs_it_{}", std::process::id()));

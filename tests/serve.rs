@@ -311,7 +311,7 @@ fn overload_returns_typed_refusal_not_a_hang() {
     // The admitted four still complete (deadline drain) with real results.
     for conn in &mut queued {
         match read_response(conn) {
-            Response::Search { hits } => assert_eq!(hits.len(), 5),
+            Response::Search { hits, .. } => assert_eq!(hits.len(), 5),
             other => panic!("queued search got {other:?}"),
         }
     }
